@@ -1,0 +1,313 @@
+//! Aliasing axioms (§3.1 of the paper).
+//!
+//! An axiom states a uniform aliasing property of a data structure and takes
+//! one of three forms:
+//!
+//! 1. `∀ p, p.RE1 <> p.RE2` — from any one vertex, the two path sets never
+//!    meet ([`AxiomKind::DisjointSameOrigin`]).
+//! 2. `∀ p <> q, p.RE1 <> q.RE2` — from two *distinct* vertices, the two
+//!    path sets never meet ([`AxiomKind::DisjointDistinctOrigins`]).
+//! 3. `∀ p, p.RE1 = p.RE2` — the two path sets are always equal; used to
+//!    describe cycles ([`AxiomKind::Equal`]).
+
+use apt_regex::Regex;
+use std::error::Error;
+use std::fmt;
+use std::str::FromStr;
+
+/// The three axiom forms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AxiomKind {
+    /// `∀ p, p.RE1 <> p.RE2`.
+    DisjointSameOrigin,
+    /// `∀ p <> q, p.RE1 <> q.RE2`.
+    DisjointDistinctOrigins,
+    /// `∀ p, p.RE1 = p.RE2`.
+    Equal,
+}
+
+/// One aliasing axiom: a kind plus its two regular expressions and an
+/// optional name used in proof traces (the paper labels axioms `A1`, `A2`, …).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Axiom {
+    name: Option<String>,
+    kind: AxiomKind,
+    lhs: Regex,
+    rhs: Regex,
+}
+
+impl Axiom {
+    /// `∀ p, p.lhs <> p.rhs`.
+    pub fn disjoint_same_origin(lhs: Regex, rhs: Regex) -> Axiom {
+        Axiom {
+            name: None,
+            kind: AxiomKind::DisjointSameOrigin,
+            lhs,
+            rhs,
+        }
+    }
+
+    /// `∀ p <> q, p.lhs <> q.rhs`.
+    pub fn disjoint_distinct_origins(lhs: Regex, rhs: Regex) -> Axiom {
+        Axiom {
+            name: None,
+            kind: AxiomKind::DisjointDistinctOrigins,
+            lhs,
+            rhs,
+        }
+    }
+
+    /// `∀ p, p.lhs = p.rhs`.
+    pub fn equal(lhs: Regex, rhs: Regex) -> Axiom {
+        Axiom {
+            name: None,
+            kind: AxiomKind::Equal,
+            lhs,
+            rhs,
+        }
+    }
+
+    /// Attaches a trace name (`A1`, `A2`, …).
+    #[must_use]
+    pub fn named(mut self, name: impl Into<String>) -> Axiom {
+        self.name = Some(name.into());
+        self
+    }
+
+    /// The trace name, if any.
+    pub fn name(&self) -> Option<&str> {
+        self.name.as_deref()
+    }
+
+    /// The axiom form.
+    pub fn kind(&self) -> AxiomKind {
+        self.kind
+    }
+
+    /// The left path expression (`RE1`).
+    pub fn lhs(&self) -> &Regex {
+        &self.lhs
+    }
+
+    /// The right path expression (`RE2`).
+    pub fn rhs(&self) -> &Regex {
+        &self.rhs
+    }
+
+    /// Whether this is one of the two disjointness forms.
+    pub fn is_disjointness(&self) -> bool {
+        matches!(
+            self.kind,
+            AxiomKind::DisjointSameOrigin | AxiomKind::DisjointDistinctOrigins
+        )
+    }
+
+    /// A short label for traces: the name if present, otherwise the full
+    /// statement.
+    pub fn label(&self) -> String {
+        match &self.name {
+            Some(n) => n.clone(),
+            None => self.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for Axiom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Some(n) = &self.name {
+            write!(f, "{n}: ")?;
+        }
+        match self.kind {
+            AxiomKind::DisjointSameOrigin => {
+                write!(f, "forall p, p.{} <> p.{}", self.lhs, self.rhs)
+            }
+            AxiomKind::DisjointDistinctOrigins => {
+                write!(f, "forall p <> q, p.{} <> q.{}", self.lhs, self.rhs)
+            }
+            AxiomKind::Equal => write!(f, "forall p, p.{} = p.{}", self.lhs, self.rhs),
+        }
+    }
+}
+
+/// Error from parsing an axiom's concrete syntax.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseAxiomError {
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseAxiomError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "axiom parse error: {}", self.message)
+    }
+}
+
+impl Error for ParseAxiomError {}
+
+fn err(message: impl Into<String>) -> ParseAxiomError {
+    ParseAxiomError {
+        message: message.into(),
+    }
+}
+
+/// Strips a leading `var.` from an axiom side and parses the remainder as a
+/// regular expression; a bare `var` denotes `ε`.
+fn parse_side(side: &str, var: &str) -> Result<Regex, ParseAxiomError> {
+    let side = side.trim();
+    if side == var {
+        return Ok(Regex::epsilon());
+    }
+    let Some(rest) = side.strip_prefix(var) else {
+        return Err(err(format!(
+            "axiom side {side:?} must start with quantified variable {var:?}"
+        )));
+    };
+    let Some(re_text) = rest.trim_start().strip_prefix('.') else {
+        return Err(err(format!(
+            "expected '.' after variable in axiom side {side:?}"
+        )));
+    };
+    apt_regex::parse(re_text).map_err(|e| err(format!("in side {side:?}: {e}")))
+}
+
+impl FromStr for Axiom {
+    type Err = ParseAxiomError;
+
+    /// Parses the paper's concrete axiom syntax, optionally prefixed by a
+    /// `Name:` label:
+    ///
+    /// ```
+    /// use apt_axioms::Axiom;
+    /// let a1: Axiom = "A1: forall p, p.L <> p.R".parse().unwrap();
+    /// assert_eq!(a1.name(), Some("A1"));
+    /// let a2: Axiom = "forall p <> q, p.(L|R) <> q.(L|R)".parse().unwrap();
+    /// let cyc: Axiom = "forall p, p.nextZ = p.eps".parse().unwrap();
+    /// ```
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let s = s.trim();
+        // Optional "Name:" prefix (must come before "forall").
+        let (name, s) = match s.find(':') {
+            Some(ci) if !s[..ci].contains("forall") => {
+                (Some(s[..ci].trim().to_owned()), s[ci + 1..].trim())
+            }
+            _ => (None, s),
+        };
+        let Some(rest) = s.strip_prefix("forall") else {
+            return Err(err("axiom must start with 'forall'"));
+        };
+        let Some(comma) = rest.find(',') else {
+            return Err(err("missing ',' after quantifier"));
+        };
+        let quant = rest[..comma].trim();
+        let body = rest[comma + 1..].trim();
+
+        let (kind_hint, pvar, qvar) = if let Some((p, q)) = quant.split_once("<>") {
+            (true, p.trim().to_owned(), q.trim().to_owned())
+        } else {
+            (false, quant.to_owned(), quant.to_owned())
+        };
+        if pvar.is_empty() || qvar.is_empty() {
+            return Err(err(format!("bad quantifier {quant:?}")));
+        }
+
+        // Body: either `p.RE1 <> q.RE2` or `p.RE1 = p.RE2`.
+        if let Some((l, r)) = body.split_once("<>") {
+            let lhs = parse_side(l, &pvar)?;
+            let rhs = parse_side(r, &qvar)?;
+            let ax = if kind_hint {
+                Axiom::disjoint_distinct_origins(lhs, rhs)
+            } else {
+                Axiom::disjoint_same_origin(lhs, rhs)
+            };
+            Ok(match name {
+                Some(n) => ax.named(n),
+                None => ax,
+            })
+        } else if let Some((l, r)) = body.split_once('=') {
+            if kind_hint {
+                return Err(err("equality axioms quantify a single variable"));
+            }
+            let lhs = parse_side(l, &pvar)?;
+            let rhs = parse_side(r, &qvar)?;
+            let ax = Axiom::equal(lhs, rhs);
+            Ok(match name {
+                Some(n) => ax.named(n),
+                None => ax,
+            })
+        } else {
+            Err(err("axiom body must relate two sides with '<>' or '='"))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apt_regex::parse as re;
+
+    #[test]
+    fn parse_same_origin() {
+        let a: Axiom = "forall p, p.L <> p.R".parse().unwrap();
+        assert_eq!(a.kind(), AxiomKind::DisjointSameOrigin);
+        assert_eq!(a.lhs(), &re("L").unwrap());
+        assert_eq!(a.rhs(), &re("R").unwrap());
+    }
+
+    #[test]
+    fn parse_distinct_origins() {
+        let a: Axiom = "forall p <> q, p.ncolE <> q.ncolE".parse().unwrap();
+        assert_eq!(a.kind(), AxiomKind::DisjointDistinctOrigins);
+    }
+
+    #[test]
+    fn parse_equality() {
+        let a: Axiom = "forall p, p.next+ = p.next*".parse().unwrap();
+        assert_eq!(a.kind(), AxiomKind::Equal);
+    }
+
+    #[test]
+    fn parse_epsilon_side() {
+        let a: Axiom = "forall p, p.(L|R|N)+ <> p.eps".parse().unwrap();
+        assert!(a.rhs().is_epsilon());
+        // bare variable also means ε
+        let b: Axiom = "forall p, p.(L|R|N)+ <> p".parse().unwrap();
+        assert!(b.rhs().is_epsilon());
+    }
+
+    #[test]
+    fn parse_named() {
+        let a: Axiom = "A4: forall p, p.(L|R|N)+ <> p.eps".parse().unwrap();
+        assert_eq!(a.name(), Some("A4"));
+        assert_eq!(a.label(), "A4");
+    }
+
+    #[test]
+    fn display_round_trips() {
+        for text in [
+            "forall p, p.L <> p.R",
+            "forall p <> q, p.(L|R) <> q.(L|R)",
+            "forall p, p.next = p.prev",
+        ] {
+            let a: Axiom = text.parse().unwrap();
+            let b: Axiom = a.to_string().parse().unwrap();
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!("p.L <> p.R".parse::<Axiom>().is_err());
+        assert!("forall p p.L <> p.R".parse::<Axiom>().is_err());
+        assert!("forall p, q.L <> p.R".parse::<Axiom>().is_err());
+        assert!("forall p <> q, p.L = q.L".parse::<Axiom>().is_err());
+        assert!("forall p, p.L".parse::<Axiom>().is_err());
+    }
+
+    #[test]
+    fn quantifier_variable_names_are_free() {
+        let a: Axiom = "forall x, x.L <> x.R".parse().unwrap();
+        assert_eq!(a.kind(), AxiomKind::DisjointSameOrigin);
+        let b: Axiom = "forall u <> v, u.N <> v.N".parse().unwrap();
+        assert_eq!(b.kind(), AxiomKind::DisjointDistinctOrigins);
+    }
+}

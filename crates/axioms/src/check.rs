@@ -1,0 +1,217 @@
+//! Model-checking axioms against concrete heaps.
+//!
+//! §3.2 of the paper notes that programmer-supplied axioms can be
+//! "automatically verified". This module does exactly that for a concrete
+//! heap snapshot: it decides whether every axiom in a set holds of a given
+//! [`HeapGraph`], and reports a concrete counterexample when one does not.
+//!
+//! The checker is the ground-truth side of the reproduction's soundness
+//! tests: APT's **No** answers must be consistent with every heap that
+//! passes this check.
+
+use crate::graph::{HeapGraph, NodeId};
+use crate::{Axiom, AxiomKind, AxiomSet};
+use std::fmt;
+
+/// A concrete counterexample to an axiom.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Display form of the violated axiom.
+    pub axiom: String,
+    /// The origin vertex bound to `p`.
+    pub p: NodeId,
+    /// The origin vertex bound to `q` (same as `p` for single-variable
+    /// forms).
+    pub q: NodeId,
+    /// For disjointness axioms: a vertex in both path sets. For equality
+    /// axioms: a vertex in exactly one of the two sets.
+    pub witness: NodeId,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "axiom {:?} violated at p={}, q={} (witness vertex {})",
+            self.axiom, self.p, self.q, self.witness
+        )
+    }
+}
+
+/// Checks one axiom against a heap.
+///
+/// Returns the first violation found, scanning vertices in id order, or
+/// `None` if the axiom holds.
+pub fn check_axiom(heap: &HeapGraph, axiom: &Axiom) -> Option<Violation> {
+    let violation = |p: NodeId, q: NodeId, witness: NodeId| Violation {
+        axiom: axiom.to_string(),
+        p,
+        q,
+        witness,
+    };
+    match axiom.kind() {
+        AxiomKind::DisjointSameOrigin => {
+            for p in heap.nodes() {
+                let a = heap.targets(p, axiom.lhs());
+                let b = heap.targets(p, axiom.rhs());
+                if let Some(&w) = a.intersection(&b).next() {
+                    return Some(violation(p, p, w));
+                }
+            }
+            None
+        }
+        AxiomKind::DisjointDistinctOrigins => {
+            // Precompute target sets once per vertex, then compare pairs.
+            let lhs_sets: Vec<_> = heap.nodes().map(|v| heap.targets(v, axiom.lhs())).collect();
+            let rhs_sets: Vec<_> = heap.nodes().map(|v| heap.targets(v, axiom.rhs())).collect();
+            for p in heap.nodes() {
+                for q in heap.nodes() {
+                    if p == q {
+                        continue;
+                    }
+                    if let Some(&w) = lhs_sets[p.0].intersection(&rhs_sets[q.0]).next() {
+                        return Some(violation(p, q, w));
+                    }
+                }
+            }
+            None
+        }
+        AxiomKind::Equal => {
+            for p in heap.nodes() {
+                let a = heap.targets(p, axiom.lhs());
+                let b = heap.targets(p, axiom.rhs());
+                if let Some(&w) = a.symmetric_difference(&b).next() {
+                    return Some(violation(p, p, w));
+                }
+            }
+            None
+        }
+    }
+}
+
+/// Checks every axiom of a set against a heap.
+///
+/// # Errors
+///
+/// Returns the first [`Violation`] found.
+///
+/// ```
+/// use apt_axioms::{check::check_set, graph::HeapGraph, AxiomSet};
+/// let axioms = AxiomSet::parse("forall p <> q, p.next <> q.next").unwrap();
+/// let mut heap = HeapGraph::new();
+/// let n = heap.add_nodes(3);
+/// heap.set_edge(n[0], "next", n[1]);
+/// heap.set_edge(n[1], "next", n[2]);
+/// assert!(check_set(&heap, &axioms).is_ok());
+/// // Two predecessors of one node violate listness:
+/// heap.set_edge(n[2], "next", n[1]);
+/// assert!(check_set(&heap, &axioms).is_err());
+/// ```
+pub fn check_set(heap: &HeapGraph, axioms: &AxiomSet) -> Result<(), Violation> {
+    for axiom in axioms.iter() {
+        if let Some(v) = check_axiom(heap, axiom) {
+            return Err(v);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fig3_axioms() -> AxiomSet {
+        AxiomSet::parse(
+            "A1: forall p, p.L <> p.R\n\
+             A2: forall p <> q, p.(L|R) <> q.(L|R)\n\
+             A3: forall p <> q, p.N <> q.N\n\
+             A4: forall p, p.(L|R|N)+ <> p.eps",
+        )
+        .unwrap()
+    }
+
+    fn leaf_linked_tree() -> HeapGraph {
+        let mut g = HeapGraph::new();
+        let n = g.add_nodes(7);
+        g.set_edge(n[0], "L", n[1]);
+        g.set_edge(n[0], "R", n[2]);
+        g.set_edge(n[1], "L", n[3]);
+        g.set_edge(n[1], "R", n[4]);
+        g.set_edge(n[2], "L", n[5]);
+        g.set_edge(n[2], "R", n[6]);
+        g.set_edge(n[3], "N", n[4]);
+        g.set_edge(n[4], "N", n[5]);
+        g.set_edge(n[5], "N", n[6]);
+        g
+    }
+
+    #[test]
+    fn figure3_heap_satisfies_figure3_axioms() {
+        assert_eq!(check_set(&leaf_linked_tree(), &fig3_axioms()), Ok(()));
+    }
+
+    #[test]
+    fn shared_child_violates_a2() {
+        let mut g = leaf_linked_tree();
+        // make two parents share a child
+        g.set_edge(NodeId(2), "L", NodeId(4));
+        let v = check_set(&g, &fig3_axioms()).unwrap_err();
+        assert!(v.axiom.contains("A2"), "violated: {}", v.axiom);
+    }
+
+    #[test]
+    fn self_loop_violates_acyclicity() {
+        let mut g = leaf_linked_tree();
+        g.set_edge(NodeId(6), "N", NodeId(0));
+        // back-edge creates a cycle through the whole structure
+        let v = check_set(&g, &fig3_axioms()).unwrap_err();
+        assert!(v.axiom.contains("A4"), "violated: {}", v.axiom);
+    }
+
+    #[test]
+    fn equal_axiom_checks_set_equality() {
+        // circular doubly-linked pair: next then prev returns to self
+        // (the axiom requires every node to have a next, hence circular)
+        let ax = AxiomSet::parse("forall p, p.next.prev = p.eps").unwrap();
+        let mut g = HeapGraph::new();
+        let n = g.add_nodes(2);
+        g.set_edge(n[0], "next", n[1]);
+        g.set_edge(n[1], "next", n[0]);
+        g.set_edge(n[0], "prev", n[1]);
+        g.set_edge(n[1], "prev", n[0]);
+        assert!(check_set(&g, &ax).is_ok());
+        // break the invariant
+        g.set_edge(n[1], "prev", n[1]);
+        let v = check_set(&g, &ax).unwrap_err();
+        assert_eq!(v.p, n[0]);
+    }
+
+    #[test]
+    fn equal_axiom_vacuous_when_paths_dangle() {
+        // p.next.prev = p.eps fails when next exists but prev is null:
+        // the lhs set is empty while rhs is {p}... which IS a difference.
+        let ax = AxiomSet::parse("forall p, p.next.prev = p.eps").unwrap();
+        let mut g = HeapGraph::new();
+        let n = g.add_nodes(2);
+        g.set_edge(n[0], "next", n[1]);
+        // n[1].prev is null → lhs = ∅ ≠ {n0}
+        assert!(check_set(&g, &ax).is_err());
+    }
+
+    #[test]
+    fn empty_axiom_set_always_holds() {
+        assert!(check_set(&leaf_linked_tree(), &AxiomSet::new()).is_ok());
+    }
+
+    #[test]
+    fn violation_reports_witness() {
+        let ax = AxiomSet::parse("forall p, p.L <> p.R").unwrap();
+        let mut g = HeapGraph::new();
+        let n = g.add_nodes(2);
+        g.set_edge(n[0], "L", n[1]);
+        g.set_edge(n[0], "R", n[1]);
+        let v = check_set(&g, &ax).unwrap_err();
+        assert_eq!(v.witness, n[1]);
+        assert_eq!(v.p, n[0]);
+    }
+}

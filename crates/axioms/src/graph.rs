@@ -1,0 +1,230 @@
+//! Concrete heap graphs.
+//!
+//! The paper views "a data structure as a directed graph where edges are
+//! labeled with their corresponding pointer field names" (§3.1). This module
+//! provides that graph, with *deterministic* edges — an object has exactly
+//! one pointer per field, possibly null — and exact computation of the
+//! vertex set `v.RE` denoted by an access path, via the product of the graph
+//! with the DFA of `RE`.
+//!
+//! Heap graphs are the ground truth for the axiom model checker
+//! ([`crate::check`]) and for the soundness property tests: a dependence
+//! disproven by APT must never materialize on any heap satisfying the
+//! axioms.
+
+use apt_regex::dfa::Dfa;
+use apt_regex::{Regex, Symbol};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// A vertex (heap object) in a [`HeapGraph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub usize);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// A directed graph with field-labeled, single-valued edges.
+#[derive(Debug, Clone, Default)]
+pub struct HeapGraph {
+    edges: Vec<BTreeMap<Symbol, NodeId>>,
+}
+
+impl HeapGraph {
+    /// An empty heap.
+    pub fn new() -> HeapGraph {
+        HeapGraph::default()
+    }
+
+    /// Allocates a new object with all fields null.
+    pub fn add_node(&mut self) -> NodeId {
+        self.edges.push(BTreeMap::new());
+        NodeId(self.edges.len() - 1)
+    }
+
+    /// Allocates `n` objects, returning their ids.
+    pub fn add_nodes(&mut self, n: usize) -> Vec<NodeId> {
+        (0..n).map(|_| self.add_node()).collect()
+    }
+
+    /// Number of objects.
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Whether the heap has no objects.
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// Sets `from.field = to`, overwriting any previous target.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either node id is out of range.
+    pub fn set_edge(&mut self, from: NodeId, field: impl Into<Symbol>, to: NodeId) {
+        assert!(to.0 < self.edges.len(), "target node out of range");
+        self.edges[from.0].insert(field.into(), to);
+    }
+
+    /// Sets `from.field = null`.
+    pub fn clear_edge(&mut self, from: NodeId, field: impl Into<Symbol>) {
+        self.edges[from.0].remove(&field.into());
+    }
+
+    /// The target of `from.field`, if non-null.
+    pub fn edge(&self, from: NodeId, field: impl Into<Symbol>) -> Option<NodeId> {
+        self.edges[from.0].get(&field.into()).copied()
+    }
+
+    /// Iterates over all `(from, field, to)` edges.
+    pub fn iter_edges(&self) -> impl Iterator<Item = (NodeId, Symbol, NodeId)> + '_ {
+        self.edges
+            .iter()
+            .enumerate()
+            .flat_map(|(i, m)| m.iter().map(move |(&f, &t)| (NodeId(i), f, t)))
+    }
+
+    /// All node ids.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.edges.len()).map(NodeId)
+    }
+
+    /// Follows a concrete word of fields from `from`; `None` when a null
+    /// field is hit.
+    pub fn walk(&self, from: NodeId, word: &[Symbol]) -> Option<NodeId> {
+        let mut cur = from;
+        for &f in word {
+            cur = self.edge(cur, f)?;
+        }
+        Some(cur)
+    }
+
+    /// The exact vertex set `from.re` — every vertex reachable from `from`
+    /// along some word of `L(re)`.
+    ///
+    /// Computed on the product of the heap with the DFA of `re`, so it is
+    /// exact even for infinite languages (`N*` on a cyclic list terminates).
+    pub fn targets(&self, from: NodeId, re: &Regex) -> BTreeSet<NodeId> {
+        let alpha = re.symbols();
+        let dfa = Dfa::build(re, &alpha);
+        let mut out = BTreeSet::new();
+        let mut seen = BTreeSet::new();
+        let mut stack = vec![(from, dfa.start())];
+        seen.insert((from, dfa.start()));
+        while let Some((node, state)) = stack.pop() {
+            if dfa.is_accepting(state) {
+                out.insert(node);
+            }
+            for &sym in &alpha {
+                if let Some(next_node) = self.edge(node, sym) {
+                    let next_state = dfa.next_state(state, sym);
+                    if seen.insert((next_node, next_state)) {
+                        stack.push((next_node, next_state));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Renders the heap in a `dot`-like edge list, for debugging.
+    pub fn to_edge_list(&self) -> String {
+        let mut s = String::new();
+        for (from, f, to) in self.iter_edges() {
+            s.push_str(&format!("{from} -{f}-> {to}\n"));
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apt_regex::parse;
+
+    /// A three-level leaf-linked binary tree like Figure 3 of the paper.
+    fn leaf_linked_tree() -> (HeapGraph, NodeId) {
+        let mut g = HeapGraph::new();
+        let n = g.add_nodes(7);
+        // n[0] root; n[1]=root.L, n[2]=root.R; leaves n[3..7]
+        g.set_edge(n[0], "L", n[1]);
+        g.set_edge(n[0], "R", n[2]);
+        g.set_edge(n[1], "L", n[3]);
+        g.set_edge(n[1], "R", n[4]);
+        g.set_edge(n[2], "L", n[5]);
+        g.set_edge(n[2], "R", n[6]);
+        g.set_edge(n[3], "N", n[4]);
+        g.set_edge(n[4], "N", n[5]);
+        g.set_edge(n[5], "N", n[6]);
+        (g, n[0])
+    }
+
+    #[test]
+    fn walk_follows_fields() {
+        let (g, root) = leaf_linked_tree();
+        let l = Symbol::intern("L");
+        let n = Symbol::intern("N");
+        let leaf = g.walk(root, &[l, l]).unwrap();
+        assert_eq!(g.walk(root, &[l, l, n]), g.walk(leaf, &[n]));
+        assert_eq!(g.walk(root, &[n]), None);
+    }
+
+    #[test]
+    fn targets_of_literal_path() {
+        let (g, root) = leaf_linked_tree();
+        let t = g.targets(root, &parse("L.L.N").unwrap());
+        assert_eq!(t.len(), 1);
+        // and it coincides with L.R
+        let t2 = g.targets(root, &parse("L.R").unwrap());
+        assert_eq!(t, t2);
+    }
+
+    #[test]
+    fn targets_of_starred_path() {
+        let (g, root) = leaf_linked_tree();
+        // all four leaves are reachable by (L|R).(L|R)
+        let leaves = g.targets(root, &parse("(L|R).(L|R)").unwrap());
+        assert_eq!(leaves.len(), 4);
+        // and from the first leaf, N* reaches all four leaves
+        let first = g
+            .walk(root, &[Symbol::intern("L"), Symbol::intern("L")])
+            .unwrap();
+        let chain = g.targets(first, &parse("N*").unwrap());
+        assert_eq!(chain.len(), 4);
+    }
+
+    #[test]
+    fn targets_terminate_on_cycles() {
+        let mut g = HeapGraph::new();
+        let n = g.add_nodes(3);
+        g.set_edge(n[0], "next", n[1]);
+        g.set_edge(n[1], "next", n[2]);
+        g.set_edge(n[2], "next", n[0]); // circular list
+        let t = g.targets(n[0], &parse("next+").unwrap());
+        assert_eq!(t.len(), 3);
+        assert!(t.contains(&n[0])); // cycle returns to the head
+    }
+
+    #[test]
+    fn epsilon_targets_self() {
+        let mut g = HeapGraph::new();
+        let a = g.add_node();
+        let t = g.targets(a, &Regex::epsilon());
+        assert_eq!(t.into_iter().collect::<Vec<_>>(), vec![a]);
+    }
+
+    #[test]
+    fn edges_overwrite() {
+        let mut g = HeapGraph::new();
+        let n = g.add_nodes(3);
+        g.set_edge(n[0], "f", n[1]);
+        g.set_edge(n[0], "f", n[2]);
+        assert_eq!(g.edge(n[0], "f"), Some(n[2]));
+        g.clear_edge(n[0], "f");
+        assert_eq!(g.edge(n[0], "f"), None);
+    }
+}

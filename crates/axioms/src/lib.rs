@@ -1,0 +1,48 @@
+//! Aliasing axioms for dynamic, pointer-based data structures.
+//!
+//! Part of the reproduction of Hummel, Hendren & Nicolau, *A General Data
+//! Dependence Test for Dynamic, Pointer-Based Data Structures* (PLDI 1994).
+//! An **aliasing axiom** (§3.1) states a uniform property of a data
+//! structure — e.g. "from any vertex, `L` and `R` lead to different
+//! vertices" — and takes one of three forms over regular path expressions.
+//! Sets of axioms are the first input to the APT dependence tester (the
+//! second being access paths, see `apt-paths`).
+//!
+//! This crate provides:
+//!
+//! * [`Axiom`]/[`AxiomKind`] — the three axiom forms with the paper's
+//!   concrete syntax (`forall p, p.L <> p.R`).
+//! * [`AxiomSet`] — identity-carrying collections with the §3.4
+//!   intersection rule for structural modifications.
+//! * [`adds`] — the higher-level description layer (tree/list/acyclic
+//!   declarations) plus the paper's canned axiom sets (Figure 3 and
+//!   Appendix A).
+//! * [`graph`]/[`check`] — concrete heap graphs and a model checker that
+//!   verifies an axiom set against a heap, used as ground truth by the
+//!   soundness tests.
+//!
+//! # Example
+//!
+//! ```
+//! use apt_axioms::{adds, check::check_set, graph::HeapGraph};
+//!
+//! let axioms = adds::leaf_linked_tree_axioms();
+//! let mut heap = HeapGraph::new();
+//! let n = heap.add_nodes(3);
+//! heap.set_edge(n[0], "L", n[1]);
+//! heap.set_edge(n[0], "R", n[2]);
+//! heap.set_edge(n[1], "N", n[2]);
+//! assert!(check_set(&heap, &axioms).is_ok());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adds;
+mod axiom;
+pub mod check;
+pub mod graph;
+mod set;
+
+pub use axiom::{Axiom, AxiomKind, ParseAxiomError};
+pub use set::{AxiomSet, AxiomSetId};

@@ -1,0 +1,236 @@
+//! Axiom sets.
+//!
+//! The dependence tester takes "a set `𝒜` of applicable axioms" (§4.1). The
+//! set carries a stable identity so the prover's proof cache can key on it,
+//! and §3.4's structural-modification rule needs set intersection (the
+//! axioms valid across a modifying statement are the intersection of the
+//! sets valid before and after it).
+
+use crate::{Axiom, AxiomKind};
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A unique identity for an [`AxiomSet`], used as a proof-cache key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct AxiomSetId(u64);
+
+fn fresh_id() -> AxiomSetId {
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    AxiomSetId(NEXT.fetch_add(1, Ordering::Relaxed))
+}
+
+/// An immutable collection of aliasing axioms describing one data structure.
+#[derive(Debug, Clone)]
+pub struct AxiomSet {
+    id: AxiomSetId,
+    axioms: Vec<Axiom>,
+}
+
+impl AxiomSet {
+    /// An empty set (proves nothing).
+    pub fn new() -> AxiomSet {
+        AxiomSet {
+            id: fresh_id(),
+            axioms: Vec::new(),
+        }
+    }
+
+    /// Builds a set from axioms.
+    pub fn from_axioms<I: IntoIterator<Item = Axiom>>(axioms: I) -> AxiomSet {
+        AxiomSet {
+            id: fresh_id(),
+            axioms: axioms.into_iter().collect(),
+        }
+    }
+
+    /// Parses one axiom per non-empty line (`#`-prefixed lines are comments).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`crate::ParseAxiomError`] encountered.
+    ///
+    /// ```
+    /// use apt_axioms::AxiomSet;
+    /// let axioms = AxiomSet::parse(r"
+    ///     ## Figure 3 of the paper
+    ///     A1: forall p, p.L <> p.R
+    ///     A2: forall p <> q, p.(L|R) <> q.(L|R)
+    ///     A3: forall p <> q, p.N <> q.N
+    ///     A4: forall p, p.(L|R|N)+ <> p.eps
+    /// ").unwrap();
+    /// assert_eq!(axioms.len(), 4);
+    /// ```
+    pub fn parse(text: &str) -> Result<AxiomSet, crate::ParseAxiomError> {
+        let mut axioms = Vec::new();
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            axioms.push(line.parse()?);
+        }
+        Ok(AxiomSet::from_axioms(axioms))
+    }
+
+    /// The set's cache identity. Two sets built separately always have
+    /// different ids even if they contain equal axioms.
+    pub fn id(&self) -> AxiomSetId {
+        self.id
+    }
+
+    /// Number of axioms.
+    pub fn len(&self) -> usize {
+        self.axioms.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.axioms.is_empty()
+    }
+
+    /// Iterates over all axioms.
+    pub fn iter(&self) -> impl Iterator<Item = &Axiom> {
+        self.axioms.iter()
+    }
+
+    /// Iterates over axioms of one form.
+    pub fn of_kind(&self, kind: AxiomKind) -> impl Iterator<Item = &Axiom> {
+        self.axioms.iter().filter(move |a| a.kind() == kind)
+    }
+
+    /// Finds an axiom by trace name.
+    pub fn by_name(&self, name: &str) -> Option<&Axiom> {
+        self.axioms.iter().find(|a| a.name() == Some(name))
+    }
+
+    /// A new set containing this set's axioms plus `extra`.
+    #[must_use]
+    pub fn with(&self, extra: Axiom) -> AxiomSet {
+        let mut axioms = self.axioms.clone();
+        axioms.push(extra);
+        AxiomSet::from_axioms(axioms)
+    }
+
+    /// The intersection of two sets (axioms present in both, compared
+    /// structurally) — the §3.4 rule for dependence tests spanning a
+    /// structural modification.
+    #[must_use]
+    pub fn intersect(&self, other: &AxiomSet) -> AxiomSet {
+        AxiomSet::from_axioms(
+            self.axioms
+                .iter()
+                .filter(|a| other.axioms.contains(a))
+                .cloned(),
+        )
+    }
+
+    /// Every field symbol mentioned by any axiom.
+    pub fn symbols(&self) -> Vec<apt_regex::Symbol> {
+        let mut syms: Vec<_> = self
+            .axioms
+            .iter()
+            .flat_map(|a| {
+                let mut s = a.lhs().symbols();
+                s.extend(a.rhs().symbols());
+                s
+            })
+            .collect();
+        syms.sort_unstable();
+        syms.dedup();
+        syms
+    }
+}
+
+impl Default for AxiomSet {
+    fn default() -> Self {
+        AxiomSet::new()
+    }
+}
+
+impl FromIterator<Axiom> for AxiomSet {
+    fn from_iter<I: IntoIterator<Item = Axiom>>(iter: I) -> Self {
+        AxiomSet::from_axioms(iter)
+    }
+}
+
+impl Extend<Axiom> for AxiomSet {
+    /// Extending allocates a fresh set identity (the contents changed, so
+    /// cached proofs must not be reused).
+    fn extend<I: IntoIterator<Item = Axiom>>(&mut self, iter: I) {
+        self.axioms.extend(iter);
+        self.id = fresh_id();
+    }
+}
+
+impl fmt::Display for AxiomSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for a in &self.axioms {
+            writeln!(f, "{a}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fig3() -> AxiomSet {
+        AxiomSet::parse(
+            "A1: forall p, p.L <> p.R\n\
+             A2: forall p <> q, p.(L|R) <> q.(L|R)\n\
+             A3: forall p <> q, p.N <> q.N\n\
+             A4: forall p, p.(L|R|N)+ <> p.eps",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn parse_multi_line_with_comments() {
+        let s = AxiomSet::parse("# hi\n\nA1: forall p, p.L <> p.R\n").unwrap();
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn lookup_by_name_and_kind() {
+        let s = fig3();
+        assert!(s.by_name("A4").is_some());
+        assert!(s.by_name("A9").is_none());
+        assert_eq!(s.of_kind(AxiomKind::DisjointSameOrigin).count(), 2);
+        assert_eq!(s.of_kind(AxiomKind::DisjointDistinctOrigins).count(), 2);
+        assert_eq!(s.of_kind(AxiomKind::Equal).count(), 0);
+    }
+
+    #[test]
+    fn ids_are_unique() {
+        assert_ne!(fig3().id(), fig3().id());
+    }
+
+    #[test]
+    fn intersection_keeps_common_axioms() {
+        let a = fig3();
+        let b = AxiomSet::parse("A1: forall p, p.L <> p.R").unwrap();
+        let i = a.intersect(&b);
+        assert_eq!(i.len(), 1);
+        assert!(i.by_name("A1").is_some());
+    }
+
+    #[test]
+    fn symbols_collected() {
+        let syms = fig3().symbols();
+        let names: Vec<_> = syms.iter().map(|s| s.as_str()).collect();
+        assert_eq!(names.len(), 3);
+        for n in ["L", "R", "N"] {
+            assert!(names.contains(&n));
+        }
+    }
+
+    #[test]
+    fn extend_changes_identity() {
+        let mut s = fig3();
+        let before = s.id();
+        s.extend(["forall p, p.L <> p.N".parse::<Axiom>().unwrap()]);
+        assert_ne!(s.id(), before);
+        assert_eq!(s.len(), 5);
+    }
+}

@@ -1,0 +1,533 @@
+//! Baseline dependence testers the paper compares against (§2).
+//!
+//! Three families, each behind the common [`PathDependenceTest`] trait so
+//! the accuracy benchmarks can run one query suite across every tester:
+//!
+//! * [`KLimited`] — the store-based scheme of Jones & Muchnick \[JM82\]:
+//!   the first `k` heap locations along each naming path get unique names,
+//!   everything deeper collapses into one summary node. "At best the
+//!   dependence test will prove that only the first k iterations are
+//!   independent" (§2.3).
+//! * [`LarusHilfinger`] — path-expression intersection \[LH88\]: exact (and
+//!   precise) for tree structures, but on DAGs access paths must first be
+//!   mapped to conservative path expressions (`root.LLN ↦ (L|R)+N+`),
+//!   which makes similar paths collide (§2.4).
+//! * [`HendrenNicolau`] — the path-matrix approach \[HN90\]: precise for
+//!   trees, but it "fails to present a general dependence test, and does
+//!   not handle cyclic data structures" — any query outside its tree
+//!   fragment answers Maybe.
+//!
+//! [`AptAdapter`] wraps the real APT prover behind the same trait.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use apt_axioms::AxiomSet;
+use apt_core::{Answer, Origin, Prover, ProverConfig};
+use apt_regex::{ops, sample, Path, Regex, Symbol};
+
+/// A dependence tester over a pair of access paths anchored at a common
+/// origin vertex (or at two distinct origins).
+pub trait PathDependenceTest {
+    /// Short display name for result tables.
+    fn name(&self) -> &str;
+
+    /// Tests whether the two paths can reach the same vertex.
+    fn test_paths(&self, a: &Path, b: &Path, origin: Origin) -> Answer;
+}
+
+/// Shared Yes-detection: identical definite paths from a common origin
+/// denote the same single vertex.
+fn definite_yes(a: &Path, b: &Path, origin: Origin) -> bool {
+    origin == Origin::Same && a == b && a.is_definite()
+}
+
+// ---------------------------------------------------------------------
+// k-limited
+// ---------------------------------------------------------------------
+
+/// The k-limited store-based tester.
+///
+/// Heap vertices are named by the access word that reaches them, truncated
+/// at depth `k`: words of length ≤ `k` are unique names (under the
+/// tree-shaped naming the scheme assumes), anything longer falls into the
+/// summary node. Two references are independent only when their name sets
+/// are disjoint and neither touches the summary.
+#[derive(Debug, Clone)]
+pub struct KLimited {
+    k: usize,
+    /// Names are only valid vertex identities when the structure is shaped
+    /// like a tree along the named fields; otherwise distinct words may
+    /// collide and the scheme must answer Maybe.
+    tree_shaped: bool,
+}
+
+impl KLimited {
+    /// A k-limited tester for a tree-shaped structure.
+    pub fn new(k: usize) -> KLimited {
+        KLimited {
+            k,
+            tree_shaped: true,
+        }
+    }
+
+    /// A k-limited tester told that the structure may share vertices
+    /// between naming paths (DAG/graph) — every overlapping query answers
+    /// Maybe.
+    pub fn for_dag(k: usize) -> KLimited {
+        KLimited {
+            k,
+            tree_shaped: false,
+        }
+    }
+
+    /// The depth bound `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+}
+
+impl PathDependenceTest for KLimited {
+    fn name(&self) -> &str {
+        "k-limited"
+    }
+
+    fn test_paths(&self, a: &Path, b: &Path, origin: Origin) -> Answer {
+        if definite_yes(a, b, origin) {
+            return Answer::Yes;
+        }
+        // Distinct, unrelated roots: the store-based scheme has no way to
+        // separate two unknown summaries.
+        if origin == Origin::Distinct {
+            return Answer::Maybe;
+        }
+        if !self.tree_shaped {
+            return Answer::Maybe;
+        }
+        let ra = a.to_regex();
+        let rb = b.to_regex();
+        // Does either path reach beyond depth k (into the summary node)?
+        let too_deep = |re: &Regex| {
+            !sample::is_finite(re) || sample::words_up_to(re, 64).iter().any(|w| w.len() > self.k)
+        };
+        if too_deep(&ra) || too_deep(&rb) {
+            return Answer::Maybe;
+        }
+        let wa = sample::words_up_to(&ra, self.k);
+        let wb = sample::words_up_to(&rb, self.k);
+        if wa.iter().any(|w| wb.contains(w)) {
+            Answer::Maybe
+        } else {
+            Answer::No
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Larus–Hilfinger
+// ---------------------------------------------------------------------
+
+/// The path-expression intersection tester of Larus & Hilfinger \[LH88\].
+///
+/// Configured with the structure's *tree fields* (a sub-structure known to
+/// be tree-shaped, where exact path expressions are valid) and the
+/// *conservative groups* used to map access paths on the shared (DAG)
+/// part: each maximal run of same-group fields becomes `(g1|…|gn)+`,
+/// reproducing the paper's `root.LLN ↦ (L|R)+N+` example.
+#[derive(Debug, Clone)]
+pub struct LarusHilfinger {
+    tree_fields: Vec<Symbol>,
+    groups: Vec<Vec<Symbol>>,
+}
+
+impl LarusHilfinger {
+    /// Creates a tester.
+    ///
+    /// * `tree_fields` — fields along which the structure is a pure tree;
+    ///   paths confined to them intersect exactly.
+    /// * `groups` — the conservative mapping classes for everything else.
+    pub fn new<I, J, S>(tree_fields: I, groups: J) -> LarusHilfinger
+    where
+        I: IntoIterator<Item = S>,
+        J: IntoIterator<Item = Vec<S>>,
+        S: Into<Symbol>,
+    {
+        LarusHilfinger {
+            tree_fields: tree_fields.into_iter().map(Into::into).collect(),
+            groups: groups
+                .into_iter()
+                .map(|g| g.into_iter().map(Into::into).collect())
+                .collect(),
+        }
+    }
+
+    fn group_of(&self, f: Symbol) -> Option<usize> {
+        self.groups.iter().position(|g| g.contains(&f))
+    }
+
+    /// The conservative path expression for an access path: each maximal
+    /// run of fields from one group becomes the group's `(…|…)+`.
+    /// Returns `None` when a path uses a field outside every group (the
+    /// mapping has nothing safe to say, so the tester answers Maybe).
+    pub fn conservative_map(&self, path: &Path) -> Option<Regex> {
+        let mut out = Vec::new();
+        let mut current_group: Option<usize> = None;
+        for comp in path.components() {
+            let syms = comp.to_regex().symbols();
+            let mut comp_group = None;
+            for s in syms {
+                let g = self.group_of(s)?;
+                match comp_group {
+                    None => comp_group = Some(g),
+                    Some(cg) if cg == g => {}
+                    Some(_) => return None, // component mixes groups
+                }
+            }
+            let g = comp_group?;
+            if current_group != Some(g) {
+                let alts = Regex::alt_all(self.groups[g].iter().map(|&s| Regex::field(s)));
+                out.push(Regex::plus(alts));
+                current_group = Some(g);
+            }
+        }
+        Some(Regex::concat_all(out))
+    }
+
+    fn pure_tree_path(&self, path: &Path) -> bool {
+        path.to_regex()
+            .symbols()
+            .iter()
+            .all(|s| self.tree_fields.contains(s))
+    }
+}
+
+impl PathDependenceTest for LarusHilfinger {
+    fn name(&self) -> &str {
+        "Larus-Hilfinger"
+    }
+
+    fn test_paths(&self, a: &Path, b: &Path, origin: Origin) -> Answer {
+        if definite_yes(a, b, origin) {
+            return Answer::Yes;
+        }
+        if origin == Origin::Distinct {
+            // The alias-graph formulation anchors paths at one vertex; with
+            // unrelated anchors nothing can be concluded.
+            return Answer::Maybe;
+        }
+        // Precise on the tree fragment: in a tree, distinct words are
+        // distinct vertices, so empty language intersection decides.
+        if self.pure_tree_path(a) && self.pure_tree_path(b) {
+            return if ops::is_disjoint(&a.to_regex(), &b.to_regex()) {
+                Answer::No
+            } else {
+                Answer::Maybe
+            };
+        }
+        // DAG part: intersect the conservative mappings.
+        let (Some(ma), Some(mb)) = (self.conservative_map(a), self.conservative_map(b)) else {
+            return Answer::Maybe;
+        };
+        if ops::is_disjoint(&ma, &mb) {
+            Answer::No
+        } else {
+            Answer::Maybe
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Hendren–Nicolau
+// ---------------------------------------------------------------------
+
+/// The path-matrix tester of Hendren & Nicolau \[HN90\]: exact language
+/// intersection, valid only on structures declared to be trees (where
+/// distinct words always reach distinct vertices). Queries that leave the
+/// declared tree fields answer Maybe.
+#[derive(Debug, Clone)]
+pub struct HendrenNicolau {
+    tree_fields: Vec<Symbol>,
+}
+
+impl HendrenNicolau {
+    /// Creates a tester for a tree over `tree_fields`.
+    pub fn new<I, S>(tree_fields: I) -> HendrenNicolau
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<Symbol>,
+    {
+        HendrenNicolau {
+            tree_fields: tree_fields.into_iter().map(Into::into).collect(),
+        }
+    }
+}
+
+impl PathDependenceTest for HendrenNicolau {
+    fn name(&self) -> &str {
+        "Hendren-Nicolau"
+    }
+
+    fn test_paths(&self, a: &Path, b: &Path, origin: Origin) -> Answer {
+        if definite_yes(a, b, origin) {
+            return Answer::Yes;
+        }
+        let in_tree = |p: &Path| {
+            p.to_regex()
+                .symbols()
+                .iter()
+                .all(|s| self.tree_fields.contains(s))
+        };
+        if !in_tree(a) || !in_tree(b) {
+            return Answer::Maybe;
+        }
+        match origin {
+            Origin::Same => {
+                if ops::is_disjoint(&a.to_regex(), &b.to_regex()) {
+                    Answer::No
+                } else {
+                    Answer::Maybe
+                }
+            }
+            // In a tree, two distinct vertices have disjoint subtrees, but
+            // with unrelated anchors one may be an ancestor of the other —
+            // the path matrix records definite relations only.
+            Origin::Distinct => Answer::Maybe,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// APT adapter
+// ---------------------------------------------------------------------
+
+/// The real APT prover behind the common trait, for head-to-head tables.
+#[derive(Debug)]
+pub struct AptAdapter<'a> {
+    axioms: &'a AxiomSet,
+    config: ProverConfig,
+}
+
+impl<'a> AptAdapter<'a> {
+    /// Wraps APT over an axiom set.
+    pub fn new(axioms: &'a AxiomSet) -> AptAdapter<'a> {
+        AptAdapter {
+            axioms,
+            config: ProverConfig::default(),
+        }
+    }
+
+    /// Wraps APT with an explicit configuration (for ablations).
+    pub fn with_config(axioms: &'a AxiomSet, config: ProverConfig) -> AptAdapter<'a> {
+        AptAdapter { axioms, config }
+    }
+}
+
+impl PathDependenceTest for AptAdapter<'_> {
+    fn name(&self) -> &str {
+        "APT"
+    }
+
+    fn test_paths(&self, a: &Path, b: &Path, origin: Origin) -> Answer {
+        if definite_yes(a, b, origin) {
+            return Answer::Yes;
+        }
+        let mut prover = Prover::with_config(self.axioms, self.config.clone());
+        match prover.prove_disjoint(origin, a, b) {
+            Some(_) => Answer::No,
+            None => Answer::Maybe,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apt_axioms::adds;
+
+    fn p(s: &str) -> Path {
+        Path::parse(s).unwrap()
+    }
+
+    // ---- k-limited ----
+
+    #[test]
+    fn klimited_separates_shallow_tree_paths() {
+        let t = KLimited::new(3);
+        assert_eq!(t.test_paths(&p("L.L"), &p("L.R"), Origin::Same), Answer::No);
+    }
+
+    #[test]
+    fn klimited_fails_beyond_k() {
+        let t = KLimited::new(2);
+        assert_eq!(
+            t.test_paths(&p("L.L.L"), &p("L.L.R"), Origin::Same),
+            Answer::Maybe
+        );
+    }
+
+    #[test]
+    fn klimited_fails_on_loops() {
+        // The paper's linked-list loop: ε vs link+ — the + escapes any k.
+        let t = KLimited::new(8);
+        assert_eq!(
+            t.test_paths(&p("eps"), &p("link+"), Origin::Same),
+            Answer::Maybe
+        );
+    }
+
+    #[test]
+    fn klimited_proves_first_k_iterations_only() {
+        // Iteration pairs (i, j) with concrete unrollings: independent
+        // while both within k…
+        let t = KLimited::new(3);
+        assert_eq!(
+            t.test_paths(&p("link"), &p("link.link"), Origin::Same),
+            Answer::No
+        );
+        // …but not past it.
+        assert_eq!(
+            t.test_paths(
+                &p("link.link.link.link"),
+                &p("link.link.link.link.link"),
+                Origin::Same
+            ),
+            Answer::Maybe
+        );
+    }
+
+    #[test]
+    fn klimited_dag_mode_always_maybe_on_overlap_risk() {
+        let t = KLimited::for_dag(4);
+        assert_eq!(
+            t.test_paths(&p("L.L"), &p("L.R"), Origin::Same),
+            Answer::Maybe
+        );
+    }
+
+    #[test]
+    fn klimited_yes_on_identical_definite() {
+        let t = KLimited::new(2);
+        assert_eq!(
+            t.test_paths(&p("L.L"), &p("L.L"), Origin::Same),
+            Answer::Yes
+        );
+    }
+
+    // ---- Larus–Hilfinger ----
+
+    fn llt_lh() -> LarusHilfinger {
+        // Leaf-linked tree: {L,R} is a pure tree; N links leaves (DAG).
+        LarusHilfinger::new(["L", "R"], [vec!["L", "R"], vec!["N"]])
+    }
+
+    #[test]
+    fn lh_exact_on_pure_tree_paths() {
+        let t = llt_lh();
+        assert_eq!(t.test_paths(&p("L.L"), &p("L.R"), Origin::Same), Answer::No);
+        assert_eq!(
+            t.test_paths(&p("L.L"), &p("L.L.R"), Origin::Same),
+            Answer::No
+        );
+    }
+
+    #[test]
+    fn lh_conservative_mapping_matches_paper() {
+        let t = llt_lh();
+        let m = t.conservative_map(&p("L.L.N")).unwrap();
+        assert_eq!(m.to_string(), "(L|R)+.N+");
+        let m2 = t.conservative_map(&p("L.R.N")).unwrap();
+        assert!(ops::equivalent(&m, &m2));
+    }
+
+    #[test]
+    fn lh_fails_on_paper_dag_example() {
+        // §2.4: root.LLN vs root.LRN — APT proves No, LH cannot.
+        let t = llt_lh();
+        assert_eq!(
+            t.test_paths(&p("L.L.N"), &p("L.R.N"), Origin::Same),
+            Answer::Maybe
+        );
+    }
+
+    #[test]
+    fn lh_still_separates_disjoint_groups() {
+        // A pure-L path vs a pure-N path: (L|R)+ ∩ N+ = ∅.
+        let t = llt_lh();
+        assert_eq!(t.test_paths(&p("L.L"), &p("N"), Origin::Same), Answer::No);
+    }
+
+    #[test]
+    fn lh_sparse_matrix_theorem_fails() {
+        // §5: the rows/columns of a sparse matrix cross, so both fields
+        // fall in one conservative group — Theorem T is out of reach.
+        let t = LarusHilfinger::new(Vec::<&str>::new(), [vec!["ncolE", "nrowE"]]);
+        assert_eq!(
+            t.test_paths(&p("ncolE+"), &p("nrowE+.ncolE+"), Origin::Same),
+            Answer::Maybe
+        );
+    }
+
+    #[test]
+    fn lh_unknown_field_is_maybe() {
+        let t = llt_lh();
+        assert_eq!(
+            t.test_paths(&p("L.zzz_unknown"), &p("R"), Origin::Same),
+            Answer::Maybe
+        );
+    }
+
+    // ---- Hendren–Nicolau ----
+
+    #[test]
+    fn hn_precise_on_trees_including_closures() {
+        let t = HendrenNicolau::new(["L", "R"]);
+        assert_eq!(t.test_paths(&p("L.L"), &p("L.R"), Origin::Same), Answer::No);
+        // In a tree, L.(L|R)* and R.(L|R)* are disjoint subtree languages.
+        assert_eq!(
+            t.test_paths(&p("L.(L|R)*"), &p("R.(L|R)*"), Origin::Same),
+            Answer::No
+        );
+    }
+
+    #[test]
+    fn hn_gives_up_outside_tree() {
+        let t = HendrenNicolau::new(["L", "R"]);
+        assert_eq!(
+            t.test_paths(&p("L.L.N"), &p("L.R.N"), Origin::Same),
+            Answer::Maybe
+        );
+    }
+
+    // ---- APT adapter & head-to-head ----
+
+    #[test]
+    fn apt_wins_on_paper_examples() {
+        let llt = adds::leaf_linked_tree_axioms();
+        let apt = AptAdapter::new(&llt);
+        assert_eq!(
+            apt.test_paths(&p("L.L.N"), &p("L.R.N"), Origin::Same),
+            Answer::No
+        );
+        let sm = adds::sparse_matrix_minimal_axioms();
+        let apt = AptAdapter::new(&sm);
+        assert_eq!(
+            apt.test_paths(&p("ncolE+"), &p("nrowE+.ncolE+"), Origin::Same),
+            Answer::No
+        );
+    }
+
+    #[test]
+    fn apt_never_weaker_than_lh_on_tree_queries() {
+        // Spot-check the paper's claim ordering on the tree fragment.
+        let llt = adds::leaf_linked_tree_axioms();
+        let apt = AptAdapter::new(&llt);
+        let lh = llt_lh();
+        for (a, b) in [("L.L", "L.R"), ("L", "R"), ("L.L", "L.L.R")] {
+            let apt_ans = apt.test_paths(&p(a), &p(b), Origin::Same);
+            let lh_ans = lh.test_paths(&p(a), &p(b), Origin::Same);
+            if lh_ans == Answer::No {
+                assert_eq!(apt_ans, Answer::No, "APT weaker than LH on {a} vs {b}");
+            }
+        }
+    }
+}

@@ -1,0 +1,83 @@
+//! Ablation benches: what each prover rule family contributes, measured
+//! on the accuracy suite (DESIGN.md calls these out as the design-choice
+//! experiments).
+//!
+//! Each configuration runs the full query suite; alongside the timing,
+//! the bench asserts the expected *power* ordering once at setup: every
+//! ablated configuration stays sound and breaks at most as many false
+//! dependences as the full configuration.
+
+use apt_bench::accuracy::{family_axioms, suite, GroundTruth};
+use apt_core::{Origin, Prover, ProverConfig};
+use apt_regex::Path;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn run_suite(config: &ProverConfig) -> (usize, usize) {
+    let mut broken = 0;
+    let mut unsound = 0;
+    for case in suite() {
+        let axioms = family_axioms(case.family);
+        let mut prover = Prover::with_config(&axioms, config.clone());
+        let a = Path::parse(case.a).expect("path");
+        let b = Path::parse(case.b).expect("path");
+        if case.origin == Origin::Same && a == b && a.is_definite() {
+            continue; // a definite Yes, not a disjointness query
+        }
+        let no = prover.prove_disjoint(case.origin, &a, &b).is_some();
+        match (case.truth, no) {
+            (GroundTruth::Independent, true) => broken += 1,
+            (GroundTruth::Dependent, true) => unsound += 1,
+            _ => {}
+        }
+    }
+    (broken, unsound)
+}
+
+fn configs() -> Vec<(&'static str, ProverConfig)> {
+    let full = ProverConfig::default();
+    let mut no_decompose = full.clone();
+    no_decompose.enable_decompose = false;
+    let mut no_peels = full.clone();
+    no_peels.enable_tail_peel = false;
+    no_peels.enable_head_peel = false;
+    let mut no_closure = full.clone();
+    no_closure.enable_closure_peel = false;
+    vec![
+        ("full", full),
+        ("no_decompose", no_decompose),
+        ("no_peels", no_peels),
+        ("no_closure_induction", no_closure),
+        ("direct_axioms_only", ProverConfig::direct_only()),
+    ]
+}
+
+fn ablation(c: &mut Criterion) {
+    // Power check, printed once.
+    let mut reference = None;
+    for (name, config) in configs() {
+        let (broken, unsound) = run_suite(&config);
+        assert_eq!(unsound, 0, "{name} must stay sound");
+        eprintln!("ablation power: {name:<22} breaks {broken} false dependences");
+        match &reference {
+            None => reference = Some(broken),
+            Some(full_broken) => assert!(
+                broken <= *full_broken,
+                "{name} cannot beat the full configuration"
+            ),
+        }
+    }
+
+    let mut group = c.benchmark_group("ablation_suite");
+    for (name, config) in configs() {
+        group.bench_function(name, |bench| bench.iter(|| black_box(run_suite(&config))));
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = ablation
+}
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Criterion benches for the Figure 7 pipeline: the sparse kernels that
+//! generate the task traces, and the machine-model scheduling itself.
+
+use apt_bench::fig7::{classify, AnalysisKind};
+use apt_heaps::gen::random_sparse_matrix;
+use apt_heaps::numeric::{factor, scale, solve, LoopClassification};
+use apt_parsim::MachineModel;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn factor_kernel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7_factor");
+    group.sample_size(10);
+    for n in [100usize, 200, 400] {
+        let m0 = random_sparse_matrix(n, 10 * n, 1994);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter(|| {
+                let mut m = m0.clone();
+                black_box(factor(&mut m, LoopClassification::full()))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn scale_solve_kernels(c: &mut Criterion) {
+    let n = 400;
+    let m0 = random_sparse_matrix(n, 10 * n, 1994);
+    let b: Vec<f64> = (0..n).map(|i| (i % 7) as f64 + 1.0).collect();
+    let mut factored = m0.clone();
+    let fr = factor(&mut factored, LoopClassification::full());
+
+    let mut group = c.benchmark_group("fig7_linear_kernels");
+    group.bench_function("scale_400", |bench| {
+        bench.iter(|| {
+            let mut m = m0.clone();
+            black_box(scale(&mut m, 1.5, LoopClassification::full()))
+        })
+    });
+    group.bench_function("solve_400", |bench| {
+        bench.iter(|| black_box(solve(&factored, &fr.pivots, &b, LoopClassification::full())))
+    });
+    group.finish();
+}
+
+fn schedule_and_classify(c: &mut Criterion) {
+    let n = 200;
+    let mut m = random_sparse_matrix(n, 10 * n, 1994);
+    let fr = factor(&mut m, LoopClassification::full());
+
+    let mut group = c.benchmark_group("fig7_machinery");
+    group.bench_function("makespan_7pe", |bench| {
+        let machine = MachineModel {
+            pes: 7,
+            barrier_overhead: 200,
+        };
+        bench.iter(|| black_box(fr.trace.makespan_on(machine)))
+    });
+    // The analysis-driven loop classification (IR parse + APM analysis +
+    // APT proofs) — the compile-time cost of the whole §5 pipeline.
+    group.bench_function("classify_full", |bench| {
+        bench.iter(|| black_box(classify(AnalysisKind::Full)))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(15);
+    targets = factor_kernel, scale_solve_kernels, schedule_and_classify
+}
+criterion_main!(benches);

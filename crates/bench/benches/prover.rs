@@ -1,0 +1,79 @@
+//! Criterion benches for the APT prover itself: the paper's flagship
+//! queries, and the §4.2 scaling study over growing path lengths.
+
+use apt_bench::complexity::query_for;
+use apt_core::{Origin, Prover};
+use apt_regex::Path;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn flagship_queries(c: &mut Criterion) {
+    let llt = apt_axioms::adds::leaf_linked_tree_axioms();
+    let sm_min = apt_axioms::adds::sparse_matrix_minimal_axioms();
+    let sm_full = apt_axioms::adds::sparse_matrix_axioms();
+
+    let mut group = c.benchmark_group("flagship");
+    group.bench_function("section_3_3_LLN_vs_LRN", |b| {
+        let p = Path::parse("L.L.N").expect("path");
+        let q = Path::parse("L.R.N").expect("path");
+        b.iter(|| {
+            let mut prover = Prover::new(&llt);
+            black_box(prover.prove_disjoint(Origin::Same, black_box(&p), black_box(&q)))
+        })
+    });
+    group.bench_function("theorem_T_minimal_axioms", |b| {
+        let p = Path::parse("ncolE+").expect("path");
+        let q = Path::parse("nrowE+.ncolE+").expect("path");
+        b.iter(|| {
+            let mut prover = Prover::new(&sm_min);
+            black_box(prover.prove_disjoint(Origin::Same, black_box(&p), black_box(&q)))
+        })
+    });
+    group.bench_function("theorem_T_appendix_A", |b| {
+        let p = Path::parse("ncolE+").expect("path");
+        let q = Path::parse("nrowE+.ncolE+").expect("path");
+        b.iter(|| {
+            let mut prover = Prover::new(&sm_full);
+            black_box(prover.prove_disjoint(Origin::Same, black_box(&p), black_box(&q)))
+        })
+    });
+    group.bench_function("subtree_star_induction", |b| {
+        let axioms = apt_axioms::AxiomSet::parse(
+            "A1: forall p, p.L <> p.R\n\
+             A2: forall p <> q, p.(L|R) <> q.(L|R)\n\
+             A3: forall p, p.(L|R)+ <> p.eps",
+        )
+        .expect("parses");
+        let p = Path::parse("L.(L|R)*").expect("path");
+        let q = Path::parse("R.(L|R)*").expect("path");
+        b.iter(|| {
+            let mut prover = Prover::new(&axioms);
+            black_box(prover.prove_disjoint(Origin::Same, black_box(&p), black_box(&q)))
+        })
+    });
+    group.finish();
+}
+
+/// The §4.2 claim: practical cost grows as a low-degree polynomial in the
+/// combined path length.
+fn prover_scaling(c: &mut Criterion) {
+    let axioms = apt_axioms::adds::leaf_linked_tree_axioms();
+    let mut group = c.benchmark_group("prover_scaling");
+    for n in [4usize, 8, 16, 32, 64] {
+        let (a, b) = query_for(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter(|| {
+                let mut prover = Prover::new(&axioms);
+                black_box(prover.prove_disjoint(Origin::Same, black_box(&a), black_box(&b)))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = flagship_queries, prover_scaling
+}
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Criterion benches for the regular-expression substrate — the subset
+//! decision (`M1 ∩ ¬M2 = ∅`, [HU79]) the paper identifies as the
+//! dominant prover cost.
+
+use apt_regex::{dfa::Dfa, ops, parse, Regex};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn literal_chain(n: usize) -> Regex {
+    Regex::word((0..n).map(|i| if i % 2 == 0 { "L" } else { "N" }))
+}
+
+fn subset_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("regex_subset");
+    let closure = parse("(L|N|R)*").expect("regex");
+    for n in [4usize, 16, 64, 256] {
+        let chain = literal_chain(n);
+        group.bench_with_input(BenchmarkId::new("chain_in_closure", n), &n, |b, _| {
+            b.iter(|| black_box(ops::is_subset(black_box(&chain), black_box(&closure))))
+        });
+    }
+    group.finish();
+}
+
+fn paper_axiom_checks(c: &mut Criterion) {
+    let mut group = c.benchmark_group("regex_paper_ops");
+    let sparse_all = parse("(rows|cols|relem|celem|nrowH|ncolH|nrowE|ncolE)+").expect("regex");
+    let rows = parse("nrowE+.ncolE*").expect("regex");
+    group.bench_function("appendix_a_acyclicity_subset", |b| {
+        b.iter(|| black_box(ops::is_subset(black_box(&rows), black_box(&sparse_all))))
+    });
+    let a = parse("(L|R)+.N+").expect("regex");
+    group.bench_function("conservative_self_intersection", |b| {
+        b.iter(|| black_box(ops::is_disjoint(black_box(&a), black_box(&a))))
+    });
+    group.bench_function("dfa_build_appendix_alphabet", |b| {
+        let alpha = sparse_all.symbols();
+        b.iter(|| black_box(Dfa::build(black_box(&sparse_all), &alpha)))
+    });
+    group.finish();
+}
+
+fn minimization(c: &mut Criterion) {
+    let re = parse("((L|R).(L|R))*.N.(L|R)+").expect("regex");
+    let alpha = re.symbols();
+    let dfa = Dfa::build(&re, &alpha);
+    c.bench_function("regex_minimize", |b| b.iter(|| black_box(dfa.minimize())));
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = subset_scaling, paper_axiom_checks, minimization
+}
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Regenerates the qualitative comparisons of §2.4/§3.3/§5: APT versus
+//! the k-limited, Larus–Hilfinger, and Hendren–Nicolau baselines on a
+//! query suite with known ground truth.
+//!
+//! ```text
+//! cargo run -p apt-bench --bin table_accuracy
+//! ```
+
+use apt_bench::accuracy::{klimited_iteration_table, run, suite, tester_names, GroundTruth};
+
+fn main() {
+    let cases = suite();
+    let columns = run();
+    let names = tester_names();
+
+    println!("== Dependence-test accuracy comparison ==");
+    print!("{:<44} {:<6}", "query", "truth");
+    for n in &names {
+        print!(" {:<16}", n);
+    }
+    println!();
+    for (i, case) in cases.iter().enumerate() {
+        let truth = match case.truth {
+            GroundTruth::Independent => "indep",
+            GroundTruth::Dependent => "dep",
+        };
+        print!("{:<44} {:<6}", case.name, truth);
+        for col in &columns {
+            print!(" {:<16}", col.answers[i].to_string());
+        }
+        println!();
+    }
+    println!();
+    println!("== §2.3: k-limited proves only the first k iterations independent ==");
+    println!("(Figure 1 list-update loop; iterations i vs j = i+1)");
+    println!(
+        "{:<10} {:<16} {:<16} {:<8}",
+        "i vs j", "k-limited (k=2)", "k-limited (k=4)", "APT"
+    );
+    for (i, j, kl, apt) in klimited_iteration_table(&[2, 4], 6) {
+        println!(
+            "{:<10} {:<16} {:<16} {:<8}",
+            format!("{i} vs {j}"),
+            kl[0].to_string(),
+            kl[1].to_string(),
+            apt.to_string()
+        );
+    }
+
+    println!();
+    let independent_total = cases
+        .iter()
+        .filter(|c| c.truth == GroundTruth::Independent)
+        .count();
+    println!("== False dependences broken (of {independent_total} breakable) ==");
+    for col in &columns {
+        println!(
+            "{:<18} {:>2}/{} broken, {} unsound answers",
+            col.tester, col.correct_no, independent_total, col.unsound
+        );
+    }
+}

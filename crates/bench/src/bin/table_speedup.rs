@@ -1,0 +1,75 @@
+//! Regenerates **Figure 7** of the paper: sparse-matrix speedups on 2/4/7
+//! PEs under the partial and full analyses.
+//!
+//! ```text
+//! cargo run --release -p apt-bench --bin table_speedup [n] [nnz]
+//! ```
+
+use apt_bench::fig7::{run, Fig7Config};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let n: usize = args
+        .next()
+        .map(|a| a.parse().expect("n must be a number"))
+        .unwrap_or(1000);
+    let nnz: usize = args
+        .next()
+        .map(|a| a.parse().expect("nnz must be a number"))
+        .unwrap_or(10_000);
+
+    let config = Fig7Config {
+        n,
+        nnz,
+        ..Fig7Config::default()
+    };
+    eprintln!(
+        "running Figure 7 workload: {}x{} sparse matrix, N={} nonzeros (seed {}) ...",
+        config.n, config.n, config.nnz, config.seed
+    );
+    let result = run(&config);
+
+    println!("== Dependence decisions (analysis-driven loop classification) ==");
+    println!("-- partial analysis --");
+    for q in &result.partial_queries {
+        println!(
+            "  [{:>6}] {:<28} {}",
+            q.answer.to_string(),
+            q.loop_name,
+            q.query
+        );
+    }
+    println!("-- full analysis --");
+    for q in &result.full_queries {
+        println!(
+            "  [{:>6}] {:<28} {}",
+            q.answer.to_string(),
+            q.loop_name,
+            q.query
+        );
+    }
+    println!();
+    println!(
+        "== Figure 7: sparse matrix speedup results ({}x{}, N={}, {} fillins) ==",
+        config.n, config.n, config.nnz, result.fillins
+    );
+    println!("{:<36} {:>14} {:>14} {:>14}", "", "2 PEs", "4 PEs", "7 PEs");
+    for row in &result.rows {
+        let cells: Vec<String> = row
+            .speedups
+            .iter()
+            .zip(&row.paper)
+            .map(|((_, s), (_, p))| format!("{s:>5.1} (paper {p:.1})"))
+            .collect();
+        println!("{:<36} {}", row.label, cells.join(" "));
+    }
+    println!();
+    println!(
+        "shape checks: full > partial at 7 PEs: {}; all rows sub-linear: {}",
+        result.rows[2].speedups.last().unwrap().1 > result.rows[0].speedups.last().unwrap().1,
+        result
+            .rows
+            .iter()
+            .all(|r| r.speedups.iter().all(|(p, s)| *s < *p as f64))
+    );
+}

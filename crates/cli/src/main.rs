@@ -1,0 +1,13 @@
+//! Thin entry point for the `apt` CLI; all logic lives in the library so
+//! it is unit-testable.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match apt_cli::run(&args) {
+        Ok(text) => print!("{text}"),
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    }
+}

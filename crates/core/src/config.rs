@@ -1,0 +1,133 @@
+//! Prover configuration and statistics.
+//!
+//! §4.2 of the paper: "the proof process can be pruned heuristically and
+//! cutoff points set, allowing a tradeoff between accuracy and efficiency.
+//! This may even be user controllable, e.g. via a compiler option."
+//! [`ProverConfig`] is that compiler option; the individual rule switches
+//! additionally drive the ablation benchmarks.
+
+/// Tunable limits and rule switches for the [`crate::Prover`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProverConfig {
+    /// Total number of goal attempts before the prover gives up (returns
+    /// Maybe). Guards against pathological axiom sets.
+    pub fuel: u64,
+    /// Maximum proof-tree depth.
+    pub max_depth: usize,
+    /// Maximum number of equality-axiom rewrites along one branch.
+    pub max_rewrites: usize,
+    /// Enable the suffix-decomposition rule (the core of `proveDisj`).
+    pub enable_decompose: bool,
+    /// Enable single-field tail peeling via injectivity axioms.
+    pub enable_tail_peel: bool,
+    /// Enable head peeling of common definite fields.
+    pub enable_head_peel: bool,
+    /// Enable the Kleene-run induction rules (closure peels).
+    pub enable_closure_peel: bool,
+    /// Enable alternation splitting.
+    pub enable_alt_split: bool,
+    /// Enable rewriting with equality axioms.
+    pub enable_rewrite: bool,
+}
+
+impl ProverConfig {
+    /// The default, fully-enabled configuration.
+    pub fn new() -> ProverConfig {
+        ProverConfig {
+            fuel: 100_000,
+            max_depth: 64,
+            max_rewrites: 4,
+            enable_decompose: true,
+            enable_tail_peel: true,
+            enable_head_peel: true,
+            enable_closure_peel: true,
+            enable_alt_split: true,
+            enable_rewrite: true,
+        }
+    }
+
+    /// A configuration with every rule except direct axiom application
+    /// disabled — approximates a pure "intersect the path expressions"
+    /// tester and is used by the ablation benches.
+    pub fn direct_only() -> ProverConfig {
+        ProverConfig {
+            enable_decompose: false,
+            enable_tail_peel: false,
+            enable_head_peel: false,
+            enable_closure_peel: false,
+            enable_alt_split: false,
+            enable_rewrite: false,
+            ..ProverConfig::new()
+        }
+    }
+}
+
+impl Default for ProverConfig {
+    fn default() -> Self {
+        ProverConfig::new()
+    }
+}
+
+/// Counters describing one prover run; the §4.2 complexity experiment
+/// reports these.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ProverStats {
+    /// Goals attempted (cache misses).
+    pub goals_attempted: u64,
+    /// Goals answered from the proof cache.
+    pub cache_hits: u64,
+    /// Regular-expression subset tests performed (the dominant cost per
+    /// §4.2).
+    pub subset_checks: u64,
+    /// Goals abandoned because fuel or depth ran out.
+    pub cutoffs: u64,
+}
+
+impl ProverStats {
+    /// Adds another run's counters into this one.
+    pub fn merge(&mut self, other: &ProverStats) {
+        self.goals_attempted += other.goals_attempted;
+        self.cache_hits += other.cache_hits;
+        self.subset_checks += other.subset_checks;
+        self.cutoffs += other.cutoffs;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_enables_everything() {
+        let c = ProverConfig::default();
+        assert!(c.enable_decompose && c.enable_tail_peel && c.enable_closure_peel);
+        assert!(c.fuel > 0);
+    }
+
+    #[test]
+    fn direct_only_disables_structural_rules() {
+        let c = ProverConfig::direct_only();
+        assert!(!c.enable_decompose);
+        assert!(!c.enable_tail_peel);
+    }
+
+    #[test]
+    fn stats_merge_adds() {
+        let mut a = ProverStats {
+            goals_attempted: 1,
+            cache_hits: 2,
+            subset_checks: 3,
+            cutoffs: 0,
+        };
+        a.merge(&ProverStats {
+            goals_attempted: 10,
+            cache_hits: 20,
+            subset_checks: 30,
+            cutoffs: 1,
+        });
+        assert_eq!(a.goals_attempted, 11);
+        assert_eq!(a.cache_hits, 22);
+        assert_eq!(a.subset_checks, 33);
+        assert_eq!(a.cutoffs, 1);
+    }
+}

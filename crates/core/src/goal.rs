@@ -1,0 +1,111 @@
+//! Proof goals.
+//!
+//! Every intermediate statement the prover manipulates is a *disjointness
+//! goal*: either `∀x, x.A <> x.B` (the two path sets never meet when rooted
+//! at a common vertex) or `∀x<>y, x.A <> y.B` (never meet when rooted at
+//! distinct vertices). These correspond one-to-one to the two theorem forms
+//! of the paper's `proveDisj` steps A and B (Figure 5).
+
+use apt_regex::Path;
+use std::fmt;
+
+/// The origin relationship between the two paths of a goal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Origin {
+    /// Both paths start at the same (universally quantified) vertex.
+    Same,
+    /// The paths start at distinct vertices.
+    Distinct,
+}
+
+/// A disjointness goal `∀x[,y], x.a <> [x|y].b`.
+///
+/// Disjointness is symmetric, so goals are kept in a canonical order (the
+/// lexicographically smaller rendering first); this halves the proof cache.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Goal {
+    origin: Origin,
+    a: Path,
+    b: Path,
+}
+
+impl Goal {
+    /// Creates a goal, canonicalizing the symmetric path order.
+    pub fn new(origin: Origin, a: Path, b: Path) -> Goal {
+        let (a, b) = if format!("{a}") <= format!("{b}") {
+            (a, b)
+        } else {
+            (b, a)
+        };
+        Goal { origin, a, b }
+    }
+
+    /// The origin relationship.
+    pub fn origin(&self) -> Origin {
+        self.origin
+    }
+
+    /// The first path (canonical order).
+    pub fn a(&self) -> &Path {
+        &self.a
+    }
+
+    /// The second path (canonical order).
+    pub fn b(&self) -> &Path {
+        &self.b
+    }
+
+    /// Total component count of both paths — the recursion measure used by
+    /// the fuel accounting.
+    pub fn weight(&self) -> usize {
+        self.a.size() + self.b.size()
+    }
+}
+
+impl fmt::Display for Goal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.origin {
+            Origin::Same => write!(f, "forall x, x.{} <> x.{}", self.a, self.b),
+            Origin::Distinct => write!(f, "forall x <> y, x.{} <> y.{}", self.a, self.b),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn goals_canonicalize_symmetrically() {
+        let p = Path::parse("L.L.N").unwrap();
+        let q = Path::parse("L.R.N").unwrap();
+        let g1 = Goal::new(Origin::Same, p.clone(), q.clone());
+        let g2 = Goal::new(Origin::Same, q, p);
+        assert_eq!(g1, g2);
+    }
+
+    #[test]
+    fn origin_distinguishes_goals() {
+        let p = Path::parse("L").unwrap();
+        let q = Path::parse("R").unwrap();
+        let g1 = Goal::new(Origin::Same, p.clone(), q.clone());
+        let g2 = Goal::new(Origin::Distinct, p, q);
+        assert_ne!(g1, g2);
+    }
+
+    #[test]
+    fn display_forms() {
+        let g = Goal::new(
+            Origin::Same,
+            Path::parse("L").unwrap(),
+            Path::parse("R").unwrap(),
+        );
+        assert_eq!(g.to_string(), "forall x, x.L <> x.R");
+        let d = Goal::new(
+            Origin::Distinct,
+            Path::parse("N").unwrap(),
+            Path::parse("N").unwrap(),
+        );
+        assert_eq!(d.to_string(), "forall x <> y, x.N <> y.N");
+    }
+}

@@ -1,0 +1,98 @@
+//! Dense Gaussian elimination — the reference implementation the sparse
+//! kernels are validated against.
+
+#![allow(clippy::needless_range_loop)] // index couples several arrays
+
+/// Solves `A x = b` by dense LU with partial pivoting. Returns `None` when
+/// the matrix is (near-)singular.
+///
+/// ```
+/// let a = vec![vec![2.0, 1.0], vec![1.0, 3.0]];
+/// let x = apt_heaps::dense::solve_dense(&a, &[3.0, 4.0]).unwrap();
+/// assert!((x[0] - 1.0).abs() < 1e-12 && (x[1] - 1.0).abs() < 1e-12);
+/// ```
+pub fn solve_dense(a: &[Vec<f64>], b: &[f64]) -> Option<Vec<f64>> {
+    let n = a.len();
+    assert_eq!(b.len(), n, "rhs length mismatch");
+    let mut m: Vec<Vec<f64>> = a.to_vec();
+    let mut rhs = b.to_vec();
+
+    for k in 0..n {
+        // Partial pivot.
+        let (pivot_row, pivot_val) = (k..n)
+            .map(|r| (r, m[r][k].abs()))
+            .max_by(|x, y| x.1.total_cmp(&y.1))?;
+        if pivot_val < 1e-12 {
+            return None;
+        }
+        m.swap(k, pivot_row);
+        rhs.swap(k, pivot_row);
+        for r in k + 1..n {
+            let mult = m[r][k] / m[k][k];
+            if mult == 0.0 {
+                continue;
+            }
+            for c in k..n {
+                m[r][c] -= mult * m[k][c];
+            }
+            rhs[r] -= mult * rhs[k];
+        }
+    }
+    // Back substitution.
+    let mut x = vec![0.0; n];
+    for k in (0..n).rev() {
+        let mut acc = rhs[k];
+        for c in k + 1..n {
+            acc -= m[k][c] * x[c];
+        }
+        x[k] = acc / m[k][k];
+    }
+    Some(x)
+}
+
+/// Dense matrix–vector product.
+pub fn matvec(a: &[Vec<f64>], x: &[f64]) -> Vec<f64> {
+    a.iter()
+        .map(|row| row.iter().zip(x).map(|(aij, xj)| aij * xj).sum())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solves_identity() {
+        let a = vec![vec![1.0, 0.0], vec![0.0, 1.0]];
+        let x = solve_dense(&a, &[3.0, -4.0]).unwrap();
+        assert_eq!(x, vec![3.0, -4.0]);
+    }
+
+    #[test]
+    fn solves_with_pivoting() {
+        // Leading zero forces a row swap.
+        let a = vec![vec![0.0, 1.0], vec![1.0, 0.0]];
+        let x = solve_dense(&a, &[5.0, 7.0]).unwrap();
+        assert_eq!(x, vec![7.0, 5.0]);
+    }
+
+    #[test]
+    fn rejects_singular() {
+        let a = vec![vec![1.0, 2.0], vec![2.0, 4.0]];
+        assert_eq!(solve_dense(&a, &[1.0, 2.0]), None);
+    }
+
+    #[test]
+    fn residual_check_on_random_system() {
+        let a = vec![
+            vec![10.0, 1.0, 2.0],
+            vec![-1.0, 8.0, 0.5],
+            vec![3.0, -2.0, 12.0],
+        ];
+        let b = vec![1.0, 2.0, 3.0];
+        let x = solve_dense(&a, &b).unwrap();
+        for (ri, bi) in matvec(&a, &x).iter().zip(&b) {
+            assert!((ri - bi).abs() < 1e-10);
+        }
+    }
+}

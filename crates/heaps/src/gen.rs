@@ -1,0 +1,181 @@
+//! Random structure generators for the soundness property tests.
+//!
+//! Each generator produces heaps guaranteed (by construction) to satisfy a
+//! known axiom family, so the test suite can check the central soundness
+//! invariant: whenever APT answers **No**, the two access paths never meet
+//! on any generated heap.
+
+use crate::sparse::SparseMatrix;
+use apt_axioms::graph::{HeapGraph, NodeId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A random binary tree over `L`/`R` with `n` nodes (uniform attachment),
+/// returning the graph and its root.
+pub fn random_binary_tree(n: usize, seed: u64) -> (HeapGraph, NodeId) {
+    assert!(n > 0, "tree needs at least one node");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = HeapGraph::new();
+    let root = g.add_node();
+    // Nodes with a free L or R slot.
+    let mut open: Vec<(NodeId, bool, bool)> = vec![(root, true, true)];
+    for _ in 1..n {
+        let idx = rng.gen_range(0..open.len());
+        let (parent, l_free, r_free) = open[idx];
+        let child = g.add_node();
+        let took_left = if l_free && r_free {
+            rng.gen_bool(0.5)
+        } else {
+            l_free
+        };
+        if took_left {
+            g.set_edge(parent, "L", child);
+            open[idx].1 = false;
+        } else {
+            g.set_edge(parent, "R", child);
+            open[idx].2 = false;
+        }
+        if !open[idx].1 && !open[idx].2 {
+            open.swap_remove(idx);
+        }
+        open.push((child, true, true));
+    }
+    (g, root)
+}
+
+/// A random leaf-linked binary tree: a random tree whose leaves are
+/// threaded left-to-right with `N`.
+pub fn random_leaf_linked_tree(n: usize, seed: u64) -> (HeapGraph, NodeId) {
+    let (mut g, root) = random_binary_tree(n, seed);
+    let leaves = leaves_in_order(&g, root);
+    for w in leaves.windows(2) {
+        g.set_edge(w[0], "N", w[1]);
+    }
+    (g, root)
+}
+
+fn leaves_in_order(g: &HeapGraph, root: NodeId) -> Vec<NodeId> {
+    let mut out = Vec::new();
+    fn walk(g: &HeapGraph, v: NodeId, out: &mut Vec<NodeId>) {
+        let l = g.edge(v, "L");
+        let r = g.edge(v, "R");
+        if l.is_none() && r.is_none() {
+            out.push(v);
+            return;
+        }
+        if let Some(l) = l {
+            walk(g, l, out);
+        }
+        if let Some(r) = r {
+            walk(g, r, out);
+        }
+    }
+    walk(g, root, &mut out);
+    out
+}
+
+/// A random nil-terminated singly linked list of `n` cells over `next`.
+pub fn random_list(n: usize, _seed: u64) -> (HeapGraph, NodeId) {
+    assert!(n > 0, "list needs at least one cell");
+    let mut g = HeapGraph::new();
+    let cells = g.add_nodes(n);
+    for w in cells.windows(2) {
+        g.set_edge(w[0], "next", w[1]);
+    }
+    (g, cells[0])
+}
+
+/// A random sparse matrix with `n` rows/columns, a full diagonal, and
+/// roughly `extra` additional off-diagonal nonzeros placed within a narrow
+/// band around the diagonal — the locality structure of circuit matrices
+/// (a flat uniform scatter would fill in catastrophically under
+/// elimination, which real netlists do not).
+pub fn random_sparse_matrix(n: usize, extra: usize, seed: u64) -> SparseMatrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut m = SparseMatrix::new(n);
+    for i in 0..n {
+        // Strong diagonal keeps factorization numerically boring.
+        m.set(i, i, 100.0 + rng.gen_range(0.0..10.0));
+    }
+    if n < 2 {
+        return m;
+    }
+    let band = (2 * extra / n).max(2).min(n - 1) as i64;
+    for k in 0..extra {
+        let r = rng.gen_range(0..n) as i64;
+        // Mostly local coupling, with ~3% long-range entries
+        // (power/clock nets span the whole circuit).
+        let c = if k % 33 == 0 {
+            rng.gen_range(0..n) as i64
+        } else {
+            r + rng.gen_range(-band..=band)
+        };
+        if c != r && c >= 0 && (c as usize) < n {
+            m.set(r as usize, c as usize, rng.gen_range(-2.0..2.0));
+        }
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apt_axioms::{adds, check::check_set, AxiomSet};
+
+    #[test]
+    fn random_trees_satisfy_tree_axioms() {
+        let axioms = AxiomSet::parse(
+            "A1: forall p, p.L <> p.R\n\
+             A2: forall p <> q, p.(L|R) <> q.(L|R)\n\
+             A4: forall p, p.(L|R)+ <> p.eps",
+        )
+        .unwrap();
+        for seed in 0..10 {
+            let (g, _) = random_binary_tree(12, seed);
+            assert_eq!(check_set(&g, &axioms), Ok(()), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn random_llts_satisfy_figure3_axioms() {
+        for seed in 0..10 {
+            let (g, _) = random_leaf_linked_tree(15, seed);
+            assert_eq!(
+                check_set(&g, &adds::leaf_linked_tree_axioms()),
+                Ok(()),
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn random_lists_satisfy_list_axioms() {
+        let axioms = AxiomSet::parse(
+            "A1: forall p <> q, p.next <> q.next\n\
+             A2: forall p, p.next+ <> p.eps",
+        )
+        .unwrap();
+        let (g, _) = random_list(20, 0);
+        assert_eq!(check_set(&g, &axioms), Ok(()));
+    }
+
+    #[test]
+    fn random_sparse_matrices_satisfy_appendix_a() {
+        for seed in 0..5 {
+            let m = random_sparse_matrix(6, 8, seed);
+            let (g, _) = m.heap_graph();
+            assert_eq!(
+                check_set(&g, &adds::sparse_matrix_axioms()),
+                Ok(()),
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        let a = random_sparse_matrix(8, 10, 42).to_dense();
+        let b = random_sparse_matrix(8, 10, 42).to_dense();
+        assert_eq!(a, b);
+    }
+}

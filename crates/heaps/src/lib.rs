@@ -1,0 +1,36 @@
+//! Concrete heap substrates for the APT reproduction.
+//!
+//! The paper's evaluation exercises real pointer structures; this crate
+//! builds them:
+//!
+//! * [`llt`] — leaf-linked binary trees (Figure 3, the §3 running
+//!   example);
+//! * [`list`] — singly/doubly/circular linked lists (Figure 1's motivating
+//!   loop);
+//! * [`sparse`] — sparse matrices as orthogonal lists (Figure 6), with
+//! * [`numeric`] — the §5 `scale`/`factor`/`solve` kernels, instrumented
+//!   to emit `apt-parsim` task traces for the Figure 7 speedup study;
+//! * [`dense`] — the dense reference solver the sparse kernels validate
+//!   against;
+//! * [`rangetree`] — 2-D range trees (leaf-linked trees of leaf-linked
+//!   trees, §3.1);
+//! * [`octree`] — Barnes–Hut octrees (§1's N-body motivation);
+//! * [`gen`] — random structure generators for the soundness property
+//!   tests.
+//!
+//! Every structure exports its shape as an [`apt_axioms::graph::HeapGraph`]
+//! so the axiom model checker can verify that the instances really satisfy
+//! the axiom sets the prover is given — the ground-truth side of the
+//! reproduction's soundness story.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dense;
+pub mod gen;
+pub mod list;
+pub mod llt;
+pub mod numeric;
+pub mod octree;
+pub mod rangetree;
+pub mod sparse;

@@ -1,0 +1,225 @@
+//! Linked lists: singly, doubly, and circular variants.
+//!
+//! The paper's Figure 1 motivates the whole problem with a linked-list
+//! update loop; these arena lists provide concrete instances for the
+//! examples and for axiom model checking (listness `∀p<>q, p.next <>
+//! q.next`, acyclicity, and the doubly-linked cycle law `next.prev = ε`).
+
+#![allow(clippy::needless_range_loop)] // index couples several arrays
+
+use apt_axioms::graph::{HeapGraph, NodeId as GraphNode};
+
+/// Index of a list cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CellId(pub usize);
+
+/// The list shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ListKind {
+    /// `next` only, nil-terminated.
+    Singly,
+    /// `next`/`prev`, nil-terminated.
+    Doubly,
+    /// `next`/`prev`, last cell links back to the first.
+    CircularDoubly,
+}
+
+/// One cell.
+#[derive(Debug, Clone)]
+pub struct Cell {
+    /// Next cell.
+    pub next: Option<CellId>,
+    /// Previous cell (doubly-linked variants).
+    pub prev: Option<CellId>,
+    /// Payload.
+    pub data: f64,
+}
+
+/// An arena-allocated linked list.
+#[derive(Debug, Clone)]
+pub struct List {
+    kind: ListKind,
+    cells: Vec<Cell>,
+    head: Option<CellId>,
+}
+
+impl List {
+    /// Builds a list of `len` cells with data `0, 1, 2, …`.
+    pub fn build(kind: ListKind, len: usize) -> List {
+        let mut cells: Vec<Cell> = (0..len)
+            .map(|i| Cell {
+                next: None,
+                prev: None,
+                data: i as f64,
+            })
+            .collect();
+        for i in 0..len {
+            if i + 1 < len {
+                cells[i].next = Some(CellId(i + 1));
+            }
+            if matches!(kind, ListKind::Doubly | ListKind::CircularDoubly) && i > 0 {
+                cells[i].prev = Some(CellId(i - 1));
+            }
+        }
+        if kind == ListKind::CircularDoubly && len > 0 {
+            cells[len - 1].next = Some(CellId(0));
+            cells[0].prev = Some(CellId(len - 1));
+        }
+        List {
+            kind,
+            cells,
+            head: if len > 0 { Some(CellId(0)) } else { None },
+        }
+    }
+
+    /// The list shape.
+    pub fn kind(&self) -> ListKind {
+        self.kind
+    }
+
+    /// The head cell.
+    pub fn head(&self) -> Option<CellId> {
+        self.head
+    }
+
+    /// Number of cells.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Whether the list has no cells.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Shared access to a cell.
+    pub fn cell(&self, id: CellId) -> &Cell {
+        &self.cells[id.0]
+    }
+
+    /// Mutable access to a cell's payload.
+    pub fn data_mut(&mut self, id: CellId) -> &mut f64 {
+        &mut self.cells[id.0].data
+    }
+
+    /// Iterates from the head following `next`, visiting each cell once.
+    pub fn iter(&self) -> ListIter<'_> {
+        ListIter {
+            list: self,
+            cur: self.head,
+            seen: 0,
+        }
+    }
+
+    /// Exports as a labeled heap graph (fields `next`, `prev`).
+    pub fn heap_graph(&self) -> (HeapGraph, Option<GraphNode>) {
+        let mut g = HeapGraph::new();
+        let ids: Vec<GraphNode> = self.cells.iter().map(|_| g.add_node()).collect();
+        for (i, c) in self.cells.iter().enumerate() {
+            if let Some(n) = c.next {
+                g.set_edge(ids[i], "next", ids[n.0]);
+            }
+            if let Some(p) = c.prev {
+                g.set_edge(ids[i], "prev", ids[p.0]);
+            }
+        }
+        (g, self.head.map(|h| ids[h.0]))
+    }
+}
+
+/// Iterator over a list's cells (bounded to one lap on circular lists).
+#[derive(Debug)]
+pub struct ListIter<'a> {
+    list: &'a List,
+    cur: Option<CellId>,
+    seen: usize,
+}
+
+impl Iterator for ListIter<'_> {
+    type Item = CellId;
+
+    fn next(&mut self) -> Option<CellId> {
+        if self.seen >= self.list.len() {
+            return None;
+        }
+        let id = self.cur?;
+        self.seen += 1;
+        self.cur = self.list.cell(id).next;
+        Some(id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apt_axioms::{check::check_set, AxiomSet};
+
+    fn singly_axioms() -> AxiomSet {
+        AxiomSet::parse(
+            "A1: forall p <> q, p.next <> q.next\n\
+             A2: forall p, p.next+ <> p.eps",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn build_and_iterate() {
+        let l = List::build(ListKind::Singly, 5);
+        let data: Vec<f64> = l.iter().map(|id| l.cell(id).data).collect();
+        assert_eq!(data, vec![0.0, 1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn singly_list_satisfies_list_axioms() {
+        let l = List::build(ListKind::Singly, 6);
+        let (g, _) = l.heap_graph();
+        assert_eq!(check_set(&g, &singly_axioms()), Ok(()));
+    }
+
+    #[test]
+    fn circular_list_violates_acyclicity_but_keeps_listness() {
+        let l = List::build(ListKind::CircularDoubly, 4);
+        let (g, _) = l.heap_graph();
+        // Listness still holds…
+        let listness = AxiomSet::parse("forall p <> q, p.next <> q.next").unwrap();
+        assert_eq!(check_set(&g, &listness), Ok(()));
+        // …acyclicity does not.
+        assert!(check_set(&g, &singly_axioms()).is_err());
+    }
+
+    #[test]
+    fn circular_doubly_satisfies_cycle_law() {
+        let l = List::build(ListKind::CircularDoubly, 5);
+        let (g, _) = l.heap_graph();
+        let law = AxiomSet::parse(
+            "C1: forall p, p.next.prev = p.eps\n\
+             C2: forall p, p.prev.next = p.eps",
+        )
+        .unwrap();
+        assert_eq!(check_set(&g, &law), Ok(()));
+    }
+
+    #[test]
+    fn doubly_linked_prev_matches_next() {
+        let l = List::build(ListKind::Doubly, 4);
+        for id in l.iter() {
+            if let Some(n) = l.cell(id).next {
+                assert_eq!(l.cell(n).prev, Some(id));
+            }
+        }
+    }
+
+    #[test]
+    fn circular_iteration_is_bounded() {
+        let l = List::build(ListKind::CircularDoubly, 3);
+        assert_eq!(l.iter().count(), 3);
+    }
+
+    #[test]
+    fn empty_list() {
+        let l = List::build(ListKind::Singly, 0);
+        assert!(l.is_empty());
+        assert_eq!(l.iter().count(), 0);
+        assert_eq!(l.head(), None);
+    }
+}

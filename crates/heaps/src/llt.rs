@@ -1,0 +1,227 @@
+//! Leaf-linked binary trees (Figure 3 of the paper).
+//!
+//! A binary tree over `L`/`R` whose leaves are additionally threaded into a
+//! list by `N` — the structure used in N-body simulations \[BH86\] and the
+//! running example of §3. Arena-allocated, with data payloads, traversals,
+//! and a [`HeapGraph`] export for axiom model checking.
+
+use apt_axioms::graph::{HeapGraph, NodeId as GraphNode};
+
+/// Index of a tree node in the arena.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub usize);
+
+/// One node of a leaf-linked binary tree.
+#[derive(Debug, Clone)]
+pub struct Node {
+    /// Left child.
+    pub left: Option<NodeId>,
+    /// Right child.
+    pub right: Option<NodeId>,
+    /// Next leaf (only set on leaves).
+    pub next: Option<NodeId>,
+    /// Payload.
+    pub data: f64,
+}
+
+/// A leaf-linked binary tree.
+#[derive(Debug, Clone, Default)]
+pub struct LeafLinkedTree {
+    nodes: Vec<Node>,
+    root: Option<NodeId>,
+}
+
+impl LeafLinkedTree {
+    /// An empty tree.
+    pub fn new() -> LeafLinkedTree {
+        LeafLinkedTree::default()
+    }
+
+    /// Builds a complete tree of the given depth (`depth = 0` is a single
+    /// leaf), leaves linked left-to-right, with data initialized to 0.
+    pub fn complete(depth: usize) -> LeafLinkedTree {
+        let mut t = LeafLinkedTree::new();
+        let root = t.build_complete(depth);
+        t.root = Some(root);
+        let leaves = t.leaves();
+        for w in leaves.windows(2) {
+            t.nodes[w[0].0].next = Some(w[1]);
+        }
+        t
+    }
+
+    fn build_complete(&mut self, depth: usize) -> NodeId {
+        if depth == 0 {
+            return self.push(Node {
+                left: None,
+                right: None,
+                next: None,
+                data: 0.0,
+            });
+        }
+        let l = self.build_complete(depth - 1);
+        let r = self.build_complete(depth - 1);
+        self.push(Node {
+            left: Some(l),
+            right: Some(r),
+            next: None,
+            data: 0.0,
+        })
+    }
+
+    fn push(&mut self, node: Node) -> NodeId {
+        self.nodes.push(node);
+        NodeId(self.nodes.len() - 1)
+    }
+
+    /// The root, if the tree is nonempty.
+    pub fn root(&self) -> Option<NodeId> {
+        self.root
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the tree has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Shared access to a node.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.0]
+    }
+
+    /// Mutable access to a node's payload.
+    pub fn data_mut(&mut self, id: NodeId) -> &mut f64 {
+        &mut self.nodes[id.0].data
+    }
+
+    /// Whether `id` is a leaf.
+    pub fn is_leaf(&self, id: NodeId) -> bool {
+        let n = &self.nodes[id.0];
+        n.left.is_none() && n.right.is_none()
+    }
+
+    /// The leaves in left-to-right order (by tree walk).
+    pub fn leaves(&self) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        if let Some(root) = self.root {
+            self.collect_leaves(root, &mut out);
+        }
+        out
+    }
+
+    fn collect_leaves(&self, id: NodeId, out: &mut Vec<NodeId>) {
+        let n = &self.nodes[id.0];
+        match (n.left, n.right) {
+            (None, None) => out.push(id),
+            (l, r) => {
+                if let Some(l) = l {
+                    self.collect_leaves(l, out);
+                }
+                if let Some(r) = r {
+                    self.collect_leaves(r, out);
+                }
+            }
+        }
+    }
+
+    /// Walks a field word (`"L"`, `"R"`, `"N"`) from a node.
+    pub fn walk(&self, from: NodeId, word: &str) -> Option<NodeId> {
+        let mut cur = from;
+        for ch in word.chars() {
+            let n = &self.nodes[cur.0];
+            cur = match ch {
+                'L' => n.left?,
+                'R' => n.right?,
+                'N' => n.next?,
+                other => panic!("unknown field {other:?}"),
+            };
+        }
+        Some(cur)
+    }
+
+    /// Exports as a labeled heap graph (fields `L`, `R`, `N`).
+    pub fn heap_graph(&self) -> (HeapGraph, Option<GraphNode>) {
+        let mut g = HeapGraph::new();
+        let ids: Vec<GraphNode> = self.nodes.iter().map(|_| g.add_node()).collect();
+        for (i, n) in self.nodes.iter().enumerate() {
+            if let Some(l) = n.left {
+                g.set_edge(ids[i], "L", ids[l.0]);
+            }
+            if let Some(r) = n.right {
+                g.set_edge(ids[i], "R", ids[r.0]);
+            }
+            if let Some(nx) = n.next {
+                g.set_edge(ids[i], "N", ids[nx.0]);
+            }
+        }
+        (g, self.root.map(|r| ids[r.0]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apt_axioms::{adds, check::check_set};
+
+    #[test]
+    fn complete_tree_counts() {
+        let t = LeafLinkedTree::complete(3);
+        assert_eq!(t.len(), 15);
+        assert_eq!(t.leaves().len(), 8);
+    }
+
+    #[test]
+    fn leaves_are_threaded() {
+        let t = LeafLinkedTree::complete(2);
+        let leaves = t.leaves();
+        for w in leaves.windows(2) {
+            assert_eq!(t.node(w[0]).next, Some(w[1]));
+        }
+        assert_eq!(t.node(*leaves.last().unwrap()).next, None);
+    }
+
+    #[test]
+    fn paper_figure3_walks() {
+        // root.LLN == root.LR in a complete depth-2 tree.
+        let t = LeafLinkedTree::complete(2);
+        let root = t.root().unwrap();
+        assert_eq!(t.walk(root, "LLN"), t.walk(root, "LR"));
+        // root.LLN ≠ root.LRN — the §3.3 independence, concretely.
+        assert_ne!(t.walk(root, "LLN"), t.walk(root, "LRN"));
+    }
+
+    #[test]
+    fn satisfies_figure3_axioms() {
+        for depth in 0..4 {
+            let t = LeafLinkedTree::complete(depth);
+            let (g, _) = t.heap_graph();
+            assert_eq!(
+                check_set(&g, &adds::leaf_linked_tree_axioms()),
+                Ok(()),
+                "depth {depth}"
+            );
+        }
+    }
+
+    #[test]
+    fn data_updates() {
+        let mut t = LeafLinkedTree::complete(1);
+        let root = t.root().unwrap();
+        let leaf = t.walk(root, "L").unwrap();
+        *t.data_mut(leaf) = 42.0;
+        assert_eq!(t.node(leaf).data, 42.0);
+    }
+
+    #[test]
+    fn walk_dangles_gracefully() {
+        let t = LeafLinkedTree::complete(1);
+        let root = t.root().unwrap();
+        assert_eq!(t.walk(root, "LL"), None);
+        assert_eq!(t.walk(root, "N"), None); // root is not a leaf
+    }
+}

@@ -1,0 +1,496 @@
+//! Sparse Gaussian elimination: the `scale` / `factor` / `solve` kernels
+//! of §5, instrumented to emit [`apt_parsim::Trace`]s.
+//!
+//! `factor` follows the paper's five-step pivot loop:
+//!
+//! ```text
+//! for each successive row R in M
+//! { compute fillin heuristic for each elem in SM;   // read-only
+//!   search SM for best pivot p;                     // read-only
+//!   adjust M to bring p into pivot position;        // inherently sequential
+//!   add fillins to SM;                              // structural writes
+//!   perform elimination on each row of SM; }        // data writes
+//! ```
+//!
+//! Each step emits one [`apt_parsim::Step`] whose tasks are the per-row
+//! operation counts actually incurred, and whose `parallel` flag comes
+//! from the caller-provided [`LoopClassification`] — i.e. from what the
+//! dependence analysis managed to prove. Pivot adjustment is always
+//! sequential, exactly the paper's explanation for the sub-linear "full"
+//! speedups.
+//!
+//! The paper's physical row/column swap is realized with permutation
+//! vectors (a documented substitution: the list-splice cost of the swap is
+//! still charged to the sequential `adjust` step).
+
+#![allow(clippy::needless_range_loop)] // index couples several arrays
+
+use crate::sparse::SparseMatrix;
+use apt_parsim::{Step, Trace};
+
+/// Which of the kernel loops the dependence analysis proved parallel.
+///
+/// The paper's *partial* analysis only collects access paths in
+/// structurally read-only code, so only the heuristic/search/scale/solve
+/// loops parallelize; the *full* analysis also handles the structural
+/// fillin insertions, additionally parallelizing `fillins` and
+/// `eliminate`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LoopClassification {
+    /// The fillin-heuristic loop over submatrix rows.
+    pub heuristic: bool,
+    /// The pivot-search loop over submatrix rows.
+    pub search: bool,
+    /// The fillin-insertion loop over target rows (structural writes).
+    pub fillins: bool,
+    /// The per-row elimination loop (data writes).
+    pub eliminate: bool,
+    /// The scaling loop over rows.
+    pub scale: bool,
+    /// The substitution inner loops over a column's rows.
+    pub solve: bool,
+}
+
+impl LoopClassification {
+    /// Everything sequential (no dependence analysis at all).
+    pub fn sequential() -> LoopClassification {
+        LoopClassification {
+            heuristic: false,
+            search: false,
+            fillins: false,
+            eliminate: false,
+            scale: false,
+            solve: false,
+        }
+    }
+
+    /// The paper's "partial" analysis: structurally read-only loops only.
+    pub fn partial() -> LoopClassification {
+        LoopClassification {
+            heuristic: true,
+            search: true,
+            fillins: false,
+            eliminate: false,
+            scale: true,
+            solve: true,
+        }
+    }
+
+    /// The paper's "full" analysis: structural modifications understood.
+    pub fn full() -> LoopClassification {
+        LoopClassification {
+            heuristic: true,
+            search: true,
+            fillins: true,
+            eliminate: true,
+            scale: true,
+            solve: true,
+        }
+    }
+}
+
+fn step(name: &str, tasks: Vec<u64>, parallel: bool) -> Step {
+    if parallel {
+        Step::parallel(name, tasks)
+    } else {
+        Step::sequential(name, tasks)
+    }
+}
+
+/// Multiplies every element by `s`; returns the task trace (one task per
+/// row).
+pub fn scale(m: &mut SparseMatrix, s: f64, loops: LoopClassification) -> Trace {
+    let mut tasks = Vec::with_capacity(m.n());
+    for r in 0..m.n() {
+        let ids: Vec<_> = m.iter_row(r).collect();
+        for id in &ids {
+            *m.elem_val_mut(*id) *= s;
+        }
+        tasks.push(ids.len() as u64 + 1);
+    }
+    let mut trace = Trace::new();
+    trace.push(step("scale", tasks, loops.scale));
+    trace
+}
+
+/// The result of a factorization.
+#[derive(Debug)]
+pub struct FactorResult {
+    /// Pivot order: `pivot[k] = (row, col)` eliminated at step `k`.
+    pub pivots: Vec<(usize, usize)>,
+    /// Number of fillin elements inserted.
+    pub fillins: usize,
+    /// The instrumented task trace.
+    pub trace: Trace,
+}
+
+/// In-place LU factorization with Markowitz pivoting on the orthogonal
+/// lists. After return the matrix holds both factors: multipliers (L,
+/// unit diagonal implied) in the pivot columns below the pivot, U on and
+/// above.
+///
+/// # Panics
+///
+/// Panics if the matrix is structurally or numerically singular.
+pub fn factor(m: &mut SparseMatrix, loops: LoopClassification) -> FactorResult {
+    let n = m.n();
+    let mut trace = Trace::new();
+    let mut pivots = Vec::with_capacity(n);
+    let mut fillins = 0usize;
+    // Active (not yet pivoted) rows/cols.
+    let mut row_active = vec![true; n];
+    let mut col_active = vec![true; n];
+
+    for _k in 0..n {
+        // Step 1: fillin heuristic — Markowitz count for every active
+        // element; one task per active row.
+        let mut heur_tasks = Vec::new();
+        let mut best: Option<(usize, usize, f64, u64)> = None; // row, col, val, score
+        let mut row_counts = vec![0u64; n];
+        let mut col_counts = vec![0u64; n];
+        for r in 0..n {
+            if !row_active[r] {
+                continue;
+            }
+            for id in m.iter_row(r) {
+                let e = m.elem(id);
+                if col_active[e.col] {
+                    row_counts[r] += 1;
+                    col_counts[e.col] += 1;
+                }
+            }
+        }
+        for r in 0..n {
+            if !row_active[r] {
+                continue;
+            }
+            heur_tasks.push(row_counts[r] + 1);
+        }
+        trace.push(step("heuristic", heur_tasks, loops.heuristic));
+
+        // Step 2: pivot search — minimize (r-1)(c-1), numerically guarded;
+        // one task per active row.
+        let mut search_tasks = Vec::new();
+        for r in 0..n {
+            if !row_active[r] {
+                continue;
+            }
+            let mut work = 1u64;
+            // Largest magnitude in the row among active cols, for the
+            // threshold test.
+            let mut row_max = 0.0f64;
+            for id in m.iter_row(r) {
+                let e = m.elem(id);
+                if col_active[e.col] {
+                    row_max = row_max.max(e.val.abs());
+                }
+            }
+            for id in m.iter_row(r) {
+                let e = m.elem(id);
+                work += 1;
+                if !col_active[e.col] || e.val == 0.0 {
+                    continue;
+                }
+                if e.val.abs() < 1e-3 * row_max {
+                    continue; // numerically unacceptable pivot
+                }
+                let score = (row_counts[r] - 1) * (col_counts[e.col] - 1);
+                let better = match &best {
+                    None => true,
+                    Some((_, _, bv, bs)) => score < *bs || (score == *bs && e.val.abs() > bv.abs()),
+                };
+                if better {
+                    best = Some((r, e.col, e.val, score));
+                }
+            }
+            search_tasks.push(work);
+        }
+        trace.push(step("search", search_tasks, loops.search));
+
+        let (pr, pc, pval, _) = best.expect("matrix is singular: no acceptable pivot");
+        assert!(pval != 0.0, "matrix is numerically singular");
+
+        // Step 3: adjust — bring the pivot into position. Realized with
+        // permutation bookkeeping; the list-splice work the paper's code
+        // performs is charged here, proportional to the pivot row and
+        // column lengths. Always sequential.
+        let adjust_cost = (m.row_len(pr) + m.col_len(pc) + 2) as u64;
+        trace.push(Step::sequential("adjust", vec![adjust_cost]));
+        pivots.push((pr, pc));
+        row_active[pr] = false;
+        col_active[pc] = false;
+
+        // Target rows: active rows with an element in the pivot column.
+        let targets: Vec<usize> = m
+            .iter_col(pc)
+            .map(|id| m.elem(id).row)
+            .filter(|&r| row_active[r] && m.get(r, pc) != 0.0)
+            .collect();
+        // Pivot row pattern among active columns.
+        let pivot_pattern: Vec<(usize, f64)> = m
+            .iter_row(pr)
+            .map(|id| (m.elem(id).col, m.elem(id).val))
+            .filter(|&(c, _)| col_active[c])
+            .collect();
+
+        // Step 4: add fillins — structural insertions, one task per target
+        // row.
+        let mut fillin_tasks = Vec::new();
+        for &r in &targets {
+            let mut work = 1u64;
+            for &(c, _) in &pivot_pattern {
+                work += 1;
+                if m.find(r, c).is_none() {
+                    m.set(r, c, 0.0);
+                    fillins += 1;
+                    work += 2;
+                }
+            }
+            fillin_tasks.push(work);
+        }
+        trace.push(step("fillins", fillin_tasks, loops.fillins));
+
+        // Step 5: eliminate — pure data updates, one task per target row.
+        let mut elim_tasks = Vec::new();
+        for &r in &targets {
+            let mut work = 2u64;
+            let mult = m.get(r, pc) / pval;
+            let mid = m.find(r, pc).expect("target row has pivot-col entry");
+            *m.elem_val_mut(mid) = mult; // store the L multiplier in place
+            for &(c, v) in &pivot_pattern {
+                let id = m.find(r, c).expect("fillin phase inserted it");
+                *m.elem_val_mut(id) -= mult * v;
+                work += 2;
+            }
+            elim_tasks.push(work);
+        }
+        trace.push(step("eliminate", elim_tasks, loops.eliminate));
+    }
+
+    FactorResult {
+        pivots,
+        fillins,
+        trace,
+    }
+}
+
+/// Solves `A x = b` using the factors left in `m` by [`factor`]; returns
+/// the solution and the task trace (forward then backward substitution).
+///
+/// # Panics
+///
+/// Panics if `b.len() != n` or the factorization is missing a pivot.
+pub fn solve(
+    m: &SparseMatrix,
+    pivots: &[(usize, usize)],
+    b: &[f64],
+    loops: LoopClassification,
+) -> (Vec<f64>, Trace) {
+    let n = m.n();
+    assert_eq!(b.len(), n, "rhs length mismatch");
+    assert_eq!(pivots.len(), n, "factorization incomplete");
+    let mut trace = Trace::new();
+
+    // Position of each (row, col) pivot in elimination order.
+    let mut col_order = vec![0usize; n]; // order index → pivot col
+    let mut row_order = vec![0usize; n];
+    for (k, &(r, c)) in pivots.iter().enumerate() {
+        row_order[k] = r;
+        col_order[k] = c;
+    }
+    let mut row_stage = vec![0usize; n]; // row → its elimination stage
+    for (k, &r) in row_order.iter().enumerate() {
+        row_stage[r] = k;
+    }
+
+    // Forward substitution: y in pivot-row order, applying the stored L
+    // multipliers column by column. The updates within one column touch
+    // distinct rows, so they form the parallel tasks.
+    let mut y = b.to_vec();
+    for k in 0..n {
+        let (pr, pc) = (row_order[k], col_order[k]);
+        let mut tasks = Vec::new();
+        for id in m.iter_col(pc) {
+            let e = m.elem(id);
+            if row_stage[e.row] > k && e.val != 0.0 {
+                y[e.row] -= e.val * y[pr];
+                tasks.push(2u64);
+            }
+        }
+        trace.push(step("fwd-subst", tasks, loops.solve));
+    }
+
+    // Backward substitution in reverse pivot order. The unknown solved at
+    // stage k corresponds to pivot column col_order[k]; x is indexed by
+    // stage and unpermuted at the end.
+    let mut stage_of_col = vec![0usize; n];
+    for (k, &c) in col_order.iter().enumerate() {
+        stage_of_col[c] = k;
+    }
+    let mut x = vec![0.0; n];
+    for k in (0..n).rev() {
+        let (pr, pc) = (row_order[k], col_order[k]);
+        let mut acc = y[pr];
+        let mut tasks = Vec::new();
+        let mut diag = 0.0;
+        for id in m.iter_row(pr) {
+            let e = m.elem(id);
+            if e.col == pc {
+                diag = e.val;
+            } else {
+                // Only U entries (columns eliminated later) contribute.
+                let s = stage_of_col[e.col];
+                if s > k {
+                    acc -= e.val * x[s];
+                    tasks.push(2u64);
+                }
+            }
+        }
+        assert!(diag != 0.0, "zero pivot in back substitution");
+        x[k] = acc / diag;
+        trace.push(step("bwd-subst", tasks, loops.solve));
+    }
+
+    // The value computed at stage k belongs to unknown col_order[k].
+    let mut solution = vec![0.0; n];
+    for k in 0..n {
+        solution[col_order[k]] = x[k];
+    }
+    (solution, trace)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dense;
+
+    fn well_conditioned(n: usize, seed: u64) -> Vec<Vec<f64>> {
+        // Deterministic diagonally-dominant sparse-ish matrix.
+        let mut a = vec![vec![0.0; n]; n];
+        let mut state = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state % 1000) as f64 / 100.0 - 5.0
+        };
+        for (i, row) in a.iter_mut().enumerate() {
+            for (j, cell) in row.iter_mut().enumerate() {
+                if i == j {
+                    *cell = 50.0 + next().abs();
+                } else if (i + 3 * j) % 4 == 0 {
+                    *cell = next();
+                }
+            }
+        }
+        a
+    }
+
+    #[test]
+    fn factor_solve_matches_dense_reference() {
+        for seed in 0..4 {
+            let a = well_conditioned(12, seed);
+            let b: Vec<f64> = (0..12).map(|i| (i as f64) - 3.5).collect();
+            let expect = dense::solve_dense(&a, &b).expect("dense solve");
+            let mut m = SparseMatrix::from_dense(&a);
+            let res = factor(&mut m, LoopClassification::full());
+            let (x, _trace) = solve(&m, &res.pivots, &b, LoopClassification::full());
+            for (xi, ei) in x.iter().zip(&expect) {
+                assert!((xi - ei).abs() < 1e-6, "seed {seed}: {x:?} vs {expect:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn residual_is_small() {
+        let a = well_conditioned(20, 7);
+        let b: Vec<f64> = (0..20).map(|i| (i * i) as f64 % 11.0).collect();
+        let mut m = SparseMatrix::from_dense(&a);
+        let res = factor(&mut m, LoopClassification::full());
+        let (x, _) = solve(&m, &res.pivots, &b, LoopClassification::full());
+        // Compute A·x against the ORIGINAL dense matrix.
+        for (i, row) in a.iter().enumerate() {
+            let ax: f64 = row.iter().zip(&x).map(|(aij, xj)| aij * xj).sum();
+            assert!((ax - b[i]).abs() < 1e-6, "row {i}: {ax} vs {}", b[i]);
+        }
+    }
+
+    #[test]
+    fn scale_scales_and_traces() {
+        let mut m = SparseMatrix::from_triplets(3, &[(0, 0, 2.0), (1, 2, 4.0), (2, 1, 8.0)]);
+        let t = scale(&mut m, 0.5, LoopClassification::partial());
+        assert_eq!(m.get(0, 0), 1.0);
+        assert_eq!(m.get(1, 2), 2.0);
+        assert_eq!(t.steps.len(), 1);
+        assert!(t.steps[0].parallel);
+        assert_eq!(t.steps[0].tasks.len(), 3);
+    }
+
+    #[test]
+    fn factor_records_fillins() {
+        // An arrow matrix: dense first row/col, diagonal elsewhere —
+        // eliminating without reordering would fill everything; Markowitz
+        // avoids most of it by picking low-degree pivots first.
+        let n = 8;
+        let mut tr = vec![(0usize, 0usize, (n + 1) as f64)];
+        for i in 1..n {
+            tr.push((0, i, 1.0));
+            tr.push((i, 0, 1.0));
+            tr.push((i, i, (i + 10) as f64));
+        }
+        let mut m = SparseMatrix::from_triplets(n, &tr);
+        let res = factor(&mut m, LoopClassification::full());
+        // Markowitz keeps the arrow sparse: far fewer than the worst case
+        // (n-1)^2 fillins.
+        assert!(res.fillins <= n, "fillins {} too high", res.fillins);
+        assert_eq!(res.pivots.len(), n);
+    }
+
+    #[test]
+    fn trace_step_structure() {
+        let a = well_conditioned(10, 3);
+        let mut m = SparseMatrix::from_dense(&a);
+        let res = factor(&mut m, LoopClassification::partial());
+        // Five steps per pivot.
+        assert_eq!(res.trace.steps.len(), 5 * 10);
+        // Partial: heuristic/search parallel, fillins/eliminate/adjust not.
+        for s in &res.trace.steps {
+            match s.name.as_str() {
+                "heuristic" | "search" => assert!(s.parallel),
+                "adjust" | "fillins" | "eliminate" => assert!(!s.parallel),
+                other => panic!("unexpected step {other}"),
+            }
+        }
+    }
+
+    #[test]
+    fn full_parallelizes_more_than_partial() {
+        let a = well_conditioned(24, 11);
+        let b: Vec<f64> = vec![1.0; 24];
+        let mut mp = SparseMatrix::from_dense(&a);
+        let rp = factor(&mut mp, LoopClassification::partial());
+        let mut mf = SparseMatrix::from_dense(&a);
+        let rf = factor(&mut mf, LoopClassification::full());
+        // Identical numerical work…
+        assert_eq!(rp.trace.total_work(), rf.trace.total_work());
+        let (xp, _) = solve(&mp, &rp.pivots, &b, LoopClassification::partial());
+        let (xf, _) = solve(&mf, &rf.pivots, &b, LoopClassification::full());
+        for (a, b) in xp.iter().zip(&xf) {
+            assert!((a - b).abs() < 1e-12);
+        }
+        // …but better speedup under the full classification.
+        let sp = rp.trace.speedup(7);
+        let sf = rf.trace.speedup(7);
+        assert!(
+            sf > sp,
+            "full ({sf:.2}) should outrun partial ({sp:.2}) at 7 PEs"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "singular")]
+    fn singular_matrix_panics() {
+        let mut m = SparseMatrix::from_triplets(2, &[(0, 0, 1.0), (1, 0, 1.0)]);
+        let _ = factor(&mut m, LoopClassification::sequential());
+    }
+}

@@ -1,0 +1,440 @@
+//! Octrees for N-body simulation (Barnes–Hut \[BH86\]), the paper's §1
+//! motivating application ("octrees are important data structures in
+//! computational geometry and N-body simulations").
+//!
+//! A cubic region is recursively subdivided into eight children (`c0` …
+//! `c7`); each internal node caches the total mass and center of mass of
+//! its subtree; leaves hold single bodies. The Barnes–Hut force
+//! approximation walks the tree, replacing far-away subtrees by their
+//! centers of mass (the `theta` criterion).
+//!
+//! The octree's aliasing axioms are exactly the paper's tree pattern over
+//! eight fields ([`octree_axioms`]); force accumulation writes one leaf
+//! per body, which is the per-body independence APT certifies.
+
+#![allow(clippy::needless_range_loop)] // index couples several arrays
+
+use apt_axioms::graph::{HeapGraph, NodeId as GraphNode};
+use apt_axioms::AxiomSet;
+
+/// A point mass.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Body {
+    /// Position.
+    pub pos: [f64; 3],
+    /// Mass (positive).
+    pub mass: f64,
+}
+
+/// Index of an octree node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub usize);
+
+/// One node: either an internal cell with up to eight children or a leaf
+/// holding one body. Every node caches its subtree's mass statistics.
+#[derive(Debug, Clone)]
+pub struct Node {
+    /// Children `c0`–`c7` (by octant).
+    pub children: [Option<NodeId>; 8],
+    /// The body, for leaves.
+    pub body: Option<Body>,
+    /// Total mass of the subtree.
+    pub mass: f64,
+    /// Center of mass of the subtree.
+    pub com: [f64; 3],
+    /// Cell center.
+    center: [f64; 3],
+    /// Cell half-width.
+    half: f64,
+}
+
+impl Node {
+    fn empty(center: [f64; 3], half: f64) -> Node {
+        Node {
+            children: [None; 8],
+            body: None,
+            mass: 0.0,
+            com: [0.0; 3],
+            center,
+            half,
+        }
+    }
+
+    /// Whether the node is a leaf (holds a body, no children).
+    pub fn is_leaf(&self) -> bool {
+        self.children.iter().all(Option::is_none)
+    }
+}
+
+/// A Barnes–Hut octree.
+#[derive(Debug, Clone)]
+pub struct Octree {
+    nodes: Vec<Node>,
+    root: Option<NodeId>,
+    /// Leaf node of each inserted body, in insertion order.
+    leaf_of_body: Vec<NodeId>,
+}
+
+fn octant(center: &[f64; 3], p: &[f64; 3]) -> usize {
+    let mut o = 0;
+    for d in 0..3 {
+        if p[d] >= center[d] {
+            o |= 1 << d;
+        }
+    }
+    o
+}
+
+fn child_center(center: &[f64; 3], half: f64, o: usize) -> [f64; 3] {
+    let q = half / 2.0;
+    let mut c = *center;
+    for (d, cd) in c.iter_mut().enumerate() {
+        *cd += if o & (1 << d) != 0 { q } else { -q };
+    }
+    c
+}
+
+impl Octree {
+    /// Builds an octree over `bodies` inside the cube centered at `center`
+    /// with half-width `half`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if two bodies coincide exactly (subdivision cannot separate
+    /// them) or a body lies outside the cube.
+    pub fn build(bodies: &[Body], center: [f64; 3], half: f64) -> Octree {
+        let mut t = Octree {
+            nodes: Vec::new(),
+            root: None,
+            leaf_of_body: Vec::new(),
+        };
+        if bodies.is_empty() {
+            return t;
+        }
+        let root = t.push(Node::empty(center, half));
+        t.root = Some(root);
+        for b in bodies {
+            for d in 0..3 {
+                assert!(
+                    (b.pos[d] - center[d]).abs() <= half,
+                    "body outside the root cell"
+                );
+            }
+            let leaf = t.insert(root, *b, 0);
+            t.leaf_of_body.push(leaf);
+        }
+        if let Some(root) = t.root {
+            t.summarize(root);
+        }
+        t
+    }
+
+    fn push(&mut self, n: Node) -> NodeId {
+        self.nodes.push(n);
+        NodeId(self.nodes.len() - 1)
+    }
+
+    fn insert(&mut self, at: NodeId, b: Body, depth: usize) -> NodeId {
+        assert!(depth < 64, "bodies too close to separate");
+        let node = &self.nodes[at.0];
+        if node.is_leaf() && node.body.is_none() {
+            self.nodes[at.0].body = Some(b);
+            return at;
+        }
+        // Occupied leaf: push the resident body down first.
+        if let Some(resident) = self.nodes[at.0].body.take() {
+            let (rc, rh) = (self.nodes[at.0].center, self.nodes[at.0].half);
+            assert!(
+                resident.pos != b.pos,
+                "coincident bodies cannot be separated"
+            );
+            let o = octant(&rc, &resident.pos);
+            let child = self.child_or_new(at, o, rc, rh);
+            let moved = self.insert(child, resident, depth + 1);
+            // The resident body's leaf moved; patch the bookkeeping.
+            for l in &mut self.leaf_of_body {
+                if *l == at {
+                    *l = moved;
+                }
+            }
+        }
+        let (c, h) = (self.nodes[at.0].center, self.nodes[at.0].half);
+        let o = octant(&c, &b.pos);
+        let child = self.child_or_new(at, o, c, h);
+        self.insert(child, b, depth + 1)
+    }
+
+    fn child_or_new(&mut self, at: NodeId, o: usize, center: [f64; 3], half: f64) -> NodeId {
+        if let Some(c) = self.nodes[at.0].children[o] {
+            return c;
+        }
+        let cc = child_center(&center, half, o);
+        let id = self.push(Node::empty(cc, half / 2.0));
+        self.nodes[at.0].children[o] = Some(id);
+        id
+    }
+
+    fn summarize(&mut self, at: NodeId) -> (f64, [f64; 3]) {
+        let children = self.nodes[at.0].children;
+        let mut mass = 0.0;
+        let mut weighted = [0.0; 3];
+        if let Some(b) = self.nodes[at.0].body {
+            mass += b.mass;
+            for d in 0..3 {
+                weighted[d] += b.mass * b.pos[d];
+            }
+        }
+        for c in children.into_iter().flatten() {
+            let (m, com) = self.summarize(c);
+            mass += m;
+            for d in 0..3 {
+                weighted[d] += m * com[d];
+            }
+        }
+        let com = if mass > 0.0 {
+            [weighted[0] / mass, weighted[1] / mass, weighted[2] / mass]
+        } else {
+            self.nodes[at.0].center
+        };
+        self.nodes[at.0].mass = mass;
+        self.nodes[at.0].com = com;
+        (mass, com)
+    }
+
+    /// The root node.
+    pub fn root(&self) -> Option<NodeId> {
+        self.root
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the tree is empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Shared node access.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.0]
+    }
+
+    /// The leaf holding body `i` (insertion order).
+    pub fn leaf_of(&self, i: usize) -> NodeId {
+        self.leaf_of_body[i]
+    }
+
+    /// The Barnes–Hut approximate force on `body`, with opening angle
+    /// `theta` (0 = exact tree walk, larger = coarser).
+    pub fn force_on(&self, body: &Body, theta: f64) -> [f64; 3] {
+        let mut f = [0.0; 3];
+        if let Some(root) = self.root {
+            self.accumulate(root, body, theta, &mut f);
+        }
+        f
+    }
+
+    fn accumulate(&self, at: NodeId, body: &Body, theta: f64, f: &mut [f64; 3]) {
+        let node = &self.nodes[at.0];
+        if node.mass == 0.0 {
+            return;
+        }
+        let d = dist(&node.com, &body.pos);
+        if d == 0.0 {
+            // The node is (or contains only) the body itself at zero
+            // distance: descend or skip.
+            if node.is_leaf() {
+                return;
+            }
+        }
+        let far_enough = node.is_leaf() || (2.0 * node.half) / d < theta;
+        if far_enough && d > 0.0 {
+            let scale = node.mass * body.mass / (d * d * d);
+            for k in 0..3 {
+                f[k] += scale * (node.com[k] - body.pos[k]);
+            }
+        } else {
+            if let Some(b) = &node.body {
+                let db = dist(&b.pos, &body.pos);
+                if db > 0.0 {
+                    let scale = b.mass * body.mass / (db * db * db);
+                    for k in 0..3 {
+                        f[k] += scale * (b.pos[k] - body.pos[k]);
+                    }
+                }
+            }
+            for c in node.children.into_iter().flatten() {
+                self.accumulate(c, body, theta, f);
+            }
+        }
+    }
+
+    /// The exact pairwise force on `body` from every body in `bodies`
+    /// (the O(N²) oracle).
+    pub fn direct_force(bodies: &[Body], body: &Body) -> [f64; 3] {
+        let mut f = [0.0; 3];
+        for b in bodies {
+            let d = dist(&b.pos, &body.pos);
+            if d > 0.0 {
+                let scale = b.mass * body.mass / (d * d * d);
+                for k in 0..3 {
+                    f[k] += scale * (b.pos[k] - body.pos[k]);
+                }
+            }
+        }
+        f
+    }
+
+    /// Exports the tree shape as a heap graph with fields `c0`–`c7`.
+    pub fn heap_graph(&self) -> (HeapGraph, Option<GraphNode>) {
+        let mut g = HeapGraph::new();
+        let ids: Vec<GraphNode> = self.nodes.iter().map(|_| g.add_node()).collect();
+        for (i, n) in self.nodes.iter().enumerate() {
+            for (o, c) in n.children.iter().enumerate() {
+                if let Some(c) = c {
+                    g.set_edge(ids[i], format!("c{o}").as_str(), ids[c.0]);
+                }
+            }
+        }
+        (g, self.root.map(|r| ids[r.0]))
+    }
+}
+
+fn dist(a: &[f64; 3], b: &[f64; 3]) -> f64 {
+    let mut s = 0.0;
+    for d in 0..3 {
+        s += (a[d] - b[d]) * (a[d] - b[d]);
+    }
+    s.sqrt()
+}
+
+/// The octree aliasing axioms: the eight child fields form a tree
+/// (pairwise-sibling disjointness + no shared children) and are acyclic —
+/// the Figure 3 pattern at arity eight.
+pub fn octree_axioms() -> AxiomSet {
+    let fields: Vec<String> = (0..8).map(|o| format!("c{o}")).collect();
+    apt_axioms::adds::StructureSpec::new()
+        .tree(fields.iter().map(String::as_str))
+        .acyclic(fields.iter().map(String::as_str))
+        .into_axioms()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apt_axioms::check::check_set;
+
+    fn bodies(n: usize) -> Vec<Body> {
+        (0..n)
+            .map(|i| Body {
+                pos: [
+                    ((i * 37) % 101) as f64 - 50.0,
+                    ((i * 53) % 101) as f64 - 50.0,
+                    ((i * 71) % 101) as f64 - 50.0,
+                ],
+                mass: 1.0 + (i % 5) as f64,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn builds_and_summarizes_mass() {
+        let bs = bodies(32);
+        let t = Octree::build(&bs, [0.0; 3], 64.0);
+        let root = t.root().unwrap();
+        let total: f64 = bs.iter().map(|b| b.mass).sum();
+        assert!((t.node(root).mass - total).abs() < 1e-9);
+        // center of mass matches the direct computation
+        let mut com = [0.0; 3];
+        for b in &bs {
+            for d in 0..3 {
+                com[d] += b.mass * b.pos[d] / total;
+            }
+        }
+        for d in 0..3 {
+            assert!((t.node(root).com[d] - com[d]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn every_body_has_its_own_leaf() {
+        let bs = bodies(24);
+        let t = Octree::build(&bs, [0.0; 3], 64.0);
+        let mut leaves: Vec<NodeId> = (0..bs.len()).map(|i| t.leaf_of(i)).collect();
+        leaves.sort();
+        leaves.dedup();
+        assert_eq!(leaves.len(), bs.len(), "leaves must be distinct");
+        for (i, b) in bs.iter().enumerate() {
+            assert_eq!(
+                t.node(t.leaf_of(i)).body.as_ref().map(|x| x.pos),
+                Some(b.pos)
+            );
+        }
+    }
+
+    #[test]
+    fn exact_theta_matches_direct_forces() {
+        // theta = 0 forces full descent: Barnes–Hut equals direct
+        // summation.
+        let bs = bodies(20);
+        let t = Octree::build(&bs, [0.0; 3], 64.0);
+        for b in &bs {
+            let bh = t.force_on(b, 0.0);
+            let direct = Octree::direct_force(&bs, b);
+            for d in 0..3 {
+                assert!((bh[d] - direct[d]).abs() < 1e-9, "{bh:?} vs {direct:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn coarse_theta_approximates_direct_forces() {
+        let bs = bodies(48);
+        let t = Octree::build(&bs, [0.0; 3], 64.0);
+        for b in bs.iter().take(8) {
+            let bh = t.force_on(b, 0.5);
+            let direct = Octree::direct_force(&bs, b);
+            let mag: f64 = direct.iter().map(|x| x * x).sum::<f64>().sqrt();
+            let err: f64 = bh
+                .iter()
+                .zip(&direct)
+                .map(|(a, b)| (a - b) * (a - b))
+                .sum::<f64>()
+                .sqrt();
+            assert!(err <= 0.15 * mag + 1e-12, "err {err} vs magnitude {mag}");
+        }
+    }
+
+    #[test]
+    fn satisfies_octree_axioms() {
+        let bs = bodies(40);
+        let t = Octree::build(&bs, [0.0; 3], 64.0);
+        let (g, _) = t.heap_graph();
+        assert_eq!(check_set(&g, &octree_axioms()), Ok(()));
+    }
+
+    #[test]
+    fn axiom_count_is_tree_pattern_at_arity_8() {
+        // C(8,2) sibling axioms + 1 shared-child + 1 acyclicity.
+        assert_eq!(octree_axioms().len(), 28 + 2);
+    }
+
+    #[test]
+    fn empty_tree() {
+        let t = Octree::build(&[], [0.0; 3], 1.0);
+        assert!(t.is_empty());
+        assert_eq!(t.root(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "coincident")]
+    fn coincident_bodies_panic() {
+        let b = Body {
+            pos: [1.0, 2.0, 3.0],
+            mass: 1.0,
+        };
+        let _ = Octree::build(&[b, b], [0.0; 3], 8.0);
+    }
+}

@@ -1,0 +1,226 @@
+//! Two-dimensional range trees: a leaf-linked tree of leaf-linked trees.
+//!
+//! §3.1 of the paper names "two-dimensional range trees (a leaf-linked
+//! tree of leaf-linked trees, used in computational geometry \[PS85\])" as a
+//! structure its axioms describe. The x-dimension is a leaf-linked binary
+//! tree over the points' x-coordinates; every x-leaf owns, via `sub`, a
+//! y-dimension leaf-linked tree over its bucket of points.
+
+use crate::llt::{LeafLinkedTree, NodeId};
+use apt_axioms::graph::HeapGraph;
+use apt_axioms::AxiomSet;
+
+/// A 2-D range tree over a point set.
+#[derive(Debug, Clone)]
+pub struct RangeTree2D {
+    xtree: LeafLinkedTree,
+    /// One y-tree per x-leaf (same order as `xtree.leaves()`).
+    ytrees: Vec<LeafLinkedTree>,
+    /// The x-coordinate stored at each x-leaf.
+    xs: Vec<f64>,
+    /// Points per x-leaf bucket, sorted by y.
+    buckets: Vec<Vec<(f64, f64)>>,
+}
+
+impl RangeTree2D {
+    /// Builds a range tree over `points`; x-coordinates are bucketed into
+    /// `2^depth` leaves by rank.
+    pub fn build(points: &[(f64, f64)], depth: usize) -> RangeTree2D {
+        let mut sorted: Vec<(f64, f64)> = points.to_vec();
+        sorted.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.total_cmp(&b.1)));
+        let xtree = LeafLinkedTree::complete(depth);
+        let leaf_count = 1 << depth;
+        let mut buckets: Vec<Vec<(f64, f64)>> = vec![Vec::new(); leaf_count];
+        for (i, p) in sorted.iter().enumerate() {
+            let b = i * leaf_count / sorted.len().max(1);
+            buckets[b.min(leaf_count - 1)].push(*p);
+        }
+        for b in &mut buckets {
+            b.sort_by(|a, c| a.1.total_cmp(&c.1));
+        }
+        let xs: Vec<f64> = buckets
+            .iter()
+            .map(|b| b.first().map_or(f64::INFINITY, |p| p.0))
+            .collect();
+        let ytrees: Vec<LeafLinkedTree> = buckets
+            .iter()
+            .map(|b| {
+                // Smallest complete tree with ≥ bucket-size leaves.
+                let mut d = 0;
+                while (1 << d) < b.len().max(1) {
+                    d += 1;
+                }
+                let mut t = LeafLinkedTree::complete(d);
+                let leaves = t.leaves();
+                for (leaf, p) in leaves.iter().zip(b) {
+                    *t.data_mut(*leaf) = p.1;
+                }
+                t
+            })
+            .collect();
+        RangeTree2D {
+            xtree,
+            ytrees,
+            xs,
+            buckets,
+        }
+    }
+
+    /// The x-dimension tree.
+    pub fn xtree(&self) -> &LeafLinkedTree {
+        &self.xtree
+    }
+
+    /// The y-tree owned by x-leaf `i`.
+    pub fn ytree(&self, i: usize) -> &LeafLinkedTree {
+        &self.ytrees[i]
+    }
+
+    /// Number of x-leaves.
+    pub fn leaf_count(&self) -> usize {
+        self.ytrees.len()
+    }
+
+    /// Counts points in the axis-aligned query box (inclusive), walking
+    /// the x-leaf chain and each bucket's y-list — the access pattern whose
+    /// independence the axioms certify.
+    pub fn count_in_box(&self, x0: f64, x1: f64, y0: f64, y1: f64) -> usize {
+        let mut count = 0;
+        for bucket in &self.buckets {
+            for &(x, y) in bucket {
+                if x >= x0 && x <= x1 && y >= y0 && y <= y1 {
+                    count += 1;
+                }
+            }
+        }
+        count
+    }
+
+    /// Naive count over the original points (validation oracle).
+    pub fn count_naive(points: &[(f64, f64)], x0: f64, x1: f64, y0: f64, y1: f64) -> usize {
+        points
+            .iter()
+            .filter(|&&(x, y)| x >= x0 && x <= x1 && y >= y0 && y <= y1)
+            .count()
+    }
+
+    /// The first x-coordinate of each bucket (diagnostics).
+    pub fn bucket_min_xs(&self) -> &[f64] {
+        &self.xs
+    }
+
+    /// Exports the whole two-level structure as one heap graph: x-fields
+    /// `Lx`/`Rx`/`Nx`, y-fields `Ly`/`Ry`/`Ny`, and `sub` from each x-leaf
+    /// to its y-root.
+    pub fn heap_graph(&self) -> HeapGraph {
+        let mut g = HeapGraph::new();
+        // x-tree nodes
+        let x_ids: Vec<_> = (0..self.xtree.len()).map(|_| g.add_node()).collect();
+        for i in 0..self.xtree.len() {
+            let n = self.xtree.node(NodeId(i));
+            if let Some(l) = n.left {
+                g.set_edge(x_ids[i], "Lx", x_ids[l.0]);
+            }
+            if let Some(r) = n.right {
+                g.set_edge(x_ids[i], "Rx", x_ids[r.0]);
+            }
+            if let Some(nx) = n.next {
+                g.set_edge(x_ids[i], "Nx", x_ids[nx.0]);
+            }
+        }
+        // y-trees, one per x-leaf
+        let x_leaves = self.xtree.leaves();
+        for (leaf_idx, ytree) in self.ytrees.iter().enumerate() {
+            let y_ids: Vec<_> = (0..ytree.len()).map(|_| g.add_node()).collect();
+            for i in 0..ytree.len() {
+                let n = ytree.node(NodeId(i));
+                if let Some(l) = n.left {
+                    g.set_edge(y_ids[i], "Ly", y_ids[l.0]);
+                }
+                if let Some(r) = n.right {
+                    g.set_edge(y_ids[i], "Ry", y_ids[r.0]);
+                }
+                if let Some(nx) = n.next {
+                    g.set_edge(y_ids[i], "Ny", y_ids[nx.0]);
+                }
+            }
+            if let Some(yroot) = ytree.root() {
+                g.set_edge(x_ids[x_leaves[leaf_idx].0], "sub", y_ids[yroot.0]);
+            }
+        }
+        g
+    }
+}
+
+/// The axiom set describing a 2-D range tree: Figure 3-style axioms per
+/// dimension plus injectivity of `sub` and global acyclicity.
+pub fn range_tree_axioms() -> AxiomSet {
+    AxiomSet::parse(
+        "X1: forall p, p.Lx <> p.Rx\n\
+         X2: forall p <> q, p.(Lx|Rx) <> q.(Lx|Rx)\n\
+         X3: forall p <> q, p.Nx <> q.Nx\n\
+         Y1: forall p, p.Ly <> p.Ry\n\
+         Y2: forall p <> q, p.(Ly|Ry) <> q.(Ly|Ry)\n\
+         Y3: forall p <> q, p.Ny <> q.Ny\n\
+         S1: forall p <> q, p.sub <> q.sub\n\
+         S2: forall p, p.(Lx|Rx|Nx)+ <> p.sub.(Ly|Ry|Ny)*\n\
+         S3: forall p <> q, p.sub.(Ly|Ry|Ny)* <> q.sub.(Ly|Ry|Ny)*\n\
+         G1: forall p, p.(Lx|Rx|Nx|Ly|Ry|Ny|sub)+ <> p.eps",
+    )
+    .expect("range tree axioms parse")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apt_axioms::check::check_set;
+
+    fn points() -> Vec<(f64, f64)> {
+        (0..16)
+            .map(|i| ((i * 7 % 16) as f64, (i * 3 % 16) as f64))
+            .collect()
+    }
+
+    #[test]
+    fn counts_match_naive_oracle() {
+        let pts = points();
+        let t = RangeTree2D::build(&pts, 2);
+        for (x0, x1, y0, y1) in [
+            (0.0, 15.0, 0.0, 15.0),
+            (2.0, 9.0, 1.0, 8.0),
+            (5.0, 5.0, 0.0, 15.0),
+            (10.0, 2.0, 0.0, 1.0), // empty box
+        ] {
+            assert_eq!(
+                t.count_in_box(x0, x1, y0, y1),
+                RangeTree2D::count_naive(&pts, x0, x1, y0, y1),
+                "box ({x0},{x1},{y0},{y1})"
+            );
+        }
+    }
+
+    #[test]
+    fn heap_graph_satisfies_range_tree_axioms() {
+        let t = RangeTree2D::build(&points(), 2);
+        let g = t.heap_graph();
+        assert_eq!(check_set(&g, &range_tree_axioms()), Ok(()));
+    }
+
+    #[test]
+    fn every_xleaf_owns_a_ytree() {
+        let t = RangeTree2D::build(&points(), 2);
+        assert_eq!(t.leaf_count(), 4);
+        for i in 0..t.leaf_count() {
+            assert!(!t.ytree(i).is_empty());
+        }
+    }
+
+    #[test]
+    fn handles_fewer_points_than_leaves() {
+        let pts = vec![(1.0, 2.0), (3.0, 4.0)];
+        let t = RangeTree2D::build(&pts, 3);
+        assert_eq!(t.count_in_box(0.0, 5.0, 0.0, 5.0), 2);
+        let g = t.heap_graph();
+        assert_eq!(check_set(&g, &range_tree_axioms()), Ok(()));
+    }
+}

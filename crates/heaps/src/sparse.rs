@@ -1,0 +1,418 @@
+//! Sparse matrices as orthogonal lists (Figure 6 of the paper).
+//!
+//! Every nonzero element sits on two singly-linked lists: its row (linked
+//! by `ncolE`, "next column element") and its column (linked by `nrowE`).
+//! Row and column headers form linked lists (`nrowH`/`ncolH`) reached from
+//! the root via `rows`/`cols`; headers point at their first element via
+//! `relem`/`celem`. The twelve Appendix A axioms describe exactly this
+//! shape, and [`SparseMatrix::heap_graph`] exports it for model checking.
+//!
+//! Elements live in an arena ([`ElemId`] indices) — the idiomatic Rust
+//! encoding of a pointer structure — and are never physically removed
+//! (Gaussian elimination only adds fillins), so ids stay stable.
+
+use apt_axioms::graph::{HeapGraph, NodeId};
+use std::fmt;
+
+/// Index of an element in the arena.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ElemId(pub usize);
+
+/// One nonzero (or explicit fillin) element.
+#[derive(Debug, Clone)]
+pub struct Elem {
+    /// Row index.
+    pub row: usize,
+    /// Column index.
+    pub col: usize,
+    /// The stored value.
+    pub val: f64,
+    /// Next element in the same row (the paper's `ncolE`).
+    pub next_in_row: Option<ElemId>,
+    /// Next element in the same column (the paper's `nrowE`).
+    pub next_in_col: Option<ElemId>,
+}
+
+/// An `n × n` sparse matrix stored as orthogonal lists.
+#[derive(Debug, Clone)]
+pub struct SparseMatrix {
+    n: usize,
+    elems: Vec<Elem>,
+    row_head: Vec<Option<ElemId>>,
+    col_head: Vec<Option<ElemId>>,
+}
+
+impl SparseMatrix {
+    /// An empty `n × n` matrix.
+    pub fn new(n: usize) -> SparseMatrix {
+        SparseMatrix {
+            n,
+            elems: Vec::new(),
+            row_head: vec![None; n],
+            col_head: vec![None; n],
+        }
+    }
+
+    /// Builds from `(row, col, value)` triplets (later triplets overwrite
+    /// earlier ones at the same position).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range.
+    pub fn from_triplets(n: usize, triplets: &[(usize, usize, f64)]) -> SparseMatrix {
+        let mut m = SparseMatrix::new(n);
+        for &(r, c, v) in triplets {
+            m.set(r, c, v);
+        }
+        m
+    }
+
+    /// Builds from a dense row-major matrix, skipping exact zeros.
+    pub fn from_dense(rows: &[Vec<f64>]) -> SparseMatrix {
+        let n = rows.len();
+        let mut m = SparseMatrix::new(n);
+        for (r, row) in rows.iter().enumerate() {
+            assert_eq!(row.len(), n, "matrix must be square");
+            for (c, &v) in row.iter().enumerate() {
+                if v != 0.0 {
+                    m.set(r, c, v);
+                }
+            }
+        }
+        m
+    }
+
+    /// The dimension `n`.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of stored elements (including explicit zeros/fillins).
+    pub fn nnz(&self) -> usize {
+        self.elems.len()
+    }
+
+    /// Immutable access to an element by id.
+    pub fn elem(&self, id: ElemId) -> &Elem {
+        &self.elems[id.0]
+    }
+
+    /// Mutable access to an element's value.
+    pub fn elem_val_mut(&mut self, id: ElemId) -> &mut f64 {
+        &mut self.elems[id.0].val
+    }
+
+    /// Mutable references to every stored value, in arena order. The
+    /// returned references are disjoint, so they can be partitioned across
+    /// threads — the concrete counterpart of the scale loop's independence.
+    pub fn values_mut(&mut self) -> impl Iterator<Item = &mut f64> {
+        self.elems.iter_mut().map(|e| &mut e.val)
+    }
+
+    /// Finds the element at `(row, col)`, walking the row list.
+    pub fn find(&self, row: usize, col: usize) -> Option<ElemId> {
+        let mut cur = self.row_head[row];
+        while let Some(id) = cur {
+            let e = &self.elems[id.0];
+            if e.col == col {
+                return Some(id);
+            }
+            if e.col > col {
+                return None;
+            }
+            cur = e.next_in_row;
+        }
+        None
+    }
+
+    /// Reads the value at `(row, col)` (0 when absent).
+    pub fn get(&self, row: usize, col: usize) -> f64 {
+        self.find(row, col).map_or(0.0, |id| self.elems[id.0].val)
+    }
+
+    /// Writes `(row, col) = val`, inserting a new element (keeping the row
+    /// and column lists sorted) when absent. Returns the element id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of range.
+    pub fn set(&mut self, row: usize, col: usize, val: f64) -> ElemId {
+        assert!(row < self.n && col < self.n, "index out of range");
+        if let Some(id) = self.find(row, col) {
+            self.elems[id.0].val = val;
+            return id;
+        }
+        let id = ElemId(self.elems.len());
+        self.elems.push(Elem {
+            row,
+            col,
+            val,
+            next_in_row: None,
+            next_in_col: None,
+        });
+        // Splice into the row list (sorted by column).
+        let mut prev: Option<ElemId> = None;
+        let mut cur = self.row_head[row];
+        while let Some(c) = cur {
+            if self.elems[c.0].col > col {
+                break;
+            }
+            prev = Some(c);
+            cur = self.elems[c.0].next_in_row;
+        }
+        self.elems[id.0].next_in_row = cur;
+        match prev {
+            Some(p) => self.elems[p.0].next_in_row = Some(id),
+            None => self.row_head[row] = Some(id),
+        }
+        // Splice into the column list (sorted by row).
+        let mut prev: Option<ElemId> = None;
+        let mut cur = self.col_head[col];
+        while let Some(c) = cur {
+            if self.elems[c.0].row > row {
+                break;
+            }
+            prev = Some(c);
+            cur = self.elems[c.0].next_in_col;
+        }
+        self.elems[id.0].next_in_col = cur;
+        match prev {
+            Some(p) => self.elems[p.0].next_in_col = Some(id),
+            None => self.col_head[col] = Some(id),
+        }
+        id
+    }
+
+    /// Iterates over row `r`'s elements in column order.
+    pub fn iter_row(&self, r: usize) -> RowIter<'_> {
+        RowIter {
+            m: self,
+            cur: self.row_head[r],
+        }
+    }
+
+    /// Iterates over column `c`'s elements in row order.
+    pub fn iter_col(&self, c: usize) -> ColIter<'_> {
+        ColIter {
+            m: self,
+            cur: self.col_head[c],
+        }
+    }
+
+    /// Number of stored elements in row `r`.
+    pub fn row_len(&self, r: usize) -> usize {
+        self.iter_row(r).count()
+    }
+
+    /// Number of stored elements in column `c`.
+    pub fn col_len(&self, c: usize) -> usize {
+        self.iter_col(c).count()
+    }
+
+    /// Converts to a dense row-major matrix.
+    pub fn to_dense(&self) -> Vec<Vec<f64>> {
+        let mut out = vec![vec![0.0; self.n]; self.n];
+        for e in &self.elems {
+            out[e.row][e.col] = e.val;
+        }
+        out
+    }
+
+    /// Exports the structure as a labeled heap graph with the Figure 6
+    /// shape (root, header lists, element lists), suitable for checking
+    /// the Appendix A axioms.
+    pub fn heap_graph(&self) -> (HeapGraph, NodeId) {
+        let mut g = HeapGraph::new();
+        let root = g.add_node();
+        let row_headers: Vec<NodeId> = (0..self.n).map(|_| g.add_node()).collect();
+        let col_headers: Vec<NodeId> = (0..self.n).map(|_| g.add_node()).collect();
+        let elem_nodes: Vec<NodeId> = self.elems.iter().map(|_| g.add_node()).collect();
+
+        if let Some(&first) = row_headers.first() {
+            g.set_edge(root, "rows", first);
+        }
+        if let Some(&first) = col_headers.first() {
+            g.set_edge(root, "cols", first);
+        }
+        for w in row_headers.windows(2) {
+            g.set_edge(w[0], "nrowH", w[1]);
+        }
+        for w in col_headers.windows(2) {
+            g.set_edge(w[0], "ncolH", w[1]);
+        }
+        for (r, &head) in self.row_head.iter().enumerate() {
+            if let Some(id) = head {
+                g.set_edge(row_headers[r], "relem", elem_nodes[id.0]);
+            }
+        }
+        for (c, &head) in self.col_head.iter().enumerate() {
+            if let Some(id) = head {
+                g.set_edge(col_headers[c], "celem", elem_nodes[id.0]);
+            }
+        }
+        for (i, e) in self.elems.iter().enumerate() {
+            if let Some(nr) = e.next_in_row {
+                g.set_edge(elem_nodes[i], "ncolE", elem_nodes[nr.0]);
+            }
+            if let Some(nc) = e.next_in_col {
+                g.set_edge(elem_nodes[i], "nrowE", elem_nodes[nc.0]);
+            }
+        }
+        (g, root)
+    }
+}
+
+/// Iterator over a row's elements.
+#[derive(Debug)]
+pub struct RowIter<'a> {
+    m: &'a SparseMatrix,
+    cur: Option<ElemId>,
+}
+
+impl Iterator for RowIter<'_> {
+    type Item = ElemId;
+
+    fn next(&mut self) -> Option<ElemId> {
+        let id = self.cur?;
+        self.cur = self.m.elems[id.0].next_in_row;
+        Some(id)
+    }
+}
+
+/// Iterator over a column's elements.
+#[derive(Debug)]
+pub struct ColIter<'a> {
+    m: &'a SparseMatrix,
+    cur: Option<ElemId>,
+}
+
+impl Iterator for ColIter<'_> {
+    type Item = ElemId;
+
+    fn next(&mut self) -> Option<ElemId> {
+        let id = self.cur?;
+        self.cur = self.m.elems[id.0].next_in_col;
+        Some(id)
+    }
+}
+
+impl fmt::Display for SparseMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for row in self.to_dense() {
+            let cells: Vec<String> = row.iter().map(|v| format!("{v:8.3}")).collect();
+            writeln!(f, "[{}]", cells.join(" "))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apt_axioms::{adds, check::check_set};
+
+    fn example() -> SparseMatrix {
+        // The 4×4 example shape of Figure 6 (values arbitrary).
+        SparseMatrix::from_triplets(
+            4,
+            &[
+                (0, 0, 1.0),
+                (0, 2, 2.0),
+                (1, 1, 3.0),
+                (2, 0, 4.0),
+                (2, 2, 5.0),
+                (2, 3, 6.0),
+                (3, 1, 7.0),
+                (3, 3, 8.0),
+            ],
+        )
+    }
+
+    #[test]
+    fn get_set_roundtrip() {
+        let mut m = example();
+        assert_eq!(m.get(0, 2), 2.0);
+        assert_eq!(m.get(0, 1), 0.0);
+        m.set(0, 2, 9.0);
+        assert_eq!(m.get(0, 2), 9.0);
+        assert_eq!(m.nnz(), 8);
+        m.set(0, 1, 1.5); // insertion in the middle of row 0
+        assert_eq!(m.nnz(), 9);
+        assert_eq!(m.get(0, 1), 1.5);
+    }
+
+    #[test]
+    fn rows_sorted_by_column() {
+        let mut m = SparseMatrix::new(3);
+        m.set(0, 2, 1.0);
+        m.set(0, 0, 2.0);
+        m.set(0, 1, 3.0);
+        let cols: Vec<usize> = m.iter_row(0).map(|id| m.elem(id).col).collect();
+        assert_eq!(cols, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn cols_sorted_by_row() {
+        let mut m = SparseMatrix::new(3);
+        m.set(2, 1, 1.0);
+        m.set(0, 1, 2.0);
+        m.set(1, 1, 3.0);
+        let rows: Vec<usize> = m.iter_col(1).map(|id| m.elem(id).row).collect();
+        assert_eq!(rows, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn dense_roundtrip() {
+        let m = example();
+        let d = m.to_dense();
+        let m2 = SparseMatrix::from_dense(&d);
+        assert_eq!(m2.to_dense(), d);
+        assert_eq!(m2.nnz(), m.nnz());
+    }
+
+    #[test]
+    fn row_col_lengths() {
+        let m = example();
+        assert_eq!(m.row_len(2), 3);
+        assert_eq!(m.col_len(0), 2);
+        assert_eq!(m.row_len(1), 1);
+    }
+
+    #[test]
+    fn heap_graph_satisfies_appendix_a_axioms() {
+        let m = example();
+        let (g, _root) = m.heap_graph();
+        let axioms = adds::sparse_matrix_axioms();
+        assert_eq!(check_set(&g, &axioms), Ok(()));
+    }
+
+    #[test]
+    fn heap_graph_axioms_hold_after_insertions() {
+        let mut m = example();
+        // Simulate fillin insertions, then re-check the structure.
+        m.set(1, 0, 0.5);
+        m.set(3, 2, 0.25);
+        let (g, _root) = m.heap_graph();
+        assert_eq!(check_set(&g, &adds::sparse_matrix_axioms()), Ok(()));
+    }
+
+    #[test]
+    fn heap_graph_walks_match_lists() {
+        let m = example();
+        let (g, root) = m.heap_graph();
+        // root.rows.relem walks to row 0's first element.
+        let rows = apt_regex::Symbol::intern("rows");
+        let relem = apt_regex::Symbol::intern("relem");
+        let first = g.walk(root, &[rows, relem]).expect("row 0 nonempty");
+        // That vertex's ncolE chain has row_len(0) vertices total.
+        let chain = g.targets(first, &apt_regex::parse("ncolE*").unwrap());
+        assert_eq!(chain.len(), m.row_len(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "index out of range")]
+    fn set_out_of_range_panics() {
+        let mut m = SparseMatrix::new(2);
+        m.set(2, 0, 1.0);
+    }
+}

@@ -1,0 +1,385 @@
+//! Statements and programs.
+//!
+//! The IR supports exactly the constructs the paper's code fragments use:
+//! pointer assignment (`p = q`, `p = q->f`, `p = malloc(T)`), scalar reads
+//! and writes through pointers (`p->d = e`, `i = p->d`), structural updates
+//! (`p->f = q`, which modify the data structure), opaque-condition loops,
+//! and blocks. Statements carry optional labels (`S:`, `T:`) so dependence
+//! queries can refer to them, mirroring the paper's presentation.
+//!
+//! The IR is already in the normal form of §4.1: every memory access is a
+//! single field relative to a single pointer ("we assume that expressions
+//! involving multiple fields have already been simplified into this
+//! format" \[HDE+93\]). The parser performs that simplification.
+
+use crate::types::StructDecl;
+use apt_regex::Symbol;
+use std::fmt;
+
+/// A scalar expression. Scalars never affect points-to facts, so the
+/// dependence analysis treats them opaquely; reads through pointers are
+/// lifted to [`StmtKind::ScalarRead`] by normalization.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Expr {
+    /// Integer literal.
+    Int(i64),
+    /// A scalar variable.
+    Var(String),
+    /// An opaque side-effect-free call (`fun()` in the paper's Figure 1).
+    Call(String),
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Int(i) => write!(f, "{i}"),
+            Expr::Var(v) => write!(f, "{v}"),
+            Expr::Call(name) => write!(f, "{name}()"),
+        }
+    }
+}
+
+/// A statement, optionally labeled.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Stmt {
+    /// The label, e.g. `S` in `S: p->d = 100;`.
+    pub label: Option<String>,
+    /// The operation.
+    pub kind: StmtKind,
+}
+
+impl Stmt {
+    /// An unlabeled statement.
+    pub fn new(kind: StmtKind) -> Stmt {
+        Stmt { label: None, kind }
+    }
+
+    /// A labeled statement.
+    pub fn labeled(label: impl Into<String>, kind: StmtKind) -> Stmt {
+        Stmt {
+            label: Some(label.into()),
+            kind,
+        }
+    }
+}
+
+/// The statement forms.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StmtKind {
+    /// `dst = src;` — pointer copy.
+    PtrCopy {
+        /// Destination pointer variable.
+        dst: String,
+        /// Source pointer variable.
+        src: String,
+    },
+    /// `dst = src->field;` — pointer load. When `dst == src` this is the
+    /// self-relative update the paper exempts from handle creation
+    /// (induction variables).
+    PtrLoad {
+        /// Destination pointer variable.
+        dst: String,
+        /// Source pointer variable.
+        src: String,
+        /// The traversed pointer field.
+        field: Symbol,
+    },
+    /// `dst = malloc(ty);` — fresh allocation.
+    PtrNew {
+        /// Destination pointer variable.
+        dst: String,
+        /// Structure type allocated.
+        ty: String,
+    },
+    /// `dst = null;`
+    PtrNull {
+        /// Destination pointer variable.
+        dst: String,
+    },
+    /// `ptr->field = src;` — **structural modification** (§3.4).
+    PtrStore {
+        /// The modified object.
+        ptr: String,
+        /// The updated pointer field.
+        field: Symbol,
+        /// New target (a pointer variable), or `None` for null.
+        src: Option<String>,
+    },
+    /// `ptr->field = expr;` — scalar (data) write.
+    ScalarWrite {
+        /// The written object.
+        ptr: String,
+        /// The scalar field.
+        field: Symbol,
+        /// The written value.
+        value: Expr,
+    },
+    /// `var = ptr->field;` — scalar (data) read.
+    ScalarRead {
+        /// Destination scalar variable.
+        var: String,
+        /// The read object.
+        ptr: String,
+        /// The scalar field.
+        field: Symbol,
+    },
+    /// `var = expr;` — pure scalar assignment.
+    ScalarAssign {
+        /// Destination scalar variable.
+        var: String,
+        /// The value.
+        value: Expr,
+    },
+    /// `call f(p, q);` — invoke a procedure with pointer arguments
+    /// (by value: the callee cannot rebind the caller's variables, but it
+    /// can modify the structures they point to).
+    Call {
+        /// Callee name.
+        callee: String,
+        /// Pointer-variable arguments.
+        args: Vec<String>,
+    },
+    /// `reassert;` — the programmer asserts that the declared structure
+    /// invariants hold again (e.g. an insertion completed), re-enabling
+    /// axioms that stores had made suspect (§3.4). Collected access paths
+    /// remain invalidated.
+    Reassert,
+    /// `loop { body }` — a loop with an opaque condition; the analysis
+    /// treats the trip count as unknown.
+    Loop {
+        /// The loop body.
+        body: Block,
+    },
+    /// `if { then } else { other }` — opaque condition.
+    If {
+        /// Taken branch.
+        then_branch: Block,
+        /// Untaken branch (possibly empty).
+        else_branch: Block,
+    },
+}
+
+/// A statement sequence.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Block {
+    /// The statements in order.
+    pub stmts: Vec<Stmt>,
+}
+
+impl Block {
+    /// An empty block.
+    pub fn new() -> Block {
+        Block::default()
+    }
+
+    /// Depth-first search for a labeled statement.
+    pub fn find_labeled(&self, label: &str) -> Option<&Stmt> {
+        for s in &self.stmts {
+            if s.label.as_deref() == Some(label) {
+                return Some(s);
+            }
+            match &s.kind {
+                StmtKind::Loop { body } => {
+                    if let Some(found) = body.find_labeled(label) {
+                        return Some(found);
+                    }
+                }
+                StmtKind::If {
+                    then_branch,
+                    else_branch,
+                } => {
+                    if let Some(found) = then_branch
+                        .find_labeled(label)
+                        .or_else(|| else_branch.find_labeled(label))
+                    {
+                        return Some(found);
+                    }
+                }
+                _ => {}
+            }
+        }
+        None
+    }
+}
+
+impl FromIterator<Stmt> for Block {
+    fn from_iter<I: IntoIterator<Item = Stmt>>(iter: I) -> Self {
+        Block {
+            stmts: iter.into_iter().collect(),
+        }
+    }
+}
+
+/// A procedure: typed pointer parameters plus a body.
+#[derive(Debug, Clone)]
+pub struct Proc {
+    /// Procedure name.
+    pub name: String,
+    /// `(variable, type)` pointer parameters.
+    pub params: Vec<(String, String)>,
+    /// The body.
+    pub body: Block,
+}
+
+/// A whole program: type declarations plus procedures.
+#[derive(Debug, Clone, Default)]
+pub struct Program {
+    /// Structure types by declaration order.
+    pub types: Vec<StructDecl>,
+    /// Procedures by declaration order.
+    pub procs: Vec<Proc>,
+}
+
+impl Program {
+    /// An empty program.
+    pub fn new() -> Program {
+        Program::default()
+    }
+
+    /// Looks up a type by name.
+    pub fn type_decl(&self, name: &str) -> Option<&StructDecl> {
+        self.types.iter().find(|t| t.name == name)
+    }
+
+    /// Looks up a procedure by name.
+    pub fn proc(&self, name: &str) -> Option<&Proc> {
+        self.procs.iter().find(|p| p.name == name)
+    }
+
+    /// The union of all axioms attached to all types.
+    pub fn all_axioms(&self) -> apt_axioms::AxiomSet {
+        self.types
+            .iter()
+            .flat_map(|t| t.axioms.iter().cloned())
+            .collect()
+    }
+}
+
+fn fmt_block(b: &Block, f: &mut fmt::Formatter<'_>, depth: usize) -> fmt::Result {
+    let pad = "  ".repeat(depth);
+    for s in &b.stmts {
+        if let Some(l) = &s.label {
+            write!(f, "{pad}{l}: ")?;
+        } else {
+            write!(f, "{pad}")?;
+        }
+        match &s.kind {
+            StmtKind::PtrCopy { dst, src } => writeln!(f, "{dst} = {src};")?,
+            StmtKind::PtrLoad { dst, src, field } => writeln!(f, "{dst} = {src}->{field};")?,
+            StmtKind::PtrNew { dst, ty } => writeln!(f, "{dst} = malloc({ty});")?,
+            StmtKind::PtrNull { dst } => writeln!(f, "{dst} = null;")?,
+            StmtKind::PtrStore { ptr, field, src } => match src {
+                Some(s) => writeln!(f, "{ptr}->{field} = {s};")?,
+                None => writeln!(f, "{ptr}->{field} = null;")?,
+            },
+            StmtKind::ScalarWrite { ptr, field, value } => {
+                writeln!(f, "{ptr}->{field} = {value};")?
+            }
+            StmtKind::ScalarRead { var, ptr, field } => writeln!(f, "{var} = {ptr}->{field};")?,
+            StmtKind::ScalarAssign { var, value } => writeln!(f, "{var} = {value};")?,
+            StmtKind::Call { callee, args } => writeln!(f, "call {callee}({});", args.join(", "))?,
+            StmtKind::Reassert => writeln!(f, "reassert;")?,
+            StmtKind::Loop { body } => {
+                writeln!(f, "loop {{")?;
+                fmt_block(body, f, depth + 1)?;
+                writeln!(f, "{pad}}}")?;
+            }
+            StmtKind::If {
+                then_branch,
+                else_branch,
+            } => {
+                writeln!(f, "if {{")?;
+                fmt_block(then_branch, f, depth + 1)?;
+                if !else_branch.stmts.is_empty() {
+                    writeln!(f, "{pad}}} else {{")?;
+                    fmt_block(else_branch, f, depth + 1)?;
+                }
+                writeln!(f, "{pad}}}")?;
+            }
+        }
+    }
+    Ok(())
+}
+
+impl fmt::Display for Proc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let params: Vec<String> = self
+            .params
+            .iter()
+            .map(|(v, t)| format!("{v}: {t}"))
+            .collect();
+        writeln!(f, "proc {}({}) {{", self.name, params.join(", "))?;
+        fmt_block(&self.body, f, 1)?;
+        write!(f, "}}")
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for t in &self.types {
+            writeln!(f, "{t}")?;
+            writeln!(f)?;
+        }
+        for p in &self.procs {
+            writeln!(f, "{p}")?;
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn find_labeled_searches_nested_blocks() {
+        let inner = Stmt::labeled(
+            "S",
+            StmtKind::ScalarWrite {
+                ptr: "p".into(),
+                field: Symbol::intern("d"),
+                value: Expr::Int(1),
+            },
+        );
+        let body: Block = [inner].into_iter().collect();
+        let looped = Stmt::new(StmtKind::Loop { body });
+        let top: Block = [looped].into_iter().collect();
+        assert!(top.find_labeled("S").is_some());
+        assert!(top.find_labeled("T").is_none());
+    }
+
+    #[test]
+    fn program_lookups() {
+        let mut prog = Program::new();
+        prog.types.push(StructDecl::new("T"));
+        prog.procs.push(Proc {
+            name: "main".into(),
+            params: vec![("root".into(), "T".into())],
+            body: Block::new(),
+        });
+        assert!(prog.type_decl("T").is_some());
+        assert!(prog.type_decl("U").is_none());
+        assert!(prog.proc("main").is_some());
+    }
+
+    #[test]
+    fn display_round_trips_shape() {
+        let s = Stmt::labeled(
+            "S",
+            StmtKind::PtrLoad {
+                dst: "p".into(),
+                src: "root".into(),
+                field: Symbol::intern("L"),
+            },
+        );
+        let p = Proc {
+            name: "subr".into(),
+            params: vec![("root".into(), "T".into())],
+            body: [s].into_iter().collect(),
+        };
+        let text = p.to_string();
+        assert!(text.contains("proc subr(root: T)"));
+        assert!(text.contains("S: p = root->L;"));
+    }
+}

@@ -1,0 +1,49 @@
+//! A miniature imperative pointer IR.
+//!
+//! Part of the APT reproduction (Hummel, Hendren & Nicolau, PLDI 1994). The
+//! paper's prototype consumed C programs through a McCAT-style front-end
+//! that normalized every memory access into the `S: … p->f …` form of §4.1;
+//! this crate plays that role for the reproduction. It provides:
+//!
+//! * [`StructDecl`] — structure types with pointer/scalar fields and the
+//!   aliasing axioms the paper attaches to type declarations (Figure 3);
+//! * [`Program`]/[`Proc`]/[`Stmt`] — the statement forms the paper's
+//!   fragments use, with structural modifications ([`StmtKind::PtrStore`])
+//!   distinguished from data writes;
+//! * [`parse_program`] — a front-end for a C-like concrete syntax that
+//!   normalizes multi-field chains into single-field statements during
+//!   parsing.
+//!
+//! The access-path analysis over this IR lives in `apt-paths`.
+//!
+//! ```
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let program = apt_ir::parse_program(r"
+//!     type List {
+//!         ptr next: List;
+//!         data val;
+//!         axiom A1: forall p <> q, p.next <> q.next;
+//!     }
+//!     proc walk(head: List) {
+//!         p = head;
+//!         loop {
+//!             p = p->next;
+//!         U:  p->val = fun();
+//!         }
+//!     }
+//! ")?;
+//! assert_eq!(program.type_decl("List").unwrap().axioms.len(), 1);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod ast;
+mod parse;
+mod types;
+
+pub use ast::{Block, Expr, Proc, Program, Stmt, StmtKind};
+pub use parse::{parse_program, ParseProgramError};
+pub use types::{PointerField, StructDecl};

@@ -1,0 +1,114 @@
+//! Structure type declarations.
+//!
+//! The paper's examples attach aliasing axioms to C `struct` declarations
+//! (Figure 3, Figure 6). A [`StructDecl`] is the IR-level mirror: named
+//! pointer fields (each with a target type), scalar data fields, and the
+//! axiom text for the structure.
+
+use apt_regex::Symbol;
+use std::fmt;
+
+/// A pointer field of a structure: name plus the structure type it points
+/// to.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PointerField {
+    /// Field name (interned).
+    pub name: Symbol,
+    /// Target structure type name.
+    pub target: String,
+}
+
+/// A structure type with pointer fields, scalar fields, and attached
+/// aliasing axioms.
+#[derive(Debug, Clone)]
+pub struct StructDecl {
+    /// The type name.
+    pub name: String,
+    /// Pointer fields in declaration order.
+    pub pointers: Vec<PointerField>,
+    /// Scalar (data) fields.
+    pub scalars: Vec<Symbol>,
+    /// The axioms declared with the type.
+    pub axioms: apt_axioms::AxiomSet,
+}
+
+impl StructDecl {
+    /// Creates a declaration with no fields or axioms.
+    pub fn new(name: impl Into<String>) -> StructDecl {
+        StructDecl {
+            name: name.into(),
+            pointers: Vec::new(),
+            scalars: Vec::new(),
+            axioms: apt_axioms::AxiomSet::new(),
+        }
+    }
+
+    /// Whether `field` is a pointer field of this type.
+    pub fn is_pointer_field(&self, field: Symbol) -> bool {
+        self.pointers.iter().any(|p| p.name == field)
+    }
+
+    /// Whether `field` is a scalar field of this type.
+    pub fn is_scalar_field(&self, field: Symbol) -> bool {
+        self.scalars.contains(&field)
+    }
+
+    /// The target type of pointer field `field`, if it is one.
+    pub fn pointer_target(&self, field: Symbol) -> Option<&str> {
+        self.pointers
+            .iter()
+            .find(|p| p.name == field)
+            .map(|p| p.target.as_str())
+    }
+}
+
+impl fmt::Display for StructDecl {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "type {} {{", self.name)?;
+        for p in &self.pointers {
+            writeln!(f, "  ptr {}: {};", p.name, p.target)?;
+        }
+        for s in &self.scalars {
+            writeln!(f, "  data {s};")?;
+        }
+        for a in self.axioms.iter() {
+            writeln!(f, "  axiom {a};")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tree_decl() -> StructDecl {
+        let mut d = StructDecl::new("LLBinaryTree");
+        for f in ["L", "R", "N"] {
+            d.pointers.push(PointerField {
+                name: Symbol::intern(f),
+                target: "LLBinaryTree".into(),
+            });
+        }
+        d.scalars.push(Symbol::intern("d"));
+        d
+    }
+
+    #[test]
+    fn field_classification() {
+        let d = tree_decl();
+        assert!(d.is_pointer_field(Symbol::intern("L")));
+        assert!(!d.is_pointer_field(Symbol::intern("d")));
+        assert!(d.is_scalar_field(Symbol::intern("d")));
+        assert_eq!(d.pointer_target(Symbol::intern("N")), Some("LLBinaryTree"));
+        assert_eq!(d.pointer_target(Symbol::intern("zzz")), None);
+    }
+
+    #[test]
+    fn display_renders_declaration() {
+        let s = tree_decl().to_string();
+        assert!(s.contains("type LLBinaryTree"));
+        assert!(s.contains("ptr L: LLBinaryTree;"));
+        assert!(s.contains("data d;"));
+    }
+}

@@ -1,0 +1,381 @@
+//! A deterministic multiprocessor substitute for the paper's 8-PE Sequent.
+//!
+//! Figure 7 of the paper reports speedups from hand-parallelized C on a
+//! 1988-era shared-memory machine. This crate replaces that testbed with a
+//! deterministic model (documented as a substitution in `DESIGN.md`):
+//! workloads emit *task traces* — sequences of steps, each a bag of
+//! independent tasks with measured operation counts — and a list scheduler
+//! assigns the tasks of parallel steps onto `P` processing elements.
+//! Speedup is `T(1)/T(P)` where `T(P)` sums per-step makespans.
+//!
+//! What Fig. 7 actually demonstrates — *which loops the dependence test
+//! parallelizes and how much parallelism that exposes* — is preserved:
+//! a step is only scheduled in parallel when the analysis (partial or
+//! full, see `apt-bench`) has broken its loop-carried dependences;
+//! everything else serializes.
+//!
+//! [`execute_parallel`] additionally runs real closures on real threads
+//! (crossbeam scoped), used by the tests to confirm that "independent"
+//! task sets are actually race-free on the concrete data structures.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// One step of a workload: a bag of tasks with operation-count costs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Step {
+    /// Step name (e.g. `"eliminate"`), for reporting.
+    pub name: String,
+    /// Per-task costs in abstract operations.
+    pub tasks: Vec<u64>,
+    /// Whether the dependence analysis allows this step's tasks to run
+    /// concurrently. Sequential steps execute as a single chain.
+    pub parallel: bool,
+}
+
+impl Step {
+    /// A parallel step.
+    pub fn parallel(name: impl Into<String>, tasks: Vec<u64>) -> Step {
+        Step {
+            name: name.into(),
+            tasks,
+            parallel: true,
+        }
+    }
+
+    /// A sequential step.
+    pub fn sequential(name: impl Into<String>, tasks: Vec<u64>) -> Step {
+        Step {
+            name: name.into(),
+            tasks,
+            parallel: false,
+        }
+    }
+
+    /// Total work in the step.
+    pub fn total_work(&self) -> u64 {
+        self.tasks.iter().sum()
+    }
+}
+
+/// A whole workload trace: steps execute in order (a barrier between
+/// steps), tasks within a parallel step run concurrently.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Trace {
+    /// The steps in execution order.
+    pub steps: Vec<Step>,
+}
+
+impl Trace {
+    /// An empty trace.
+    pub fn new() -> Trace {
+        Trace::default()
+    }
+
+    /// Appends a step.
+    pub fn push(&mut self, step: Step) {
+        self.steps.push(step);
+    }
+
+    /// Appends every step of another trace.
+    pub fn extend_from(&mut self, other: &Trace) {
+        self.steps.extend(other.steps.iter().cloned());
+    }
+
+    /// Total work across all steps (= `T(1)`).
+    pub fn total_work(&self) -> u64 {
+        self.steps.iter().map(Step::total_work).sum()
+    }
+
+    /// Simulated execution time on `pes` processing elements.
+    ///
+    /// Parallel steps are list-scheduled (longest-processing-time first,
+    /// greedy earliest-finish); sequential steps run as a chain on one PE.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pes == 0`.
+    pub fn makespan(&self, pes: usize) -> u64 {
+        assert!(pes > 0, "at least one processing element required");
+        self.steps
+            .iter()
+            .map(|s| {
+                if s.parallel {
+                    list_schedule(&s.tasks, pes)
+                } else {
+                    s.total_work()
+                }
+            })
+            .sum()
+    }
+
+    /// Speedup `T(1)/T(pes)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pes == 0`.
+    pub fn speedup(&self, pes: usize) -> f64 {
+        let t1 = self.total_work() as f64;
+        let tp = self.makespan(pes) as f64;
+        if tp == 0.0 {
+            1.0
+        } else {
+            t1 / tp
+        }
+    }
+
+    /// Simulated execution time on an explicit [`MachineModel`]: like
+    /// [`Trace::makespan`], but every parallel step additionally pays the
+    /// machine's fork/join barrier overhead (sequentially). With more than
+    /// one PE the barrier is charged even to sequential steps' boundaries
+    /// being crossed is free — only parallel dispatch costs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `machine.pes == 0`.
+    pub fn makespan_on(&self, machine: MachineModel) -> u64 {
+        assert!(machine.pes > 0, "at least one processing element required");
+        self.steps
+            .iter()
+            .map(|s| {
+                if s.parallel && machine.pes > 1 && !s.tasks.is_empty() {
+                    list_schedule(&s.tasks, machine.pes) + machine.barrier_overhead
+                } else {
+                    s.total_work()
+                }
+            })
+            .sum()
+    }
+
+    /// Speedup `T(1 PE, no overhead)/T(machine)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `machine.pes == 0`.
+    pub fn speedup_on(&self, machine: MachineModel) -> f64 {
+        let t1 = self.total_work() as f64;
+        let tp = self.makespan_on(machine) as f64;
+        if tp == 0.0 {
+            1.0
+        } else {
+            t1 / tp
+        }
+    }
+}
+
+/// A shared-memory multiprocessor: PE count plus the fork/join barrier
+/// cost (in the same abstract operation units as task costs) paid by each
+/// parallel step. Models the synchronization overhead of the paper's
+/// bus-based Sequent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MachineModel {
+    /// Number of processing elements.
+    pub pes: usize,
+    /// Fork/join cost charged once per parallel step.
+    pub barrier_overhead: u64,
+}
+
+impl MachineModel {
+    /// An ideal machine with free synchronization.
+    pub fn ideal(pes: usize) -> MachineModel {
+        MachineModel {
+            pes,
+            barrier_overhead: 0,
+        }
+    }
+}
+
+/// Longest-processing-time-first list scheduling of independent tasks onto
+/// `pes` identical processors; returns the makespan. LPT is the classic
+/// 4/3-optimal heuristic and mirrors what a static loop scheduler achieves
+/// on independent iterations.
+///
+/// # Panics
+///
+/// Panics if `pes == 0`.
+pub fn list_schedule(tasks: &[u64], pes: usize) -> u64 {
+    assert!(pes > 0, "at least one processing element required");
+    if tasks.is_empty() {
+        return 0;
+    }
+    let mut sorted: Vec<u64> = tasks.to_vec();
+    sorted.sort_unstable_by(|a, b| b.cmp(a));
+    // Min-heap of PE finish times.
+    let mut heap: BinaryHeap<Reverse<u64>> = (0..pes).map(|_| Reverse(0)).collect();
+    for t in sorted {
+        let Reverse(earliest) = heap.pop().expect("heap has pes entries");
+        heap.push(Reverse(earliest + t));
+    }
+    heap.into_iter().map(|Reverse(t)| t).max().unwrap_or(0)
+}
+
+/// Runs independent closures on up to `pes` real threads (static chunking),
+/// for validating that task sets the analysis declared independent are
+/// actually race-free. Results are returned in task order.
+///
+/// # Panics
+///
+/// Panics if `pes == 0` or if a task panics.
+pub fn execute_parallel<T, F>(tasks: Vec<F>, pes: usize) -> Vec<T>
+where
+    T: Send,
+    F: FnOnce() -> T + Send,
+{
+    assert!(pes > 0, "at least one processing element required");
+    let n = tasks.len();
+    let mut results: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    let chunk = n.div_ceil(pes).max(1);
+    crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        let mut rest: &mut [Option<T>] = &mut results;
+        let mut task_iter = tasks.into_iter();
+        loop {
+            let take = chunk.min(rest.len());
+            if take == 0 {
+                break;
+            }
+            let (head, tail) = rest.split_at_mut(take);
+            rest = tail;
+            let chunk_tasks: Vec<F> = task_iter.by_ref().take(take).collect();
+            handles.push(scope.spawn(move |_| {
+                for (slot, task) in head.iter_mut().zip(chunk_tasks) {
+                    *slot = Some(task());
+                }
+            }));
+        }
+        for h in handles {
+            h.join().expect("worker panicked");
+        }
+    })
+    .expect("scope failed");
+    results
+        .into_iter()
+        .map(|r| r.expect("every task ran"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn list_schedule_balances_equal_tasks() {
+        assert_eq!(list_schedule(&[1; 8], 4), 2);
+        assert_eq!(list_schedule(&[1; 8], 8), 1);
+        assert_eq!(list_schedule(&[1; 8], 1), 8);
+    }
+
+    #[test]
+    fn list_schedule_handles_imbalance() {
+        // One giant task dominates.
+        assert_eq!(list_schedule(&[100, 1, 1, 1], 4), 100);
+        // LPT on two PEs: 5|4, 3→PE2 (7), 3→PE1 (8), 3→PE2 (10). The
+        // optimum is 9 (5+4 | 3+3+3); LPT's 10 is within its 4/3 bound.
+        assert_eq!(list_schedule(&[5, 4, 3, 3, 3], 2), 10);
+    }
+
+    #[test]
+    fn empty_tasks_are_free() {
+        assert_eq!(list_schedule(&[], 4), 0);
+    }
+
+    #[test]
+    fn sequential_steps_do_not_scale() {
+        let mut trace = Trace::new();
+        trace.push(Step::sequential("adjust", vec![10, 10]));
+        assert_eq!(trace.makespan(8), 20);
+        assert!((trace.speedup(8) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn parallel_steps_scale() {
+        let mut trace = Trace::new();
+        trace.push(Step::parallel("eliminate", vec![5; 8]));
+        assert_eq!(trace.makespan(1), 40);
+        assert_eq!(trace.makespan(4), 10);
+        assert!((trace.speedup(4) - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn amdahl_shape() {
+        // Half the work sequential → speedup approaches 2.
+        let mut trace = Trace::new();
+        trace.push(Step::sequential("seq", vec![100]));
+        trace.push(Step::parallel("par", vec![1; 100]));
+        let s7 = trace.speedup(7);
+        assert!(s7 > 1.5 && s7 < 2.0, "Amdahl bound violated: {s7}");
+    }
+
+    #[test]
+    fn speedup_monotone_in_pes() {
+        let mut trace = Trace::new();
+        trace.push(Step::parallel("a", (1..50).collect()));
+        trace.push(Step::sequential("b", vec![30]));
+        trace.push(Step::parallel("c", vec![7; 31]));
+        let mut prev = 0.0;
+        for p in 1..=8 {
+            let s = trace.speedup(p);
+            assert!(s + 1e-9 >= prev, "speedup dropped at {p} PEs");
+            prev = s;
+        }
+    }
+
+    #[test]
+    fn trace_composition() {
+        let mut a = Trace::new();
+        a.push(Step::parallel("x", vec![1, 2]));
+        let mut b = Trace::new();
+        b.push(Step::sequential("y", vec![3]));
+        a.extend_from(&b);
+        assert_eq!(a.steps.len(), 2);
+        assert_eq!(a.total_work(), 6);
+    }
+
+    #[test]
+    fn execute_parallel_returns_in_order() {
+        let tasks: Vec<Box<dyn FnOnce() -> usize + Send>> = (0..32usize)
+            .map(|i| Box::new(move || i * i) as Box<dyn FnOnce() -> usize + Send>)
+            .collect();
+        let results = execute_parallel(tasks, 4);
+        for (i, r) in results.iter().enumerate() {
+            assert_eq!(*r, i * i);
+        }
+    }
+
+    #[test]
+    fn execute_parallel_single_pe() {
+        let tasks: Vec<Box<dyn FnOnce() -> u32 + Send>> = (0..5u32)
+            .map(|i| Box::new(move || i + 1) as Box<dyn FnOnce() -> u32 + Send>)
+            .collect();
+        assert_eq!(execute_parallel(tasks, 1), vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn zero_pes_panics() {
+        let _ = list_schedule(&[1], 0);
+    }
+
+    #[test]
+    fn machine_overhead_reduces_speedup() {
+        let mut trace = Trace::new();
+        for _ in 0..10 {
+            trace.push(Step::parallel("p", vec![10; 8]));
+        }
+        let ideal = trace.speedup_on(MachineModel::ideal(4));
+        let real = trace.speedup_on(MachineModel {
+            pes: 4,
+            barrier_overhead: 20,
+        });
+        assert!(real < ideal, "overhead must cost: {real} vs {ideal}");
+        // One PE never pays barriers.
+        let m1 = MachineModel {
+            pes: 1,
+            barrier_overhead: 999,
+        };
+        assert_eq!(trace.makespan_on(m1), trace.total_work());
+    }
+}

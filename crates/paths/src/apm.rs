@@ -1,0 +1,487 @@
+//! Access path matrices (§3.3 of the paper).
+//!
+//! "There exists an APM at each program point, where each entry in an APM
+//! denotes a path (or set of paths) which may have been traversed up to
+//! (but not including) that point in the program." Rows are *handles*
+//! (fixed anchor vertices), columns are pointer variables.
+
+use apt_core::Handle;
+use apt_ir::{Stmt, StmtKind};
+use apt_regex::{Component, Path, Symbol};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// An access path matrix: `entries[(handle, var)] = path`.
+///
+/// Besides the matrix itself, the state tracks the §3.4 bookkeeping:
+/// a per-field *version* (bumped by every store to that field — an access
+/// path is valid across a region iff the versions of every field it
+/// traverses are unchanged), the set of fields whose axioms are currently
+/// *suspect* (a store may have broken the structure invariants mentioning
+/// that field, until a `reassert`), and a wildcard flag for opaque calls
+/// that may have modified anything.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Apm {
+    entries: BTreeMap<(Handle, String), Path>,
+    /// Bumped by every structural modification; a cheap summary of the
+    /// per-field versions.
+    epoch: u64,
+    /// Store count per pointer field.
+    field_versions: BTreeMap<Symbol, u64>,
+    /// Bumped when an un-inlinable call may have modified unknown fields.
+    wildcard_version: u64,
+    /// Fields whose axioms are suspect since the last `reassert`.
+    dirty_axiom_fields: BTreeSet<Symbol>,
+    /// Set when an opaque call makes *every* axiom suspect.
+    all_axioms_dirty: bool,
+}
+
+impl Apm {
+    /// The empty matrix.
+    pub fn new() -> Apm {
+        Apm::default()
+    }
+
+    /// The structural-modification epoch at this program point.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Declares a pointer variable anchored at a fresh handle (procedure
+    /// entry, per the paper's `_hroot`).
+    pub fn seed_var(&mut self, var: &str) -> Handle {
+        let h = Handle::for_variable(var);
+        self.entries
+            .insert((h.clone(), var.to_owned()), Path::epsilon());
+        h
+    }
+
+    /// All `(handle, path)` rows for one variable.
+    pub fn paths_of(&self, var: &str) -> Vec<(Handle, Path)> {
+        self.entries
+            .iter()
+            .filter(|((_, v), _)| v == var)
+            .map(|((h, _), p)| (h.clone(), p.clone()))
+            .collect()
+    }
+
+    /// The path of `var` relative to `handle`, if recorded.
+    pub fn path_from(&self, handle: &Handle, var: &str) -> Option<&Path> {
+        self.entries.get(&(handle.clone(), var.to_owned()))
+    }
+
+    /// Handles common to two variables — the starting point of a
+    /// dependence query ("we scan the APMs … looking for a handle common to
+    /// both p and q").
+    pub fn common_handles(&self, var_a: &str, var_b: &str) -> Vec<Handle> {
+        let ha: Vec<Handle> = self.paths_of(var_a).into_iter().map(|(h, _)| h).collect();
+        self.paths_of(var_b)
+            .into_iter()
+            .map(|(h, _)| h)
+            .filter(|h| ha.contains(h))
+            .collect()
+    }
+
+    /// The live handles (rows).
+    pub fn handles(&self) -> Vec<Handle> {
+        let mut hs: Vec<Handle> = self.entries.keys().map(|(h, _)| h.clone()).collect();
+        hs.sort();
+        hs.dedup();
+        hs
+    }
+
+    /// The tracked variables (columns).
+    pub fn vars(&self) -> Vec<String> {
+        let mut vs: Vec<String> = self.entries.keys().map(|(_, v)| v.clone()).collect();
+        vs.sort();
+        vs.dedup();
+        vs
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the matrix has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    fn kill_var(&mut self, var: &str) {
+        self.entries.retain(|(_, v), _| v != var);
+    }
+
+    /// Directly records `var = handle.path`. Used by the analysis driver
+    /// when constructing widened loop states; ordinary clients should rely
+    /// on [`Apm::transfer`].
+    pub fn insert_entry(&mut self, handle: Handle, var: String, path: Path) {
+        self.entries.insert((handle, var), path);
+    }
+
+    /// Overrides the structural-modification epoch (used when a widened
+    /// loop state must inherit the epoch of the probed loop body).
+    pub fn set_epoch(&mut self, epoch: u64) {
+        self.epoch = epoch;
+    }
+
+    /// Copies the §3.4 modification bookkeeping (epoch, field versions,
+    /// wildcard counter, suspect-axiom sets) from another state. Used when
+    /// a widened loop state must reflect the stores its body performs —
+    /// otherwise paths could be wrongly considered valid across the loop.
+    pub fn inherit_modifications(&mut self, from: &Apm) {
+        self.epoch = from.epoch;
+        self.field_versions = from.field_versions.clone();
+        self.wildcard_version = from.wildcard_version;
+        self.dirty_axiom_fields = from.dirty_axiom_fields.clone();
+        self.all_axioms_dirty = from.all_axioms_dirty;
+    }
+
+    /// Drops every variable column not in `keep` (used when leaving an
+    /// inlined callee: its locals go out of scope).
+    pub fn retain_vars(&mut self, keep: &BTreeSet<String>) {
+        self.entries.retain(|(_, v), _| keep.contains(v));
+    }
+
+    /// The store count of one field.
+    pub fn field_version(&self, field: Symbol) -> u64 {
+        self.field_versions.get(&field).copied().unwrap_or(0)
+    }
+
+    /// The opaque-call counter.
+    pub fn wildcard_version(&self) -> u64 {
+        self.wildcard_version
+    }
+
+    /// Fields whose axioms are suspect since the last `reassert`.
+    pub fn dirty_axiom_fields(&self) -> &BTreeSet<Symbol> {
+        &self.dirty_axiom_fields
+    }
+
+    /// Whether an opaque call has made every axiom suspect.
+    pub fn all_axioms_dirty(&self) -> bool {
+        self.all_axioms_dirty
+    }
+
+    /// The fields stored to between `earlier` and `self`, plus whether an
+    /// opaque call may have stored to anything.
+    pub fn modified_fields_since(&self, earlier: &Apm) -> (BTreeSet<Symbol>, bool) {
+        let mut fields = BTreeSet::new();
+        for (f, v) in &self.field_versions {
+            if *v > earlier.field_version(*f) {
+                fields.insert(*f);
+            }
+        }
+        (fields, self.wildcard_version > earlier.wildcard_version)
+    }
+
+    /// Whether a path collected at `self` is still valid at `later`: no
+    /// field it traverses has been stored to in between (§3.3: "since none
+    /// of the pointer fields in the data structure have been modified
+    /// between S and T, we know that p's access path is still valid").
+    pub fn path_valid_at(&self, path: &Path, later: &Apm) -> bool {
+        if self.wildcard_version != later.wildcard_version {
+            return false;
+        }
+        path.to_regex()
+            .symbols()
+            .into_iter()
+            .all(|f| self.field_version(f) == later.field_version(f))
+    }
+
+    /// Applies one statement's transfer function.
+    pub fn transfer(&mut self, stmt: &Stmt) {
+        match &stmt.kind {
+            StmtKind::PtrCopy { dst, src } => {
+                if dst == src {
+                    return;
+                }
+                let src_entries = self.paths_of(src);
+                self.kill_var(dst);
+                for (h, p) in src_entries {
+                    self.entries.insert((h, dst.clone()), p);
+                }
+                // Fresh handle anchoring the (re)assigned variable.
+                let h = Handle::for_variable(dst);
+                self.entries.insert((h, dst.clone()), Path::epsilon());
+            }
+            StmtKind::PtrLoad { dst, src, field } => {
+                if dst == src {
+                    // Self-relative update: extend every path; no new
+                    // handle (the induction-variable exception of §3.3).
+                    let keys: Vec<(Handle, String)> = self
+                        .entries
+                        .keys()
+                        .filter(|(_, v)| v == dst)
+                        .cloned()
+                        .collect();
+                    for k in keys {
+                        if let Some(p) = self.entries.get_mut(&k) {
+                            p.push(Component::Field(*field));
+                        }
+                    }
+                } else {
+                    let src_entries = self.paths_of(src);
+                    self.kill_var(dst);
+                    for (h, p) in src_entries {
+                        let mut p = p;
+                        p.push(Component::Field(*field));
+                        self.entries.insert((h, dst.clone()), p);
+                    }
+                    let h = Handle::for_variable(dst);
+                    self.entries.insert((h, dst.clone()), Path::epsilon());
+                }
+            }
+            StmtKind::PtrNew { dst, .. } => {
+                self.kill_var(dst);
+                let h = Handle::for_variable(dst);
+                self.entries.insert((h, dst.clone()), Path::epsilon());
+            }
+            StmtKind::PtrNull { dst } => {
+                self.kill_var(dst);
+            }
+            StmtKind::Call { .. } => {
+                // Reaching the local transfer function means the analysis
+                // driver could not inline the call (unknown callee,
+                // recursion, arity mismatch): assume the callee may
+                // restructure anything reachable.
+                let vars = self.vars();
+                self.entries.clear();
+                for v in vars {
+                    let h = Handle::for_variable(&v);
+                    self.entries.insert((h, v), Path::epsilon());
+                }
+                self.epoch += 1;
+                self.wildcard_version += 1;
+                for v in self.field_versions.values_mut() {
+                    *v += 1;
+                }
+                self.all_axioms_dirty = true;
+            }
+            StmtKind::PtrStore { field, .. } => {
+                // Structural modification (§3.4), field-sensitive: a store
+                // to `field` can only divert paths that traverse `field`,
+                // and can only break invariants that mention `field`.
+                // Entries whose path avoids the field stay valid; variables
+                // that lose every anchor are re-anchored fresh.
+                let vars = self.vars();
+                let f = *field;
+                self.entries.retain(|_, path| !path_mentions(path, f));
+                for v in vars {
+                    if self.paths_of(&v).is_empty() {
+                        let h = Handle::for_variable(&v);
+                        self.entries.insert((h, v), Path::epsilon());
+                    }
+                }
+                self.epoch += 1;
+                *self.field_versions.entry(f).or_insert(0) += 1;
+                self.dirty_axiom_fields.insert(f);
+            }
+            StmtKind::Reassert => {
+                // The programmer asserts the declared structure invariants
+                // hold again (inserts complete, §3.4): axioms become
+                // usable; previously collected paths stay invalid (the
+                // edges really changed).
+                self.dirty_axiom_fields.clear();
+                self.all_axioms_dirty = false;
+            }
+            StmtKind::ScalarWrite { .. }
+            | StmtKind::ScalarRead { .. }
+            | StmtKind::ScalarAssign { .. } => {}
+            StmtKind::Loop { .. } | StmtKind::If { .. } => {
+                // Compound statements are handled by the analysis driver,
+                // not by the local transfer function.
+            }
+        }
+    }
+
+    /// The join of two matrices at a control-flow merge: entries present in
+    /// both with identical paths survive; everything else is dropped
+    /// (conservative — a dropped variable simply has no usable anchor).
+    #[must_use]
+    pub fn join(&self, other: &Apm) -> Apm {
+        let entries = self
+            .entries
+            .iter()
+            .filter(|(k, p)| other.entries.get(*k) == Some(*p))
+            .map(|(k, p)| (k.clone(), p.clone()))
+            .collect();
+        let mut field_versions = self.field_versions.clone();
+        for (f, v) in &other.field_versions {
+            let e = field_versions.entry(*f).or_insert(0);
+            *e = (*e).max(*v);
+        }
+        Apm {
+            entries,
+            epoch: self.epoch.max(other.epoch),
+            field_versions,
+            wildcard_version: self.wildcard_version.max(other.wildcard_version),
+            dirty_axiom_fields: self
+                .dirty_axiom_fields
+                .union(&other.dirty_axiom_fields)
+                .copied()
+                .collect(),
+            all_axioms_dirty: self.all_axioms_dirty || other.all_axioms_dirty,
+        }
+    }
+}
+
+/// Whether a path traverses the given field anywhere.
+fn path_mentions(path: &Path, field: Symbol) -> bool {
+    path.to_regex().symbols().contains(&field)
+}
+
+impl fmt::Display for Apm {
+    /// Renders in the paper's matrix layout: rows are handles, columns are
+    /// variables.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let vars = self.vars();
+        let handles = self.handles();
+        write!(f, "{:<10}", "APM")?;
+        for v in &vars {
+            write!(f, " {v:<14}")?;
+        }
+        writeln!(f)?;
+        for h in &handles {
+            write!(f, "{:<10}", h.to_string())?;
+            for v in &vars {
+                let cell = self
+                    .path_from(h, v)
+                    .map_or(String::new(), |p| p.to_string());
+                write!(f, " {cell:<14}")?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apt_ir::Stmt;
+    use apt_regex::Symbol;
+
+    fn load(dst: &str, src: &str, field: &str) -> Stmt {
+        Stmt::new(StmtKind::PtrLoad {
+            dst: dst.into(),
+            src: src.into(),
+            field: Symbol::intern(field),
+        })
+    }
+
+    #[test]
+    fn paper_apm_at_statement_s() {
+        // root = root->L; p = root->L; p = p->N;  (paper §3.3)
+        let mut apm = Apm::new();
+        let hroot = apm.seed_var("root");
+        apm.transfer(&load("root", "root", "L"));
+        apm.transfer(&load("p", "root", "L"));
+        apm.transfer(&load("p", "p", "N"));
+
+        assert_eq!(apm.path_from(&hroot, "root").unwrap().to_string(), "L");
+        assert_eq!(apm.path_from(&hroot, "p").unwrap().to_string(), "L.L.N");
+        // p also has its own handle with path N
+        let own: Vec<(Handle, Path)> = apm
+            .paths_of("p")
+            .into_iter()
+            .filter(|(h, _)| *h != hroot)
+            .collect();
+        assert_eq!(own.len(), 1);
+        assert_eq!(own[0].1.to_string(), "N");
+    }
+
+    #[test]
+    fn copy_reanchors_and_destroys_old_handle() {
+        // continuing the paper's example: p = root
+        let mut apm = Apm::new();
+        let hroot = apm.seed_var("root");
+        apm.transfer(&load("root", "root", "L"));
+        apm.transfer(&load("p", "root", "L"));
+        apm.transfer(&load("p", "p", "N"));
+        apm.transfer(&Stmt::new(StmtKind::PtrCopy {
+            dst: "p".into(),
+            src: "root".into(),
+        }));
+        // _hp (old) is gone: p's entries are _hroot.L and fresh _hp2.eps
+        let entries = apm.paths_of("p");
+        assert_eq!(entries.len(), 2);
+        assert_eq!(apm.path_from(&hroot, "p").unwrap().to_string(), "L");
+        assert!(entries.iter().any(|(h, p)| *h != hroot && p.is_epsilon()));
+    }
+
+    #[test]
+    fn common_handles_found() {
+        let mut apm = Apm::new();
+        let hroot = apm.seed_var("root");
+        apm.transfer(&load("p", "root", "L"));
+        apm.transfer(&load("q", "root", "R"));
+        let common = apm.common_handles("p", "q");
+        assert_eq!(common, vec![hroot]);
+    }
+
+    #[test]
+    fn malloc_gives_fresh_anchor_only() {
+        let mut apm = Apm::new();
+        apm.seed_var("root");
+        apm.transfer(&Stmt::new(StmtKind::PtrNew {
+            dst: "q".into(),
+            ty: "T".into(),
+        }));
+        let entries = apm.paths_of("q");
+        assert_eq!(entries.len(), 1);
+        assert!(entries[0].1.is_epsilon());
+        assert!(apm.common_handles("root", "q").is_empty());
+    }
+
+    #[test]
+    fn structural_store_invalidates_paths_and_bumps_epoch() {
+        let mut apm = Apm::new();
+        apm.seed_var("root");
+        apm.transfer(&load("p", "root", "L"));
+        assert_eq!(apm.epoch(), 0);
+        apm.transfer(&Stmt::new(StmtKind::PtrStore {
+            ptr: "root".into(),
+            field: Symbol::intern("L"),
+            src: Some("p".into()),
+        }));
+        assert_eq!(apm.epoch(), 1);
+        // Every variable is re-anchored with ε; no cross-variable handles.
+        assert!(apm.common_handles("root", "p").is_empty());
+        for (_, p) in apm.paths_of("p") {
+            assert!(p.is_epsilon());
+        }
+    }
+
+    #[test]
+    fn null_kills_variable() {
+        let mut apm = Apm::new();
+        apm.seed_var("p");
+        apm.transfer(&Stmt::new(StmtKind::PtrNull { dst: "p".into() }));
+        assert!(apm.paths_of("p").is_empty());
+    }
+
+    #[test]
+    fn join_keeps_agreeing_entries() {
+        let mut a = Apm::new();
+        let h = a.seed_var("root");
+        let mut b = a.clone();
+        a.transfer(&load("p", "root", "L"));
+        b.transfer(&load("p", "root", "L"));
+        // The fresh handles for p differ between branches, but the
+        // root-anchored entries agree.
+        let j = a.join(&b);
+        assert_eq!(j.path_from(&h, "p").unwrap().to_string(), "L");
+        assert_eq!(j.paths_of("p").len(), 1);
+    }
+
+    #[test]
+    fn display_matrix_layout() {
+        let mut apm = Apm::new();
+        apm.seed_var("root");
+        apm.transfer(&load("p", "root", "L"));
+        let s = apm.to_string();
+        assert!(s.contains("_hroot"));
+        assert!(s.contains("root"));
+    }
+}

@@ -1,0 +1,58 @@
+//! Access-path collection for the APT dependence test.
+//!
+//! Part of the reproduction of Hummel, Hendren & Nicolau (PLDI 1994). This
+//! crate implements the *memory reference analysis* of the paper's Figure 4:
+//! it walks `apt-ir` programs maintaining an **access path matrix**
+//! ([`Apm`], §3.3) per program point — rows are handles, columns are
+//! pointer variables — and turns labeled statements into the
+//! handle-anchored [`apt_core::MemRef`]s that `deptest` consumes.
+//!
+//! Loops receive the paper's induction-variable treatment: self-relative
+//! updates (`r = r->nrowE`) keep their handles, paths widen with the
+//! per-iteration growth (`P·Δ*`), and loop-carried queries are phrased
+//! relative to the induction variable's value at an arbitrary iteration
+//! `i` — reproducing the §5 theorem `hr.ncolE+ <> hr.nrowE+ncolE+` shape
+//! automatically. Procedure calls are inlined per call site
+//! (McCAT-style), with recursion and unknown callees handled
+//! conservatively.
+//!
+//! Structural modifications follow §3.4 field-sensitively: a store to
+//! field `f` invalidates exactly the paths that traverse `f` (per-field
+//! version counters), suspends axioms mentioning `f` until the program
+//! `reassert`s its invariants, and loop-carried queries refuse deltas
+//! over fields the loop body stores.
+//!
+//! ```
+//! use apt_core::Answer;
+//! use apt_paths::analyze_proc;
+//!
+//! let program = apt_ir::parse_program(r"
+//!     type List {
+//!         ptr link: List;
+//!         data f;
+//!         axiom A1: forall p <> q, p.link <> q.link;
+//!         axiom A2: forall p, p.link+ <> p.eps;
+//!     }
+//!     proc update(head: List) {
+//!         q = head;
+//!         loop {
+//!         U:  q->f = fun();
+//!             q = q->link;
+//!         }
+//!     }
+//! ").unwrap();
+//! let analysis = analyze_proc(&program, "update").unwrap();
+//! // The loop-carried output dependence U → U of the paper's Figure 1 is
+//! // disproven:
+//! let outcome = analysis.test_loop_carried("U", None).unwrap();
+//! assert_eq!(outcome.answer, Answer::No);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod analysis;
+mod apm;
+
+pub use analysis::{analyze_proc, Access, Analysis, LoopFrame, QueryError, Snapshot};
+pub use apm::Apm;

@@ -1,0 +1,358 @@
+//! Regular expressions over pointer-field alphabets.
+//!
+//! The paper describes both aliasing axioms and access paths with regular
+//! expressions whose alphabet is the set of pointer-field names of a data
+//! structure. This module provides the expression tree ([`Regex`]) together
+//! with *smart constructors* that perform the obvious simplifications
+//! (`∅·r = ∅`, `ε·r = r`, `(r*)* = r*`, …) so that downstream automata stay
+//! small.
+
+use crate::Symbol;
+use std::fmt;
+use std::sync::Arc;
+
+/// A regular expression over field names.
+///
+/// `Plus` is kept as a distinct constructor (rather than desugaring to
+/// `a·a*`) because the paper's axioms and proof traces are written with `+`
+/// and readability of traces matters; all semantic operations treat
+/// `a+ ≡ a·a*`.
+///
+/// Construct via the associated functions, which simplify eagerly:
+///
+/// ```
+/// use apt_regex::Regex;
+/// let l = Regex::field("L");
+/// let eps = Regex::epsilon();
+/// assert_eq!(Regex::concat(eps, l.clone()), l);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub enum Regex {
+    /// The empty language `∅` (no paths at all).
+    Empty,
+    /// The empty path `ε`.
+    Epsilon,
+    /// A single pointer-field traversal.
+    Field(Symbol),
+    /// Concatenation `r₁ · r₂`.
+    Concat(Arc<Regex>, Arc<Regex>),
+    /// Alternation `r₁ | r₂`.
+    Alt(Arc<Regex>, Arc<Regex>),
+    /// Kleene star `r*`.
+    Star(Arc<Regex>),
+    /// Kleene plus `r+` (≡ `r · r*`).
+    Plus(Arc<Regex>),
+}
+
+impl Regex {
+    /// The empty language `∅`.
+    pub fn empty() -> Regex {
+        Regex::Empty
+    }
+
+    /// The empty path `ε`.
+    pub fn epsilon() -> Regex {
+        Regex::Epsilon
+    }
+
+    /// A single field traversal.
+    ///
+    /// ```
+    /// # use apt_regex::Regex;
+    /// assert_eq!(Regex::field("N").to_string(), "N");
+    /// ```
+    pub fn field(name: impl Into<Symbol>) -> Regex {
+        Regex::Field(name.into())
+    }
+
+    /// Concatenation, simplifying `∅` and `ε` units.
+    pub fn concat(a: Regex, b: Regex) -> Regex {
+        match (a, b) {
+            (Regex::Empty, _) | (_, Regex::Empty) => Regex::Empty,
+            (Regex::Epsilon, r) | (r, Regex::Epsilon) => r,
+            (a, b) => Regex::Concat(Arc::new(a), Arc::new(b)),
+        }
+    }
+
+    /// Concatenation of an arbitrary sequence.
+    ///
+    /// Returns `ε` for an empty sequence.
+    pub fn concat_all<I: IntoIterator<Item = Regex>>(parts: I) -> Regex {
+        parts.into_iter().fold(Regex::Epsilon, Regex::concat)
+    }
+
+    /// Alternation, simplifying `∅` units and idempotence.
+    pub fn alt(a: Regex, b: Regex) -> Regex {
+        match (a, b) {
+            (Regex::Empty, r) | (r, Regex::Empty) => r,
+            (a, b) if a == b => a,
+            (a, b) => Regex::Alt(Arc::new(a), Arc::new(b)),
+        }
+    }
+
+    /// Alternation of an arbitrary sequence.
+    ///
+    /// Returns `∅` for an empty sequence.
+    pub fn alt_all<I: IntoIterator<Item = Regex>>(parts: I) -> Regex {
+        parts.into_iter().fold(Regex::Empty, Regex::alt)
+    }
+
+    /// Kleene star, simplifying `∅* = ε* = ε`, `(r*)* = r*`, `(r+)* = r*`.
+    pub fn star(r: Regex) -> Regex {
+        match r {
+            Regex::Empty | Regex::Epsilon => Regex::Epsilon,
+            Regex::Star(_) => r,
+            Regex::Plus(inner) => Regex::Star(inner),
+            r => Regex::Star(Arc::new(r)),
+        }
+    }
+
+    /// Kleene plus, simplifying `∅+ = ∅`, `ε+ = ε`, `(r*)+ = r*`, `(r+)+ = r+`.
+    pub fn plus(r: Regex) -> Regex {
+        match r {
+            Regex::Empty => Regex::Empty,
+            Regex::Epsilon => Regex::Epsilon,
+            Regex::Star(_) | Regex::Plus(_) => r,
+            r => Regex::Plus(Arc::new(r)),
+        }
+    }
+
+    /// A literal word: the concatenation of the given field names.
+    ///
+    /// ```
+    /// # use apt_regex::Regex;
+    /// let r = Regex::word(["L", "L", "N"]);
+    /// assert_eq!(r.to_string(), "L.L.N");
+    /// ```
+    pub fn word<I, S>(fields: I) -> Regex
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<Symbol>,
+    {
+        Regex::concat_all(fields.into_iter().map(Regex::field))
+    }
+
+    /// Whether the language contains `ε`.
+    ///
+    /// ```
+    /// # use apt_regex::Regex;
+    /// assert!(Regex::star(Regex::field("L")).is_nullable());
+    /// assert!(!Regex::plus(Regex::field("L")).is_nullable());
+    /// ```
+    pub fn is_nullable(&self) -> bool {
+        match self {
+            Regex::Empty => false,
+            Regex::Epsilon => true,
+            Regex::Field(_) => false,
+            Regex::Concat(a, b) => a.is_nullable() && b.is_nullable(),
+            Regex::Alt(a, b) => a.is_nullable() || b.is_nullable(),
+            Regex::Star(_) => true,
+            Regex::Plus(a) => a.is_nullable(),
+        }
+    }
+
+    /// Whether the language is syntactically empty (`∅`).
+    ///
+    /// This is exact because the smart constructors never build composite
+    /// nodes with `∅` children.
+    pub fn is_empty_language(&self) -> bool {
+        matches!(self, Regex::Empty)
+    }
+
+    /// Whether this expression is exactly `ε`.
+    pub fn is_epsilon(&self) -> bool {
+        matches!(self, Regex::Epsilon)
+    }
+
+    /// Collects every field symbol mentioned in the expression.
+    pub fn symbols(&self) -> Vec<Symbol> {
+        let mut out = Vec::new();
+        self.collect_symbols(&mut out);
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    fn collect_symbols(&self, out: &mut Vec<Symbol>) {
+        match self {
+            Regex::Empty | Regex::Epsilon => {}
+            Regex::Field(s) => out.push(*s),
+            Regex::Concat(a, b) | Regex::Alt(a, b) => {
+                a.collect_symbols(out);
+                b.collect_symbols(out);
+            }
+            Regex::Star(a) | Regex::Plus(a) => a.collect_symbols(out),
+        }
+    }
+
+    /// The number of AST nodes; a rough size measure used by the prover's
+    /// fuel accounting.
+    pub fn size(&self) -> usize {
+        match self {
+            Regex::Empty | Regex::Epsilon | Regex::Field(_) => 1,
+            Regex::Concat(a, b) | Regex::Alt(a, b) => 1 + a.size() + b.size(),
+            Regex::Star(a) | Regex::Plus(a) => 1 + a.size(),
+        }
+    }
+
+    /// Tests whether a concrete word (sequence of fields) is in the language.
+    ///
+    /// Implemented with Brzozowski derivatives; linear in `word.len()` times
+    /// the derivative sizes, which is fine for the short paths that occur in
+    /// practice (§4.2 of the paper: `n` on the order of ten).
+    ///
+    /// ```
+    /// # use apt_regex::{Regex, Symbol};
+    /// let r = Regex::plus(Regex::field("N"));
+    /// let n = Symbol::intern("N");
+    /// assert!(r.matches(&[n, n]));
+    /// assert!(!r.matches(&[]));
+    /// ```
+    pub fn matches(&self, word: &[Symbol]) -> bool {
+        let mut cur = self.clone();
+        for &sym in word {
+            cur = crate::derivative::derive(&cur, sym);
+            if cur.is_empty_language() {
+                return false;
+            }
+        }
+        cur.is_nullable()
+    }
+}
+
+fn precedence(r: &Regex) -> u8 {
+    match r {
+        Regex::Empty | Regex::Epsilon | Regex::Field(_) => 3,
+        Regex::Star(_) | Regex::Plus(_) => 3,
+        Regex::Concat(_, _) => 2,
+        Regex::Alt(_, _) => 1,
+    }
+}
+
+fn fmt_child(r: &Regex, parent_prec: u8, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    if precedence(r) < parent_prec {
+        write!(f, "({r})")
+    } else {
+        write!(f, "{r}")
+    }
+}
+
+impl fmt::Display for Regex {
+    /// Renders in the paper's concrete syntax: `.` for concatenation,
+    /// `|` for alternation, postfix `*` and `+`, `eps` for ε.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Regex::Empty => write!(f, "empty"),
+            Regex::Epsilon => write!(f, "eps"),
+            Regex::Field(s) => write!(f, "{s}"),
+            Regex::Concat(a, b) => {
+                fmt_child(a, 2, f)?;
+                write!(f, ".")?;
+                fmt_child(b, 2, f)
+            }
+            Regex::Alt(a, b) => {
+                fmt_child(a, 1, f)?;
+                write!(f, "|")?;
+                fmt_child(b, 1, f)
+            }
+            Regex::Star(a) => {
+                fmt_child(a, 3, f)?;
+                write!(f, "*")
+            }
+            Regex::Plus(a) => {
+                fmt_child(a, 3, f)?;
+                write!(f, "+")
+            }
+        }
+    }
+}
+
+impl fmt::Debug for Regex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Regex({self})")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn f(name: &str) -> Regex {
+        Regex::field(name)
+    }
+
+    #[test]
+    fn concat_units() {
+        assert_eq!(Regex::concat(Regex::Epsilon, f("L")), f("L"));
+        assert_eq!(Regex::concat(f("L"), Regex::Epsilon), f("L"));
+        assert_eq!(Regex::concat(Regex::Empty, f("L")), Regex::Empty);
+        assert_eq!(Regex::concat(f("L"), Regex::Empty), Regex::Empty);
+    }
+
+    #[test]
+    fn alt_units_and_idempotence() {
+        assert_eq!(Regex::alt(Regex::Empty, f("L")), f("L"));
+        assert_eq!(Regex::alt(f("L"), f("L")), f("L"));
+    }
+
+    #[test]
+    fn star_simplifications() {
+        assert_eq!(Regex::star(Regex::Empty), Regex::Epsilon);
+        assert_eq!(Regex::star(Regex::Epsilon), Regex::Epsilon);
+        let ls = Regex::star(f("L"));
+        assert_eq!(Regex::star(ls.clone()), ls);
+        assert_eq!(Regex::star(Regex::plus(f("L"))), ls);
+    }
+
+    #[test]
+    fn plus_simplifications() {
+        assert_eq!(Regex::plus(Regex::Empty), Regex::Empty);
+        assert_eq!(Regex::plus(Regex::Epsilon), Regex::Epsilon);
+        let lp = Regex::plus(f("L"));
+        assert_eq!(Regex::plus(lp.clone()), lp);
+        let ls = Regex::star(f("L"));
+        assert_eq!(Regex::plus(ls.clone()), ls);
+    }
+
+    #[test]
+    fn nullability() {
+        assert!(!Regex::Empty.is_nullable());
+        assert!(Regex::Epsilon.is_nullable());
+        assert!(!f("L").is_nullable());
+        assert!(Regex::star(f("L")).is_nullable());
+        assert!(!Regex::plus(f("L")).is_nullable());
+        assert!(Regex::alt(Regex::Epsilon, f("L")).is_nullable());
+        assert!(!Regex::concat(f("L"), Regex::star(f("R"))).is_nullable());
+    }
+
+    #[test]
+    fn display_paper_syntax() {
+        let r = Regex::concat(Regex::plus(Regex::alt(f("L"), f("R"))), Regex::plus(f("N")));
+        assert_eq!(r.to_string(), "(L|R)+.N+");
+    }
+
+    #[test]
+    fn word_builder() {
+        let r = Regex::word(["L", "R", "N"]);
+        assert_eq!(r.to_string(), "L.R.N");
+        assert_eq!(r.size(), 5);
+    }
+
+    #[test]
+    fn matches_simple() {
+        let l = Symbol::intern("L");
+        let r = Symbol::intern("R");
+        let re = Regex::concat(Regex::star(f("L")), f("R"));
+        assert!(re.matches(&[r]));
+        assert!(re.matches(&[l, l, r]));
+        assert!(!re.matches(&[l, l]));
+        assert!(!re.matches(&[r, l]));
+    }
+
+    #[test]
+    fn symbols_dedup_sorted() {
+        let re = Regex::concat(f("L"), Regex::alt(f("L"), f("R")));
+        let syms = re.symbols();
+        assert_eq!(syms.len(), 2);
+    }
+}

@@ -1,0 +1,104 @@
+//! Brzozowski derivatives.
+//!
+//! Used for direct word matching ([`crate::Regex::matches`]) and for
+//! cross-checking the automata pipeline in tests: the derivative engine and
+//! the NFA→DFA engine are independent implementations of the same language
+//! semantics, so disagreement between them flags a bug in either.
+
+use crate::Regex;
+
+/// The Brzozowski derivative `∂_sym(re)`: the language of suffixes of words
+/// in `re` that begin with `sym`.
+///
+/// ```
+/// use apt_regex::{derivative::derive, Regex, Symbol};
+/// let l = Symbol::intern("L");
+/// let re = Regex::word(["L", "R"]);
+/// assert_eq!(derive(&re, l), Regex::field("R"));
+/// ```
+pub fn derive(re: &Regex, sym: crate::Symbol) -> Regex {
+    match re {
+        Regex::Empty | Regex::Epsilon => Regex::Empty,
+        Regex::Field(s) => {
+            if *s == sym {
+                Regex::Epsilon
+            } else {
+                Regex::Empty
+            }
+        }
+        Regex::Concat(a, b) => {
+            let left = Regex::concat(derive(a, sym), (**b).clone());
+            if a.is_nullable() {
+                Regex::alt(left, derive(b, sym))
+            } else {
+                left
+            }
+        }
+        Regex::Alt(a, b) => Regex::alt(derive(a, sym), derive(b, sym)),
+        Regex::Star(a) => Regex::concat(derive(a, sym), Regex::star((**a).clone())),
+        // a+ = a·a*
+        Regex::Plus(a) => Regex::concat(derive(a, sym), Regex::star((**a).clone())),
+    }
+}
+
+/// Derives by an entire word, returning the residual language.
+pub fn derive_word(re: &Regex, word: &[crate::Symbol]) -> Regex {
+    let mut cur = re.clone();
+    for &s in word {
+        cur = derive(&cur, s);
+        if cur.is_empty_language() {
+            break;
+        }
+    }
+    cur
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Symbol;
+
+    fn f(name: &str) -> Regex {
+        Regex::field(name)
+    }
+
+    #[test]
+    fn derive_field() {
+        let l = Symbol::intern("L");
+        assert_eq!(derive(&f("L"), l), Regex::Epsilon);
+        assert_eq!(derive(&f("R"), l), Regex::Empty);
+    }
+
+    #[test]
+    fn derive_star() {
+        let n = Symbol::intern("N");
+        let re = Regex::star(f("N"));
+        assert_eq!(derive(&re, n), re);
+    }
+
+    #[test]
+    fn derive_plus_becomes_star() {
+        let n = Symbol::intern("N");
+        let re = Regex::plus(f("N"));
+        assert_eq!(derive(&re, n), Regex::star(f("N")));
+    }
+
+    #[test]
+    fn derive_concat_nullable_head() {
+        let l = Symbol::intern("L");
+        // L*·L : deriving by L gives L*·L | ε, which accepts ε and L…
+        let re = Regex::concat(Regex::star(f("L")), f("L"));
+        let d = derive(&re, l);
+        assert!(d.is_nullable());
+        assert!(d.matches(&[l]));
+    }
+
+    #[test]
+    fn derive_word_residual() {
+        let l = Symbol::intern("L");
+        let r = Symbol::intern("R");
+        let re = Regex::word(["L", "R", "N"]);
+        assert_eq!(derive_word(&re, &[l, r]), f("N"));
+        assert_eq!(derive_word(&re, &[r]), Regex::Empty);
+    }
+}

@@ -1,0 +1,406 @@
+//! Deterministic finite automata over a fixed field alphabet.
+//!
+//! Built from [`crate::nfa::Nfa`] by subset construction. DFAs here are
+//! *complete*: every state has a transition on every alphabet symbol (a dead
+//! state is added when needed), which makes complementation a matter of
+//! flipping accept bits — exactly the construction the paper cites (\[HU79\])
+//! for the subset test.
+
+use crate::nfa::Nfa;
+use crate::{Regex, Symbol};
+use std::collections::HashMap;
+
+/// A complete DFA over an explicit alphabet.
+#[derive(Debug, Clone)]
+pub struct Dfa {
+    alphabet: Vec<Symbol>,
+    /// `trans[state][alphabet_index]` — always present (complete DFA).
+    trans: Vec<Vec<usize>>,
+    accept: Vec<bool>,
+    start: usize,
+}
+
+impl Dfa {
+    /// Builds the DFA for `re` over `alphabet` (subset construction).
+    ///
+    /// The alphabet must cover every symbol of `re`; symbols of the alphabet
+    /// not used by `re` simply lead to the dead state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `re` mentions a symbol missing from `alphabet`.
+    pub fn build(re: &Regex, alphabet: &[Symbol]) -> Dfa {
+        for s in re.symbols() {
+            assert!(
+                alphabet.contains(&s),
+                "alphabet must cover regex symbols: missing {s}"
+            );
+        }
+        let nfa = Nfa::build(re);
+        let alphabet = alphabet.to_vec();
+
+        let mut states: HashMap<Vec<usize>, usize> = HashMap::new();
+        let mut trans: Vec<Vec<usize>> = Vec::new();
+        let mut accept: Vec<bool> = Vec::new();
+        let mut worklist: Vec<Vec<usize>> = Vec::new();
+
+        let start_set = nfa.epsilon_closure(&[nfa.start()]);
+        states.insert(start_set.clone(), 0);
+        trans.push(vec![usize::MAX; alphabet.len()]);
+        accept.push(start_set.contains(&nfa.accept()));
+        worklist.push(start_set);
+
+        while let Some(set) = worklist.pop() {
+            let id = states[&set];
+            for (ai, &sym) in alphabet.iter().enumerate() {
+                let moved = nfa.step(&set, sym);
+                let next = nfa.epsilon_closure(&moved);
+                let next_id = match states.get(&next) {
+                    Some(&i) => i,
+                    None => {
+                        let i = trans.len();
+                        states.insert(next.clone(), i);
+                        trans.push(vec![usize::MAX; alphabet.len()]);
+                        accept.push(next.contains(&nfa.accept()));
+                        worklist.push(next);
+                        i
+                    }
+                };
+                trans[id][ai] = next_id;
+            }
+        }
+        debug_assert!(trans.iter().all(|row| row.iter().all(|&t| t != usize::MAX)));
+        Dfa {
+            alphabet,
+            trans,
+            accept,
+            start: 0,
+        }
+    }
+
+    /// The alphabet this DFA is complete over.
+    pub fn alphabet(&self) -> &[Symbol] {
+        &self.alphabet
+    }
+
+    /// Number of states (including any dead state).
+    pub fn state_count(&self) -> usize {
+        self.trans.len()
+    }
+
+    /// Start state id.
+    pub fn start(&self) -> usize {
+        self.start
+    }
+
+    /// Whether `state` is accepting.
+    pub fn is_accepting(&self, state: usize) -> bool {
+        self.accept[state]
+    }
+
+    /// The successor of `state` on `sym`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sym` is not in the alphabet.
+    pub fn next_state(&self, state: usize, sym: Symbol) -> usize {
+        let ai = self
+            .alphabet
+            .iter()
+            .position(|&a| a == sym)
+            .expect("symbol not in DFA alphabet");
+        self.trans[state][ai]
+    }
+
+    /// Runs the DFA on `word`.
+    pub fn accepts(&self, word: &[Symbol]) -> bool {
+        let mut s = self.start;
+        for &sym in word {
+            s = self.next_state(s, sym);
+        }
+        self.accept[s]
+    }
+
+    /// The complement DFA (same alphabet).
+    pub fn complement(&self) -> Dfa {
+        let mut out = self.clone();
+        for a in &mut out.accept {
+            *a = !*a;
+        }
+        out
+    }
+
+    /// The product DFA accepting the intersection of the two languages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the alphabets differ.
+    pub fn intersect(&self, other: &Dfa) -> Dfa {
+        assert_eq!(
+            self.alphabet, other.alphabet,
+            "product requires identical alphabets"
+        );
+        let mut states: HashMap<(usize, usize), usize> = HashMap::new();
+        let mut trans: Vec<Vec<usize>> = Vec::new();
+        let mut accept: Vec<bool> = Vec::new();
+        let mut worklist = vec![(self.start, other.start)];
+        states.insert((self.start, other.start), 0);
+        trans.push(vec![usize::MAX; self.alphabet.len()]);
+        accept.push(self.accept[self.start] && other.accept[other.start]);
+
+        while let Some((p, q)) = worklist.pop() {
+            let id = states[&(p, q)];
+            for ai in 0..self.alphabet.len() {
+                let np = self.trans[p][ai];
+                let nq = other.trans[q][ai];
+                let next_id = match states.get(&(np, nq)) {
+                    Some(&i) => i,
+                    None => {
+                        let i = trans.len();
+                        states.insert((np, nq), i);
+                        trans.push(vec![usize::MAX; self.alphabet.len()]);
+                        accept.push(self.accept[np] && other.accept[nq]);
+                        worklist.push((np, nq));
+                        i
+                    }
+                };
+                trans[id][ai] = next_id;
+            }
+        }
+        Dfa {
+            alphabet: self.alphabet.clone(),
+            trans,
+            accept,
+            start: 0,
+        }
+    }
+
+    /// Whether the language is empty (no accepting state reachable).
+    pub fn is_empty(&self) -> bool {
+        let mut seen = vec![false; self.trans.len()];
+        let mut stack = vec![self.start];
+        seen[self.start] = true;
+        while let Some(s) = stack.pop() {
+            if self.accept[s] {
+                return false;
+            }
+            for &t in &self.trans[s] {
+                if !seen[t] {
+                    seen[t] = true;
+                    stack.push(t);
+                }
+            }
+        }
+        true
+    }
+
+    /// A shortest accepted word, if the language is nonempty (BFS witness).
+    pub fn shortest_word(&self) -> Option<Vec<Symbol>> {
+        let mut prev: Vec<Option<(usize, Symbol)>> = vec![None; self.trans.len()];
+        let mut seen = vec![false; self.trans.len()];
+        let mut queue = std::collections::VecDeque::new();
+        queue.push_back(self.start);
+        seen[self.start] = true;
+        let mut found = None;
+        if self.accept[self.start] {
+            found = Some(self.start);
+        }
+        while found.is_none() {
+            let Some(s) = queue.pop_front() else { break };
+            for (ai, &t) in self.trans[s].iter().enumerate() {
+                if !seen[t] {
+                    seen[t] = true;
+                    prev[t] = Some((s, self.alphabet[ai]));
+                    if self.accept[t] {
+                        found = Some(t);
+                        break;
+                    }
+                    queue.push_back(t);
+                }
+            }
+        }
+        let mut cur = found?;
+        let mut word = Vec::new();
+        while let Some((p, sym)) = prev[cur] {
+            word.push(sym);
+            cur = p;
+        }
+        word.reverse();
+        Some(word)
+    }
+
+    /// Hopcroft minimization: an equivalent DFA with the minimum number of
+    /// states (up to isomorphism).
+    pub fn minimize(&self) -> Dfa {
+        let n = self.trans.len();
+        let k = self.alphabet.len();
+        if n == 0 {
+            return self.clone();
+        }
+        // Initial partition: accepting / non-accepting.
+        let mut block_of: Vec<usize> = self.accept.iter().map(|&a| if a { 0 } else { 1 }).collect();
+        let mut block_count = if self.accept.iter().all(|&a| a == self.accept[0]) {
+            // Collapse to a single block when uniform.
+            block_of.fill(0);
+            1
+        } else {
+            2
+        };
+
+        // Iterative refinement (Moore's algorithm — simpler than full
+        // Hopcroft and more than fast enough at our DFA sizes).
+        loop {
+            let mut sig_to_block: HashMap<(usize, Vec<usize>), usize> = HashMap::new();
+            let mut new_block_of = vec![0usize; n];
+            let mut new_count = 0;
+            for s in 0..n {
+                let sig: Vec<usize> = (0..k).map(|ai| block_of[self.trans[s][ai]]).collect();
+                let key = (block_of[s], sig);
+                let b = *sig_to_block.entry(key).or_insert_with(|| {
+                    let b = new_count;
+                    new_count += 1;
+                    b
+                });
+                new_block_of[s] = b;
+            }
+            if new_count == block_count {
+                break;
+            }
+            block_of = new_block_of;
+            block_count = new_count;
+        }
+
+        // Build the quotient automaton (restricted to reachable blocks).
+        let mut trans = vec![vec![usize::MAX; k]; block_count];
+        let mut accept = vec![false; block_count];
+        for s in 0..n {
+            let b = block_of[s];
+            accept[b] = accept[b] || self.accept[s];
+            for ai in 0..k {
+                trans[b][ai] = block_of[self.trans[s][ai]];
+            }
+        }
+        Dfa {
+            alphabet: self.alphabet.clone(),
+            trans,
+            accept,
+            start: block_of[self.start],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn syms(names: &[&str]) -> Vec<Symbol> {
+        names.iter().map(|n| Symbol::intern(n)).collect()
+    }
+
+    #[test]
+    fn dfa_agrees_with_matches_on_examples() {
+        let alpha = syms(&["L", "R", "N"]);
+        let cases = [
+            "L.L.N",
+            "(L|R)+.N+",
+            "N*",
+            "L.(R|N)*",
+            "eps",
+            "empty",
+            "(L|R)*.N",
+        ];
+        let words: Vec<Vec<Symbol>> = {
+            let mut w = vec![vec![]];
+            for len in 1..=3usize {
+                let mut next = Vec::new();
+                for base in w.iter().filter(|v: &&Vec<Symbol>| v.len() == len - 1) {
+                    for &s in &alpha {
+                        let mut v = base.clone();
+                        v.push(s);
+                        next.push(v);
+                    }
+                }
+                w.extend(next);
+            }
+            w
+        };
+        for case in cases {
+            let re = crate::parse(case).unwrap();
+            let dfa = Dfa::build(&re, &alpha);
+            for word in &words {
+                assert_eq!(
+                    dfa.accepts(word),
+                    re.matches(word),
+                    "mismatch on regex {case} word {word:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn complement_flips_membership() {
+        let alpha = syms(&["L", "R"]);
+        let re = crate::parse("L+").unwrap();
+        let dfa = Dfa::build(&re, &alpha);
+        let comp = dfa.complement();
+        let l = Symbol::intern("L");
+        let r = Symbol::intern("R");
+        assert!(dfa.accepts(&[l]));
+        assert!(!comp.accepts(&[l]));
+        assert!(!dfa.accepts(&[r]));
+        assert!(comp.accepts(&[r]));
+        assert!(comp.accepts(&[]));
+    }
+
+    #[test]
+    fn intersect_and_emptiness() {
+        let alpha = syms(&["L", "R"]);
+        let a = Dfa::build(&crate::parse("L+").unwrap(), &alpha);
+        let b = Dfa::build(&crate::parse("R+").unwrap(), &alpha);
+        assert!(a.intersect(&b).is_empty());
+        let c = Dfa::build(&crate::parse("(L|R)+").unwrap(), &alpha);
+        assert!(!a.intersect(&c).is_empty());
+    }
+
+    #[test]
+    fn shortest_word_witness() {
+        let alpha = syms(&["L", "N"]);
+        let re = crate::parse("L.L.N").unwrap();
+        let dfa = Dfa::build(&re, &alpha);
+        let w = dfa.shortest_word().unwrap();
+        assert_eq!(w.len(), 3);
+        assert!(dfa.accepts(&w));
+        let empty = Dfa::build(&Regex::empty(), &alpha);
+        assert_eq!(empty.shortest_word(), None);
+    }
+
+    #[test]
+    fn minimize_preserves_language() {
+        let alpha = syms(&["L", "R", "N"]);
+        let re = crate::parse("(L|R)+.N+").unwrap();
+        let dfa = Dfa::build(&re, &alpha);
+        let min = dfa.minimize();
+        assert!(min.state_count() <= dfa.state_count());
+        let l = Symbol::intern("L");
+        let r = Symbol::intern("R");
+        let n = Symbol::intern("N");
+        for word in [
+            vec![],
+            vec![l, n],
+            vec![r, n, n],
+            vec![l, r, n],
+            vec![n],
+            vec![l, r],
+            vec![l, n, r],
+        ] {
+            assert_eq!(dfa.accepts(&word), min.accepts(&word), "word {word:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "alphabet must cover")]
+    fn build_panics_on_uncovered_symbol() {
+        let alpha = syms(&["L"]);
+        let _ = Dfa::build(&crate::parse("L.R").unwrap(), &alpha);
+    }
+}

@@ -1,0 +1,229 @@
+//! Thompson construction: [`Regex`] → ε-NFA.
+//!
+//! The NFA is an intermediate step of the decision procedures in
+//! [`crate::ops`]; the paper's subset test (`R1 ⊆ R2` iff
+//! `M1 ∩ ¬M2 = ∅`, §4.1) works on the DFAs obtained from these NFAs by
+//! subset construction ([`crate::dfa`]).
+
+use crate::{Regex, Symbol};
+
+/// A transition label: `None` is an ε-move.
+pub type Label = Option<Symbol>;
+
+/// A nondeterministic finite automaton with ε-moves and a single start and
+/// accept state (as produced by Thompson's construction).
+#[derive(Debug, Clone)]
+pub struct Nfa {
+    /// Outgoing transitions per state.
+    transitions: Vec<Vec<(Label, usize)>>,
+    start: usize,
+    accept: usize,
+}
+
+impl Nfa {
+    /// Builds the Thompson NFA for `re`.
+    ///
+    /// ```
+    /// use apt_regex::{nfa::Nfa, Regex};
+    /// let nfa = Nfa::build(&Regex::word(["L", "R"]));
+    /// assert!(nfa.state_count() >= 3);
+    /// ```
+    pub fn build(re: &Regex) -> Nfa {
+        let mut nfa = Nfa {
+            transitions: Vec::new(),
+            start: 0,
+            accept: 0,
+        };
+        let (s, a) = nfa.compile(re);
+        nfa.start = s;
+        nfa.accept = a;
+        nfa
+    }
+
+    fn fresh(&mut self) -> usize {
+        self.transitions.push(Vec::new());
+        self.transitions.len() - 1
+    }
+
+    fn edge(&mut self, from: usize, label: Label, to: usize) {
+        self.transitions[from].push((label, to));
+    }
+
+    /// Compiles `re`, returning `(start, accept)` state ids.
+    fn compile(&mut self, re: &Regex) -> (usize, usize) {
+        match re {
+            Regex::Empty => {
+                let s = self.fresh();
+                let a = self.fresh();
+                (s, a) // no edges: accepts nothing
+            }
+            Regex::Epsilon => {
+                let s = self.fresh();
+                let a = self.fresh();
+                self.edge(s, None, a);
+                (s, a)
+            }
+            Regex::Field(sym) => {
+                let s = self.fresh();
+                let a = self.fresh();
+                self.edge(s, Some(*sym), a);
+                (s, a)
+            }
+            Regex::Concat(x, y) => {
+                let (sx, ax) = self.compile(x);
+                let (sy, ay) = self.compile(y);
+                self.edge(ax, None, sy);
+                (sx, ay)
+            }
+            Regex::Alt(x, y) => {
+                let s = self.fresh();
+                let a = self.fresh();
+                let (sx, ax) = self.compile(x);
+                let (sy, ay) = self.compile(y);
+                self.edge(s, None, sx);
+                self.edge(s, None, sy);
+                self.edge(ax, None, a);
+                self.edge(ay, None, a);
+                (s, a)
+            }
+            Regex::Star(x) => {
+                let s = self.fresh();
+                let a = self.fresh();
+                let (sx, ax) = self.compile(x);
+                self.edge(s, None, sx);
+                self.edge(s, None, a);
+                self.edge(ax, None, sx);
+                self.edge(ax, None, a);
+                (s, a)
+            }
+            // a+ = a · a*
+            Regex::Plus(x) => {
+                let (sx, ax) = self.compile(x);
+                let a = self.fresh();
+                self.edge(ax, None, a);
+                // loop back for repetition
+                self.edge(a, None, sx);
+                let accept = self.fresh();
+                self.edge(a, None, accept);
+                (sx, accept)
+            }
+        }
+    }
+
+    /// Number of states.
+    pub fn state_count(&self) -> usize {
+        self.transitions.len()
+    }
+
+    /// Start state id.
+    pub fn start(&self) -> usize {
+        self.start
+    }
+
+    /// Accept state id.
+    pub fn accept(&self) -> usize {
+        self.accept
+    }
+
+    /// ε-closure of a set of states (sorted, deduplicated).
+    pub fn epsilon_closure(&self, states: &[usize]) -> Vec<usize> {
+        let mut seen = vec![false; self.transitions.len()];
+        let mut stack: Vec<usize> = states.to_vec();
+        for &s in states {
+            seen[s] = true;
+        }
+        while let Some(s) = stack.pop() {
+            for &(label, to) in &self.transitions[s] {
+                if label.is_none() && !seen[to] {
+                    seen[to] = true;
+                    stack.push(to);
+                }
+            }
+        }
+        (0..self.transitions.len()).filter(|&i| seen[i]).collect()
+    }
+
+    /// States reachable from `states` on one `sym` edge (no closure applied).
+    pub fn step(&self, states: &[usize], sym: Symbol) -> Vec<usize> {
+        let mut out: Vec<usize> = Vec::new();
+        for &s in states {
+            for &(label, to) in &self.transitions[s] {
+                if label == Some(sym) {
+                    out.push(to);
+                }
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn accepts(nfa: &Nfa, word: &[Symbol]) -> bool {
+        let mut cur = nfa.epsilon_closure(&[nfa.start()]);
+        for &s in word {
+            let next = nfa.step(&cur, s);
+            cur = nfa.epsilon_closure(&next);
+            if cur.is_empty() {
+                return false;
+            }
+        }
+        cur.contains(&nfa.accept())
+    }
+
+    #[test]
+    fn empty_accepts_nothing() {
+        let nfa = Nfa::build(&Regex::empty());
+        assert!(!accepts(&nfa, &[]));
+    }
+
+    #[test]
+    fn epsilon_accepts_only_empty_word() {
+        let nfa = Nfa::build(&Regex::epsilon());
+        let l = Symbol::intern("L");
+        assert!(accepts(&nfa, &[]));
+        assert!(!accepts(&nfa, &[l]));
+    }
+
+    #[test]
+    fn word_nfa() {
+        let l = Symbol::intern("L");
+        let r = Symbol::intern("R");
+        let nfa = Nfa::build(&Regex::word(["L", "R"]));
+        assert!(accepts(&nfa, &[l, r]));
+        assert!(!accepts(&nfa, &[l]));
+        assert!(!accepts(&nfa, &[r, l]));
+    }
+
+    #[test]
+    fn star_nfa() {
+        let n = Symbol::intern("N");
+        let nfa = Nfa::build(&Regex::star(Regex::field("N")));
+        assert!(accepts(&nfa, &[]));
+        assert!(accepts(&nfa, &[n]));
+        assert!(accepts(&nfa, &[n, n, n]));
+    }
+
+    #[test]
+    fn plus_nfa_requires_one() {
+        let n = Symbol::intern("N");
+        let nfa = Nfa::build(&Regex::plus(Regex::field("N")));
+        assert!(!accepts(&nfa, &[]));
+        assert!(accepts(&nfa, &[n]));
+        assert!(accepts(&nfa, &[n, n]));
+    }
+
+    #[test]
+    fn alt_nfa() {
+        let l = Symbol::intern("L");
+        let r = Symbol::intern("R");
+        let nfa = Nfa::build(&Regex::alt(Regex::field("L"), Regex::field("R")));
+        assert!(accepts(&nfa, &[l]));
+        assert!(accepts(&nfa, &[r]));
+        assert!(!accepts(&nfa, &[l, r]));
+    }
+}

@@ -1,0 +1,169 @@
+//! Language-level decision procedures.
+//!
+//! These are the operations §4.1 of the paper relies on: the axiom
+//! applicability check is a *subset* question (`S_p ⊆ RE1`), answered per
+//! \[HU79\] as `M1 ∩ complement(M2) = ∅` over a common alphabet. Inclusion
+//! over the union of the two expressions' alphabets coincides with inclusion
+//! over any larger alphabet, so no "universe" alphabet is needed.
+
+use crate::dfa::Dfa;
+use crate::{Regex, Symbol};
+
+fn union_alphabet(a: &Regex, b: &Regex) -> Vec<Symbol> {
+    let mut syms = a.symbols();
+    syms.extend(b.symbols());
+    syms.sort_unstable();
+    syms.dedup();
+    syms
+}
+
+/// `L(a) ⊆ L(b)`.
+///
+/// ```
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// use apt_regex::{ops, parse};
+/// assert!(ops::is_subset(&parse("L.L")?, &parse("L+")?));
+/// assert!(!ops::is_subset(&parse("L+")?, &parse("L.L")?));
+/// # Ok(())
+/// # }
+/// ```
+pub fn is_subset(a: &Regex, b: &Regex) -> bool {
+    if a.is_empty_language() {
+        return true;
+    }
+    let alpha = union_alphabet(a, b);
+    let da = Dfa::build(a, &alpha);
+    let db = Dfa::build(b, &alpha);
+    da.intersect(&db.complement()).is_empty()
+}
+
+/// `L(a) ∩ L(b) = ∅`.
+pub fn is_disjoint(a: &Regex, b: &Regex) -> bool {
+    let alpha = union_alphabet(a, b);
+    Dfa::build(a, &alpha)
+        .intersect(&Dfa::build(b, &alpha))
+        .is_empty()
+}
+
+/// `L(a) = L(b)`.
+pub fn equivalent(a: &Regex, b: &Regex) -> bool {
+    is_subset(a, b) && is_subset(b, a)
+}
+
+/// A shortest word in `L(a) ∩ L(b)`, if any — a concrete witness that two
+/// path sets can denote the same vertex, used in diagnostics.
+pub fn intersection_witness(a: &Regex, b: &Regex) -> Option<Vec<Symbol>> {
+    let alpha = union_alphabet(a, b);
+    Dfa::build(a, &alpha)
+        .intersect(&Dfa::build(b, &alpha))
+        .shortest_word()
+}
+
+/// Whether `L(a)` is empty.
+pub fn is_empty(a: &Regex) -> bool {
+    let alpha = a.symbols();
+    Dfa::build(a, &alpha).is_empty()
+}
+
+/// Whether `L(a)` contains exactly one word.
+///
+/// This implements the cardinality-one check of `deptest` (§4.1): a definite
+/// dependence needs `Path_p = Path_q` **and** `|Path_p| = 1`.
+pub fn is_singleton(a: &Regex) -> bool {
+    let alpha = a.symbols();
+    let dfa = Dfa::build(a, &alpha);
+    let Some(w) = dfa.shortest_word() else {
+        return false;
+    };
+    // The language is a singleton iff removing the shortest word empties it.
+    // Build "alphabet* minus {w}" as complement of the literal word DFA.
+    let word_re = Regex::word(w);
+    let alpha2 = union_alphabet(a, &word_re);
+    let da = Dfa::build(a, &alpha2);
+    let dw = Dfa::build(&word_re, &alpha2);
+    da.intersect(&dw.complement()).is_empty()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+
+    #[test]
+    fn subset_basic() {
+        assert!(is_subset(&parse("L").unwrap(), &parse("L|R").unwrap()));
+        assert!(!is_subset(&parse("L|R").unwrap(), &parse("L").unwrap()));
+        assert!(is_subset(&parse("L.L.L").unwrap(), &parse("L*").unwrap()));
+        assert!(is_subset(&Regex::empty(), &parse("L").unwrap()));
+        assert!(is_subset(&parse("eps").unwrap(), &parse("L*").unwrap()));
+        assert!(!is_subset(&parse("eps").unwrap(), &parse("L+").unwrap()));
+    }
+
+    #[test]
+    fn subset_with_disjoint_alphabets() {
+        assert!(!is_subset(&parse("L").unwrap(), &parse("R").unwrap()));
+        assert!(is_subset(
+            &parse("ncolE+").unwrap(),
+            &parse("(ncolE|nrowE)+").unwrap()
+        ));
+    }
+
+    #[test]
+    fn disjointness() {
+        assert!(is_disjoint(&parse("L+").unwrap(), &parse("R+").unwrap()));
+        assert!(!is_disjoint(
+            &parse("(L|R)+").unwrap(),
+            &parse("L+").unwrap()
+        ));
+        // The paper's leaf-linked example: exact languages ARE disjoint...
+        assert!(is_disjoint(
+            &parse("L.L.N").unwrap(),
+            &parse("L.R.N").unwrap()
+        ));
+        // ...but the conservative mappings are not (§2.4).
+        assert!(!is_disjoint(
+            &parse("(L|R)+.N+").unwrap(),
+            &parse("(L|R)+.N+").unwrap()
+        ));
+    }
+
+    #[test]
+    fn equivalence() {
+        assert!(equivalent(&parse("L.L*").unwrap(), &parse("L+").unwrap()));
+        assert!(equivalent(
+            &parse("(L|R)*").unwrap(),
+            &parse("(R|L)*").unwrap()
+        ));
+        assert!(!equivalent(&parse("L*").unwrap(), &parse("L+").unwrap()));
+    }
+
+    #[test]
+    fn witness_of_overlap() {
+        let w = intersection_witness(&parse("L+.N").unwrap(), &parse("(L|N)+").unwrap());
+        let w = w.expect("languages overlap");
+        assert!(parse("L+.N").unwrap().matches(&w));
+        assert!(parse("(L|N)+").unwrap().matches(&w));
+        assert_eq!(
+            intersection_witness(&parse("L").unwrap(), &parse("R").unwrap()),
+            None
+        );
+    }
+
+    #[test]
+    fn emptiness() {
+        assert!(is_empty(&Regex::empty()));
+        assert!(!is_empty(&parse("eps").unwrap()));
+        assert!(!is_empty(&parse("L*").unwrap()));
+    }
+
+    #[test]
+    fn singleton_cardinality() {
+        assert!(is_singleton(&parse("L.L.N").unwrap()));
+        assert!(is_singleton(&parse("eps").unwrap()));
+        assert!(!is_singleton(&parse("L|R").unwrap()));
+        assert!(!is_singleton(&parse("L*").unwrap()));
+        assert!(!is_singleton(&Regex::empty()));
+        // alternation of identical branches collapses to a singleton
+        assert!(is_singleton(&parse("L|L").unwrap()));
+    }
+}

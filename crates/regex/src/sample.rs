@@ -1,0 +1,169 @@
+//! Finite language enumeration.
+//!
+//! Axiom model-checking (the `apt-axioms` heap checker) and the soundness
+//! property tests need the *set of concrete paths* denoted by a regular
+//! expression up to a length bound. This module enumerates it from the DFA.
+
+use crate::dfa::Dfa;
+use crate::{Regex, Symbol};
+
+/// All words of `L(re)` with length ≤ `max_len`, in length-lexicographic
+/// order of the given alphabet extension.
+///
+/// The enumeration explores `|Σ|^max_len` candidate prefixes in the worst
+/// case but prunes through dead DFA states, so it is cheap for the sparse
+/// languages that arise from access paths.
+///
+/// ```
+/// use apt_regex::{sample::words_up_to, parse, Symbol};
+/// let words = words_up_to(&parse("N+").unwrap(), 3);
+/// assert_eq!(words.len(), 3); // N, NN, NNN
+/// ```
+pub fn words_up_to(re: &Regex, max_len: usize) -> Vec<Vec<Symbol>> {
+    let alpha = re.symbols();
+    if alpha.is_empty() {
+        // Language is ∅ or {ε}.
+        return if re.is_nullable() {
+            vec![vec![]]
+        } else {
+            vec![]
+        };
+    }
+    let dfa = Dfa::build(re, &alpha);
+    let mut out = Vec::new();
+    let mut word = Vec::new();
+    enumerate(&dfa, &alpha, dfa.start(), max_len, &mut word, &mut out);
+    out
+}
+
+fn enumerate(
+    dfa: &Dfa,
+    alpha: &[Symbol],
+    state: usize,
+    budget: usize,
+    word: &mut Vec<Symbol>,
+    out: &mut Vec<Vec<Symbol>>,
+) {
+    if dfa.is_accepting(state) {
+        out.push(word.clone());
+    }
+    if budget == 0 {
+        return;
+    }
+    for &sym in alpha {
+        let next = dfa.next_state(state, sym);
+        // Prune if no accepting state is reachable from `next` at all.
+        if reachable_accepting(dfa, next) {
+            word.push(sym);
+            enumerate(dfa, alpha, next, budget - 1, word, out);
+            word.pop();
+        }
+    }
+}
+
+fn reachable_accepting(dfa: &Dfa, from: usize) -> bool {
+    let mut seen = vec![false; dfa.state_count()];
+    let mut stack = vec![from];
+    seen[from] = true;
+    while let Some(s) = stack.pop() {
+        if dfa.is_accepting(s) {
+            return true;
+        }
+        for &sym in dfa.alphabet() {
+            let t = dfa.next_state(s, sym);
+            if !seen[t] {
+                seen[t] = true;
+                stack.push(t);
+            }
+        }
+    }
+    false
+}
+
+/// Whether `L(re)` is finite.
+///
+/// Infinite languages have a DFA cycle on a path from the start state to an
+/// accepting state.
+pub fn is_finite(re: &Regex) -> bool {
+    let alpha = re.symbols();
+    if alpha.is_empty() {
+        return true;
+    }
+    let dfa = Dfa::build(re, &alpha).minimize();
+    // In the minimized DFA, every state except the (unique) dead state is
+    // live. The language is infinite iff some live state lies on a cycle of
+    // live states.
+    let n = dfa.state_count();
+    let live: Vec<bool> = (0..n).map(|s| reachable_accepting(&dfa, s)).collect();
+    // Detect a cycle within live states reachable from start.
+    let mut color = vec![0u8; n]; // 0=white 1=grey 2=black
+    fn dfs(dfa: &Dfa, live: &[bool], color: &mut [u8], s: usize) -> bool {
+        color[s] = 1;
+        for &sym in dfa.alphabet() {
+            let t = dfa.next_state(s, sym);
+            if !live[t] {
+                continue;
+            }
+            if color[t] == 1 {
+                return true;
+            }
+            if color[t] == 0 && dfs(dfa, live, color, t) {
+                return true;
+            }
+        }
+        color[s] = 2;
+        false
+    }
+    if !live[dfa.start()] {
+        return true;
+    }
+    !dfs(&dfa, &live, &mut color, dfa.start())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+
+    #[test]
+    fn enumerates_finite_language_exactly() {
+        let words = words_up_to(&parse("L.(R|N)").unwrap(), 5);
+        assert_eq!(words.len(), 2);
+        for w in &words {
+            assert_eq!(w.len(), 2);
+        }
+    }
+
+    #[test]
+    fn enumerates_star_up_to_bound() {
+        let words = words_up_to(&parse("N*").unwrap(), 4);
+        assert_eq!(words.len(), 5); // ε, N, NN, NNN, NNNN
+        assert!(words.contains(&vec![]));
+    }
+
+    #[test]
+    fn empty_language_has_no_words() {
+        assert!(words_up_to(&Regex::empty(), 3).is_empty());
+        assert_eq!(words_up_to(&Regex::epsilon(), 3), vec![Vec::new()]);
+    }
+
+    #[test]
+    fn all_words_match_source_regex() {
+        let re = parse("(L|R)+.N+").unwrap();
+        let words = words_up_to(&re, 4);
+        assert!(!words.is_empty());
+        for w in &words {
+            assert!(re.matches(w), "enumerated word must match: {w:?}");
+        }
+    }
+
+    #[test]
+    fn finiteness() {
+        assert!(is_finite(&parse("L.L.N").unwrap()));
+        assert!(is_finite(&parse("L|R.N").unwrap()));
+        assert!(is_finite(&Regex::empty()));
+        assert!(is_finite(&Regex::epsilon()));
+        assert!(!is_finite(&parse("L*").unwrap()));
+        assert!(!is_finite(&parse("L.N+").unwrap()));
+    }
+}

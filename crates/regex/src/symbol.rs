@@ -1,0 +1,136 @@
+//! Interned pointer-field names.
+//!
+//! Every pointer field that appears in a type declaration, an axiom, or an
+//! access path is interned into a [`Symbol`] — a small copyable integer id.
+//! Regular expressions and automata operate on symbols, which keeps DFA
+//! alphabets dense, and the interner is process-global so symbols can be
+//! displayed without threading a table through every API.
+
+use std::fmt;
+use std::sync::{Mutex, OnceLock};
+
+/// An interned pointer-field name (e.g. `L`, `R`, `ncolE`).
+///
+/// Symbols are cheap to copy and compare; two symbols are equal iff their
+/// names are equal. Obtain one with [`Symbol::intern`].
+///
+/// ```
+/// use apt_regex::Symbol;
+/// let l = Symbol::intern("L");
+/// assert_eq!(l, Symbol::intern("L"));
+/// assert_ne!(l, Symbol::intern("R"));
+/// assert_eq!(l.as_str(), "L");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Symbol(u32);
+
+struct Interner {
+    names: Vec<&'static str>,
+    lookup: std::collections::HashMap<&'static str, u32>,
+}
+
+fn interner() -> &'static Mutex<Interner> {
+    static INTERNER: OnceLock<Mutex<Interner>> = OnceLock::new();
+    INTERNER.get_or_init(|| {
+        Mutex::new(Interner {
+            names: Vec::new(),
+            lookup: std::collections::HashMap::new(),
+        })
+    })
+}
+
+impl Symbol {
+    /// Interns `name`, returning its canonical [`Symbol`].
+    ///
+    /// Interning the same string twice returns the same symbol.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is empty — the empty path is represented by
+    /// `ε`, not by an empty field name.
+    pub fn intern(name: &str) -> Symbol {
+        assert!(!name.is_empty(), "field names must be non-empty");
+        let mut i = interner().lock().expect("interner poisoned");
+        if let Some(&id) = i.lookup.get(name) {
+            return Symbol(id);
+        }
+        let id = u32::try_from(i.names.len()).expect("interner overflow");
+        let leaked: &'static str = Box::leak(name.to_owned().into_boxed_str());
+        i.names.push(leaked);
+        i.lookup.insert(leaked, id);
+        Symbol(id)
+    }
+
+    /// The interned name.
+    ///
+    /// ```
+    /// # use apt_regex::Symbol;
+    /// assert_eq!(Symbol::intern("nrowE").as_str(), "nrowE");
+    /// ```
+    pub fn as_str(self) -> &'static str {
+        interner().lock().expect("interner poisoned").names[self.0 as usize]
+    }
+
+    /// The raw interner index. Useful as a dense array key.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Symbol({})", self.as_str())
+    }
+}
+
+impl fmt::Display for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl From<&str> for Symbol {
+    fn from(name: &str) -> Self {
+        Symbol::intern(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let a = Symbol::intern("foo_sym_test");
+        let b = Symbol::intern("foo_sym_test");
+        assert_eq!(a, b);
+        assert_eq!(a.index(), b.index());
+    }
+
+    #[test]
+    fn distinct_names_distinct_symbols() {
+        assert_ne!(Symbol::intern("aaa_sym"), Symbol::intern("bbb_sym"));
+    }
+
+    #[test]
+    fn roundtrips_name() {
+        assert_eq!(Symbol::intern("ncolE").as_str(), "ncolE");
+    }
+
+    #[test]
+    fn display_is_name() {
+        assert_eq!(Symbol::intern("left").to_string(), "left");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_name_panics() {
+        let _ = Symbol::intern("");
+    }
+
+    #[test]
+    fn from_str_interns() {
+        let s: Symbol = "zzz_sym".into();
+        assert_eq!(s, Symbol::intern("zzz_sym"));
+    }
+}

@@ -1,0 +1,78 @@
+//! The complete §3.3 walkthrough: the paper's `subr` is parsed in the mini
+//! language, the access-path matrices are printed at each labeled point,
+//! the dependence S → T is tested, and the verdict is validated against a
+//! concrete leaf-linked tree.
+//!
+//! ```text
+//! cargo run --example leaf_linked_tree
+//! ```
+
+use apt::core::Answer;
+use apt::heaps::llt::LeafLinkedTree;
+use apt::paths::analyze_proc;
+
+const SUBR: &str = r"
+    type LLBinaryTree {
+        ptr L: LLBinaryTree;
+        ptr R: LLBinaryTree;
+        ptr N: LLBinaryTree;
+        data d;
+        axiom A1: forall p, p.L <> p.R;
+        axiom A2: forall p <> q, p.(L|R) <> q.(L|R);
+        axiom A3: forall p <> q, p.N <> q.N;
+        axiom A4: forall p, p.(L|R|N)+ <> p.eps;
+    }
+    proc subr(root: LLBinaryTree) {
+        root = root->L;
+        p = root->L;
+        p = p->N;
+    S:  p->d = 100;
+        p = root;
+        q = root->R;
+        q = q->N;
+    T:  t = q->d;
+    }";
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let program = apt::ir::parse_program(SUBR)?;
+    println!("== the paper's subr, normalized ==\n{program}");
+
+    let analysis = analyze_proc(&program, "subr")?;
+
+    // The APMs the paper shows at statements S and T.
+    let s = analysis.snapshot("S").expect("S is a memory access");
+    println!("== APM at S (paper: p has paths L.L.N from _hroot, N from _hp) ==");
+    println!("{}", s.apm);
+    let t = analysis.snapshot("T").expect("T is a memory access");
+    println!("== APM at T (paper: q has L.R.N from _hroot, N from _hq) ==");
+    println!("{}", t.apm);
+
+    // The dependence question of the paper.
+    let outcome = analysis.test_sequential("S", "T")?;
+    println!("== is T dependent on S? ==");
+    println!("deptest: {}", outcome.answer);
+    assert_eq!(outcome.answer, Answer::No);
+    for proof in &outcome.proofs {
+        println!("\n{proof}");
+    }
+
+    // Ground truth on real trees: the theorem is ∀hroot, hroot.LLN <>
+    // hroot.LRN — so check EVERY vertex of every complete tree where both
+    // walks are defined.
+    println!("== concrete validation ==");
+    for depth in 2..7 {
+        let tree = LeafLinkedTree::complete(depth);
+        let mut checked = 0;
+        for i in 0..tree.len() {
+            let v = apt::heaps::llt::NodeId(i);
+            if let (Some(sw), Some(tr)) = (tree.walk(v, "LLN"), tree.walk(v, "LRN")) {
+                assert_ne!(sw, tr, "APT said No; the heap must agree at {v:?}");
+                checked += 1;
+            }
+        }
+        println!("depth {depth}: LLN <> LRN verified from {checked} anchor vertices");
+        assert!(checked > 0);
+    }
+    println!("the prover's No is confirmed on every concrete instance.");
+    Ok(())
+}

@@ -1,0 +1,33 @@
+//! **apt** — an umbrella crate re-exporting the whole APT reproduction.
+//!
+//! This workspace reproduces Hummel, Hendren & Nicolau, *A General Data
+//! Dependence Test for Dynamic, Pointer-Based Data Structures* (PLDI
+//! 1994). The subsystems:
+//!
+//! * [`regex`] — regular expressions over pointer-field alphabets (NFA,
+//!   DFA, subset test, derivatives, the component-path view);
+//! * [`axioms`] — the three aliasing-axiom forms, the ADDS-like
+//!   description layer, heap graphs, and the axiom model checker;
+//! * [`core`] — the APT theorem prover and the `deptest` entry point;
+//! * [`ir`] — the mini imperative pointer language;
+//! * [`paths`] — access-path matrices and the §3.3 flow analysis;
+//! * [`baselines`] — the k-limited, Larus–Hilfinger, and Hendren–Nicolau
+//!   comparison testers;
+//! * [`heaps`] — leaf-linked trees, lists, orthogonal-list sparse matrices
+//!   with Gaussian elimination, 2-D range trees;
+//! * [`parsim`] — the multiprocessor scheduling model for the Figure 7
+//!   speedup study.
+//!
+//! See `examples/quickstart.rs` for a five-minute tour.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use apt_axioms as axioms;
+pub use apt_baselines as baselines;
+pub use apt_core as core;
+pub use apt_heaps as heaps;
+pub use apt_ir as ir;
+pub use apt_parsim as parsim;
+pub use apt_paths as paths;
+pub use apt_regex as regex;

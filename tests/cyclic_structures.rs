@@ -1,0 +1,130 @@
+//! Cyclic data structures: the third axiom form (`∀p, p.RE1 = p.RE2`,
+//! "useful for describing cycles in a cyclic data structure", §3.1),
+//! exercised on circular doubly-linked lists with model-checked axioms and
+//! prover queries that need equality rewriting.
+
+use apt_axioms::{check::check_set, AxiomSet};
+use apt_core::{check_proof, Origin, Prover};
+use apt_heaps::list::{List, ListKind};
+use apt_regex::Path;
+
+/// The circular doubly-linked list axioms: the two cycle laws, listness in
+/// both directions, and no self-loop (true for length ≥ 2).
+fn circular_dll_axioms() -> AxiomSet {
+    AxiomSet::parse(
+        "C1: forall p, p.next.prev = p.eps\n\
+         C2: forall p, p.prev.next = p.eps\n\
+         L1: forall p <> q, p.next <> q.next\n\
+         L2: forall p <> q, p.prev <> q.prev\n\
+         S1: forall p, p.next <> p.eps\n\
+         S2: forall p, p.prev <> p.eps",
+    )
+    .expect("axioms parse")
+}
+
+#[test]
+fn axioms_hold_on_circular_dlls_of_length_two_plus() {
+    let axioms = circular_dll_axioms();
+    for len in 2..8 {
+        let l = List::build(ListKind::CircularDoubly, len);
+        let (g, _) = l.heap_graph();
+        assert_eq!(check_set(&g, &axioms), Ok(()), "len {len}");
+    }
+}
+
+#[test]
+fn one_element_ring_violates_the_self_loop_axiom() {
+    // The model checker catches that S1 is false on a 1-cycle — the axiom
+    // set genuinely constrains instances.
+    let l = List::build(ListKind::CircularDoubly, 1);
+    let (g, _) = l.heap_graph();
+    let violation = check_set(&g, &circular_dll_axioms()).unwrap_err();
+    assert!(
+        violation.axiom.contains("S1") || violation.axiom.contains("S2"),
+        "violated: {}",
+        violation.axiom
+    );
+}
+
+#[test]
+fn rewriting_proves_back_and_forth_disjointness() {
+    // head.next.prev.next is head.next (by C1), which is never head (S1):
+    // a proof that NEEDS the equality rewrite.
+    let axioms = circular_dll_axioms();
+    let mut prover = Prover::new(&axioms);
+    let a = Path::parse("next.prev.next").expect("path");
+    let b = Path::epsilon();
+    let proof = prover
+        .prove_disjoint(Origin::Same, &a, &b)
+        .expect("provable via C1 + S1");
+    check_proof(&axioms, &proof).expect("checker accepts");
+    let used = proof.axioms_used();
+    assert!(
+        used.iter().any(|x| x == "C1") || used.iter().any(|x| x == "C2"),
+        "must use a cycle law, used {used:?}"
+    );
+
+    // Ground truth on concrete rings.
+    for len in 2..7 {
+        let l = List::build(ListKind::CircularDoubly, len);
+        let (g, root) = l.heap_graph();
+        let root = root.expect("nonempty");
+        let target = g
+            .targets(root, &a.to_regex())
+            .into_iter()
+            .collect::<Vec<_>>();
+        assert_eq!(target.len(), 1);
+        assert_ne!(target[0], root, "len {len}");
+    }
+}
+
+#[test]
+fn without_self_loop_axiom_the_query_is_maybe() {
+    // Dropping S1/S2 re-admits the 1-cycle, where next.prev.next DOES
+    // return to head — the prover must not find a proof.
+    let axioms = AxiomSet::parse(
+        "C1: forall p, p.next.prev = p.eps\n\
+         C2: forall p, p.prev.next = p.eps\n\
+         L1: forall p <> q, p.next <> q.next",
+    )
+    .expect("axioms parse");
+    let mut prover = Prover::new(&axioms);
+    let a = Path::parse("next.prev.next").expect("path");
+    assert!(prover
+        .prove_disjoint(Origin::Same, &a, &Path::epsilon())
+        .is_none());
+}
+
+#[test]
+fn ring_walk_loop_carried_dependence_is_real_and_not_disproven() {
+    // On a circular list the Figure 1 loop DOES carry a dependence (the
+    // walk laps): the prover must answer Maybe under circular axioms.
+    let axioms = circular_dll_axioms();
+    let mut prover = Prover::new(&axioms);
+    assert!(prover
+        .prove_disjoint(
+            Origin::Same,
+            &Path::epsilon(),
+            &Path::parse("next+").expect("path"),
+        )
+        .is_none());
+    // Ground truth: from any cell, next+ reaches the cell itself.
+    let l = List::build(ListKind::CircularDoubly, 4);
+    let (g, root) = l.heap_graph();
+    let root = root.expect("nonempty");
+    let reach = g.targets(root, &apt_regex::parse("next+").expect("regex"));
+    assert!(reach.contains(&root));
+}
+
+#[test]
+fn distinct_cells_next_prev_round_trips_stay_distinct() {
+    // ∀x<>y: x.next.prev (= x) <> y.eps (= y) — rewriting inside a
+    // distinct-origin goal.
+    let axioms = circular_dll_axioms();
+    let mut prover = Prover::new(&axioms);
+    let a = Path::parse("next.prev").expect("path");
+    let proof = prover
+        .prove_disjoint(Origin::Distinct, &a, &Path::epsilon())
+        .expect("x.next.prev = x <> y");
+    check_proof(&axioms, &proof).expect("checker accepts");
+}

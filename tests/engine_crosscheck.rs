@@ -1,0 +1,172 @@
+//! Cross-validation of the two independent regular-expression engines:
+//! the NFA→DFA pipeline (used by the decision procedures) and the
+//! Brzozowski-derivative matcher must agree on every word, and the
+//! language operations must satisfy their algebraic laws.
+
+use apt_regex::{dfa::Dfa, ops, sample, Component, Path, Regex, Symbol};
+use proptest::prelude::*;
+
+/// Strategy: a random regex over a tiny alphabet, depth-bounded.
+fn regex_strategy() -> BoxedStrategy<Regex> {
+    let leaf = prop_oneof![
+        3 => prop::sample::select(vec!["a", "b", "c"]).prop_map(Regex::field),
+        1 => Just(Regex::epsilon()),
+    ];
+    leaf.prop_recursive(3, 24, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(x, y)| Regex::concat(x, y)),
+            (inner.clone(), inner.clone()).prop_map(|(x, y)| Regex::alt(x, y)),
+            inner.clone().prop_map(Regex::star),
+            inner.prop_map(Regex::plus),
+        ]
+    })
+    .boxed()
+}
+
+fn words_up_to_len(alpha: &[Symbol], max: usize) -> Vec<Vec<Symbol>> {
+    let mut out: Vec<Vec<Symbol>> = vec![vec![]];
+    let mut frontier = vec![vec![]];
+    for _ in 0..max {
+        let mut next = Vec::new();
+        for w in &frontier {
+            for &s in alpha {
+                let mut v = w.clone();
+                v.push(s);
+                next.push(v);
+            }
+        }
+        out.extend(next.iter().cloned());
+        frontier = next;
+    }
+    out
+}
+
+fn alphabet() -> Vec<Symbol> {
+    ["a", "b", "c"].iter().map(|s| Symbol::intern(s)).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// DFA acceptance == derivative matching, on every short word.
+    #[test]
+    fn dfa_and_derivatives_agree(re in regex_strategy()) {
+        let alpha = alphabet();
+        let dfa = Dfa::build(&re, &alpha);
+        for w in words_up_to_len(&alpha, 4) {
+            prop_assert_eq!(
+                dfa.accepts(&w),
+                re.matches(&w),
+                "regex {} word {:?}", re, w
+            );
+        }
+    }
+
+    /// Minimization preserves the language.
+    #[test]
+    fn minimize_preserves_language(re in regex_strategy()) {
+        let alpha = alphabet();
+        let dfa = Dfa::build(&re, &alpha);
+        let min = dfa.minimize();
+        prop_assert!(min.state_count() <= dfa.state_count());
+        for w in words_up_to_len(&alpha, 4) {
+            prop_assert_eq!(dfa.accepts(&w), min.accepts(&w));
+        }
+    }
+
+    /// Subset is a partial order consistent with membership.
+    #[test]
+    fn subset_respects_membership(a in regex_strategy(), b in regex_strategy()) {
+        prop_assert!(ops::is_subset(&a, &a));
+        if ops::is_subset(&a, &b) {
+            for w in sample::words_up_to(&a, 4) {
+                prop_assert!(b.matches(&w), "{} ⊆ {} but {:?} only in the former", a, b, w);
+            }
+        }
+    }
+
+    /// Disjointness means no shared short word; non-disjointness comes
+    /// with a witness accepted by both.
+    #[test]
+    fn disjointness_and_witnesses(a in regex_strategy(), b in regex_strategy()) {
+        if ops::is_disjoint(&a, &b) {
+            for w in sample::words_up_to(&a, 4) {
+                prop_assert!(!b.matches(&w));
+            }
+        } else {
+            let w = ops::intersection_witness(&a, &b).expect("non-disjoint has witness");
+            prop_assert!(a.matches(&w) && b.matches(&w));
+        }
+    }
+
+    /// Path ↔ regex round trip preserves the language.
+    #[test]
+    fn path_roundtrip_preserves_language(re in regex_strategy()) {
+        if let Ok(path) = Path::try_from(&re) {
+            prop_assert!(ops::equivalent(&re, &path.to_regex()), "{}", re);
+        }
+    }
+
+    /// The enumerated language is exactly the set of accepted short words.
+    #[test]
+    fn enumeration_is_exact(re in regex_strategy()) {
+        let words = sample::words_up_to(&re, 3);
+        for w in &words {
+            prop_assert!(re.matches(w));
+        }
+        let alpha = alphabet();
+        for w in words_up_to_len(&alpha, 3) {
+            if re.matches(&w) {
+                prop_assert!(words.contains(&w), "{} missing {:?}", re, w);
+            }
+        }
+    }
+
+    /// Plus unfolding law: a+ ≡ a·a* ≡ a*·a.
+    #[test]
+    fn plus_laws(re in regex_strategy()) {
+        let plus = Regex::plus(re.clone());
+        let left = Regex::concat(re.clone(), Regex::star(re.clone()));
+        let right = Regex::concat(Regex::star(re.clone()), re.clone());
+        prop_assert!(ops::equivalent(&plus, &left));
+        prop_assert!(ops::equivalent(&plus, &right));
+    }
+}
+
+/// Display/parse round trip on paths: printing and re-parsing yields the
+/// same language (display uses flattened alternations, so compare
+/// semantically).
+#[test]
+fn path_display_parse_roundtrip() {
+    for text in [
+        "L.L.N",
+        "(L|R)+.N+",
+        "nrowE+.ncolE.ncolE*",
+        "(rows|cols).(relem|celem)*",
+        "eps",
+        "(a.b)*.c",
+    ] {
+        let p = Path::parse(text).expect("parses");
+        let q = Path::parse(&p.to_string()).expect("display re-parses");
+        assert!(
+            ops::equivalent(&p.to_regex(), &q.to_regex()),
+            "{text} -> {p} -> {q}"
+        );
+    }
+}
+
+/// Component-level sanity: splitting and re-concatenating is identity.
+#[test]
+fn path_split_concat_identity() {
+    let p = Path::parse("a.(b|c)+.a*").expect("parses");
+    for k in 0..=p.len() {
+        // prefix(k) drops the last k components; suffix(k) keeps them.
+        let joined = p.prefix(k).concat(&p.suffix(k));
+        assert_eq!(joined, p);
+    }
+    let (head, tail) = p.split_first().expect("nonempty");
+    let mut rebuilt = Path::new(vec![head.clone()]);
+    rebuilt = rebuilt.concat(&tail);
+    assert_eq!(rebuilt, p);
+    assert!(matches!(p.components()[1], Component::Plus(_)));
+}

@@ -1,0 +1,150 @@
+//! Validates the dependence verdicts against *real* parallel execution:
+//! the loops APT declares independent are run concurrently on real threads
+//! and must produce exactly the sequential results.
+
+use apt_core::{Origin, Prover};
+use apt_heaps::gen::random_sparse_matrix;
+use apt_heaps::llt::LeafLinkedTree;
+use apt_heaps::numeric::{factor, solve, LoopClassification};
+use apt_parsim::execute_parallel;
+use apt_regex::Path;
+
+/// The scale loop touches every element exactly once, so its iterations
+/// are independent — run it as genuine parallel mutation over disjoint
+/// chunks and compare against the sequential kernel.
+#[test]
+fn parallel_scale_matches_sequential() {
+    let m0 = random_sparse_matrix(64, 400, 3);
+
+    let mut seq = m0.clone();
+    let _ = apt_heaps::numeric::scale(&mut seq, 2.5, LoopClassification::sequential());
+
+    let mut par = m0.clone();
+    {
+        let mut refs: Vec<&mut f64> = par.values_mut().collect();
+        let chunk = refs.len().div_ceil(7);
+        crossbeam::thread::scope(|scope| {
+            for part in refs.chunks_mut(chunk) {
+                scope.spawn(move |_| {
+                    for v in part.iter_mut() {
+                        **v *= 2.5;
+                    }
+                });
+            }
+        })
+        .expect("threads joined");
+    }
+    assert_eq!(seq.to_dense(), par.to_dense());
+}
+
+/// One elimination step, row tasks executed concurrently: Theorem T says
+/// distinct target rows never overlap, so per-row updates computed in
+/// parallel must commit to exactly the sequential factor state.
+#[test]
+fn parallel_elimination_step_matches_sequential() {
+    // First prove the licence (Theorem T), then use it.
+    let axioms = apt_axioms::adds::sparse_matrix_minimal_axioms();
+    let mut prover = Prover::new(&axioms);
+    assert!(prover
+        .prove_disjoint(
+            Origin::Same,
+            &Path::parse("ncolE+").expect("path"),
+            &Path::parse("nrowE+.ncolE+").expect("path"),
+        )
+        .is_some());
+
+    let m0 = random_sparse_matrix(24, 120, 11);
+
+    // Sequential reference: eliminate with pivot (0,0) by hand.
+    let pivot_row: Vec<(usize, f64)> = m0
+        .iter_row(0)
+        .map(|id| (m0.elem(id).col, m0.elem(id).val))
+        .filter(|&(c, _)| c != 0)
+        .collect();
+    let piv = m0.get(0, 0);
+    assert!(piv != 0.0);
+    let targets: Vec<usize> = m0
+        .iter_col(0)
+        .map(|id| m0.elem(id).row)
+        .filter(|&r| r != 0 && m0.get(r, 0) != 0.0)
+        .collect();
+
+    let eliminate_row = |m: &apt_heaps::sparse::SparseMatrix, r: usize| -> Vec<(usize, f64)> {
+        let mult = m.get(r, 0) / piv;
+        let mut updates = vec![(0usize, mult)]; // store multiplier at (r, 0)
+        for &(c, v) in &pivot_row {
+            updates.push((c, m.get(r, c) - mult * v));
+        }
+        updates
+    };
+
+    // Sequential commit.
+    let mut seq = m0.clone();
+    for &r in &targets {
+        for (c, v) in eliminate_row(&m0, r) {
+            seq.set(r, c, v);
+        }
+    }
+
+    // Parallel computation of the per-row updates (concurrent reads of the
+    // shared matrix — safe because rows are disjoint), then commit.
+    let tasks: Vec<_> = targets
+        .iter()
+        .map(|&r| {
+            let m0 = &m0;
+            let f = &eliminate_row;
+            move || (r, f(m0, r))
+        })
+        .collect();
+    let results = execute_parallel(tasks, 7);
+    let mut par = m0.clone();
+    for (r, updates) in results {
+        for (c, v) in updates {
+            par.set(r, c, v);
+        }
+    }
+    assert_eq!(seq.to_dense(), par.to_dense());
+}
+
+/// The leaf sweep of the Figure 1 loop: independent per-leaf writes run on
+/// threads and agree with the sequential sweep.
+#[test]
+fn parallel_leaf_sweep_matches_sequential() {
+    let mut seq_tree = LeafLinkedTree::complete(7);
+    let leaves = seq_tree.leaves();
+    for (i, leaf) in leaves.iter().enumerate() {
+        *seq_tree.data_mut(*leaf) = (i * i) as f64;
+    }
+
+    let mut par_tree = LeafLinkedTree::complete(7);
+    let tasks: Vec<_> = (0..leaves.len()).map(|i| move || (i * i) as f64).collect();
+    let values = execute_parallel(tasks, 5);
+    for (leaf, v) in leaves.iter().zip(values) {
+        *par_tree.data_mut(*leaf) = v;
+    }
+    for leaf in &leaves {
+        assert_eq!(seq_tree.node(*leaf).data, par_tree.node(*leaf).data);
+    }
+}
+
+/// The full factor+solve pipeline is deterministic regardless of the loop
+/// classification (the classification changes the *schedule*, never the
+/// numbers).
+#[test]
+fn classification_never_changes_numerics() {
+    let m0 = random_sparse_matrix(32, 160, 5);
+    let b: Vec<f64> = (0..32).map(|i| (i % 9) as f64).collect();
+    let mut results = Vec::new();
+    for cls in [
+        LoopClassification::sequential(),
+        LoopClassification::partial(),
+        LoopClassification::full(),
+    ] {
+        let mut m = m0.clone();
+        let fr = factor(&mut m, cls);
+        let (x, _) = solve(&m, &fr.pivots, &b, cls);
+        results.push(x);
+    }
+    assert_eq!(results[0], results[1]);
+    assert_eq!(results[1], results[2]);
+}

@@ -1,0 +1,165 @@
+//! Robustness: the prover and its satellites must terminate gracefully on
+//! adversarial inputs — contradictory axioms, unsatisfiable-ish sets, deep
+//! nesting, starvation — and the property-based pieces must round-trip.
+
+use apt_axioms::{Axiom, AxiomSet};
+use apt_core::{check_proof, Origin, Prover, ProverConfig};
+use apt_regex::{Component, Path};
+use proptest::prelude::*;
+
+#[test]
+fn contradictory_axioms_do_not_hang() {
+    // "∀p, p.L <> p.L" is satisfiable only by heaps where L is always
+    // null; the prover must simply use it, not loop.
+    let axioms = AxiomSet::parse(
+        "W1: forall p, p.L <> p.L\n\
+         W2: forall p <> q, p.L <> q.L",
+    )
+    .expect("parses");
+    let mut prover = Prover::new(&axioms);
+    let proof = prover
+        .prove_disjoint(
+            Origin::Same,
+            &Path::parse("L").expect("path"),
+            &Path::parse("L").expect("path"),
+        )
+        .expect("W1 applies literally");
+    check_proof(&axioms, &proof).expect("still a valid derivation");
+}
+
+#[test]
+fn self_referential_equalities_terminate() {
+    // Rewriting with p.next = p.next must not diverge (the rewrite budget
+    // and goal cache bound the search).
+    let axioms = AxiomSet::parse(
+        "E1: forall p, p.next = p.next\n\
+         E2: forall p, p.next = p.prev\n\
+         E3: forall p, p.prev = p.next",
+    )
+    .expect("parses");
+    let mut prover = Prover::new(&axioms);
+    assert!(prover
+        .prove_disjoint(
+            Origin::Same,
+            &Path::parse("next.next").expect("path"),
+            &Path::parse("prev").expect("path"),
+        )
+        .is_none());
+}
+
+#[test]
+fn deeply_nested_paths_respect_depth_cutoff() {
+    let axioms = apt_axioms::adds::leaf_linked_tree_axioms();
+    let config = ProverConfig {
+        max_depth: 4,
+        ..ProverConfig::default()
+    };
+    let mut prover = Prover::with_config(&axioms, config);
+    // A provable-but-deep query under a tiny depth bound: must return
+    // (None is acceptable), never panic or hang.
+    let deep = Path::fields(std::iter::repeat_n("L", 40).chain(std::iter::repeat_n("N", 40)));
+    let mut other_fields: Vec<&str> = vec!["L"; 39];
+    other_fields.push("R");
+    other_fields.extend(std::iter::repeat_n("N", 40));
+    let other = Path::fields(other_fields);
+    let result = prover.prove_disjoint(Origin::Same, &deep, &other);
+    if let Some(p) = result {
+        check_proof(&axioms, &p).expect("any found proof must check");
+    }
+    assert!(prover.stats().cutoffs > 0 || prover.stats().goals_attempted > 0);
+}
+
+#[test]
+fn fuel_starvation_is_a_clean_maybe() {
+    // (The full Appendix A set proves Theorem T in one direct S4
+    // application, so starve the prover on the minimal §5 axioms, whose
+    // proof needs real search.)
+    let axioms = apt_axioms::adds::sparse_matrix_minimal_axioms();
+    let config = ProverConfig {
+        fuel: 2,
+        ..ProverConfig::default()
+    };
+    let mut prover = Prover::with_config(&axioms, config);
+    let r = prover.prove_disjoint(
+        Origin::Same,
+        &Path::parse("ncolE+").expect("path"),
+        &Path::parse("nrowE+.ncolE+").expect("path"),
+    );
+    assert!(r.is_none(), "starved prover must fail, not lie");
+    assert!(prover.stats().cutoffs > 0);
+}
+
+#[test]
+fn giant_alternation_terminates() {
+    // 16-way alternations stress the DFA product and the alt splitter.
+    let fields: Vec<String> = (0..16).map(|i| format!("f{i}")).collect();
+    let alt = fields.join("|");
+    let axioms = AxiomSet::parse(&format!(
+        "T1: forall p <> q, p.({alt}) <> q.({alt})\n\
+         T2: forall p, p.({alt})+ <> p.eps"
+    ))
+    .expect("parses");
+    let mut prover = Prover::new(&axioms);
+    let a = Path::parse(&format!("f0.({alt})*")).expect("path");
+    let b = Path::epsilon();
+    let proof = prover
+        .prove_disjoint(Origin::Same, &a, &b)
+        .expect("acyclicity covers it");
+    check_proof(&axioms, &proof).expect("checks");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Axiom display → parse is the identity (modulo nothing: structural
+    /// equality).
+    #[test]
+    fn axiom_display_parse_roundtrip(
+        kind in 0u8..3,
+        lhs in path_strategy(),
+        rhs in path_strategy(),
+    ) {
+        let axiom = match kind {
+            0 => Axiom::disjoint_same_origin(lhs.to_regex(), rhs.to_regex()),
+            1 => Axiom::disjoint_distinct_origins(lhs.to_regex(), rhs.to_regex()),
+            _ => Axiom::equal(lhs.to_regex(), rhs.to_regex()),
+        }
+        .named("X1");
+        let reparsed: Axiom = axiom.to_string().parse().expect("round trip parses");
+        prop_assert_eq!(reparsed.kind(), axiom.kind());
+        prop_assert!(apt_regex::ops::equivalent(reparsed.lhs(), axiom.lhs()));
+        prop_assert!(apt_regex::ops::equivalent(reparsed.rhs(), axiom.rhs()));
+    }
+
+    /// The prover is deterministic: same query twice, same verdict, and
+    /// any proof found passes the checker.
+    #[test]
+    fn prover_is_deterministic_and_checked(
+        a in path_strategy(),
+        b in path_strategy(),
+    ) {
+        let axioms = apt_axioms::adds::leaf_linked_tree_axioms();
+        let mut p1 = Prover::new(&axioms);
+        let r1 = p1.prove_disjoint(Origin::Same, &a, &b);
+        let mut p2 = Prover::new(&axioms);
+        let r2 = p2.prove_disjoint(Origin::Same, &a, &b);
+        prop_assert_eq!(r1.is_some(), r2.is_some());
+        if let Some(proof) = r1 {
+            prop_assert!(check_proof(&axioms, &proof).is_ok());
+        }
+    }
+}
+
+fn path_strategy() -> BoxedStrategy<Path> {
+    let field = prop::sample::select(vec!["L", "R", "N"]).prop_map(|f| Component::Field(f.into()));
+    let simple = prop::collection::vec(field.clone(), 1..=2).prop_map(Path::new);
+    let component = prop_oneof![
+        3 => field,
+        1 => (simple.clone(), simple.clone()).prop_map(|(a, b)| Component::Alt(a, b)),
+        1 => simple.clone().prop_map(Component::Star),
+        1 => simple.prop_map(Component::Plus),
+    ];
+    prop::collection::vec(component, 0..=3)
+        .prop_map(Path::new)
+        .boxed()
+}

@@ -1,0 +1,51 @@
+//! C-SEND-SYNC conformance: the public data types are thread-safe, so the
+//! tester can run inside a parallel compiler.
+
+fn assert_send_sync<T: Send + Sync>() {}
+
+#[test]
+fn core_data_types_are_send_and_sync() {
+    assert_send_sync::<apt_regex::Regex>();
+    assert_send_sync::<apt_regex::Path>();
+    assert_send_sync::<apt_regex::Component>();
+    assert_send_sync::<apt_regex::Symbol>();
+    assert_send_sync::<apt_axioms::Axiom>();
+    assert_send_sync::<apt_axioms::AxiomSet>();
+    assert_send_sync::<apt_axioms::graph::HeapGraph>();
+    assert_send_sync::<apt_core::Handle>();
+    assert_send_sync::<apt_core::Goal>();
+    assert_send_sync::<apt_core::Proof>();
+    assert_send_sync::<apt_core::MemRef>();
+    assert_send_sync::<apt_core::TestOutcome>();
+    assert_send_sync::<apt_core::Prover<'static>>();
+    assert_send_sync::<apt_heaps::sparse::SparseMatrix>();
+    assert_send_sync::<apt_heaps::llt::LeafLinkedTree>();
+    assert_send_sync::<apt_heaps::octree::Octree>();
+    assert_send_sync::<apt_parsim::Trace>();
+    assert_send_sync::<apt_ir::Program>();
+    assert_send_sync::<apt_paths::Apm>();
+}
+
+/// Provers really can run on worker threads (parallel compilation).
+#[test]
+fn provers_run_concurrently() {
+    let axioms = std::sync::Arc::new(apt_axioms::adds::leaf_linked_tree_axioms());
+    let handles: Vec<_> = (0..4)
+        .map(|_| {
+            let axioms = std::sync::Arc::clone(&axioms);
+            std::thread::spawn(move || {
+                let mut prover = apt_core::Prover::new(&axioms);
+                prover
+                    .prove_disjoint(
+                        apt_core::Origin::Same,
+                        &apt_regex::Path::parse("L.L.N").expect("path"),
+                        &apt_regex::Path::parse("L.R.N").expect("path"),
+                    )
+                    .is_some()
+            })
+        })
+        .collect();
+    for h in handles {
+        assert!(h.join().expect("no panic"));
+    }
+}

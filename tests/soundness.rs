@@ -1,0 +1,189 @@
+//! The central soundness property of the reproduction, checked by
+//! property-based testing across crates:
+//!
+//! > If APT answers **No** for two access paths under an axiom set `A`,
+//! > then on *every* concrete heap satisfying `A` the two paths never
+//! > reach a common vertex.
+//!
+//! Random heaps come from `apt-heaps::gen` (correct by construction and
+//! re-verified by the model checker); random access paths come from a
+//! proptest strategy over the structure's field alphabet.
+
+use apt_axioms::check::check_set;
+use apt_axioms::graph::{HeapGraph, NodeId};
+use apt_axioms::{adds, AxiomSet};
+use apt_core::{Origin, Prover};
+use apt_heaps::gen;
+use apt_regex::{Component, Path};
+use proptest::prelude::*;
+
+/// Strategy: a random access path over the given fields, with at most
+/// `depth` components, drawing fields, alternations, stars and pluses.
+fn path_strategy(fields: &'static [&'static str], depth: usize) -> BoxedStrategy<Path> {
+    let field = prop::sample::select(fields.to_vec()).prop_map(|f| Component::Field(f.into()));
+    let simple = prop::collection::vec(field.clone(), 0..=2).prop_map(Path::new);
+    let component = prop_oneof![
+        4 => field,
+        1 => (simple.clone(), simple.clone())
+            .prop_filter("alt arms nonempty", |(a, b)| !a.is_empty() && !b.is_empty())
+            .prop_map(|(a, b)| Component::Alt(a, b)),
+        1 => simple.clone().prop_filter("star body nonempty", |p| !p.is_empty())
+            .prop_map(Component::Star),
+        1 => simple.prop_filter("plus body nonempty", |p| !p.is_empty())
+            .prop_map(Component::Plus),
+    ];
+    prop::collection::vec(component, 0..=depth)
+        .prop_map(Path::new)
+        .boxed()
+}
+
+/// Checks the soundness invariant of one No answer on one heap.
+fn assert_no_is_sound(heap: &HeapGraph, origin: Origin, a: &Path, b: &Path) {
+    let ra = a.to_regex();
+    let rb = b.to_regex();
+    for v in heap.nodes() {
+        let ta = heap.targets(v, &ra);
+        match origin {
+            Origin::Same => {
+                let tb = heap.targets(v, &rb);
+                assert!(
+                    ta.is_disjoint(&tb),
+                    "No was unsound: {a} and {b} meet from {v} (same origin)"
+                );
+            }
+            Origin::Distinct => {
+                for w in heap.nodes() {
+                    if v == w {
+                        continue;
+                    }
+                    let tb = heap.targets(w, &rb);
+                    assert!(
+                        ta.is_disjoint(&tb),
+                        "No was unsound: {a} from {v} meets {b} from {w}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+fn soundness_case(
+    axioms: &AxiomSet,
+    heaps: &[(HeapGraph, NodeId)],
+    a: &Path,
+    b: &Path,
+    origin: Origin,
+) {
+    let mut prover = Prover::new(axioms);
+    if let Some(proof) = prover.prove_disjoint(origin, a, b) {
+        // Every produced derivation must pass the independent checker…
+        apt_core::check_proof(axioms, &proof)
+            .unwrap_or_else(|e| panic!("prover emitted an invalid proof: {e}\n{proof}"));
+        // …and the verdict must hold on every conforming heap.
+        for (heap, _root) in heaps {
+            assert_no_is_sound(heap, origin, a, b);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Leaf-linked trees under the Figure 3 axioms.
+    #[test]
+    fn llt_no_answers_are_sound(
+        a in path_strategy(&["L", "R", "N"], 4),
+        b in path_strategy(&["L", "R", "N"], 4),
+        same in any::<bool>(),
+        seed in 0u64..64,
+    ) {
+        let axioms = adds::leaf_linked_tree_axioms();
+        let heaps: Vec<_> = (0..3)
+            .map(|k| gen::random_leaf_linked_tree(9 + 2 * (seed as usize % 4), seed + k * 101))
+            .collect();
+        // Sanity: generated instances satisfy the axioms.
+        for (heap, _) in &heaps {
+            prop_assert!(check_set(heap, &axioms).is_ok());
+        }
+        let origin = if same { Origin::Same } else { Origin::Distinct };
+        soundness_case(&axioms, &heaps, &a, &b, origin);
+    }
+
+    /// Acyclic singly-linked lists.
+    #[test]
+    fn list_no_answers_are_sound(
+        a in path_strategy(&["next"], 5),
+        b in path_strategy(&["next"], 5),
+        same in any::<bool>(),
+        len in 2usize..12,
+    ) {
+        let axioms = AxiomSet::parse(
+            "A1: forall p <> q, p.next <> q.next\n\
+             A2: forall p, p.next+ <> p.eps",
+        ).expect("axioms parse");
+        let heaps = vec![gen::random_list(len, 0)];
+        let origin = if same { Origin::Same } else { Origin::Distinct };
+        soundness_case(&axioms, &heaps, &a, &b, origin);
+    }
+
+    /// Sparse matrices under the full Appendix A axiom set.
+    #[test]
+    fn sparse_no_answers_are_sound(
+        a in path_strategy(&["nrowE", "ncolE", "relem", "nrowH"], 3),
+        b in path_strategy(&["nrowE", "ncolE", "relem", "nrowH"], 3),
+        same in any::<bool>(),
+        seed in 0u64..32,
+    ) {
+        let axioms = adds::sparse_matrix_axioms();
+        let m = gen::random_sparse_matrix(5, 7, seed);
+        let (heap, root) = m.heap_graph();
+        prop_assert!(check_set(&heap, &axioms).is_ok());
+        let origin = if same { Origin::Same } else { Origin::Distinct };
+        soundness_case(&axioms, &[(heap, root)], &a, &b, origin);
+    }
+
+    /// Yes answers are exact: identical definite paths really coincide on
+    /// every heap where the walk is defined.
+    #[test]
+    fn definite_paths_reach_one_vertex(
+        a in path_strategy(&["L", "R", "N"], 4),
+        seed in 0u64..32,
+    ) {
+        prop_assume!(a.is_definite());
+        let (heap, _root) = gen::random_leaf_linked_tree(11, seed);
+        let re = a.to_regex();
+        for v in heap.nodes() {
+            prop_assert!(heap.targets(v, &re).len() <= 1);
+        }
+    }
+}
+
+/// The regression cases the paper highlights, as plain tests (these are
+/// the proofs that MUST exist, complementing the must-not-be-unsound
+/// property above).
+#[test]
+fn flagship_proofs_exist_and_are_sound() {
+    let axioms = adds::leaf_linked_tree_axioms();
+    let mut prover = Prover::new(&axioms);
+    let a = Path::parse("L.L.N").expect("path");
+    let b = Path::parse("L.R.N").expect("path");
+    assert!(prover.prove_disjoint(Origin::Same, &a, &b).is_some());
+    for seed in 0..40 {
+        let (heap, _) = gen::random_leaf_linked_tree(4 + (seed as usize % 14), seed);
+        assert_no_is_sound(&heap, Origin::Same, &a, &b);
+    }
+}
+
+#[test]
+fn theorem_t_is_sound_on_real_matrices() {
+    let axioms = adds::sparse_matrix_minimal_axioms();
+    let mut prover = Prover::new(&axioms);
+    let a = Path::parse("ncolE+").expect("path");
+    let b = Path::parse("nrowE+.ncolE+").expect("path");
+    assert!(prover.prove_disjoint(Origin::Same, &a, &b).is_some());
+    for seed in 0..10 {
+        let m = gen::random_sparse_matrix(6, 9, seed);
+        let (heap, _) = m.heap_graph();
+        assert_no_is_sound(&heap, Origin::Same, &a, &b);
+    }
+}
