@@ -134,11 +134,26 @@ impl fmt::Display for Axiom {
 pub struct ParseAxiomError {
     /// What went wrong.
     pub message: String,
+    /// The 1-based source line, when parsing multi-line input
+    /// ([`crate::AxiomSet::parse`] fills this in).
+    pub line: Option<usize>,
+}
+
+impl ParseAxiomError {
+    /// Attaches the 1-based source line the error occurred on.
+    #[must_use]
+    pub fn at_line(mut self, line: usize) -> ParseAxiomError {
+        self.line = Some(line);
+        self
+    }
 }
 
 impl fmt::Display for ParseAxiomError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "axiom parse error: {}", self.message)
+        match self.line {
+            Some(line) => write!(f, "axiom parse error at line {line}: {}", self.message),
+            None => write!(f, "axiom parse error: {}", self.message),
+        }
     }
 }
 
@@ -147,6 +162,7 @@ impl Error for ParseAxiomError {}
 fn err(message: impl Into<String>) -> ParseAxiomError {
     ParseAxiomError {
         message: message.into(),
+        line: None,
     }
 }
 

@@ -62,12 +62,15 @@ impl AxiomSet {
     /// ```
     pub fn parse(text: &str) -> Result<AxiomSet, crate::ParseAxiomError> {
         let mut axioms = Vec::new();
-        for line in text.lines() {
+        for (idx, line) in text.lines().enumerate() {
             let line = line.trim();
             if line.is_empty() || line.starts_with('#') {
                 continue;
             }
-            axioms.push(line.parse()?);
+            axioms.push(
+                line.parse::<crate::Axiom>()
+                    .map_err(|e| e.at_line(idx + 1))?,
+            );
         }
         Ok(AxiomSet::from_axioms(axioms))
     }

@@ -14,18 +14,23 @@ fn main() {
 
     println!("== Prover cost vs path length (provable leaf-linked-tree queries) ==");
     println!(
-        "{:>4} {:>8} {:>12} {:>14} {:>12} {:>10}",
-        "n", "proven", "time (us)", "subset checks", "goals", "cutoffs"
+        "{:>4} {:>8} {:>12} {:>14} {:>12} {:>6} {:>6} {:>4} {:>6} {:>6}",
+        "n", "proven", "time (us)", "subset checks", "goals", "fuel", "depth", "rw", "ddl", "dfa"
     );
     for p in &points {
+        let c = &p.stats.cutoffs;
         println!(
-            "{:>4} {:>8} {:>12} {:>14} {:>12} {:>10}",
+            "{:>4} {:>8} {:>12} {:>14} {:>12} {:>6} {:>6} {:>4} {:>6} {:>6}",
             p.n,
             p.proven,
             p.micros,
             p.stats.subset_checks,
             p.stats.goals_attempted,
-            p.stats.cutoffs
+            c.fuel,
+            c.depth,
+            c.rewrites,
+            c.deadline,
+            c.regex_budget
         );
     }
     println!();

@@ -9,6 +9,13 @@
 //! apt report <program-file> [--proc <name>]
 //! ```
 //!
+//! Every proving subcommand accepts resource-governance flags
+//! (`--fuel <n>`, `--deadline-ms <n>`, `--max-dfa-states <n>`); running
+//! out of any budget degrades the answer to an explicit Maybe — it never
+//! crashes and never flips a verdict. Exit codes: `0` when every answer
+//! was definite, `1` when some answer was Maybe (degraded or genuinely
+//! unknown), `2` on usage or parse errors.
+//!
 //! Axiom files are either ADDS descriptions (`structure … { tree L, R; }`)
 //! or one axiom per line (`A1: forall p, p.L <> p.R`); the format is
 //! auto-detected. Program files use the `apt-ir` mini language.
@@ -18,12 +25,15 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 use apt_axioms::{adds, AxiomSet};
-use apt_core::{check_proof, Answer, Origin, Prover};
+use apt_core::{check_proof, Answer, Budget, MaybeReason, Origin, Prover, ProverConfig};
 use apt_paths::{analyze_proc, Analysis, QueryError};
 use apt_regex::Path;
 use std::fmt::Write as _;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::{Duration, Instant};
 
 /// A CLI failure: message for stderr, nonzero exit.
 #[derive(Debug)]
@@ -39,6 +49,67 @@ impl std::error::Error for CliError {}
 
 fn fail(msg: impl Into<String>) -> CliError {
     CliError(msg.into())
+}
+
+/// The result of a successfully-dispatched subcommand: the text to print
+/// plus whether any answer fell back to Maybe (which drives the exit
+/// code).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CmdOutput {
+    /// Text for stdout.
+    pub text: String,
+    /// Whether any query answered Maybe — degraded or genuinely unknown.
+    pub any_maybe: bool,
+}
+
+impl CmdOutput {
+    fn clean(text: String) -> CmdOutput {
+        CmdOutput {
+            text,
+            any_maybe: false,
+        }
+    }
+
+    /// Process exit code: `0` when every answer was definite, `1` when
+    /// some answer was Maybe. (Usage/parse errors exit `2` via
+    /// [`CliError`].)
+    pub fn exit_code(&self) -> i32 {
+        i32::from(self.any_maybe)
+    }
+}
+
+impl std::ops::Deref for CmdOutput {
+    type Target = String;
+    fn deref(&self) -> &String {
+        &self.text
+    }
+}
+
+impl std::fmt::Display for CmdOutput {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+#[doc(hidden)]
+pub mod test_support {
+    //! Internal fault-injection hooks for the robustness tests. Not part
+    //! of the public interface.
+    use std::cell::RefCell;
+
+    thread_local! {
+        static PANIC_LABEL: RefCell<Option<String>> = const { RefCell::new(None) };
+    }
+
+    /// Makes the per-loop report query for `label` panic (on this thread
+    /// only). Pass `None` to clear.
+    pub fn inject_report_panic(label: Option<&str>) {
+        PANIC_LABEL.with(|c| *c.borrow_mut() = label.map(str::to_owned));
+    }
+
+    pub(crate) fn should_panic_for(label: &str) -> bool {
+        PANIC_LABEL.with(|c| c.borrow().as_deref() == Some(label))
+    }
 }
 
 /// Parses an axiom file: ADDS syntax if any line starts with an ADDS
@@ -78,14 +149,17 @@ pub fn cmd_prove(
     path_a: &str,
     path_b: &str,
     origin: Origin,
-) -> Result<String, CliError> {
+    config: &ProverConfig,
+) -> Result<CmdOutput, CliError> {
     let axioms = load_axioms(axioms_text)?;
     let a = Path::parse(path_a).map_err(|e| fail(e.to_string()))?;
     let b = Path::parse(path_b).map_err(|e| fail(e.to_string()))?;
     let mut out = String::new();
+    let mut any_maybe = false;
     let _ = writeln!(out, "axioms:\n{axioms}");
-    let mut prover = Prover::new(&axioms);
-    match prover.prove_disjoint(origin, &a, &b) {
+    let mut prover = Prover::with_config(&axioms, config.clone());
+    let (proof, why) = prover.prove_disjoint_governed(origin, &a, &b);
+    match proof {
         Some(proof) => {
             check_proof(&axioms, &proof).map_err(|e| fail(format!("internal: {e}")))?;
             let quant = match origin {
@@ -104,13 +178,29 @@ pub fn cmd_prove(
             );
         }
         None => {
-            let _ = writeln!(out, "{a} <> {b}: Maybe (no proof found)");
+            any_maybe = true;
+            let why = why.unwrap_or(MaybeReason::GenuinelyUnknown);
+            let _ = writeln!(out, "{a} <> {b}: Maybe ({why})");
+            if why.is_degraded() {
+                let _ = writeln!(
+                    out,
+                    "(resource limit reached — retry with a larger \
+                     --fuel / --deadline-ms / --max-dfa-states)"
+                );
+            }
         }
     }
-    Ok(out)
+    Ok(CmdOutput {
+        text: out,
+        any_maybe,
+    })
 }
 
-fn analyze(program_text: &str, proc_name: Option<&str>) -> Result<(String, Analysis), CliError> {
+fn analyze(
+    program_text: &str,
+    proc_name: Option<&str>,
+    config: &ProverConfig,
+) -> Result<(String, Analysis), CliError> {
     let program = apt_ir::parse_program(program_text).map_err(|e| fail(e.to_string()))?;
     let name = match proc_name {
         Some(n) => n.to_owned(),
@@ -122,7 +212,7 @@ fn analyze(program_text: &str, proc_name: Option<&str>) -> Result<(String, Analy
     };
     let analysis =
         analyze_proc(&program, &name).map_err(|e| fail(format!("cannot analyze {name:?}: {e}")))?;
-    Ok((name, analysis))
+    Ok((name, analysis.with_prover_config(config.clone())))
 }
 
 /// `apt apm`: prints the access-path matrix at every labeled access.
@@ -130,8 +220,8 @@ fn analyze(program_text: &str, proc_name: Option<&str>) -> Result<(String, Analy
 /// # Errors
 ///
 /// Returns a [`CliError`] on malformed input.
-pub fn cmd_apm(program_text: &str, proc_name: Option<&str>) -> Result<String, CliError> {
-    let (name, analysis) = analyze(program_text, proc_name)?;
+pub fn cmd_apm(program_text: &str, proc_name: Option<&str>) -> Result<CmdOutput, CliError> {
+    let (name, analysis) = analyze(program_text, proc_name, &ProverConfig::default())?;
     let mut out = String::new();
     let _ = writeln!(out, "procedure {name}: access-path matrices\n");
     for snap in analysis.snapshots() {
@@ -150,14 +240,16 @@ pub fn cmd_apm(program_text: &str, proc_name: Option<&str>) -> Result<String, Cl
     if analysis.labels().is_empty() {
         let _ = writeln!(out, "(no labeled memory accesses)");
     }
-    Ok(out)
+    Ok(CmdOutput::clean(out))
 }
 
-fn render_outcome(out: &mut String, outcome: &apt_core::TestOutcome) {
-    let _ = writeln!(out, "answer: {}", outcome.answer);
+/// Renders an outcome; returns whether it was a Maybe.
+fn render_outcome(out: &mut String, outcome: &apt_core::TestOutcome) -> bool {
+    let _ = writeln!(out, "answer: {}", outcome.verdict());
     for proof in &outcome.proofs {
         let _ = writeln!(out, "\n{proof}");
     }
+    outcome.answer == Answer::Maybe
 }
 
 /// `apt query --from S --to T`: a sequential dependence query.
@@ -170,17 +262,22 @@ pub fn cmd_query_sequential(
     proc_name: Option<&str>,
     from: &str,
     to: &str,
-) -> Result<String, CliError> {
-    let (name, analysis) = analyze(program_text, proc_name)?;
+    config: &ProverConfig,
+) -> Result<CmdOutput, CliError> {
+    let (name, analysis) = analyze(program_text, proc_name, config)?;
     let mut out = String::new();
+    let mut any_maybe = true;
     let _ = writeln!(out, "procedure {name}: is {to} dependent on {from}?");
     match analysis.test_sequential(from, to) {
-        Ok(outcome) => render_outcome(&mut out, &outcome),
+        Ok(outcome) => any_maybe = render_outcome(&mut out, &outcome),
         Err(e) => {
             let _ = writeln!(out, "answer: Maybe ({e})");
         }
     }
-    Ok(out)
+    Ok(CmdOutput {
+        text: out,
+        any_maybe,
+    })
 }
 
 /// `apt query --carried U`: a loop-carried self-dependence query.
@@ -193,9 +290,11 @@ pub fn cmd_query_carried(
     proc_name: Option<&str>,
     label: &str,
     loop_label: Option<&str>,
-) -> Result<String, CliError> {
-    let (name, analysis) = analyze(program_text, proc_name)?;
+    config: &ProverConfig,
+) -> Result<CmdOutput, CliError> {
+    let (name, analysis) = analyze(program_text, proc_name, config)?;
     let mut out = String::new();
+    let mut any_maybe = true;
     match analysis.loop_carried_pair(label, loop_label) {
         Ok((ri, rj)) => {
             let _ = writeln!(
@@ -205,16 +304,22 @@ pub fn cmd_query_carried(
         }
         Err(e) => {
             let _ = writeln!(out, "procedure {name}: loop-carried {label}: Maybe ({e})");
-            return Ok(out);
+            return Ok(CmdOutput {
+                text: out,
+                any_maybe,
+            });
         }
     }
     match analysis.test_loop_carried(label, loop_label) {
-        Ok(outcome) => render_outcome(&mut out, &outcome),
+        Ok(outcome) => any_maybe = render_outcome(&mut out, &outcome),
         Err(e) => {
             let _ = writeln!(out, "answer: Maybe ({e})");
         }
     }
-    Ok(out)
+    Ok(CmdOutput {
+        text: out,
+        any_maybe,
+    })
 }
 
 /// One line of the parallelization report.
@@ -226,10 +331,63 @@ pub struct ReportLine {
     pub loop_depth: usize,
     /// The loop-carried answer, if the statement sits in a loop.
     pub carried: Option<Answer>,
+    /// For a Maybe: why (degradation pedigree, or genuinely unknown).
+    pub maybe: Option<MaybeReason>,
+    /// Whether the query panicked (isolated; counted as a Maybe).
+    pub panicked: bool,
+    /// Wall-clock budget spent on this label's query, in microseconds.
+    pub micros: u128,
+}
+
+/// One loop-carried query under its own sub-budget, panic-isolated: a
+/// crash in the prover (or an injected test fault) degrades this one
+/// line to Maybe instead of taking down the whole report.
+fn carried_line(analysis: &Analysis, label: &str, sub: &ProverConfig) -> ReportLine {
+    let depth = analysis.snapshot(label).map_or(0, |s| s.loops.len());
+    let started = Instant::now();
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        if test_support::should_panic_for(label) {
+            panic!("injected report fault for {label}");
+        }
+        let mut scoped = analysis.clone();
+        scoped.set_prover_config(sub.clone());
+        scoped.test_loop_carried(label, None)
+    }));
+    let micros = started.elapsed().as_micros();
+    let (carried, maybe, panicked) = match result {
+        Ok(Ok(outcome)) => (Some(outcome.answer), outcome.maybe, false),
+        Ok(Err(
+            QueryError::NoCommonAnchor | QueryError::NotInLoop(_) | QueryError::NoSuchLabel(_),
+        )) => (
+            Some(Answer::Maybe),
+            Some(MaybeReason::GenuinelyUnknown),
+            false,
+        ),
+        Err(_) => (Some(Answer::Maybe), None, true),
+    };
+    ReportLine {
+        label: label.to_owned(),
+        loop_depth: depth,
+        carried,
+        maybe,
+        panicked,
+        micros,
+    }
+}
+
+/// Splits the report's overall deadline evenly across its loop queries,
+/// so one adversarial loop cannot starve the others.
+fn sub_config(config: &ProverConfig, queries: usize) -> ProverConfig {
+    let mut sub = config.clone();
+    if let (Some(total), true) = (sub.budget.deadline, queries > 1) {
+        sub.budget.deadline = Some(total / u32::try_from(queries).unwrap_or(u32::MAX));
+    }
+    sub
 }
 
 /// Computes the loop-parallelization report for one procedure: every
-/// labeled access inside a loop gets a loop-carried dependence test.
+/// labeled access inside a loop gets a loop-carried dependence test
+/// under its own sub-budget and panic isolation.
 ///
 /// # Errors
 ///
@@ -237,33 +395,40 @@ pub struct ReportLine {
 pub fn report_lines(
     program_text: &str,
     proc_name: Option<&str>,
+    config: &ProverConfig,
 ) -> Result<Vec<ReportLine>, CliError> {
-    let (_name, analysis) = analyze(program_text, proc_name)?;
+    let (_name, analysis) = analyze(program_text, proc_name, config)?;
+    let in_loop = analysis.snapshots().filter(|s| !s.loops.is_empty()).count();
+    let sub = sub_config(config, in_loop);
     let mut lines = Vec::new();
     for snap in analysis.snapshots() {
-        let depth = snap.loops.len();
-        let carried = if depth == 0 {
-            None
+        if snap.loops.is_empty() {
+            lines.push(ReportLine {
+                label: snap.label.clone(),
+                loop_depth: 0,
+                carried: None,
+                maybe: None,
+                panicked: false,
+                micros: 0,
+            });
         } else {
-            Some(match analysis.test_loop_carried(&snap.label, None) {
-                Ok(outcome) => outcome.answer,
-                Err(QueryError::NoCommonAnchor | QueryError::NotInLoop(_)) => Answer::Maybe,
-                Err(QueryError::NoSuchLabel(_)) => Answer::Maybe,
-            })
-        };
-        lines.push(ReportLine {
-            label: snap.label.clone(),
-            loop_depth: depth,
-            carried,
-        });
+            lines.push(carried_line(&analysis, &snap.label, &sub));
+        }
     }
     Ok(lines)
 }
 
-/// Renders the report for one procedure.
-fn report_proc(program_text: &str, name: &str, out: &mut String) -> Result<(), CliError> {
-    let (_name, analysis) = analyze(program_text, Some(name))?;
-    let lines = report_lines(program_text, Some(name))?;
+/// Renders the report for one procedure; returns whether any answer was
+/// Maybe.
+fn report_proc(
+    program_text: &str,
+    name: &str,
+    config: &ProverConfig,
+    out: &mut String,
+) -> Result<bool, CliError> {
+    let (_name, analysis) = analyze(program_text, Some(name), config)?;
+    let lines = report_lines(program_text, Some(name), config)?;
+    let mut any_maybe = false;
     let _ = writeln!(out, "== parallelization report: procedure {name} ==");
     let _ = writeln!(
         out,
@@ -271,21 +436,34 @@ fn report_proc(program_text: &str, name: &str, out: &mut String) -> Result<(), C
         "label", "access", "depth"
     );
     for line in &lines {
-        let snap = analysis.snapshot(&line.label).expect("label exists");
-        let access = format!(
-            "{}{}->{}",
-            if snap.access.is_write {
-                "write "
-            } else {
-                "read  "
-            },
-            snap.access.ptr,
-            snap.access.field
-        );
+        let access = match analysis.snapshot(&line.label) {
+            Some(snap) => format!(
+                "{}{}->{}",
+                if snap.access.is_write {
+                    "write "
+                } else {
+                    "read  "
+                },
+                snap.access.ptr,
+                snap.access.field
+            ),
+            None => "?".to_owned(),
+        };
         let verdict = match line.carried {
             None => "- (not in a loop)".to_owned(),
-            Some(Answer::No) => "No  -> PARALLELIZABLE".to_owned(),
-            Some(a) => format!("{a} -> keep sequential"),
+            Some(Answer::No) => format!("No  -> PARALLELIZABLE [{} us]", line.micros),
+            Some(Answer::Yes) => format!("Yes -> keep sequential [{} us]", line.micros),
+            Some(Answer::Maybe) => {
+                any_maybe = true;
+                let why = if line.panicked {
+                    "internal error: query panicked".to_owned()
+                } else {
+                    line.maybe
+                        .unwrap_or(MaybeReason::GenuinelyUnknown)
+                        .to_string()
+                };
+                format!("Maybe ({why}) -> keep sequential [{} us]", line.micros)
+            }
         };
         let _ = writeln!(
             out,
@@ -295,7 +473,19 @@ fn report_proc(program_text: &str, name: &str, out: &mut String) -> Result<(), C
     }
     if lines.is_empty() {
         let _ = writeln!(out, "(no labeled memory accesses)");
-        return Ok(());
+        return Ok(false);
+    }
+    let degraded = lines
+        .iter()
+        .filter(|l| l.panicked || l.maybe.is_some_and(|m| m.is_degraded()))
+        .count();
+    if degraded > 0 {
+        let spent: u128 = lines.iter().map(|l| l.micros).sum();
+        let _ = writeln!(
+            out,
+            "({degraded} degraded answer(s); {spent} us spent across {} loop queries)",
+            lines.iter().filter(|l| l.carried.is_some()).count()
+        );
     }
 
     // Pairwise conflicts between labeled accesses (at least one a write).
@@ -303,14 +493,21 @@ fn report_proc(program_text: &str, name: &str, out: &mut String) -> Result<(), C
     let mut pair_lines = Vec::new();
     for (i, a) in labels.iter().enumerate() {
         for b in labels.iter().skip(i + 1) {
-            let sa = analysis.snapshot(a).expect("label");
-            let sb = analysis.snapshot(b).expect("label");
+            let (Some(sa), Some(sb)) = (analysis.snapshot(a), analysis.snapshot(b)) else {
+                continue;
+            };
             if !(sa.access.is_write || sb.access.is_write) {
                 continue;
             }
             let verdict = match analysis.test_sequential(a, b) {
-                Ok(o) => o.answer.to_string(),
-                Err(_) => "Maybe (no common anchor)".to_owned(),
+                Ok(o) => {
+                    any_maybe = o.answer == Answer::Maybe || any_maybe;
+                    o.verdict().to_string()
+                }
+                Err(_) => {
+                    any_maybe = true;
+                    "Maybe (no common anchor)".to_owned()
+                }
             };
             pair_lines.push(format!("{a:<14} vs {b:<14} {verdict}"));
         }
@@ -321,7 +518,7 @@ fn report_proc(program_text: &str, name: &str, out: &mut String) -> Result<(), C
             let _ = writeln!(out, "{l}");
         }
     }
-    Ok(())
+    Ok(any_maybe)
 }
 
 /// `apt report`: renders the parallelization report — for one procedure,
@@ -330,7 +527,11 @@ fn report_proc(program_text: &str, name: &str, out: &mut String) -> Result<(), C
 /// # Errors
 ///
 /// Returns a [`CliError`] on malformed input.
-pub fn cmd_report(program_text: &str, proc_name: Option<&str>) -> Result<String, CliError> {
+pub fn cmd_report(
+    program_text: &str,
+    proc_name: Option<&str>,
+    config: &ProverConfig,
+) -> Result<CmdOutput, CliError> {
     let program = apt_ir::parse_program(program_text).map_err(|e| fail(e.to_string()))?;
     let names: Vec<String> = match proc_name {
         Some(n) => vec![n.to_owned()],
@@ -340,13 +541,17 @@ pub fn cmd_report(program_text: &str, proc_name: Option<&str>) -> Result<String,
         return Err(fail("program has no procedures"));
     }
     let mut out = String::new();
+    let mut any_maybe = false;
     for (i, name) in names.iter().enumerate() {
         if i > 0 {
             let _ = writeln!(out);
         }
-        report_proc(program_text, name, &mut out)?;
+        any_maybe |= report_proc(program_text, name, config, &mut out)?;
     }
-    Ok(out)
+    Ok(CmdOutput {
+        text: out,
+        any_maybe,
+    })
 }
 
 /// Usage text.
@@ -360,17 +565,62 @@ USAGE:
   apt query  <program-file> [--proc <name>] --carried <U> [--loop <L>]
   apt report <program-file> [--proc <name>]
 
+RESOURCE FLAGS (prove / query / report):
+  --fuel <n>            goal attempts per query (default 100000)
+  --deadline-ms <n>     wall-clock budget per command; `report` splits it
+                        evenly across its loop queries
+  --max-dfa-states <n>  DFA states any one subset construction may build
+
+Exhausting any budget degrades the affected answer to an explicit
+'Maybe (<reason>)' — it never crashes and never flips a Yes/No.
+
+EXIT CODES:
+  0  every answer definite     1  some answer Maybe (degraded or unknown)
+  2  usage or parse error
+
 Axiom files hold either an ADDS description (structure { tree L, R; … })
 or one 'forall …' axiom per line. Program files use the mini pointer
 language (see the repository README).";
 
-/// Runs the CLI on the given argument list (everything after the program
-/// name). Returns the text to print on success.
+/// Parses the shared resource-governance flags into a [`ProverConfig`].
 ///
 /// # Errors
 ///
-/// Returns a [`CliError`] for the caller to print and exit nonzero.
-pub fn run(args: &[String]) -> Result<String, CliError> {
+/// Returns a [`CliError`] on a malformed flag value.
+fn config_from_flags(args: &[String]) -> Result<ProverConfig, CliError> {
+    let parse_u64 = |flag: &str| -> Result<Option<u64>, CliError> {
+        let Some(i) = args.iter().position(|a| a == flag) else {
+            return Ok(None);
+        };
+        let v = args
+            .get(i + 1)
+            .ok_or_else(|| fail(format!("{flag} needs a value")))?;
+        v.parse::<u64>()
+            .map(Some)
+            .map_err(|_| fail(format!("{flag} needs a non-negative integer, got {v:?}")))
+    };
+    let mut budget = Budget::new();
+    if let Some(fuel) = parse_u64("--fuel")? {
+        budget = budget.with_fuel(fuel);
+    }
+    if let Some(ms) = parse_u64("--deadline-ms")? {
+        budget = budget.with_deadline(Duration::from_millis(ms));
+    }
+    if let Some(states) = parse_u64("--max-dfa-states")? {
+        let states = usize::try_from(states)
+            .map_err(|_| fail("--max-dfa-states value does not fit in usize"))?;
+        budget = budget.with_max_dfa_states(states);
+    }
+    Ok(ProverConfig::with_budget(budget))
+}
+
+/// Runs the CLI on the given argument list (everything after the program
+/// name). Returns the text to print plus the exit code on success.
+///
+/// # Errors
+///
+/// Returns a [`CliError`] for the caller to print and exit with code 2.
+pub fn run(args: &[String]) -> Result<CmdOutput, CliError> {
     let read = |path: &str| -> Result<String, CliError> {
         std::fs::read_to_string(path).map_err(|e| fail(format!("cannot read {path}: {e}")))
     };
@@ -380,6 +630,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             .and_then(|i| args.get(i + 1))
             .map(String::as_str)
     };
+    let config = config_from_flags(args)?;
     match args.first().map(String::as_str) {
         Some("prove") => {
             let file = args.get(1).ok_or_else(|| fail(USAGE))?;
@@ -390,7 +641,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             } else {
                 Origin::Same
             };
-            cmd_prove(&read(file)?, a, b, origin)
+            cmd_prove(&read(file)?, a, b, origin, &config)
         }
         Some("apm") => {
             let file = args.get(1).ok_or_else(|| fail(USAGE))?;
@@ -401,16 +652,16 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             let text = read(file)?;
             let proc = flag_value("--proc");
             if let Some(u) = flag_value("--carried") {
-                cmd_query_carried(&text, proc, u, flag_value("--loop"))
+                cmd_query_carried(&text, proc, u, flag_value("--loop"), &config)
             } else {
                 let from = flag_value("--from").ok_or_else(|| fail(USAGE))?;
                 let to = flag_value("--to").ok_or_else(|| fail(USAGE))?;
-                cmd_query_sequential(&text, proc, from, to)
+                cmd_query_sequential(&text, proc, from, to, &config)
             }
         }
         Some("report") => {
             let file = args.get(1).ok_or_else(|| fail(USAGE))?;
-            cmd_report(&read(file)?, flag_value("--proc"))
+            cmd_report(&read(file)?, flag_value("--proc"), &config)
         }
         _ => Err(fail(USAGE)),
     }
@@ -452,13 +703,39 @@ mod tests {
             "L.L.N",
             "L.R.N",
             Origin::Same,
+            &ProverConfig::default(),
         )
         .expect("runs");
         assert!(out.contains("PROVEN"), "{out}");
         assert!(out.contains("checked"), "{out}");
-        let out =
-            cmd_prove("structure T { tree L, R; }", "L.(L|R)*", "L", Origin::Same).expect("runs");
+        assert_eq!(out.exit_code(), 0);
+        let out = cmd_prove(
+            "structure T { tree L, R; }",
+            "L.(L|R)*",
+            "L",
+            Origin::Same,
+            &ProverConfig::default(),
+        )
+        .expect("runs");
         assert!(out.contains("Maybe"), "{out}");
+        assert_eq!(out.exit_code(), 1);
+    }
+
+    #[test]
+    fn prove_under_starved_budget_names_the_limit() {
+        // A provable query under 1 unit of fuel: the Maybe must carry a
+        // fuel-exhaustion reason, not pretend the axioms were silent.
+        let out = cmd_prove(
+            "structure T { tree L, R; list N; acyclic L, R, N; }",
+            "L.L.N",
+            "L.R.N",
+            Origin::Same,
+            &ProverConfig::with_budget(Budget::new().with_fuel(1)),
+        )
+        .expect("runs");
+        assert!(out.contains("Maybe (search exhausted: fuel)"), "{out}");
+        assert!(out.contains("resource limit reached"), "{out}");
+        assert_eq!(out.exit_code(), 1);
     }
 
     #[test]
@@ -470,9 +747,11 @@ mod tests {
 
     #[test]
     fn query_commands_answer() {
-        let out = cmd_query_carried(LIST_PROGRAM, Some("update"), "U", None).expect("runs");
+        let cfg = ProverConfig::default();
+        let out = cmd_query_carried(LIST_PROGRAM, Some("update"), "U", None, &cfg).expect("runs");
         assert!(out.contains("answer: No"), "{out}");
-        let out = cmd_query_sequential(LIST_PROGRAM, None, "U", "V").expect("runs");
+        assert_eq!(out.exit_code(), 0);
+        let out = cmd_query_sequential(LIST_PROGRAM, None, "U", "V", &cfg).expect("runs");
         // U's paths don't survive relative to head's handle… either way it
         // must answer, not crash.
         assert!(out.contains("answer:"), "{out}");
@@ -480,14 +759,16 @@ mod tests {
 
     #[test]
     fn report_flags_parallelizable_loops() {
-        let lines = report_lines(LIST_PROGRAM, None).expect("runs");
+        let cfg = ProverConfig::default();
+        let lines = report_lines(LIST_PROGRAM, None, &cfg).expect("runs");
         let u = lines.iter().find(|l| l.label == "U").expect("U listed");
         assert_eq!(u.loop_depth, 1);
         assert_eq!(u.carried, Some(Answer::No));
+        assert!(!u.panicked);
         let v = lines.iter().find(|l| l.label == "V").expect("V listed");
         assert_eq!(v.loop_depth, 0);
         assert_eq!(v.carried, None);
-        let rendered = cmd_report(LIST_PROGRAM, None).expect("renders");
+        let rendered = cmd_report(LIST_PROGRAM, None, &cfg).expect("renders");
         assert!(rendered.contains("PARALLELIZABLE"), "{rendered}");
         assert!(rendered.contains("pairwise conflicts"), "{rendered}");
     }
@@ -500,9 +781,26 @@ mod tests {
             W:  h->f = 9;
             }}"
         );
-        let rendered = cmd_report(&two_procs, None).expect("renders");
+        let rendered = cmd_report(&two_procs, None, &ProverConfig::default()).expect("renders");
         assert!(rendered.contains("procedure update"), "{rendered}");
         assert!(rendered.contains("procedure touch"), "{rendered}");
+    }
+
+    #[test]
+    fn report_isolates_a_panicking_loop_query() {
+        // Inject a panic into U's loop-carried query: the report must
+        // still render, keep V's line intact, and mark U as a Maybe.
+        test_support::inject_report_panic(Some("U"));
+        let rendered = cmd_report(LIST_PROGRAM, None, &ProverConfig::default());
+        test_support::inject_report_panic(None);
+        let rendered = rendered.expect("report survives the panic");
+        assert!(rendered.contains("query panicked"), "{rendered}");
+        assert!(rendered.contains("keep sequential"), "{rendered}");
+        assert!(rendered.contains('V'), "{rendered}");
+        assert_eq!(rendered.exit_code(), 1);
+        // Without the injection the same report is clean again.
+        let clean = cmd_report(LIST_PROGRAM, None, &ProverConfig::default()).expect("renders");
+        assert!(clean.contains("PARALLELIZABLE"), "{clean}");
     }
 
     #[test]
@@ -511,5 +809,19 @@ mod tests {
         assert!(e.0.contains("USAGE"));
         let e = run(&["bogus".into()]).unwrap_err();
         assert!(e.0.contains("USAGE"));
+    }
+
+    #[test]
+    fn malformed_budget_flags_are_usage_errors() {
+        let e = run(&["prove".into(), "f".into(), "--fuel".into(), "lots".into()]).unwrap_err();
+        assert!(e.0.contains("--fuel"), "{e}");
+        let e = run(&[
+            "report".into(),
+            "f".into(),
+            "--deadline-ms".into(),
+            "-3".into(),
+        ])
+        .unwrap_err();
+        assert!(e.0.contains("--deadline-ms"), "{e}");
     }
 }

@@ -1,10 +1,16 @@
 //! Thin entry point for the `apt` CLI; all logic lives in the library so
 //! it is unit-testable.
 
+#![forbid(unsafe_code)]
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match apt_cli::run(&args) {
-        Ok(text) => print!("{text}"),
+        Ok(out) => {
+            print!("{out}");
+            std::process::exit(out.exit_code());
+        }
         Err(e) => {
             eprintln!("{e}");
             std::process::exit(2);

@@ -1,17 +1,149 @@
-//! Prover configuration and statistics.
+//! Prover configuration, resource budgets, and statistics.
 //!
 //! §4.2 of the paper: "the proof process can be pruned heuristically and
 //! cutoff points set, allowing a tradeoff between accuracy and efficiency.
 //! This may even be user controllable, e.g. via a compiler option."
-//! [`ProverConfig`] is that compiler option; the individual rule switches
-//! additionally drive the ablation benchmarks.
+//! [`ProverConfig`] is that compiler option. The [`Budget`] half of it
+//! unifies every resource brake the prover honours — search fuel,
+//! wall-clock deadline, DFA state budget, proof-cache capacity, and a
+//! cooperative cancellation token — so degradation is a single, uniformly
+//! plumbed concept rather than a scatter of counters.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::verdict::MaybeReason;
+
+/// A shareable cooperative cancellation flag.
+///
+/// Cloning yields a handle to the *same* flag; any holder may call
+/// [`CancelToken::cancel`], and the prover polls it between goal attempts
+/// and inside the DFA constructions. Cancellation is advisory and
+/// monotonic: once set it stays set.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// Requests cancellation (idempotent, callable from any thread).
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Relaxed)
+    }
+
+    /// The underlying shared flag (for handing to `apt_regex::Limits`).
+    pub fn as_flag(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.flag)
+    }
+}
+
+impl PartialEq for CancelToken {
+    fn eq(&self, other: &Self) -> bool {
+        Arc::ptr_eq(&self.flag, &other.flag)
+    }
+}
+
+impl Eq for CancelToken {}
+
+/// Unified resource budget for one prover (or one query batch).
+///
+/// Every field is an independent brake; `None` (or `u64::MAX` fuel) means
+/// "unbounded". Exhausting any brake degrades the answer to *Maybe* with
+/// the corresponding [`MaybeReason`] — it never flips a verdict.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Budget {
+    /// Total number of goal attempts per query before the prover gives up.
+    pub fuel: u64,
+    /// Wall-clock allowance per query (measured from the start of the
+    /// query, not of the process).
+    pub deadline: Option<Duration>,
+    /// Maximum DFA states any single subset-construction may materialize.
+    pub max_dfa_states: Option<usize>,
+    /// Maximum number of settled entries kept in the proof cache; older
+    /// unconditional entries are evicted first.
+    pub cache_capacity: Option<usize>,
+    /// Cooperative cancellation token polled during the search.
+    pub cancel: Option<CancelToken>,
+}
+
+impl Budget {
+    /// The default budget: generous fuel, everything else unbounded.
+    pub fn new() -> Budget {
+        Budget {
+            fuel: 100_000,
+            deadline: None,
+            max_dfa_states: None,
+            cache_capacity: None,
+            cancel: None,
+        }
+    }
+
+    /// A budget with no limits at all (even fuel).
+    pub fn unlimited() -> Budget {
+        Budget {
+            fuel: u64::MAX,
+            ..Budget::new()
+        }
+    }
+
+    /// Sets the goal-attempt fuel.
+    #[must_use]
+    pub fn with_fuel(mut self, fuel: u64) -> Budget {
+        self.fuel = fuel;
+        self
+    }
+
+    /// Sets the per-query wall-clock allowance.
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: Duration) -> Budget {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Bounds DFA subset construction.
+    #[must_use]
+    pub fn with_max_dfa_states(mut self, max_states: usize) -> Budget {
+        self.max_dfa_states = Some(max_states);
+        self
+    }
+
+    /// Bounds the proof cache.
+    #[must_use]
+    pub fn with_cache_capacity(mut self, capacity: usize) -> Budget {
+        self.cache_capacity = Some(capacity);
+        self
+    }
+
+    /// Attaches a cancellation token.
+    #[must_use]
+    pub fn with_cancel(mut self, cancel: CancelToken) -> Budget {
+        self.cancel = Some(cancel);
+        self
+    }
+}
+
+impl Default for Budget {
+    fn default() -> Budget {
+        Budget::new()
+    }
+}
 
 /// Tunable limits and rule switches for the [`crate::Prover`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ProverConfig {
-    /// Total number of goal attempts before the prover gives up (returns
-    /// Maybe). Guards against pathological axiom sets.
-    pub fuel: u64,
+    /// Resource budget (fuel, deadline, DFA states, cache, cancellation).
+    pub budget: Budget,
     /// Maximum proof-tree depth.
     pub max_depth: usize,
     /// Maximum number of equality-axiom rewrites along one branch.
@@ -34,7 +166,7 @@ impl ProverConfig {
     /// The default, fully-enabled configuration.
     pub fn new() -> ProverConfig {
         ProverConfig {
-            fuel: 100_000,
+            budget: Budget::new(),
             max_depth: 64,
             max_rewrites: 4,
             enable_decompose: true,
@@ -43,6 +175,14 @@ impl ProverConfig {
             enable_closure_peel: true,
             enable_alt_split: true,
             enable_rewrite: true,
+        }
+    }
+
+    /// The default rules under a caller-supplied budget.
+    pub fn with_budget(budget: Budget) -> ProverConfig {
+        ProverConfig {
+            budget,
+            ..ProverConfig::new()
         }
     }
 
@@ -68,6 +208,55 @@ impl Default for ProverConfig {
     }
 }
 
+/// Per-category cutoff counters: how often each resource brake fired.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CutoffStats {
+    /// Goals abandoned because fuel ran out.
+    pub fuel: u64,
+    /// Goals abandoned at the depth bound.
+    pub depth: u64,
+    /// Rewrite opportunities skipped at the rewrite bound.
+    pub rewrites: u64,
+    /// Searches stopped by the wall-clock deadline.
+    pub deadline: u64,
+    /// Subset checks abandoned at the DFA state budget.
+    pub regex_budget: u64,
+    /// Searches stopped by cooperative cancellation.
+    pub cancelled: u64,
+}
+
+impl CutoffStats {
+    /// Total cutoffs across all categories.
+    pub fn total(&self) -> u64 {
+        self.fuel + self.depth + self.rewrites + self.deadline + self.regex_budget + self.cancelled
+    }
+
+    /// Bumps the counter matching `reason` (no-op for
+    /// [`MaybeReason::GenuinelyUnknown`], which is not a cutoff).
+    pub fn record(&mut self, reason: MaybeReason) {
+        use crate::verdict::SearchLimit;
+        match reason {
+            MaybeReason::SearchExhausted(SearchLimit::Fuel) => self.fuel += 1,
+            MaybeReason::SearchExhausted(SearchLimit::Depth) => self.depth += 1,
+            MaybeReason::SearchExhausted(SearchLimit::Rewrites) => self.rewrites += 1,
+            MaybeReason::DeadlineExceeded => self.deadline += 1,
+            MaybeReason::RegexBudget => self.regex_budget += 1,
+            MaybeReason::Cancelled => self.cancelled += 1,
+            MaybeReason::GenuinelyUnknown => {}
+        }
+    }
+
+    /// Adds another run's counters into this one.
+    pub fn merge(&mut self, other: &CutoffStats) {
+        self.fuel += other.fuel;
+        self.depth += other.depth;
+        self.rewrites += other.rewrites;
+        self.deadline += other.deadline;
+        self.regex_budget += other.regex_budget;
+        self.cancelled += other.cancelled;
+    }
+}
+
 /// Counters describing one prover run; the §4.2 complexity experiment
 /// reports these.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -79,8 +268,8 @@ pub struct ProverStats {
     /// Regular-expression subset tests performed (the dominant cost per
     /// §4.2).
     pub subset_checks: u64,
-    /// Goals abandoned because fuel or depth ran out.
-    pub cutoffs: u64,
+    /// Goals abandoned per resource category.
+    pub cutoffs: CutoffStats,
 }
 
 impl ProverStats {
@@ -89,19 +278,21 @@ impl ProverStats {
         self.goals_attempted += other.goals_attempted;
         self.cache_hits += other.cache_hits;
         self.subset_checks += other.subset_checks;
-        self.cutoffs += other.cutoffs;
+        self.cutoffs.merge(&other.cutoffs);
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::verdict::{MaybeReason, SearchLimit};
 
     #[test]
     fn default_enables_everything() {
         let c = ProverConfig::default();
         assert!(c.enable_decompose && c.enable_tail_peel && c.enable_closure_peel);
-        assert!(c.fuel > 0);
+        assert!(c.budget.fuel > 0);
+        assert!(c.budget.deadline.is_none());
     }
 
     #[test]
@@ -112,22 +303,62 @@ mod tests {
     }
 
     #[test]
-    fn stats_merge_adds() {
+    fn budget_builder_composes() {
+        let token = CancelToken::new();
+        let b = Budget::new()
+            .with_fuel(7)
+            .with_deadline(std::time::Duration::from_millis(5))
+            .with_max_dfa_states(100)
+            .with_cache_capacity(32)
+            .with_cancel(token.clone());
+        assert_eq!(b.fuel, 7);
+        assert_eq!(b.max_dfa_states, Some(100));
+        assert_eq!(b.cache_capacity, Some(32));
+        assert_eq!(b.cancel, Some(token));
+    }
+
+    #[test]
+    fn cancel_token_is_shared_and_monotonic() {
+        let a = CancelToken::new();
+        let b = a.clone();
+        assert!(!b.is_cancelled());
+        a.cancel();
+        assert!(b.is_cancelled());
+        assert_eq!(a, b);
+        assert_ne!(a, CancelToken::new());
+    }
+
+    #[test]
+    fn stats_merge_adds_per_category() {
         let mut a = ProverStats {
             goals_attempted: 1,
             cache_hits: 2,
             subset_checks: 3,
-            cutoffs: 0,
+            cutoffs: CutoffStats::default(),
         };
-        a.merge(&ProverStats {
+        let mut other = ProverStats {
             goals_attempted: 10,
             cache_hits: 20,
             subset_checks: 30,
-            cutoffs: 1,
-        });
+            cutoffs: CutoffStats::default(),
+        };
+        other
+            .cutoffs
+            .record(MaybeReason::SearchExhausted(SearchLimit::Fuel));
+        other.cutoffs.record(MaybeReason::DeadlineExceeded);
+        a.merge(&other);
         assert_eq!(a.goals_attempted, 11);
         assert_eq!(a.cache_hits, 22);
         assert_eq!(a.subset_checks, 33);
-        assert_eq!(a.cutoffs, 1);
+        assert_eq!(a.cutoffs.fuel, 1);
+        assert_eq!(a.cutoffs.deadline, 1);
+        assert_eq!(a.cutoffs.total(), 2);
+    }
+
+    #[test]
+    fn genuinely_unknown_is_not_a_cutoff() {
+        let mut c = CutoffStats::default();
+        c.record(MaybeReason::GenuinelyUnknown);
+        assert_eq!(c.total(), 0);
     }
 }

@@ -12,6 +12,7 @@ use crate::goal::Origin;
 use crate::handle::{Handle, HandleRelation};
 use crate::proof::Proof;
 use crate::prover::Prover;
+use crate::verdict::{MaybeReason, Verdict};
 use crate::ProverConfig;
 use apt_axioms::AxiomSet;
 use apt_regex::{Path, Symbol};
@@ -173,6 +174,10 @@ pub struct TestOutcome {
     pub answer: Answer,
     /// Why.
     pub reason: Reason,
+    /// For a Maybe: whether the search genuinely exhausted the axioms or
+    /// was degraded by a resource limit (and which one). `None` for
+    /// definite answers.
+    pub maybe: Option<MaybeReason>,
     /// The disjointness proof(s), when `reason` is
     /// [`Reason::ProvenDisjoint`]. Two proofs appear when the handle
     /// relation was unknown and both origin cases were discharged.
@@ -186,9 +191,23 @@ impl TestOutcome {
         TestOutcome {
             answer,
             reason,
+            maybe: None,
             proofs: Vec::new(),
             stats: crate::ProverStats::default(),
         }
+    }
+
+    /// The outcome as a [`Verdict`] (answer + degradation pedigree).
+    pub fn verdict(&self) -> Verdict {
+        match self.answer {
+            Answer::Maybe => Verdict::maybe(self.maybe.unwrap_or(MaybeReason::GenuinelyUnknown)),
+            definite => Verdict::definite(definite),
+        }
+    }
+
+    /// Whether a resource limit (not the axioms) forced this answer.
+    pub fn is_degraded(&self) -> bool {
+        self.maybe.is_some_and(|r| r.is_degraded())
     }
 }
 
@@ -279,11 +298,25 @@ impl<'a> DepTest<'a> {
         // same vertex, or paths provably equal through the equality
         // axioms (cycles: `next.prev.next ≡ next`).
         let mut prover = Prover::with_config(self.axioms, self.config.clone());
+        // A degraded equality search can only miss a Yes; remember why so
+        // a final Maybe reports the earliest resource pressure.
+        let mut degraded: Option<MaybeReason> = None;
         if relation == HandleRelation::Same {
             let syntactic = s.access.path == t.access.path && s.access.path.is_definite();
-            if syntactic || prover.prove_equal(&s.access.path, &t.access.path) {
+            if syntactic {
                 return TestOutcome::simple(Answer::Yes, Reason::IdenticalSingletonPaths);
             }
+            let (equal, eq_reason) = prover.prove_equal_governed(&s.access.path, &t.access.path);
+            if equal {
+                return TestOutcome {
+                    answer: Answer::Yes,
+                    reason: Reason::IdenticalSingletonPaths,
+                    maybe: None,
+                    proofs: Vec::new(),
+                    stats: prover.stats(),
+                };
+            }
+            degraded = eq_reason.filter(|r| r.is_degraded());
         }
 
         // Step 4: attempt to prove no dependence.
@@ -294,21 +327,26 @@ impl<'a> DepTest<'a> {
         };
         let mut proofs = Vec::new();
         for &origin in origins {
-            match prover.prove_disjoint(origin, &s.access.path, &t.access.path) {
+            let (proof, why) =
+                prover.prove_disjoint_governed(origin, &s.access.path, &t.access.path);
+            match proof {
                 Some(p) => proofs.push(p),
                 None => {
+                    let maybe = degraded.or(why).unwrap_or(MaybeReason::GenuinelyUnknown);
                     return TestOutcome {
                         answer: Answer::Maybe,
                         reason: Reason::Unproven,
+                        maybe: Some(maybe),
                         proofs: Vec::new(),
                         stats: prover.stats(),
-                    }
+                    };
                 }
             }
         }
         TestOutcome {
             answer: Answer::No,
             reason: Reason::ProvenDisjoint,
+            maybe: None,
             proofs,
             stats: prover.stats(),
         }

@@ -46,11 +46,13 @@ mod goal;
 mod handle;
 mod proof;
 mod prover;
+mod verdict;
 
 pub use check::{check_proof, ProofError};
-pub use config::{ProverConfig, ProverStats};
+pub use config::{Budget, CancelToken, CutoffStats, ProverConfig, ProverStats};
 pub use deptest::{AccessPath, Answer, DepTest, FieldLayout, MemRef, Reason, TestOutcome};
 pub use goal::{Goal, Origin};
 pub use handle::{Handle, HandleRelation};
 pub use proof::{PrefixCase, Proof, Rule};
 pub use prover::Prover;
+pub use verdict::{MaybeReason, SearchLimit, Verdict};

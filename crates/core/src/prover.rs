@@ -33,12 +33,14 @@
 //! repeated"), and a fuel/depth cutoff implements the paper's suggested
 //! accuracy/efficiency knob.
 
-use crate::config::{ProverConfig, ProverStats};
+use crate::config::{Budget, CancelToken, ProverConfig, ProverStats};
 use crate::goal::{Goal, Origin};
 use crate::proof::{PrefixCase, Proof, Rule};
+use crate::verdict::{MaybeReason, SearchLimit};
 use apt_axioms::{Axiom, AxiomKind, AxiomSet};
-use apt_regex::{ops, Component, Path, Regex, Symbol};
-use std::collections::HashMap;
+use apt_regex::{ops, Component, LimitExceeded, Limits, Path, Regex, Symbol};
+use std::collections::{HashMap, VecDeque};
+use std::time::Instant;
 
 /// Cache entry for a goal.
 #[derive(Debug, Clone)]
@@ -119,6 +121,17 @@ pub struct Prover<'a> {
     subset_cache: HashMap<(String, String), bool>,
     stats: ProverStats,
     fuel_left: u64,
+    /// Per-query resource state. `limits` is rebuilt by [`Prover::begin_query`]
+    /// from the budget (absolute deadline + DFA state bound + cancel flag).
+    limits: Limits,
+    deadline: Option<Instant>,
+    /// First degradation observed in the current query, if any.
+    degraded: Option<MaybeReason>,
+    /// Set on deadline/cancellation: the whole search unwinds fast.
+    aborted: bool,
+    /// Insertion order of settled (Proved/Failed) cache entries, for
+    /// capacity eviction. Only maintained when the budget bounds the cache.
+    settled_order: VecDeque<Goal>,
 }
 
 impl<'a> Prover<'a> {
@@ -129,7 +142,7 @@ impl<'a> Prover<'a> {
 
     /// Creates a prover with an explicit configuration.
     pub fn with_config(axioms: &'a AxiomSet, config: ProverConfig) -> Prover<'a> {
-        let fuel = config.fuel;
+        let fuel = config.budget.fuel;
         Prover {
             axioms,
             config,
@@ -137,12 +150,79 @@ impl<'a> Prover<'a> {
             subset_cache: HashMap::new(),
             stats: ProverStats::default(),
             fuel_left: fuel,
+            limits: Limits::none(),
+            deadline: None,
+            degraded: None,
+            aborted: false,
+            settled_order: VecDeque::new(),
         }
     }
 
     /// The statistics accumulated so far.
     pub fn stats(&self) -> ProverStats {
         self.stats
+    }
+
+    /// Replaces the resource budget for subsequent queries. The proof
+    /// cache is kept — safe, because exhausted runs never settle cache
+    /// entries (see [`Prover::prove`]) — so a degraded *Maybe* can be
+    /// retried with a larger budget on the same prover.
+    pub fn set_budget(&mut self, budget: Budget) {
+        self.config.budget = budget;
+    }
+
+    /// Resets per-query resource state (fuel, deadline, degradation).
+    fn begin_query(&mut self) {
+        self.fuel_left = self.config.budget.fuel;
+        self.degraded = None;
+        self.aborted = false;
+        self.deadline = self
+            .config
+            .budget
+            .deadline
+            .and_then(|d| Instant::now().checked_add(d));
+        self.limits = Limits {
+            max_states: self.config.budget.max_dfa_states,
+            deadline: self.deadline,
+            cancel: self.config.budget.cancel.as_ref().map(CancelToken::as_flag),
+        };
+    }
+
+    /// Records a degradation (first one wins as the reported reason; every
+    /// one is counted in the per-category stats).
+    fn note_degraded(&mut self, reason: MaybeReason) {
+        self.stats.cutoffs.record(reason);
+        if self.degraded.is_none() {
+            self.degraded = Some(reason);
+        }
+    }
+
+    /// Records a hard stop: the search unwinds as fast as it can.
+    fn abort(&mut self, reason: MaybeReason) {
+        self.note_degraded(reason);
+        self.aborted = true;
+    }
+
+    /// Polls deadline and cancellation; returns `true` (and aborts) when
+    /// the query must stop. Called on every goal attempt — one
+    /// `Instant::now()` is noise next to even a cached subset check.
+    fn poll_budget(&mut self) -> bool {
+        if self.aborted {
+            return true;
+        }
+        if let Some(token) = &self.config.budget.cancel {
+            if token.is_cancelled() {
+                self.abort(MaybeReason::Cancelled);
+                return true;
+            }
+        }
+        if let Some(deadline) = self.deadline {
+            if Instant::now() >= deadline {
+                self.abort(MaybeReason::DeadlineExceeded);
+                return true;
+            }
+        }
+        false
     }
 
     /// Attempts to prove `∀x, x.a <> x.b` (origin [`Origin::Same`]) or the
@@ -161,12 +241,38 @@ impl<'a> Prover<'a> {
     /// assert!(prover.prove_disjoint(Origin::Same, &p, &q).is_some());
     /// ```
     pub fn prove_disjoint(&mut self, origin: Origin, a: &Path, b: &Path) -> Option<Proof> {
-        self.fuel_left = self.config.fuel;
+        self.prove_disjoint_governed(origin, a, b).0
+    }
+
+    /// Like [`Prover::prove_disjoint`], but also reports *why* no proof was
+    /// found: `(None, Some(reason))` distinguishes resource exhaustion
+    /// (fuel, depth, deadline, DFA budget, cancellation) from a genuine
+    /// "the axioms do not decide this". A `(Some(_), _)` result always has
+    /// `None` for the reason — found proofs are never degraded.
+    pub fn prove_disjoint_governed(
+        &mut self,
+        origin: Origin,
+        a: &Path,
+        b: &Path,
+    ) -> (Option<Proof>, Option<MaybeReason>) {
+        self.begin_query();
         let goal = Goal::new(origin, a.clone(), b.clone());
-        self.prove(&goal, Ctx::root())
+        let result = self.prove(&goal, Ctx::root());
+        let reason = match result {
+            Some(_) => None,
+            None => Some(
+                self.degraded
+                    .take()
+                    .unwrap_or(MaybeReason::GenuinelyUnknown),
+            ),
+        };
+        (result, reason)
     }
 
     fn prove(&mut self, goal: &Goal, ctx: Ctx) -> Option<Proof> {
+        if self.poll_budget() {
+            return None;
+        }
         match self.cache.get(goal) {
             Some(CacheState::Proved(p)) => {
                 self.stats.cache_hits += 1;
@@ -194,8 +300,12 @@ impl<'a> Prover<'a> {
             }
             None => {}
         }
-        if self.fuel_left == 0 || ctx.depth >= self.config.max_depth {
-            self.stats.cutoffs += 1;
+        if self.fuel_left == 0 {
+            self.note_degraded(MaybeReason::SearchExhausted(SearchLimit::Fuel));
+            return None;
+        }
+        if ctx.depth >= self.config.max_depth {
+            self.note_degraded(MaybeReason::SearchExhausted(SearchLimit::Depth));
             return None;
         }
         self.fuel_left -= 1;
@@ -223,19 +333,42 @@ impl<'a> Prover<'a> {
                 } else {
                     self.cache
                         .insert(goal.clone(), CacheState::Proved(p.clone()));
+                    self.settle(goal);
                 }
             }
             None => {
                 // Only failures in a cycle-free, rewrite-free context are
                 // unconditional; anything else might succeed elsewhere.
-                if ctx.rewrites == 0 && ctx.shrinks == 0 {
+                // Failures observed after *any* resource degradation are
+                // never settled either: a starved subtree must not poison
+                // the cache against a later, better-funded retry.
+                if ctx.rewrites == 0 && ctx.shrinks == 0 && self.degraded.is_none() {
                     self.cache.insert(goal.clone(), CacheState::Failed);
+                    self.settle(goal);
                 } else {
                     self.cache.remove(goal);
                 }
             }
         }
         result
+    }
+
+    /// Registers a settled (Proved/Failed) cache entry and, when the budget
+    /// bounds the cache, evicts the oldest settled entries over capacity.
+    /// In-progress entries are never evicted — they are the proof stack.
+    fn settle(&mut self, goal: &Goal) {
+        let Some(capacity) = self.config.budget.cache_capacity else {
+            return;
+        };
+        self.settled_order.push_back(goal.clone());
+        while self.settled_order.len() > capacity {
+            let Some(oldest) = self.settled_order.pop_front() else {
+                break;
+            };
+            if !matches!(self.cache.get(&oldest), Some(CacheState::InProgress { .. })) {
+                self.cache.remove(&oldest);
+            }
+        }
     }
 
     fn prove_uncached(&mut self, goal: &Goal, ctx: Ctx) -> Option<Proof> {
@@ -297,9 +430,15 @@ impl<'a> Prover<'a> {
         }
 
         // R9: rewriting with equality axioms.
-        if self.config.enable_rewrite && ctx.rewrites < self.config.max_rewrites {
-            if let Some(p) = self.try_rewrite(goal, ctx) {
-                return Some(p);
+        if self.config.enable_rewrite {
+            if ctx.rewrites < self.config.max_rewrites {
+                if let Some(p) = self.try_rewrite(goal, ctx) {
+                    return Some(p);
+                }
+            } else if self.axioms.of_kind(AxiomKind::Equal).next().is_some() {
+                // A rewrite might have applied here but the budget forbids
+                // it: record the cutoff so Maybe carries the right reason.
+                self.note_degraded(MaybeReason::SearchExhausted(SearchLimit::Rewrites));
             }
         }
 
@@ -313,6 +452,20 @@ impl<'a> Prover<'a> {
     /// beyond syntactic identity — e.g. `next.prev.next ≡ next` on a
     /// circular doubly-linked list.
     pub fn prove_equal(&mut self, a: &Path, b: &Path) -> bool {
+        self.prove_equal_governed(a, b).0
+    }
+
+    /// Like [`Prover::prove_equal`], but reports the degradation reason
+    /// when the equality search was starved (`(false, Some(reason))`). A
+    /// `true` result is never degraded.
+    pub fn prove_equal_governed(&mut self, a: &Path, b: &Path) -> (bool, Option<MaybeReason>) {
+        self.begin_query();
+        let proved = self.prove_equal_inner(a, b);
+        let reason = if proved { None } else { self.degraded.take() };
+        (proved, reason)
+    }
+
+    fn prove_equal_inner(&mut self, a: &Path, b: &Path) -> bool {
         let reachable = |p: &Path, prover: &mut Self| -> Vec<Path> {
             let mut seen = vec![p.clone()];
             let mut frontier = vec![p.clone()];
@@ -365,15 +518,46 @@ impl<'a> Prover<'a> {
 
     // ---- R2: direct axiom application ---------------------------------
 
+    /// Memoized `L(a) ⊆ L(b)` under the query's resource limits.
+    ///
+    /// When a limit stops the DFA construction the answer is reported as
+    /// `false` — "this axiom could not be shown to apply", which can only
+    /// lose proofs, never fabricate one — and is **not** memoized, so a
+    /// retry under a bigger budget re-decides it for real.
     fn subset(&mut self, a: &Regex, b: &Regex) -> bool {
+        if self.aborted {
+            return false;
+        }
         let key = (a.to_string(), b.to_string());
         if let Some(&hit) = self.subset_cache.get(&key) {
             return hit;
         }
         self.stats.subset_checks += 1;
-        let result = ops::is_subset(a, b);
-        self.subset_cache.insert(key, result);
-        result
+        match ops::try_is_subset(a, b, &self.limits) {
+            Ok(result) => {
+                // The subset cache is bounded alongside the proof cache
+                // (same knob, wider multiplier: entries are small).
+                if let Some(cap) = self.config.budget.cache_capacity {
+                    if self.subset_cache.len() >= cap.saturating_mul(8) {
+                        self.subset_cache.clear();
+                    }
+                }
+                self.subset_cache.insert(key, result);
+                result
+            }
+            Err(LimitExceeded::States { .. }) => {
+                self.note_degraded(MaybeReason::RegexBudget);
+                false
+            }
+            Err(LimitExceeded::Deadline) => {
+                self.abort(MaybeReason::DeadlineExceeded);
+                false
+            }
+            Err(LimitExceeded::Cancelled) => {
+                self.abort(MaybeReason::Cancelled);
+                false
+            }
+        }
     }
 
     /// Finds a single axiom of the right form covering both paths.
@@ -1252,7 +1436,7 @@ mod tests {
     fn fuel_cutoff_returns_none() {
         let axioms = adds::sparse_matrix_axioms();
         let cfg = ProverConfig {
-            fuel: 1,
+            budget: Budget::new().with_fuel(1),
             ..ProverConfig::default()
         };
         let mut prover = Prover::with_config(&axioms, cfg);

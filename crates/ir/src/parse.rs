@@ -91,13 +91,16 @@ impl<'a> Lexer<'a> {
     fn skip_ws(&mut self) {
         loop {
             let b = self.bytes();
-            while self.pos < b.len() && (b[self.pos] as char).is_whitespace() {
+            // Byte-level tests only: `b as char` would classify UTF-8
+            // continuation bytes (0x85, 0xA0) as whitespace and strand
+            // `pos` inside a multi-byte character.
+            while self.pos < b.len() && b[self.pos].is_ascii_whitespace() {
                 if b[self.pos] == b'\n' {
                     self.line += 1;
                 }
                 self.pos += 1;
             }
-            if self.pos + 1 < b.len() && &self.src[self.pos..self.pos + 2] == "//" {
+            if self.pos + 1 < b.len() && b[self.pos] == b'/' && b[self.pos + 1] == b'/' {
                 while self.pos < b.len() && b[self.pos] != b'\n' {
                     self.pos += 1;
                 }

@@ -12,7 +12,9 @@
 
 use crate::apm::Apm;
 use apt_axioms::AxiomSet;
-use apt_core::{AccessPath, Answer, DepTest, Handle, HandleRelation, MemRef, TestOutcome};
+use apt_core::{
+    AccessPath, Answer, DepTest, Handle, HandleRelation, MemRef, ProverConfig, TestOutcome,
+};
 use apt_ir::{Block, Program, Stmt, StmtKind};
 use apt_regex::{Component, Path, Symbol};
 use std::collections::BTreeMap;
@@ -90,6 +92,7 @@ pub struct Analysis {
     snapshots: BTreeMap<String, Snapshot>,
     exit: Apm,
     axioms: AxiomSet,
+    config: ProverConfig,
 }
 
 /// Analyzes one procedure of a program.
@@ -127,6 +130,7 @@ pub fn analyze_proc(program: &Program, proc_name: &str) -> Result<Analysis, Quer
         snapshots,
         exit: apm,
         axioms: program.all_axioms(),
+        config: ProverConfig::default(),
     })
 }
 
@@ -455,6 +459,24 @@ fn suffix_after(short: &Path, long: &Path) -> Path {
 }
 
 impl Analysis {
+    /// Sets the prover configuration (budget, rule switches) used by all
+    /// subsequent dependence queries against this analysis.
+    pub fn set_prover_config(&mut self, config: ProverConfig) {
+        self.config = config;
+    }
+
+    /// Builder form of [`Analysis::set_prover_config`].
+    #[must_use]
+    pub fn with_prover_config(mut self, config: ProverConfig) -> Analysis {
+        self.config = config;
+        self
+    }
+
+    /// The prover configuration queries will run under.
+    pub fn prover_config(&self) -> &ProverConfig {
+        &self.config
+    }
+
     /// The snapshot at a label, if the statement accesses memory.
     pub fn snapshot(&self, label: &str) -> Option<&Snapshot> {
         self.snapshots.get(label)
@@ -622,7 +644,7 @@ impl Analysis {
         let s = self.snapshot(s_label).expect("checked above");
         let t = self.snapshot(t_label).expect("checked above");
         let axioms = self.valid_axioms(&[s, t]);
-        let tester = DepTest::new(&axioms);
+        let tester = DepTest::with_config(&axioms, self.config.clone());
         let mut last = None;
         for (s, t) in &pairs {
             let outcome = tester.test(s, t, HandleRelation::Same);
@@ -647,7 +669,7 @@ impl Analysis {
         let (ri, rj) = self.loop_carried_pair(label, loop_label)?;
         let snap = self.snapshot(label).expect("checked above");
         let axioms = self.valid_axioms(&[snap]);
-        let tester = DepTest::new(&axioms);
+        let tester = DepTest::with_config(&axioms, self.config.clone());
         Ok(tester.test(&ri, &rj, HandleRelation::Same))
     }
 }

@@ -6,6 +6,7 @@
 //! flipping accept bits — exactly the construction the paper cites (\[HU79\])
 //! for the subset test.
 
+use crate::limits::{LimitExceeded, Limits, Meter};
 use crate::nfa::Nfa;
 use crate::{Regex, Symbol};
 use std::collections::HashMap;
@@ -30,6 +31,28 @@ impl Dfa {
     ///
     /// Panics if `re` mentions a symbol missing from `alphabet`.
     pub fn build(re: &Regex, alphabet: &[Symbol]) -> Dfa {
+        match Dfa::try_build(re, alphabet, &Limits::none()) {
+            Ok(dfa) => dfa,
+            Err(e) => unreachable!("unbounded subset construction cannot trip a limit: {e}"),
+        }
+    }
+
+    /// Builds the DFA for `re` over `alphabet` under resource [`Limits`]:
+    /// the subset construction stops as soon as it would exceed the state
+    /// budget, pass the deadline, or observe cancellation.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`LimitExceeded`] encountered.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `re` mentions a symbol missing from `alphabet`.
+    pub fn try_build(
+        re: &Regex,
+        alphabet: &[Symbol],
+        limits: &Limits,
+    ) -> Result<Dfa, LimitExceeded> {
         for s in re.symbols() {
             assert!(
                 alphabet.contains(&s),
@@ -38,6 +61,7 @@ impl Dfa {
         }
         let nfa = Nfa::build(re);
         let alphabet = alphabet.to_vec();
+        let mut meter = Meter::new(limits)?;
 
         let mut states: HashMap<Vec<usize>, usize> = HashMap::new();
         let mut trans: Vec<Vec<usize>> = Vec::new();
@@ -45,6 +69,7 @@ impl Dfa {
         let mut worklist: Vec<Vec<usize>> = Vec::new();
 
         let start_set = nfa.epsilon_closure(&[nfa.start()]);
+        meter.add_state()?;
         states.insert(start_set.clone(), 0);
         trans.push(vec![usize::MAX; alphabet.len()]);
         accept.push(start_set.contains(&nfa.accept()));
@@ -58,6 +83,7 @@ impl Dfa {
                 let next_id = match states.get(&next) {
                     Some(&i) => i,
                     None => {
+                        meter.add_state()?;
                         let i = trans.len();
                         states.insert(next.clone(), i);
                         trans.push(vec![usize::MAX; alphabet.len()]);
@@ -70,12 +96,12 @@ impl Dfa {
             }
         }
         debug_assert!(trans.iter().all(|row| row.iter().all(|&t| t != usize::MAX)));
-        Dfa {
+        Ok(Dfa {
             alphabet,
             trans,
             accept,
             start: 0,
-        }
+        })
     }
 
     /// The alphabet this DFA is complete over.
@@ -136,14 +162,32 @@ impl Dfa {
     ///
     /// Panics if the alphabets differ.
     pub fn intersect(&self, other: &Dfa) -> Dfa {
+        match self.try_intersect(other, &Limits::none()) {
+            Ok(dfa) => dfa,
+            Err(e) => unreachable!("unbounded product construction cannot trip a limit: {e}"),
+        }
+    }
+
+    /// The product DFA under resource [`Limits`] (see [`Dfa::try_build`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`LimitExceeded`] encountered.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the alphabets differ.
+    pub fn try_intersect(&self, other: &Dfa, limits: &Limits) -> Result<Dfa, LimitExceeded> {
         assert_eq!(
             self.alphabet, other.alphabet,
             "product requires identical alphabets"
         );
+        let mut meter = Meter::new(limits)?;
         let mut states: HashMap<(usize, usize), usize> = HashMap::new();
         let mut trans: Vec<Vec<usize>> = Vec::new();
         let mut accept: Vec<bool> = Vec::new();
         let mut worklist = vec![(self.start, other.start)];
+        meter.add_state()?;
         states.insert((self.start, other.start), 0);
         trans.push(vec![usize::MAX; self.alphabet.len()]);
         accept.push(self.accept[self.start] && other.accept[other.start]);
@@ -156,6 +200,7 @@ impl Dfa {
                 let next_id = match states.get(&(np, nq)) {
                     Some(&i) => i,
                     None => {
+                        meter.add_state()?;
                         let i = trans.len();
                         states.insert((np, nq), i);
                         trans.push(vec![usize::MAX; self.alphabet.len()]);
@@ -167,12 +212,12 @@ impl Dfa {
                 trans[id][ai] = next_id;
             }
         }
-        Dfa {
+        Ok(Dfa {
             alphabet: self.alphabet.clone(),
             trans,
             accept,
             start: 0,
-        }
+        })
     }
 
     /// Whether the language is empty (no accepting state reachable).
@@ -395,6 +440,32 @@ mod tests {
         ] {
             assert_eq!(dfa.accepts(&word), min.accepts(&word), "word {word:?}");
         }
+    }
+
+    #[test]
+    fn try_build_respects_state_budget() {
+        let alpha = syms(&["a", "b"]);
+        let re = crate::parse("(a|b)*.a.(a|b).(a|b).(a|b).(a|b).(a|b).(a|b)").unwrap();
+        // Unbounded: fine (2^7-ish states). Budget of 4: must trip.
+        let full = Dfa::try_build(&re, &alpha, &Limits::none()).unwrap();
+        assert!(full.state_count() > 4);
+        assert_eq!(
+            Dfa::try_build(&re, &alpha, &Limits::none().with_max_states(4)).err(),
+            Some(LimitExceeded::States { budget: 4 })
+        );
+    }
+
+    #[test]
+    fn try_intersect_respects_state_budget() {
+        let alpha = syms(&["a", "b"]);
+        let x = Dfa::build(&crate::parse("(a|b)*.a.(a|b).(a|b).(a|b)").unwrap(), &alpha);
+        let y = Dfa::build(&crate::parse("(a|b)*.b.(a|b).(a|b).(a|b)").unwrap(), &alpha);
+        assert!(x.try_intersect(&y, &Limits::none()).is_ok());
+        assert_eq!(
+            x.try_intersect(&y, &Limits::none().with_max_states(2))
+                .err(),
+            Some(LimitExceeded::States { budget: 2 })
+        );
     }
 
     #[test]

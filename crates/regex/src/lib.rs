@@ -50,6 +50,7 @@
 mod ast;
 pub mod derivative;
 pub mod dfa;
+pub mod limits;
 pub mod nfa;
 pub mod ops;
 mod parse;
@@ -58,6 +59,7 @@ pub mod sample;
 mod symbol;
 
 pub use ast::Regex;
+pub use limits::{LimitExceeded, Limits};
 pub use parse::{parse, ParseRegexError};
 pub use path::{Component, Path};
 pub use symbol::Symbol;

@@ -1,0 +1,203 @@
+//! Resource limits for the automaton constructions.
+//!
+//! Subset construction and the product automaton are worst-case exponential
+//! in the regex size (`(a|b)*.a.(a|b)^n` needs `2^n` DFA states), so a
+//! caller that accepts adversarial axiom sets must be able to bound them.
+//! [`Limits`] carries three independent brakes:
+//!
+//! * a **state budget** — the constructions count every materialized state
+//!   and stop with [`LimitExceeded::States`] once the budget is crossed;
+//! * a **deadline** — an absolute [`Instant`] checked periodically;
+//! * a **cancellation flag** — a shared [`AtomicBool`] a supervising
+//!   thread may set at any time; the constructions poll it cooperatively.
+//!
+//! All checks are cheap (a counter compare on the hot path; `Instant::now`
+//! only every [`TIME_CHECK_INTERVAL`] states) and the default
+//! [`Limits::none`] is free. Exceeding a limit is an explicit, recoverable
+//! error — never a panic, never an unbounded allocation.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// How many state expansions may pass between deadline/cancellation polls.
+pub const TIME_CHECK_INTERVAL: u32 = 64;
+
+/// Resource bounds for one automaton construction or language query.
+#[derive(Debug, Clone, Default)]
+pub struct Limits {
+    /// Maximum number of DFA states any single construction may create.
+    pub max_states: Option<usize>,
+    /// Absolute wall-clock cutoff.
+    pub deadline: Option<Instant>,
+    /// Cooperative cancellation flag (set by another thread).
+    pub cancel: Option<Arc<AtomicBool>>,
+}
+
+impl Limits {
+    /// No limits: constructions behave exactly as the unbounded versions.
+    pub fn none() -> Limits {
+        Limits::default()
+    }
+
+    /// Bounds the number of states per construction.
+    #[must_use]
+    pub fn with_max_states(mut self, max_states: usize) -> Limits {
+        self.max_states = Some(max_states);
+        self
+    }
+
+    /// Sets an absolute wall-clock cutoff.
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: Instant) -> Limits {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Attaches a cancellation flag.
+    #[must_use]
+    pub fn with_cancel(mut self, cancel: Arc<AtomicBool>) -> Limits {
+        self.cancel = Some(cancel);
+        self
+    }
+
+    /// Whether any limit is configured at all.
+    pub fn is_none(&self) -> bool {
+        self.max_states.is_none() && self.deadline.is_none() && self.cancel.is_none()
+    }
+
+    /// Checks deadline and cancellation (not the state budget).
+    ///
+    /// # Errors
+    ///
+    /// [`LimitExceeded::Deadline`] past the deadline,
+    /// [`LimitExceeded::Cancelled`] when the flag is set.
+    pub fn check_time(&self) -> Result<(), LimitExceeded> {
+        if let Some(flag) = &self.cancel {
+            if flag.load(Ordering::Relaxed) {
+                return Err(LimitExceeded::Cancelled);
+            }
+        }
+        if let Some(deadline) = self.deadline {
+            if Instant::now() >= deadline {
+                return Err(LimitExceeded::Deadline);
+            }
+        }
+        Ok(())
+    }
+
+    /// Checks the state budget against `states_used`.
+    ///
+    /// # Errors
+    ///
+    /// [`LimitExceeded::States`] when `states_used` exceeds the budget.
+    pub fn check_states(&self, states_used: usize) -> Result<(), LimitExceeded> {
+        match self.max_states {
+            Some(budget) if states_used > budget => Err(LimitExceeded::States { budget }),
+            _ => Ok(()),
+        }
+    }
+}
+
+/// A resource limit was crossed; the construction stopped early.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LimitExceeded {
+    /// The construction needed more than `budget` states.
+    States {
+        /// The configured per-construction state budget.
+        budget: usize,
+    },
+    /// The wall-clock deadline passed.
+    Deadline,
+    /// The cancellation flag was set.
+    Cancelled,
+}
+
+impl std::fmt::Display for LimitExceeded {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LimitExceeded::States { budget } => {
+                write!(f, "DFA state budget exhausted (limit {budget})")
+            }
+            LimitExceeded::Deadline => write!(f, "wall-clock deadline exceeded"),
+            LimitExceeded::Cancelled => write!(f, "cancelled"),
+        }
+    }
+}
+
+impl std::error::Error for LimitExceeded {}
+
+/// Internal helper: counts construction work and polls the limits.
+#[derive(Debug)]
+pub(crate) struct Meter<'a> {
+    limits: &'a Limits,
+    states: usize,
+    since_time_check: u32,
+}
+
+impl<'a> Meter<'a> {
+    pub(crate) fn new(limits: &'a Limits) -> Result<Meter<'a>, LimitExceeded> {
+        limits.check_time()?;
+        Ok(Meter {
+            limits,
+            states: 0,
+            since_time_check: 0,
+        })
+    }
+
+    /// Records one materialized state; polls time every
+    /// [`TIME_CHECK_INTERVAL`] states.
+    pub(crate) fn add_state(&mut self) -> Result<(), LimitExceeded> {
+        self.states += 1;
+        self.limits.check_states(self.states)?;
+        self.since_time_check += 1;
+        if self.since_time_check >= TIME_CHECK_INTERVAL {
+            self.since_time_check = 0;
+            self.limits.check_time()?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_limits_never_trip() {
+        let limits = Limits::none();
+        assert!(limits.check_time().is_ok());
+        assert!(limits.check_states(usize::MAX).is_ok());
+        let mut meter = Meter::new(&limits).unwrap();
+        for _ in 0..10_000 {
+            meter.add_state().unwrap();
+        }
+    }
+
+    #[test]
+    fn state_budget_trips_exactly() {
+        let limits = Limits::none().with_max_states(3);
+        let mut meter = Meter::new(&limits).unwrap();
+        assert!(meter.add_state().is_ok());
+        assert!(meter.add_state().is_ok());
+        assert!(meter.add_state().is_ok());
+        assert_eq!(meter.add_state(), Err(LimitExceeded::States { budget: 3 }));
+    }
+
+    #[test]
+    fn past_deadline_trips_immediately() {
+        // A deadline of "now" is already unreachable: the check uses `>=`.
+        let limits = Limits::none().with_deadline(Instant::now());
+        assert_eq!(limits.check_time(), Err(LimitExceeded::Deadline));
+        assert!(Meter::new(&limits).is_err());
+    }
+
+    #[test]
+    fn cancellation_flag_trips() {
+        let flag = Arc::new(AtomicBool::new(false));
+        let limits = Limits::none().with_cancel(Arc::clone(&flag));
+        assert!(limits.check_time().is_ok());
+        flag.store(true, Ordering::Relaxed);
+        assert_eq!(limits.check_time(), Err(LimitExceeded::Cancelled));
+    }
+}

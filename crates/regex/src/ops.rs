@@ -7,6 +7,7 @@
 //! over any larger alphabet, so no "universe" alphabet is needed.
 
 use crate::dfa::Dfa;
+use crate::limits::{LimitExceeded, Limits};
 use crate::{Regex, Symbol};
 
 fn union_alphabet(a: &Regex, b: &Regex) -> Vec<Symbol> {
@@ -28,26 +29,64 @@ fn union_alphabet(a: &Regex, b: &Regex) -> Vec<Symbol> {
 /// # }
 /// ```
 pub fn is_subset(a: &Regex, b: &Regex) -> bool {
+    match try_is_subset(a, b, &Limits::none()) {
+        Ok(v) => v,
+        Err(e) => unreachable!("unbounded subset test cannot trip a limit: {e}"),
+    }
+}
+
+/// `L(a) ⊆ L(b)` under resource [`Limits`]: the DFA constructions stop at
+/// the state budget / deadline / cancellation instead of blowing up.
+///
+/// # Errors
+///
+/// Returns the first [`LimitExceeded`] encountered. An `Err` means the
+/// question was *not decided* — callers must treat it as "unknown", never
+/// as `false`.
+pub fn try_is_subset(a: &Regex, b: &Regex, limits: &Limits) -> Result<bool, LimitExceeded> {
     if a.is_empty_language() {
-        return true;
+        return Ok(true);
     }
     let alpha = union_alphabet(a, b);
-    let da = Dfa::build(a, &alpha);
-    let db = Dfa::build(b, &alpha);
-    da.intersect(&db.complement()).is_empty()
+    let da = Dfa::try_build(a, &alpha, limits)?;
+    let db = Dfa::try_build(b, &alpha, limits)?;
+    Ok(da.try_intersect(&db.complement(), limits)?.is_empty())
 }
 
 /// `L(a) ∩ L(b) = ∅`.
 pub fn is_disjoint(a: &Regex, b: &Regex) -> bool {
+    match try_is_disjoint(a, b, &Limits::none()) {
+        Ok(v) => v,
+        Err(e) => unreachable!("unbounded disjointness test cannot trip a limit: {e}"),
+    }
+}
+
+/// `L(a) ∩ L(b) = ∅` under resource [`Limits`].
+///
+/// # Errors
+///
+/// Returns the first [`LimitExceeded`] encountered (the question is then
+/// undecided).
+pub fn try_is_disjoint(a: &Regex, b: &Regex, limits: &Limits) -> Result<bool, LimitExceeded> {
     let alpha = union_alphabet(a, b);
-    Dfa::build(a, &alpha)
-        .intersect(&Dfa::build(b, &alpha))
-        .is_empty()
+    let da = Dfa::try_build(a, &alpha, limits)?;
+    let db = Dfa::try_build(b, &alpha, limits)?;
+    Ok(da.try_intersect(&db, limits)?.is_empty())
 }
 
 /// `L(a) = L(b)`.
 pub fn equivalent(a: &Regex, b: &Regex) -> bool {
     is_subset(a, b) && is_subset(b, a)
+}
+
+/// `L(a) = L(b)` under resource [`Limits`].
+///
+/// # Errors
+///
+/// Returns the first [`LimitExceeded`] encountered (the question is then
+/// undecided).
+pub fn try_equivalent(a: &Regex, b: &Regex, limits: &Limits) -> Result<bool, LimitExceeded> {
+    Ok(try_is_subset(a, b, limits)? && try_is_subset(b, a, limits)?)
 }
 
 /// A shortest word in `L(a) ∩ L(b)`, if any — a concrete witness that two
@@ -154,6 +193,42 @@ mod tests {
         assert!(is_empty(&Regex::empty()));
         assert!(!is_empty(&parse("eps").unwrap()));
         assert!(!is_empty(&parse("L*").unwrap()));
+    }
+
+    #[test]
+    fn bounded_subset_degrades_instead_of_blowing_up() {
+        // (a|b)*.a.(a|b)^n needs 2^n DFA states: the classic subset
+        // construction bomb. A small state budget must stop it cleanly.
+        let n = 18;
+        let bomb = format!("(a|b)*.a{}", ".(a|b)".repeat(n));
+        let a = parse(&bomb).unwrap();
+        let b = parse("c").unwrap();
+        let limits = Limits::none().with_max_states(500);
+        assert_eq!(
+            try_is_subset(&a, &b, &limits),
+            Err(LimitExceeded::States { budget: 500 })
+        );
+        // With no limits the same query still decides (on a smaller bomb).
+        let small = parse("(a|b)*.a.(a|b).(a|b)").unwrap();
+        assert!(!is_subset(&small, &b));
+        assert!(try_is_subset(&small, &b, &Limits::none().with_max_states(100_000)) == Ok(false));
+    }
+
+    #[test]
+    fn bounded_ops_agree_with_unbounded_when_within_budget() {
+        let roomy = Limits::none().with_max_states(10_000);
+        let cases = [
+            ("L.L", "L+"),
+            ("L+", "L.L"),
+            ("L|R", "L"),
+            ("ncolE+", "(ncolE|nrowE)+"),
+        ];
+        for (x, y) in cases {
+            let (rx, ry) = (parse(x).unwrap(), parse(y).unwrap());
+            assert_eq!(try_is_subset(&rx, &ry, &roomy), Ok(is_subset(&rx, &ry)));
+            assert_eq!(try_is_disjoint(&rx, &ry, &roomy), Ok(is_disjoint(&rx, &ry)));
+            assert_eq!(try_equivalent(&rx, &ry, &roomy), Ok(equivalent(&rx, &ry)));
+        }
     }
 
     #[test]

@@ -66,7 +66,7 @@ fn deeply_nested_paths_respect_depth_cutoff() {
     if let Some(p) = result {
         check_proof(&axioms, &p).expect("any found proof must check");
     }
-    assert!(prover.stats().cutoffs > 0 || prover.stats().goals_attempted > 0);
+    assert!(prover.stats().cutoffs.total() > 0 || prover.stats().goals_attempted > 0);
 }
 
 #[test]
@@ -76,7 +76,7 @@ fn fuel_starvation_is_a_clean_maybe() {
     // proof needs real search.)
     let axioms = apt_axioms::adds::sparse_matrix_minimal_axioms();
     let config = ProverConfig {
-        fuel: 2,
+        budget: apt_core::Budget::new().with_fuel(2),
         ..ProverConfig::default()
     };
     let mut prover = Prover::with_config(&axioms, config);
@@ -86,7 +86,7 @@ fn fuel_starvation_is_a_clean_maybe() {
         &Path::parse("nrowE+.ncolE+").expect("path"),
     );
     assert!(r.is_none(), "starved prover must fail, not lie");
-    assert!(prover.stats().cutoffs > 0);
+    assert!(prover.stats().cutoffs.fuel > 0);
 }
 
 #[test]

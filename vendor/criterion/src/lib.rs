@@ -1,0 +1,199 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Runs each registered benchmark a small, fixed number of iterations and
+//! prints a mean wall-clock time per iteration. It keeps the workspace's
+//! `cargo bench` targets compiling and runnable with no network access; it
+//! makes no statistical claims (no warm-up, outlier analysis, or reports).
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::time::Instant;
+
+/// Iterations per benchmark. Small on purpose: this harness smoke-runs
+/// benches rather than measuring them rigorously.
+const ITERATIONS: u32 = 10;
+
+/// Top-level benchmark driver, mirroring `criterion::Criterion`.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion { sample_size: 100 }
+    }
+}
+
+impl Criterion {
+    /// Sets the nominal sample size (accepted for API compatibility).
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        self.sample_size = n;
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+        }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&id.to_string(), &mut f);
+        self
+    }
+
+    /// Prints the final summary (no-op in this stand-in).
+    pub fn final_summary(&mut self) {}
+}
+
+/// A named group of benchmarks.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Sets the group's nominal sample size (accepted for compatibility).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&format!("{}/{}", self.name, id), &mut f);
+        self
+    }
+
+    /// Runs one parameterized benchmark in the group.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id);
+        let mut bencher = Bencher { total_nanos: 0 };
+        f(&mut bencher, input);
+        report(&label, bencher.total_nanos);
+        self
+    }
+
+    /// Closes the group.
+    pub fn finish(self) {}
+}
+
+/// Identifies one benchmark within a group.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// A function name plus a parameter value.
+    pub fn new(function: impl fmt::Display, parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            label: format!("{function}/{parameter}"),
+        }
+    }
+
+    /// A parameter value alone.
+    pub fn from_parameter(parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// Timing harness handed to each benchmark closure.
+pub struct Bencher {
+    total_nanos: u128,
+}
+
+impl Bencher {
+    /// Times `routine` over a fixed number of iterations.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        let start = Instant::now();
+        for _ in 0..ITERATIONS {
+            std::hint::black_box(routine());
+        }
+        self.total_nanos += start.elapsed().as_nanos();
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(label: &str, f: &mut F) {
+    let mut bencher = Bencher { total_nanos: 0 };
+    f(&mut bencher);
+    report(label, bencher.total_nanos);
+}
+
+fn report(label: &str, total_nanos: u128) {
+    let per_iter = total_nanos / u128::from(ITERATIONS.max(1));
+    println!("bench {label:<50} {:>12} ns/iter (smoke run)", per_iter);
+}
+
+/// Registers a set of benchmark functions under one runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Generates `main` for a bench binary.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_runs_groups_and_functions() {
+        let mut c = Criterion::default().sample_size(10);
+        c.bench_function("plain", |b| b.iter(|| 1 + 1));
+        let mut group = c.benchmark_group("g");
+        group.sample_size(10);
+        group.bench_function("inner", |b| b.iter(|| 2 * 2));
+        group.bench_with_input(BenchmarkId::from_parameter(7), &7, |b, n| b.iter(|| n * 2));
+        group.bench_with_input(BenchmarkId::new("f", 9), &9, |b, n| b.iter(|| n + 1));
+        group.finish();
+    }
+}

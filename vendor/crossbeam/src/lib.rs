@@ -1,0 +1,110 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Only `crossbeam::thread::scope` is used in this workspace; since Rust
+//! 1.63 the standard library provides scoped threads, so this shim adapts
+//! `std::thread::scope` to crossbeam's 0.8 calling convention (closures
+//! receive a `&Scope` argument, `scope` returns a `Result`).
+
+#![forbid(unsafe_code)]
+
+/// Scoped-thread API, mirroring `crossbeam::thread`.
+pub mod thread {
+    use std::any::Any;
+
+    /// A scope handle passed to `scope` closures and spawned threads.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Clone for Scope<'scope, 'env> {
+        fn clone(&self) -> Self {
+            *self
+        }
+    }
+
+    impl<'scope, 'env> Copy for Scope<'scope, 'env> {}
+
+    /// A handle to a spawned scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Waits for the thread to finish, returning its result or the
+        /// panic payload.
+        ///
+        /// # Errors
+        ///
+        /// Returns the boxed panic payload if the thread panicked.
+        pub fn join(self) -> Result<T, Box<dyn Any + Send + 'static>> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a thread inside the scope. As in crossbeam, the closure
+        /// receives the scope itself (for nested spawns).
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let handle = *self;
+            ScopedJoinHandle {
+                inner: self.inner.spawn(move || f(&handle)),
+            }
+        }
+    }
+
+    /// Runs `f` with a scope in which borrowing threads can be spawned;
+    /// all spawned threads are joined before `scope` returns.
+    ///
+    /// # Errors
+    ///
+    /// Never returns `Err` (unjoined panics propagate, as with
+    /// `std::thread::scope`); the `Result` exists for crossbeam API
+    /// compatibility.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let mut parts = [0u64; 4];
+        super::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for (i, slot) in parts.iter_mut().enumerate() {
+                handles.push(scope.spawn(move |_| {
+                    *slot = i as u64 + 1;
+                }));
+            }
+            for h in handles {
+                h.join().expect("no panics");
+            }
+        })
+        .expect("scope failed");
+        assert_eq!(parts, [1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn unjoined_handles_are_joined_at_scope_exit() {
+        let mut total = [0u32; 8];
+        super::thread::scope(|scope| {
+            for chunk in total.chunks_mut(2) {
+                scope.spawn(move |_| {
+                    for c in chunk {
+                        *c += 1;
+                    }
+                });
+            }
+        })
+        .expect("scope failed");
+        assert!(total.iter().all(|&c| c == 1));
+    }
+}

@@ -1,0 +1,587 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! This workspace must build with no network access, so the proptest API
+//! surface its property suites use is reimplemented here: the [`Strategy`]
+//! trait (map/filter/recursive/boxed), tuple and range strategies,
+//! `prop::sample::select`, `prop::collection::vec`, and the `proptest!`,
+//! `prop_oneof!`, `prop_assert*!`, `prop_assume!` macros.
+//!
+//! Differences from real proptest, deliberately accepted:
+//!
+//! * no shrinking — a failing case reports its values via the assertion
+//!   message only;
+//! * deterministic generation seeded from the test name, so runs are
+//!   reproducible (and failures stable) across invocations;
+//! * `prop_assume!` skips the current case instead of resampling.
+
+#![forbid(unsafe_code)]
+
+/// Deterministic generation source and per-suite configuration.
+pub mod test_runner {
+    /// Configuration accepted by `#![proptest_config(...)]`.
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of generated cases per property.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// A configuration running `cases` cases per property.
+        pub fn with_cases(cases: u32) -> Config {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Config {
+            Config { cases: 64 }
+        }
+    }
+
+    /// SplitMix64 generation source (deterministic per test name).
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seeds the generator from a test's name (FNV-1a).
+        pub fn from_name(name: &str) -> TestRng {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            TestRng { state: h }
+        }
+
+        /// Next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform draw in `[0, bound)`. `bound` must be nonzero.
+        pub fn below(&mut self, bound: usize) -> usize {
+            assert!(bound > 0, "TestRng::below: zero bound");
+            (self.next_u64() % bound as u64) as usize
+        }
+    }
+}
+
+/// The [`Strategy`] trait and combinators.
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use std::rc::Rc;
+
+    /// A recipe for generating values of `Self::Value`.
+    ///
+    /// Unlike real proptest there is no value tree / shrinking: a strategy
+    /// is just a deterministic function of the generation source.
+    pub trait Strategy: Clone + 'static {
+        /// The type of generated values.
+        type Value: 'static;
+
+        /// Generates one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Erases the concrete strategy type.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized,
+        {
+            BoxedStrategy::from_fn(move |rng| self.generate(rng))
+        }
+
+        /// Maps generated values through `f`.
+        fn prop_map<U, F>(self, f: F) -> BoxedStrategy<U>
+        where
+            Self: Sized,
+            U: 'static,
+            F: Fn(Self::Value) -> U + 'static,
+        {
+            BoxedStrategy::from_fn(move |rng| f(self.generate(rng)))
+        }
+
+        /// Keeps only values satisfying `pred`, retrying generation.
+        ///
+        /// # Panics
+        ///
+        /// Panics (failing the test) if 1000 consecutive candidates are
+        /// rejected.
+        fn prop_filter<F>(self, whence: &'static str, pred: F) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized,
+            F: Fn(&Self::Value) -> bool + 'static,
+        {
+            BoxedStrategy::from_fn(move |rng| {
+                for _ in 0..1000 {
+                    let v = self.generate(rng);
+                    if pred(&v) {
+                        return v;
+                    }
+                }
+                panic!("prop_filter rejected 1000 consecutive candidates: {whence}")
+            })
+        }
+
+        /// Builds a recursive strategy: `self` generates leaves, and `f`
+        /// wraps an inner strategy into one more layer. `depth` bounds the
+        /// layer count; the remaining parameters (desired size, expected
+        /// branch factor) are accepted for API compatibility.
+        fn prop_recursive<S2, F>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _expected_branch_size: u32,
+            f: F,
+        ) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized,
+            S2: Strategy<Value = Self::Value>,
+            F: Fn(BoxedStrategy<Self::Value>) -> S2 + 'static,
+        {
+            let mut current = self.clone().boxed();
+            for _ in 0..depth {
+                let leaf = self.clone().boxed();
+                let deeper = f(current).boxed();
+                current = BoxedStrategy::from_fn(move |rng| {
+                    // Mix leaves back in so expected size stays bounded.
+                    if rng.below(4) == 0 {
+                        leaf.generate(rng)
+                    } else {
+                        deeper.generate(rng)
+                    }
+                });
+            }
+            current
+        }
+    }
+
+    /// A type-erased, cheaply clonable strategy.
+    pub struct BoxedStrategy<T> {
+        gen: Rc<dyn Fn(&mut TestRng) -> T>,
+    }
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy {
+                gen: Rc::clone(&self.gen),
+            }
+        }
+    }
+
+    impl<T> BoxedStrategy<T> {
+        /// Wraps a generation closure.
+        pub fn from_fn(f: impl Fn(&mut TestRng) -> T + 'static) -> BoxedStrategy<T> {
+            BoxedStrategy { gen: Rc::new(f) }
+        }
+    }
+
+    impl<T: 'static> Strategy for BoxedStrategy<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            (self.gen)(rng)
+        }
+
+        fn boxed(self) -> BoxedStrategy<T> {
+            self
+        }
+    }
+
+    /// Strategy producing one fixed value (cloned per case).
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone + 'static> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Weighted choice among boxed alternatives (the `prop_oneof!` engine).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arms` is empty or all weights are zero.
+    pub fn weighted_union<T: 'static>(arms: Vec<(u32, BoxedStrategy<T>)>) -> BoxedStrategy<T> {
+        let total: u64 = arms.iter().map(|(w, _)| u64::from(*w)).sum();
+        assert!(total > 0, "prop_oneof: no arms with nonzero weight");
+        BoxedStrategy::from_fn(move |rng| {
+            let mut draw = rng.next_u64() % total;
+            for (w, strat) in &arms {
+                let w = u64::from(*w);
+                if draw < w {
+                    return strat.generate(rng);
+                }
+                draw -= w;
+            }
+            unreachable!("weighted draw out of range")
+        })
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "strategy on empty range");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    let draw = (rng.next_u64() as u128) % span;
+                    (self.start as i128 + draw as i128) as $t
+                }
+            }
+
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "strategy on empty range");
+                    let span = (hi as i128 - lo as i128) as u128 + 1;
+                    let draw = (rng.next_u64() as u128) % span;
+                    (lo as i128 + draw as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($name:ident),+))*) => {$(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    impl_tuple_strategy! {
+        (A)
+        (A, B)
+        (A, B, C)
+        (A, B, C, D)
+        (A, B, C, D, E)
+        (A, B, C, D, E, F)
+    }
+}
+
+/// The `any::<T>()` entry point.
+pub mod arbitrary {
+    use crate::strategy::{BoxedStrategy, Strategy};
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical generation strategy.
+    pub trait Arbitrary: Sized + 'static {
+        /// Generates one arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    /// The strategy returned by [`any`].
+    pub struct AnyStrategy<T>(PhantomData<fn() -> T>);
+
+    impl<T> Clone for AnyStrategy<T> {
+        fn clone(&self) -> Self {
+            AnyStrategy(PhantomData)
+        }
+    }
+
+    impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// The canonical strategy for `T`.
+    pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+        AnyStrategy(PhantomData)
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for char {
+        fn arbitrary(rng: &mut TestRng) -> char {
+            // Bias toward ASCII (including controls) but keep some
+            // multi-byte code points for parser fuzzing.
+            match rng.next_u64() % 4 {
+                0..=2 => (rng.next_u64() % 128) as u8 as char,
+                _ => char::from_u32((rng.next_u64() % 0x110000) as u32).unwrap_or('\u{fffd}'),
+            }
+        }
+    }
+
+    impl Arbitrary for String {
+        fn arbitrary(rng: &mut TestRng) -> String {
+            let len = (rng.next_u64() % 48) as usize;
+            (0..len).map(|_| char::arbitrary(rng)).collect()
+        }
+    }
+
+    /// The strategy for arbitrary boxed values, mirrored for completeness.
+    pub fn arbitrary_with<T: Arbitrary>() -> BoxedStrategy<T> {
+        any::<T>().boxed()
+    }
+}
+
+/// `prop::collection` — container strategies.
+pub mod collection {
+    use crate::strategy::{BoxedStrategy, Strategy};
+
+    /// An inclusive size band for generated containers.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> SizeRange {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> SizeRange {
+            assert!(r.start() <= r.end(), "empty size range");
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy for a `Vec` whose length falls in `size`.
+    pub fn vec<S: Strategy>(
+        element: S,
+        size: impl Into<SizeRange>,
+    ) -> BoxedStrategy<Vec<S::Value>> {
+        let size = size.into();
+        BoxedStrategy::from_fn(move |rng| {
+            let n = size.lo + rng.below(size.hi - size.lo + 1);
+            (0..n).map(|_| element.generate(rng)).collect()
+        })
+    }
+}
+
+/// `prop::sample` — choosing from explicit candidate pools.
+pub mod sample {
+    use crate::strategy::BoxedStrategy;
+
+    /// Uniform choice from a non-empty vector of candidates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `items` is empty.
+    pub fn select<T: Clone + 'static>(items: Vec<T>) -> BoxedStrategy<T> {
+        assert!(!items.is_empty(), "select from empty pool");
+        BoxedStrategy::from_fn(move |rng| items[rng.below(items.len())].clone())
+    }
+}
+
+/// Everything a property-test module needs, mirroring
+/// `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+
+    /// Namespaced re-exports (`prop::sample::select`, …).
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::sample;
+    }
+}
+
+/// Declares property tests. Supports an optional
+/// `#![proptest_config(...)]` header and any number of
+/// `fn name(arg in strategy, ...) { body }` items (attributes and doc
+/// comments on each are preserved).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_cases! { config = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_cases! {
+            config = $crate::test_runner::Config::default();
+            $($rest)*
+        }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_cases {
+    (config = $cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::Config = $cfg;
+            let mut rng = $crate::test_runner::TestRng::from_name(stringify!($name));
+            let strategy = ($($strat,)+);
+            for _case in 0..config.cases {
+                let ($($arg,)+) = $crate::strategy::Strategy::generate(&strategy, &mut rng);
+                // A closure per case so prop_assume! can skip via return.
+                let case = move || $body;
+                case();
+            }
+        }
+    )*};
+}
+
+/// Chooses among strategies, optionally weighted (`w => strategy`).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::weighted_union(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::weighted_union(vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+}
+
+/// Asserts a condition inside a property (no shrinking in this shim).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tokens:tt)*) => { assert!($($tokens)*) };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tokens:tt)*) => { assert_eq!($($tokens)*) };
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tokens:tt)*) => { assert_ne!($($tokens)*) };
+}
+
+/// Skips the current case when the assumption fails.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return;
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return;
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Ranges stay in bounds; tuples destructure.
+        #[test]
+        fn ranges_and_tuples(x in 0u8..3, (lo, hi) in (0u64..10, 10u64..20)) {
+            prop_assert!(x < 3);
+            prop_assert!(lo < hi);
+        }
+
+        /// prop_oneof draws every arm eventually; prop_assume skips.
+        #[test]
+        fn oneof_and_assume(v in prop_oneof![3 => 0usize..4, 1 => 10usize..14], b in any::<bool>()) {
+            prop_assume!(v != 2);
+            prop_assert!(v < 4 || (10..14).contains(&v));
+            let _ = b;
+        }
+    }
+
+    #[test]
+    fn vec_and_select_and_filter() {
+        let mut rng = crate::test_runner::TestRng::from_name("smoke");
+        let strat = prop::collection::vec(
+            prop::sample::select(vec!["a", "b"]).prop_map(str::to_owned),
+            1..=3,
+        )
+        .prop_filter("nonempty", |v| !v.is_empty());
+        for _ in 0..50 {
+            let v = strat.generate(&mut rng);
+            assert!((1..=3).contains(&v.len()));
+            assert!(v.iter().all(|s| s == "a" || s == "b"));
+        }
+    }
+
+    #[test]
+    fn recursive_bottoms_out() {
+        #[derive(Clone, Debug)]
+        enum T {
+            Leaf,
+            Node(Box<T>, Box<T>),
+        }
+        fn depth(t: &T) -> usize {
+            match t {
+                T::Leaf => 1,
+                T::Node(a, b) => 1 + depth(a).max(depth(b)),
+            }
+        }
+        let strat = Just(T::Leaf).prop_recursive(3, 24, 2, |inner| {
+            (inner.clone(), inner).prop_map(|(a, b)| T::Node(Box::new(a), Box::new(b)))
+        });
+        let mut rng = crate::test_runner::TestRng::from_name("rec");
+        for _ in 0..100 {
+            assert!(depth(&strat.generate(&mut rng)) <= 4 + 3);
+        }
+    }
+}
