@@ -23,7 +23,7 @@
 #![warn(missing_docs)]
 
 use apt_axioms::AxiomSet;
-use apt_core::{Answer, Origin, Prover, ProverConfig};
+use apt_core::{Answer, DepQuery, Origin, Prover, ProverConfig};
 use apt_regex::{ops, sample, Path, Regex, Symbol};
 
 /// A dependence tester over a pair of access paths anchored at a common
@@ -332,7 +332,11 @@ impl PathDependenceTest for AptAdapter<'_> {
             return Answer::Yes;
         }
         let mut prover = Prover::with_config(self.axioms, self.config.clone());
-        match prover.prove_disjoint(origin, a, b) {
+        match DepQuery::disjoint(a, b)
+            .origin(origin)
+            .run_with(&mut prover)
+            .proof
+        {
             Some(_) => Answer::No,
             None => Answer::Maybe,
         }

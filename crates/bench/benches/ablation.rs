@@ -8,7 +8,7 @@
 //! dependences as the full configuration.
 
 use apt_bench::accuracy::{family_axioms, suite, GroundTruth};
-use apt_core::{Origin, Prover, ProverConfig};
+use apt_core::{DepQuery, Origin, Prover, ProverConfig};
 use apt_regex::Path;
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
@@ -24,7 +24,11 @@ fn run_suite(config: &ProverConfig) -> (usize, usize) {
         if case.origin == Origin::Same && a == b && a.is_definite() {
             continue; // a definite Yes, not a disjointness query
         }
-        let no = prover.prove_disjoint(case.origin, &a, &b).is_some();
+        let no = DepQuery::disjoint(&a, &b)
+            .origin(case.origin)
+            .run_with(&mut prover)
+            .proof
+            .is_some();
         match (case.truth, no) {
             (GroundTruth::Independent, true) => broken += 1,
             (GroundTruth::Dependent, true) => unsound += 1,

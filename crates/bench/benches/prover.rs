@@ -2,7 +2,7 @@
 //! queries, and the §4.2 scaling study over growing path lengths.
 
 use apt_bench::complexity::query_for;
-use apt_core::{Origin, Prover};
+use apt_core::{DepQuery, Origin, Prover};
 use apt_regex::Path;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
@@ -18,7 +18,12 @@ fn flagship_queries(c: &mut Criterion) {
         let q = Path::parse("L.R.N").expect("path");
         b.iter(|| {
             let mut prover = Prover::new(&llt);
-            black_box(prover.prove_disjoint(Origin::Same, black_box(&p), black_box(&q)))
+            black_box(
+                DepQuery::disjoint(black_box(&p), black_box(&q))
+                    .origin(Origin::Same)
+                    .run_with(&mut prover)
+                    .proof,
+            )
         })
     });
     group.bench_function("theorem_T_minimal_axioms", |b| {
@@ -26,7 +31,12 @@ fn flagship_queries(c: &mut Criterion) {
         let q = Path::parse("nrowE+.ncolE+").expect("path");
         b.iter(|| {
             let mut prover = Prover::new(&sm_min);
-            black_box(prover.prove_disjoint(Origin::Same, black_box(&p), black_box(&q)))
+            black_box(
+                DepQuery::disjoint(black_box(&p), black_box(&q))
+                    .origin(Origin::Same)
+                    .run_with(&mut prover)
+                    .proof,
+            )
         })
     });
     group.bench_function("theorem_T_appendix_A", |b| {
@@ -34,7 +44,12 @@ fn flagship_queries(c: &mut Criterion) {
         let q = Path::parse("nrowE+.ncolE+").expect("path");
         b.iter(|| {
             let mut prover = Prover::new(&sm_full);
-            black_box(prover.prove_disjoint(Origin::Same, black_box(&p), black_box(&q)))
+            black_box(
+                DepQuery::disjoint(black_box(&p), black_box(&q))
+                    .origin(Origin::Same)
+                    .run_with(&mut prover)
+                    .proof,
+            )
         })
     });
     group.bench_function("subtree_star_induction", |b| {
@@ -48,7 +63,12 @@ fn flagship_queries(c: &mut Criterion) {
         let q = Path::parse("R.(L|R)*").expect("path");
         b.iter(|| {
             let mut prover = Prover::new(&axioms);
-            black_box(prover.prove_disjoint(Origin::Same, black_box(&p), black_box(&q)))
+            black_box(
+                DepQuery::disjoint(black_box(&p), black_box(&q))
+                    .origin(Origin::Same)
+                    .run_with(&mut prover)
+                    .proof,
+            )
         })
     });
     group.finish();
@@ -64,7 +84,12 @@ fn prover_scaling(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
             bench.iter(|| {
                 let mut prover = Prover::new(&axioms);
-                black_box(prover.prove_disjoint(Origin::Same, black_box(&a), black_box(&b)))
+                black_box(
+                    DepQuery::disjoint(black_box(&a), black_box(&b))
+                        .origin(Origin::Same)
+                        .run_with(&mut prover)
+                        .proof,
+                )
             })
         });
     }

@@ -1,0 +1,66 @@
+//! Measures batched-engine throughput against the sequential
+//! prover-per-query baseline on the Figure 7 sparse-matrix suite, and
+//! writes `BENCH_batch.json` to the current directory.
+//!
+//! ```text
+//! cargo run --release -p apt-bench --bin batch_throughput [--smoke] [depth]
+//! ```
+//!
+//! `--smoke` runs one repetition of a small suite (CI). Exits nonzero if
+//! any engine verdict diverges from the sequential baseline.
+
+use apt_bench::batch::{run, BatchBenchConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let mut config = if smoke {
+        BatchBenchConfig::smoke()
+    } else {
+        BatchBenchConfig::default()
+    };
+    if let Some(depth) = args.iter().find_map(|a| a.parse::<usize>().ok()) {
+        config.depth = depth;
+    }
+    eprintln!(
+        "running batch throughput: depth {}, {} rep(s), jobs {:?} ...",
+        config.depth, config.reps, config.jobs
+    );
+    let result = run(&config);
+
+    println!("== batch engine throughput: Figure 7 sparse-matrix suite ==");
+    println!(
+        "{} queries; sequential baseline (fresh prover per query): {} us",
+        result.queries, result.sequential_micros
+    );
+    println!(
+        "{:>6} {:>12} {:>16} {:>10} {:>9}",
+        "jobs", "micros", "throughput q/s", "speedup", "verdicts"
+    );
+    for row in &result.rows {
+        println!(
+            "{:>6} {:>12} {:>16.1} {:>9.2}x {:>9}",
+            row.jobs,
+            row.micros,
+            row.throughput_qps,
+            row.speedup,
+            if row.verdicts_identical {
+                "ok"
+            } else {
+                "DIVERGED"
+            }
+        );
+    }
+
+    let json = result.to_json();
+    std::fs::write("BENCH_batch.json", &json).expect("write BENCH_batch.json");
+    println!("\nwrote BENCH_batch.json");
+
+    if !result.all_verdicts_identical() {
+        eprintln!("error: engine verdicts diverged from the sequential baseline");
+        std::process::exit(1);
+    }
+    if let Some(speedup) = result.speedup_at(4) {
+        println!("speedup at 4 workers: {speedup:.2}x");
+    }
+}

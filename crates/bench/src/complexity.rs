@@ -6,7 +6,7 @@
 //! prover work counters and wall time for provable queries whose combined
 //! component count `n` grows.
 
-use apt_core::{Origin, Prover, ProverStats};
+use apt_core::{DepQuery, Origin, Prover, ProverStats};
 use apt_regex::Path;
 use std::time::Instant;
 
@@ -49,7 +49,10 @@ pub fn run(sizes: &[usize]) -> Vec<ComplexityPoint> {
             let (a, b) = query_for(n);
             let mut prover = Prover::new(&axioms);
             let start = Instant::now();
-            let proof = prover.prove_disjoint(Origin::Same, &a, &b);
+            let proof = DepQuery::disjoint(&a, &b)
+                .origin(Origin::Same)
+                .run_with(&mut prover)
+                .proof;
             let micros = start.elapsed().as_micros();
             ComplexityPoint {
                 n,

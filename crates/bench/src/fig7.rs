@@ -20,7 +20,7 @@
 //! `apt-heaps`, whose task traces are scheduled on the `apt-parsim`
 //! machine model.
 
-use apt_core::{Answer, Origin, Prover};
+use apt_core::{Answer, DepQuery, Origin, Prover};
 use apt_heaps::gen::random_sparse_matrix;
 use apt_heaps::numeric::{factor, scale, solve, LoopClassification};
 use apt_parsim::{MachineModel, Trace};
@@ -135,7 +135,11 @@ fn theorem_t(loop_name: &str) -> (bool, QueryRecord) {
     let mut prover = Prover::new(&axioms);
     let a = Path::parse("ncolE+").expect("path");
     let b = Path::parse("nrowE+.ncolE+").expect("path");
-    let proven = prover.prove_disjoint(Origin::Same, &a, &b).is_some();
+    let proven = DepQuery::disjoint(&a, &b)
+        .origin(Origin::Same)
+        .run_with(&mut prover)
+        .proof
+        .is_some();
     let record = QueryRecord {
         loop_name: loop_name.to_owned(),
         query: "forall hr, hr.ncolE+ <> hr.nrowE+.ncolE+ (Theorem T)".to_owned(),

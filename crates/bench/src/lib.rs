@@ -16,5 +16,6 @@
 #![warn(missing_docs)]
 
 pub mod accuracy;
+pub mod batch;
 pub mod complexity;
 pub mod fig7;

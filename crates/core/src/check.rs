@@ -627,8 +627,10 @@ mod tests {
 
     fn prove(axioms: &AxiomSet, origin: Origin, a: &str, b: &str) -> Proof {
         let mut prover = Prover::new(axioms);
-        prover
-            .prove_disjoint(origin, &p(a), &p(b))
+        crate::DepQuery::disjoint(&p(a), &p(b))
+            .origin(origin)
+            .run_with(&mut prover)
+            .proof
             .unwrap_or_else(|| panic!("{a} <> {b} should be provable"))
     }
 

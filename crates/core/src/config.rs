@@ -226,6 +226,21 @@ pub struct CutoffStats {
 }
 
 impl CutoffStats {
+    /// The per-category difference since an `earlier` snapshot (saturating,
+    /// so a reset prover never underflows).
+    pub fn since(&self, earlier: &CutoffStats) -> CutoffStats {
+        CutoffStats {
+            fuel: self.fuel.saturating_sub(earlier.fuel),
+            depth: self.depth.saturating_sub(earlier.depth),
+            rewrites: self.rewrites.saturating_sub(earlier.rewrites),
+            deadline: self.deadline.saturating_sub(earlier.deadline),
+            regex_budget: self.regex_budget.saturating_sub(earlier.regex_budget),
+            cancelled: self.cancelled.saturating_sub(earlier.cancelled),
+        }
+    }
+}
+
+impl CutoffStats {
     /// Total cutoffs across all categories.
     pub fn total(&self) -> u64 {
         self.fuel + self.depth + self.rewrites + self.deadline + self.regex_budget + self.cancelled
@@ -265,6 +280,9 @@ pub struct ProverStats {
     pub goals_attempted: u64,
     /// Goals answered from the proof cache.
     pub cache_hits: u64,
+    /// Goals answered from a [`crate::DepEngine`]'s shared cross-prover
+    /// cache — a subset of `cache_hits`.
+    pub shared_hits: u64,
     /// Regular-expression subset tests performed (the dominant cost per
     /// §4.2).
     pub subset_checks: u64,
@@ -277,8 +295,21 @@ impl ProverStats {
     pub fn merge(&mut self, other: &ProverStats) {
         self.goals_attempted += other.goals_attempted;
         self.cache_hits += other.cache_hits;
+        self.shared_hits += other.shared_hits;
         self.subset_checks += other.subset_checks;
         self.cutoffs.merge(&other.cutoffs);
+    }
+
+    /// The difference since an `earlier` snapshot of the same prover —
+    /// the cost of just the queries run in between.
+    pub fn since(&self, earlier: &ProverStats) -> ProverStats {
+        ProverStats {
+            goals_attempted: self.goals_attempted.saturating_sub(earlier.goals_attempted),
+            cache_hits: self.cache_hits.saturating_sub(earlier.cache_hits),
+            shared_hits: self.shared_hits.saturating_sub(earlier.shared_hits),
+            subset_checks: self.subset_checks.saturating_sub(earlier.subset_checks),
+            cutoffs: self.cutoffs.since(&earlier.cutoffs),
+        }
     }
 }
 
@@ -333,12 +364,14 @@ mod tests {
         let mut a = ProverStats {
             goals_attempted: 1,
             cache_hits: 2,
+            shared_hits: 0,
             subset_checks: 3,
             cutoffs: CutoffStats::default(),
         };
         let mut other = ProverStats {
             goals_attempted: 10,
             cache_hits: 20,
+            shared_hits: 1,
             subset_checks: 30,
             cutoffs: CutoffStats::default(),
         };
@@ -349,10 +382,18 @@ mod tests {
         a.merge(&other);
         assert_eq!(a.goals_attempted, 11);
         assert_eq!(a.cache_hits, 22);
+        assert_eq!(a.shared_hits, 1);
         assert_eq!(a.subset_checks, 33);
         assert_eq!(a.cutoffs.fuel, 1);
         assert_eq!(a.cutoffs.deadline, 1);
         assert_eq!(a.cutoffs.total(), 2);
+
+        let delta = a.since(&other);
+        assert_eq!(delta.goals_attempted, 1);
+        assert_eq!(delta.cache_hits, 2);
+        assert_eq!(delta.shared_hits, 0);
+        // a absorbed other's cutoffs, so the delta cancels them out.
+        assert_eq!(delta.cutoffs.total(), 0);
     }
 
     #[test]

@@ -8,10 +8,10 @@
 //! * **Yes** — they definitely denote the same memory location;
 //! * **Maybe** — neither could be proven.
 
+use crate::engine::{DepEngine, DepQuery, Outcome};
 use crate::goal::Origin;
 use crate::handle::{Handle, HandleRelation};
 use crate::proof::Proof;
-use crate::prover::Prover;
 use crate::verdict::{MaybeReason, Verdict};
 use crate::ProverConfig;
 use apt_axioms::AxiomSet;
@@ -77,6 +77,27 @@ impl fmt::Display for MemRef {
     }
 }
 
+/// A rejected [`FieldLayout`] entry: the named field was declared with
+/// zero size, so it could never overlap anything — almost certainly a
+/// caller bug, reported as an error rather than silently weakening the
+/// dependence test (or panicking in library code).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LayoutError {
+    field: Symbol,
+}
+
+impl fmt::Display for LayoutError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "field `{}` must occupy at least one byte",
+            self.field.as_str()
+        )
+    }
+}
+
+impl std::error::Error for LayoutError {}
+
 /// Byte-level field layout for one structure type, enabling the paper's
 /// "if `f` and `g` do not overlap" test to handle C unions and other
 /// overlapping fields precisely.
@@ -86,13 +107,17 @@ impl fmt::Display for MemRef {
 /// ordinary struct declarations.
 ///
 /// ```
+/// # fn main() -> Result<(), apt_core::LayoutError> {
 /// use apt_core::FieldLayout;
 /// let mut layout = FieldLayout::new();
-/// layout.set("as_int", 0, 4);
-/// layout.set("as_float", 0, 4); // a union arm
-/// layout.set("tag", 4, 1);
+/// layout.set("as_int", 0, 4)?;
+/// layout.set("as_float", 0, 4)?; // a union arm
+/// layout.set("tag", 4, 1)?;
 /// assert!(layout.overlaps("as_int", "as_float"));
 /// assert!(!layout.overlaps("as_int", "tag"));
+/// assert!(layout.set("bad", 0, 0).is_err());
+/// # Ok(())
+/// # }
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct FieldLayout {
@@ -107,12 +132,21 @@ impl FieldLayout {
 
     /// Registers `field` at byte `offset` with the given `size`.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `size` is zero.
-    pub fn set(&mut self, field: impl Into<Symbol>, offset: u64, size: u64) {
-        assert!(size > 0, "fields must occupy at least one byte");
-        self.ranges.insert(field.into(), (offset, size));
+    /// Returns [`LayoutError`] (and records nothing) when `size` is zero.
+    pub fn set(
+        &mut self,
+        field: impl Into<Symbol>,
+        offset: u64,
+        size: u64,
+    ) -> Result<(), LayoutError> {
+        let field = field.into();
+        if size == 0 {
+            return Err(LayoutError { field });
+        }
+        self.ranges.insert(field, (offset, size));
+        Ok(())
     }
 
     /// Whether the two fields can occupy a common byte.
@@ -211,37 +245,58 @@ impl TestOutcome {
     }
 }
 
+/// What one dependence test needs from the prover, after the cheap
+/// syntactic pre-checks ran.
+enum TestPlan {
+    /// Decided without the prover (type/field/syntactic short-circuits).
+    Done(TestOutcome),
+    /// Queries to run: at most one equality query, then one disjointness
+    /// query per origin case, in order.
+    Prove {
+        equal: Option<DepQuery>,
+        disjoint: Vec<DepQuery>,
+    },
+}
+
 /// The APT dependence tester over one axiom set.
-#[derive(Debug)]
-pub struct DepTest<'a> {
-    axioms: &'a AxiomSet,
-    config: ProverConfig,
+///
+/// Backed by a [`DepEngine`], so every test run through one `DepTest`
+/// shares the engine's proof/subset/DFA caches — including across threads
+/// in [`DepTest::test_batch`].
+#[derive(Debug, Clone)]
+pub struct DepTest {
+    engine: DepEngine,
     layout: FieldLayout,
 }
 
-impl<'a> DepTest<'a> {
+impl DepTest {
     /// Creates a tester with the default prover configuration.
-    pub fn new(axioms: &'a AxiomSet) -> DepTest<'a> {
+    pub fn new(axioms: &AxiomSet) -> DepTest {
+        DepTest::with_config(axioms, ProverConfig::default())
+    }
+
+    /// Creates a tester with an explicit prover configuration.
+    pub fn with_config(axioms: &AxiomSet, config: ProverConfig) -> DepTest {
+        DepTest::with_engine(DepEngine::with_config(axioms.clone(), config))
+    }
+
+    /// Wraps an existing engine (sharing its caches with other users).
+    pub fn with_engine(engine: DepEngine) -> DepTest {
         DepTest {
-            axioms,
-            config: ProverConfig::default(),
+            engine,
             layout: FieldLayout::new(),
         }
     }
 
-    /// Creates a tester with an explicit prover configuration.
-    pub fn with_config(axioms: &'a AxiomSet, config: ProverConfig) -> DepTest<'a> {
-        DepTest {
-            axioms,
-            config,
-            layout: FieldLayout::new(),
-        }
+    /// The engine backing this tester.
+    pub fn engine(&self) -> &DepEngine {
+        &self.engine
     }
 
     /// Attaches a byte-level [`FieldLayout`], refining the field-overlap
     /// test (unions, packed layouts).
     #[must_use]
-    pub fn with_layout(mut self, layout: FieldLayout) -> DepTest<'a> {
+    pub fn with_layout(mut self, layout: FieldLayout) -> DepTest {
         self.layout = layout;
         self
     }
@@ -275,16 +330,101 @@ impl<'a> DepTest<'a> {
     /// assert_eq!(outcome.answer, Answer::No);
     /// ```
     pub fn test(&self, s: &MemRef, t: &MemRef, relation: HandleRelation) -> TestOutcome {
+        match self.plan(s, t, relation) {
+            TestPlan::Done(outcome) => outcome,
+            TestPlan::Prove { equal, disjoint } => {
+                // Sequential short-circuit: a proven equality settles the
+                // test, and the first unproven disjointness case does too.
+                let planned = disjoint.len();
+                let equal_outcome = equal.map(|q| q.run(&self.engine));
+                if let Some(eq) = &equal_outcome {
+                    if eq.verdict.answer == Answer::Yes {
+                        return Self::assemble(planned, equal_outcome.as_ref(), &[]);
+                    }
+                }
+                let mut disjoint_outcomes = Vec::with_capacity(planned);
+                for q in disjoint {
+                    let out = q.run(&self.engine);
+                    let settled = out.proof.is_none();
+                    disjoint_outcomes.push(out);
+                    if settled {
+                        break;
+                    }
+                }
+                Self::assemble(planned, equal_outcome.as_ref(), &disjoint_outcomes)
+            }
+        }
+    }
+
+    /// Runs many dependence tests as one engine batch over `jobs` worker
+    /// threads.
+    ///
+    /// Verdict-identical to calling [`DepTest::test`] per triple, but the
+    /// prover work fans out in parallel, structurally identical subgoals
+    /// across tests run once, and all tests share the engine caches. The
+    /// only observable difference is in the work counters: batch execution
+    /// is eager (no cross-query short-circuiting), so `stats` may count
+    /// queries a sequential run would have skipped.
+    pub fn test_batch(
+        &self,
+        tests: &[(MemRef, MemRef, HandleRelation)],
+        jobs: usize,
+    ) -> Vec<TestOutcome> {
+        // Plan every test, flattening prover queries into one batch while
+        // remembering which slots belong to whom.
+        struct Slots {
+            equal: Option<usize>,
+            disjoint: std::ops::Range<usize>,
+            planned: usize,
+        }
+        let mut plans = Vec::with_capacity(tests.len());
+        let mut queries: Vec<DepQuery> = Vec::new();
+        for (s, t, relation) in tests {
+            match self.plan(s, t, *relation) {
+                TestPlan::Done(outcome) => plans.push(Err(outcome)),
+                TestPlan::Prove { equal, disjoint } => {
+                    let equal_slot = equal.map(|q| {
+                        queries.push(q);
+                        queries.len() - 1
+                    });
+                    let start = queries.len();
+                    let planned = disjoint.len();
+                    queries.extend(disjoint);
+                    plans.push(Ok(Slots {
+                        equal: equal_slot,
+                        disjoint: start..queries.len(),
+                        planned,
+                    }));
+                }
+            }
+        }
+        let outcomes = self.engine.run_batch(&queries, jobs);
+        plans
+            .into_iter()
+            .map(|plan| match plan {
+                Err(outcome) => outcome,
+                Ok(slots) => Self::assemble(
+                    slots.planned,
+                    slots.equal.map(|i| &outcomes[i]),
+                    &outcomes[slots.disjoint],
+                ),
+            })
+            .collect()
+    }
+
+    /// The cheap pre-checks of `deptest`, and the prover queries to run
+    /// when they don't settle the test.
+    fn plan(&self, s: &MemRef, t: &MemRef, relation: HandleRelation) -> TestPlan {
         // Step 1: different structure types cannot overlap (safe in ANSI C
         // under the paper's casting assumptions).
         if let (Some(ts), Some(tt)) = (&s.type_name, &t.type_name) {
             if ts != tt {
-                return TestOutcome::simple(Answer::No, Reason::TypeMismatch);
+                return TestPlan::Done(TestOutcome::simple(Answer::No, Reason::TypeMismatch));
             }
         }
         // Step 2: fields that occupy disjoint storage cannot conflict.
         if !self.layout.overlaps(s.field, t.field) {
-            return TestOutcome::simple(Answer::No, Reason::FieldsDisjoint);
+            return TestPlan::Done(TestOutcome::simple(Answer::No, Reason::FieldsDisjoint));
         }
 
         let same_handle = s.access.handle == t.access.handle;
@@ -295,60 +435,95 @@ impl<'a> DepTest<'a> {
         };
 
         // Step 3: definite dependence — identical singleton paths from the
-        // same vertex, or paths provably equal through the equality
-        // axioms (cycles: `next.prev.next ≡ next`).
-        let mut prover = Prover::with_config(self.axioms, self.config.clone());
-        // A degraded equality search can only miss a Yes; remember why so
-        // a final Maybe reports the earliest resource pressure.
-        let mut degraded: Option<MaybeReason> = None;
+        // same vertex, or (via the prover) paths provably equal through
+        // the equality axioms (cycles: `next.prev.next ≡ next`).
+        let mut equal = None;
         if relation == HandleRelation::Same {
             let syntactic = s.access.path == t.access.path && s.access.path.is_definite();
             if syntactic {
-                return TestOutcome::simple(Answer::Yes, Reason::IdenticalSingletonPaths);
+                return TestPlan::Done(TestOutcome::simple(
+                    Answer::Yes,
+                    Reason::IdenticalSingletonPaths,
+                ));
             }
-            let (equal, eq_reason) = prover.prove_equal_governed(&s.access.path, &t.access.path);
-            if equal {
-                return TestOutcome {
-                    answer: Answer::Yes,
-                    reason: Reason::IdenticalSingletonPaths,
-                    maybe: None,
-                    proofs: Vec::new(),
-                    stats: prover.stats(),
-                };
-            }
-            degraded = eq_reason.filter(|r| r.is_degraded());
+            equal = Some(DepQuery::equal(&s.access.path, &t.access.path));
         }
 
-        // Step 4: attempt to prove no dependence.
+        // Step 4: attempt to prove no dependence, per origin case.
         let origins: &[Origin] = match relation {
             HandleRelation::Same => &[Origin::Same],
             HandleRelation::Distinct => &[Origin::Distinct],
             HandleRelation::Unknown => &[Origin::Same, Origin::Distinct],
         };
+        let disjoint = origins
+            .iter()
+            .map(|&origin| DepQuery::disjoint(&s.access.path, &t.access.path).origin(origin))
+            .collect();
+        TestPlan::Prove { equal, disjoint }
+    }
+
+    /// Combines query outcomes into the test verdict. `planned` is the
+    /// number of disjointness cases the plan called for; `disjoint` may be
+    /// shorter when a sequential run short-circuited at an unproven case.
+    fn assemble(planned: usize, equal: Option<&Outcome>, disjoint: &[Outcome]) -> TestOutcome {
+        let mut stats = crate::ProverStats::default();
+        if let Some(eq) = equal {
+            stats.merge(&eq.stats);
+        }
+        for out in disjoint {
+            stats.merge(&out.stats);
+        }
+        // A degraded equality search can only miss a Yes; remember why so
+        // a final Maybe reports the earliest resource pressure.
+        let mut degraded: Option<MaybeReason> = None;
+        if let Some(eq) = equal {
+            if eq.verdict.answer == Answer::Yes {
+                return TestOutcome {
+                    answer: Answer::Yes,
+                    reason: Reason::IdenticalSingletonPaths,
+                    maybe: None,
+                    proofs: Vec::new(),
+                    stats,
+                };
+            }
+            degraded = eq.maybe_reason.filter(|r| r.is_degraded());
+        }
         let mut proofs = Vec::new();
-        for &origin in origins {
-            let (proof, why) =
-                prover.prove_disjoint_governed(origin, &s.access.path, &t.access.path);
-            match proof {
-                Some(p) => proofs.push(p),
+        for out in disjoint {
+            match &out.proof {
+                Some(p) => proofs.push(p.clone()),
                 None => {
-                    let maybe = degraded.or(why).unwrap_or(MaybeReason::GenuinelyUnknown);
+                    let maybe = degraded
+                        .or(out.maybe_reason)
+                        .unwrap_or(MaybeReason::GenuinelyUnknown);
                     return TestOutcome {
                         answer: Answer::Maybe,
                         reason: Reason::Unproven,
                         maybe: Some(maybe),
                         proofs: Vec::new(),
-                        stats: prover.stats(),
+                        stats,
                     };
                 }
             }
         }
-        TestOutcome {
-            answer: Answer::No,
-            reason: Reason::ProvenDisjoint,
-            maybe: None,
-            proofs,
-            stats: prover.stats(),
+        if proofs.len() == planned {
+            TestOutcome {
+                answer: Answer::No,
+                reason: Reason::ProvenDisjoint,
+                maybe: None,
+                proofs,
+                stats,
+            }
+        } else {
+            // Defensive: a plan that produced fewer outcomes than cases
+            // (cannot happen through test/test_batch) stays conservative.
+            TestOutcome {
+                answer: Answer::Maybe,
+                reason: Reason::Unproven,
+                maybe: Some(MaybeReason::GenuinelyUnknown),
+                proofs: Vec::new(),
+                stats,
+            }
         }
     }
 }
@@ -382,9 +557,9 @@ mod tests {
     fn union_fields_overlap_with_layout() {
         let axioms = adds::leaf_linked_tree_axioms();
         let mut layout = FieldLayout::new();
-        layout.set("as_int", 0, 4);
-        layout.set("as_float", 0, 4);
-        layout.set("tag", 4, 1);
+        layout.set("as_int", 0, 4).unwrap();
+        layout.set("as_float", 0, 4).unwrap();
+        layout.set("tag", 4, 1).unwrap();
         let tester = DepTest::new(&axioms).with_layout(layout);
         let h = Handle::for_variable("x");
         // Same vertex through overlapping union arms: a definite
@@ -408,11 +583,64 @@ mod tests {
     #[test]
     fn layout_defaults_match_plain_field_test() {
         let mut layout = FieldLayout::new();
-        layout.set("a", 0, 8);
+        layout.set("a", 0, 8).unwrap();
         assert!(layout.overlaps("a", "a"));
         assert!(layout.overlaps("unregistered", "unregistered"));
         assert!(!layout.overlaps("a", "unregistered"));
         assert!(!layout.overlaps("x", "y"));
+    }
+
+    #[test]
+    fn zero_sized_field_is_rejected_not_recorded() {
+        let mut layout = FieldLayout::new();
+        let err = layout.set("ghost", 0, 0).unwrap_err();
+        assert!(err.to_string().contains("ghost"));
+        // The rejected field was not recorded: it behaves like any other
+        // unregistered field (disjoint from everything but itself).
+        assert!(layout.overlaps("ghost", "ghost"));
+        assert!(!layout.overlaps("ghost", "other"));
+    }
+
+    #[test]
+    fn batch_matches_sequential_tests() {
+        let axioms = adds::leaf_linked_tree_axioms();
+        let tester = DepTest::new(&axioms);
+        let h = Handle::for_variable("root");
+        let h2 = Handle::for_variable("q");
+        let tests: Vec<(MemRef, MemRef, HandleRelation)> = vec![
+            (
+                mem(&h, "L.L.N", "d"),
+                mem(&h, "L.R.N", "d"),
+                HandleRelation::Same,
+            ),
+            (
+                mem(&h, "L.L.N", "d"),
+                mem(&h, "L.L.N", "d"),
+                HandleRelation::Same,
+            ),
+            (mem(&h, "N*", "d"), mem(&h, "N*", "d"), HandleRelation::Same),
+            (
+                mem(&h, "N", "d"),
+                mem(&h2, "N", "d"),
+                HandleRelation::Distinct,
+            ),
+            (mem(&h, "L", "d"), mem(&h, "L", "e"), HandleRelation::Same),
+        ];
+        let sequential: Vec<(Answer, Reason)> = tests
+            .iter()
+            .map(|(s, t, r)| {
+                let o = tester.test(s, t, *r);
+                (o.answer, o.reason.clone())
+            })
+            .collect();
+        for jobs in [1, 3] {
+            let batch: Vec<(Answer, Reason)> = tester
+                .test_batch(&tests, jobs)
+                .into_iter()
+                .map(|o| (o.answer, o.reason))
+                .collect();
+            assert_eq!(batch, sequential, "jobs={jobs}");
+        }
     }
 
     #[test]

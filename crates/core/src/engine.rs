@@ -1,0 +1,632 @@
+//! The batched, multi-threaded dependence engine.
+//!
+//! §6 of the paper reports *per-query* proof times precisely because a
+//! parallelizing compiler issues dependence queries in bulk — every pair of
+//! memory references in a loop nest is a query. [`DepEngine`] is the bulk
+//! entry point: it owns an [`Arc`]-shared, lock-sharded cache of settled
+//! proof results, subset-test answers, and interned DFAs, and fans a
+//! `Vec<DepQuery>` out over a scoped worker pool.
+//!
+//! # Soundness of sharing
+//!
+//! The shared cache stores **definite results only**, mirroring the
+//! single-prover rule: a goal is published as proved only when its proof is
+//! self-contained (no dangling induction targets), and as failed only when
+//! the search completed in a clean context with no resource degradation.
+//! Subset answers are published only when the DFA construction finished
+//! within its limits. Exhausted or cancelled runs publish nothing, so a
+//! starved worker can never poison another worker's verdict — at worst a
+//! result is recomputed.
+//!
+//! A cache is only meaningful for one (axiom set, rule configuration)
+//! pair; [`DepEngine`] enforces this by construction — the cache is
+//! private to the engine and every worker prover is built from the
+//! engine's own axioms and configuration. Budgets may differ per query:
+//! definite entries do not depend on the budget that produced them.
+//!
+//! # Budget split policy
+//!
+//! [`DepEngine::run_batch`] treats the configured [`Budget`]'s deadline as
+//! an allowance for the *whole batch*: with `j` workers and `u` unique
+//! queries, each worker runs about `⌈u/j⌉` queries in sequence, so each
+//! query receives `deadline / ⌈u/j⌉` and every worker finishes within
+//! roughly the configured allowance. Fuel and the DFA state budget are
+//! already per-query brakes and are not divided. A per-query
+//! [`DepQuery::with_budget`] override is honoured exactly as written. One
+//! [`crate::CancelToken`] in the engine budget cancels the entire batch.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+
+use apt_axioms::AxiomSet;
+use apt_regex::cache::DfaCache;
+use apt_regex::Path;
+
+use crate::config::{Budget, ProverConfig, ProverStats};
+use crate::deptest::Answer;
+use crate::goal::{Goal, Origin};
+use crate::proof::Proof;
+use crate::prover::Prover;
+use crate::verdict::{MaybeReason, Verdict};
+
+/// Lock shards for the settled-goal cache.
+const GOAL_SHARDS: usize = 32;
+/// Lock shards for the subset-answer cache.
+const SUBSET_SHARDS: usize = 32;
+/// Maximum settled goals per shard; further results are simply not shared.
+const GOAL_SHARD_CAPACITY: usize = 4096;
+/// Maximum subset answers per shard.
+const SUBSET_SHARD_CAPACITY: usize = 16384;
+
+/// A settled, context-free result for one goal.
+#[derive(Debug, Clone)]
+pub(crate) enum SharedVerdict {
+    /// The goal has a self-contained proof.
+    Proved(Proof),
+    /// The search completed cleanly without a proof.
+    Failed,
+}
+
+/// Entry and answer counts of a [`DepEngine`]'s shared cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Goals cached with a proof.
+    pub proved_goals: usize,
+    /// Goals cached as unprovable.
+    pub failed_goals: usize,
+    /// Memoized `L(a) ⊆ L(b)` answers.
+    pub subset_results: usize,
+    /// Interned DFAs.
+    pub dfas: usize,
+}
+
+/// The lock-sharded cross-prover cache: settled goals, subset answers, and
+/// interned DFAs. Shared between worker provers via [`Arc`].
+#[derive(Debug)]
+pub struct SharedCache {
+    goals: Vec<Mutex<HashMap<Goal, SharedVerdict>>>,
+    subsets: Vec<Mutex<HashMap<(String, String), bool>>>,
+    dfas: DfaCache,
+}
+
+fn shard_index<K: Hash>(key: &K, shards: usize) -> usize {
+    let mut h = DefaultHasher::new();
+    key.hash(&mut h);
+    (h.finish() as usize) % shards
+}
+
+impl SharedCache {
+    pub(crate) fn new() -> SharedCache {
+        SharedCache {
+            goals: (0..GOAL_SHARDS)
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
+            subsets: (0..SUBSET_SHARDS)
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
+            dfas: DfaCache::new(),
+        }
+    }
+
+    pub(crate) fn lookup_goal(&self, goal: &Goal) -> Option<SharedVerdict> {
+        let shard = &self.goals[shard_index(goal, GOAL_SHARDS)];
+        let guard = shard.lock().unwrap_or_else(PoisonError::into_inner);
+        guard.get(goal).cloned()
+    }
+
+    pub(crate) fn publish_goal(&self, goal: &Goal, verdict: SharedVerdict) {
+        let shard = &self.goals[shard_index(goal, GOAL_SHARDS)];
+        let mut guard = shard.lock().unwrap_or_else(PoisonError::into_inner);
+        if guard.len() < GOAL_SHARD_CAPACITY || guard.contains_key(goal) {
+            guard.insert(goal.clone(), verdict);
+        }
+    }
+
+    pub(crate) fn lookup_subset(&self, key: &(String, String)) -> Option<bool> {
+        let shard = &self.subsets[shard_index(key, SUBSET_SHARDS)];
+        let guard = shard.lock().unwrap_or_else(PoisonError::into_inner);
+        guard.get(key).copied()
+    }
+
+    pub(crate) fn publish_subset(&self, key: (String, String), result: bool) {
+        let shard = &self.subsets[shard_index(&key, SUBSET_SHARDS)];
+        let mut guard = shard.lock().unwrap_or_else(PoisonError::into_inner);
+        if guard.len() < SUBSET_SHARD_CAPACITY || guard.contains_key(&key) {
+            guard.insert(key, result);
+        }
+    }
+
+    pub(crate) fn dfas(&self) -> &DfaCache {
+        &self.dfas
+    }
+
+    /// Entry counts across all shards.
+    pub fn stats(&self) -> CacheStats {
+        let mut stats = CacheStats {
+            dfas: self.dfas.len(),
+            ..CacheStats::default()
+        };
+        for shard in &self.goals {
+            let guard = shard.lock().unwrap_or_else(PoisonError::into_inner);
+            for verdict in guard.values() {
+                match verdict {
+                    SharedVerdict::Proved(_) => stats.proved_goals += 1,
+                    SharedVerdict::Failed => stats.failed_goals += 1,
+                }
+            }
+        }
+        stats.subset_results = self
+            .subsets
+            .iter()
+            .map(|s| s.lock().unwrap_or_else(PoisonError::into_inner).len())
+            .sum();
+        stats
+    }
+}
+
+/// What a [`DepQuery`] asks of the prover.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum QueryKind {
+    /// Prove the two paths disjoint (a definite *No* dependence).
+    Disjoint,
+    /// Prove the two paths denote the same single vertex (a definite
+    /// *Yes*).
+    Equal,
+}
+
+/// One dependence query, built fluently and run against a [`DepEngine`]
+/// (or a caller-managed [`Prover`] via [`DepQuery::run_with`]).
+///
+/// This is the single entry point into the prover — it subsumes the
+/// deprecated `prove_disjoint`/`prove_disjoint_governed` and
+/// `prove_equal`/`prove_equal_governed` pairs.
+///
+/// ```
+/// use apt_axioms::adds::leaf_linked_tree_axioms;
+/// use apt_core::{Answer, DepEngine, DepQuery, Origin};
+/// use apt_regex::Path;
+///
+/// let engine = DepEngine::new(leaf_linked_tree_axioms());
+/// let p = Path::parse("L.L.N").unwrap();
+/// let q = Path::parse("L.R.N").unwrap();
+/// let outcome = DepQuery::disjoint(&p, &q).origin(Origin::Same).run(&engine);
+/// assert_eq!(outcome.verdict.answer, Answer::No);
+/// assert!(outcome.proof.is_some());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct DepQuery {
+    kind: QueryKind,
+    origin: Origin,
+    a: Path,
+    b: Path,
+    budget: Option<Budget>,
+}
+
+impl DepQuery {
+    /// A disjointness query `origin ⊢ a <> b`, defaulting to
+    /// [`Origin::Same`] (override with [`DepQuery::origin`]).
+    pub fn disjoint(a: &Path, b: &Path) -> DepQuery {
+        DepQuery {
+            kind: QueryKind::Disjoint,
+            origin: Origin::Same,
+            a: a.clone(),
+            b: b.clone(),
+            budget: None,
+        }
+    }
+
+    /// An equality query: do `a` and `b` denote the same single vertex
+    /// from a common origin?
+    pub fn equal(a: &Path, b: &Path) -> DepQuery {
+        DepQuery {
+            kind: QueryKind::Equal,
+            origin: Origin::Same,
+            a: a.clone(),
+            b: b.clone(),
+            budget: None,
+        }
+    }
+
+    /// Sets the origin relation (disjointness queries only; equality is
+    /// always asked from a common origin).
+    #[must_use]
+    pub fn origin(mut self, origin: Origin) -> DepQuery {
+        self.origin = origin;
+        self
+    }
+
+    /// Overrides the engine's [`Budget`] for this query alone. The
+    /// override is used exactly as written — it is not subject to the
+    /// batch deadline split.
+    #[must_use]
+    pub fn with_budget(mut self, budget: Budget) -> DepQuery {
+        self.budget = Some(budget);
+        self
+    }
+
+    /// What the query asks.
+    pub fn kind(&self) -> QueryKind {
+        self.kind
+    }
+
+    /// Runs the query against an engine (fresh prover, shared caches).
+    pub fn run(&self, engine: &DepEngine) -> Outcome {
+        engine.run(self)
+    }
+
+    /// Runs the query on a caller-managed prover. A budget override is
+    /// applied for the duration of this query and then restored.
+    pub fn run_with(&self, prover: &mut Prover<'_>) -> Outcome {
+        let restore = self.budget.clone().map(|b| prover.swap_budget(b));
+        let before = prover.stats();
+        let (verdict, proof) = match self.kind {
+            QueryKind::Disjoint => {
+                let (proof, reason) = prover.run_disjoint(self.origin, &self.a, &self.b);
+                match proof {
+                    Some(p) => (Verdict::definite(Answer::No), Some(p)),
+                    None => (
+                        Verdict::maybe(reason.unwrap_or(MaybeReason::GenuinelyUnknown)),
+                        None,
+                    ),
+                }
+            }
+            QueryKind::Equal => {
+                let (equal, reason) = prover.run_equal(&self.a, &self.b);
+                if equal {
+                    (Verdict::definite(Answer::Yes), None)
+                } else {
+                    (
+                        Verdict::maybe(reason.unwrap_or(MaybeReason::GenuinelyUnknown)),
+                        None,
+                    )
+                }
+            }
+        };
+        let stats = prover.stats().since(&before);
+        if let Some(old) = restore {
+            prover.set_budget(old);
+        }
+        Outcome {
+            maybe_reason: verdict.reason,
+            verdict,
+            proof,
+            stats,
+        }
+    }
+
+    /// Structural identity key: two queries with the same key (and equal
+    /// budget overrides) are the same subgoal and run once per batch.
+    /// Disjointness goals canonicalize through [`Goal::new`]'s symmetric
+    /// path ordering; equality is symmetric by definition.
+    fn dedup_key(&self) -> (QueryKind, Option<Origin>, String, String) {
+        match self.kind {
+            QueryKind::Disjoint => {
+                let g = Goal::new(self.origin, self.a.clone(), self.b.clone());
+                (
+                    QueryKind::Disjoint,
+                    Some(self.origin),
+                    g.a().to_string(),
+                    g.b().to_string(),
+                )
+            }
+            QueryKind::Equal => {
+                let (x, y) = (self.a.to_string(), self.b.to_string());
+                let (x, y) = if x <= y { (x, y) } else { (y, x) };
+                (QueryKind::Equal, None, x, y)
+            }
+        }
+    }
+}
+
+/// The unified result of one [`DepQuery`].
+#[derive(Debug, Clone)]
+pub struct Outcome {
+    /// The three-valued answer with its degradation pedigree. A proven
+    /// disjointness query answers [`Answer::No`]; a proven equality query
+    /// answers [`Answer::Yes`]; everything else is [`Answer::Maybe`].
+    pub verdict: Verdict,
+    /// The disjointness proof, when one was found.
+    pub proof: Option<Proof>,
+    /// Prover work counters for this query alone.
+    pub stats: ProverStats,
+    /// Why the answer is Maybe (`None` for definite answers). Mirrors
+    /// `verdict.reason`.
+    pub maybe_reason: Option<MaybeReason>,
+}
+
+impl Outcome {
+    /// Whether the query was established definitely (No-dependence for
+    /// disjointness, Yes for equality).
+    pub fn is_definite(&self) -> bool {
+        self.verdict.reason.is_none()
+    }
+}
+
+/// The batched dependence engine: one axiom set, one rule configuration,
+/// and a shared cache that persists across queries and batches.
+///
+/// Cloning an engine is cheap and shares the cache.
+#[derive(Debug, Clone)]
+pub struct DepEngine {
+    axioms: Arc<AxiomSet>,
+    config: ProverConfig,
+    cache: Arc<SharedCache>,
+}
+
+impl DepEngine {
+    /// An engine over `axioms` with the default configuration.
+    pub fn new(axioms: AxiomSet) -> DepEngine {
+        DepEngine::with_config(axioms, ProverConfig::default())
+    }
+
+    /// An engine with an explicit prover configuration.
+    pub fn with_config(axioms: AxiomSet, config: ProverConfig) -> DepEngine {
+        DepEngine::from_arc(Arc::new(axioms), config)
+    }
+
+    /// An engine over an already-shared axiom set.
+    pub fn from_arc(axioms: Arc<AxiomSet>, config: ProverConfig) -> DepEngine {
+        DepEngine {
+            axioms,
+            config,
+            cache: Arc::new(SharedCache::new()),
+        }
+    }
+
+    /// The engine's axioms.
+    pub fn axioms(&self) -> &AxiomSet {
+        &self.axioms
+    }
+
+    /// The configuration worker provers run under.
+    pub fn config(&self) -> &ProverConfig {
+        &self.config
+    }
+
+    /// Entry counts of the shared cache.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// A worker prover wired to the shared cache, with the engine deadline
+    /// divided across `shares` sequential queries.
+    fn make_prover(&self, shares: usize) -> Prover<'_> {
+        let mut config = self.config.clone();
+        if shares > 1 {
+            if let Some(d) = config.budget.deadline {
+                config.budget.deadline = Some(d / shares as u32);
+            }
+        }
+        let mut prover = Prover::with_config(&self.axioms, config);
+        prover.attach_shared(Arc::clone(&self.cache));
+        prover
+    }
+
+    /// Runs one query on a fresh prover backed by the shared cache.
+    pub fn run(&self, query: &DepQuery) -> Outcome {
+        query.run_with(&mut self.make_prover(1))
+    }
+
+    /// Runs a batch of queries over `jobs` worker threads.
+    ///
+    /// Structurally identical queries (same canonical goal, same budget
+    /// override) are deduplicated and run once; every caller position in
+    /// `queries` still receives its outcome, in order. Workers pull unique
+    /// queries from a shared index, so an expensive query never stalls
+    /// the rest of the batch behind it.
+    ///
+    /// `jobs == 1` runs inline on the calling thread (no spawn), still
+    /// with dedup and the shared cache.
+    pub fn run_batch(&self, queries: &[DepQuery], jobs: usize) -> Vec<Outcome> {
+        if queries.is_empty() {
+            return Vec::new();
+        }
+        // Dedup structurally identical subgoals.
+        let mut unique: Vec<&DepQuery> = Vec::new();
+        let mut owners: Vec<Vec<usize>> = Vec::new();
+        let mut index: HashMap<(QueryKind, Option<Origin>, String, String), Vec<usize>> =
+            HashMap::new();
+        for (i, q) in queries.iter().enumerate() {
+            let slots = index.entry(q.dedup_key()).or_default();
+            match slots.iter().find(|&&u| unique[u].budget == q.budget) {
+                Some(&u) => owners[u].push(i),
+                None => {
+                    slots.push(unique.len());
+                    owners.push(vec![i]);
+                    unique.push(q);
+                }
+            }
+        }
+        let jobs = jobs.clamp(1, unique.len());
+        let shares = unique.len().div_ceil(jobs);
+
+        let mut settled: Vec<Option<Outcome>> = vec![None; unique.len()];
+        if jobs == 1 {
+            let mut prover = self.make_prover(shares);
+            for (slot, q) in settled.iter_mut().zip(&unique) {
+                *slot = Some(q.run_with(&mut prover));
+            }
+        } else {
+            let next = AtomicUsize::new(0);
+            let unique_ref = &unique;
+            let collected = crossbeam::thread::scope(|scope| {
+                let handles: Vec<_> = (0..jobs)
+                    .map(|_| {
+                        scope.spawn(|_| {
+                            let mut prover = self.make_prover(shares);
+                            let mut out = Vec::new();
+                            loop {
+                                let i = next.fetch_add(1, Ordering::SeqCst);
+                                if i >= unique_ref.len() {
+                                    break;
+                                }
+                                out.push((i, unique_ref[i].run_with(&mut prover)));
+                            }
+                            out
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| match h.join() {
+                        Ok(v) => v,
+                        Err(panic) => std::panic::resume_unwind(panic),
+                    })
+                    .collect::<Vec<_>>()
+            })
+            .unwrap_or_else(|panic| std::panic::resume_unwind(panic));
+            for (i, out) in collected {
+                settled[i] = Some(out);
+            }
+        }
+
+        // Scatter unique results back to every caller position.
+        let mut results: Vec<Option<Outcome>> = vec![None; queries.len()];
+        for (u, owner_list) in owners.iter().enumerate() {
+            let out = settled[u].take().expect("every unique query ran");
+            let (last, rest) = owner_list.split_last().expect("owners are non-empty");
+            for &i in rest {
+                results[i] = Some(out.clone());
+            }
+            results[*last] = Some(out);
+        }
+        results
+            .into_iter()
+            .map(|o| o.expect("every query position filled"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apt_axioms::adds;
+    use std::time::Duration;
+
+    fn p(s: &str) -> Path {
+        Path::parse(s).unwrap()
+    }
+
+    #[test]
+    fn single_query_matches_prover() {
+        let axioms = adds::leaf_linked_tree_axioms();
+        let engine = DepEngine::new(axioms.clone());
+        let out = DepQuery::disjoint(&p("L.L.N"), &p("L.R.N")).run(&engine);
+        assert_eq!(out.verdict.answer, Answer::No);
+        assert!(out.is_definite());
+        assert!(out.proof.is_some());
+        assert!(out.stats.goals_attempted > 0);
+
+        let out = DepQuery::disjoint(&p("L.L.N"), &p("L.L.N")).run(&engine);
+        assert_eq!(out.verdict.answer, Answer::Maybe);
+        assert_eq!(out.maybe_reason, Some(MaybeReason::GenuinelyUnknown));
+        assert!(out.proof.is_none());
+    }
+
+    #[test]
+    fn equality_query_through_engine() {
+        let axioms = AxiomSet::parse(
+            "C1: forall p, p.next.prev = p.eps\n\
+             C2: forall p, p.prev.next = p.eps",
+        )
+        .unwrap();
+        let engine = DepEngine::new(axioms);
+        let out = DepQuery::equal(&p("next.prev.next"), &p("next")).run(&engine);
+        assert_eq!(out.verdict.answer, Answer::Yes);
+        let out = DepQuery::equal(&p("next"), &p("prev")).run(&engine);
+        assert_eq!(out.verdict.answer, Answer::Maybe);
+    }
+
+    #[test]
+    fn batch_matches_sequential_and_warms_cache() {
+        let axioms = adds::sparse_matrix_minimal_axioms();
+        let engine = DepEngine::new(axioms.clone());
+        let queries: Vec<DepQuery> = [
+            ("ncolE+", "nrowE+.ncolE+"),
+            ("ncolE", "nrowE.ncolE+"),
+            ("ncolE+", "ncolE+"),
+            ("ncolE.ncolE", "nrowE+.ncolE+"),
+        ]
+        .iter()
+        .map(|(a, b)| DepQuery::disjoint(&p(a), &p(b)))
+        .collect();
+
+        let mut prover = Prover::new(&axioms);
+        let sequential: Vec<Answer> = queries
+            .iter()
+            .map(|q| q.run_with(&mut prover).verdict.answer)
+            .collect();
+        for jobs in [1, 2, 4] {
+            let batch: Vec<Answer> = engine
+                .run_batch(&queries, jobs)
+                .iter()
+                .map(|o| o.verdict.answer)
+                .collect();
+            assert_eq!(batch, sequential, "jobs={jobs}");
+        }
+        let stats = engine.cache_stats();
+        assert!(stats.proved_goals > 0);
+        assert!(stats.subset_results > 0);
+        assert!(stats.dfas > 0);
+    }
+
+    #[test]
+    fn dedup_returns_an_outcome_per_position() {
+        let axioms = adds::leaf_linked_tree_axioms();
+        let engine = DepEngine::new(axioms);
+        let a = DepQuery::disjoint(&p("L.L.N"), &p("L.R.N"));
+        // Symmetric duplicate: canonicalization must fold it.
+        let b = DepQuery::disjoint(&p("L.R.N"), &p("L.L.N"));
+        let c = DepQuery::disjoint(&p("L"), &p("R"));
+        let outs = engine.run_batch(&[a, b, c], 2);
+        assert_eq!(outs.len(), 3);
+        assert_eq!(outs[0].verdict.answer, Answer::No);
+        assert_eq!(outs[1].verdict.answer, Answer::No);
+        assert_eq!(outs[2].verdict.answer, Answer::No);
+    }
+
+    #[test]
+    fn per_query_budget_override_is_restored() {
+        let axioms = adds::sparse_matrix_minimal_axioms();
+        let engine = DepEngine::new(axioms);
+        let starved = DepQuery::disjoint(&p("ncolE+"), &p("nrowE+.ncolE+"))
+            .with_budget(Budget::new().with_fuel(1));
+        let out = starved.run(&engine);
+        assert_eq!(out.verdict.answer, Answer::Maybe);
+        assert!(out.verdict.is_degraded());
+        // The starved run must not have poisoned the shared cache.
+        let full = DepQuery::disjoint(&p("ncolE+"), &p("nrowE+.ncolE+")).run(&engine);
+        assert_eq!(full.verdict.answer, Answer::No);
+    }
+
+    #[test]
+    fn batch_deadline_is_divided_fairly() {
+        let axioms = adds::sparse_matrix_minimal_axioms();
+        let config =
+            ProverConfig::with_budget(Budget::new().with_deadline(Duration::from_secs(400)));
+        let engine = DepEngine::with_config(axioms, config);
+        // 4 unique queries on 2 workers → 2 sequential queries per worker
+        // → each query gets 200s. We can't observe the per-query deadline
+        // directly, but the batch must complete and stay definite.
+        let queries: Vec<DepQuery> = [
+            ("ncolE+", "nrowE+.ncolE+"),
+            ("ncolE", "nrowE.ncolE+"),
+            ("ncolE.ncolE", "nrowE+.ncolE+"),
+            ("ncolE.ncolE.ncolE", "nrowE+.ncolE+"),
+        ]
+        .iter()
+        .map(|(a, b)| DepQuery::disjoint(&p(a), &p(b)))
+        .collect();
+        let outs = engine.run_batch(&queries, 2);
+        assert!(outs.iter().all(|o| o.verdict.answer == Answer::No));
+    }
+
+    #[test]
+    fn empty_batch() {
+        let engine = DepEngine::new(AxiomSet::new());
+        assert!(engine.run_batch(&[], 4).is_empty());
+    }
+}

@@ -42,6 +42,7 @@
 pub mod check;
 mod config;
 mod deptest;
+mod engine;
 mod goal;
 mod handle;
 mod proof;
@@ -50,7 +51,10 @@ mod verdict;
 
 pub use check::{check_proof, ProofError};
 pub use config::{Budget, CancelToken, CutoffStats, ProverConfig, ProverStats};
-pub use deptest::{AccessPath, Answer, DepTest, FieldLayout, MemRef, Reason, TestOutcome};
+pub use deptest::{
+    AccessPath, Answer, DepTest, FieldLayout, LayoutError, MemRef, Reason, TestOutcome,
+};
+pub use engine::{CacheStats, DepEngine, DepQuery, Outcome, QueryKind};
 pub use goal::{Goal, Origin};
 pub use handle::{Handle, HandleRelation};
 pub use proof::{PrefixCase, Proof, Rule};

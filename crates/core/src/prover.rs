@@ -34,12 +34,14 @@
 //! accuracy/efficiency knob.
 
 use crate::config::{Budget, CancelToken, ProverConfig, ProverStats};
+use crate::engine::{SharedCache, SharedVerdict};
 use crate::goal::{Goal, Origin};
 use crate::proof::{PrefixCase, Proof, Rule};
 use crate::verdict::{MaybeReason, SearchLimit};
 use apt_axioms::{Axiom, AxiomKind, AxiomSet};
 use apt_regex::{ops, Component, LimitExceeded, Limits, Path, Regex, Symbol};
 use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Cache entry for a goal.
@@ -107,9 +109,11 @@ impl Ctx {
 
 /// The APT proof engine for one axiom set.
 ///
-/// Construct with [`Prover::new`], then call [`Prover::prove_disjoint`].
-/// The proof cache persists across calls, so a prover makes a good
-/// per-axiom-set analysis object.
+/// Construct with [`Prover::new`], then run queries through the
+/// [`crate::DepQuery`] builder ([`crate::DepQuery::run_with`]). The proof
+/// cache persists across calls, so a prover makes a good per-axiom-set
+/// analysis object; [`crate::DepEngine`] additionally wires several
+/// provers to one shared cross-thread cache.
 #[derive(Debug)]
 pub struct Prover<'a> {
     axioms: &'a AxiomSet,
@@ -132,6 +136,9 @@ pub struct Prover<'a> {
     /// Insertion order of settled (Proved/Failed) cache entries, for
     /// capacity eviction. Only maintained when the budget bounds the cache.
     settled_order: VecDeque<Goal>,
+    /// Cross-prover cache of definite results, attached by
+    /// [`crate::DepEngine`]. `None` for standalone provers.
+    shared: Option<Arc<SharedCache>>,
 }
 
 impl<'a> Prover<'a> {
@@ -155,6 +162,7 @@ impl<'a> Prover<'a> {
             degraded: None,
             aborted: false,
             settled_order: VecDeque::new(),
+            shared: None,
         }
     }
 
@@ -169,6 +177,18 @@ impl<'a> Prover<'a> {
     /// retried with a larger budget on the same prover.
     pub fn set_budget(&mut self, budget: Budget) {
         self.config.budget = budget;
+    }
+
+    /// Replaces the budget and returns the previous one, so a per-query
+    /// override can be applied and then restored.
+    pub(crate) fn swap_budget(&mut self, budget: Budget) -> Budget {
+        std::mem::replace(&mut self.config.budget, budget)
+    }
+
+    /// Wires this prover to an engine's shared cache. Only definite,
+    /// context-free results flow in either direction.
+    pub(crate) fn attach_shared(&mut self, cache: Arc<SharedCache>) {
+        self.shared = Some(cache);
     }
 
     /// Resets per-query resource state (fuel, deadline, degradation).
@@ -226,30 +246,53 @@ impl<'a> Prover<'a> {
     }
 
     /// Attempts to prove `∀x, x.a <> x.b` (origin [`Origin::Same`]) or the
-    /// distinct-origin variant. Returns the proof on success and `None` when
-    /// no proof was found (the paths *may* alias).
+    /// distinct-origin variant.
+    ///
+    /// Superseded by the [`crate::DepQuery`] builder:
     ///
     /// ```
     /// use apt_axioms::adds::leaf_linked_tree_axioms;
-    /// use apt_core::{Origin, Prover};
+    /// use apt_core::{DepQuery, Origin, Prover};
     /// use apt_regex::Path;
     ///
     /// let axioms = leaf_linked_tree_axioms();
     /// let mut prover = Prover::new(&axioms);
     /// let p = Path::parse("L.L.N").unwrap();
     /// let q = Path::parse("L.R.N").unwrap();
-    /// assert!(prover.prove_disjoint(Origin::Same, &p, &q).is_some());
+    /// let outcome = DepQuery::disjoint(&p, &q)
+    ///     .origin(Origin::Same)
+    ///     .run_with(&mut prover);
+    /// assert!(outcome.proof.is_some());
     /// ```
+    #[deprecated(
+        since = "0.2.0",
+        note = "use DepQuery::disjoint(a, b).origin(..).run_with(prover) (or .run(&engine))"
+    )]
     pub fn prove_disjoint(&mut self, origin: Origin, a: &Path, b: &Path) -> Option<Proof> {
-        self.prove_disjoint_governed(origin, a, b).0
+        self.run_disjoint(origin, a, b).0
     }
 
-    /// Like [`Prover::prove_disjoint`], but also reports *why* no proof was
-    /// found: `(None, Some(reason))` distinguishes resource exhaustion
-    /// (fuel, depth, deadline, DFA budget, cancellation) from a genuine
-    /// "the axioms do not decide this". A `(Some(_), _)` result always has
-    /// `None` for the reason — found proofs are never degraded.
+    /// Superseded by [`crate::DepQuery`], whose [`crate::Outcome`] carries
+    /// the proof, the degradation reason, and per-query stats together.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use DepQuery::disjoint(a, b).origin(..).run_with(prover); Outcome carries the reason"
+    )]
     pub fn prove_disjoint_governed(
+        &mut self,
+        origin: Origin,
+        a: &Path,
+        b: &Path,
+    ) -> (Option<Proof>, Option<MaybeReason>) {
+        self.run_disjoint(origin, a, b)
+    }
+
+    /// Runs one disjointness query: the proof on success, else *why* no
+    /// proof was found — resource exhaustion (fuel, depth, deadline, DFA
+    /// budget, cancellation) or a genuine "the axioms do not decide this".
+    /// A `(Some(_), _)` result always has `None` for the reason — found
+    /// proofs are never degraded.
+    pub(crate) fn run_disjoint(
         &mut self,
         origin: Origin,
         a: &Path,
@@ -298,7 +341,32 @@ impl<'a> Prover<'a> {
                 }
                 return None;
             }
-            None => {}
+            None => {
+                // A sibling worker may already have settled this goal in
+                // the engine's shared cache. Shared entries are definite
+                // and context-free, so adopting one is exactly a local
+                // cache hit (and, like a local hit, costs no fuel).
+                if let Some(shared) = self.shared.clone() {
+                    match shared.lookup_goal(goal) {
+                        Some(SharedVerdict::Proved(p)) => {
+                            self.stats.cache_hits += 1;
+                            self.stats.shared_hits += 1;
+                            self.cache
+                                .insert(goal.clone(), CacheState::Proved(p.clone()));
+                            self.settle(goal);
+                            return Some(p);
+                        }
+                        Some(SharedVerdict::Failed) => {
+                            self.stats.cache_hits += 1;
+                            self.stats.shared_hits += 1;
+                            self.cache.insert(goal.clone(), CacheState::Failed);
+                            self.settle(goal);
+                            return None;
+                        }
+                        None => {}
+                    }
+                }
+            }
         }
         if self.fuel_left == 0 {
             self.note_degraded(MaybeReason::SearchExhausted(SearchLimit::Fuel));
@@ -334,6 +402,9 @@ impl<'a> Prover<'a> {
                     self.cache
                         .insert(goal.clone(), CacheState::Proved(p.clone()));
                     self.settle(goal);
+                    if let Some(shared) = &self.shared {
+                        shared.publish_goal(goal, SharedVerdict::Proved(p.clone()));
+                    }
                 }
             }
             None => {
@@ -345,6 +416,9 @@ impl<'a> Prover<'a> {
                 if ctx.rewrites == 0 && ctx.shrinks == 0 && self.degraded.is_none() {
                     self.cache.insert(goal.clone(), CacheState::Failed);
                     self.settle(goal);
+                    if let Some(shared) = &self.shared {
+                        shared.publish_goal(goal, SharedVerdict::Failed);
+                    }
                 } else {
                     self.cache.remove(goal);
                 }
@@ -451,14 +525,28 @@ impl<'a> Prover<'a> {
     /// Set-equality plus cardinality one gives the `deptest` **Yes** case
     /// beyond syntactic identity — e.g. `next.prev.next ≡ next` on a
     /// circular doubly-linked list.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use DepQuery::equal(a, b).run_with(prover) (or .run(&engine))"
+    )]
     pub fn prove_equal(&mut self, a: &Path, b: &Path) -> bool {
-        self.prove_equal_governed(a, b).0
+        self.run_equal(a, b).0
     }
 
-    /// Like [`Prover::prove_equal`], but reports the degradation reason
-    /// when the equality search was starved (`(false, Some(reason))`). A
-    /// `true` result is never degraded.
+    /// Superseded by [`crate::DepQuery`], whose [`crate::Outcome`] carries
+    /// the verdict and the degradation reason together.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use DepQuery::equal(a, b).run_with(prover); Outcome carries the reason"
+    )]
     pub fn prove_equal_governed(&mut self, a: &Path, b: &Path) -> (bool, Option<MaybeReason>) {
+        self.run_equal(a, b)
+    }
+
+    /// Runs one equality query, reporting the degradation reason when the
+    /// search was starved (`(false, Some(reason))`). A `true` result is
+    /// never degraded.
+    pub(crate) fn run_equal(&mut self, a: &Path, b: &Path) -> (bool, Option<MaybeReason>) {
         self.begin_query();
         let proved = self.prove_equal_inner(a, b);
         let reason = if proved { None } else { self.degraded.take() };
@@ -532,8 +620,17 @@ impl<'a> Prover<'a> {
         if let Some(&hit) = self.subset_cache.get(&key) {
             return hit;
         }
+        // Decided subset answers are budget-independent, so a sibling
+        // worker's answer is as good as our own.
+        if let Some(shared) = &self.shared {
+            if let Some(hit) = shared.lookup_subset(&key) {
+                self.subset_cache.insert(key, hit);
+                return hit;
+            }
+        }
         self.stats.subset_checks += 1;
-        match ops::try_is_subset(a, b, &self.limits) {
+        let dfa_cache = self.shared.as_ref().map(|s| s.dfas());
+        match ops::try_is_subset_with(a, b, &self.limits, dfa_cache) {
             Ok(result) => {
                 // The subset cache is bounded alongside the proof cache
                 // (same knob, wider multiplier: entries are small).
@@ -541,6 +638,9 @@ impl<'a> Prover<'a> {
                     if self.subset_cache.len() >= cap.saturating_mul(8) {
                         self.subset_cache.clear();
                     }
+                }
+                if let Some(shared) = &self.shared {
+                    shared.publish_subset(key.clone(), result);
                 }
                 self.subset_cache.insert(key, result);
                 result
@@ -1232,6 +1332,21 @@ mod tests {
     use super::*;
     use apt_axioms::adds;
 
+    /// Test-side shim over the public [`crate::DepQuery`] builder, so the
+    /// prover unit tests exercise the same entry point as every caller.
+    trait Disj {
+        fn disj(&mut self, origin: Origin, a: &Path, b: &Path) -> Option<Proof>;
+    }
+
+    impl Disj for Prover<'_> {
+        fn disj(&mut self, origin: Origin, a: &Path, b: &Path) -> Option<Proof> {
+            crate::DepQuery::disjoint(a, b)
+                .origin(origin)
+                .run_with(self)
+                .proof
+        }
+    }
+
     fn p(s: &str) -> Path {
         Path::parse(s).unwrap()
     }
@@ -1287,7 +1402,7 @@ mod tests {
         let axioms = adds::leaf_linked_tree_axioms();
         let mut prover = Prover::new(&axioms);
         let proof = prover
-            .prove_disjoint(Origin::Same, &p("L.L.N"), &p("L.R.N"))
+            .disj(Origin::Same, &p("L.L.N"), &p("L.R.N"))
             .expect("paper's proof must be found");
         let used = proof.axioms_used();
         assert!(used.contains(&"A1".to_owned()), "uses A1, got {used:?}");
@@ -1299,7 +1414,7 @@ mod tests {
         let axioms = adds::leaf_linked_tree_axioms();
         let mut prover = Prover::new(&axioms);
         assert!(prover
-            .prove_disjoint(Origin::Same, &p("L.L.N"), &p("L.L.N"))
+            .disj(Origin::Same, &p("L.L.N"), &p("L.L.N"))
             .is_none());
     }
 
@@ -1309,7 +1424,7 @@ mod tests {
         let axioms = adds::sparse_matrix_minimal_axioms();
         let mut prover = Prover::new(&axioms);
         let proof = prover
-            .prove_disjoint(Origin::Same, &p("ncolE+"), &p("nrowE+.ncolE+"))
+            .disj(Origin::Same, &p("ncolE+"), &p("nrowE+.ncolE+"))
             .expect("Theorem T must be provable from A1–A3");
         assert!(proof.node_count() >= 3, "nontrivial proof expected");
     }
@@ -1319,7 +1434,7 @@ mod tests {
         let axioms = adds::sparse_matrix_axioms();
         let mut prover = Prover::new(&axioms);
         assert!(prover
-            .prove_disjoint(Origin::Same, &p("ncolE+"), &p("nrowE+.ncolE+"))
+            .disj(Origin::Same, &p("ncolE+"), &p("nrowE+.ncolE+"))
             .is_some());
     }
 
@@ -1335,11 +1450,11 @@ mod tests {
         .unwrap();
         let mut prover = Prover::new(&axioms);
         assert!(prover
-            .prove_disjoint(Origin::Same, &p("L.L.N"), &p("L.R.N"))
+            .disj(Origin::Same, &p("L.L.N"), &p("L.R.N"))
             .is_some());
         // …but ε vs (L|R|N)+ is not.
         assert!(prover
-            .prove_disjoint(Origin::Same, &p("eps"), &p("(L|R|N)+"))
+            .disj(Origin::Same, &p("eps"), &p("(L|R|N)+"))
             .is_none());
     }
 
@@ -1348,7 +1463,7 @@ mod tests {
         let axioms = adds::leaf_linked_tree_axioms();
         let mut prover = Prover::new(&axioms);
         let proof = prover
-            .prove_disjoint(Origin::Same, &p("eps"), &p("(L|R|N)+"))
+            .disj(Origin::Same, &p("eps"), &p("(L|R|N)+"))
             .expect("acyclicity applies");
         assert_eq!(proof.axioms_used(), vec!["A4".to_owned()]);
     }
@@ -1359,7 +1474,7 @@ mod tests {
         let axioms = adds::leaf_linked_tree_axioms();
         let mut prover = Prover::new(&axioms);
         assert!(prover
-            .prove_disjoint(Origin::Same, &p("(L|R).N"), &p("eps"))
+            .disj(Origin::Same, &p("(L|R).N"), &p("eps"))
             .is_some());
     }
 
@@ -1368,11 +1483,9 @@ mod tests {
         // ∀x<>y, x.N <> y.N directly by A3; x.N.N <> y.N.N by peeling.
         let axioms = adds::leaf_linked_tree_axioms();
         let mut prover = Prover::new(&axioms);
+        assert!(prover.disj(Origin::Distinct, &p("N"), &p("N")).is_some());
         assert!(prover
-            .prove_disjoint(Origin::Distinct, &p("N"), &p("N"))
-            .is_some());
-        assert!(prover
-            .prove_disjoint(Origin::Distinct, &p("N.N"), &p("N.N"))
+            .disj(Origin::Distinct, &p("N.N"), &p("N.N"))
             .is_some());
     }
 
@@ -1381,7 +1494,7 @@ mod tests {
         let axioms = apt_axioms::AxiomSet::new();
         let mut prover = Prover::new(&axioms);
         let proof = prover
-            .prove_disjoint(Origin::Distinct, &Path::epsilon(), &Path::epsilon())
+            .disj(Origin::Distinct, &Path::epsilon(), &Path::epsilon())
             .unwrap();
         assert_eq!(proof.rule, Rule::TrivialDistinctEpsilon);
     }
@@ -1390,9 +1503,7 @@ mod tests {
     fn empty_axiom_set_proves_nothing_substantive() {
         let axioms = apt_axioms::AxiomSet::new();
         let mut prover = Prover::new(&axioms);
-        assert!(prover
-            .prove_disjoint(Origin::Same, &p("L"), &p("R"))
-            .is_none());
+        assert!(prover.disj(Origin::Same, &p("L"), &p("R")).is_none());
     }
 
     #[test]
@@ -1407,7 +1518,7 @@ mod tests {
         .unwrap();
         let mut prover = Prover::new(&axioms);
         let proof = prover
-            .prove_disjoint(Origin::Same, &p("next.prev.next"), &p("eps"))
+            .disj(Origin::Same, &p("next.prev.next"), &p("eps"))
             .expect("rewrite should enable the proof");
         assert!(proof.axioms_used().contains(&"D1".to_owned()));
     }
@@ -1416,7 +1527,7 @@ mod tests {
     fn stats_track_work() {
         let axioms = adds::sparse_matrix_minimal_axioms();
         let mut prover = Prover::new(&axioms);
-        let _ = prover.prove_disjoint(Origin::Same, &p("ncolE+"), &p("nrowE+.ncolE+"));
+        let _ = prover.disj(Origin::Same, &p("ncolE+"), &p("nrowE+.ncolE+"));
         let stats = prover.stats();
         assert!(stats.goals_attempted > 0);
         assert!(stats.subset_checks > 0);
@@ -1426,9 +1537,9 @@ mod tests {
     fn cache_hits_on_repeat() {
         let axioms = adds::leaf_linked_tree_axioms();
         let mut prover = Prover::new(&axioms);
-        let _ = prover.prove_disjoint(Origin::Same, &p("L.L.N"), &p("L.R.N"));
+        let _ = prover.disj(Origin::Same, &p("L.L.N"), &p("L.R.N"));
         let before = prover.stats().cache_hits;
-        let _ = prover.prove_disjoint(Origin::Same, &p("L.L.N"), &p("L.R.N"));
+        let _ = prover.disj(Origin::Same, &p("L.L.N"), &p("L.R.N"));
         assert!(prover.stats().cache_hits > before);
     }
 
@@ -1442,7 +1553,7 @@ mod tests {
         let mut prover = Prover::with_config(&axioms, cfg);
         // A provable goal becomes unprovable under starvation — Maybe, not
         // a wrong answer.
-        let r = prover.prove_disjoint(Origin::Same, &p("ncolE+"), &p("nrowE+.ncolE+"));
+        let r = prover.disj(Origin::Same, &p("ncolE+"), &p("nrowE+.ncolE+"));
         assert!(r.is_none() || r.is_some()); // must not panic; typically None
     }
 
@@ -1451,11 +1562,11 @@ mod tests {
         let axioms = adds::sparse_matrix_minimal_axioms();
         let mut weak = Prover::with_config(&axioms, ProverConfig::direct_only());
         assert!(weak
-            .prove_disjoint(Origin::Same, &p("ncolE+"), &p("nrowE+.ncolE+"))
+            .disj(Origin::Same, &p("ncolE+"), &p("nrowE+.ncolE+"))
             .is_none());
         let mut full = Prover::new(&axioms);
         assert!(full
-            .prove_disjoint(Origin::Same, &p("ncolE+"), &p("nrowE+.ncolE+"))
+            .disj(Origin::Same, &p("ncolE+"), &p("nrowE+.ncolE+"))
             .is_some());
     }
 
@@ -1472,7 +1583,7 @@ mod tests {
         .unwrap();
         let mut prover = Prover::new(&axioms);
         let proof = prover
-            .prove_disjoint(Origin::Same, &p("L.(L|R)*"), &p("R.(L|R)*"))
+            .disj(Origin::Same, &p("L.(L|R)*"), &p("R.(L|R)*"))
             .expect("subtree disjointness provable");
         // The proof must actually use the star case analysis.
         fn has_star_cases(pr: &crate::proof::Proof) -> bool {
@@ -1492,12 +1603,10 @@ mod tests {
         )
         .unwrap();
         let mut prover = Prover::new(&axioms);
-        assert!(prover
-            .prove_disjoint(Origin::Same, &p("L.(L|R)*"), &p("L"))
-            .is_none());
+        assert!(prover.disj(Origin::Same, &p("L.(L|R)*"), &p("L")).is_none());
         // And a subtree against itself.
         assert!(prover
-            .prove_disjoint(Origin::Same, &p("L.(L|R)*"), &p("L.(L|R)*"))
+            .disj(Origin::Same, &p("L.(L|R)*"), &p("L.(L|R)*"))
             .is_none());
     }
 
@@ -1513,7 +1622,7 @@ mod tests {
         .unwrap();
         let mut prover = Prover::new(&axioms);
         assert!(prover
-            .prove_disjoint(Origin::Distinct, &p("(L|R)+"), &p("(L|R)+"))
+            .disj(Origin::Distinct, &p("(L|R)+"), &p("(L|R)+"))
             .is_none());
     }
 
@@ -1538,11 +1647,11 @@ mod tests {
         let mut prover = Prover::new(&axioms);
         // Same x-leaf, different y-children: disjoint by Y1 after peeling.
         assert!(prover
-            .prove_disjoint(Origin::Same, &p("sub.Ly"), &p("sub.Ry"))
+            .disj(Origin::Same, &p("sub.Ly"), &p("sub.Ry"))
             .is_some());
         // Different x-leaves' subtrees: x.sub <> y.sub by S1.
         assert!(prover
-            .prove_disjoint(Origin::Distinct, &p("sub"), &p("sub"))
+            .disj(Origin::Distinct, &p("sub"), &p("sub"))
             .is_some());
     }
 }

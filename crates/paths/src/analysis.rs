@@ -13,13 +13,15 @@
 use crate::apm::Apm;
 use apt_axioms::AxiomSet;
 use apt_core::{
-    AccessPath, Answer, DepTest, Handle, HandleRelation, MemRef, ProverConfig, TestOutcome,
+    AccessPath, Answer, DepEngine, DepTest, Handle, HandleRelation, MemRef, ProverConfig,
+    TestOutcome,
 };
 use apt_ir::{Block, Program, Stmt, StmtKind};
 use apt_regex::{Component, Path, Symbol};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 use std::error::Error;
 use std::fmt;
+use std::ops::Range;
 
 /// What a labeled statement does to memory.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -85,6 +87,27 @@ impl fmt::Display for QueryError {
 }
 
 impl Error for QueryError {}
+
+/// One dependence question against an [`Analysis`], addressed by label —
+/// the batch-mode counterpart of [`Analysis::test_sequential`] and
+/// [`Analysis::test_loop_carried`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BatchQuery {
+    /// Sequential dependence between two labeled statements, `from → to`.
+    Sequential {
+        /// The earlier statement's label.
+        from: String,
+        /// The later statement's label.
+        to: String,
+    },
+    /// Loop-carried self-dependence on a labeled statement.
+    LoopCarried {
+        /// The statement's label.
+        label: String,
+        /// The enclosing loop's label (`None` = innermost with an anchor).
+        loop_label: Option<String>,
+    },
+}
 
 /// The result of analyzing one procedure.
 #[derive(Debug, Clone)]
@@ -672,6 +695,126 @@ impl Analysis {
         let tester = DepTest::with_config(&axioms, self.config.clone());
         Ok(tester.test(&ri, &rj, HandleRelation::Same))
     }
+
+    /// Resolves one [`BatchQuery`] to its memory-reference pairs and the
+    /// axiom set valid at the points it touches.
+    fn plan_query(
+        &self,
+        query: &BatchQuery,
+    ) -> Result<(Vec<(MemRef, MemRef)>, AxiomSet), QueryError> {
+        match query {
+            BatchQuery::Sequential { from, to } => {
+                let pairs = self.sequential_pairs(from, to)?;
+                let s = self.snapshot(from).expect("checked above");
+                let t = self.snapshot(to).expect("checked above");
+                Ok((pairs, self.valid_axioms(&[s, t])))
+            }
+            BatchQuery::LoopCarried { label, loop_label } => {
+                let pair = self.loop_carried_pair(label, loop_label.as_deref())?;
+                let snap = self.snapshot(label).expect("checked above");
+                Ok((vec![pair], self.valid_axioms(&[snap])))
+            }
+        }
+    }
+
+    /// Runs many dependence queries as engine batches over `jobs` worker
+    /// threads.
+    ///
+    /// Verdict-identical to running [`Analysis::test_sequential`] /
+    /// [`Analysis::test_loop_carried`] per query: each query's pairs are
+    /// resolved the same way, and the same first-definite-else-last
+    /// selection applies. Queries whose points agree on the valid axiom
+    /// set (compared by content — §3.4 may suspend different axioms at
+    /// different points) share one [`DepEngine`] and therefore one
+    /// proof/subset/DFA cache; each shared engine fans its queries out
+    /// over `jobs` threads via [`DepTest::test_batch`].
+    ///
+    /// One outcome (or [`QueryError`]) is returned per input query, in
+    /// order.
+    pub fn test_batch(
+        &self,
+        queries: &[BatchQuery],
+        jobs: usize,
+    ) -> Vec<Result<TestOutcome, QueryError>> {
+        struct Slot {
+            group: usize,
+            range: Range<usize>,
+        }
+        type Tasks = Vec<(MemRef, MemRef, HandleRelation)>;
+        // Group queries by axiom-set content. `AxiomSet` identity is
+        // per-construction, so the rendered form is the grouping key.
+        let mut group_of: HashMap<String, usize> = HashMap::new();
+        let mut groups: Vec<(DepTest, Tasks)> = Vec::new();
+        let mut slots: Vec<Result<Slot, QueryError>> = Vec::with_capacity(queries.len());
+        for query in queries {
+            match self.plan_query(query) {
+                Err(e) => slots.push(Err(e)),
+                Ok((pairs, axioms)) => {
+                    let key = axioms.to_string();
+                    let group = *group_of.entry(key).or_insert_with(|| {
+                        let engine = DepEngine::with_config(axioms, self.config.clone());
+                        groups.push((DepTest::with_engine(engine), Vec::new()));
+                        groups.len() - 1
+                    });
+                    let tasks = &mut groups[group].1;
+                    let start = tasks.len();
+                    tasks.extend(pairs.into_iter().map(|(s, t)| (s, t, HandleRelation::Same)));
+                    slots.push(Ok(Slot {
+                        group,
+                        range: start..tasks.len(),
+                    }));
+                }
+            }
+        }
+        let outcomes: Vec<Vec<TestOutcome>> = groups
+            .iter()
+            .map(|(tester, tasks)| tester.test_batch(tasks, jobs))
+            .collect();
+        slots
+            .into_iter()
+            .map(|slot| {
+                let Slot { group, range } = slot?;
+                let outs = &outcomes[group][range];
+                // Mirror test_sequential: first definite answer wins,
+                // otherwise the last Maybe is reported.
+                let settled = outs
+                    .iter()
+                    .find(|o| matches!(o.answer, Answer::No | Answer::Yes));
+                Ok(settled
+                    .or_else(|| outs.last())
+                    .expect("plan_query yields at least one pair")
+                    .clone())
+            })
+            .collect()
+    }
+
+    /// The full query workload for this procedure, mirroring `apt report`:
+    /// an (innermost) loop-carried query for every labeled access inside a
+    /// loop, then a sequential query for every label pair where at least
+    /// one side writes.
+    pub fn all_queries(&self) -> Vec<BatchQuery> {
+        let mut queries = Vec::new();
+        for snap in self.snapshots() {
+            if !snap.loops.is_empty() {
+                queries.push(BatchQuery::LoopCarried {
+                    label: snap.label.clone(),
+                    loop_label: None,
+                });
+            }
+        }
+        let snaps: Vec<&Snapshot> = self.snapshots().collect();
+        for (i, a) in snaps.iter().enumerate() {
+            for b in snaps.iter().skip(i + 1) {
+                if a.access.is_write || b.access.is_write {
+                    queries.push(BatchQuery::Sequential {
+                        from: a.label.clone(),
+                        to: b.label.clone(),
+                    });
+                }
+            }
+        }
+        queries
+    }
 }
 
 #[cfg(test)]
@@ -1156,6 +1299,82 @@ mod tests {
             analysis.loop_carried_pair("U", None),
             Err(QueryError::NoCommonAnchor)
         ));
+    }
+
+    #[test]
+    fn batch_matches_sequential_queries() {
+        // Mixed workload over the §3.3 tree example plus a loop: the
+        // batched answers must equal the one-at-a-time answers, errors
+        // included, in order.
+        let src = format!(
+            "{TREE}
+            proc subr(root: LLBinaryTree) {{
+                root = root->L;
+                p = root->L;
+                p = p->N;
+            S:  p->d = 100;
+                p = root;
+                q = root->R;
+                q = q->N;
+            T:  t = q->d;
+                w = root;
+                loop {{
+                U:  w->d = 1;
+                    w = w->N;
+                }}
+            }}"
+        );
+        let program = parse_program(&src).unwrap();
+        let analysis = analyze_proc(&program, "subr").unwrap();
+        let queries = analysis.all_queries();
+        assert!(queries.contains(&BatchQuery::LoopCarried {
+            label: "U".to_owned(),
+            loop_label: None,
+        }));
+        assert!(queries.contains(&BatchQuery::Sequential {
+            from: "S".to_owned(),
+            to: "T".to_owned(),
+        }));
+        let sequential: Vec<Result<(Answer, _), QueryError>> = queries
+            .iter()
+            .map(|q| {
+                match q {
+                    BatchQuery::Sequential { from, to } => analysis.test_sequential(from, to),
+                    BatchQuery::LoopCarried { label, loop_label } => {
+                        analysis.test_loop_carried(label, loop_label.as_deref())
+                    }
+                }
+                .map(|o| (o.answer, o.reason))
+            })
+            .collect();
+        for jobs in [1, 3] {
+            let batched: Vec<Result<(Answer, _), QueryError>> = analysis
+                .test_batch(&queries, jobs)
+                .into_iter()
+                .map(|r| r.map(|o| (o.answer, o.reason)))
+                .collect();
+            assert_eq!(batched, sequential, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn batch_reports_errors_in_position() {
+        let src = format!("{LIST} proc f(h: List) {{ S: h->f = 1; }}");
+        let program = parse_program(&src).unwrap();
+        let analysis = analyze_proc(&program, "f").unwrap();
+        let queries = vec![
+            BatchQuery::LoopCarried {
+                label: "S".to_owned(),
+                loop_label: None,
+            },
+            BatchQuery::Sequential {
+                from: "S".to_owned(),
+                to: "missing".to_owned(),
+            },
+        ];
+        let results = analysis.test_batch(&queries, 2);
+        assert!(matches!(results[0], Err(QueryError::NotInLoop(_))));
+        assert!(matches!(results[1], Err(QueryError::NoSuchLabel(_))));
     }
 
     #[test]

@@ -54,5 +54,5 @@
 mod analysis;
 mod apm;
 
-pub use analysis::{analyze_proc, Access, Analysis, LoopFrame, QueryError, Snapshot};
+pub use analysis::{analyze_proc, Access, Analysis, BatchQuery, LoopFrame, QueryError, Snapshot};
 pub use apm::Apm;

@@ -1,0 +1,181 @@
+//! A thread-safe, shard-locked DFA interner.
+//!
+//! Converting a regex to a DFA dominates the prover's running time (§4.2 of
+//! the paper), and a batch of dependence queries over one axiom set keeps
+//! asking for the same handful of automata — every applicability check pits
+//! a query path against the same axiom-side expressions. [`DfaCache`]
+//! memoizes `(regex, alphabet) → Dfa` behind sharded mutexes so concurrent
+//! workers can share the conversions without serializing on one lock.
+//!
+//! Caching discipline mirrors the prover's soundness rule: only *successful*
+//! constructions are interned. A build that tripped a [`LimitExceeded`]
+//! proves nothing about the automaton and is never recorded, so a cache
+//! shared across differently-budgeted queries can never launder a resource
+//! failure into a wrong answer.
+//!
+//! Shards are capacity-bounded; once a shard is full, new entries are simply
+//! not recorded (the build still succeeds). That keeps the cache's memory
+//! finite without an eviction order that would make concurrent runs
+//! nondeterministic.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::{Arc, Mutex};
+
+use crate::dfa::Dfa;
+use crate::limits::{LimitExceeded, Limits};
+use crate::{Regex, Symbol};
+
+/// Number of independent lock shards.
+const SHARDS: usize = 16;
+
+/// Maximum interned automata per shard.
+const SHARD_CAPACITY: usize = 512;
+
+type Key = (String, Vec<Symbol>);
+
+/// A sharded `(regex, alphabet) → Arc<Dfa>` interner, safe to share across
+/// worker threads.
+#[derive(Debug)]
+pub struct DfaCache {
+    shards: Vec<Mutex<HashMap<Key, Arc<Dfa>>>>,
+}
+
+impl Default for DfaCache {
+    fn default() -> Self {
+        DfaCache::new()
+    }
+}
+
+impl DfaCache {
+    /// An empty cache.
+    pub fn new() -> DfaCache {
+        DfaCache {
+            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+        }
+    }
+
+    fn shard(&self, key: &Key) -> &Mutex<HashMap<Key, Arc<Dfa>>> {
+        let mut h = DefaultHasher::new();
+        key.hash(&mut h);
+        &self.shards[(h.finish() as usize) % SHARDS]
+    }
+
+    /// Number of interned automata across all shards.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().map(|g| g.len()).unwrap_or(0))
+            .sum()
+    }
+
+    /// Whether the cache holds no automata.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Returns the DFA for `re` over `alphabet`, building it under `limits`
+    /// on a miss.
+    ///
+    /// The construction runs *outside* the shard lock, so a slow build never
+    /// blocks other workers; two threads racing on the same key may both
+    /// build, and the first insert wins.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`LimitExceeded`] from the construction. Failed builds are
+    /// never cached.
+    pub fn get_or_build(
+        &self,
+        re: &Regex,
+        alphabet: &[Symbol],
+        limits: &Limits,
+    ) -> Result<Arc<Dfa>, LimitExceeded> {
+        let key: Key = (re.to_string(), alphabet.to_vec());
+        let shard = self.shard(&key);
+        if let Ok(guard) = shard.lock() {
+            if let Some(dfa) = guard.get(&key) {
+                return Ok(Arc::clone(dfa));
+            }
+        }
+        let built = Arc::new(Dfa::try_build(re, alphabet, limits)?);
+        if let Ok(mut guard) = shard.lock() {
+            if let Some(existing) = guard.get(&key) {
+                return Ok(Arc::clone(existing));
+            }
+            if guard.len() < SHARD_CAPACITY {
+                guard.insert(key, Arc::clone(&built));
+            }
+        }
+        Ok(built)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+
+    #[test]
+    fn hit_returns_same_automaton() {
+        let cache = DfaCache::new();
+        let re = parse("L+.N").unwrap();
+        let alpha = re.symbols();
+        let a = cache.get_or_build(&re, &alpha, &Limits::none()).unwrap();
+        let b = cache.get_or_build(&re, &alpha, &Limits::none()).unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn distinct_alphabets_are_distinct_entries() {
+        let cache = DfaCache::new();
+        let re = parse("L").unwrap();
+        let a1 = re.symbols();
+        let mut a2 = a1.clone();
+        a2.extend(parse("R").unwrap().symbols());
+        a2.sort_unstable();
+        a2.dedup();
+        cache.get_or_build(&re, &a1, &Limits::none()).unwrap();
+        cache.get_or_build(&re, &a2, &Limits::none()).unwrap();
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn failed_builds_are_not_cached() {
+        let cache = DfaCache::new();
+        let n = 18;
+        let bomb = parse(&format!("(a|b)*.a{}", ".(a|b)".repeat(n))).unwrap();
+        let alpha = bomb.symbols();
+        let tight = Limits::none().with_max_states(100);
+        assert!(cache.get_or_build(&bomb, &alpha, &tight).is_err());
+        assert!(cache.is_empty());
+        // The same key still builds fine under a roomier budget.
+        let roomy = Limits::none().with_max_states(5_000_000);
+        assert!(cache.get_or_build(&bomb, &alpha, &roomy).is_ok());
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn shared_across_threads() {
+        let cache = Arc::new(DfaCache::new());
+        let res: Vec<Regex> = ["L+", "R+", "(L|R)+.N", "L.L.N"]
+            .iter()
+            .map(|s| parse(s).unwrap())
+            .collect();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let cache = Arc::clone(&cache);
+                let res = res.clone();
+                scope.spawn(move || {
+                    for re in &res {
+                        let alpha = re.symbols();
+                        cache.get_or_build(re, &alpha, &Limits::none()).unwrap();
+                    }
+                });
+            }
+        });
+        assert_eq!(cache.len(), res.len());
+    }
+}

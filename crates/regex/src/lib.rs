@@ -48,6 +48,7 @@
 #![warn(missing_docs)]
 
 mod ast;
+pub mod cache;
 pub mod derivative;
 pub mod dfa;
 pub mod limits;
@@ -59,6 +60,7 @@ pub mod sample;
 mod symbol;
 
 pub use ast::Regex;
+pub use cache::DfaCache;
 pub use limits::{LimitExceeded, Limits};
 pub use parse::{parse, ParseRegexError};
 pub use path::{Component, Path};

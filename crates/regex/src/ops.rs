@@ -6,6 +6,7 @@
 //! over the union of the two expressions' alphabets coincides with inclusion
 //! over any larger alphabet, so no "universe" alphabet is needed.
 
+use crate::cache::DfaCache;
 use crate::dfa::Dfa;
 use crate::limits::{LimitExceeded, Limits};
 use crate::{Regex, Symbol};
@@ -50,6 +51,35 @@ pub fn try_is_subset(a: &Regex, b: &Regex, limits: &Limits) -> Result<bool, Limi
     let alpha = union_alphabet(a, b);
     let da = Dfa::try_build(a, &alpha, limits)?;
     let db = Dfa::try_build(b, &alpha, limits)?;
+    Ok(da.try_intersect(&db.complement(), limits)?.is_empty())
+}
+
+/// `L(a) ⊆ L(b)` under [`Limits`], reusing interned DFAs from `cache` when
+/// one is provided.
+///
+/// Semantically identical to [`try_is_subset`]: the cache only memoizes the
+/// regex→DFA conversions (the dominant cost per §4.2 of the paper), never
+/// the subset answer itself, and failed constructions are never interned.
+///
+/// # Errors
+///
+/// Returns the first [`LimitExceeded`] encountered; the question is then
+/// undecided and the caller must treat it as "unknown".
+pub fn try_is_subset_with(
+    a: &Regex,
+    b: &Regex,
+    limits: &Limits,
+    cache: Option<&DfaCache>,
+) -> Result<bool, LimitExceeded> {
+    let Some(cache) = cache else {
+        return try_is_subset(a, b, limits);
+    };
+    if a.is_empty_language() {
+        return Ok(true);
+    }
+    let alpha = union_alphabet(a, b);
+    let da = cache.get_or_build(a, &alpha, limits)?;
+    let db = cache.get_or_build(b, &alpha, limits)?;
     Ok(da.try_intersect(&db.complement(), limits)?.is_empty())
 }
 
@@ -229,6 +259,30 @@ mod tests {
             assert_eq!(try_is_disjoint(&rx, &ry, &roomy), Ok(is_disjoint(&rx, &ry)));
             assert_eq!(try_equivalent(&rx, &ry, &roomy), Ok(equivalent(&rx, &ry)));
         }
+    }
+
+    #[test]
+    fn cached_subset_agrees_with_uncached() {
+        let cache = DfaCache::new();
+        let cases = [
+            ("L.L", "L+"),
+            ("L+", "L.L"),
+            ("L|R", "L"),
+            ("ncolE+", "(ncolE|nrowE)+"),
+            ("eps", "L*"),
+        ];
+        for (x, y) in cases {
+            let (rx, ry) = (parse(x).unwrap(), parse(y).unwrap());
+            let plain = is_subset(&rx, &ry);
+            // Twice: once to populate, once to hit.
+            for _ in 0..2 {
+                assert_eq!(
+                    try_is_subset_with(&rx, &ry, &Limits::none(), Some(&cache)),
+                    Ok(plain)
+                );
+            }
+        }
+        assert!(!cache.is_empty());
     }
 
     #[test]

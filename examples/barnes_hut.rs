@@ -8,7 +8,7 @@
 //! ```
 
 use apt::axioms::check::check_set;
-use apt::core::{Origin, Prover};
+use apt::core::{DepQuery, Origin, Prover};
 use apt::heaps::octree::{octree_axioms, Body, Octree};
 use apt::parsim::execute_parallel;
 use apt::regex::Path;
@@ -50,8 +50,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut prover = Prover::new(&axioms);
     let a = Path::parse(&format!("c0.{all}*"))?;
     let b = Path::parse(&format!("c5.{all}*"))?;
-    let proof = prover
-        .prove_disjoint(Origin::Same, &a, &b)
+    let proof = DepQuery::disjoint(&a, &b)
+        .origin(Origin::Same)
+        .run_with(&mut prover)
+        .proof
         .expect("sibling octants are disjoint");
     apt::core::check_proof(&axioms, &proof)?;
     println!(

@@ -13,7 +13,9 @@
 //! ```
 
 use apt::axioms::{check::check_set, AxiomSet};
-use apt::core::{AccessPath, Answer, DepTest, Handle, HandleRelation, MemRef, Origin, Prover};
+use apt::core::{
+    AccessPath, Answer, DepQuery, DepTest, Handle, HandleRelation, MemRef, Origin, Prover,
+};
 use apt::regex::Path;
 
 fn ring_axioms() -> AxiomSet {
@@ -95,12 +97,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 2. Disjointness through rewriting: the round trip lands on
     //    head.next, which is never head itself (no self-loop).
     let mut prover = Prover::new(&axioms);
-    let proof = prover
-        .prove_disjoint(
-            Origin::Same,
-            &Path::parse("next.prev.next")?,
-            &Path::epsilon(),
-        )
+    let proof = DepQuery::disjoint(&Path::parse("next.prev.next")?, &Path::epsilon())
+        .origin(Origin::Same)
+        .run_with(&mut prover)
+        .proof
         .expect("provable via C1 + S1");
     apt::core::check_proof(&axioms, &proof)?;
     println!("\nhead.next.prev.next <> head — PROVEN:\n{proof}");

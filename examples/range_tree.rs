@@ -8,7 +8,7 @@
 //! ```
 
 use apt::axioms::check::check_set;
-use apt::core::{Origin, Prover};
+use apt::core::{DepQuery, Origin, Prover};
 use apt::heaps::rangetree::{range_tree_axioms, RangeTree2D};
 use apt::regex::Path;
 
@@ -47,8 +47,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // the axioms — including the full y-subtree closure.
     let mut prover = Prover::new(&axioms);
     let a = Path::parse("sub.(Ly|Ry|Ny)*")?;
-    let proof = prover
-        .prove_disjoint(Origin::Distinct, &a, &a)
+    let proof = DepQuery::disjoint(&a, &a)
+        .origin(Origin::Distinct)
+        .run_with(&mut prover)
+        .proof
         .expect("distinct x-leaves own disjoint y-trees");
     println!("\nforall x <> y (x-leaves): x.{a} <> y.{a} — PROVEN");
     println!("\n{proof}");
@@ -56,8 +58,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // And within ONE x-leaf, the two y-children's subtrees are disjoint.
     let left = Path::parse("sub.Ly.(Ly|Ry)*")?;
     let right = Path::parse("sub.Ry.(Ly|Ry)*")?;
-    let proof = prover
-        .prove_disjoint(Origin::Same, &left, &right)
+    let proof = DepQuery::disjoint(&left, &right)
+        .origin(Origin::Same)
+        .run_with(&mut prover)
+        .proof
         .expect("sibling y-subtrees are disjoint");
     println!(
         "forall v, v.{left} <> v.{right} — PROVEN ({} nodes)",

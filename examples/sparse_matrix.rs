@@ -8,7 +8,7 @@
 //! ```
 
 use apt::axioms::{adds, check::check_set};
-use apt::core::{Origin, Prover};
+use apt::core::{DepQuery, Origin, Prover};
 use apt::heaps::dense::{matvec, solve_dense};
 use apt::heaps::gen::random_sparse_matrix;
 use apt::heaps::numeric::{factor, solve, LoopClassification};
@@ -23,8 +23,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut prover = Prover::new(&axioms);
     let a = Path::parse("ncolE+")?;
     let b = Path::parse("nrowE+.ncolE+")?;
-    let proof = prover
-        .prove_disjoint(Origin::Same, &a, &b)
+    let proof = DepQuery::disjoint(&a, &b)
+        .origin(Origin::Same)
+        .run_with(&mut prover)
+        .proof
         .expect("Theorem T is provable");
     println!("Theorem T: forall hr, hr.{a} <> hr.{b} — PROVEN");
     println!("\n{proof}");
@@ -32,7 +34,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // …and it also follows from the full twelve Appendix A axioms.
     let full = adds::sparse_matrix_axioms();
     let mut prover = Prover::new(&full);
-    assert!(prover.prove_disjoint(Origin::Same, &a, &b).is_some());
+    assert!(DepQuery::disjoint(&a, &b)
+        .origin(Origin::Same)
+        .run_with(&mut prover)
+        .proof
+        .is_some());
     println!("(also provable from the full Appendix A axiom set)");
 
     // 2. Build a circuit-style matrix and check it really satisfies the

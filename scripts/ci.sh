@@ -16,4 +16,19 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo fmt --all -- --check"
 cargo fmt --all -- --check
 
+echo "==> batch throughput benchmark (smoke: 1 repetition)"
+cargo run -q --release -p apt-bench --bin batch_throughput -- --smoke
+
+echo "==> deprecated prover API must not be used inside the workspace"
+# The deprecated prove_* shims live in crates/core/src/prover.rs; nothing
+# else may call them (or silence the lint to sneak a call through).
+deprecated_usage=$(grep -rnE '\.prove_(disjoint|equal)(_governed)?\(|allow\(deprecated\)' \
+    --include='*.rs' src crates tests examples 2>/dev/null \
+    | grep -v '^crates/core/src/prover.rs:' || true)
+if [[ -n "$deprecated_usage" ]]; then
+    echo "error: deprecated prover API usage found:" >&2
+    echo "$deprecated_usage" >&2
+    exit 1
+fi
+
 echo "CI gate passed."

@@ -18,6 +18,19 @@
 //! * [`parsim`] — the multiprocessor scheduling model for the Figure 7
 //!   speedup study.
 //!
+//! Most programs only need the [`prelude`]:
+//!
+//! ```
+//! use apt::prelude::*;
+//!
+//! let axioms = parse_adds("structure Tree { tree L, R; }").unwrap();
+//! let engine = DepEngine::new(axioms);
+//! let p = Path::parse("L.L").unwrap();
+//! let q = Path::parse("L.R").unwrap();
+//! let outcome = DepQuery::disjoint(&p, &q).origin(Origin::Same).run(&engine);
+//! assert!(outcome.proof.is_some());
+//! ```
+//!
 //! See `examples/quickstart.rs` for a five-minute tour.
 
 #![forbid(unsafe_code)]
@@ -31,3 +44,22 @@ pub use apt_ir as ir;
 pub use apt_parsim as parsim;
 pub use apt_paths as paths;
 pub use apt_regex as regex;
+
+pub mod prelude {
+    //! The types most users need, in one import.
+    //!
+    //! Covers the query layer (build a [`DepQuery`], run it on a
+    //! [`DepEngine`]), the statement-level tester ([`DepTest`]), the
+    //! whole-procedure analysis ([`analyze_proc`] and batch queries), and
+    //! the axiom/path inputs they consume.
+
+    pub use apt_axioms::{adds::parse_adds, Axiom, AxiomSet};
+    pub use apt_core::{
+        AccessPath, Answer, Budget, CacheStats, DepEngine, DepQuery, DepTest, FieldLayout, Handle,
+        HandleRelation, MaybeReason, MemRef, Origin, Outcome, Proof, Prover, ProverConfig,
+        ProverStats, TestOutcome, Verdict,
+    };
+    pub use apt_ir::parse_program;
+    pub use apt_paths::{analyze_proc, Analysis, BatchQuery, QueryError};
+    pub use apt_regex::{Path, Regex};
+}

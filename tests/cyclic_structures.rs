@@ -4,7 +4,7 @@
 //! prover queries that need equality rewriting.
 
 use apt_axioms::{check::check_set, AxiomSet};
-use apt_core::{check_proof, Origin, Prover};
+use apt_core::{check_proof, DepQuery, Origin, Prover};
 use apt_heaps::list::{List, ListKind};
 use apt_regex::Path;
 
@@ -54,8 +54,10 @@ fn rewriting_proves_back_and_forth_disjointness() {
     let mut prover = Prover::new(&axioms);
     let a = Path::parse("next.prev.next").expect("path");
     let b = Path::epsilon();
-    let proof = prover
-        .prove_disjoint(Origin::Same, &a, &b)
+    let proof = DepQuery::disjoint(&a, &b)
+        .origin(Origin::Same)
+        .run_with(&mut prover)
+        .proof
         .expect("provable via C1 + S1");
     check_proof(&axioms, &proof).expect("checker accepts");
     let used = proof.axioms_used();
@@ -90,8 +92,10 @@ fn without_self_loop_axiom_the_query_is_maybe() {
     .expect("axioms parse");
     let mut prover = Prover::new(&axioms);
     let a = Path::parse("next.prev.next").expect("path");
-    assert!(prover
-        .prove_disjoint(Origin::Same, &a, &Path::epsilon())
+    assert!(DepQuery::disjoint(&a, &Path::epsilon())
+        .origin(Origin::Same)
+        .run_with(&mut prover)
+        .proof
         .is_none());
 }
 
@@ -101,13 +105,13 @@ fn ring_walk_loop_carried_dependence_is_real_and_not_disproven() {
     // walk laps): the prover must answer Maybe under circular axioms.
     let axioms = circular_dll_axioms();
     let mut prover = Prover::new(&axioms);
-    assert!(prover
-        .prove_disjoint(
-            Origin::Same,
-            &Path::epsilon(),
-            &Path::parse("next+").expect("path"),
-        )
-        .is_none());
+    assert!(
+        DepQuery::disjoint(&Path::epsilon(), &Path::parse("next+").expect("path"))
+            .origin(Origin::Same)
+            .run_with(&mut prover)
+            .proof
+            .is_none()
+    );
     // Ground truth: from any cell, next+ reaches the cell itself.
     let l = List::build(ListKind::CircularDoubly, 4);
     let (g, root) = l.heap_graph();
@@ -123,8 +127,10 @@ fn distinct_cells_next_prev_round_trips_stay_distinct() {
     let axioms = circular_dll_axioms();
     let mut prover = Prover::new(&axioms);
     let a = Path::parse("next.prev").expect("path");
-    let proof = prover
-        .prove_disjoint(Origin::Distinct, &a, &Path::epsilon())
+    let proof = DepQuery::disjoint(&a, &Path::epsilon())
+        .origin(Origin::Distinct)
+        .run_with(&mut prover)
+        .proof
         .expect("x.next.prev = x <> y");
     check_proof(&axioms, &proof).expect("checker accepts");
 }

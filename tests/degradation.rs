@@ -7,8 +7,8 @@
 use apt_axioms::adds;
 use apt_core::{check_proof, AccessPath};
 use apt_core::{
-    Answer, Budget, CancelToken, DepTest, Handle, HandleRelation, MaybeReason, MemRef, Origin,
-    Prover, ProverConfig, SearchLimit,
+    Answer, Budget, CancelToken, DepQuery, DepTest, Handle, HandleRelation, MaybeReason, MemRef,
+    Origin, Prover, ProverConfig, SearchLimit,
 };
 use apt_regex::Path;
 use std::time::{Duration, Instant};
@@ -41,7 +41,12 @@ fn starved_fuel_reports_fuel_not_a_wrong_answer() {
     for (axioms, a, b) in provable_suites() {
         let config = ProverConfig::with_budget(Budget::new().with_fuel(1));
         let mut prover = Prover::with_config(&axioms, config);
-        let (proof, why) = prover.prove_disjoint_governed(Origin::Same, &a, &b);
+        let (proof, why) = {
+            let out = DepQuery::disjoint(&a, &b)
+                .origin(Origin::Same)
+                .run_with(&mut prover);
+            (out.proof, out.maybe_reason)
+        };
         // With one goal of fuel either the proof is trivially found or the
         // prover must degrade — it may never invent a bogus proof.
         match proof {
@@ -59,7 +64,12 @@ fn expired_deadline_reports_deadline() {
     for (axioms, a, b) in provable_suites() {
         let config = ProverConfig::with_budget(Budget::new().with_deadline(Duration::ZERO));
         let mut prover = Prover::with_config(&axioms, config);
-        let (proof, why) = prover.prove_disjoint_governed(Origin::Same, &a, &b);
+        let (proof, why) = {
+            let out = DepQuery::disjoint(&a, &b)
+                .origin(Origin::Same)
+                .run_with(&mut prover);
+            (out.proof, out.maybe_reason)
+        };
         assert!(proof.is_none(), "an already-expired deadline cannot prove");
         assert_eq!(why, Some(MaybeReason::DeadlineExceeded));
         assert!(prover.stats().cutoffs.deadline > 0);
@@ -73,7 +83,12 @@ fn tiny_dfa_budget_reports_regex_budget() {
     for (axioms, a, b) in provable_suites() {
         let config = ProverConfig::with_budget(Budget::new().with_max_dfa_states(1));
         let mut prover = Prover::with_config(&axioms, config);
-        let (proof, why) = prover.prove_disjoint_governed(Origin::Same, &a, &b);
+        let (proof, why) = {
+            let out = DepQuery::disjoint(&a, &b)
+                .origin(Origin::Same)
+                .run_with(&mut prover);
+            (out.proof, out.maybe_reason)
+        };
         assert!(proof.is_none(), "1 DFA state cannot support a proof");
         assert_eq!(why, Some(MaybeReason::RegexBudget));
         assert!(prover.stats().cutoffs.regex_budget > 0);
@@ -87,7 +102,12 @@ fn cancellation_reports_cancelled() {
     token.cancel(); // cancelled before the query even starts
     let config = ProverConfig::with_budget(Budget::new().with_cancel(token));
     let mut prover = Prover::with_config(&axioms, config);
-    let (proof, why) = prover.prove_disjoint_governed(Origin::Same, &p("L.L.N"), &p("L.R.N"));
+    let (proof, why) = {
+        let out = DepQuery::disjoint(&p("L.L.N"), &p("L.R.N"))
+            .origin(Origin::Same)
+            .run_with(&mut prover);
+        (out.proof, out.maybe_reason)
+    };
     assert!(proof.is_none());
     assert_eq!(why, Some(MaybeReason::Cancelled));
     assert!(prover.stats().cutoffs.cancelled > 0);
@@ -101,13 +121,23 @@ fn starved_then_refunded_prover_still_proves() {
     for (axioms, a, b) in provable_suites() {
         let config = ProverConfig::with_budget(Budget::new().with_fuel(2));
         let mut prover = Prover::with_config(&axioms, config);
-        let (starved, _) = prover.prove_disjoint_governed(Origin::Same, &a, &b);
+        let (starved, _) = {
+            let out = DepQuery::disjoint(&a, &b)
+                .origin(Origin::Same)
+                .run_with(&mut prover);
+            (out.proof, out.maybe_reason)
+        };
         // Shallow proofs (Fig. 3 is one direct axiom hit) may fit in 2
         // goals; the deep sparse-matrix searches cannot.
         starved_at_least_once |= starved.is_none();
 
         prover.set_budget(Budget::new());
-        let (proof, why) = prover.prove_disjoint_governed(Origin::Same, &a, &b);
+        let (proof, why) = {
+            let out = DepQuery::disjoint(&a, &b)
+                .origin(Origin::Same)
+                .run_with(&mut prover);
+            (out.proof, out.maybe_reason)
+        };
         let proof = proof.unwrap_or_else(|| panic!("refunded prover must prove ({why:?})"));
         check_proof(&axioms, &proof).expect("refunded proof checks");
     }
@@ -122,14 +152,22 @@ fn deadline_starved_then_refunded_prover_still_proves() {
     let axioms = adds::sparse_matrix_minimal_axioms();
     let config = ProverConfig::with_budget(Budget::new().with_deadline(Duration::ZERO));
     let mut prover = Prover::with_config(&axioms, config);
-    let (starved, why) =
-        prover.prove_disjoint_governed(Origin::Same, &p("ncolE+"), &p("nrowE+.ncolE+"));
+    let (starved, why) = {
+        let out = DepQuery::disjoint(&p("ncolE+"), &p("nrowE+.ncolE+"))
+            .origin(Origin::Same)
+            .run_with(&mut prover);
+        (out.proof, out.maybe_reason)
+    };
     assert!(starved.is_none());
     assert_eq!(why, Some(MaybeReason::DeadlineExceeded));
 
     prover.set_budget(Budget::new());
-    let (proof, why) =
-        prover.prove_disjoint_governed(Origin::Same, &p("ncolE+"), &p("nrowE+.ncolE+"));
+    let (proof, why) = {
+        let out = DepQuery::disjoint(&p("ncolE+"), &p("nrowE+.ncolE+"))
+            .origin(Origin::Same)
+            .run_with(&mut prover);
+        (out.proof, out.maybe_reason)
+    };
     assert!(proof.is_some(), "deadline retry must prove ({why:?})");
 }
 
@@ -154,7 +192,12 @@ fn adversarial_nested_star_axioms_degrade_within_the_deadline() {
     );
     let mut prover = Prover::with_config(&axioms, config);
     let started = Instant::now();
-    let (proof, why) = prover.prove_disjoint_governed(Origin::Same, &p(&bomb), &p("c.a"));
+    let (proof, why) = {
+        let out = DepQuery::disjoint(&p(&bomb), &p("c.a"))
+            .origin(Origin::Same)
+            .run_with(&mut prover);
+        (out.proof, out.maybe_reason)
+    };
     let elapsed = started.elapsed();
     // Generous margin: the brakes poll every goal attempt and every 64
     // DFA states, so even slow CI should come in well under 10x.
@@ -223,7 +266,12 @@ fn bounded_cache_does_not_change_answers() {
     for (axioms, a, b) in provable_suites() {
         let config = ProverConfig::with_budget(Budget::new().with_cache_capacity(4));
         let mut bounded = Prover::with_config(&axioms, config);
-        let (proof, why) = bounded.prove_disjoint_governed(Origin::Same, &a, &b);
+        let (proof, why) = {
+            let out = DepQuery::disjoint(&a, &b)
+                .origin(Origin::Same)
+                .run_with(&mut bounded);
+            (out.proof, out.maybe_reason)
+        };
         let proof = proof.unwrap_or_else(|| panic!("bounded cache lost the proof ({why:?})"));
         check_proof(&axioms, &proof).expect("bounded-cache proof checks");
     }
@@ -264,10 +312,10 @@ mod soundness_properties {
             for origin in [Origin::Same, Origin::Distinct] {
                 // Ground truth from an effectively unbounded prover.
                 let mut full = Prover::new(&axioms);
-                let truth = full.prove_disjoint(origin, &a, &b);
+                let truth = DepQuery::disjoint(&a, &b).origin(origin).run_with(&mut full).proof;
 
                 let mut tight = Prover::with_config(&axioms, ProverConfig::with_budget(budget.clone()));
-                let (got, why) = tight.prove_disjoint_governed(origin, &a, &b);
+                let (got, why) = { let out = DepQuery::disjoint(&a, &b).origin(origin).run_with(&mut tight); (out.proof, out.maybe_reason) };
                 match got {
                     // A proof found under pressure must still be a real proof.
                     Some(pf) => {
@@ -299,16 +347,16 @@ mod soundness_properties {
             let a = p("next.prev.next");
             let b = p("next");
             let mut tight = Prover::with_config(&axioms, ProverConfig::with_budget(budget));
-            let (equal, why) = tight.prove_equal_governed(&a, &b);
+            let (equal, why) = { let out = DepQuery::equal(&a, &b).run_with(&mut tight); (out.is_definite(), out.maybe_reason) };
             if equal {
                 // Cross-check against the unbounded prover.
                 let mut full = Prover::new(&axioms);
-                prop_assert!(full.prove_equal(&a, &b));
+                prop_assert!(DepQuery::equal(&a, &b).run_with(&mut full).is_definite());
             } else {
                 prop_assert!(why.is_some(), "a failed equality must carry a reason");
             }
             // The definitely-unequal pair must never become equal.
-            let (never, _) = tight.prove_equal_governed(&p("next"), &p("prev"));
+            let (never, _) = { let out = DepQuery::equal(&p("next"), &p("prev")).run_with(&mut tight); (out.is_definite(), out.maybe_reason) };
             prop_assert!(!never);
         }
     }

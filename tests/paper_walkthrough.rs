@@ -2,7 +2,7 @@
 //! Figure 1 (the motivating loop), Figure 3 + §3.3 (leaf-linked tree),
 //! and the structural-modification discussion of §3.4.
 
-use apt_core::{Answer, Origin, Prover, Rule};
+use apt_core::{Answer, DepQuery, Origin, Prover, Rule};
 use apt_paths::analyze_proc;
 use apt_regex::Path;
 
@@ -196,13 +196,14 @@ fn proof_traces_render_the_paper_narrative() {
     // this holds."
     let axioms = apt_axioms::adds::leaf_linked_tree_axioms();
     let mut prover = Prover::new(&axioms);
-    let proof = prover
-        .prove_disjoint(
-            Origin::Same,
-            &Path::parse("L.L.N").expect("path"),
-            &Path::parse("L.R.N").expect("path"),
-        )
-        .expect("provable");
+    let proof = DepQuery::disjoint(
+        &Path::parse("L.L.N").expect("path"),
+        &Path::parse("L.R.N").expect("path"),
+    )
+    .origin(Origin::Same)
+    .run_with(&mut prover)
+    .proof
+    .expect("provable");
     let rendered = proof.to_string();
     assert!(rendered.contains("applying A3"), "got:\n{rendered}");
     assert!(

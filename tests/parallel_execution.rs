@@ -2,7 +2,7 @@
 //! the loops APT declares independent are run concurrently on real threads
 //! and must produce exactly the sequential results.
 
-use apt_core::{Origin, Prover};
+use apt_core::{DepQuery, Origin, Prover};
 use apt_heaps::gen::random_sparse_matrix;
 use apt_heaps::llt::LeafLinkedTree;
 use apt_heaps::numeric::{factor, solve, LoopClassification};
@@ -45,13 +45,14 @@ fn parallel_elimination_step_matches_sequential() {
     // First prove the licence (Theorem T), then use it.
     let axioms = apt_axioms::adds::sparse_matrix_minimal_axioms();
     let mut prover = Prover::new(&axioms);
-    assert!(prover
-        .prove_disjoint(
-            Origin::Same,
-            &Path::parse("ncolE+").expect("path"),
-            &Path::parse("nrowE+.ncolE+").expect("path"),
-        )
-        .is_some());
+    assert!(DepQuery::disjoint(
+        &Path::parse("ncolE+").expect("path"),
+        &Path::parse("nrowE+.ncolE+").expect("path")
+    )
+    .origin(Origin::Same)
+    .run_with(&mut prover)
+    .proof
+    .is_some());
 
     let m0 = random_sparse_matrix(24, 120, 11);
 

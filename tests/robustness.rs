@@ -3,7 +3,7 @@
 //! nesting, starvation — and the property-based pieces must round-trip.
 
 use apt_axioms::{Axiom, AxiomSet};
-use apt_core::{check_proof, Origin, Prover, ProverConfig};
+use apt_core::{check_proof, DepQuery, Origin, Prover, ProverConfig};
 use apt_regex::{Component, Path};
 use proptest::prelude::*;
 
@@ -17,13 +17,14 @@ fn contradictory_axioms_do_not_hang() {
     )
     .expect("parses");
     let mut prover = Prover::new(&axioms);
-    let proof = prover
-        .prove_disjoint(
-            Origin::Same,
-            &Path::parse("L").expect("path"),
-            &Path::parse("L").expect("path"),
-        )
-        .expect("W1 applies literally");
+    let proof = DepQuery::disjoint(
+        &Path::parse("L").expect("path"),
+        &Path::parse("L").expect("path"),
+    )
+    .origin(Origin::Same)
+    .run_with(&mut prover)
+    .proof
+    .expect("W1 applies literally");
     check_proof(&axioms, &proof).expect("still a valid derivation");
 }
 
@@ -38,13 +39,14 @@ fn self_referential_equalities_terminate() {
     )
     .expect("parses");
     let mut prover = Prover::new(&axioms);
-    assert!(prover
-        .prove_disjoint(
-            Origin::Same,
-            &Path::parse("next.next").expect("path"),
-            &Path::parse("prev").expect("path"),
-        )
-        .is_none());
+    assert!(DepQuery::disjoint(
+        &Path::parse("next.next").expect("path"),
+        &Path::parse("prev").expect("path")
+    )
+    .origin(Origin::Same)
+    .run_with(&mut prover)
+    .proof
+    .is_none());
 }
 
 #[test]
@@ -62,7 +64,10 @@ fn deeply_nested_paths_respect_depth_cutoff() {
     other_fields.push("R");
     other_fields.extend(std::iter::repeat_n("N", 40));
     let other = Path::fields(other_fields);
-    let result = prover.prove_disjoint(Origin::Same, &deep, &other);
+    let result = DepQuery::disjoint(&deep, &other)
+        .origin(Origin::Same)
+        .run_with(&mut prover)
+        .proof;
     if let Some(p) = result {
         check_proof(&axioms, &p).expect("any found proof must check");
     }
@@ -80,11 +85,13 @@ fn fuel_starvation_is_a_clean_maybe() {
         ..ProverConfig::default()
     };
     let mut prover = Prover::with_config(&axioms, config);
-    let r = prover.prove_disjoint(
-        Origin::Same,
+    let r = DepQuery::disjoint(
         &Path::parse("ncolE+").expect("path"),
         &Path::parse("nrowE+.ncolE+").expect("path"),
-    );
+    )
+    .origin(Origin::Same)
+    .run_with(&mut prover)
+    .proof;
     assert!(r.is_none(), "starved prover must fail, not lie");
     assert!(prover.stats().cutoffs.fuel > 0);
 }
@@ -102,8 +109,10 @@ fn giant_alternation_terminates() {
     let mut prover = Prover::new(&axioms);
     let a = Path::parse(&format!("f0.({alt})*")).expect("path");
     let b = Path::epsilon();
-    let proof = prover
-        .prove_disjoint(Origin::Same, &a, &b)
+    let proof = DepQuery::disjoint(&a, &b)
+        .origin(Origin::Same)
+        .run_with(&mut prover)
+        .proof
         .expect("acyclicity covers it");
     check_proof(&axioms, &proof).expect("checks");
 }
@@ -140,9 +149,9 @@ proptest! {
     ) {
         let axioms = apt_axioms::adds::leaf_linked_tree_axioms();
         let mut p1 = Prover::new(&axioms);
-        let r1 = p1.prove_disjoint(Origin::Same, &a, &b);
+        let r1 = DepQuery::disjoint(&a, &b).origin(Origin::Same).run_with(&mut p1).proof;
         let mut p2 = Prover::new(&axioms);
-        let r2 = p2.prove_disjoint(Origin::Same, &a, &b);
+        let r2 = DepQuery::disjoint(&a, &b).origin(Origin::Same).run_with(&mut p2).proof;
         prop_assert_eq!(r1.is_some(), r2.is_some());
         if let Some(proof) = r1 {
             prop_assert!(check_proof(&axioms, &proof).is_ok());

@@ -1,6 +1,8 @@
 //! C-SEND-SYNC conformance: the public data types are thread-safe, so the
 //! tester can run inside a parallel compiler.
 
+use apt_core::DepQuery;
+
 fn assert_send_sync<T: Send + Sync>() {}
 
 #[test]
@@ -9,6 +11,7 @@ fn core_data_types_are_send_and_sync() {
     assert_send_sync::<apt_regex::Path>();
     assert_send_sync::<apt_regex::Component>();
     assert_send_sync::<apt_regex::Symbol>();
+    assert_send_sync::<apt_regex::DfaCache>();
     assert_send_sync::<apt_axioms::Axiom>();
     assert_send_sync::<apt_axioms::AxiomSet>();
     assert_send_sync::<apt_axioms::graph::HeapGraph>();
@@ -18,6 +21,10 @@ fn core_data_types_are_send_and_sync() {
     assert_send_sync::<apt_core::MemRef>();
     assert_send_sync::<apt_core::TestOutcome>();
     assert_send_sync::<apt_core::Prover<'static>>();
+    assert_send_sync::<apt_core::DepEngine>();
+    assert_send_sync::<apt_core::DepQuery>();
+    assert_send_sync::<apt_core::Outcome>();
+    assert_send_sync::<apt_core::DepTest>();
     assert_send_sync::<apt_heaps::sparse::SparseMatrix>();
     assert_send_sync::<apt_heaps::llt::LeafLinkedTree>();
     assert_send_sync::<apt_heaps::octree::Octree>();
@@ -35,12 +42,12 @@ fn provers_run_concurrently() {
             let axioms = std::sync::Arc::clone(&axioms);
             std::thread::spawn(move || {
                 let mut prover = apt_core::Prover::new(&axioms);
-                prover
-                    .prove_disjoint(
-                        apt_core::Origin::Same,
-                        &apt_regex::Path::parse("L.L.N").expect("path"),
-                        &apt_regex::Path::parse("L.R.N").expect("path"),
-                    )
+                let p = apt_regex::Path::parse("L.L.N").expect("path");
+                let q = apt_regex::Path::parse("L.R.N").expect("path");
+                DepQuery::disjoint(&p, &q)
+                    .origin(apt_core::Origin::Same)
+                    .run_with(&mut prover)
+                    .proof
                     .is_some()
             })
         })

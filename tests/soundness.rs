@@ -12,7 +12,7 @@
 use apt_axioms::check::check_set;
 use apt_axioms::graph::{HeapGraph, NodeId};
 use apt_axioms::{adds, AxiomSet};
-use apt_core::{Origin, Prover};
+use apt_core::{DepQuery, Origin, Prover};
 use apt_heaps::gen;
 use apt_regex::{Component, Path};
 use proptest::prelude::*;
@@ -75,7 +75,11 @@ fn soundness_case(
     origin: Origin,
 ) {
     let mut prover = Prover::new(axioms);
-    if let Some(proof) = prover.prove_disjoint(origin, a, b) {
+    if let Some(proof) = DepQuery::disjoint(a, b)
+        .origin(origin)
+        .run_with(&mut prover)
+        .proof
+    {
         // Every produced derivation must pass the independent checker…
         apt_core::check_proof(axioms, &proof)
             .unwrap_or_else(|e| panic!("prover emitted an invalid proof: {e}\n{proof}"));
@@ -167,7 +171,11 @@ fn flagship_proofs_exist_and_are_sound() {
     let mut prover = Prover::new(&axioms);
     let a = Path::parse("L.L.N").expect("path");
     let b = Path::parse("L.R.N").expect("path");
-    assert!(prover.prove_disjoint(Origin::Same, &a, &b).is_some());
+    assert!(DepQuery::disjoint(&a, &b)
+        .origin(Origin::Same)
+        .run_with(&mut prover)
+        .proof
+        .is_some());
     for seed in 0..40 {
         let (heap, _) = gen::random_leaf_linked_tree(4 + (seed as usize % 14), seed);
         assert_no_is_sound(&heap, Origin::Same, &a, &b);
@@ -180,7 +188,11 @@ fn theorem_t_is_sound_on_real_matrices() {
     let mut prover = Prover::new(&axioms);
     let a = Path::parse("ncolE+").expect("path");
     let b = Path::parse("nrowE+.ncolE+").expect("path");
-    assert!(prover.prove_disjoint(Origin::Same, &a, &b).is_some());
+    assert!(DepQuery::disjoint(&a, &b)
+        .origin(Origin::Same)
+        .run_with(&mut prover)
+        .proof
+        .is_some());
     for seed in 0..10 {
         let m = gen::random_sparse_matrix(6, 9, seed);
         let (heap, _) = m.heap_graph();

@@ -4,7 +4,7 @@
 //! through the full IR pipeline.
 
 use apt_axioms::{adds, check::check_set};
-use apt_core::{Answer, Origin, Prover};
+use apt_core::{Answer, DepQuery, Origin, Prover};
 use apt_heaps::gen::random_sparse_matrix;
 use apt_heaps::numeric::{factor, LoopClassification};
 use apt_paths::analyze_proc;
@@ -22,8 +22,10 @@ fn theorem_t_from_minimal_axioms() {
     let axioms = adds::sparse_matrix_minimal_axioms();
     let mut prover = Prover::new(&axioms);
     let (a, b) = theorem_t_paths();
-    let proof = prover
-        .prove_disjoint(Origin::Same, &a, &b)
+    let proof = DepQuery::disjoint(&a, &b)
+        .origin(Origin::Same)
+        .run_with(&mut prover)
+        .proof
         .expect("Theorem T");
     // The paper: "there are four initial cases since each access path ends
     // in '+', and many of these contain multiple sub-cases" — the proof is
@@ -39,7 +41,11 @@ fn theorem_t_from_appendix_a() {
     let axioms = adds::sparse_matrix_axioms();
     let mut prover = Prover::new(&axioms);
     let (a, b) = theorem_t_paths();
-    assert!(prover.prove_disjoint(Origin::Same, &a, &b).is_some());
+    assert!(DepQuery::disjoint(&a, &b)
+        .origin(Origin::Same)
+        .run_with(&mut prover)
+        .proof
+        .is_some());
 }
 
 #[test]
@@ -62,7 +68,11 @@ fn theorem_t_fails_without_each_key_axiom() {
         let axioms = apt_axioms::AxiomSet::parse(&text.join("\n")).expect("parses");
         let mut prover = Prover::new(&axioms);
         assert!(
-            prover.prove_disjoint(Origin::Same, &a, &b).is_none(),
+            DepQuery::disjoint(&a, &b)
+                .origin(Origin::Same)
+                .run_with(&mut prover)
+                .proof
+                .is_none(),
             "dropping axiom {} should break the proof",
             drop + 1
         );
@@ -77,7 +87,11 @@ fn single_theorem_axiom_also_suffices() {
         apt_axioms::AxiomSet::parse("T: forall p, p.ncolE+ <> p.nrowE+.ncolE+").expect("parses");
     let mut prover = Prover::new(&axioms);
     let (a, b) = theorem_t_paths();
-    let proof = prover.prove_disjoint(Origin::Same, &a, &b).expect("direct");
+    let proof = DepQuery::disjoint(&a, &b)
+        .origin(Origin::Same)
+        .run_with(&mut prover)
+        .proof
+        .expect("direct");
     assert_eq!(proof.axioms_used(), vec!["T".to_owned()]);
 }
 
