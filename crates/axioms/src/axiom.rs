@@ -10,7 +10,7 @@
 //! 3. `∀ p, p.RE1 = p.RE2` — the two path sets are always equal; used to
 //!    describe cycles ([`AxiomKind::Equal`]).
 
-use apt_regex::Regex;
+use apt_regex::{Regex, RegexId};
 use std::error::Error;
 use std::fmt;
 use std::str::FromStr;
@@ -28,43 +28,49 @@ pub enum AxiomKind {
 
 /// One aliasing axiom: a kind plus its two regular expressions and an
 /// optional name used in proof traces (the paper labels axioms `A1`, `A2`, …).
+///
+/// Both sides are hash-consed at construction ([`Axiom::lhs_id`],
+/// [`Axiom::rhs_id`]), so the prover's per-goal applicability scans compare
+/// and cache axiom sides by id without re-interning or formatting them.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Axiom {
     name: Option<String>,
     kind: AxiomKind,
     lhs: Regex,
     rhs: Regex,
+    // Ids are a pure function of the trees above, so the derived
+    // PartialEq/Hash stay consistent with the pre-id definition.
+    lhs_id: RegexId,
+    rhs_id: RegexId,
 }
 
 impl Axiom {
-    /// `∀ p, p.lhs <> p.rhs`.
-    pub fn disjoint_same_origin(lhs: Regex, rhs: Regex) -> Axiom {
+    fn new(kind: AxiomKind, lhs: Regex, rhs: Regex) -> Axiom {
+        let lhs_id = RegexId::intern(&lhs);
+        let rhs_id = RegexId::intern(&rhs);
         Axiom {
             name: None,
-            kind: AxiomKind::DisjointSameOrigin,
+            kind,
             lhs,
             rhs,
+            lhs_id,
+            rhs_id,
         }
+    }
+
+    /// `∀ p, p.lhs <> p.rhs`.
+    pub fn disjoint_same_origin(lhs: Regex, rhs: Regex) -> Axiom {
+        Axiom::new(AxiomKind::DisjointSameOrigin, lhs, rhs)
     }
 
     /// `∀ p <> q, p.lhs <> q.rhs`.
     pub fn disjoint_distinct_origins(lhs: Regex, rhs: Regex) -> Axiom {
-        Axiom {
-            name: None,
-            kind: AxiomKind::DisjointDistinctOrigins,
-            lhs,
-            rhs,
-        }
+        Axiom::new(AxiomKind::DisjointDistinctOrigins, lhs, rhs)
     }
 
     /// `∀ p, p.lhs = p.rhs`.
     pub fn equal(lhs: Regex, rhs: Regex) -> Axiom {
-        Axiom {
-            name: None,
-            kind: AxiomKind::Equal,
-            lhs,
-            rhs,
-        }
+        Axiom::new(AxiomKind::Equal, lhs, rhs)
     }
 
     /// Attaches a trace name (`A1`, `A2`, …).
@@ -92,6 +98,16 @@ impl Axiom {
     /// The right path expression (`RE2`).
     pub fn rhs(&self) -> &Regex {
         &self.rhs
+    }
+
+    /// The hash-consed id of [`Axiom::lhs`], interned once at construction.
+    pub fn lhs_id(&self) -> RegexId {
+        self.lhs_id
+    }
+
+    /// The hash-consed id of [`Axiom::rhs`], interned once at construction.
+    pub fn rhs_id(&self) -> RegexId {
+        self.rhs_id
     }
 
     /// Whether this is one of the two disjointness forms.
@@ -317,6 +333,17 @@ mod tests {
         assert!("forall p, q.L <> p.R".parse::<Axiom>().is_err());
         assert!("forall p <> q, p.L = q.L".parse::<Axiom>().is_err());
         assert!("forall p, p.L".parse::<Axiom>().is_err());
+    }
+
+    #[test]
+    fn sides_are_interned_at_construction() {
+        let a: Axiom = "forall p, p.L <> p.R".parse().unwrap();
+        assert_eq!(a.lhs_id(), RegexId::intern(a.lhs()));
+        assert_eq!(a.rhs_id(), RegexId::intern(a.rhs()));
+        // Structurally equal sides of different axioms share one id.
+        let b: Axiom = "forall p <> q, p.L <> q.N".parse().unwrap();
+        assert_eq!(a.lhs_id(), b.lhs_id());
+        assert_ne!(a.rhs_id(), b.rhs_id());
     }
 
     #[test]

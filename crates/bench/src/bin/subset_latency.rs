@@ -1,0 +1,69 @@
+//! Measures subset-test latency of the hash-consed early-exit kernel
+//! against the pre-arena string-keyed kernel on the Figure 7 / Appendix A
+//! subset workload, and writes `BENCH_subset.json` to the current
+//! directory.
+//!
+//! ```text
+//! cargo run --release -p apt-bench --bin subset_latency [--smoke] [depth]
+//! ```
+//!
+//! `--smoke` runs one repetition of a small workload (CI). Exits nonzero
+//! if the two kernels disagree on any pair.
+
+use apt_bench::subset::{run, SubsetBenchConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let mut config = if smoke {
+        SubsetBenchConfig::smoke()
+    } else {
+        SubsetBenchConfig::default()
+    };
+    if let Some(depth) = args.iter().find_map(|a| a.parse::<usize>().ok()) {
+        config.depth = depth;
+    }
+    eprintln!(
+        "running subset latency: depth {}, {} rep(s), {} warm pass(es) ...",
+        config.depth, config.reps, config.warm_passes
+    );
+    let result = run(&config);
+
+    println!("== subset-test latency: Figure 7 x Appendix A pairs ==");
+    println!(
+        "{} distinct pairs; verdicts {}",
+        result.pairs,
+        if result.verdicts_identical {
+            "identical"
+        } else {
+            "DIVERGED"
+        }
+    );
+    println!(
+        "{:>6} {:>14} {:>14} {:>9}",
+        "phase", "old (us)", "new (us)", "speedup"
+    );
+    println!(
+        "{:>6} {:>14} {:>14} {:>8.2}x",
+        "cold",
+        result.cold.old_micros,
+        result.cold.new_micros,
+        result.cold.speedup()
+    );
+    println!(
+        "{:>6} {:>14} {:>14} {:>8.2}x",
+        "warm",
+        result.warm.old_micros,
+        result.warm.new_micros,
+        result.warm.speedup()
+    );
+
+    let json = result.to_json();
+    std::fs::write("BENCH_subset.json", &json).expect("write BENCH_subset.json");
+    println!("\nwrote BENCH_subset.json");
+
+    if !result.verdicts_identical {
+        eprintln!("error: the two subset kernels disagreed on at least one pair");
+        std::process::exit(1);
+    }
+}

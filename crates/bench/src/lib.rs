@@ -19,3 +19,4 @@ pub mod accuracy;
 pub mod batch;
 pub mod complexity;
 pub mod fig7;
+pub mod subset;

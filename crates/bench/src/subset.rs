@@ -1,0 +1,341 @@
+//! Subset-test latency: the hash-consed early-exit kernel vs. the
+//! pre-arena kernel, on the subset checks the prover actually issues.
+//!
+//! The workload is every `(query side, axiom side)` pair the Figure 7
+//! query family pits against the Appendix A (plus §5 minimal)
+//! sparse-matrix axioms — exactly the applicability checks `proveDisj`
+//! runs hottest. Two kernels answer every pair:
+//!
+//! * **old** — the pre-change path: DFA memoization and answer memoization
+//!   both keyed on `Display`-formatted regex strings, subset decided by
+//!   materializing the complement and the full product (\[HU79\] taken
+//!   literally);
+//! * **new** — the arena path: answers keyed on hash-consed
+//!   [`RegexId`] pairs, DFAs interned by id, subset decided by the lazy
+//!   early-exit product walk.
+//!
+//! Two phases are timed. **Cold** runs every pair once against fresh
+//! caches (dominated by automata construction). **Warm** replays the full
+//! pair list against settled caches — the steady state of a long batch,
+//! where the old path still formats two trees per lookup and the new path
+//! hashes two integers. Verdicts are compared pair-by-pair; any divergence
+//! fails the run.
+
+use apt_axioms::adds::{sparse_matrix_axioms, sparse_matrix_minimal_axioms};
+use apt_axioms::Axiom;
+use apt_regex::dfa::Dfa;
+use apt_regex::{ops, DfaCache, Limits, Regex, RegexId, Symbol};
+use std::collections::{HashMap, HashSet};
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Configuration for the subset-latency run.
+#[derive(Debug, Clone)]
+pub struct SubsetBenchConfig {
+    /// Chain depth of the Figure 7 query family feeding the pair list.
+    pub depth: usize,
+    /// Timing repetitions per phase (the best run is reported).
+    pub reps: usize,
+    /// Full replays of the pair list in the warm phase.
+    pub warm_passes: usize,
+}
+
+impl Default for SubsetBenchConfig {
+    fn default() -> SubsetBenchConfig {
+        SubsetBenchConfig {
+            depth: 6,
+            reps: 3,
+            warm_passes: 50,
+        }
+    }
+}
+
+impl SubsetBenchConfig {
+    /// The small configuration used by CI smoke runs.
+    pub fn smoke() -> SubsetBenchConfig {
+        SubsetBenchConfig {
+            depth: 2,
+            reps: 1,
+            warm_passes: 5,
+        }
+    }
+}
+
+/// One subset check as the prover would issue it: both trees plus their
+/// pre-interned ids (the prover holds both on its hot path).
+#[derive(Debug, Clone)]
+pub struct SubsetPair {
+    /// Left side (`L(a) ⊆ L(b)` asks about this language).
+    pub a: Regex,
+    /// Right side.
+    pub b: Regex,
+    /// Interned id of `a`.
+    pub a_id: RegexId,
+    /// Interned id of `b`.
+    pub b_id: RegexId,
+}
+
+/// Every distinct `(query side, axiom side)` subset check the Figure 7
+/// suite at `depth` asks of the Appendix A + §5-minimal axiom sets,
+/// deduplicated by id pair (the same dedup the prover's cache performs).
+pub fn figure7_subset_pairs(depth: usize) -> Vec<SubsetPair> {
+    let mut axioms: Vec<Axiom> = sparse_matrix_axioms().iter().cloned().collect();
+    axioms.extend(sparse_matrix_minimal_axioms().iter().cloned());
+    let queries = crate::batch::figure7_suite(depth);
+    let mut seen: HashSet<(RegexId, RegexId)> = HashSet::new();
+    let mut pairs = Vec::new();
+    for q in &queries {
+        for side in [q.a(), q.b()] {
+            let sre = side.to_regex();
+            let sid = RegexId::intern(&sre);
+            for ax in &axioms {
+                for (oid, other) in [(ax.lhs_id(), ax.lhs()), (ax.rhs_id(), ax.rhs())] {
+                    if seen.insert((sid, oid)) {
+                        pairs.push(SubsetPair {
+                            a: sre.clone(),
+                            b: other.clone(),
+                            a_id: sid,
+                            b_id: oid,
+                        });
+                    }
+                }
+            }
+        }
+    }
+    pairs
+}
+
+/// The pre-change kernel, replicated faithfully: string-keyed DFA and
+/// answer caches, materializing subset check.
+struct OldKernel {
+    dfas: HashMap<(String, Vec<Symbol>), Arc<Dfa>>,
+    answers: HashMap<(String, String), bool>,
+}
+
+impl OldKernel {
+    fn new() -> OldKernel {
+        OldKernel {
+            dfas: HashMap::new(),
+            answers: HashMap::new(),
+        }
+    }
+
+    fn dfa(&mut self, re: &Regex, alpha: &[Symbol]) -> Arc<Dfa> {
+        let key = (re.to_string(), alpha.to_vec());
+        if let Some(dfa) = self.dfas.get(&key) {
+            return Arc::clone(dfa);
+        }
+        let built = Arc::new(Dfa::build(re, alpha));
+        self.dfas.insert(key, Arc::clone(&built));
+        built
+    }
+
+    fn subset(&mut self, a: &Regex, b: &Regex) -> bool {
+        // The old hot path formatted both trees on *every* lookup.
+        let key = (a.to_string(), b.to_string());
+        if let Some(&hit) = self.answers.get(&key) {
+            return hit;
+        }
+        let result = if a.is_empty_language() {
+            true
+        } else {
+            let mut alpha = a.symbols();
+            alpha.extend(b.symbols());
+            alpha.sort_unstable();
+            alpha.dedup();
+            let da = self.dfa(a, &alpha);
+            let db = self.dfa(b, &alpha);
+            match da.try_intersect(&db.complement(), &Limits::none()) {
+                Ok(product) => product.is_empty(),
+                Err(e) => unreachable!("unbounded product cannot trip a limit: {e}"),
+            }
+        };
+        self.answers.insert(key, result);
+        result
+    }
+}
+
+/// The post-change kernel: id-keyed answers, id-keyed DFA interner, lazy
+/// early-exit product walk.
+struct NewKernel {
+    dfas: DfaCache,
+    answers: HashMap<(RegexId, RegexId), bool>,
+}
+
+impl NewKernel {
+    fn new() -> NewKernel {
+        NewKernel {
+            dfas: DfaCache::new(),
+            answers: HashMap::new(),
+        }
+    }
+
+    fn subset(&mut self, pair: &SubsetPair) -> bool {
+        let key = (pair.a_id, pair.b_id);
+        if let Some(&hit) = self.answers.get(&key) {
+            return hit;
+        }
+        let result = match ops::try_is_subset_interned(
+            pair.a_id,
+            &pair.a,
+            pair.b_id,
+            &pair.b,
+            &Limits::none(),
+            Some(&self.dfas),
+        ) {
+            Ok(v) => v,
+            Err(e) => unreachable!("unbounded subset cannot trip a limit: {e}"),
+        };
+        self.answers.insert(key, result);
+        result
+    }
+}
+
+/// Timings for one phase (cold or warm), microseconds, best-of-reps.
+#[derive(Debug, Clone, Copy)]
+pub struct PhaseRow {
+    /// Old-kernel time.
+    pub old_micros: u128,
+    /// New-kernel time.
+    pub new_micros: u128,
+}
+
+impl PhaseRow {
+    /// Old time over new time.
+    pub fn speedup(&self) -> f64 {
+        self.old_micros as f64 / self.new_micros.max(1) as f64
+    }
+}
+
+/// The full benchmark result.
+#[derive(Debug, Clone)]
+pub struct SubsetBenchResult {
+    /// Distinct subset pairs in the workload.
+    pub pairs: usize,
+    /// Warm-phase replays of the pair list.
+    pub warm_passes: usize,
+    /// First-touch phase: every pair once against fresh caches.
+    pub cold: PhaseRow,
+    /// Steady-state phase: the settled caches replayed.
+    pub warm: PhaseRow,
+    /// Whether both kernels agreed on every pair.
+    pub verdicts_identical: bool,
+}
+
+impl SubsetBenchResult {
+    /// Renders the result as a JSON object (`BENCH_subset.json`).
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        let _ = writeln!(s, "  \"suite\": \"figure7-appendixA-subset-pairs\",");
+        let _ = writeln!(s, "  \"pairs\": {},", self.pairs);
+        let _ = writeln!(s, "  \"verdicts_identical\": {},", self.verdicts_identical);
+        let _ = writeln!(
+            s,
+            "  \"cold\": {{\"old_micros\": {}, \"new_micros\": {}, \"speedup\": {:.2}}},",
+            self.cold.old_micros,
+            self.cold.new_micros,
+            self.cold.speedup()
+        );
+        let _ = writeln!(
+            s,
+            "  \"warm\": {{\"passes\": {}, \"old_micros\": {}, \"new_micros\": {}, \
+             \"speedup\": {:.2}}}",
+            self.warm_passes,
+            self.warm.old_micros,
+            self.warm.new_micros,
+            self.warm.speedup()
+        );
+        s.push_str("}\n");
+        s
+    }
+}
+
+/// Runs both kernels over the Figure 7 / Appendix A subset workload,
+/// timing the cold and warm phases and checking verdict identity.
+pub fn run(config: &SubsetBenchConfig) -> SubsetBenchResult {
+    let pairs = figure7_subset_pairs(config.depth);
+    let reps = config.reps.max(1);
+    let passes = config.warm_passes.max(1);
+
+    let mut cold_old = u128::MAX;
+    let mut cold_new = u128::MAX;
+    let mut warm_old = u128::MAX;
+    let mut warm_new = u128::MAX;
+    let mut verdicts_identical = true;
+
+    for _ in 0..reps {
+        // Fresh kernels per repetition: each rep pays its own cold phase.
+        let mut old = OldKernel::new();
+        let started = Instant::now();
+        let old_verdicts: Vec<bool> = pairs.iter().map(|p| old.subset(&p.a, &p.b)).collect();
+        cold_old = cold_old.min(started.elapsed().as_micros());
+
+        let mut new = NewKernel::new();
+        let started = Instant::now();
+        let new_verdicts: Vec<bool> = pairs.iter().map(|p| new.subset(p)).collect();
+        cold_new = cold_new.min(started.elapsed().as_micros());
+
+        verdicts_identical &= old_verdicts == new_verdicts;
+
+        // Warm: the caches are settled; replay the whole list.
+        let started = Instant::now();
+        let mut live = 0usize;
+        for _ in 0..passes {
+            for p in &pairs {
+                live += old.subset(&p.a, &p.b) as usize;
+            }
+        }
+        warm_old = warm_old.min(started.elapsed().as_micros());
+
+        let started = Instant::now();
+        for _ in 0..passes {
+            for p in &pairs {
+                live += new.subset(p) as usize;
+            }
+        }
+        warm_new = warm_new.min(started.elapsed().as_micros());
+        std::hint::black_box(live);
+    }
+
+    SubsetBenchResult {
+        pairs: pairs.len(),
+        warm_passes: passes,
+        cold: PhaseRow {
+            old_micros: cold_old,
+            new_micros: cold_new,
+        },
+        warm: PhaseRow {
+            old_micros: warm_old,
+            new_micros: warm_new,
+        },
+        verdicts_identical,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_run_is_verdict_identical() {
+        let result = run(&SubsetBenchConfig::smoke());
+        assert!(result.pairs > 0);
+        assert!(result.verdicts_identical);
+        let json = result.to_json();
+        assert!(json.contains("\"verdicts_identical\": true"), "{json}");
+        assert!(json.contains("\"warm\""), "{json}");
+    }
+
+    #[test]
+    fn workload_is_deduplicated() {
+        let pairs = figure7_subset_pairs(2);
+        let mut seen = HashSet::new();
+        for p in &pairs {
+            assert!(seen.insert((p.a_id, p.b_id)), "duplicate pair in workload");
+            assert_eq!(RegexId::intern(&p.a), p.a_id);
+            assert_eq!(RegexId::intern(&p.b), p.b_id);
+        }
+    }
+}

@@ -43,7 +43,7 @@ use std::sync::{Arc, Mutex, PoisonError};
 
 use apt_axioms::AxiomSet;
 use apt_regex::cache::DfaCache;
-use apt_regex::Path;
+use apt_regex::{Path, RegexId};
 
 use crate::config::{Budget, ProverConfig, ProverStats};
 use crate::deptest::Answer;
@@ -60,6 +60,13 @@ const SUBSET_SHARDS: usize = 32;
 const GOAL_SHARD_CAPACITY: usize = 4096;
 /// Maximum subset answers per shard.
 const SUBSET_SHARD_CAPACITY: usize = 16384;
+
+/// Batches with fewer unique queries than this run inline on the calling
+/// thread regardless of the requested `jobs`: spawning workers, splitting
+/// the deadline, and bouncing the shared cache across threads costs more
+/// than it buys until a batch carries real work (see `BENCH_batch.json` —
+/// small fan-outs used to *lose* throughput as `jobs` grew).
+pub const INLINE_BATCH_THRESHOLD: usize = 128;
 
 /// A settled, context-free result for one goal.
 #[derive(Debug, Clone)]
@@ -88,7 +95,9 @@ pub struct CacheStats {
 #[derive(Debug)]
 pub struct SharedCache {
     goals: Vec<Mutex<HashMap<Goal, SharedVerdict>>>,
-    subsets: Vec<Mutex<HashMap<(String, String), bool>>>,
+    /// `L(a) ⊆ L(b)` answers keyed on hash-consed ids — two machine words
+    /// per lookup, no formatted strings anywhere on this path.
+    subsets: Vec<Mutex<HashMap<(RegexId, RegexId), bool>>>,
     dfas: DfaCache,
 }
 
@@ -125,13 +134,13 @@ impl SharedCache {
         }
     }
 
-    pub(crate) fn lookup_subset(&self, key: &(String, String)) -> Option<bool> {
+    pub(crate) fn lookup_subset(&self, key: &(RegexId, RegexId)) -> Option<bool> {
         let shard = &self.subsets[shard_index(key, SUBSET_SHARDS)];
         let guard = shard.lock().unwrap_or_else(PoisonError::into_inner);
         guard.get(key).copied()
     }
 
-    pub(crate) fn publish_subset(&self, key: (String, String), result: bool) {
+    pub(crate) fn publish_subset(&self, key: (RegexId, RegexId), result: bool) {
         let shard = &self.subsets[shard_index(&key, SUBSET_SHARDS)];
         let mut guard = shard.lock().unwrap_or_else(PoisonError::into_inner);
         if guard.len() < SUBSET_SHARD_CAPACITY || guard.contains_key(&key) {
@@ -252,6 +261,16 @@ impl DepQuery {
         self.kind
     }
 
+    /// The first path of the query.
+    pub fn a(&self) -> &Path {
+        &self.a
+    }
+
+    /// The second path of the query.
+    pub fn b(&self) -> &Path {
+        &self.b
+    }
+
     /// Runs the query against an engine (fresh prover, shared caches).
     pub fn run(&self, engine: &DepEngine) -> Outcome {
         engine.run(self)
@@ -300,20 +319,21 @@ impl DepQuery {
     /// Structural identity key: two queries with the same key (and equal
     /// budget overrides) are the same subgoal and run once per batch.
     /// Disjointness goals canonicalize through [`Goal::new`]'s symmetric
-    /// path ordering; equality is symmetric by definition.
-    fn dedup_key(&self) -> (QueryKind, Option<Origin>, String, String) {
+    /// path ordering; equality is symmetric by definition. Paths compare
+    /// structurally — no query is ever formatted to dedup a batch.
+    fn dedup_key(&self) -> (QueryKind, Option<Origin>, Path, Path) {
         match self.kind {
             QueryKind::Disjoint => {
                 let g = Goal::new(self.origin, self.a.clone(), self.b.clone());
                 (
                     QueryKind::Disjoint,
                     Some(self.origin),
-                    g.a().to_string(),
-                    g.b().to_string(),
+                    g.a().clone(),
+                    g.b().clone(),
                 )
             }
             QueryKind::Equal => {
-                let (x, y) = (self.a.to_string(), self.b.to_string());
+                let (x, y) = (self.a.clone(), self.b.clone());
                 let (x, y) = if x <= y { (x, y) } else { (y, x) };
                 (QueryKind::Equal, None, x, y)
             }
@@ -419,7 +439,10 @@ impl DepEngine {
     /// the rest of the batch behind it.
     ///
     /// `jobs == 1` runs inline on the calling thread (no spawn), still
-    /// with dedup and the shared cache.
+    /// with dedup and the shared cache. Batches smaller than
+    /// [`INLINE_BATCH_THRESHOLD`] unique queries are forced inline even
+    /// when more jobs are requested — for little batches the spawn and
+    /// deadline-split overhead exceeds the parallel win.
     pub fn run_batch(&self, queries: &[DepQuery], jobs: usize) -> Vec<Outcome> {
         if queries.is_empty() {
             return Vec::new();
@@ -427,7 +450,7 @@ impl DepEngine {
         // Dedup structurally identical subgoals.
         let mut unique: Vec<&DepQuery> = Vec::new();
         let mut owners: Vec<Vec<usize>> = Vec::new();
-        let mut index: HashMap<(QueryKind, Option<Origin>, String, String), Vec<usize>> =
+        let mut index: HashMap<(QueryKind, Option<Origin>, Path, Path), Vec<usize>> =
             HashMap::new();
         for (i, q) in queries.iter().enumerate() {
             let slots = index.entry(q.dedup_key()).or_default();
@@ -440,7 +463,14 @@ impl DepEngine {
                 }
             }
         }
-        let jobs = jobs.clamp(1, unique.len());
+        // Small batches run inline: thread spawn + deadline splitting
+        // overhead dominates until there is enough unique work to amortize
+        // it (see [`INLINE_BATCH_THRESHOLD`]).
+        let jobs = if unique.len() < INLINE_BATCH_THRESHOLD {
+            1
+        } else {
+            jobs.clamp(1, unique.len())
+        };
         let shares = unique.len().div_ceil(jobs);
 
         let mut settled: Vec<Option<Outcome>> = vec![None; unique.len()];

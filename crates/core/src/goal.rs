@@ -21,7 +21,8 @@ pub enum Origin {
 /// A disjointness goal `∀x[,y], x.a <> [x|y].b`.
 ///
 /// Disjointness is symmetric, so goals are kept in a canonical order (the
-/// lexicographically smaller rendering first); this halves the proof cache.
+/// structurally smaller path first, per [`Path`]'s `Ord`); this halves the
+/// proof cache.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Goal {
     origin: Origin,
@@ -31,12 +32,12 @@ pub struct Goal {
 
 impl Goal {
     /// Creates a goal, canonicalizing the symmetric path order.
+    ///
+    /// Ordering is structural (field components compare by name), so
+    /// canonicalization never formats either path — goals on the prover's
+    /// hot path are built without string allocation.
     pub fn new(origin: Origin, a: Path, b: Path) -> Goal {
-        let (a, b) = if format!("{a}") <= format!("{b}") {
-            (a, b)
-        } else {
-            (b, a)
-        };
+        let (a, b) = if a <= b { (a, b) } else { (b, a) };
         Goal { origin, a, b }
     }
 

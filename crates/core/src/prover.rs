@@ -39,10 +39,19 @@ use crate::goal::{Goal, Origin};
 use crate::proof::{PrefixCase, Proof, Rule};
 use crate::verdict::{MaybeReason, SearchLimit};
 use apt_axioms::{Axiom, AxiomKind, AxiomSet};
-use apt_regex::{ops, Component, LimitExceeded, Limits, Path, Regex, Symbol};
+use apt_regex::{ops, Component, LimitExceeded, Limits, Path, Regex, RegexId, Symbol};
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 use std::time::Instant;
+
+/// Subset-cache entry: the decided answer plus a second-chance bit — a
+/// lookup hit sets it, and eviction re-queues hot entries instead of
+/// dropping them (see [`Prover::evict_subset_entries`]).
+#[derive(Debug, Clone, Copy)]
+struct SubsetEntry {
+    result: bool,
+    hot: bool,
+}
 
 /// Cache entry for a goal.
 #[derive(Debug, Clone)]
@@ -121,8 +130,12 @@ pub struct Prover<'a> {
     cache: HashMap<Goal, CacheState>,
     /// Memoized `L(a) ⊆ L(b)` results — the RE→DFA conversion dominates
     /// prover time (§4.2), and the same suffix/axiom pairs recur across
-    /// splits.
-    subset_cache: HashMap<(String, String), bool>,
+    /// splits. Keyed on hash-consed [`RegexId`] pairs: a lookup hashes two
+    /// integers instead of formatting two trees.
+    subset_cache: HashMap<(RegexId, RegexId), SubsetEntry>,
+    /// Insertion order of subset-cache keys, for bounded eviction
+    /// ([`Prover::evict_subset_entries`]).
+    subset_order: VecDeque<(RegexId, RegexId)>,
     stats: ProverStats,
     fuel_left: u64,
     /// Per-query resource state. `limits` is rebuilt by [`Prover::begin_query`]
@@ -155,6 +168,7 @@ impl<'a> Prover<'a> {
             config,
             cache: HashMap::new(),
             subset_cache: HashMap::new(),
+            subset_order: VecDeque::new(),
             stats: ProverStats::default(),
             fuel_left: fuel,
             limits: Limits::none(),
@@ -581,19 +595,22 @@ impl<'a> Prover<'a> {
 
     /// All single-step prefix rewrites of a path by the equality axioms.
     fn rewrites_of(&mut self, path: &Path) -> Vec<Path> {
-        let eq_axioms: Vec<(Regex, Regex)> = self
-            .axioms
-            .of_kind(AxiomKind::Equal)
-            .map(|ax| (ax.lhs().clone(), ax.rhs().clone()))
-            .collect();
+        let eq_axioms: Vec<Axiom> = self.axioms.of_kind(AxiomKind::Equal).cloned().collect();
         let mut out = Vec::new();
         for k in 1..=path.len() {
             let head = Path::new(path.components()[..k].to_vec());
             let tail = Path::new(path.components()[k..].to_vec());
             let head_re = head.to_regex();
-            for (lhs, rhs) in &eq_axioms {
-                for (from, to) in [(lhs, rhs), (rhs, lhs)] {
-                    if self.subset(&head_re, from) && self.subset(from, &head_re) {
+            let head_id = RegexId::intern(&head_re);
+            for ax in &eq_axioms {
+                let sides = [
+                    (ax.lhs_id(), ax.lhs(), ax.rhs()),
+                    (ax.rhs_id(), ax.rhs(), ax.lhs()),
+                ];
+                for (from_id, from, to) in sides {
+                    if self.subset_ids(head_id, &head_re, from_id, from)
+                        && self.subset_ids(from_id, from, head_id, &head_re)
+                    {
                         if let Ok(to_path) = Path::try_from(to) {
                             out.push(to_path.concat(&tail));
                         }
@@ -606,43 +623,44 @@ impl<'a> Prover<'a> {
 
     // ---- R2: direct axiom application ---------------------------------
 
-    /// Memoized `L(a) ⊆ L(b)` under the query's resource limits.
+    /// Memoized `L(a) ⊆ L(b)` for pre-interned sides (`a_id`/`b_id` must
+    /// intern `a`/`b`) under the query's resource limits. Axiom sides come
+    /// interned from construction; goal-side expressions are interned once
+    /// per rule application.
     ///
     /// When a limit stops the DFA construction the answer is reported as
     /// `false` — "this axiom could not be shown to apply", which can only
     /// lose proofs, never fabricate one — and is **not** memoized, so a
     /// retry under a bigger budget re-decides it for real.
-    fn subset(&mut self, a: &Regex, b: &Regex) -> bool {
+    fn subset_ids(&mut self, a_id: RegexId, a: &Regex, b_id: RegexId, b: &Regex) -> bool {
         if self.aborted {
             return false;
         }
-        let key = (a.to_string(), b.to_string());
-        if let Some(&hit) = self.subset_cache.get(&key) {
-            return hit;
+        // O(1) structural fast paths: ∅ ⊆ X, and X ⊆ X by hash-consing.
+        if a_id.is_empty_language() || a_id == b_id {
+            return true;
+        }
+        let key = (a_id, b_id);
+        if let Some(entry) = self.subset_cache.get_mut(&key) {
+            entry.hot = true;
+            return entry.result;
         }
         // Decided subset answers are budget-independent, so a sibling
         // worker's answer is as good as our own.
         if let Some(shared) = &self.shared {
             if let Some(hit) = shared.lookup_subset(&key) {
-                self.subset_cache.insert(key, hit);
+                self.record_subset(key, hit);
                 return hit;
             }
         }
         self.stats.subset_checks += 1;
         let dfa_cache = self.shared.as_ref().map(|s| s.dfas());
-        match ops::try_is_subset_with(a, b, &self.limits, dfa_cache) {
+        match ops::try_is_subset_interned(a_id, a, b_id, b, &self.limits, dfa_cache) {
             Ok(result) => {
-                // The subset cache is bounded alongside the proof cache
-                // (same knob, wider multiplier: entries are small).
-                if let Some(cap) = self.config.budget.cache_capacity {
-                    if self.subset_cache.len() >= cap.saturating_mul(8) {
-                        self.subset_cache.clear();
-                    }
-                }
                 if let Some(shared) = &self.shared {
-                    shared.publish_subset(key.clone(), result);
+                    shared.publish_subset(key, result);
                 }
-                self.subset_cache.insert(key, result);
+                self.record_subset(key, result);
                 result
             }
             Err(LimitExceeded::States { .. }) => {
@@ -660,30 +678,82 @@ impl<'a> Prover<'a> {
         }
     }
 
+    /// Records a decided subset answer, evicting first when the cache is at
+    /// capacity. The subset cache is bounded alongside the proof cache
+    /// (same knob, wider multiplier: entries are small).
+    fn record_subset(&mut self, key: (RegexId, RegexId), result: bool) {
+        if let Some(cap) = self.config.budget.cache_capacity {
+            if self.subset_cache.len() >= cap.saturating_mul(8) {
+                self.evict_subset_entries();
+            }
+        }
+        if self
+            .subset_cache
+            .insert(key, SubsetEntry { result, hot: false })
+            .is_none()
+        {
+            self.subset_order.push_back(key);
+        }
+    }
+
+    /// Evicts about a quarter of the subset cache in insertion order,
+    /// giving entries hit since insertion (or since their last reprieve) a
+    /// second chance: a hot entry is re-queued cold instead of dropped.
+    /// Replaces the old wholesale `clear()`, which threw away exactly the
+    /// hot axiom-side pairs the next goals were about to ask for again.
+    fn evict_subset_entries(&mut self) {
+        let target = (self.subset_cache.len() / 4).max(1);
+        let mut evicted = 0;
+        // Each key is scanned at most twice (once hot, once cold), so this
+        // terminates even when every entry is hot.
+        let mut scans_left = self.subset_order.len().saturating_mul(2);
+        while evicted < target && scans_left > 0 {
+            scans_left -= 1;
+            let Some(key) = self.subset_order.pop_front() else {
+                break;
+            };
+            match self.subset_cache.get_mut(&key) {
+                Some(entry) if entry.hot => {
+                    entry.hot = false;
+                    self.subset_order.push_back(key);
+                }
+                Some(_) => {
+                    self.subset_cache.remove(&key);
+                    evicted += 1;
+                }
+                None => {}
+            }
+        }
+    }
+
     /// Finds a single axiom of the right form covering both paths.
+    /// `a_id`/`b_id` must intern `a`/`b`; the axiom sides come pre-interned
+    /// from [`Axiom`] construction, so every subset check here keys on ids.
     fn find_covering_axiom(
         &mut self,
         origin: Origin,
+        a_id: RegexId,
         a: &Regex,
+        b_id: RegexId,
         b: &Regex,
     ) -> Option<(String, bool)> {
         let kind = match origin {
             Origin::Same => AxiomKind::DisjointSameOrigin,
             Origin::Distinct => AxiomKind::DisjointDistinctOrigins,
         };
-        // Collect labels up-front to appease the borrow checker; the axiom
-        // list is tiny.
-        let candidates: Vec<(String, Regex, Regex)> = self
-            .axioms
-            .of_kind(kind)
-            .map(|ax| (ax.label(), ax.lhs().clone(), ax.rhs().clone()))
-            .collect();
-        for (label, lhs, rhs) in candidates {
-            if self.subset(a, &lhs) && self.subset(b, &rhs) {
-                return Some((label, false));
+        // Collect up-front to appease the borrow checker; the axiom list is
+        // tiny.
+        let candidates: Vec<Axiom> = self.axioms.of_kind(kind).cloned().collect();
+        for ax in candidates {
+            if self.subset_ids(a_id, a, ax.lhs_id(), ax.lhs())
+                && self.subset_ids(b_id, b, ax.rhs_id(), ax.rhs())
+            {
+                return Some((ax.label(), false));
             }
-            if self.subset(a, &rhs) && self.subset(b, &lhs) {
-                return Some((label, true));
+            if self.subset_ids(a_id, a, ax.rhs_id(), ax.rhs())
+                && self.subset_ids(b_id, b, ax.lhs_id(), ax.lhs())
+            {
+                return Some((ax.label(), true));
             }
         }
         None
@@ -692,7 +762,8 @@ impl<'a> Prover<'a> {
     fn try_direct_axiom(&mut self, goal: &Goal) -> Option<Proof> {
         let a = goal.a().to_regex();
         let b = goal.b().to_regex();
-        let (axiom, swapped) = self.find_covering_axiom(goal.origin(), &a, &b)?;
+        let (a_id, b_id) = (RegexId::intern(&a), RegexId::intern(&b));
+        let (axiom, swapped) = self.find_covering_axiom(goal.origin(), a_id, &a, b_id, &b)?;
         Some(Proof::leaf(goal.clone(), Rule::Axiom { axiom, swapped }))
     }
 
@@ -702,22 +773,23 @@ impl<'a> Prover<'a> {
     /// injective: distinct vertices have distinct `f`-targets.
     fn injectivity_axiom(&mut self, f: Symbol) -> Option<String> {
         let fre = Regex::field(f);
-        let candidates: Vec<(String, Regex, Regex)> = self
+        let fre_id = RegexId::intern(&fre);
+        let candidates: Vec<Axiom> = self
             .axioms
             .of_kind(AxiomKind::DisjointDistinctOrigins)
-            .map(|ax| (ax.label(), ax.lhs().clone(), ax.rhs().clone()))
+            .cloned()
             .collect();
-        for (label, lhs, rhs) in candidates {
-            // Fast path: structural equality.
-            if lhs == fre && rhs == fre {
-                return Some(label);
+        for ax in candidates {
+            // Fast path: structural equality is an id compare.
+            if ax.lhs_id() == fre_id && ax.rhs_id() == fre_id {
+                return Some(ax.label());
             }
-            if self.subset(&fre, &lhs)
-                && self.subset(&lhs, &fre)
-                && self.subset(&fre, &rhs)
-                && self.subset(&rhs, &fre)
+            if self.subset_ids(fre_id, &fre, ax.lhs_id(), ax.lhs())
+                && self.subset_ids(ax.lhs_id(), ax.lhs(), fre_id, &fre)
+                && self.subset_ids(fre_id, &fre, ax.rhs_id(), ax.rhs())
+                && self.subset_ids(ax.rhs_id(), ax.rhs(), fre_id, &fre)
             {
-                return Some(label);
+                return Some(ax.label());
             }
         }
         None
@@ -999,10 +1071,11 @@ impl<'a> Prover<'a> {
 
         let sa_re = sa.to_regex();
         let sb_re = sb.to_regex();
+        let (sa_id, sb_id) = (RegexId::intern(&sa_re), RegexId::intern(&sb_re));
         // T1: suffixes disjoint assuming a common origin (step A).
-        let t1 = self.find_covering_axiom(Origin::Same, &sa_re, &sb_re);
+        let t1 = self.find_covering_axiom(Origin::Same, sa_id, &sa_re, sb_id, &sb_re);
         // T2: suffixes disjoint assuming distinct origins (step B).
-        let t2 = self.find_covering_axiom(Origin::Distinct, &sa_re, &sb_re);
+        let t2 = self.find_covering_axiom(Origin::Distinct, sa_id, &sa_re, sb_id, &sb_re);
 
         let suffix_goal = |o: Origin| Goal::new(o, sa.clone(), sb.clone());
         let leaf = |o: Origin, (axiom, swapped): (String, bool)| {
@@ -1179,11 +1252,7 @@ impl<'a> Prover<'a> {
     // ---- R8: rewriting with equality axioms ------------------------------
 
     fn try_rewrite(&mut self, goal: &Goal, ctx: Ctx) -> Option<Proof> {
-        let eq_axioms: Vec<(String, Regex, Regex)> = self
-            .axioms
-            .of_kind(AxiomKind::Equal)
-            .map(|ax: &Axiom| (ax.label(), ax.lhs().clone(), ax.rhs().clone()))
-            .collect();
+        let eq_axioms: Vec<Axiom> = self.axioms.of_kind(AxiomKind::Equal).cloned().collect();
         if eq_axioms.is_empty() {
             return None;
         }
@@ -1194,10 +1263,18 @@ impl<'a> Prover<'a> {
                 let head = Path::new(path.components()[..k].to_vec());
                 let tail = Path::new(path.components()[k..].to_vec());
                 let head_re = head.to_regex();
+                let head_id = RegexId::intern(&head_re);
                 let _ = prefix_re;
-                for (label, lhs, rhs) in &eq_axioms {
-                    for (from, to) in [(lhs, rhs), (rhs, lhs)] {
-                        if self.subset(&head_re, from) && self.subset(from, &head_re) {
+                for ax in &eq_axioms {
+                    let label = ax.label();
+                    let sides = [
+                        (ax.lhs_id(), ax.lhs(), ax.rhs()),
+                        (ax.rhs_id(), ax.rhs(), ax.lhs()),
+                    ];
+                    for (from_id, from, to) in sides {
+                        if self.subset_ids(head_id, &head_re, from_id, from)
+                            && self.subset_ids(from_id, from, head_id, &head_re)
+                        {
                             let Ok(to_path) = Path::try_from(to) else {
                                 continue;
                             };

@@ -1,0 +1,159 @@
+//! Fixed-capacity bit sets over `u64` blocks.
+//!
+//! The subset construction identifies each DFA state with a *set* of NFA
+//! states. Hashing and comparing those sets dominates the construction, so
+//! they are stored as dense bit vectors: membership is one shift-and-mask,
+//! union is a word-wise `|=`, and equality/hashing touch `⌈n/64⌉` words
+//! instead of walking a sorted `Vec<usize>`.
+
+use std::fmt;
+
+const BITS: usize = u64::BITS as usize;
+
+/// A set of small integers (`0..capacity`) backed by `u64` blocks.
+///
+/// Two sets built with the same capacity compare equal iff they contain the
+/// same elements, so a `BitSet` is a valid hash-map key for subset
+/// construction.
+///
+/// ```
+/// use apt_regex::bitset::BitSet;
+/// let mut s = BitSet::new(130);
+/// assert!(s.insert(0));
+/// assert!(s.insert(129));
+/// assert!(!s.insert(129)); // already present
+/// assert!(s.contains(129));
+/// assert_eq!(s.iter().collect::<Vec<_>>(), vec![0, 129]);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct BitSet {
+    blocks: Box<[u64]>,
+}
+
+impl BitSet {
+    /// An empty set able to hold elements `0..capacity`.
+    pub fn new(capacity: usize) -> BitSet {
+        BitSet {
+            blocks: vec![0u64; capacity.div_ceil(BITS)].into_boxed_slice(),
+        }
+    }
+
+    /// Inserts `i`, returning `true` if it was not already present.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is outside the capacity the set was created with.
+    pub fn insert(&mut self, i: usize) -> bool {
+        let mask = 1u64 << (i % BITS);
+        let block = &mut self.blocks[i / BITS];
+        let fresh = *block & mask == 0;
+        *block |= mask;
+        fresh
+    }
+
+    /// Whether `i` is in the set.
+    pub fn contains(&self, i: usize) -> bool {
+        self.blocks
+            .get(i / BITS)
+            .is_some_and(|b| b & (1u64 << (i % BITS)) != 0)
+    }
+
+    /// Adds every element of `other` (capacities must match).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `other` was created with a larger capacity.
+    pub fn union_with(&mut self, other: &BitSet) {
+        assert!(other.blocks.len() <= self.blocks.len());
+        for (dst, src) in self.blocks.iter_mut().zip(other.blocks.iter()) {
+            *dst |= src;
+        }
+    }
+
+    /// Whether the set holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.blocks.iter().all(|&b| b == 0)
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.blocks.iter().map(|b| b.count_ones() as usize).sum()
+    }
+
+    /// The elements in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.blocks.iter().enumerate().flat_map(|(bi, &block)| {
+            let mut bits = block;
+            std::iter::from_fn(move || {
+                if bits == 0 {
+                    return None;
+                }
+                let tz = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                Some(bi * BITS + tz)
+            })
+        })
+    }
+}
+
+impl fmt::Debug for BitSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn insert_contains_iter() {
+        let mut s = BitSet::new(200);
+        for i in [0, 1, 63, 64, 65, 127, 128, 199] {
+            assert!(s.insert(i));
+            assert!(!s.insert(i));
+        }
+        assert_eq!(
+            s.iter().collect::<Vec<_>>(),
+            vec![0, 1, 63, 64, 65, 127, 128, 199]
+        );
+        assert_eq!(s.len(), 8);
+        assert!(!s.contains(2));
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn union_and_equality() {
+        let mut a = BitSet::new(100);
+        let mut b = BitSet::new(100);
+        a.insert(3);
+        b.insert(70);
+        a.union_with(&b);
+        assert!(a.contains(3) && a.contains(70));
+        let mut c = BitSet::new(100);
+        c.insert(70);
+        c.insert(3);
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn works_as_hash_key() {
+        let mut seen: HashSet<BitSet> = HashSet::new();
+        let mut a = BitSet::new(80);
+        a.insert(5);
+        let mut b = BitSet::new(80);
+        b.insert(5);
+        assert!(seen.insert(a));
+        assert!(!seen.insert(b));
+    }
+
+    #[test]
+    fn empty_set() {
+        let s = BitSet::new(0);
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
+        assert!(!s.contains(0));
+        assert_eq!(s.iter().count(), 0);
+    }
+}

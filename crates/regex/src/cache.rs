@@ -24,6 +24,7 @@ use std::hash::{Hash, Hasher};
 use std::sync::{Arc, Mutex};
 
 use crate::dfa::Dfa;
+use crate::intern::RegexId;
 use crate::limits::{LimitExceeded, Limits};
 use crate::{Regex, Symbol};
 
@@ -33,7 +34,10 @@ const SHARDS: usize = 16;
 /// Maximum interned automata per shard.
 const SHARD_CAPACITY: usize = 512;
 
-type Key = (String, Vec<Symbol>);
+/// Cache key: hash-consed expression id plus the DFA's alphabet. The id
+/// replaces the `Display`-formatted regex string the cache used to key on —
+/// lookups hash two machine words instead of formatting a tree.
+type Key = (RegexId, Vec<Symbol>);
 
 /// A sharded `(regex, alphabet) → Arc<Dfa>` interner, safe to share across
 /// worker threads.
@@ -92,7 +96,26 @@ impl DfaCache {
         alphabet: &[Symbol],
         limits: &Limits,
     ) -> Result<Arc<Dfa>, LimitExceeded> {
-        let key: Key = (re.to_string(), alphabet.to_vec());
+        self.get_or_build_id(RegexId::intern(re), re, alphabet, limits)
+    }
+
+    /// [`DfaCache::get_or_build`] for a pre-interned expression: `id` must
+    /// be the interned form of `re` (callers on the hot path already hold
+    /// both, so no re-interning and no formatting happens here).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`LimitExceeded`] from the construction. Failed builds
+    /// are never cached.
+    pub fn get_or_build_id(
+        &self,
+        id: RegexId,
+        re: &Regex,
+        alphabet: &[Symbol],
+        limits: &Limits,
+    ) -> Result<Arc<Dfa>, LimitExceeded> {
+        debug_assert_eq!(RegexId::intern(re), id, "id must intern the given regex");
+        let key: Key = (id, alphabet.to_vec());
         let shard = self.shard(&key);
         if let Ok(guard) = shard.lock() {
             if let Some(dfa) = guard.get(&key) {

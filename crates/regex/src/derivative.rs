@@ -41,6 +41,57 @@ pub fn derive(re: &Regex, sym: crate::Symbol) -> Regex {
     }
 }
 
+/// Decides `L(a) ⊆ L(b)` by exploring pairs of Brzozowski derivatives:
+/// a counterexample word exists iff some reachable derivative pair is
+/// nullable on the left and not on the right.
+///
+/// This is a third, automata-free implementation of the subset test, used
+/// to cross-validate the DFA kernels. Derivatives here are only
+/// syntactically simplified (not normalized modulo
+/// associativity/commutativity/idempotence), so the pair space is not
+/// always finite: the search gives up after expanding `budget` distinct
+/// pairs and returns `None` ("undecided"). `Some(v)` answers are exact.
+///
+/// ```
+/// use apt_regex::{derivative, parse};
+/// let a = parse("L.L").unwrap();
+/// let b = parse("L+").unwrap();
+/// assert_eq!(derivative::is_subset_bounded(&a, &b, 1000), Some(true));
+/// assert_eq!(derivative::is_subset_bounded(&b, &a, 1000), Some(false));
+/// ```
+pub fn is_subset_bounded(a: &Regex, b: &Regex, budget: usize) -> Option<bool> {
+    let mut alpha = a.symbols();
+    alpha.extend(b.symbols());
+    alpha.sort_unstable();
+    alpha.dedup();
+
+    let mut seen: std::collections::HashSet<(Regex, Regex)> = std::collections::HashSet::new();
+    let start = (a.clone(), b.clone());
+    seen.insert(start.clone());
+    let mut stack = vec![start];
+    while let Some((ra, rb)) = stack.pop() {
+        if ra.is_nullable() && !rb.is_nullable() {
+            return Some(false);
+        }
+        for &sym in &alpha {
+            let da = derive(&ra, sym);
+            if da.is_empty_language() {
+                // No word of L(a) continues this way: nothing to refute.
+                continue;
+            }
+            let db = derive(&rb, sym);
+            let pair = (da, db);
+            if seen.insert(pair.clone()) {
+                if seen.len() > budget {
+                    return None;
+                }
+                stack.push(pair);
+            }
+        }
+    }
+    Some(true)
+}
+
 /// Derives by an entire word, returning the residual language.
 pub fn derive_word(re: &Regex, word: &[crate::Symbol]) -> Regex {
     let mut cur = re.clone();
@@ -91,6 +142,29 @@ mod tests {
         let d = derive(&re, l);
         assert!(d.is_nullable());
         assert!(d.matches(&[l]));
+    }
+
+    #[test]
+    fn bounded_subset_basics() {
+        let cases = [
+            ("L", "L|R", Some(true)),
+            ("L|R", "L", Some(false)),
+            ("L.L.L", "L*", Some(true)),
+            ("eps", "L+", Some(false)),
+            ("empty", "L", Some(true)),
+        ];
+        for (x, y, expect) in cases {
+            let (rx, ry) = (crate::parse(x).unwrap(), crate::parse(y).unwrap());
+            assert_eq!(is_subset_bounded(&rx, &ry, 10_000), expect, "{x} ⊆ {y}");
+        }
+    }
+
+    #[test]
+    fn bounded_subset_gives_up_cleanly() {
+        // A one-pair budget cannot close any nontrivial search.
+        let a = crate::parse("(L|R)*.N").unwrap();
+        let b = crate::parse("(L|R|N)*").unwrap();
+        assert_eq!(is_subset_bounded(&a, &b, 1), None);
     }
 
     #[test]

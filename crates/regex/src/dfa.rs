@@ -6,10 +6,11 @@
 //! flipping accept bits — exactly the construction the paper cites (\[HU79\])
 //! for the subset test.
 
+use crate::bitset::BitSet;
 use crate::limits::{LimitExceeded, Limits, Meter};
 use crate::nfa::Nfa;
 use crate::{Regex, Symbol};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 /// A complete DFA over an explicit alphabet.
 #[derive(Debug, Clone)]
@@ -53,9 +54,10 @@ impl Dfa {
         alphabet: &[Symbol],
         limits: &Limits,
     ) -> Result<Dfa, LimitExceeded> {
+        let covered: HashSet<Symbol> = alphabet.iter().copied().collect();
         for s in re.symbols() {
             assert!(
-                alphabet.contains(&s),
+                covered.contains(&s),
                 "alphabet must cover regex symbols: missing {s}"
             );
         }
@@ -63,23 +65,26 @@ impl Dfa {
         let alphabet = alphabet.to_vec();
         let mut meter = Meter::new(limits)?;
 
-        let mut states: HashMap<Vec<usize>, usize> = HashMap::new();
+        // Bitset-backed subset construction: DFA states are ε-closed NFA
+        // state sets stored as dense bit vectors, hashed word-wise.
+        let n = nfa.state_count();
+        let closures = nfa.epsilon_closures();
+        let mut states: HashMap<BitSet, usize> = HashMap::new();
         let mut trans: Vec<Vec<usize>> = Vec::new();
         let mut accept: Vec<bool> = Vec::new();
-        let mut worklist: Vec<Vec<usize>> = Vec::new();
+        let mut worklist: Vec<(usize, BitSet)> = Vec::new();
 
-        let start_set = nfa.epsilon_closure(&[nfa.start()]);
+        let start_set = closures[nfa.start()].clone();
         meter.add_state()?;
         states.insert(start_set.clone(), 0);
         trans.push(vec![usize::MAX; alphabet.len()]);
-        accept.push(start_set.contains(&nfa.accept()));
-        worklist.push(start_set);
+        accept.push(start_set.contains(nfa.accept()));
+        worklist.push((0, start_set));
 
-        while let Some(set) = worklist.pop() {
-            let id = states[&set];
+        while let Some((id, set)) = worklist.pop() {
             for (ai, &sym) in alphabet.iter().enumerate() {
-                let moved = nfa.step(&set, sym);
-                let next = nfa.epsilon_closure(&moved);
+                let mut next = BitSet::new(n);
+                nfa.step_closure_into(&set, sym, &closures, &mut next);
                 let next_id = match states.get(&next) {
                     Some(&i) => i,
                     None => {
@@ -87,8 +92,8 @@ impl Dfa {
                         let i = trans.len();
                         states.insert(next.clone(), i);
                         trans.push(vec![usize::MAX; alphabet.len()]);
-                        accept.push(next.contains(&nfa.accept()));
-                        worklist.push(next);
+                        accept.push(next.contains(nfa.accept()));
+                        worklist.push((i, next));
                         i
                     }
                 };
@@ -218,6 +223,79 @@ impl Dfa {
             accept,
             start: 0,
         })
+    }
+
+    /// Searches the product automaton on the fly for a reachable pair
+    /// `(p, q)` satisfying `want(accept_a(p), accept_b(q))`, without
+    /// materializing any transition table. Discovery order and metering
+    /// match [`Dfa::try_intersect`] pair-for-pair (the same depth-first
+    /// worklist, pairs metered as discovered), so a limit that trips here
+    /// would also have tripped the materializing construction.
+    fn try_find_product_pair<F: Fn(bool, bool) -> bool>(
+        &self,
+        other: &Dfa,
+        limits: &Limits,
+        want: F,
+    ) -> Result<bool, LimitExceeded> {
+        assert_eq!(
+            self.alphabet, other.alphabet,
+            "product requires identical alphabets"
+        );
+        let mut meter = Meter::new(limits)?;
+        let mut seen: HashSet<(usize, usize)> = HashSet::new();
+        let start = (self.start, other.start);
+        meter.add_state()?;
+        seen.insert(start);
+        if want(self.accept[start.0], other.accept[start.1]) {
+            return Ok(true);
+        }
+        let mut stack = vec![start];
+        while let Some((p, q)) = stack.pop() {
+            for ai in 0..self.alphabet.len() {
+                let np = self.trans[p][ai];
+                let nq = other.trans[q][ai];
+                if seen.insert((np, nq)) {
+                    meter.add_state()?;
+                    if want(self.accept[np], other.accept[nq]) {
+                        return Ok(true);
+                    }
+                    stack.push((np, nq));
+                }
+            }
+        }
+        Ok(false)
+    }
+
+    /// `L(self) ⊆ L(other)`, decided by lazily walking
+    /// `self × other` for a pair that accepts in `self` but not in
+    /// `other` — a counterexample word. No complement or product DFA is
+    /// built; the walk stops at the first bad pair.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`LimitExceeded`] hit while exploring pair-states
+    /// (each explored pair is metered exactly like a materialized product
+    /// state). The question is then undecided.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the alphabets differ.
+    pub fn try_subset_of(&self, other: &Dfa, limits: &Limits) -> Result<bool, LimitExceeded> {
+        Ok(!self.try_find_product_pair(other, limits, |pa, qa| pa && !qa)?)
+    }
+
+    /// `L(self) ∩ L(other) ≠ ∅`, decided by lazily walking the product for
+    /// a pair accepting on both sides.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`LimitExceeded`] hit while exploring pair-states.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the alphabets differ.
+    pub fn try_intersects(&self, other: &Dfa, limits: &Limits) -> Result<bool, LimitExceeded> {
+        self.try_find_product_pair(other, limits, |pa, qa| pa && qa)
     }
 
     /// Whether the language is empty (no accepting state reachable).
@@ -464,6 +542,62 @@ mod tests {
         assert_eq!(
             x.try_intersect(&y, &Limits::none().with_max_states(2))
                 .err(),
+            Some(LimitExceeded::States { budget: 2 })
+        );
+    }
+
+    #[test]
+    fn lazy_subset_walk_agrees_with_materializing_check() {
+        let alpha = syms(&["L", "R", "N"]);
+        let cases = [
+            ("L.L", "L*", true),
+            ("L*", "L.L", false),
+            ("(L|R)+.N", "(L|R|N)+", true),
+            ("N*", "N+", false),
+            ("empty", "L", true),
+        ];
+        for (x, y, expect) in cases {
+            let a = Dfa::build(&crate::parse(x).unwrap(), &alpha);
+            let b = Dfa::build(&crate::parse(y).unwrap(), &alpha);
+            assert_eq!(
+                a.try_subset_of(&b, &Limits::none()),
+                Ok(expect),
+                "{x} ⊆ {y}"
+            );
+            // Reference: the materializing complement/product/emptiness.
+            assert_eq!(
+                a.intersect(&b.complement()).is_empty(),
+                expect,
+                "materializing {x} ⊆ {y}"
+            );
+        }
+    }
+
+    #[test]
+    fn lazy_intersects_agrees_with_product_emptiness() {
+        let alpha = syms(&["L", "R"]);
+        let a = Dfa::build(&crate::parse("L+").unwrap(), &alpha);
+        let b = Dfa::build(&crate::parse("R+").unwrap(), &alpha);
+        let c = Dfa::build(&crate::parse("(L|R)+").unwrap(), &alpha);
+        assert_eq!(a.try_intersects(&b, &Limits::none()), Ok(false));
+        assert_eq!(a.try_intersects(&c, &Limits::none()), Ok(true));
+    }
+
+    #[test]
+    fn lazy_walk_meters_pair_states() {
+        let alpha = syms(&["a", "b"]);
+        let x = Dfa::build(&crate::parse("(a|b)*.a.(a|b).(a|b).(a|b)").unwrap(), &alpha);
+        let y = Dfa::build(&crate::parse("(a|b)*.b.(a|b).(a|b).(a|b)").unwrap(), &alpha);
+        // Subset here is false and the counterexample pair is found well
+        // within even a small budget — early exit decides what the
+        // materializing product could not afford.
+        let tight = Limits::none().with_max_states(2);
+        assert!(x.try_intersect(&y, &tight).is_err());
+        // With both sides forced to stay disjoint in accepts, the walk
+        // must visit every reachable pair and trip the same budget.
+        let never = Dfa::build(&Regex::empty(), &alpha);
+        assert_eq!(
+            x.try_intersects(&never, &tight).err(),
             Some(LimitExceeded::States { budget: 2 })
         );
     }

@@ -1,0 +1,217 @@
+//! Hash-consed regular expressions.
+//!
+//! Every subset test the prover issues starts by asking "have I seen this
+//! `(a, b)` pair before?". Keying those caches on `Display`-formatted
+//! strings means two allocations and a full tree walk per lookup;
+//! [`RegexId`] replaces that with a process-global hash-consing arena in
+//! the style of [`crate::Symbol`]: structurally equal regexes intern to the
+//! same small integer id, so cache keys are `(u32, u32)` pairs and
+//! structural equality is one integer compare.
+//!
+//! The arena is append-only and lives for the process (ids are never
+//! freed), which is exactly the lifetime the caches need: an id minted in
+//! one query remains valid for every later query and thread. Interning a
+//! regex of `n` nodes costs `n` hash-map probes under one lock — paid once
+//! per distinct expression; every later intern of an equal tree stops at
+//! the same ids.
+
+use crate::{Regex, Symbol};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::{Mutex, OnceLock};
+
+/// An interned, hash-consed regular expression.
+///
+/// Two ids are equal iff the regexes are structurally equal (after the
+/// smart-constructor simplifications already applied when the trees were
+/// built). The derived `Ord` is the arena insertion order — stable for the
+/// process, but arbitrary; use it for dense keys, not for canonicalization.
+///
+/// ```
+/// use apt_regex::{parse, RegexId};
+/// let a = RegexId::intern(&parse("(L|R)+.N").unwrap());
+/// let b = RegexId::intern(&parse("(L|R)+.N").unwrap());
+/// assert_eq!(a, b); // O(1) structural equality
+/// assert_eq!(a.to_regex().to_string(), "(L|R)+.N");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RegexId(u32);
+
+/// One arena node, with children already interned. Hash-consing works on
+/// this shallow shape: deep equality of trees reduces to shallow equality
+/// of nodes over child ids.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+enum Node {
+    Empty,
+    Epsilon,
+    Field(Symbol),
+    Concat(RegexId, RegexId),
+    Alt(RegexId, RegexId),
+    Star(RegexId),
+    Plus(RegexId),
+}
+
+struct Entry {
+    /// The denoted tree, kept so `to_regex` is a clone of an `Arc`-shared
+    /// top node rather than a rebuild.
+    regex: Regex,
+    nullable: bool,
+}
+
+struct Arena {
+    entries: Vec<Entry>,
+    lookup: HashMap<Node, u32>,
+}
+
+impl Arena {
+    fn insert(&mut self, node: Node, regex: Regex) -> RegexId {
+        if let Some(&id) = self.lookup.get(&node) {
+            return RegexId(id);
+        }
+        let id = u32::try_from(self.entries.len()).expect("regex interner overflow");
+        let nullable = regex.is_nullable();
+        self.entries.push(Entry { regex, nullable });
+        self.lookup.insert(node, id);
+        RegexId(id)
+    }
+
+    fn intern(&mut self, re: &Regex) -> RegexId {
+        let node = match re {
+            Regex::Empty => Node::Empty,
+            Regex::Epsilon => Node::Epsilon,
+            Regex::Field(s) => Node::Field(*s),
+            Regex::Concat(a, b) => Node::Concat(self.intern(a), self.intern(b)),
+            Regex::Alt(a, b) => Node::Alt(self.intern(a), self.intern(b)),
+            Regex::Star(a) => Node::Star(self.intern(a)),
+            Regex::Plus(a) => Node::Plus(self.intern(a)),
+        };
+        self.insert(node, re.clone())
+    }
+}
+
+fn arena() -> &'static Mutex<Arena> {
+    static ARENA: OnceLock<Mutex<Arena>> = OnceLock::new();
+    ARENA.get_or_init(|| {
+        let mut arena = Arena {
+            entries: Vec::new(),
+            lookup: HashMap::new(),
+        };
+        // Pre-seed the two constants so RegexId::EMPTY / EPSILON are fixed.
+        arena.insert(Node::Empty, Regex::Empty);
+        arena.insert(Node::Epsilon, Regex::Epsilon);
+        Mutex::new(arena)
+    })
+}
+
+impl RegexId {
+    /// The id of the empty language `∅`.
+    pub const EMPTY: RegexId = RegexId(0);
+
+    /// The id of the empty path `ε`.
+    pub const EPSILON: RegexId = RegexId(1);
+
+    /// Interns `re`, returning its canonical id. Structurally equal trees
+    /// (from any allocation) intern to the same id.
+    pub fn intern(re: &Regex) -> RegexId {
+        arena().lock().expect("regex interner poisoned").intern(re)
+    }
+
+    /// The interned expression tree (cheap: clones a shared top node).
+    pub fn to_regex(self) -> Regex {
+        arena().lock().expect("regex interner poisoned").entries[self.0 as usize]
+            .regex
+            .clone()
+    }
+
+    /// Whether the denoted language is `∅`. O(1): `∅` has a fixed id and
+    /// the smart constructors never bury `∅` inside a composite node.
+    pub fn is_empty_language(self) -> bool {
+        self == RegexId::EMPTY
+    }
+
+    /// Whether the language contains ε (memoized at intern time).
+    pub fn is_nullable(self) -> bool {
+        arena().lock().expect("regex interner poisoned").entries[self.0 as usize].nullable
+    }
+
+    /// The raw arena index, useful as a dense array key.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for RegexId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "RegexId({} = {})", self.0, self.to_regex())
+    }
+}
+
+impl fmt::Display for RegexId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.to_regex().fmt(f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+
+    #[test]
+    fn intern_is_idempotent_and_structural() {
+        let a = RegexId::intern(&parse("(L|R)+.N+").unwrap());
+        let b = RegexId::intern(&parse("(L|R)+.N+").unwrap());
+        assert_eq!(a, b);
+        // Structurally different expression, even if language-equal:
+        let c = RegexId::intern(&parse("(L|R)+.N.N*").unwrap());
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn constants_are_fixed() {
+        assert_eq!(RegexId::intern(&Regex::empty()), RegexId::EMPTY);
+        assert_eq!(RegexId::intern(&Regex::epsilon()), RegexId::EPSILON);
+        assert!(RegexId::EMPTY.is_empty_language());
+        assert!(!RegexId::EPSILON.is_empty_language());
+        assert!(RegexId::EPSILON.is_nullable());
+        assert!(!RegexId::EMPTY.is_nullable());
+    }
+
+    #[test]
+    fn round_trips_the_tree() {
+        for text in ["L.L.N", "(L|R)+.N+", "N*", "eps", "empty", "(a.b)*|c+"] {
+            let re = parse(text).unwrap();
+            let id = RegexId::intern(&re);
+            assert_eq!(id.to_regex(), re, "{text}");
+            assert_eq!(id.to_string(), re.to_string());
+            assert_eq!(id.is_nullable(), re.is_nullable());
+        }
+    }
+
+    #[test]
+    fn subterms_share_ids() {
+        let whole = parse("(L|R).N").unwrap();
+        let part = parse("L|R").unwrap();
+        let _ = RegexId::intern(&whole);
+        let before = RegexId::intern(&part);
+        // Interning the subterm again allocates nothing new.
+        assert_eq!(RegexId::intern(&part), before);
+    }
+
+    #[test]
+    fn concurrent_interning_converges() {
+        let re = parse("(x|y)+.z").unwrap();
+        let ids: Vec<RegexId> = std::thread::scope(|scope| {
+            (0..4)
+                .map(|_| {
+                    let re = re.clone();
+                    scope.spawn(move || RegexId::intern(&re))
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .collect()
+        });
+        assert!(ids.windows(2).all(|w| w[0] == w[1]));
+    }
+}

@@ -12,6 +12,8 @@
 //! * [`Symbol`] — interned field names.
 //! * [`Regex`] — the expression tree with simplifying constructors and a
 //!   parser for the paper's concrete syntax ([`parse`]).
+//! * [`RegexId`] — hash-consed expression handles with O(1) structural
+//!   equality, the key type for every cache on the subset-test hot path.
 //! * [`nfa`]/[`dfa`] — Thompson construction and subset construction with
 //!   complement, product, emptiness, witnesses, and minimization.
 //! * [`ops`] — the decision procedures (`is_subset`, `is_disjoint`,
@@ -48,9 +50,11 @@
 #![warn(missing_docs)]
 
 mod ast;
+pub mod bitset;
 pub mod cache;
 pub mod derivative;
 pub mod dfa;
+pub mod intern;
 pub mod limits;
 pub mod nfa;
 pub mod ops;
@@ -61,6 +65,7 @@ mod symbol;
 
 pub use ast::Regex;
 pub use cache::DfaCache;
+pub use intern::RegexId;
 pub use limits::{LimitExceeded, Limits};
 pub use parse::{parse, ParseRegexError};
 pub use path::{Component, Path};

@@ -5,6 +5,7 @@
 //! `M1 ∩ ¬M2 = ∅`, §4.1) works on the DFAs obtained from these NFAs by
 //! subset construction ([`crate::dfa`]).
 
+use crate::bitset::BitSet;
 use crate::{Regex, Symbol};
 
 /// A transition label: `None` is an ε-move.
@@ -143,6 +144,49 @@ impl Nfa {
         (0..self.transitions.len()).filter(|&i| seen[i]).collect()
     }
 
+    /// The ε-closure of every single state, as one [`BitSet`] per state.
+    ///
+    /// This is the precomputation the bitset-backed subset construction
+    /// runs on: `closure(S) = ⋃_{s∈S} closures[s]`, a word-wise union
+    /// instead of a per-step depth-first search.
+    pub fn epsilon_closures(&self) -> Vec<BitSet> {
+        let n = self.transitions.len();
+        (0..n)
+            .map(|root| {
+                let mut set = BitSet::new(n);
+                set.insert(root);
+                let mut stack = vec![root];
+                while let Some(s) = stack.pop() {
+                    for &(label, to) in &self.transitions[s] {
+                        if label.is_none() && set.insert(to) {
+                            stack.push(to);
+                        }
+                    }
+                }
+                set
+            })
+            .collect()
+    }
+
+    /// Unions into `out` the ε-closures of all states reachable from `set`
+    /// by one `sym` edge. `closures` must come from
+    /// [`Nfa::epsilon_closures`] on this NFA.
+    pub fn step_closure_into(
+        &self,
+        set: &BitSet,
+        sym: Symbol,
+        closures: &[BitSet],
+        out: &mut BitSet,
+    ) {
+        for s in set.iter() {
+            for &(label, to) in &self.transitions[s] {
+                if label == Some(sym) {
+                    out.union_with(&closures[to]);
+                }
+            }
+        }
+    }
+
     /// States reachable from `states` on one `sym` edge (no closure applied).
     pub fn step(&self, states: &[usize], sym: Symbol) -> Vec<usize> {
         let mut out: Vec<usize> = Vec::new();
@@ -215,6 +259,26 @@ mod tests {
         assert!(!accepts(&nfa, &[]));
         assert!(accepts(&nfa, &[n]));
         assert!(accepts(&nfa, &[n, n]));
+    }
+
+    #[test]
+    fn bitset_closures_agree_with_vec_closures() {
+        let re = crate::parse("(L|R)*.N+.(L.R)*").unwrap();
+        let nfa = Nfa::build(&re);
+        let closures = nfa.epsilon_closures();
+        for (s, closure) in closures.iter().enumerate() {
+            let via_vec = nfa.epsilon_closure(&[s]);
+            let via_bits: Vec<usize> = closure.iter().collect();
+            assert_eq!(via_vec, via_bits, "state {s}");
+        }
+        // One symbol step + closure, both ways, from the start closure.
+        let start: Vec<usize> = closures[nfa.start()].iter().collect();
+        for sym in re.symbols() {
+            let stepped = nfa.epsilon_closure(&nfa.step(&start, sym));
+            let mut bits = BitSet::new(nfa.state_count());
+            nfa.step_closure_into(&closures[nfa.start()], sym, &closures, &mut bits);
+            assert_eq!(stepped, bits.iter().collect::<Vec<_>>(), "symbol {sym}");
+        }
     }
 
     #[test]

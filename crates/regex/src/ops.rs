@@ -8,8 +8,10 @@
 
 use crate::cache::DfaCache;
 use crate::dfa::Dfa;
+use crate::intern::RegexId;
 use crate::limits::{LimitExceeded, Limits};
 use crate::{Regex, Symbol};
+use std::sync::Arc;
 
 fn union_alphabet(a: &Regex, b: &Regex) -> Vec<Symbol> {
     let mut syms = a.symbols();
@@ -51,7 +53,91 @@ pub fn try_is_subset(a: &Regex, b: &Regex, limits: &Limits) -> Result<bool, Limi
     let alpha = union_alphabet(a, b);
     let da = Dfa::try_build(a, &alpha, limits)?;
     let db = Dfa::try_build(b, &alpha, limits)?;
+    da.try_subset_of(&db, limits)
+}
+
+/// `L(a) ⊆ L(b)` by the pre-arena kernel: build both DFAs, materialize the
+/// complement and the full product, then ask emptiness.
+///
+/// Kept as an independent reference implementation for cross-validation
+/// (the property suite pits [`try_is_subset`]'s early-exit walk against
+/// it) and as the baseline the `subset_latency` benchmark measures.
+///
+/// # Errors
+///
+/// Returns the first [`LimitExceeded`] encountered (question undecided).
+pub fn try_is_subset_materializing(
+    a: &Regex,
+    b: &Regex,
+    limits: &Limits,
+) -> Result<bool, LimitExceeded> {
+    if a.is_empty_language() {
+        return Ok(true);
+    }
+    let alpha = union_alphabet(a, b);
+    let da = Dfa::try_build(a, &alpha, limits)?;
+    let db = Dfa::try_build(b, &alpha, limits)?;
     Ok(da.try_intersect(&db.complement(), limits)?.is_empty())
+}
+
+/// `L(a) ⊆ L(b)` for interned expressions, under [`Limits`], reusing DFAs
+/// from `cache` when one is provided.
+///
+/// This is the prover's hot path: the ids arrive pre-interned (axiom sides
+/// are interned once per axiom set), structural equality is an integer
+/// compare, and the DFA interner keys on `(RegexId, alphabet)` — no
+/// `Display`-formatted string is ever built.
+///
+/// # Errors
+///
+/// Returns the first [`LimitExceeded`] encountered; the question is then
+/// undecided and the caller must treat it as "unknown".
+pub fn try_is_subset_ids(
+    a: RegexId,
+    b: RegexId,
+    limits: &Limits,
+    cache: Option<&DfaCache>,
+) -> Result<bool, LimitExceeded> {
+    if a.is_empty_language() || a == b {
+        // Hash-consing makes structural equality O(1); equal expressions
+        // denote equal languages.
+        return Ok(true);
+    }
+    let ra = a.to_regex();
+    let rb = b.to_regex();
+    try_is_subset_interned(a, &ra, b, &rb, limits, cache)
+}
+
+/// As [`try_is_subset_ids`], for callers that already hold the trees next
+/// to the ids (the prover keeps both), so no arena round-trip is needed:
+/// `a_id`/`b_id` must be the interned forms of `a`/`b`.
+///
+/// # Errors
+///
+/// Returns the first [`LimitExceeded`] encountered (question undecided).
+pub fn try_is_subset_interned(
+    a_id: RegexId,
+    a: &Regex,
+    b_id: RegexId,
+    b: &Regex,
+    limits: &Limits,
+    cache: Option<&DfaCache>,
+) -> Result<bool, LimitExceeded> {
+    if a_id.is_empty_language() || a_id == b_id {
+        return Ok(true);
+    }
+    let alpha = union_alphabet(a, b);
+    let (da, db) = match cache {
+        Some(cache) => (
+            cache.get_or_build_id(a_id, a, &alpha, limits)?,
+            cache.get_or_build_id(b_id, b, &alpha, limits)?,
+        ),
+        None => (
+            Arc::new(Dfa::try_build(a, &alpha, limits)?),
+            Arc::new(Dfa::try_build(b, &alpha, limits)?),
+        ),
+    };
+    da.try_subset_of(&db, limits)
 }
 
 /// `L(a) ⊆ L(b)` under [`Limits`], reusing interned DFAs from `cache` when
@@ -80,7 +166,7 @@ pub fn try_is_subset_with(
     let alpha = union_alphabet(a, b);
     let da = cache.get_or_build(a, &alpha, limits)?;
     let db = cache.get_or_build(b, &alpha, limits)?;
-    Ok(da.try_intersect(&db.complement(), limits)?.is_empty())
+    da.try_subset_of(&db, limits)
 }
 
 /// `L(a) ∩ L(b) = ∅`.
@@ -101,7 +187,7 @@ pub fn try_is_disjoint(a: &Regex, b: &Regex, limits: &Limits) -> Result<bool, Li
     let alpha = union_alphabet(a, b);
     let da = Dfa::try_build(a, &alpha, limits)?;
     let db = Dfa::try_build(b, &alpha, limits)?;
-    Ok(da.try_intersect(&db, limits)?.is_empty())
+    Ok(!da.try_intersects(&db, limits)?)
 }
 
 /// `L(a) = L(b)`.
@@ -283,6 +369,47 @@ mod tests {
             }
         }
         assert!(!cache.is_empty());
+    }
+
+    #[test]
+    fn lazy_and_materializing_kernels_agree() {
+        let cases = [
+            ("L.L", "L+"),
+            ("L+", "L.L"),
+            ("L|R", "L"),
+            ("ncolE+", "(ncolE|nrowE)+"),
+            ("eps", "L*"),
+            ("eps", "L+"),
+            ("(L|R)+.N+", "(L|R|N)+"),
+        ];
+        for (x, y) in cases {
+            let (rx, ry) = (parse(x).unwrap(), parse(y).unwrap());
+            assert_eq!(
+                try_is_subset(&rx, &ry, &Limits::none()),
+                try_is_subset_materializing(&rx, &ry, &Limits::none()),
+                "{x} ⊆ {y}"
+            );
+        }
+    }
+
+    #[test]
+    fn interned_subset_agrees_with_tree_subset() {
+        let cache = DfaCache::new();
+        let cases = [("L.L", "L+"), ("L+", "L.L"), ("empty", "L"), ("L*", "L*")];
+        for (x, y) in cases {
+            let (rx, ry) = (parse(x).unwrap(), parse(y).unwrap());
+            let (ix, iy) = (RegexId::intern(&rx), RegexId::intern(&ry));
+            let expect = Ok(is_subset(&rx, &ry));
+            assert_eq!(try_is_subset_ids(ix, iy, &Limits::none(), None), expect);
+            // Twice with the cache: populate, then hit.
+            for _ in 0..2 {
+                assert_eq!(
+                    try_is_subset_ids(ix, iy, &Limits::none(), Some(&cache)),
+                    expect,
+                    "{x} ⊆ {y}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -11,6 +11,7 @@
 //! empty component sequence, matching the paper's `ε` suffix arguments.
 
 use crate::{Regex, Symbol};
+use std::cmp::Ordering;
 use std::fmt;
 
 /// One component of an access path.
@@ -44,6 +45,37 @@ impl Component {
             Component::Alt(a, b) => 1 + a.size() + b.size(),
             Component::Star(a) | Component::Plus(a) => 1 + a.size(),
         }
+    }
+}
+
+impl Ord for Component {
+    /// A total structural order, comparing field components by *name* (not
+    /// by interner id, which depends on interning order and would differ
+    /// between runs). Deterministic for the same input on every run, which
+    /// is what symmetric-goal canonicalization needs.
+    fn cmp(&self, other: &Self) -> Ordering {
+        fn rank(c: &Component) -> u8 {
+            match c {
+                Component::Field(_) => 0,
+                Component::Alt(_, _) => 1,
+                Component::Star(_) => 2,
+                Component::Plus(_) => 3,
+            }
+        }
+        match (self, other) {
+            (Component::Field(a), Component::Field(b)) => a.as_str().cmp(b.as_str()),
+            (Component::Alt(a1, b1), Component::Alt(a2, b2)) => a1.cmp(a2).then_with(|| b1.cmp(b2)),
+            (Component::Star(a), Component::Star(b)) | (Component::Plus(a), Component::Plus(b)) => {
+                a.cmp(b)
+            }
+            (a, b) => rank(a).cmp(&rank(b)),
+        }
+    }
+}
+
+impl PartialOrd for Component {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
     }
 }
 
@@ -245,6 +277,21 @@ impl Path {
         self.components
             .iter()
             .all(|c| matches!(c, Component::Field(_)))
+    }
+}
+
+impl Ord for Path {
+    /// Lexicographic over components (see [`Component`]'s order): a
+    /// process-stable total order used to canonicalize symmetric pairs
+    /// without formatting either path.
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.components.cmp(&other.components)
+    }
+}
+
+impl PartialOrd for Path {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
     }
 }
 

@@ -19,6 +19,26 @@ cargo fmt --all -- --check
 echo "==> batch throughput benchmark (smoke: 1 repetition)"
 cargo run -q --release -p apt-bench --bin batch_throughput -- --smoke
 
+echo "==> subset-kernel latency benchmark (smoke: verdict identity)"
+# The bin itself exits nonzero on any kernel disagreement; double-check the
+# recorded artifact so a silent write failure cannot pass the gate.
+cargo run -q --release -p apt-bench --bin subset_latency -- --smoke
+if ! grep -q '"verdicts_identical": true' BENCH_subset.json; then
+    echo "error: BENCH_subset.json does not record identical verdicts" >&2
+    exit 1
+fi
+
+echo "==> subset caches in apt-core must key on RegexId, not strings"
+# The arena refactor removed Display-formatted regex strings from every
+# cache key on the subset hot path; a (String, String) key reintroduces
+# the formatting cost and bypasses hash-consed equality.
+string_keys=$(grep -rnE '\(String, *String\)' --include='*.rs' crates/core 2>/dev/null || true)
+if [[ -n "$string_keys" ]]; then
+    echo "error: string-keyed cache in crates/core (use (RegexId, RegexId)):" >&2
+    echo "$string_keys" >&2
+    exit 1
+fi
+
 echo "==> deprecated prover API must not be used inside the workspace"
 # The deprecated prove_* shims live in crates/core/src/prover.rs; nothing
 # else may call them (or silence the lint to sneak a call through).

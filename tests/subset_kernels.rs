@@ -1,0 +1,115 @@
+//! Cross-validation of the three independent subset-test kernels:
+//!
+//! 1. the early-exit lazy product walk ([`ops::try_is_subset`], the
+//!    production kernel — walks `DFA(a) × DFA(b)` on the fly),
+//! 2. the materializing reference kernel
+//!    ([`ops::try_is_subset_materializing`] — builds the complement and the
+//!    full product, then asks emptiness, per \[HU79\]), and
+//! 3. the automata-free Brzozowski-derivative search
+//!    ([`derivative::is_subset_bounded`]).
+//!
+//! All three must agree on every decided pair, the interned-id entry point
+//! must agree with the tree entry points (cached and uncached), and under a
+//! tight state budget the lazy kernel may only *improve* on the
+//! materializing one: a limit trip in the new kernel implies the identical
+//! trip in the old one, never the other way around.
+
+use apt_regex::{derivative, ops, DfaCache, LimitExceeded, Limits, Regex, RegexId};
+use proptest::prelude::*;
+
+/// Strategy: a random regex over a tiny alphabet, depth-bounded.
+fn regex_strategy() -> BoxedStrategy<Regex> {
+    let leaf = prop_oneof![
+        3 => prop::sample::select(vec!["a", "b", "c"]).prop_map(Regex::field),
+        1 => Just(Regex::epsilon()),
+    ];
+    leaf.prop_recursive(3, 24, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(x, y)| Regex::concat(x, y)),
+            (inner.clone(), inner.clone()).prop_map(|(x, y)| Regex::alt(x, y)),
+            inner.clone().prop_map(Regex::star),
+            inner.prop_map(Regex::plus),
+        ]
+    })
+    .boxed()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// Lazy and materializing kernels decide identically when unbounded.
+    #[test]
+    fn lazy_agrees_with_materializing(a in regex_strategy(), b in regex_strategy()) {
+        let lazy = ops::try_is_subset(&a, &b, &Limits::none());
+        let full = ops::try_is_subset_materializing(&a, &b, &Limits::none());
+        prop_assert_eq!(lazy, full, "{} ⊆ {}", a, b);
+    }
+
+    /// The derivative engine, when it decides at all, agrees with the
+    /// automata answer.
+    #[test]
+    fn derivatives_agree_when_decided(a in regex_strategy(), b in regex_strategy()) {
+        if let Some(by_derivatives) = derivative::is_subset_bounded(&a, &b, 20_000) {
+            let by_automata = ops::is_subset(&a, &b);
+            prop_assert_eq!(by_derivatives, by_automata, "{} ⊆ {}", a, b);
+        }
+    }
+
+    /// The interned-id entry point agrees with the tree entry point, with
+    /// and without a DFA cache, hit or miss.
+    #[test]
+    fn interned_ids_agree_with_trees(a in regex_strategy(), b in regex_strategy()) {
+        let truth = ops::is_subset(&a, &b);
+        let (ia, ib) = (RegexId::intern(&a), RegexId::intern(&b));
+        prop_assert_eq!(ops::try_is_subset_ids(ia, ib, &Limits::none(), None), Ok(truth));
+        let cache = DfaCache::new();
+        // Twice: once to populate, once to hit.
+        for _ in 0..2 {
+            prop_assert_eq!(
+                ops::try_is_subset_ids(ia, ib, &Limits::none(), Some(&cache)),
+                Ok(truth),
+                "{} ⊆ {}", a, b
+            );
+        }
+    }
+
+    /// Degradation parity under a tight state budget. The lazy kernel
+    /// meters pair-states in the same discovery order the materializing
+    /// kernel explores its product, so:
+    ///
+    /// * a definite `true` from either side means both sides say `true`;
+    /// * a limit trip in the lazy kernel is the *same* trip in the
+    ///   materializing one (the lazy walk never degrades first);
+    /// * `false` may come early from the lazy walk while the materializing
+    ///   kernel still trips its budget — a strict improvement — but a
+    ///   decided answer must match the unbounded truth.
+    #[test]
+    fn tight_budgets_degrade_identically(
+        a in regex_strategy(),
+        b in regex_strategy(),
+        max_states in 1usize..40,
+    ) {
+        let tight = Limits::none().with_max_states(max_states);
+        let lazy = ops::try_is_subset(&a, &b, &tight);
+        let full = ops::try_is_subset_materializing(&a, &b, &tight);
+        let truth = ops::is_subset(&a, &b);
+        match (lazy, full) {
+            (Ok(lv), Ok(fv)) => {
+                prop_assert_eq!(lv, fv, "{} ⊆ {}", a, b);
+                prop_assert_eq!(lv, truth, "{} ⊆ {}", a, b);
+            }
+            (Ok(lv), Err(LimitExceeded::States { .. })) => {
+                // Early exit decided before the budget ran out; only the
+                // counterexample direction can finish first.
+                prop_assert_eq!(lv, truth, "{} ⊆ {}", a, b);
+                prop_assert!(!lv, "early exit can only decide 'false' sooner");
+            }
+            (Err(le), fe) => {
+                prop_assert_eq!(Err(le), fe, "lazy degraded but materializing did not");
+            }
+            (Ok(_), Err(other)) => {
+                prop_assert!(false, "unexpected non-state trip: {:?}", other);
+            }
+        }
+    }
+}
