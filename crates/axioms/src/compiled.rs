@@ -1,0 +1,517 @@
+//! Compiled axiom sets: the prover-facing index over an [`AxiomSet`].
+//!
+//! §4.2 of the paper treats the axiom list as an unordered bag — every
+//! applicability check walks every axiom. But almost every application
+//! fails immediately on the *leading field symbol*: a goal side whose words
+//! all start with `ncolE` can never be covered by an axiom side whose
+//! language starts only with `nrowE`. Compiling an [`AxiomSet`] once
+//! precomputes, per axiom side:
+//!
+//! * the interned [`RegexId`]s (already carried by [`Axiom`]),
+//! * first-/last-symbol **bitsets** over the set's field alphabet,
+//! * nullability and alphabet metadata,
+//! * a minimized DFA (the [`Dfa::minimize`] quotient over the side's own
+//!   alphabet), kept for compile-time decisions and observability,
+//!
+//! plus whole-set indexes: per-kind axiom lists, and a field → injectivity
+//! map (`∀p<>q, p.f <> q.f` up to language equality) decided **once at
+//! compile time** instead of re-proved with four subset checks on every
+//! tail peel.
+//!
+//! The bitset signatures give *necessary* conditions for language
+//! inclusion, so the prover's dispatch may skip an axiom only when the
+//! subset check was certain to fail — indexed search returns exactly the
+//! verdicts and proofs of the linear scan (the `prover_dispatch` property
+//! suite pins this down).
+
+use crate::{Axiom, AxiomKind, AxiomSet, AxiomSetId};
+use apt_regex::dfa::Dfa;
+use apt_regex::{ops, Limits, Regex, RegexId, Symbol};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// State cap for the compile-time injectivity decisions. Axiom sides are
+/// tiny in practice; an axiom side that blows past this is recorded as
+/// *undecided* and the prover falls back to its runtime subset checks for
+/// it, so compilation itself can never hang on a pathological set.
+const COMPILE_MAX_STATES: usize = 4_096;
+
+/// A 64-slot symbol bitset over a [`CompiledAxioms`] alphabet.
+///
+/// Bits 0–62 name the first 63 symbols of the compiled alphabet; bit 63 is
+/// a shared overflow bucket for every further symbol *and* for symbols
+/// foreign to the alphabet. The mapping is monotone (`S ⊆ T` implies
+/// `bits(S) ⊆ bits(T)`), so a failed [`SymBits::contains_all`] check is a
+/// definite refutation of set inclusion while a passing one is merely
+/// "possible" — exactly the one-sided precision dispatch pruning needs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SymBits(u64);
+
+impl SymBits {
+    /// The bit index of the overflow bucket.
+    const OVERFLOW: u32 = 63;
+
+    /// Whether every bit of `other` is set in `self`.
+    pub fn contains_all(self, other: SymBits) -> bool {
+        other.0 & !self.0 == 0
+    }
+
+    /// Whether no bit is set.
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+}
+
+/// The dispatch signature of one regular expression: nullability plus
+/// first-/last-/alphabet-symbol bitsets over the compiled alphabet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SideSig {
+    /// Symbols that can begin a word.
+    pub first: SymBits,
+    /// Symbols that can end a word.
+    pub last: SymBits,
+    /// Every symbol of any word.
+    pub symbols: SymBits,
+    /// Whether ε is in the language.
+    pub nullable: bool,
+}
+
+impl SideSig {
+    /// Whether `L(self) ⊆ L(sup)` is *possible*: the conjunction of the
+    /// necessary conditions `ε ∈ L(self) ⇒ ε ∈ L(sup)`,
+    /// `first(self) ⊆ first(sup)`, `last(self) ⊆ last(sup)` and
+    /// `alphabet(self) ⊆ alphabet(sup)` (each evaluated on the lossy
+    /// bitsets, which can only widen the sets). A `false` here means the
+    /// real subset check must answer `false`; a `true` decides nothing.
+    pub fn could_be_subset_of(&self, sup: &SideSig) -> bool {
+        (!self.nullable || sup.nullable)
+            && sup.first.contains_all(self.first)
+            && sup.last.contains_all(self.last)
+            && sup.symbols.contains_all(self.symbols)
+    }
+
+    /// Whether `L(self) = L(other)` is possible (both inclusion directions
+    /// pass the necessary conditions).
+    pub fn could_equal(&self, other: &SideSig) -> bool {
+        self.could_be_subset_of(other) && other.could_be_subset_of(self)
+    }
+}
+
+/// One axiom with its compiled per-side metadata.
+#[derive(Debug, Clone)]
+pub struct CompiledAxiom {
+    axiom: Axiom,
+    lhs_sig: SideSig,
+    rhs_sig: SideSig,
+    /// Minimized DFAs of both sides over their own alphabets — compile-time
+    /// artifacts (`None` when the side tripped [`COMPILE_MAX_STATES`]).
+    lhs_min: Option<Arc<Dfa>>,
+    rhs_min: Option<Arc<Dfa>>,
+    /// Raw (subset-construction) state counts behind the minimized DFAs.
+    raw_states: usize,
+}
+
+impl CompiledAxiom {
+    /// The underlying axiom.
+    pub fn axiom(&self) -> &Axiom {
+        &self.axiom
+    }
+
+    /// The axiom's display label (name or rendered form).
+    pub fn label(&self) -> String {
+        self.axiom.label()
+    }
+
+    /// The axiom form.
+    pub fn kind(&self) -> AxiomKind {
+        self.axiom.kind()
+    }
+
+    /// Left side expression.
+    pub fn lhs(&self) -> &Regex {
+        self.axiom.lhs()
+    }
+
+    /// Right side expression.
+    pub fn rhs(&self) -> &Regex {
+        self.axiom.rhs()
+    }
+
+    /// Interned left side.
+    pub fn lhs_id(&self) -> RegexId {
+        self.axiom.lhs_id()
+    }
+
+    /// Interned right side.
+    pub fn rhs_id(&self) -> RegexId {
+        self.axiom.rhs_id()
+    }
+
+    /// Dispatch signature of the left side.
+    pub fn lhs_sig(&self) -> &SideSig {
+        &self.lhs_sig
+    }
+
+    /// Dispatch signature of the right side.
+    pub fn rhs_sig(&self) -> &SideSig {
+        &self.rhs_sig
+    }
+
+    /// The compile-time minimized DFA of the left side, if built.
+    pub fn lhs_min_dfa(&self) -> Option<&Arc<Dfa>> {
+        self.lhs_min.as_ref()
+    }
+
+    /// The compile-time minimized DFA of the right side, if built.
+    pub fn rhs_min_dfa(&self) -> Option<&Arc<Dfa>> {
+        self.rhs_min.as_ref()
+    }
+}
+
+/// How the compiled set answers "is `f` injective?".
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Injectivity<'c> {
+    /// Decided at compile time: `Some(label)` names the certifying axiom,
+    /// `None` means no axiom makes the field injective.
+    Decided(Option<&'c str>),
+    /// At least one distinct-origin axiom tripped the compile-time state
+    /// cap; the caller must fall back to runtime subset checks.
+    Undecided,
+}
+
+/// A compiled [`AxiomSet`]: per-axiom dispatch signatures, per-kind
+/// indexes, and the compile-time injectivity map. Build once per set (the
+/// engine shares one across its worker provers via [`Arc`]).
+#[derive(Debug)]
+pub struct CompiledAxioms {
+    set_id: AxiomSetId,
+    axioms: Vec<CompiledAxiom>,
+    same_origin: Vec<u32>,
+    distinct_origins: Vec<u32>,
+    equal: Vec<u32>,
+    /// Symbol → bit index over the set's alphabet (bit 63 = overflow).
+    bit: HashMap<Symbol, u32>,
+    /// Field → label of the first axiom certifying it injective.
+    injective: HashMap<Symbol, String>,
+    /// Distinct-origin axiom indices whose injectivity question tripped the
+    /// compile-time cap (empty for every sane axiom set).
+    injective_undecided: Vec<u32>,
+    /// Total minimized states across all compiled axiom sides.
+    min_states: usize,
+    /// Total raw subset-construction states behind them.
+    raw_states: usize,
+}
+
+impl CompiledAxioms {
+    /// Compiles `set`: interns per-side metadata, builds the per-kind
+    /// indexes, and decides the injectivity map.
+    pub fn compile(set: &AxiomSet) -> CompiledAxioms {
+        let bit = Self::alphabet_bits(set);
+        let limits = Limits::none().with_max_states(COMPILE_MAX_STATES);
+
+        let mut axioms = Vec::with_capacity(set.len());
+        let mut same_origin = Vec::new();
+        let mut distinct_origins = Vec::new();
+        let mut equal = Vec::new();
+        let mut injective: HashMap<Symbol, String> = HashMap::new();
+        let mut injective_undecided = Vec::new();
+        let mut min_states = 0usize;
+        let mut raw_states = 0usize;
+
+        for (i, ax) in set.iter().enumerate() {
+            let idx = u32::try_from(i).expect("axiom set too large to compile");
+            let lhs_sig = Self::sig_for(&bit, ax.lhs_id());
+            let rhs_sig = Self::sig_for(&bit, ax.rhs_id());
+            let (lhs_min, lhs_raw) = Self::min_dfa(ax.lhs(), &limits);
+            let (rhs_min, rhs_raw) = Self::min_dfa(ax.rhs(), &limits);
+            raw_states += lhs_raw + rhs_raw;
+            min_states += lhs_min.as_ref().map_or(0, |d| d.state_count())
+                + rhs_min.as_ref().map_or(0, |d| d.state_count());
+
+            match ax.kind() {
+                AxiomKind::DisjointSameOrigin => same_origin.push(idx),
+                AxiomKind::DisjointDistinctOrigins => {
+                    distinct_origins.push(idx);
+                    match Self::injective_field(ax, &limits) {
+                        Ok(Some(f)) => {
+                            injective.entry(f).or_insert_with(|| ax.label());
+                        }
+                        Ok(None) => {}
+                        Err(()) => injective_undecided.push(idx),
+                    }
+                }
+                AxiomKind::Equal => equal.push(idx),
+            }
+
+            axioms.push(CompiledAxiom {
+                axiom: ax.clone(),
+                lhs_sig,
+                rhs_sig,
+                lhs_min,
+                rhs_min,
+                raw_states: lhs_raw + rhs_raw,
+            });
+        }
+
+        CompiledAxioms {
+            set_id: set.id(),
+            axioms,
+            same_origin,
+            distinct_origins,
+            equal,
+            bit,
+            injective,
+            injective_undecided,
+            min_states,
+            raw_states,
+        }
+    }
+
+    fn alphabet_bits(set: &AxiomSet) -> HashMap<Symbol, u32> {
+        set.symbols()
+            .into_iter()
+            .enumerate()
+            .map(|(i, s)| (s, (i as u32).min(SymBits::OVERFLOW)))
+            .collect()
+    }
+
+    fn bits_of(bit: &HashMap<Symbol, u32>, syms: &[Symbol]) -> SymBits {
+        let mut out = 0u64;
+        for s in syms {
+            let b = bit.get(s).copied().unwrap_or(SymBits::OVERFLOW);
+            out |= 1u64 << b;
+        }
+        SymBits(out)
+    }
+
+    fn sig_for(bit: &HashMap<Symbol, u32>, id: RegexId) -> SideSig {
+        let (nullable, first, last, symbols) = id.profile();
+        SideSig {
+            first: Self::bits_of(bit, &first),
+            last: Self::bits_of(bit, &last),
+            symbols: Self::bits_of(bit, &symbols),
+            nullable,
+        }
+    }
+
+    fn min_dfa(re: &Regex, limits: &Limits) -> (Option<Arc<Dfa>>, usize) {
+        let alpha = re.symbols();
+        match Dfa::try_build(re, &alpha, limits) {
+            Ok(raw) => {
+                let raw_states = raw.state_count();
+                (Some(Arc::new(raw.minimize())), raw_states)
+            }
+            Err(_) => (None, 0),
+        }
+    }
+
+    /// Decides whether `ax` (distinct-origin) certifies some field `f`
+    /// injective: both sides language-equal to the one-word language `{f}`.
+    /// `Err(())` means the compile-time cap stopped the decision.
+    fn injective_field(ax: &Axiom, limits: &Limits) -> Result<Option<Symbol>, ()> {
+        // Necessary structural conditions first — they decide the common
+        // "obviously not" case without touching any automaton.
+        let lhs_syms = ax.lhs().symbols();
+        let [f] = lhs_syms[..] else {
+            return Ok(None);
+        };
+        let fre = Regex::field(f);
+        let fre_id = RegexId::intern(&fre);
+        // Structural fast path, mirroring the prover's id compare.
+        if ax.lhs_id() == fre_id && ax.rhs_id() == fre_id {
+            return Ok(Some(f));
+        }
+        if ax.lhs().is_nullable() || ax.rhs().is_nullable() || ax.rhs().symbols() != [f] {
+            return Ok(None);
+        }
+        let equal_to_f = |side: &Regex| -> Result<bool, ()> {
+            ops::try_equivalent(side, &fre, limits).map_err(|_| ())
+        };
+        Ok((equal_to_f(ax.lhs())? && equal_to_f(ax.rhs())?).then_some(f))
+    }
+
+    /// The identity of the compiled set.
+    pub fn set_id(&self) -> AxiomSetId {
+        self.set_id
+    }
+
+    /// All compiled axioms, in set order.
+    pub fn axioms(&self) -> &[CompiledAxiom] {
+        &self.axioms
+    }
+
+    /// The compiled axioms of one kind, in set order.
+    pub fn of_kind(&self, kind: AxiomKind) -> impl Iterator<Item = &CompiledAxiom> {
+        let idx = match kind {
+            AxiomKind::DisjointSameOrigin => &self.same_origin,
+            AxiomKind::DisjointDistinctOrigins => &self.distinct_origins,
+            AxiomKind::Equal => &self.equal,
+        };
+        idx.iter().map(|&i| &self.axioms[i as usize])
+    }
+
+    /// The equality axioms, in set order (borrowed — the prover no longer
+    /// clones `eq_axioms` per rewrite attempt).
+    pub fn eq_axioms(&self) -> impl Iterator<Item = &CompiledAxiom> {
+        self.of_kind(AxiomKind::Equal)
+    }
+
+    /// Whether the set contains any equality axiom.
+    pub fn has_equal(&self) -> bool {
+        !self.equal.is_empty()
+    }
+
+    /// The compile-time injectivity verdict for `f`.
+    pub fn injectivity(&self, f: Symbol) -> Injectivity<'_> {
+        if !self.injective_undecided.is_empty() {
+            return Injectivity::Undecided;
+        }
+        Injectivity::Decided(self.injective.get(&f).map(String::as_str))
+    }
+
+    /// The dispatch signature of an arbitrary interned expression (a goal
+    /// side), over this set's alphabet.
+    pub fn sig_of(&self, id: RegexId) -> SideSig {
+        Self::sig_for(&self.bit, id)
+    }
+
+    /// Total `(raw, minimized)` DFA states across all compiled axiom sides
+    /// — the compile-time half of the minimized-vs-raw observability
+    /// counters.
+    pub fn state_totals(&self) -> (usize, usize) {
+        (self.raw_states, self.min_states)
+    }
+
+    /// Raw states behind axiom `idx`'s sides (observability).
+    pub fn raw_states_of(&self, idx: usize) -> usize {
+        self.axioms[idx].raw_states
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adds;
+
+    fn sig(c: &CompiledAxioms, text: &str) -> SideSig {
+        c.sig_of(RegexId::intern(&apt_regex::parse(text).unwrap()))
+    }
+
+    #[test]
+    fn per_kind_indexes_cover_the_set_in_order() {
+        let set = adds::sparse_matrix_axioms();
+        let c = CompiledAxioms::compile(&set);
+        assert_eq!(c.axioms().len(), set.len());
+        assert_eq!(c.set_id(), set.id());
+        let mut count = 0;
+        for kind in [
+            AxiomKind::DisjointSameOrigin,
+            AxiomKind::DisjointDistinctOrigins,
+            AxiomKind::Equal,
+        ] {
+            let labels: Vec<String> = c.of_kind(kind).map(CompiledAxiom::label).collect();
+            let expect: Vec<String> = set.of_kind(kind).map(Axiom::label).collect();
+            assert_eq!(labels, expect, "{kind:?}");
+            count += labels.len();
+        }
+        assert_eq!(count, set.len());
+    }
+
+    #[test]
+    fn sig_pruning_is_sound_on_axiom_sides() {
+        // For every pair of axiom sides, a pruned pair must be a real
+        // non-subset; every real subset must pass the signature check.
+        let set = adds::leaf_linked_tree_axioms();
+        let c = CompiledAxioms::compile(&set);
+        let sides: Vec<(&Regex, SideSig)> = c
+            .axioms()
+            .iter()
+            .flat_map(|ca| [(ca.lhs(), *ca.lhs_sig()), (ca.rhs(), *ca.rhs_sig())])
+            .collect();
+        for (ra, sa) in &sides {
+            for (rb, sb) in &sides {
+                if ops::is_subset(ra, rb) {
+                    assert!(
+                        sa.could_be_subset_of(sb),
+                        "signature pruned a real subset: {ra} ⊆ {rb}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn injectivity_decided_from_figure3() {
+        // Figure 3: A2 (forall p<>q, p.(L|R) <> q.(L|R)) is not per-field
+        // injective; A3 (forall p<>q, p.N <> q.N) certifies N.
+        let set = adds::leaf_linked_tree_axioms();
+        let c = CompiledAxioms::compile(&set);
+        let n = Symbol::from("N");
+        let l = Symbol::from("L");
+        assert_eq!(c.injectivity(n), Injectivity::Decided(Some("A3")));
+        assert_eq!(c.injectivity(l), Injectivity::Decided(None));
+    }
+
+    #[test]
+    fn injectivity_up_to_language_equality() {
+        // The certifying side need not be the literal field: N|N and
+        // N.N* ∩ … — here N|N simplifies structurally, so exercise a
+        // genuinely non-literal form.
+        let set = AxiomSet::parse("J1: forall p <> q, p.(N.N*|N) <> q.N").unwrap();
+        let c = CompiledAxioms::compile(&set);
+        // lhs is N.N*|N which is N+ — NOT language-equal to {N}; so J1
+        // does not certify injectivity.
+        assert_eq!(c.injectivity(Symbol::from("N")), Injectivity::Decided(None));
+
+        let set = AxiomSet::parse("J2: forall p <> q, p.(N|N) <> q.N").unwrap();
+        let c = CompiledAxioms::compile(&set);
+        assert_eq!(
+            c.injectivity(Symbol::from("N")),
+            Injectivity::Decided(Some("J2"))
+        );
+    }
+
+    #[test]
+    fn goal_sigs_respect_overflow_and_foreign_symbols() {
+        let set = adds::leaf_linked_tree_axioms(); // alphabet {L, N, R}
+        let c = CompiledAxioms::compile(&set);
+        let foreign = sig(&c, "zzz");
+        // A foreign symbol maps to the overflow bit, which no axiom-side
+        // signature contains — so dispatch prunes it against every side.
+        for ca in c.axioms() {
+            assert!(!foreign.could_be_subset_of(ca.lhs_sig()));
+            assert!(!foreign.could_be_subset_of(ca.rhs_sig()));
+        }
+        // But ∅ and ε remain compatible everywhere / nullable-gated.
+        let eps = sig(&c, "eps");
+        assert!(eps.first.is_empty() && eps.nullable);
+    }
+
+    #[test]
+    fn minimized_dfas_are_no_larger_than_raw() {
+        let set = adds::sparse_matrix_axioms();
+        let c = CompiledAxioms::compile(&set);
+        let (raw, min) = c.state_totals();
+        assert!(min <= raw, "minimized {min} > raw {raw}");
+        assert!(min > 0);
+        for (i, ca) in c.axioms().iter().enumerate() {
+            assert!(ca.lhs_min_dfa().is_some());
+            assert!(ca.rhs_min_dfa().is_some());
+            assert!(c.raw_states_of(i) > 0);
+        }
+    }
+
+    #[test]
+    fn eq_axioms_borrowed_in_order() {
+        let set = AxiomSet::parse(
+            "D1: forall p, p.next.prev = p.eps\n\
+             D2: forall p, p.prev.next = p.eps\n\
+             D3: forall p, p.next+ <> p.eps",
+        )
+        .unwrap();
+        let c = CompiledAxioms::compile(&set);
+        assert!(c.has_equal());
+        let labels: Vec<String> = c.eq_axioms().map(CompiledAxiom::label).collect();
+        assert_eq!(labels, ["D1", "D2"]);
+    }
+}

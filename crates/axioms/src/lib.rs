@@ -41,8 +41,10 @@
 pub mod adds;
 mod axiom;
 pub mod check;
+pub mod compiled;
 pub mod graph;
 mod set;
 
 pub use axiom::{Axiom, AxiomKind, ParseAxiomError};
+pub use compiled::{CompiledAxiom, CompiledAxioms, Injectivity, SideSig, SymBits};
 pub use set::{AxiomSet, AxiomSetId};

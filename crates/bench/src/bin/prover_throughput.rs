@@ -1,0 +1,78 @@
+//! Measures proveDisj throughput with the compiled dispatch index and
+//! negative memo against the linear axiom-scan baseline on the Figure 7 /
+//! Appendix A workload, and writes `BENCH_prover.json` to the current
+//! directory.
+//!
+//! ```text
+//! cargo run --release -p apt-bench --bin prover_throughput [--smoke] [depth]
+//! ```
+//!
+//! `--smoke` runs one repetition of a small workload (CI). Exits nonzero
+//! if the two kernels disagree on any verdict.
+
+use apt_bench::prover_throughput::{run, ProverBenchConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let mut config = if smoke {
+        ProverBenchConfig::smoke()
+    } else {
+        ProverBenchConfig::default()
+    };
+    if let Some(depth) = args.iter().find_map(|a| a.parse::<usize>().ok()) {
+        config.depth = depth;
+    }
+    eprintln!(
+        "running prover throughput: depth {}, {} rep(s), {} warm pass(es) ...",
+        config.depth, config.reps, config.warm_passes
+    );
+    let result = run(&config);
+
+    println!("== proveDisj throughput: Figure 7 suite, Appendix A axioms ==");
+    println!(
+        "{} queries; verdicts {}",
+        result.queries,
+        if result.verdicts_identical {
+            "identical"
+        } else {
+            "DIVERGED"
+        }
+    );
+    println!(
+        "{:>6} {:>14} {:>14} {:>9}",
+        "phase", "linear (us)", "indexed (us)", "speedup"
+    );
+    println!(
+        "{:>6} {:>14} {:>14} {:>8.2}x",
+        "cold",
+        result.cold.linear_micros,
+        result.cold.indexed_micros,
+        result.cold.speedup()
+    );
+    println!(
+        "{:>6} {:>14} {:>14} {:>8.2}x",
+        "warm",
+        result.warm.linear_micros,
+        result.warm.indexed_micros,
+        result.warm.speedup()
+    );
+    let c = &result.counters;
+    println!(
+        "subset checks: {} linear vs {} indexed; dispatch {} admitted / {} pruned; {} neg-memo hits",
+        c.linear_subset_checks,
+        c.indexed_subset_checks,
+        c.dispatch_hits,
+        c.dispatch_misses,
+        c.neg_memo_hits
+    );
+
+    let json = result.to_json();
+    std::fs::write("BENCH_prover.json", &json).expect("write BENCH_prover.json");
+    println!("\nwrote BENCH_prover.json");
+
+    if !result.verdicts_identical {
+        eprintln!("error: the indexed prover diverged from the linear scan");
+        std::process::exit(1);
+    }
+}

@@ -19,4 +19,5 @@ pub mod accuracy;
 pub mod batch;
 pub mod complexity;
 pub mod fig7;
+pub mod prover_throughput;
 pub mod subset;

@@ -29,7 +29,9 @@
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 use apt_axioms::{adds, AxiomSet};
-use apt_core::{check_proof, Answer, Budget, DepQuery, MaybeReason, Origin, Prover, ProverConfig};
+use apt_core::{
+    check_proof, Answer, Budget, DepQuery, MaybeReason, Origin, Prover, ProverConfig, ProverStats,
+};
 use apt_paths::{analyze_proc, Analysis, BatchQuery, QueryError};
 use apt_regex::Path;
 use std::fmt::Write as _;
@@ -179,6 +181,11 @@ pub fn cmd_prove(
                 stats.goals_attempted,
                 stats.subset_checks,
                 proof.node_count()
+            );
+            let _ = writeln!(
+                out,
+                "(dispatch: {} admitted, {} pruned; {} negative-memo hits)",
+                stats.dispatch_hits, stats.dispatch_misses, stats.neg_memo_hits
             );
         }
         None => {
@@ -341,6 +348,8 @@ pub struct ReportLine {
     pub panicked: bool,
     /// Wall-clock budget spent on this label's query, in microseconds.
     pub micros: u128,
+    /// Prover work counters for this label's query.
+    pub stats: ProverStats,
 }
 
 /// One loop-carried query under its own sub-budget, panic-isolated: a
@@ -358,16 +367,17 @@ fn carried_line(analysis: &Analysis, label: &str, sub: &ProverConfig) -> ReportL
         scoped.test_loop_carried(label, None)
     }));
     let micros = started.elapsed().as_micros();
-    let (carried, maybe, panicked) = match result {
-        Ok(Ok(outcome)) => (Some(outcome.answer), outcome.maybe, false),
+    let (carried, maybe, panicked, stats) = match result {
+        Ok(Ok(outcome)) => (Some(outcome.answer), outcome.maybe, false, outcome.stats),
         Ok(Err(
             QueryError::NoCommonAnchor | QueryError::NotInLoop(_) | QueryError::NoSuchLabel(_),
         )) => (
             Some(Answer::Maybe),
             Some(MaybeReason::GenuinelyUnknown),
             false,
+            ProverStats::default(),
         ),
-        Err(_) => (Some(Answer::Maybe), None, true),
+        Err(_) => (Some(Answer::Maybe), None, true, ProverStats::default()),
     };
     ReportLine {
         label: label.to_owned(),
@@ -376,6 +386,7 @@ fn carried_line(analysis: &Analysis, label: &str, sub: &ProverConfig) -> ReportL
         maybe,
         panicked,
         micros,
+        stats,
     }
 }
 
@@ -414,6 +425,7 @@ pub fn report_lines(
                 maybe: None,
                 panicked: false,
                 micros: 0,
+                stats: ProverStats::default(),
             });
         } else {
             lines.push(carried_line(&analysis, &snap.label, &sub));
@@ -479,6 +491,10 @@ fn report_proc(
         let _ = writeln!(out, "(no labeled memory accesses)");
         return Ok(false);
     }
+    let mut work = ProverStats::default();
+    for line in &lines {
+        work.merge(&line.stats);
+    }
     let degraded = lines
         .iter()
         .filter(|l| l.panicked || l.maybe.is_some_and(|m| m.is_degraded()))
@@ -506,6 +522,7 @@ fn report_proc(
             let verdict = match analysis.test_sequential(a, b) {
                 Ok(o) => {
                     any_maybe = o.answer == Answer::Maybe || any_maybe;
+                    work.merge(&o.stats);
                     o.verdict().to_string()
                 }
                 Err(_) => {
@@ -522,6 +539,11 @@ fn report_proc(
             let _ = writeln!(out, "{l}");
         }
     }
+    let _ = writeln!(
+        out,
+        "(dispatch: {} admitted, {} pruned; {} negative-memo hits)",
+        work.dispatch_hits, work.dispatch_misses, work.neg_memo_hits
+    );
     Ok(any_maybe)
 }
 
@@ -597,7 +619,9 @@ pub fn cmd_batch(
             let _ = writeln!(out, "(no labeled memory accesses)");
             continue;
         }
-        for (query, result) in queries.iter().zip(analysis.test_batch(&queries, jobs)) {
+        let (results, cache) = analysis.test_batch_with_stats(&queries, jobs);
+        let mut work = ProverStats::default();
+        for (query, result) in queries.iter().zip(results) {
             let what = match query {
                 BatchQuery::LoopCarried { label, .. } => format!("carried {label}"),
                 BatchQuery::Sequential { from, to } => format!("{from} vs {to}"),
@@ -605,6 +629,7 @@ pub fn cmd_batch(
             let verdict = match result {
                 Ok(outcome) => {
                     any_maybe |= outcome.answer == Answer::Maybe;
+                    work.merge(&outcome.stats);
                     outcome.verdict().to_string()
                 }
                 Err(e) => {
@@ -614,6 +639,23 @@ pub fn cmd_batch(
             };
             let _ = writeln!(out, "{what:<30} {verdict}");
         }
+        let _ = writeln!(
+            out,
+            "(dispatch: {} admitted, {} pruned; {} negative-memo hits)",
+            work.dispatch_hits, work.dispatch_misses, work.neg_memo_hits
+        );
+        let _ = writeln!(
+            out,
+            "(cache: {} proved / {} failed goals, {} subset memos; \
+             dfas: {} raw [{} states] -> {} minimized [{} states])",
+            cache.proved_goals,
+            cache.failed_goals,
+            cache.subset_results,
+            cache.dfas,
+            cache.raw_dfa_states,
+            cache.min_dfas,
+            cache.min_dfa_states
+        );
     }
     Ok(CmdOutput {
         text: out,

@@ -160,6 +160,19 @@ pub struct ProverConfig {
     pub enable_alt_split: bool,
     /// Enable rewriting with equality axioms.
     pub enable_rewrite: bool,
+    /// Enable the compiled-axiom dispatch index: first-/last-symbol
+    /// signature pruning before every axiom applicability check and the
+    /// compile-time injectivity map. Dispatch only skips axioms whose
+    /// subset checks were certain to fail, so verdicts and proofs are
+    /// identical to the linear scan; disabling it restores the literal
+    /// §4.2 "try every axiom" loop (the benchmarks' baseline).
+    pub enable_axiom_dispatch: bool,
+    /// Enable the context-aware negative memo: definite "no rule applies"
+    /// failures are cached keyed on the canonical goal with the minimum
+    /// rewrite depth they are valid for, instead of only in pristine
+    /// root contexts. Budget- and depth-cutoff failures are never
+    /// memoized under either setting.
+    pub enable_negative_memo: bool,
 }
 
 impl ProverConfig {
@@ -175,6 +188,8 @@ impl ProverConfig {
             enable_closure_peel: true,
             enable_alt_split: true,
             enable_rewrite: true,
+            enable_axiom_dispatch: true,
+            enable_negative_memo: true,
         }
     }
 
@@ -286,6 +301,15 @@ pub struct ProverStats {
     /// Regular-expression subset tests performed (the dominant cost per
     /// §4.2).
     pub subset_checks: u64,
+    /// Axiom candidates admitted by the dispatch index (their subset
+    /// checks actually ran).
+    pub dispatch_hits: u64,
+    /// Axiom candidates pruned by the dispatch index — each one a
+    /// linear-scan applicability check (often several subset tests and a
+    /// DFA build) that never happened.
+    pub dispatch_misses: u64,
+    /// Goal failures answered by the context-aware negative memo.
+    pub neg_memo_hits: u64,
     /// Goals abandoned per resource category.
     pub cutoffs: CutoffStats,
 }
@@ -297,6 +321,9 @@ impl ProverStats {
         self.cache_hits += other.cache_hits;
         self.shared_hits += other.shared_hits;
         self.subset_checks += other.subset_checks;
+        self.dispatch_hits += other.dispatch_hits;
+        self.dispatch_misses += other.dispatch_misses;
+        self.neg_memo_hits += other.neg_memo_hits;
         self.cutoffs.merge(&other.cutoffs);
     }
 
@@ -308,6 +335,9 @@ impl ProverStats {
             cache_hits: self.cache_hits.saturating_sub(earlier.cache_hits),
             shared_hits: self.shared_hits.saturating_sub(earlier.shared_hits),
             subset_checks: self.subset_checks.saturating_sub(earlier.subset_checks),
+            dispatch_hits: self.dispatch_hits.saturating_sub(earlier.dispatch_hits),
+            dispatch_misses: self.dispatch_misses.saturating_sub(earlier.dispatch_misses),
+            neg_memo_hits: self.neg_memo_hits.saturating_sub(earlier.neg_memo_hits),
             cutoffs: self.cutoffs.since(&earlier.cutoffs),
         }
     }
@@ -366,14 +396,17 @@ mod tests {
             cache_hits: 2,
             shared_hits: 0,
             subset_checks: 3,
-            cutoffs: CutoffStats::default(),
+            ..ProverStats::default()
         };
         let mut other = ProverStats {
             goals_attempted: 10,
             cache_hits: 20,
             shared_hits: 1,
             subset_checks: 30,
-            cutoffs: CutoffStats::default(),
+            dispatch_hits: 4,
+            dispatch_misses: 5,
+            neg_memo_hits: 6,
+            ..ProverStats::default()
         };
         other
             .cutoffs
@@ -384,6 +417,9 @@ mod tests {
         assert_eq!(a.cache_hits, 22);
         assert_eq!(a.shared_hits, 1);
         assert_eq!(a.subset_checks, 33);
+        assert_eq!(a.dispatch_hits, 4);
+        assert_eq!(a.dispatch_misses, 5);
+        assert_eq!(a.neg_memo_hits, 6);
         assert_eq!(a.cutoffs.fuel, 1);
         assert_eq!(a.cutoffs.deadline, 1);
         assert_eq!(a.cutoffs.total(), 2);

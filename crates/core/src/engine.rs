@@ -12,11 +12,13 @@
 //! The shared cache stores **definite results only**, mirroring the
 //! single-prover rule: a goal is published as proved only when its proof is
 //! self-contained (no dangling induction targets), and as failed only when
-//! the search completed in a clean context with no resource degradation.
-//! Subset answers are published only when the DFA construction finished
-//! within its limits. Exhausted or cancelled runs publish nothing, so a
-//! starved worker can never poison another worker's verdict — at worst a
-//! result is recomputed.
+//! the search completed with no resource degradation, consulted no
+//! in-progress ancestor, and spent none of its rewrite allowance — a
+//! failure that holds in *every* context, not just the one that observed
+//! it. Subset answers are published only when the DFA construction
+//! finished within its limits. Exhausted or cancelled runs publish
+//! nothing, so a starved worker can never poison another worker's verdict
+//! — at worst a result is recomputed.
 //!
 //! A cache is only meaningful for one (axiom set, rule configuration)
 //! pair; [`DepEngine`] enforces this by construction — the cache is
@@ -41,7 +43,7 @@ use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, PoisonError};
 
-use apt_axioms::AxiomSet;
+use apt_axioms::{AxiomSet, CompiledAxioms};
 use apt_regex::cache::DfaCache;
 use apt_regex::{Path, RegexId};
 
@@ -86,8 +88,16 @@ pub struct CacheStats {
     pub failed_goals: usize,
     /// Memoized `L(a) ⊆ L(b)` answers.
     pub subset_results: usize,
-    /// Interned DFAs.
+    /// Interned raw (subset-construction) DFAs.
     pub dfas: usize,
+    /// Interned minimized DFAs.
+    pub min_dfas: usize,
+    /// Total states across the interned raw DFAs.
+    pub raw_dfa_states: usize,
+    /// Total states across the interned minimized DFAs — compare with
+    /// `raw_dfa_states` for how much Hopcroft-style minimization shrinks
+    /// the product frontiers the subset checks walk.
+    pub min_dfa_states: usize,
 }
 
 /// The lock-sharded cross-prover cache: settled goals, subset answers, and
@@ -152,10 +162,31 @@ impl SharedCache {
         &self.dfas
     }
 
+    /// Every goal currently published as [`SharedVerdict::Failed`].
+    /// Test-only observability: the negative-memo soundness suite
+    /// re-verifies each published failure against an unbudgeted prover.
+    #[doc(hidden)]
+    pub fn failed_goal_snapshot(&self) -> Vec<Goal> {
+        let mut out = Vec::new();
+        for shard in &self.goals {
+            let guard = shard.lock().unwrap_or_else(PoisonError::into_inner);
+            for (goal, verdict) in guard.iter() {
+                if matches!(verdict, SharedVerdict::Failed) {
+                    out.push(goal.clone());
+                }
+            }
+        }
+        out
+    }
+
     /// Entry counts across all shards.
     pub fn stats(&self) -> CacheStats {
+        let (raw_dfa_states, min_dfa_states) = self.dfas.state_totals();
         let mut stats = CacheStats {
             dfas: self.dfas.len(),
+            min_dfas: self.dfas.len_minimized(),
+            raw_dfa_states,
+            min_dfa_states,
             ..CacheStats::default()
         };
         for shard in &self.goals {
@@ -372,6 +403,9 @@ impl Outcome {
 #[derive(Debug, Clone)]
 pub struct DepEngine {
     axioms: Arc<AxiomSet>,
+    /// The dispatch index, compiled once per engine and shared by every
+    /// worker prover.
+    compiled: Arc<CompiledAxioms>,
     config: ProverConfig,
     cache: Arc<SharedCache>,
 }
@@ -389,8 +423,10 @@ impl DepEngine {
 
     /// An engine over an already-shared axiom set.
     pub fn from_arc(axioms: Arc<AxiomSet>, config: ProverConfig) -> DepEngine {
+        let compiled = Arc::new(CompiledAxioms::compile(&axioms));
         DepEngine {
             axioms,
+            compiled,
             config,
             cache: Arc::new(SharedCache::new()),
         }
@@ -399,6 +435,17 @@ impl DepEngine {
     /// The engine's axioms.
     pub fn axioms(&self) -> &AxiomSet {
         &self.axioms
+    }
+
+    /// The compiled dispatch index shared by the engine's workers.
+    pub fn compiled(&self) -> &Arc<CompiledAxioms> {
+        &self.compiled
+    }
+
+    /// The shared cross-prover cache (test-only observability).
+    #[doc(hidden)]
+    pub fn shared_cache(&self) -> &Arc<SharedCache> {
+        &self.cache
     }
 
     /// The configuration worker provers run under.
@@ -420,7 +467,7 @@ impl DepEngine {
                 config.budget.deadline = Some(d / shares as u32);
             }
         }
-        let mut prover = Prover::with_config(&self.axioms, config);
+        let mut prover = Prover::with_compiled(&self.axioms, config, Arc::clone(&self.compiled));
         prover.attach_shared(Arc::clone(&self.cache));
         prover
     }

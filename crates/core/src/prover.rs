@@ -38,7 +38,7 @@ use crate::engine::{SharedCache, SharedVerdict};
 use crate::goal::{Goal, Origin};
 use crate::proof::{PrefixCase, Proof, Rule};
 use crate::verdict::{MaybeReason, SearchLimit};
-use apt_axioms::{Axiom, AxiomKind, AxiomSet};
+use apt_axioms::{AxiomKind, AxiomSet, CompiledAxioms, Injectivity, SideSig};
 use apt_regex::{ops, Component, LimitExceeded, Limits, Path, Regex, RegexId, Symbol};
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
@@ -65,7 +65,17 @@ enum CacheState {
         rewrites: usize,
     },
     Proved(Proof),
-    Failed,
+    /// A definite "no rule applies / all branches exhausted" failure,
+    /// valid for any context with at least `min_rewrites` equality
+    /// rewrites already spent (the rewrite allowance is the one context
+    /// axis that monotonically *shrinks* the search: a complete failure
+    /// with `r` rewrites spent stands a fortiori with `r' ≥ r` spent).
+    /// Entries are only created for complete searches — no resource
+    /// degradation, no consultation of an in-progress ancestor — so a
+    /// budget- or depth-starved subtree can never poison a retry.
+    Failed {
+        min_rewrites: usize,
+    },
 }
 
 /// Proof-search context: recursion depth plus the two counters the
@@ -126,8 +136,22 @@ impl Ctx {
 #[derive(Debug)]
 pub struct Prover<'a> {
     axioms: &'a AxiomSet,
+    /// The compiled form of `axioms`: per-side dispatch signatures,
+    /// per-kind indexes, and the compile-time injectivity map. Built once
+    /// per prover (or shared across an engine's workers via
+    /// [`Prover::with_compiled`]); every axiom scan in the hot path goes
+    /// through this index instead of re-cloning from the set.
+    compiled: Arc<CompiledAxioms>,
     config: ProverConfig,
     cache: HashMap<Goal, CacheState>,
+    /// Memoized goal-side dispatch signatures, so repeated rule attempts
+    /// on recurring suffixes skip the interner lock.
+    sig_memo: HashMap<RegexId, SideSig>,
+    /// Bumped whenever [`Prover::prove`] consults an
+    /// [`CacheState::InProgress`] ancestor (whether induction fired or
+    /// not). A failure whose subtree left this counter untouched depended
+    /// on no ancestor and may enter the negative memo.
+    stack_touches: u64,
     /// Memoized `L(a) ⊆ L(b)` results — the RE→DFA conversion dominates
     /// prover time (§4.2), and the same suffix/axiom pairs recur across
     /// splits. Keyed on hash-consed [`RegexId`] pairs: a lookup hashes two
@@ -160,13 +184,39 @@ impl<'a> Prover<'a> {
         Prover::with_config(axioms, ProverConfig::default())
     }
 
-    /// Creates a prover with an explicit configuration.
+    /// Creates a prover with an explicit configuration, compiling the
+    /// axiom set's dispatch index on the spot.
     pub fn with_config(axioms: &'a AxiomSet, config: ProverConfig) -> Prover<'a> {
+        Prover::with_compiled(axioms, config, Arc::new(CompiledAxioms::compile(axioms)))
+    }
+
+    /// Creates a prover from an already-compiled axiom set.
+    /// [`crate::DepEngine`] compiles once and hands the same
+    /// [`CompiledAxioms`] to every worker prover; benchmarks use it to
+    /// keep the one-off compilation out of the timed region.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `compiled` was not compiled from `axioms` (checked by
+    /// set identity).
+    pub fn with_compiled(
+        axioms: &'a AxiomSet,
+        config: ProverConfig,
+        compiled: Arc<CompiledAxioms>,
+    ) -> Prover<'a> {
+        assert_eq!(
+            compiled.set_id(),
+            axioms.id(),
+            "compiled index does not match the axiom set"
+        );
         let fuel = config.budget.fuel;
         Prover {
             axioms,
+            compiled,
             config,
             cache: HashMap::new(),
+            sig_memo: HashMap::new(),
+            stack_touches: 0,
             subset_cache: HashMap::new(),
             subset_order: VecDeque::new(),
             stats: ProverStats::default(),
@@ -183,6 +233,16 @@ impl<'a> Prover<'a> {
     /// The statistics accumulated so far.
     pub fn stats(&self) -> ProverStats {
         self.stats
+    }
+
+    /// The axiom set this prover reasons over.
+    pub fn axioms(&self) -> &AxiomSet {
+        self.axioms
+    }
+
+    /// The compiled dispatch index over the axiom set.
+    pub fn compiled(&self) -> &Arc<CompiledAxioms> {
+        &self.compiled
     }
 
     /// Replaces the resource budget for subsequent queries. The proof
@@ -335,11 +395,23 @@ impl<'a> Prover<'a> {
                 self.stats.cache_hits += 1;
                 return Some(p.clone());
             }
-            Some(CacheState::Failed) => {
-                self.stats.cache_hits += 1;
-                return None;
+            Some(CacheState::Failed { min_rewrites }) => {
+                // The entry is valid wherever at least as much of the
+                // rewrite allowance is already spent. A context with
+                // *fewer* rewrites spent has more search left, so it falls
+                // through and re-proves for real.
+                if ctx.rewrites >= *min_rewrites {
+                    self.stats.cache_hits += 1;
+                    if self.config.enable_negative_memo {
+                        self.stats.neg_memo_hits += 1;
+                    }
+                    return None;
+                }
             }
             Some(CacheState::InProgress { shrinks, rewrites }) => {
+                // Consulting an ancestor — however it resolves — makes the
+                // current subtree's outcome context-dependent.
+                self.stack_touches += 1;
                 // The paper's Kleene induction, as infinite descent: the
                 // goal is its own ancestor and at least one rule on the
                 // cycle strictly shrinks any concrete counterexample (and
@@ -373,7 +445,11 @@ impl<'a> Prover<'a> {
                         Some(SharedVerdict::Failed) => {
                             self.stats.cache_hits += 1;
                             self.stats.shared_hits += 1;
-                            self.cache.insert(goal.clone(), CacheState::Failed);
+                            // Shared failures are only ever published from
+                            // pristine contexts, so they adopt with a zero
+                            // floor.
+                            self.cache
+                                .insert(goal.clone(), CacheState::Failed { min_rewrites: 0 });
                             self.settle(goal);
                             return None;
                         }
@@ -400,6 +476,7 @@ impl<'a> Prover<'a> {
             },
         );
 
+        let touches_before = self.stack_touches;
         let result = self.prove_uncached(goal, ctx);
 
         match &result {
@@ -422,16 +499,43 @@ impl<'a> Prover<'a> {
                 }
             }
             None => {
-                // Only failures in a cycle-free, rewrite-free context are
-                // unconditional; anything else might succeed elsewhere.
                 // Failures observed after *any* resource degradation are
-                // never settled either: a starved subtree must not poison
-                // the cache against a later, better-funded retry.
-                if ctx.rewrites == 0 && ctx.shrinks == 0 && self.degraded.is_none() {
-                    self.cache.insert(goal.clone(), CacheState::Failed);
+                // never settled: a starved subtree must not poison the
+                // cache against a later, better-funded retry.
+                let clean = self.degraded.is_none();
+                // A subtree that never consulted an in-progress ancestor
+                // searched to completion on its own — its failure is
+                // ancestor-independent. (A clean run also never hit the
+                // rewrite ceiling — that records a cutoff — but keep the
+                // observed spend as a conservative validity floor anyway.)
+                let untouched = self.stack_touches == touches_before;
+                // The legacy condition: pristine root-like contexts only.
+                let pristine = ctx.rewrites == 0 && ctx.shrinks == 0;
+                let memoize = if self.config.enable_negative_memo {
+                    clean && (untouched || pristine)
+                } else {
+                    clean && pristine
+                };
+                if memoize {
+                    let min_rewrites = if pristine { 0 } else { ctx.rewrites };
+                    self.cache
+                        .insert(goal.clone(), CacheState::Failed { min_rewrites });
                     self.settle(goal);
-                    if let Some(shared) = &self.shared {
-                        shared.publish_goal(goal, SharedVerdict::Failed);
+                    // Cross-prover publication holds itself to the
+                    // strictest standard: complete, ancestor-independent,
+                    // zero-floor failures only. An entry admitted purely by
+                    // the legacy `pristine` condition may have leaned on an
+                    // in-progress ancestor, so it stays local.
+                    let publish = min_rewrites == 0
+                        && if self.config.enable_negative_memo {
+                            untouched
+                        } else {
+                            true
+                        };
+                    if publish {
+                        if let Some(shared) = &self.shared {
+                            shared.publish_goal(goal, SharedVerdict::Failed);
+                        }
                     }
                 } else {
                     self.cache.remove(goal);
@@ -523,7 +627,7 @@ impl<'a> Prover<'a> {
                 if let Some(p) = self.try_rewrite(goal, ctx) {
                     return Some(p);
                 }
-            } else if self.axioms.of_kind(AxiomKind::Equal).next().is_some() {
+            } else if self.compiled.has_equal() {
                 // A rewrite might have applied here but the budget forbids
                 // it: record the cutoff so Maybe carries the right reason.
                 self.note_degraded(MaybeReason::SearchExhausted(SearchLimit::Rewrites));
@@ -593,21 +697,34 @@ impl<'a> Prover<'a> {
         from_a.iter().any(|x| x.is_definite() && from_b.contains(x))
     }
 
-    /// All single-step prefix rewrites of a path by the equality axioms.
+    /// All single-step prefix rewrites of a path by the equality axioms
+    /// (borrowed from the compiled set — no per-call cloning).
     fn rewrites_of(&mut self, path: &Path) -> Vec<Path> {
-        let eq_axioms: Vec<Axiom> = self.axioms.of_kind(AxiomKind::Equal).cloned().collect();
+        let compiled = Arc::clone(&self.compiled);
+        let dispatch = self.config.enable_axiom_dispatch;
         let mut out = Vec::new();
         for k in 1..=path.len() {
             let head = Path::new(path.components()[..k].to_vec());
             let tail = Path::new(path.components()[k..].to_vec());
             let head_re = head.to_regex();
             let head_id = RegexId::intern(&head_re);
-            for ax in &eq_axioms {
+            let head_sig = dispatch.then(|| self.sig_of(head_id));
+            for ax in compiled.eq_axioms() {
                 let sides = [
-                    (ax.lhs_id(), ax.lhs(), ax.rhs()),
-                    (ax.rhs_id(), ax.rhs(), ax.lhs()),
+                    (ax.lhs_id(), ax.lhs(), ax.rhs(), ax.lhs_sig()),
+                    (ax.rhs_id(), ax.rhs(), ax.lhs(), ax.rhs_sig()),
                 ];
-                for (from_id, from, to) in sides {
+                for (from_id, from, to, from_sig) in sides {
+                    // The rewrite fires on language *equality* of head and
+                    // side, so both signature inclusion directions must be
+                    // possible.
+                    if let Some(hs) = &head_sig {
+                        if !hs.could_equal(from_sig) {
+                            self.stats.dispatch_misses += 1;
+                            continue;
+                        }
+                        self.stats.dispatch_hits += 1;
+                    }
                     if self.subset_ids(head_id, &head_re, from_id, from)
                         && self.subset_ids(from_id, from, head_id, &head_re)
                     {
@@ -726,9 +843,30 @@ impl<'a> Prover<'a> {
         }
     }
 
+    /// The dispatch signature of a goal-side expression over the compiled
+    /// alphabet, memoized per prover (the same suffixes recur across every
+    /// split of a query).
+    fn sig_of(&mut self, id: RegexId) -> SideSig {
+        if let Some(sig) = self.sig_memo.get(&id) {
+            return *sig;
+        }
+        let sig = self.compiled.sig_of(id);
+        self.sig_memo.insert(id, sig);
+        sig
+    }
+
     /// Finds a single axiom of the right form covering both paths.
     /// `a_id`/`b_id` must intern `a`/`b`; the axiom sides come pre-interned
-    /// from [`Axiom`] construction, so every subset check here keys on ids.
+    /// from [`apt_axioms::Axiom`] construction, so every subset check here
+    /// keys on ids.
+    ///
+    /// With dispatch enabled, each orientation of each candidate is first
+    /// screened against the compiled first-/last-symbol signatures; a
+    /// pruned orientation's subset checks were certain to fail, so the
+    /// *first* surviving match — and with it the produced proof — is the
+    /// same one the linear scan finds. Pruning can, however, skip DFA
+    /// constructions that would have tripped the state budget, so an
+    /// indexed run may degrade strictly less often than a linear one.
     fn find_covering_axiom(
         &mut self,
         origin: Origin,
@@ -741,19 +879,41 @@ impl<'a> Prover<'a> {
             Origin::Same => AxiomKind::DisjointSameOrigin,
             Origin::Distinct => AxiomKind::DisjointDistinctOrigins,
         };
-        // Collect up-front to appease the borrow checker; the axiom list is
-        // tiny.
-        let candidates: Vec<Axiom> = self.axioms.of_kind(kind).cloned().collect();
-        for ax in candidates {
-            if self.subset_ids(a_id, a, ax.lhs_id(), ax.lhs())
-                && self.subset_ids(b_id, b, ax.rhs_id(), ax.rhs())
-            {
-                return Some((ax.label(), false));
+        let compiled = Arc::clone(&self.compiled);
+        let dispatch = self.config.enable_axiom_dispatch;
+        let (sa, sb) = if dispatch {
+            (Some(self.sig_of(a_id)), Some(self.sig_of(b_id)))
+        } else {
+            (None, None)
+        };
+        for ax in compiled.of_kind(kind) {
+            let admit = |s: &Option<SideSig>, side: &SideSig| match s {
+                Some(sig) => sig.could_be_subset_of(side),
+                None => true,
+            };
+            if admit(&sa, ax.lhs_sig()) && admit(&sb, ax.rhs_sig()) {
+                if dispatch {
+                    self.stats.dispatch_hits += 1;
+                }
+                if self.subset_ids(a_id, a, ax.lhs_id(), ax.lhs())
+                    && self.subset_ids(b_id, b, ax.rhs_id(), ax.rhs())
+                {
+                    return Some((ax.label(), false));
+                }
+            } else {
+                self.stats.dispatch_misses += 1;
             }
-            if self.subset_ids(a_id, a, ax.rhs_id(), ax.rhs())
-                && self.subset_ids(b_id, b, ax.lhs_id(), ax.lhs())
-            {
-                return Some((ax.label(), true));
+            if admit(&sa, ax.rhs_sig()) && admit(&sb, ax.lhs_sig()) {
+                if dispatch {
+                    self.stats.dispatch_hits += 1;
+                }
+                if self.subset_ids(a_id, a, ax.rhs_id(), ax.rhs())
+                    && self.subset_ids(b_id, b, ax.lhs_id(), ax.lhs())
+                {
+                    return Some((ax.label(), true));
+                }
+            } else {
+                self.stats.dispatch_misses += 1;
             }
         }
         None
@@ -771,15 +931,23 @@ impl<'a> Prover<'a> {
 
     /// An axiom `∀p<>q, p.f <> q.f` (up to language equality) makes `f`
     /// injective: distinct vertices have distinct `f`-targets.
+    ///
+    /// With dispatch enabled the question was already decided at compile
+    /// time for every field (the first certifying axiom in set order —
+    /// the same one the runtime loop would find), so the peels pay a map
+    /// probe instead of four subset checks. The runtime loop remains the
+    /// fallback for sets whose compile tripped the state cap, and the
+    /// whole body of the linear-baseline mode.
     fn injectivity_axiom(&mut self, f: Symbol) -> Option<String> {
+        if self.config.enable_axiom_dispatch {
+            if let Injectivity::Decided(verdict) = self.compiled.injectivity(f) {
+                return verdict.map(str::to_owned);
+            }
+        }
         let fre = Regex::field(f);
         let fre_id = RegexId::intern(&fre);
-        let candidates: Vec<Axiom> = self
-            .axioms
-            .of_kind(AxiomKind::DisjointDistinctOrigins)
-            .cloned()
-            .collect();
-        for ax in candidates {
+        let compiled = Arc::clone(&self.compiled);
+        for ax in compiled.of_kind(AxiomKind::DisjointDistinctOrigins) {
             // Fast path: structural equality is an id compare.
             if ax.lhs_id() == fre_id && ax.rhs_id() == fre_id {
                 return Some(ax.label());
@@ -1252,26 +1420,34 @@ impl<'a> Prover<'a> {
     // ---- R8: rewriting with equality axioms ------------------------------
 
     fn try_rewrite(&mut self, goal: &Goal, ctx: Ctx) -> Option<Proof> {
-        let eq_axioms: Vec<Axiom> = self.axioms.of_kind(AxiomKind::Equal).cloned().collect();
-        if eq_axioms.is_empty() {
+        let compiled = Arc::clone(&self.compiled);
+        if !compiled.has_equal() {
             return None;
         }
+        let dispatch = self.config.enable_axiom_dispatch;
         for (which, path) in [(0u8, goal.a().clone()), (1u8, goal.b().clone())] {
             for k in 1..=path.len() {
-                let prefix_re = path.prefix(path.len() - k).to_regex();
-                // `prefix` here means the first k components.
+                // `head` is the first k components; the axiom must match it
+                // up to language equality.
                 let head = Path::new(path.components()[..k].to_vec());
                 let tail = Path::new(path.components()[k..].to_vec());
                 let head_re = head.to_regex();
                 let head_id = RegexId::intern(&head_re);
-                let _ = prefix_re;
-                for ax in &eq_axioms {
+                let head_sig = dispatch.then(|| self.sig_of(head_id));
+                for ax in compiled.eq_axioms() {
                     let label = ax.label();
                     let sides = [
-                        (ax.lhs_id(), ax.lhs(), ax.rhs()),
-                        (ax.rhs_id(), ax.rhs(), ax.lhs()),
+                        (ax.lhs_id(), ax.lhs(), ax.rhs(), ax.lhs_sig()),
+                        (ax.rhs_id(), ax.rhs(), ax.lhs(), ax.rhs_sig()),
                     ];
-                    for (from_id, from, to) in sides {
+                    for (from_id, from, to, from_sig) in sides {
+                        if let Some(hs) = &head_sig {
+                            if !hs.could_equal(from_sig) {
+                                self.stats.dispatch_misses += 1;
+                                continue;
+                            }
+                            self.stats.dispatch_hits += 1;
+                        }
                         if self.subset_ids(head_id, &head_re, from_id, from)
                             && self.subset_ids(from_id, from, head_id, &head_re)
                         {

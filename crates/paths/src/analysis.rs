@@ -13,8 +13,8 @@
 use crate::apm::Apm;
 use apt_axioms::AxiomSet;
 use apt_core::{
-    AccessPath, Answer, DepEngine, DepTest, Handle, HandleRelation, MemRef, ProverConfig,
-    TestOutcome,
+    AccessPath, Answer, CacheStats, DepEngine, DepTest, Handle, HandleRelation, MemRef,
+    ProverConfig, TestOutcome,
 };
 use apt_ir::{Block, Program, Stmt, StmtKind};
 use apt_regex::{Component, Path, Symbol};
@@ -736,6 +736,18 @@ impl Analysis {
         queries: &[BatchQuery],
         jobs: usize,
     ) -> Vec<Result<TestOutcome, QueryError>> {
+        self.test_batch_with_stats(queries, jobs).0
+    }
+
+    /// [`Analysis::test_batch`], additionally returning the engine cache
+    /// statistics summed over every axiom-set group the batch used —
+    /// observability for `apt batch` (proof/subset cache sizes, raw vs
+    /// minimized DFA states).
+    pub fn test_batch_with_stats(
+        &self,
+        queries: &[BatchQuery],
+        jobs: usize,
+    ) -> (Vec<Result<TestOutcome, QueryError>>, CacheStats) {
         struct Slot {
             group: usize,
             range: Range<usize>,
@@ -770,7 +782,18 @@ impl Analysis {
             .iter()
             .map(|(tester, tasks)| tester.test_batch(tasks, jobs))
             .collect();
-        slots
+        let mut cache = CacheStats::default();
+        for (tester, _) in &groups {
+            let s = tester.engine().cache_stats();
+            cache.proved_goals += s.proved_goals;
+            cache.failed_goals += s.failed_goals;
+            cache.subset_results += s.subset_results;
+            cache.dfas += s.dfas;
+            cache.min_dfas += s.min_dfas;
+            cache.raw_dfa_states += s.raw_dfa_states;
+            cache.min_dfa_states += s.min_dfa_states;
+        }
+        let results = slots
             .into_iter()
             .map(|slot| {
                 let Slot { group, range } = slot?;
@@ -785,7 +808,8 @@ impl Analysis {
                     .expect("plan_query yields at least one pair")
                     .clone())
             })
-            .collect()
+            .collect();
+        (results, cache)
     }
 
     /// The full query workload for this procedure, mirroring `apt report`:

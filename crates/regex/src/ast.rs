@@ -185,6 +185,79 @@ impl Regex {
         }
     }
 
+    /// The set of field symbols that can begin a word of the language
+    /// (sorted, deduplicated). `ε` contributes nothing — nullability is a
+    /// separate question ([`Regex::is_nullable`]).
+    ///
+    /// First sets give a *necessary* condition for language inclusion:
+    /// `L(a) ⊆ L(b)` requires `first(a) ⊆ first(b)`, which the prover's
+    /// axiom dispatch uses to skip axioms that cannot possibly cover a
+    /// goal side.
+    ///
+    /// ```
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// use apt_regex::parse;
+    /// let firsts = parse("(L|R)*.N")?.first_symbols();
+    /// let mut names: Vec<&str> = firsts.iter().map(|s| s.as_str()).collect();
+    /// names.sort_unstable(); // Symbol's Ord is intern order, not lexical
+    /// assert_eq!(names, ["L", "N", "R"]);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn first_symbols(&self) -> Vec<Symbol> {
+        let mut out = Vec::new();
+        self.collect_first(&mut out);
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    fn collect_first(&self, out: &mut Vec<Symbol>) {
+        match self {
+            Regex::Empty | Regex::Epsilon => {}
+            Regex::Field(s) => out.push(*s),
+            Regex::Concat(a, b) => {
+                a.collect_first(out);
+                if a.is_nullable() {
+                    b.collect_first(out);
+                }
+            }
+            Regex::Alt(a, b) => {
+                a.collect_first(out);
+                b.collect_first(out);
+            }
+            Regex::Star(a) | Regex::Plus(a) => a.collect_first(out),
+        }
+    }
+
+    /// The set of field symbols that can end a word of the language
+    /// (sorted, deduplicated) — the mirror of [`Regex::first_symbols`].
+    pub fn last_symbols(&self) -> Vec<Symbol> {
+        let mut out = Vec::new();
+        self.collect_last(&mut out);
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    fn collect_last(&self, out: &mut Vec<Symbol>) {
+        match self {
+            Regex::Empty | Regex::Epsilon => {}
+            Regex::Field(s) => out.push(*s),
+            Regex::Concat(a, b) => {
+                b.collect_last(out);
+                if b.is_nullable() {
+                    a.collect_last(out);
+                }
+            }
+            Regex::Alt(a, b) => {
+                a.collect_last(out);
+                b.collect_last(out);
+            }
+            Regex::Star(a) | Regex::Plus(a) => a.collect_last(out),
+        }
+    }
+
     /// The number of AST nodes; a rough size measure used by the prover's
     /// fuel accounting.
     pub fn size(&self) -> usize {

@@ -44,6 +44,12 @@ type Key = (RegexId, Vec<Symbol>);
 #[derive(Debug)]
 pub struct DfaCache {
     shards: Vec<Mutex<HashMap<Key, Arc<Dfa>>>>,
+    /// `RegexId → minimized DFA` slot: the Hopcroft-style quotient of the
+    /// raw subset-construction automaton, interned separately so the lazy
+    /// product walks (`try_subset_of` / `try_intersects`) explore the
+    /// smallest pair-state frontier available. Minimization preserves the
+    /// language exactly, so a minimized hit answers the same question.
+    min_shards: Vec<Mutex<HashMap<Key, Arc<Dfa>>>>,
 }
 
 impl Default for DfaCache {
@@ -57,16 +63,24 @@ impl DfaCache {
     pub fn new() -> DfaCache {
         DfaCache {
             shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            min_shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
         }
     }
 
-    fn shard(&self, key: &Key) -> &Mutex<HashMap<Key, Arc<Dfa>>> {
+    fn shard_of<'a>(
+        shards: &'a [Mutex<HashMap<Key, Arc<Dfa>>>],
+        key: &Key,
+    ) -> &'a Mutex<HashMap<Key, Arc<Dfa>>> {
         let mut h = DefaultHasher::new();
         key.hash(&mut h);
-        &self.shards[(h.finish() as usize) % SHARDS]
+        &shards[(h.finish() as usize) % SHARDS]
     }
 
-    /// Number of interned automata across all shards.
+    fn shard(&self, key: &Key) -> &Mutex<HashMap<Key, Arc<Dfa>>> {
+        DfaCache::shard_of(&self.shards, key)
+    }
+
+    /// Number of interned raw automata across all shards.
     pub fn len(&self) -> usize {
         self.shards
             .iter()
@@ -74,9 +88,34 @@ impl DfaCache {
             .sum()
     }
 
+    /// Number of interned minimized automata across all shards.
+    pub fn len_minimized(&self) -> usize {
+        self.min_shards
+            .iter()
+            .map(|s| s.lock().map(|g| g.len()).unwrap_or(0))
+            .sum()
+    }
+
+    /// Total states across `(raw, minimized)` interned automata — the
+    /// observability counter behind the `apt report` / `apt batch`
+    /// minimized-vs-raw lines.
+    pub fn state_totals(&self) -> (usize, usize) {
+        let sum = |shards: &[Mutex<HashMap<Key, Arc<Dfa>>>]| {
+            shards
+                .iter()
+                .map(|s| {
+                    s.lock()
+                        .map(|g| g.values().map(|d| d.state_count()).sum::<usize>())
+                        .unwrap_or(0)
+                })
+                .sum::<usize>()
+        };
+        (sum(&self.shards), sum(&self.min_shards))
+    }
+
     /// Whether the cache holds no automata.
     pub fn is_empty(&self) -> bool {
-        self.len() == 0
+        self.len() == 0 && self.len_minimized() == 0
     }
 
     /// Returns the DFA for `re` over `alphabet`, building it under `limits`
@@ -133,6 +172,63 @@ impl DfaCache {
         }
         Ok(built)
     }
+
+    /// The smallest DFA this cache can currently offer for a pre-interned
+    /// expression: the minimized automaton when one is interned, otherwise
+    /// the raw one — minimizing *lazily*, on the second use of a key.
+    ///
+    /// Minimization preserves the language, so every decision procedure may
+    /// substitute the minimized automaton freely; the lazy product walks get
+    /// a pair-state frontier bounded by the *minimal* state counts, which is
+    /// what shrinks the Kleene-heavy Appendix A explorations. But Hopcroft's
+    /// partition refinement is not free, and a one-shot expression never
+    /// earns it back — so the first request for a key builds (and returns)
+    /// only the raw automaton, exactly as [`DfaCache::get_or_build_id`], and
+    /// the quotient is computed once a request finds the raw DFA already
+    /// interned. Cold single-query cost is unchanged; repeat customers (an
+    /// axiom side, a loop-carried goal re-asked across a batch) get the
+    /// minimal frontier from their second check on.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`LimitExceeded`] from the raw construction (metered
+    /// exactly as [`DfaCache::get_or_build_id`]; minimization itself only
+    /// shrinks and is not metered). Failed builds are never cached.
+    pub fn get_or_build_min_id(
+        &self,
+        id: RegexId,
+        re: &Regex,
+        alphabet: &[Symbol],
+        limits: &Limits,
+    ) -> Result<Arc<Dfa>, LimitExceeded> {
+        let key: Key = (id, alphabet.to_vec());
+        let min_shard = DfaCache::shard_of(&self.min_shards, &key);
+        if let Ok(guard) = min_shard.lock() {
+            if let Some(dfa) = guard.get(&key) {
+                return Ok(Arc::clone(dfa));
+            }
+        }
+        // First use of this key: build and return the raw automaton only.
+        let raw_cached = self
+            .shard(&key)
+            .lock()
+            .map(|g| g.contains_key(&key))
+            .unwrap_or(false);
+        let raw = self.get_or_build_id(id, re, alphabet, limits)?;
+        if !raw_cached {
+            return Ok(raw);
+        }
+        let minimized = Arc::new(raw.minimize());
+        if let Ok(mut guard) = min_shard.lock() {
+            if let Some(existing) = guard.get(&key) {
+                return Ok(Arc::clone(existing));
+            }
+            if guard.len() < SHARD_CAPACITY {
+                guard.insert(key, Arc::clone(&minimized));
+            }
+        }
+        Ok(minimized)
+    }
 }
 
 #[cfg(test)]
@@ -178,6 +274,33 @@ mod tests {
         let roomy = Limits::none().with_max_states(5_000_000);
         assert!(cache.get_or_build(&bomb, &alpha, &roomy).is_ok());
         assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn minimization_is_lazy_and_idempotent() {
+        let cache = DfaCache::new();
+        let re = parse("(L|R)+.N.N*").unwrap();
+        let alpha = re.symbols();
+        let id = RegexId::intern(&re);
+        // First use: raw only — no minimization work for one-shot keys.
+        let first = cache
+            .get_or_build_min_id(id, &re, &alpha, &Limits::none())
+            .unwrap();
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.len_minimized(), 0);
+        // Second use: the quotient is built, interned, and no larger.
+        let second = cache
+            .get_or_build_min_id(id, &re, &alpha, &Limits::none())
+            .unwrap();
+        assert_eq!(cache.len_minimized(), 1);
+        assert!(second.state_count() <= first.state_count());
+        // Third use: the interned quotient is served as-is.
+        let third = cache
+            .get_or_build_min_id(id, &re, &alpha, &Limits::none())
+            .unwrap();
+        assert!(Arc::ptr_eq(&second, &third));
+        let (raw_states, min_states) = cache.state_totals();
+        assert!(min_states <= raw_states);
     }
 
     #[test]

@@ -56,11 +56,25 @@ struct Entry {
     /// top node rather than a rebuild.
     regex: Regex,
     nullable: bool,
+    /// Symbols that can begin a word of the language (sorted, deduped).
+    first: Box<[Symbol]>,
+    /// Symbols that can end a word of the language (sorted, deduped).
+    last: Box<[Symbol]>,
+    /// Every symbol mentioned in the expression (sorted, deduped).
+    symbols: Box<[Symbol]>,
 }
 
 struct Arena {
     entries: Vec<Entry>,
     lookup: HashMap<Node, u32>,
+}
+
+/// Sorted-set union of two symbol slices.
+fn union_syms(a: &[Symbol], b: &[Symbol]) -> Box<[Symbol]> {
+    let mut out: Vec<Symbol> = a.iter().chain(b).copied().collect();
+    out.sort_unstable();
+    out.dedup();
+    out.into_boxed_slice()
 }
 
 impl Arena {
@@ -70,7 +84,51 @@ impl Arena {
         }
         let id = u32::try_from(self.entries.len()).expect("regex interner overflow");
         let nullable = regex.is_nullable();
-        self.entries.push(Entry { regex, nullable });
+        // First/last/alphabet sets are assembled shallowly from the already
+        // interned children — each node's sets are computed exactly once
+        // for the process, whatever the tree sharing looks like.
+        let (first, last, symbols) = match node {
+            Node::Empty | Node::Epsilon => {
+                (Box::default(), Box::default(), Box::<[Symbol]>::default())
+            }
+            Node::Field(s) => {
+                let one: Box<[Symbol]> = Box::new([s]);
+                (one.clone(), one.clone(), one)
+            }
+            Node::Concat(a, b) => {
+                let (ea, eb) = (&self.entries[a.index()], &self.entries[b.index()]);
+                let first = if ea.nullable {
+                    union_syms(&ea.first, &eb.first)
+                } else {
+                    ea.first.clone()
+                };
+                let last = if eb.nullable {
+                    union_syms(&eb.last, &ea.last)
+                } else {
+                    eb.last.clone()
+                };
+                (first, last, union_syms(&ea.symbols, &eb.symbols))
+            }
+            Node::Alt(a, b) => {
+                let (ea, eb) = (&self.entries[a.index()], &self.entries[b.index()]);
+                (
+                    union_syms(&ea.first, &eb.first),
+                    union_syms(&ea.last, &eb.last),
+                    union_syms(&ea.symbols, &eb.symbols),
+                )
+            }
+            Node::Star(a) | Node::Plus(a) => {
+                let ea = &self.entries[a.index()];
+                (ea.first.clone(), ea.last.clone(), ea.symbols.clone())
+            }
+        };
+        self.entries.push(Entry {
+            regex,
+            nullable,
+            first,
+            last,
+            symbols,
+        });
         self.lookup.insert(node, id);
         RegexId(id)
     }
@@ -132,6 +190,44 @@ impl RegexId {
     /// Whether the language contains ε (memoized at intern time).
     pub fn is_nullable(self) -> bool {
         arena().lock().expect("regex interner poisoned").entries[self.0 as usize].nullable
+    }
+
+    /// The symbols that can begin a word of the language (memoized at
+    /// intern time; sorted, deduplicated). Matches
+    /// [`crate::Regex::first_symbols`].
+    pub fn first_symbols(self) -> Vec<Symbol> {
+        arena().lock().expect("regex interner poisoned").entries[self.0 as usize]
+            .first
+            .to_vec()
+    }
+
+    /// The symbols that can end a word of the language (memoized at intern
+    /// time; sorted, deduplicated). Matches [`crate::Regex::last_symbols`].
+    pub fn last_symbols(self) -> Vec<Symbol> {
+        arena().lock().expect("regex interner poisoned").entries[self.0 as usize]
+            .last
+            .to_vec()
+    }
+
+    /// Every symbol mentioned in the expression (memoized at intern time;
+    /// sorted, deduplicated). Matches [`crate::Regex::symbols`].
+    pub fn symbols(self) -> Vec<Symbol> {
+        arena().lock().expect("regex interner poisoned").entries[self.0 as usize]
+            .symbols
+            .to_vec()
+    }
+
+    /// One locked probe returning the dispatch profile the prover needs:
+    /// `(nullable, first, last, symbols)`.
+    pub fn profile(self) -> (bool, Vec<Symbol>, Vec<Symbol>, Vec<Symbol>) {
+        let guard = arena().lock().expect("regex interner poisoned");
+        let e = &guard.entries[self.0 as usize];
+        (
+            e.nullable,
+            e.first.to_vec(),
+            e.last.to_vec(),
+            e.symbols.to_vec(),
+        )
     }
 
     /// The raw arena index, useful as a dense array key.

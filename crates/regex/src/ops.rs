@@ -127,10 +127,14 @@ pub fn try_is_subset_interned(
         return Ok(true);
     }
     let alpha = union_alphabet(a, b);
+    // With an interner available, walk the *minimized* automata: the lazy
+    // product's pair-state frontier is bounded by the product of minimal
+    // state counts, and the quotients are interned once per (id, alphabet).
+    // Minimization preserves the language, so the verdict is identical.
     let (da, db) = match cache {
         Some(cache) => (
-            cache.get_or_build_id(a_id, a, &alpha, limits)?,
-            cache.get_or_build_id(b_id, b, &alpha, limits)?,
+            cache.get_or_build_min_id(a_id, a, &alpha, limits)?,
+            cache.get_or_build_min_id(b_id, b, &alpha, limits)?,
         ),
         None => (
             Arc::new(Dfa::try_build(a, &alpha, limits)?),

@@ -28,6 +28,27 @@ if ! grep -q '"verdicts_identical": true' BENCH_subset.json; then
     exit 1
 fi
 
+echo "==> prover throughput benchmark (smoke: indexed vs linear parity)"
+# The bin exits nonzero if the indexed search diverges from the linear
+# axiom scan on any verdict; double-check the recorded artifact too.
+cargo run -q --release -p apt-bench --bin prover_throughput -- --smoke
+if ! grep -q '"verdicts_identical": true' BENCH_prover.json; then
+    echo "error: BENCH_prover.json does not record identical verdicts" >&2
+    exit 1
+fi
+
+echo "==> proof search must go through the compiled dispatch index"
+# The CompiledAxioms refactor removed every linear axiom scan (and the
+# per-call eq-axiom cloning) from the prover hot path; reintroducing
+# either form defeats the index.
+linear_scans=$(grep -nE 'self\.axioms\.iter\(\)|of_kind\([^)]*\)\.cloned\(\)' \
+    crates/core/src/prover.rs 2>/dev/null || true)
+if [[ -n "$linear_scans" ]]; then
+    echo "error: linear axiom scan on the prover hot path (use CompiledAxioms):" >&2
+    echo "$linear_scans" >&2
+    exit 1
+fi
+
 echo "==> subset caches in apt-core must key on RegexId, not strings"
 # The arena refactor removed Display-formatted regex strings from every
 # cache key on the subset hot path; a (String, String) key reintroduces

@@ -1,0 +1,184 @@
+//! Soundness of the failure memo: a cached or published "no proof"
+//! verdict must be a genuine, context-free property of the goal — never a
+//! budget cutoff and never an artifact of the ancestor stack it was first
+//! searched under.
+//!
+//! The prover publishes a failed goal to the engine's shared cache only
+//! when the subtree search (1) never degraded, (2) never consulted an
+//! in-progress ancestor, and (3) spent no equality-rewrite allowance.
+//! These tests exercise each clause from the outside: starved runs must
+//! leave no trace, every published failure must survive re-proving by an
+//! unbudgeted linear-scan prover, and answers must not depend on the
+//! order queries reached the engine.
+
+use apt_axioms::adds::{
+    leaf_linked_tree_axioms, sparse_matrix_axioms, sparse_matrix_minimal_axioms,
+};
+use apt_core::{Answer, Budget, DepEngine, DepQuery, Origin, ProverConfig};
+use apt_regex::Path;
+
+fn p(s: &str) -> Path {
+    Path::parse(s).expect("test path parses")
+}
+
+/// A mixed workload over the Appendix A sparse-matrix set: provable
+/// Theorem T instances, unprovable equality-shaped disjointness probes,
+/// and loop-carried shapes.
+fn sparse_workload() -> Vec<DepQuery> {
+    let mut queries = Vec::new();
+    for i in 1..=3usize {
+        for j in 1..=3usize {
+            queries.push(
+                DepQuery::disjoint(
+                    &p(&vec!["ncolE"; i].join(".")),
+                    &p(&format!("{}.ncolE+", vec!["nrowE"; j].join("."))),
+                )
+                .origin(Origin::Same),
+            );
+            queries.push(
+                DepQuery::disjoint(
+                    &p(&vec!["ncolE"; i].join(".")),
+                    &p(&vec!["nrowE"; j].join(".")),
+                )
+                .origin(Origin::Same),
+            );
+        }
+        // Overlapping languages — genuinely unprovable disjointness.
+        queries.push(
+            DepQuery::disjoint(&p("ncolE+"), &p(&vec!["ncolE"; i].join("."))).origin(Origin::Same),
+        );
+        queries.push(
+            DepQuery::disjoint(&p("nrowE*.ncolE"), &p(&vec!["ncolE"; i].join(".")))
+                .origin(Origin::Same),
+        );
+        queries.push(DepQuery::equal(
+            &p(&vec!["ncolE"; i].join(".")),
+            &p(&vec!["nrowE"; i].join(".")),
+        ));
+    }
+    queries
+}
+
+/// A starved query degrades to Maybe — and the degraded failure must not
+/// be published: the shared failed-goal set stays empty, and re-running
+/// the same query with the full budget on the same engine proves it.
+#[test]
+fn starved_failures_are_never_published() {
+    // The §5 minimal set has no direct covering axiom for this goal, so
+    // the proof needs a recursive search — fuel 1 must trip.
+    let engine = DepEngine::new(sparse_matrix_minimal_axioms());
+    let query = DepQuery::disjoint(&p("ncolE+"), &p("nrowE+.ncolE+")).origin(Origin::Same);
+    let starved = query
+        .clone()
+        .with_budget(Budget::new().with_fuel(1))
+        .run(&engine);
+    assert_eq!(starved.verdict.answer, Answer::Maybe);
+    assert!(starved.verdict.is_degraded(), "fuel 1 must trip");
+    assert!(
+        engine.shared_cache().failed_goal_snapshot().is_empty(),
+        "a degraded subtree leaked into the shared failure set"
+    );
+    let funded = query.run(&engine);
+    assert_eq!(
+        funded.verdict.answer,
+        Answer::No,
+        "the starved attempt poisoned the engine"
+    );
+    assert!(funded.proof.is_some());
+}
+
+/// Every goal the engine publishes as Failed must still fail when
+/// re-proved from scratch by a linear-scan prover with no dispatch, no
+/// memo, and the default (generous) budget: publication never caches a
+/// context- or budget-dependent failure.
+#[test]
+fn published_failures_are_genuinely_unprovable() {
+    let engine = DepEngine::new(sparse_matrix_axioms());
+    for query in sparse_workload() {
+        query.run(&engine);
+    }
+    let failed = engine.shared_cache().failed_goal_snapshot();
+    assert!(
+        !failed.is_empty(),
+        "workload should settle at least one unprovable goal"
+    );
+    let linear = ProverConfig {
+        enable_axiom_dispatch: false,
+        enable_negative_memo: false,
+        ..ProverConfig::default()
+    };
+    let referee = DepEngine::with_config(sparse_matrix_axioms(), linear);
+    for goal in failed {
+        let outcome = DepQuery::disjoint(goal.a(), goal.b())
+            .origin(goal.origin())
+            .run(&referee);
+        assert!(
+            outcome.proof.is_none(),
+            "published failure {} <> {} ({:?}) is provable by the linear scan",
+            goal.a(),
+            goal.b(),
+            goal.origin()
+        );
+        assert!(
+            !outcome.verdict.is_degraded(),
+            "referee degraded on {} <> {} — verdict inconclusive",
+            goal.a(),
+            goal.b()
+        );
+    }
+}
+
+/// Answers must not depend on the order queries reach the engine: the
+/// memo may only re-serve verdicts, never let an earlier goal's subtree
+/// change a later verdict.
+#[test]
+fn answers_are_order_independent() {
+    let forward_engine = DepEngine::new(sparse_matrix_axioms());
+    let reverse_engine = DepEngine::new(sparse_matrix_axioms());
+    let workload = sparse_workload();
+    let forward: Vec<Answer> = workload
+        .iter()
+        .map(|q| q.run(&forward_engine).verdict.answer)
+        .collect();
+    let mut reversed: Vec<Answer> = workload
+        .iter()
+        .rev()
+        .map(|q| q.run(&reverse_engine).verdict.answer)
+        .collect();
+    reversed.reverse();
+    assert_eq!(forward, reversed);
+}
+
+/// Engine answers with the memo on equal the answers with the memo off,
+/// on both paper workloads.
+#[test]
+fn memo_on_and_off_agree() {
+    let no_memo = ProverConfig {
+        enable_negative_memo: false,
+        ..ProverConfig::default()
+    };
+    let with = DepEngine::new(sparse_matrix_axioms());
+    let without = DepEngine::with_config(sparse_matrix_axioms(), no_memo.clone());
+    for query in sparse_workload() {
+        assert_eq!(
+            query.run(&with).verdict.answer,
+            query.run(&without).verdict.answer
+        );
+    }
+
+    let tree_with = DepEngine::new(leaf_linked_tree_axioms());
+    let tree_without = DepEngine::with_config(leaf_linked_tree_axioms(), no_memo);
+    for (a, b) in [
+        ("L.L.N", "L.R.N"),
+        ("L.N+", "R.N+"),
+        ("N", "N.N"),
+        ("L", "L"),
+    ] {
+        let q = DepQuery::disjoint(&p(a), &p(b)).origin(Origin::Same);
+        assert_eq!(
+            q.run(&tree_with).verdict.answer,
+            q.run(&tree_without).verdict.answer,
+            "{a} <> {b}"
+        );
+    }
+}
