@@ -329,6 +329,62 @@ pub fn sparse_matrix_minimal_axioms() -> AxiomSet {
     .expect("section 5 axioms parse")
 }
 
+/// Error from [`parse_axioms_auto`]: whichever sub-parser was selected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseAutoError {
+    /// The text looked like an ADDS description and failed there.
+    Adds(ParseAddsError),
+    /// The text was parsed as one-axiom-per-line and failed there.
+    Axioms(crate::ParseAxiomError),
+}
+
+impl std::fmt::Display for ParseAutoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseAutoError::Adds(e) => e.fmt(f),
+            ParseAutoError::Axioms(e) => e.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for ParseAutoError {}
+
+/// Whether `text` looks like an ADDS description (any line opening with a
+/// structure keyword) rather than a one-axiom-per-line file.
+pub fn looks_like_adds(text: &str) -> bool {
+    text.lines().any(|l| {
+        let t = l.trim();
+        [
+            "structure",
+            "tree ",
+            "list ",
+            "acyclic ",
+            "disjoint ",
+            "cycle ",
+        ]
+        .iter()
+        .any(|k| t.starts_with(k))
+    })
+}
+
+/// Parses an axiom file in either supported format — an ADDS description
+/// (`structure … { tree L, R; }`) or one axiom per line (`A1: forall p,
+/// p.L <> p.R`) — auto-detected via [`looks_like_adds`]. This is the one
+/// entry point the CLI and the serving layer share, so a set accepted by
+/// `apt prove` is accepted verbatim by `open_session`.
+///
+/// # Errors
+///
+/// Returns [`ParseAutoError`] from whichever sub-parser the detection
+/// selected.
+pub fn parse_axioms_auto(text: &str) -> Result<AxiomSet, ParseAutoError> {
+    if looks_like_adds(text) {
+        parse_adds(text).map_err(ParseAutoError::Adds)
+    } else {
+        AxiomSet::parse(text).map_err(ParseAutoError::Axioms)
+    }
+}
+
 /// The twelve sparse-matrix axioms of Appendix A, in the paper's order.
 pub fn sparse_matrix_axioms() -> AxiomSet {
     AxiomSet::parse(

@@ -1,0 +1,76 @@
+//! Measures warm-session daemon throughput against fresh-process and
+//! fresh-engine per-query baselines, probes admission control, and
+//! writes `BENCH_serve.json` to the current directory.
+//!
+//! ```text
+//! cargo run --release -p apt-bench --bin serve_throughput [--smoke] [depth]
+//! ```
+//!
+//! `--smoke` runs the small CI configuration. Exits nonzero if any
+//! warm-session verdict diverges from the in-process oracle or the
+//! overload probe misbehaves.
+
+use apt_bench::serve::{run, ServeBenchConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let mut config = if smoke {
+        ServeBenchConfig::smoke()
+    } else {
+        ServeBenchConfig::default()
+    };
+    if let Some(depth) = args.iter().find_map(|a| a.parse::<usize>().ok()) {
+        config.depth = depth;
+    }
+    eprintln!(
+        "running serve throughput: depth {}, {} rep(s) ...",
+        config.depth, config.reps
+    );
+    let result = run(&config);
+
+    println!("== serving-layer throughput: warm sessions vs fresh per-query ==");
+    println!("{} disjointness queries per pass", result.queries);
+    match result.fresh_process_micros {
+        Some(us) => println!("fresh process per query (apt prove): {us} us total"),
+        None => println!("fresh process baseline skipped (apt binary not built)"),
+    }
+    println!(
+        "fresh engine per query (in-process): {} us total",
+        result.fresh_engine_micros
+    );
+    println!(
+        "warm session over TCP:               {} us total ({:.1} q/s)",
+        result.warm_session_micros, result.warm_qps
+    );
+    if let Some(x) = result.speedup_vs_process {
+        println!("speedup vs fresh process: {x:.2}x");
+    }
+    println!(
+        "speedup vs fresh engine:  {:.2}x",
+        result.speedup_vs_fresh_engine
+    );
+    println!(
+        "verdicts identical: {} | overload refusals: {} ({})",
+        result.verdicts_identical,
+        result.overload_refusals,
+        if result.overload_ok {
+            "ok"
+        } else {
+            "MISBEHAVED"
+        }
+    );
+
+    let json = result.to_json();
+    std::fs::write("BENCH_serve.json", &json).expect("write BENCH_serve.json");
+    println!("\nwrote BENCH_serve.json");
+
+    if !result.verdicts_identical {
+        eprintln!("error: warm-session verdicts diverged from the in-process oracle");
+        std::process::exit(1);
+    }
+    if !result.overload_ok {
+        eprintln!("error: overload probe expected 2 prompt refusals");
+        std::process::exit(1);
+    }
+}

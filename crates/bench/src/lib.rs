@@ -20,4 +20,5 @@ pub mod batch;
 pub mod complexity;
 pub mod fig7;
 pub mod prover_throughput;
+pub mod serve;
 pub mod subset;

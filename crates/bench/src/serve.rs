@@ -1,0 +1,394 @@
+//! Serving-layer throughput: warm resident sessions vs. a fresh
+//! process (or engine) per query.
+//!
+//! The daemon's reason to exist is amortization: compiling an axiom set
+//! and warming its caches once, then answering many queries. This
+//! bench quantifies that against the workflow it replaces — running
+//! `apt prove` afresh for every query — on the disjointness half of the
+//! Figure 7 sparse-matrix suite (the `apt prove` subcommand does not do
+//! equality queries, so the process baseline couldn't either).
+//!
+//! Three strategies, identical query stream:
+//!
+//! 1. **fresh-process** — spawn the `apt` binary per query (compile the
+//!    axiom set, prove, exit). Skipped when the binary isn't next to
+//!    this bench (e.g. `cargo run` without building `apt-cli`).
+//! 2. **fresh-engine** — a new in-process [`DepEngine`] per query: the
+//!    process baseline minus exec/link overhead.
+//! 3. **warm-session** — one `open_session` against a real loopback
+//!    daemon, then sequential `prove` round-trips over TCP (so the
+//!    serving number *includes* protocol and socket overhead).
+//!
+//! Every warm-session verdict must fingerprint-match the fresh-engine
+//! oracle; the process baseline is checked at answer level. The run
+//! also probes admission control: a tiny server (one worker, one queue
+//! slot) is offered four slow queries at once and must refuse the
+//! excess with `overloaded` frames — quickly, not by timing out.
+
+use apt_axioms::adds::{leaf_linked_tree_axioms, sparse_matrix_axioms};
+use apt_core::{Answer, DepEngine, DepQuery, MaybeReason, Origin};
+use apt_regex::Path;
+use apt_serve::json::{obj, parse, Json};
+use apt_serve::{Client, ServeConfig, Server};
+use std::fmt::Write as _;
+use std::io::Write as _;
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+/// Bench tuning.
+#[derive(Debug, Clone)]
+pub struct ServeBenchConfig {
+    /// Suite depth (the Figure 7 `i`/`j` range).
+    pub depth: usize,
+    /// Timed repetitions of the warm-session pass (best-of).
+    pub reps: usize,
+}
+
+impl Default for ServeBenchConfig {
+    fn default() -> ServeBenchConfig {
+        ServeBenchConfig { depth: 4, reps: 5 }
+    }
+}
+
+impl ServeBenchConfig {
+    /// The small configuration used by CI smoke runs.
+    pub fn smoke() -> ServeBenchConfig {
+        ServeBenchConfig { depth: 2, reps: 2 }
+    }
+}
+
+/// One disjointness query of the suite, in every representation the
+/// bench needs (wire fields double as CLI arguments).
+#[derive(Debug, Clone)]
+pub struct SuiteQuery {
+    /// First access path, concrete syntax.
+    pub a: String,
+    /// Second access path, concrete syntax.
+    pub b: String,
+    /// Distinct-origin query?
+    pub distinct: bool,
+}
+
+/// The disjointness half of the Figure 7 suite (Theorem T instances,
+/// loop-carried row walks, and distinct-origin probes).
+pub fn suite(depth: usize) -> Vec<SuiteQuery> {
+    let chain = |sym: &str, n: usize| vec![sym.to_owned(); n].join(".");
+    let mut suite = Vec::new();
+    for i in 1..=depth {
+        for j in 1..=depth {
+            suite.push(SuiteQuery {
+                a: chain("ncolE", i),
+                b: format!("{}.ncolE+", chain("nrowE", j)),
+                distinct: false,
+            });
+            suite.push(SuiteQuery {
+                a: chain("ncolE", i),
+                b: format!("ncolE+.{}", chain("ncolE", j)),
+                distinct: false,
+            });
+            suite.push(SuiteQuery {
+                a: chain("ncolE", i),
+                b: chain("nrowE", j),
+                distinct: true,
+            });
+        }
+    }
+    suite
+}
+
+fn to_dep_query(q: &SuiteQuery) -> DepQuery {
+    let a = Path::parse(&q.a).expect("suite path parses");
+    let b = Path::parse(&q.b).expect("suite path parses");
+    DepQuery::disjoint(&a, &b).origin(if q.distinct {
+        Origin::Distinct
+    } else {
+        Origin::Same
+    })
+}
+
+/// The verdict fingerprint compared between strategies.
+pub type VerdictKey = (Answer, Option<MaybeReason>, bool);
+
+/// The measured result.
+#[derive(Debug, Clone)]
+pub struct ServeBenchResult {
+    /// Queries per suite pass.
+    pub queries: usize,
+    /// Total micros for one fresh-process pass (`None` when the `apt`
+    /// binary was not found next to the bench).
+    pub fresh_process_micros: Option<u128>,
+    /// Total micros for one fresh-engine-per-query pass.
+    pub fresh_engine_micros: u128,
+    /// Best-of-reps total micros for a warm-session pass over TCP.
+    pub warm_session_micros: u128,
+    /// Warm-session throughput, queries/second.
+    pub warm_qps: f64,
+    /// Speedup of warm-session over fresh-process (when measured).
+    pub speedup_vs_process: Option<f64>,
+    /// Speedup of warm-session over fresh-engine.
+    pub speedup_vs_fresh_engine: f64,
+    /// Whether every warm-session verdict matched the oracle (and the
+    /// process baseline agreed at answer level).
+    pub verdicts_identical: bool,
+    /// Overload probe: refusals observed (expected exactly 2).
+    pub overload_refusals: u64,
+    /// Overload probe: refusals arrived promptly and the server stayed
+    /// healthy (no timeouts, no crashes, exactly the expected count).
+    pub overload_ok: bool,
+}
+
+impl ServeBenchResult {
+    /// Renders `BENCH_serve.json`.
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        let _ = writeln!(s, "  \"suite\": \"figure7-sparse-matrix-disjoint\",");
+        let _ = writeln!(s, "  \"queries\": {},", self.queries);
+        match self.fresh_process_micros {
+            Some(us) => {
+                let _ = writeln!(s, "  \"fresh_process_micros\": {us},");
+            }
+            None => {
+                let _ = writeln!(s, "  \"fresh_process_micros\": null,");
+            }
+        }
+        let _ = writeln!(
+            s,
+            "  \"fresh_engine_micros\": {},",
+            self.fresh_engine_micros
+        );
+        let _ = writeln!(
+            s,
+            "  \"warm_session_micros\": {},",
+            self.warm_session_micros
+        );
+        let _ = writeln!(s, "  \"warm_session_qps\": {:.1},", self.warm_qps);
+        match self.speedup_vs_process {
+            Some(x) => {
+                let _ = writeln!(s, "  \"speedup_vs_fresh_process\": {x:.2},");
+            }
+            None => {
+                let _ = writeln!(s, "  \"speedup_vs_fresh_process\": null,");
+            }
+        }
+        let _ = writeln!(
+            s,
+            "  \"speedup_vs_fresh_engine\": {:.2},",
+            self.speedup_vs_fresh_engine
+        );
+        let _ = writeln!(s, "  \"verdicts_identical\": {},", self.verdicts_identical);
+        let _ = writeln!(
+            s,
+            "  \"overload\": {{\"workers\": 1, \"high_water\": 1, \"offered\": 4, \
+             \"refusals\": {}, \"behaved\": {}}}",
+            self.overload_refusals, self.overload_ok
+        );
+        s.push_str("}\n");
+        s
+    }
+}
+
+fn fingerprint_wire(result: &Json) -> Option<VerdictKey> {
+    let (answer, reason) = apt_serve::proto::parse_verdict(result)?;
+    let has_proof = !matches!(result.get("proof"), None | Some(Json::Null));
+    Some((answer, reason, has_proof))
+}
+
+/// Locates the `apt` binary next to the running bench, if present.
+fn apt_binary() -> Option<std::path::PathBuf> {
+    let exe = std::env::current_exe().ok()?;
+    let apt = exe.parent()?.join("apt");
+    apt.is_file().then_some(apt)
+}
+
+/// Runs the bench.
+pub fn run(config: &ServeBenchConfig) -> ServeBenchResult {
+    let suite = suite(config.depth);
+    let axioms_text = sparse_matrix_axioms().to_string();
+    let reps = config.reps.max(1);
+
+    // Oracle fingerprints: fresh engine per query (also the in-process
+    // timing baseline — it pays compilation per query, like a process).
+    let started = Instant::now();
+    let oracle: Vec<VerdictKey> = suite
+        .iter()
+        .map(|q| {
+            let engine = DepEngine::new(sparse_matrix_axioms());
+            let outcome = to_dep_query(q).run(&engine);
+            (
+                outcome.verdict.answer,
+                outcome.verdict.reason,
+                outcome.proof.is_some(),
+            )
+        })
+        .collect();
+    let fresh_engine_micros = started.elapsed().as_micros();
+
+    // Fresh-process baseline: `apt prove` per query, axioms from a file.
+    let mut verdicts_identical = true;
+    let fresh_process_micros = apt_binary().map(|apt| {
+        let file =
+            std::env::temp_dir().join(format!("apt-serve-bench-{}.axioms", std::process::id()));
+        std::fs::write(&file, &axioms_text).expect("write axiom file");
+        let started = Instant::now();
+        for (q, oracle_key) in suite.iter().zip(&oracle) {
+            let mut cmd = std::process::Command::new(&apt);
+            cmd.arg("prove").arg(&file).arg(&q.a).arg(&q.b);
+            if q.distinct {
+                cmd.arg("--distinct");
+            }
+            let status = cmd
+                .stdout(std::process::Stdio::null())
+                .stderr(std::process::Stdio::null())
+                .status()
+                .expect("spawn apt");
+            // Exit 0 = proven disjoint (answer No), 1 = Maybe.
+            let answer = match status.code() {
+                Some(0) => Answer::No,
+                Some(1) => Answer::Maybe,
+                other => panic!("apt prove exited with {other:?}"),
+            };
+            verdicts_identical &= answer == oracle_key.0;
+        }
+        let micros = started.elapsed().as_micros();
+        let _ = std::fs::remove_file(&file);
+        micros
+    });
+
+    // Warm session over loopback TCP.
+    let mut server = Server::new(ServeConfig::new());
+    let addr = server.bind_tcp("127.0.0.1:0").expect("bind");
+    let handle = server.handle();
+    let server_thread = std::thread::spawn(move || server.run().expect("server run"));
+    let mut client = Client::connect_tcp(&addr.to_string()).expect("connect");
+    let session = client.open_session(&axioms_text).expect("open session");
+    let frames: Vec<String> = suite
+        .iter()
+        .map(|q| {
+            obj(vec![
+                ("verb", Json::from("prove")),
+                ("session", session.as_str().into()),
+                ("a", q.a.as_str().into()),
+                ("b", q.b.as_str().into()),
+                (
+                    "origin",
+                    if q.distinct { "distinct" } else { "same" }.into(),
+                ),
+            ])
+            .render()
+        })
+        .collect();
+    let mut warm_session_micros = u128::MAX;
+    // One untimed pass warms the session's caches; `reps` timed passes
+    // then measure the steady state a resident service actually serves.
+    for rep in 0..=reps {
+        let started = Instant::now();
+        for (i, frame) in frames.iter().enumerate() {
+            let reply = client.roundtrip_raw(frame).expect("prove round-trip");
+            let result = reply.get("result").expect("result field");
+            let key = fingerprint_wire(result).expect("verdict parses");
+            verdicts_identical &= key == oracle[i];
+        }
+        if rep > 0 {
+            warm_session_micros = warm_session_micros.min(started.elapsed().as_micros());
+        }
+    }
+    handle.stop();
+    let _ = client.shutdown(); // speeds the drain; stop() already queued
+    server_thread.join().expect("server thread");
+
+    let overload_refusals = overload_probe();
+    let secs = warm_session_micros as f64 / 1e6;
+    ServeBenchResult {
+        queries: suite.len(),
+        fresh_process_micros,
+        fresh_engine_micros,
+        warm_session_micros,
+        warm_qps: suite.len() as f64 / secs,
+        speedup_vs_process: fresh_process_micros.map(|us| us as f64 / warm_session_micros as f64),
+        speedup_vs_fresh_engine: fresh_engine_micros as f64 / warm_session_micros as f64,
+        verdicts_identical,
+        overload_refusals,
+        overload_ok: overload_refusals == 2,
+    }
+}
+
+/// Offers four multi-second queries to a one-worker, one-slot server;
+/// returns how many came back `overloaded` (expected: exactly 2, and
+/// within the read timeout — refusal must be prompt).
+fn overload_probe() -> u64 {
+    let mut config = ServeConfig::new();
+    config.workers = 1;
+    config.high_water = 1;
+    let mut server = Server::new(config);
+    let addr = server.bind_tcp("127.0.0.1:0").expect("bind");
+    let handle = server.handle();
+    let server_thread = std::thread::spawn(move || server.run().expect("server run"));
+
+    let mut client = Client::connect_tcp(&addr.to_string()).expect("connect");
+    let session = client
+        .open_session(&leaf_linked_tree_axioms().to_string())
+        .expect("open");
+    // A slow unprovable query: long literal chain vs. a star tower.
+    let k = 32;
+    let mut line = obj(vec![
+        ("verb", Json::from("prove")),
+        ("session", session.as_str().into()),
+        (
+            "a",
+            format!("{}.N", vec!["L"; 2 * k].join(".")).as_str().into(),
+        ),
+        (
+            "b",
+            format!("{}.N", vec!["(L|R)+"; k].join(".")).as_str().into(),
+        ),
+        ("fuel", 5_000_000u64.into()),
+        ("deadline_ms", 10_000u64.into()),
+    ])
+    .render();
+    line.push('\n');
+
+    let mut streams = Vec::new();
+    for _ in 0..4 {
+        let mut s = TcpStream::connect(addr).expect("connect");
+        s.write_all(line.as_bytes()).expect("send");
+        s.flush().expect("flush");
+        streams.push(s);
+        std::thread::sleep(Duration::from_millis(150));
+    }
+    let mut refusals = 0;
+    for s in streams {
+        s.set_read_timeout(Some(Duration::from_millis(500)))
+            .expect("timeout");
+        let mut reader = std::io::BufReader::new(s);
+        let mut response = String::new();
+        if let Ok(n) = std::io::BufRead::read_line(&mut reader, &mut response) {
+            if n > 0 {
+                if let Ok(frame) = parse(response.trim()) {
+                    if frame.get("error").and_then(Json::as_str) == Some("overloaded") {
+                        refusals += 1;
+                    }
+                }
+            }
+        }
+    }
+    handle.stop();
+    server_thread.join().expect("server thread");
+    refusals
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_runs_and_verdicts_match() {
+        let result = run(&ServeBenchConfig::smoke());
+        assert!(result.verdicts_identical);
+        assert!(result.overload_ok, "refusals: {}", result.overload_refusals);
+        let json = result.to_json();
+        assert!(json.contains("\"verdicts_identical\": true"), "{json}");
+        // The JSON must itself be valid JSON.
+        apt_serve::json::parse(&json).expect("bench json parses");
+    }
+}

@@ -34,6 +34,8 @@ use apt_core::{
 };
 use apt_paths::{analyze_proc, Analysis, BatchQuery, QueryError};
 use apt_regex::Path;
+use apt_serve::json::{obj, Json};
+use apt_serve::{Client, ServeConfig, Server};
 use std::fmt::Write as _;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::{Duration, Instant};
@@ -122,24 +124,7 @@ pub mod test_support {
 ///
 /// Returns a [`CliError`] describing the parse failure.
 pub fn load_axioms(text: &str) -> Result<AxiomSet, CliError> {
-    let adds_like = text.lines().any(|l| {
-        let t = l.trim();
-        [
-            "structure",
-            "tree ",
-            "list ",
-            "acyclic ",
-            "disjoint ",
-            "cycle ",
-        ]
-        .iter()
-        .any(|k| t.starts_with(k))
-    });
-    if adds_like {
-        adds::parse_adds(text).map_err(|e| fail(e.to_string()))
-    } else {
-        AxiomSet::parse(text).map_err(|e| fail(e.to_string()))
-    }
+    adds::parse_axioms_auto(text).map_err(|e| fail(e.to_string()))
 }
 
 /// `apt prove`: tests two access paths under an axiom set.
@@ -674,8 +659,14 @@ USAGE:
   apt query  <program-file> [--proc <name>] --carried <U> [--loop <L>]
   apt report <program-file> [--proc <name>]
   apt batch  <program-file> [--proc <name>] [--jobs <n>]
+  apt serve  [--addr <host:port>] [--socket <path>] [--workers <n>]
+             [--high-water <n>] [--max-sessions <m>]
+  apt client (--addr <host:port> | --socket <path>) <verb> …
+      verbs: open <axioms-file> | prove <session> <p1> <p2> [--distinct]
+             stats | shutdown | raw '<json-frame>'
 
-RESOURCE FLAGS (prove / query / report / batch):
+RESOURCE FLAGS (prove / query / report / batch; on `serve` they set the
+per-request budget ceiling, on `client prove` the request's overrides):
   --fuel <n>            goal attempts per query (default 100000)
   --deadline-ms <n>     wall-clock budget per command; `report` splits it
                         evenly across its loop queries
@@ -784,8 +775,177 @@ pub fn run(args: &[String]) -> Result<CmdOutput, CliError> {
                 };
             cmd_batch(&read(file)?, flag_value("--proc"), jobs, &config)
         }
+        Some("serve") => cmd_serve(args, &config),
+        Some("client") => cmd_client(args),
         _ => Err(fail(USAGE)),
     }
+}
+
+/// `apt serve`: runs the resident dependence-query daemon until a
+/// `shutdown` request arrives. The shared resource flags set the
+/// server's per-request budget ceiling (clients may only tighten it).
+///
+/// # Errors
+///
+/// Returns a [`CliError`] on bad flags or bind failures.
+pub fn cmd_serve(args: &[String], config: &ProverConfig) -> Result<CmdOutput, CliError> {
+    let flag_value = |flag: &str| -> Option<&str> {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .map(String::as_str)
+    };
+    let usize_flag = |flag: &str| -> Result<Option<usize>, CliError> {
+        match flag_value(flag) {
+            None => Ok(None),
+            Some(v) => v
+                .parse::<usize>()
+                .ok()
+                .filter(|&n| n >= 1)
+                .map(Some)
+                .ok_or_else(|| fail(format!("{flag} needs a positive integer, got {v:?}"))),
+        }
+    };
+    let mut serve_config = ServeConfig::new();
+    serve_config.default_budget = config.budget.clone();
+    serve_config.ceiling = config.budget.clone();
+    if let Some(n) = usize_flag("--workers")? {
+        serve_config.workers = n;
+    }
+    if let Some(n) = usize_flag("--high-water")? {
+        serve_config.high_water = n;
+    }
+    if let Some(n) = usize_flag("--max-sessions")? {
+        serve_config.max_sessions = n;
+    }
+    let mut server = Server::new(serve_config);
+    if let Some(addr) = flag_value("--addr") {
+        let bound = server
+            .bind_tcp(addr)
+            .map_err(|e| fail(format!("cannot bind tcp {addr}: {e}")))?;
+        eprintln!("apt-serve: listening on tcp {bound}");
+    }
+    if let Some(path) = flag_value("--socket") {
+        server
+            .bind_unix(std::path::Path::new(path))
+            .map_err(|e| fail(format!("cannot bind unix socket {path}: {e}")))?;
+        eprintln!("apt-serve: listening on unix {path}");
+    }
+    server.run().map_err(|e| fail(e.to_string()))?;
+    Ok(CmdOutput::clean("apt-serve: stopped\n".to_owned()))
+}
+
+/// `apt client`: one request/response against a running daemon.
+///
+/// # Errors
+///
+/// Returns a [`CliError`] on bad flags, connection failures, or a
+/// server-side error frame.
+pub fn cmd_client(args: &[String]) -> Result<CmdOutput, CliError> {
+    let flag_value = |flag: &str| -> Option<&str> {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .map(String::as_str)
+    };
+    let mut client = match (flag_value("--addr"), flag_value("--socket")) {
+        (Some(addr), _) => Client::connect_tcp(addr)
+            .map_err(|e| fail(format!("cannot connect to tcp {addr}: {e}")))?,
+        (None, Some(path)) => Client::connect_unix(std::path::Path::new(path))
+            .map_err(|e| fail(format!("cannot connect to unix socket {path}: {e}")))?,
+        (None, None) => return Err(fail("apt client needs --addr or --socket")),
+    };
+    // Positional arguments, with flag/value pairs skipped.
+    let mut positional = Vec::new();
+    let mut i = 1; // args[0] == "client"
+    while let Some(a) = args.get(i) {
+        if a.starts_with("--") {
+            i += if a == "--distinct" { 1 } else { 2 };
+            continue;
+        }
+        positional.push(a.as_str());
+        i += 1;
+    }
+    let mut out = String::new();
+    let mut any_maybe = false;
+    match positional.first().copied() {
+        Some("open") => {
+            let file = positional.get(1).ok_or_else(|| fail(USAGE))?;
+            let axioms = std::fs::read_to_string(file)
+                .map_err(|e| fail(format!("cannot read {file}: {e}")))?;
+            let session = client
+                .open_session(&axioms)
+                .map_err(|e| fail(e.to_string()))?;
+            let _ = writeln!(out, "session: {session}");
+        }
+        Some("prove") => {
+            let session = positional.get(1).ok_or_else(|| fail(USAGE))?;
+            let a = positional.get(2).ok_or_else(|| fail(USAGE))?;
+            let b = positional.get(3).ok_or_else(|| fail(USAGE))?;
+            let origin = if args.iter().any(|x| x == "--distinct") {
+                "distinct"
+            } else {
+                "same"
+            };
+            let mut pairs = vec![
+                ("verb", Json::from("prove")),
+                ("session", Json::from(*session)),
+                ("a", Json::from(*a)),
+                ("b", Json::from(*b)),
+                ("origin", Json::from(origin)),
+            ];
+            for (flag, field) in [
+                ("--fuel", "fuel"),
+                ("--deadline-ms", "deadline_ms"),
+                ("--max-dfa-states", "max_dfa_states"),
+            ] {
+                if let Some(v) = flag_value(flag) {
+                    let n = v.parse::<u64>().map_err(|_| {
+                        fail(format!("{flag} needs a non-negative integer, got {v:?}"))
+                    })?;
+                    pairs.push((field, n.into()));
+                }
+            }
+            let frame = client
+                .roundtrip(obj(pairs))
+                .map_err(|e| fail(e.to_string()))?;
+            let result = frame
+                .get("result")
+                .ok_or_else(|| fail("prove reply lacks result"))?;
+            let answer = result.get("answer").and_then(Json::as_str).unwrap_or("?");
+            match result.get("reason").and_then(Json::as_str) {
+                Some(reason) => {
+                    let _ = writeln!(out, "answer: {answer} ({reason})");
+                }
+                None => {
+                    let _ = writeln!(out, "answer: {answer}");
+                }
+            }
+            any_maybe = answer == "Maybe";
+        }
+        Some("stats") => {
+            let frame = client
+                .roundtrip(obj(vec![("verb", "stats".into())]))
+                .map_err(|e| fail(e.to_string()))?;
+            let _ = writeln!(out, "{}", frame.render());
+        }
+        Some("shutdown") => {
+            client.shutdown().map_err(|e| fail(e.to_string()))?;
+            let _ = writeln!(out, "ok");
+        }
+        Some("raw") => {
+            let line = positional.get(1).ok_or_else(|| fail(USAGE))?;
+            let frame = client
+                .roundtrip_raw(line)
+                .map_err(|e| fail(e.to_string()))?;
+            let _ = writeln!(out, "{}", frame.render());
+        }
+        _ => return Err(fail(USAGE)),
+    }
+    Ok(CmdOutput {
+        text: out,
+        any_maybe,
+    })
 }
 
 #[cfg(test)]

@@ -131,6 +131,29 @@ impl Budget {
         self.cancel = Some(cancel);
         self
     }
+
+    /// The requested budget clamped by a server-side `ceiling`: every
+    /// brake becomes the tighter of the two, so an untrusted caller can
+    /// shrink its allowance but never exceed the ceiling. The requested
+    /// cancellation token is kept (the ceiling's is used only when the
+    /// request carries none) — cancellation is a liveness device, not a
+    /// resource grant.
+    #[must_use]
+    pub fn clamped_to(&self, ceiling: &Budget) -> Budget {
+        fn tighter<T: Ord + Copy>(a: Option<T>, b: Option<T>) -> Option<T> {
+            match (a, b) {
+                (Some(x), Some(y)) => Some(x.min(y)),
+                (x, None) | (None, x) => x,
+            }
+        }
+        Budget {
+            fuel: self.fuel.min(ceiling.fuel),
+            deadline: tighter(self.deadline, ceiling.deadline),
+            max_dfa_states: tighter(self.max_dfa_states, ceiling.max_dfa_states),
+            cache_capacity: tighter(self.cache_capacity, ceiling.cache_capacity),
+            cancel: self.cancel.clone().or_else(|| ceiling.cancel.clone()),
+        }
+    }
 }
 
 impl Default for Budget {

@@ -176,13 +176,31 @@ pub enum Answer {
     Maybe,
 }
 
+impl Answer {
+    /// The stable wire spelling (`"Yes"`/`"No"`/`"Maybe"`), shared by
+    /// [`fmt::Display`] and the serving layer's JSON frames.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Answer::Yes => "Yes",
+            Answer::No => "No",
+            Answer::Maybe => "Maybe",
+        }
+    }
+
+    /// Parses the wire spelling back to an answer.
+    pub fn from_str_opt(s: &str) -> Option<Answer> {
+        Some(match s {
+            "Yes" => Answer::Yes,
+            "No" => Answer::No,
+            "Maybe" => Answer::Maybe,
+            _ => return None,
+        })
+    }
+}
+
 impl fmt::Display for Answer {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            Answer::Yes => write!(f, "Yes"),
-            Answer::No => write!(f, "No"),
-            Answer::Maybe => write!(f, "Maybe"),
-        }
+        f.write_str(self.as_str())
     }
 }
 

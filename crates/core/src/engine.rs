@@ -109,6 +109,11 @@ pub struct SharedCache {
     /// per lookup, no formatted strings anywhere on this path.
     subsets: Vec<Mutex<HashMap<(RegexId, RegexId), bool>>>,
     dfas: DfaCache,
+    /// Live counts maintained at publication time so [`SharedCache::stats`]
+    /// never walks the shards — the serving layer polls it under load.
+    proved_count: AtomicUsize,
+    failed_count: AtomicUsize,
+    subset_count: AtomicUsize,
 }
 
 fn shard_index<K: Hash>(key: &K, shards: usize) -> usize {
@@ -127,6 +132,9 @@ impl SharedCache {
                 .map(|_| Mutex::new(HashMap::new()))
                 .collect(),
             dfas: DfaCache::new(),
+            proved_count: AtomicUsize::new(0),
+            failed_count: AtomicUsize::new(0),
+            subset_count: AtomicUsize::new(0),
         }
     }
 
@@ -140,7 +148,30 @@ impl SharedCache {
         let shard = &self.goals[shard_index(goal, GOAL_SHARDS)];
         let mut guard = shard.lock().unwrap_or_else(PoisonError::into_inner);
         if guard.len() < GOAL_SHARD_CAPACITY || guard.contains_key(goal) {
-            guard.insert(goal.clone(), verdict);
+            let fresh = matches!(verdict, SharedVerdict::Failed);
+            match guard.insert(goal.clone(), verdict) {
+                None if fresh => {
+                    self.failed_count.fetch_add(1, Ordering::Relaxed);
+                }
+                None => {
+                    self.proved_count.fetch_add(1, Ordering::Relaxed);
+                }
+                Some(old) => {
+                    // Re-publication with the same variant is a no-op for
+                    // the counters; a variant change (never expected —
+                    // published results are definite) moves one count over.
+                    let was_failed = matches!(old, SharedVerdict::Failed);
+                    if was_failed != fresh {
+                        if fresh {
+                            self.failed_count.fetch_add(1, Ordering::Relaxed);
+                            self.proved_count.fetch_sub(1, Ordering::Relaxed);
+                        } else {
+                            self.proved_count.fetch_add(1, Ordering::Relaxed);
+                            self.failed_count.fetch_sub(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+            }
         }
     }
 
@@ -153,8 +184,10 @@ impl SharedCache {
     pub(crate) fn publish_subset(&self, key: (RegexId, RegexId), result: bool) {
         let shard = &self.subsets[shard_index(&key, SUBSET_SHARDS)];
         let mut guard = shard.lock().unwrap_or_else(PoisonError::into_inner);
-        if guard.len() < SUBSET_SHARD_CAPACITY || guard.contains_key(&key) {
-            guard.insert(key, result);
+        if (guard.len() < SUBSET_SHARD_CAPACITY || guard.contains_key(&key))
+            && guard.insert(key, result).is_none()
+        {
+            self.subset_count.fetch_add(1, Ordering::Relaxed);
         }
     }
 
@@ -162,48 +195,68 @@ impl SharedCache {
         &self.dfas
     }
 
-    /// Every goal currently published as [`SharedVerdict::Failed`].
-    /// Test-only observability: the negative-memo soundness suite
-    /// re-verifies each published failure against an unbudgeted prover.
+    /// A bounded sample of goals currently published as
+    /// [`SharedVerdict::Failed`], plus the exact total. The sample is
+    /// capped at [`FAILED_SNAPSHOT_CAP`] so the observability path stays
+    /// cheap no matter how full the shards are — the serving layer's
+    /// `stats` verb and the negative-memo soundness suite (which
+    /// re-verifies each sampled failure against an unbudgeted prover)
+    /// both go through here.
     #[doc(hidden)]
-    pub fn failed_goal_snapshot(&self) -> Vec<Goal> {
-        let mut out = Vec::new();
-        for shard in &self.goals {
+    pub fn failed_goal_snapshot(&self) -> FailedGoalSample {
+        let total = self.failed_count.load(Ordering::Relaxed);
+        let mut sample = Vec::with_capacity(total.min(FAILED_SNAPSHOT_CAP));
+        'shards: for shard in &self.goals {
             let guard = shard.lock().unwrap_or_else(PoisonError::into_inner);
             for (goal, verdict) in guard.iter() {
                 if matches!(verdict, SharedVerdict::Failed) {
-                    out.push(goal.clone());
+                    if sample.len() >= FAILED_SNAPSHOT_CAP {
+                        break 'shards;
+                    }
+                    sample.push(goal.clone());
                 }
             }
         }
-        out
+        FailedGoalSample { sample, total }
     }
 
-    /// Entry counts across all shards.
+    /// Entry counts across all shards. O(shards), not O(entries): the
+    /// goal/subset counts are maintained at publication time, so polling
+    /// this from a live server's `stats` verb costs a handful of atomic
+    /// loads and the DFA interner's own counters.
     pub fn stats(&self) -> CacheStats {
         let (raw_dfa_states, min_dfa_states) = self.dfas.state_totals();
-        let mut stats = CacheStats {
+        CacheStats {
+            proved_goals: self.proved_count.load(Ordering::Relaxed),
+            failed_goals: self.failed_count.load(Ordering::Relaxed),
+            subset_results: self.subset_count.load(Ordering::Relaxed),
             dfas: self.dfas.len(),
             min_dfas: self.dfas.len_minimized(),
             raw_dfa_states,
             min_dfa_states,
-            ..CacheStats::default()
-        };
-        for shard in &self.goals {
-            let guard = shard.lock().unwrap_or_else(PoisonError::into_inner);
-            for verdict in guard.values() {
-                match verdict {
-                    SharedVerdict::Proved(_) => stats.proved_goals += 1,
-                    SharedVerdict::Failed => stats.failed_goals += 1,
-                }
-            }
         }
-        stats.subset_results = self
-            .subsets
-            .iter()
-            .map(|s| s.lock().unwrap_or_else(PoisonError::into_inner).len())
-            .sum();
-        stats
+    }
+}
+
+/// Cap on the failed-goal sample returned by
+/// [`SharedCache::failed_goal_snapshot`].
+pub const FAILED_SNAPSHOT_CAP: usize = 256;
+
+/// A capped sample of the shared cache's published failures, with the
+/// exact total count (the total keeps O(1) meaning even when the sample
+/// is truncated).
+#[derive(Debug, Clone, Default)]
+pub struct FailedGoalSample {
+    /// Up to [`FAILED_SNAPSHOT_CAP`] failed goals.
+    pub sample: Vec<Goal>,
+    /// The exact number of failed goals published.
+    pub total: usize,
+}
+
+impl FailedGoalSample {
+    /// Whether no failures have been published at all.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
     }
 }
 
@@ -220,9 +273,8 @@ pub enum QueryKind {
 /// One dependence query, built fluently and run against a [`DepEngine`]
 /// (or a caller-managed [`Prover`] via [`DepQuery::run_with`]).
 ///
-/// This is the single entry point into the prover — it subsumes the
-/// deprecated `prove_disjoint`/`prove_disjoint_governed` and
-/// `prove_equal`/`prove_equal_governed` pairs.
+/// This is the single entry point into the prover (the pre-0.2
+/// `prove_disjoint`/`prove_equal` method family is gone).
 ///
 /// ```
 /// use apt_axioms::adds::leaf_linked_tree_axioms;

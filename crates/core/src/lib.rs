@@ -54,7 +54,10 @@ pub use config::{Budget, CancelToken, CutoffStats, ProverConfig, ProverStats};
 pub use deptest::{
     AccessPath, Answer, DepTest, FieldLayout, LayoutError, MemRef, Reason, TestOutcome,
 };
-pub use engine::{CacheStats, DepEngine, DepQuery, Outcome, QueryKind, INLINE_BATCH_THRESHOLD};
+pub use engine::{
+    CacheStats, DepEngine, DepQuery, FailedGoalSample, Outcome, QueryKind, FAILED_SNAPSHOT_CAP,
+    INLINE_BATCH_THRESHOLD,
+};
 pub use goal::{Goal, Origin};
 pub use handle::{Handle, HandleRelation};
 pub use proof::{PrefixCase, Proof, Rule};

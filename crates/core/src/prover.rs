@@ -319,48 +319,6 @@ impl<'a> Prover<'a> {
         false
     }
 
-    /// Attempts to prove `∀x, x.a <> x.b` (origin [`Origin::Same`]) or the
-    /// distinct-origin variant.
-    ///
-    /// Superseded by the [`crate::DepQuery`] builder:
-    ///
-    /// ```
-    /// use apt_axioms::adds::leaf_linked_tree_axioms;
-    /// use apt_core::{DepQuery, Origin, Prover};
-    /// use apt_regex::Path;
-    ///
-    /// let axioms = leaf_linked_tree_axioms();
-    /// let mut prover = Prover::new(&axioms);
-    /// let p = Path::parse("L.L.N").unwrap();
-    /// let q = Path::parse("L.R.N").unwrap();
-    /// let outcome = DepQuery::disjoint(&p, &q)
-    ///     .origin(Origin::Same)
-    ///     .run_with(&mut prover);
-    /// assert!(outcome.proof.is_some());
-    /// ```
-    #[deprecated(
-        since = "0.2.0",
-        note = "use DepQuery::disjoint(a, b).origin(..).run_with(prover) (or .run(&engine))"
-    )]
-    pub fn prove_disjoint(&mut self, origin: Origin, a: &Path, b: &Path) -> Option<Proof> {
-        self.run_disjoint(origin, a, b).0
-    }
-
-    /// Superseded by [`crate::DepQuery`], whose [`crate::Outcome`] carries
-    /// the proof, the degradation reason, and per-query stats together.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use DepQuery::disjoint(a, b).origin(..).run_with(prover); Outcome carries the reason"
-    )]
-    pub fn prove_disjoint_governed(
-        &mut self,
-        origin: Origin,
-        a: &Path,
-        b: &Path,
-    ) -> (Option<Proof>, Option<MaybeReason>) {
-        self.run_disjoint(origin, a, b)
-    }
-
     /// Runs one disjointness query: the proof on success, else *why* no
     /// proof was found — resource exhaustion (fuel, depth, deadline, DFA
     /// budget, cancellation) or a genuine "the axioms do not decide this".
@@ -637,30 +595,6 @@ impl<'a> Prover<'a> {
         None
     }
 
-    /// Attempts to prove that two access paths denote the **same single
-    /// vertex** from any common origin: both paths must rewrite (via the
-    /// equality axioms, `∀p, p.RE1 = p.RE2`) to one common definite form.
-    /// Set-equality plus cardinality one gives the `deptest` **Yes** case
-    /// beyond syntactic identity — e.g. `next.prev.next ≡ next` on a
-    /// circular doubly-linked list.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use DepQuery::equal(a, b).run_with(prover) (or .run(&engine))"
-    )]
-    pub fn prove_equal(&mut self, a: &Path, b: &Path) -> bool {
-        self.run_equal(a, b).0
-    }
-
-    /// Superseded by [`crate::DepQuery`], whose [`crate::Outcome`] carries
-    /// the verdict and the degradation reason together.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use DepQuery::equal(a, b).run_with(prover); Outcome carries the reason"
-    )]
-    pub fn prove_equal_governed(&mut self, a: &Path, b: &Path) -> (bool, Option<MaybeReason>) {
-        self.run_equal(a, b)
-    }
-
     /// Runs one equality query, reporting the degradation reason when the
     /// search was starved (`(false, Some(reason))`). A `true` result is
     /// never degraded.
@@ -671,6 +605,12 @@ impl<'a> Prover<'a> {
         (proved, reason)
     }
 
+    /// Proves that two access paths denote the **same single vertex** from
+    /// any common origin: both paths must rewrite (via the equality
+    /// axioms, `∀p, p.RE1 = p.RE2`) to one common definite form.
+    /// Set-equality plus cardinality one gives the `deptest` **Yes** case
+    /// beyond syntactic identity — e.g. `next.prev.next ≡ next` on a
+    /// circular doubly-linked list.
     fn prove_equal_inner(&mut self, a: &Path, b: &Path) -> bool {
         let reachable = |p: &Path, prover: &mut Self| -> Vec<Path> {
             let mut seen = vec![p.clone()];

@@ -53,6 +53,35 @@ impl MaybeReason {
     pub fn is_degraded(&self) -> bool {
         !matches!(self, MaybeReason::GenuinelyUnknown)
     }
+
+    /// A stable machine-readable code for wire protocols (the serving
+    /// layer's JSON frames); round-trips through
+    /// [`MaybeReason::from_code`].
+    pub fn code(&self) -> &'static str {
+        match self {
+            MaybeReason::SearchExhausted(SearchLimit::Fuel) => "fuel",
+            MaybeReason::SearchExhausted(SearchLimit::Depth) => "depth",
+            MaybeReason::SearchExhausted(SearchLimit::Rewrites) => "rewrites",
+            MaybeReason::DeadlineExceeded => "deadline",
+            MaybeReason::RegexBudget => "regex_budget",
+            MaybeReason::Cancelled => "cancelled",
+            MaybeReason::GenuinelyUnknown => "unknown",
+        }
+    }
+
+    /// Parses a [`MaybeReason::code`] string back to the reason.
+    pub fn from_code(code: &str) -> Option<MaybeReason> {
+        Some(match code {
+            "fuel" => MaybeReason::SearchExhausted(SearchLimit::Fuel),
+            "depth" => MaybeReason::SearchExhausted(SearchLimit::Depth),
+            "rewrites" => MaybeReason::SearchExhausted(SearchLimit::Rewrites),
+            "deadline" => MaybeReason::DeadlineExceeded,
+            "regex_budget" => MaybeReason::RegexBudget,
+            "cancelled" => MaybeReason::Cancelled,
+            "unknown" => MaybeReason::GenuinelyUnknown,
+            _ => return None,
+        })
+    }
 }
 
 impl fmt::Display for MaybeReason {

@@ -1,0 +1,49 @@
+//! `apt-serve` — a resident dependence-query service.
+//!
+//! The paper's dependence test is designed to be *queried*: a
+//! parallelizing compiler asks "may `p.l.n` and `p.r.n` alias?" many
+//! thousands of times against one axiom set. Spawning a fresh process
+//! (and recompiling the axiom set, its alphabet bitmasks, dispatch
+//! index, and DFA cache) per query throws away exactly the state that
+//! makes repeated queries cheap. This crate keeps that state resident:
+//! a daemon that compiles each axiom set once into a shared
+//! [`apt_core::DepEngine`] *session* and answers queries over a
+//! JSON-lines protocol on TCP and/or Unix sockets.
+//!
+//! The pieces, one module each:
+//!
+//! * [`json`] — a dependency-free JSON value, parser, and writer (the
+//!   container has no serde; the protocol needs only plain JSON).
+//! * [`proto`] — the wire protocol: verbs, budget fields, structured
+//!   error codes, outcome rendering.
+//! * [`session`] — the session registry: structural dedupe of axiom
+//!   sets and LRU eviction of idle engines.
+//! * [`server`] — listeners, the bounded worker pool with `overloaded`
+//!   refusals, per-connection reader/handler threads, and
+//!   disconnect-triggered proof cancellation.
+//! * [`metrics`] — lifetime counters behind the `stats` verb.
+//! * [`client`] — a small synchronous client used by `apt client`, the
+//!   tests, and the throughput bench.
+//!
+//! Everything is std-only: no async runtime, no serde, no network
+//! crates — plain blocking sockets and threads, in keeping with the
+//! repository's no-new-dependencies rule.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![cfg_attr(
+    not(test),
+    deny(clippy::unwrap_used, clippy::expect_used, clippy::panic)
+)]
+
+pub mod client;
+pub mod json;
+pub mod metrics;
+pub mod proto;
+pub mod server;
+pub mod session;
+
+pub use client::{Client, ClientError};
+pub use proto::{ErrorCode, ProtoError, WireBudget, WireQuery};
+pub use server::{ServeConfig, Server, ServerHandle};
+pub use session::{Opened, SessionInfo, SessionRegistry};

@@ -1,0 +1,100 @@
+//! Server-wide counters behind the `stats` verb.
+//!
+//! Everything here is a relaxed atomic: the metrics path must never
+//! contend with the proving path. The `stats` snapshot is advisory by
+//! design — counters are read individually, so a snapshot taken while
+//! requests are in flight can be momentarily inconsistent between
+//! fields, which is fine for monitoring.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use crate::json::{obj, Json};
+
+/// Monotonic counters for the daemon's lifetime.
+pub struct Metrics {
+    started: Instant,
+    /// Connections ever accepted.
+    pub connections_total: AtomicU64,
+    /// Connections currently open.
+    pub connections_active: AtomicU64,
+    /// Request frames parsed (including ones later refused).
+    pub requests_total: AtomicU64,
+    /// Individual dependence queries run (prove + batch items + report).
+    pub queries_total: AtomicU64,
+    /// Error frames sent, any code.
+    pub errors_total: AtomicU64,
+    /// Requests refused by admission control specifically.
+    pub overload_refusals: AtomicU64,
+    /// Requests whose connection vanished mid-proof (cancelled).
+    pub disconnect_cancels: AtomicU64,
+}
+
+impl Metrics {
+    /// Fresh counters, clock started now.
+    pub fn new() -> Metrics {
+        Metrics {
+            started: Instant::now(),
+            connections_total: AtomicU64::new(0),
+            connections_active: AtomicU64::new(0),
+            requests_total: AtomicU64::new(0),
+            queries_total: AtomicU64::new(0),
+            errors_total: AtomicU64::new(0),
+            overload_refusals: AtomicU64::new(0),
+            disconnect_cancels: AtomicU64::new(0),
+        }
+    }
+
+    /// Bump a counter by one.
+    pub fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Add `n` to a counter.
+    pub fn add(counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The server-level block of the `stats` response.
+    pub fn to_json(&self) -> Json {
+        let read = |c: &AtomicU64| -> Json { c.load(Ordering::Relaxed).into() };
+        obj(vec![
+            (
+                "uptime_ms",
+                u64::try_from(self.started.elapsed().as_millis())
+                    .unwrap_or(u64::MAX)
+                    .into(),
+            ),
+            ("connections_total", read(&self.connections_total)),
+            ("connections_active", read(&self.connections_active)),
+            ("requests_total", read(&self.requests_total)),
+            ("queries_total", read(&self.queries_total)),
+            ("errors_total", read(&self.errors_total)),
+            ("overload_refusals", read(&self.overload_refusals)),
+            ("disconnect_cancels", read(&self.disconnect_cancels)),
+        ])
+    }
+}
+
+impl Default for Metrics {
+    fn default() -> Metrics {
+        Metrics::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_show_up_in_the_snapshot() {
+        let m = Metrics::new();
+        Metrics::bump(&m.requests_total);
+        Metrics::add(&m.queries_total, 5);
+        let json = m.to_json();
+        assert_eq!(json.get("requests_total").and_then(Json::as_u64), Some(1));
+        assert_eq!(json.get("queries_total").and_then(Json::as_u64), Some(5));
+        assert_eq!(json.get("errors_total").and_then(Json::as_u64), Some(0));
+        assert!(json.get("uptime_ms").is_some());
+    }
+}

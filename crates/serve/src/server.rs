@@ -1,0 +1,837 @@
+//! The daemon: listeners, admission control, and per-connection plumbing.
+//!
+//! ## Threading model
+//!
+//! Every listener (TCP and/or Unix socket) gets an accept thread; every
+//! accepted connection gets a **reader** thread and a **handler**
+//! thread. The reader turns the socket into a bounded stream of lines
+//! and — crucially — notices the peer vanishing: when its read returns
+//! EOF or an error it cancels the connection-wide [`CancelToken`],
+//! which aborts any proof currently running for that connection via the
+//! prover's cooperative cancellation brake. Cancelled runs publish
+//! nothing to the shared caches, so an abandoned query cannot poison a
+//! session for later clients.
+//!
+//! Proving itself happens on a fixed pool of worker threads behind a
+//! bounded queue. When the queue is at its high-water mark new work is
+//! *refused* with an `overloaded` error frame instead of being queued —
+//! under overload the daemon degrades to fast, explicit refusals,
+//! never to unbounded memory growth or silent timeouts. Cheap
+//! control verbs (`open_session`, `stats`, …) bypass the pool.
+//!
+//! ## Shutdown
+//!
+//! The `shutdown` verb answers `{"ok":true}`, then flips a flag the
+//! accept loops poll and shuts down every registered connection socket.
+//! Readers see EOF, cancel their tokens, handlers drain, the pool
+//! joins, and [`Server::run`] returns.
+
+use std::collections::HashMap;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path as FsPath, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::thread;
+use std::time::Duration;
+
+use apt_core::{Budget, CancelToken, DepQuery, Origin, Outcome, ProverConfig, ProverStats};
+
+use crate::json::{obj, Json};
+use crate::metrics::Metrics;
+use crate::proto::{
+    error_frame, ok_frame, outcome_json, parse_request, stats_json, ErrorCode, ProtoError, Request,
+    WireQuery,
+};
+use crate::session::SessionRegistry;
+
+/// How accept loops poll for shutdown between `WouldBlock`s.
+const ACCEPT_POLL: Duration = Duration::from_millis(25);
+/// Lines a reader may buffer ahead of the handler (pipelining depth).
+const PIPELINE_DEPTH: usize = 8;
+
+/// Tuning for a [`Server`].
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Prover worker threads (the pool that runs queries).
+    pub workers: usize,
+    /// Queue slots; at `high_water` queued jobs new work is refused.
+    pub high_water: usize,
+    /// Resident compiled sessions before LRU eviction.
+    pub max_sessions: usize,
+    /// Budget applied when a request carries no overrides.
+    pub default_budget: Budget,
+    /// Hard ceiling no per-request budget may exceed.
+    pub ceiling: Budget,
+}
+
+impl ServeConfig {
+    /// Defaults: workers = available parallelism, 64-deep queue,
+    /// 32 sessions, the prover's stock budget as both default and
+    /// ceiling.
+    pub fn new() -> ServeConfig {
+        let workers = thread::available_parallelism().map_or(4, usize::from);
+        ServeConfig {
+            workers,
+            high_water: 64,
+            max_sessions: 32,
+            default_budget: Budget::new(),
+            ceiling: Budget::new(),
+        }
+    }
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig::new()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Worker pool with bounded-queue admission control.
+// ---------------------------------------------------------------------------
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct PoolState {
+    queue: std::collections::VecDeque<Job>,
+    draining: bool,
+}
+
+struct PoolShared {
+    state: Mutex<PoolState>,
+    wake: Condvar,
+    high_water: usize,
+}
+
+/// Fixed worker pool; `submit` refuses instead of queueing past the
+/// high-water mark.
+struct Pool {
+    shared: Arc<PoolShared>,
+    workers: Mutex<Vec<thread::JoinHandle<()>>>,
+}
+
+impl Pool {
+    fn new(workers: usize, high_water: usize) -> Pool {
+        let shared = Arc::new(PoolShared {
+            state: Mutex::new(PoolState {
+                queue: std::collections::VecDeque::new(),
+                draining: false,
+            }),
+            wake: Condvar::new(),
+            high_water: high_water.max(1),
+        });
+        let workers = (0..workers.max(1))
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                thread::spawn(move || loop {
+                    let job = {
+                        let mut state = shared.state.lock().unwrap_or_else(PoisonError::into_inner);
+                        loop {
+                            if let Some(job) = state.queue.pop_front() {
+                                break job;
+                            }
+                            if state.draining {
+                                return;
+                            }
+                            state = shared
+                                .wake
+                                .wait(state)
+                                .unwrap_or_else(PoisonError::into_inner);
+                        }
+                    };
+                    // A panicking job must not take the worker down.
+                    let _ = catch_unwind(AssertUnwindSafe(job));
+                })
+            })
+            .collect();
+        Pool {
+            shared,
+            workers: Mutex::new(workers),
+        }
+    }
+
+    /// Queue depth right now (for `stats`).
+    fn depth(&self) -> usize {
+        self.shared
+            .state
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .queue
+            .len()
+    }
+
+    /// Admits `job` or refuses with `overloaded`.
+    fn submit(&self, job: Job) -> Result<(), ProtoError> {
+        let mut state = self
+            .shared
+            .state
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        if state.draining {
+            return Err(ProtoError {
+                code: ErrorCode::ShuttingDown,
+                message: "server is draining".to_owned(),
+            });
+        }
+        if state.queue.len() >= self.shared.high_water {
+            return Err(ProtoError {
+                code: ErrorCode::Overloaded,
+                message: format!(
+                    "work queue at high-water mark ({}); retry later",
+                    self.shared.high_water
+                ),
+            });
+        }
+        state.queue.push_back(job);
+        drop(state);
+        self.shared.wake.notify_one();
+        Ok(())
+    }
+
+    /// Runs queued jobs to completion, then joins the workers.
+    /// Idempotent: a second call finds no handles left to join.
+    fn drain(&self) {
+        {
+            let mut state = self
+                .shared
+                .state
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            state.draining = true;
+        }
+        self.shared.wake.notify_all();
+        let handles =
+            std::mem::take(&mut *self.workers.lock().unwrap_or_else(PoisonError::into_inner));
+        for handle in handles {
+            let _ = handle.join();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Stream abstraction over TCP and Unix sockets.
+// ---------------------------------------------------------------------------
+
+/// What a connection needs from its socket: byte I/O plus the ability
+/// to clone a second handle (reader side) and to force-close.
+trait Conn: io::Read + io::Write + Send {
+    fn split(&self) -> io::Result<Box<dyn Conn>>;
+    fn force_close(&self) -> io::Result<()>;
+}
+
+impl Conn for TcpStream {
+    fn split(&self) -> io::Result<Box<dyn Conn>> {
+        Ok(Box::new(self.try_clone()?))
+    }
+    fn force_close(&self) -> io::Result<()> {
+        self.shutdown(std::net::Shutdown::Both)
+    }
+}
+
+impl Conn for UnixStream {
+    fn split(&self) -> io::Result<Box<dyn Conn>> {
+        Ok(Box::new(self.try_clone()?))
+    }
+    fn force_close(&self) -> io::Result<()> {
+        self.shutdown(std::net::Shutdown::Both)
+    }
+}
+
+enum Listener {
+    Tcp(TcpListener),
+    Unix(UnixListener, PathBuf),
+}
+
+impl Listener {
+    fn accept(&self) -> io::Result<Box<dyn Conn>> {
+        match self {
+            Listener::Tcp(l) => {
+                let (stream, _) = l.accept()?;
+                stream.set_nonblocking(false)?;
+                // One-line request/response frames: Nagle + delayed ACK
+                // would add ~40ms per round-trip.
+                stream.set_nodelay(true)?;
+                Ok(Box::new(stream))
+            }
+            Listener::Unix(l, _) => {
+                let (stream, _) = l.accept()?;
+                stream.set_nonblocking(false)?;
+                Ok(Box::new(stream))
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The server.
+// ---------------------------------------------------------------------------
+
+/// Shared state every connection handler sees.
+struct Ctx {
+    registry: SessionRegistry,
+    metrics: Metrics,
+    pool: Pool,
+    config: ServeConfig,
+    shutdown: AtomicBool,
+    /// Second handles to live connections, for forced close on shutdown.
+    conns: Mutex<HashMap<u64, Box<dyn Conn>>>,
+    next_conn: AtomicU64,
+}
+
+impl Ctx {
+    fn trigger_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        let mut conns = self.conns.lock().unwrap_or_else(PoisonError::into_inner);
+        for (_, conn) in conns.drain() {
+            let _ = conn.force_close();
+        }
+    }
+}
+
+/// A handle for stopping a running server from another thread (tests,
+/// signal handlers).
+#[derive(Clone)]
+pub struct ServerHandle {
+    ctx: Arc<Ctx>,
+}
+
+impl ServerHandle {
+    /// Initiates the same graceful shutdown as the `shutdown` verb.
+    pub fn stop(&self) {
+        self.ctx.trigger_shutdown();
+    }
+}
+
+/// The resident dependence-query daemon. Build with [`Server::new`],
+/// bind one or more listeners, then [`Server::run`].
+pub struct Server {
+    ctx: Arc<Ctx>,
+    listeners: Vec<Listener>,
+}
+
+impl Server {
+    /// A server with no listeners yet.
+    pub fn new(config: ServeConfig) -> Server {
+        let ctx = Arc::new(Ctx {
+            registry: SessionRegistry::new(config.max_sessions),
+            metrics: Metrics::new(),
+            pool: Pool::new(config.workers, config.high_water),
+            config,
+            shutdown: AtomicBool::new(false),
+            conns: Mutex::new(HashMap::new()),
+            next_conn: AtomicU64::new(0),
+        });
+        Server {
+            ctx,
+            listeners: Vec::new(),
+        }
+    }
+
+    /// Binds a TCP listener; returns the actual address (use port 0 to
+    /// let the OS pick).
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures.
+    pub fn bind_tcp(&mut self, addr: &str) -> io::Result<SocketAddr> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let bound = listener.local_addr()?;
+        self.listeners.push(Listener::Tcp(listener));
+        Ok(bound)
+    }
+
+    /// Binds a Unix-domain socket listener, replacing a stale socket
+    /// file if one is present.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures.
+    pub fn bind_unix(&mut self, path: &FsPath) -> io::Result<()> {
+        if path.exists() {
+            std::fs::remove_file(path)?;
+        }
+        let listener = UnixListener::bind(path)?;
+        listener.set_nonblocking(true)?;
+        self.listeners
+            .push(Listener::Unix(listener, path.to_owned()));
+        Ok(())
+    }
+
+    /// A stop handle usable from other threads.
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle {
+            ctx: Arc::clone(&self.ctx),
+        }
+    }
+
+    /// Serves until a `shutdown` request (or [`ServerHandle::stop`])
+    /// arrives, then drains and returns.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when no listener was bound.
+    pub fn run(self) -> io::Result<()> {
+        if self.listeners.is_empty() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "no listener bound (need --addr and/or --socket)",
+            ));
+        }
+        let conn_threads: Arc<Mutex<Vec<thread::JoinHandle<()>>>> =
+            Arc::new(Mutex::new(Vec::new()));
+        let mut accept_threads = Vec::new();
+        let mut socket_files = Vec::new();
+        for listener in self.listeners {
+            if let Listener::Unix(_, path) = &listener {
+                socket_files.push(path.clone());
+            }
+            let ctx = Arc::clone(&self.ctx);
+            let conn_threads = Arc::clone(&conn_threads);
+            accept_threads.push(thread::spawn(move || loop {
+                if ctx.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                match listener.accept() {
+                    Ok(stream) => {
+                        let ctx = Arc::clone(&ctx);
+                        let handle = thread::spawn(move || serve_conn(&ctx, stream));
+                        conn_threads
+                            .lock()
+                            .unwrap_or_else(PoisonError::into_inner)
+                            .push(handle);
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                        thread::sleep(ACCEPT_POLL);
+                    }
+                    Err(_) => thread::sleep(ACCEPT_POLL),
+                }
+            }));
+        }
+        for handle in accept_threads {
+            let _ = handle.join();
+        }
+        // Accept loops only exit on shutdown; close any straggler
+        // connections, then drain handlers and workers.
+        self.ctx.trigger_shutdown();
+        let handles =
+            std::mem::take(&mut *conn_threads.lock().unwrap_or_else(PoisonError::into_inner));
+        for handle in handles {
+            let _ = handle.join();
+        }
+        self.ctx.pool.drain();
+        for path in socket_files {
+            let _ = std::fs::remove_file(path);
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Per-connection plumbing.
+// ---------------------------------------------------------------------------
+
+fn serve_conn(ctx: &Arc<Ctx>, stream: Box<dyn Conn>) {
+    Metrics::bump(&ctx.metrics.connections_total);
+    Metrics::bump(&ctx.metrics.connections_active);
+    let conn_id = ctx.next_conn.fetch_add(1, Ordering::Relaxed);
+    // Register a second handle so shutdown can force-close us.
+    if let Ok(extra) = stream.split() {
+        ctx.conns
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .insert(conn_id, extra);
+    }
+    let cancel = CancelToken::new();
+    let rx = match spawn_reader(stream.as_ref(), &cancel) {
+        Ok(rx) => rx,
+        Err(_) => {
+            finish_conn(ctx, conn_id);
+            return;
+        }
+    };
+    let mut out = stream;
+    let mut shutdown_after = false;
+    while let Ok(line) = rx.recv() {
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        Metrics::bump(&ctx.metrics.requests_total);
+        let (frame, wants_shutdown) = handle_line(ctx, trimmed, &cancel);
+        if frame.get("ok") == Some(&Json::Bool(false)) {
+            Metrics::bump(&ctx.metrics.errors_total);
+        }
+        let mut text = frame.render();
+        text.push('\n');
+        if out
+            .write_all(text.as_bytes())
+            .and_then(|()| out.flush())
+            .is_err()
+        {
+            // Peer is gone; the reader will cancel the token shortly if
+            // it has not already.
+            break;
+        }
+        if wants_shutdown {
+            shutdown_after = true;
+            break;
+        }
+    }
+    finish_conn(ctx, conn_id);
+    if shutdown_after {
+        ctx.trigger_shutdown();
+    }
+}
+
+fn finish_conn(ctx: &Ctx, conn_id: u64) {
+    ctx.conns
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .remove(&conn_id);
+    ctx.metrics
+        .connections_active
+        .fetch_sub(1, Ordering::Relaxed);
+}
+
+/// Spawns the reader thread: socket lines go into a bounded channel;
+/// EOF or a read error cancels the connection token (disconnect-aborts
+/// any in-flight proof).
+fn spawn_reader(stream: &dyn Conn, cancel: &CancelToken) -> io::Result<Receiver<String>> {
+    let reader = stream.split()?;
+    let cancel = cancel.clone();
+    let (tx, rx): (SyncSender<String>, Receiver<String>) = sync_channel(PIPELINE_DEPTH);
+    thread::spawn(move || {
+        let buf = BufReader::new(ReadOnly(reader));
+        for line in buf.lines() {
+            match line {
+                Ok(line) => {
+                    if tx.send(line).is_err() {
+                        break;
+                    }
+                }
+                Err(_) => break,
+            }
+        }
+        cancel.cancel();
+    });
+    Ok(rx)
+}
+
+/// Newtype so the boxed conn can be used purely as a reader.
+struct ReadOnly(Box<dyn Conn>);
+
+impl io::Read for ReadOnly {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        self.0.read(buf)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Request dispatch.
+// ---------------------------------------------------------------------------
+
+/// Handles one request line; returns the response frame and whether the
+/// connection asked the whole server to shut down.
+fn handle_line(ctx: &Arc<Ctx>, line: &str, cancel: &CancelToken) -> (Json, bool) {
+    let (id, request) = match parse_request(line) {
+        Ok(parsed) => parsed,
+        Err(e) => return (error_frame(None, &e), false),
+    };
+    let id = id.as_ref();
+    if ctx.shutdown.load(Ordering::SeqCst) && !matches!(request, Request::Shutdown) {
+        let e = ProtoError {
+            code: ErrorCode::ShuttingDown,
+            message: "server is draining".to_owned(),
+        };
+        return (error_frame(id, &e), false);
+    }
+    match dispatch(ctx, id, request, cancel) {
+        Ok((frame, shutdown)) => (frame, shutdown),
+        Err(e) => {
+            if e.code == ErrorCode::Overloaded {
+                Metrics::bump(&ctx.metrics.overload_refusals);
+            }
+            (error_frame(id, &e), false)
+        }
+    }
+}
+
+fn dispatch(
+    ctx: &Arc<Ctx>,
+    id: Option<&Json>,
+    request: Request,
+    cancel: &CancelToken,
+) -> Result<(Json, bool), ProtoError> {
+    match request {
+        Request::OpenSession { axioms } => {
+            let opened = ctx.registry.open(&axioms)?;
+            let evicted = match opened.evicted {
+                Some(s) => Json::Str(s),
+                None => Json::Null,
+            };
+            Ok((
+                ok_frame(
+                    id,
+                    vec![
+                        ("session", opened.session.as_str().into()),
+                        ("deduped", opened.deduped.into()),
+                        ("axioms", opened.axioms.into()),
+                        ("evicted", evicted),
+                    ],
+                ),
+                false,
+            ))
+        }
+        Request::CloseSession { session } => {
+            let closed = ctx.registry.close(&session);
+            Ok((ok_frame(id, vec![("closed", closed.into())]), false))
+        }
+        Request::Prove { session, query } => {
+            let engine = ctx.registry.get(&session)?;
+            let budget = resolved_budget(ctx, &query, cancel);
+            let dep = wire_to_query(&query).with_budget(budget);
+            let want_proof = query.want_proof;
+            let outcome = run_pooled(ctx, cancel, move || engine.run(&dep))?;
+            Metrics::bump(&ctx.metrics.queries_total);
+            Ok((
+                ok_frame(id, vec![("result", outcome_json(&outcome, want_proof))]),
+                false,
+            ))
+        }
+        Request::Batch {
+            session,
+            queries,
+            jobs,
+        } => {
+            let engine = ctx.registry.get(&session)?;
+            let jobs = jobs
+                .unwrap_or(ctx.config.workers)
+                .clamp(1, ctx.config.workers.max(1));
+            let deps: Vec<DepQuery> = queries
+                .iter()
+                .map(|q| wire_to_query(q).with_budget(resolved_budget(ctx, q, cancel)))
+                .collect();
+            let want: Vec<bool> = queries.iter().map(|q| q.want_proof).collect();
+            let outcomes: Vec<Outcome> =
+                run_pooled(ctx, cancel, move || engine.run_batch(&deps, jobs))?;
+            Metrics::add(&ctx.metrics.queries_total, outcomes.len() as u64);
+            let mut merged = ProverStats::default();
+            let results: Vec<Json> = outcomes
+                .iter()
+                .zip(want.iter())
+                .map(|(o, &w)| {
+                    merged.merge(&o.stats);
+                    outcome_json(o, w)
+                })
+                .collect();
+            Ok((
+                ok_frame(
+                    id,
+                    vec![
+                        ("results", Json::Arr(results)),
+                        ("stats", stats_json(&merged)),
+                    ],
+                ),
+                false,
+            ))
+        }
+        Request::Report {
+            program,
+            proc,
+            budget,
+        } => {
+            let frame = run_report(ctx, &program, proc.as_deref(), &budget, cancel)?;
+            Ok((ok_frame(id, frame), false))
+        }
+        Request::Stats => {
+            let sessions: Vec<Json> = ctx
+                .registry
+                .snapshot()
+                .into_iter()
+                .map(|info| {
+                    let cache =
+                        ctx.registry
+                            .peek_cache_stats(&info.session)
+                            .map_or(Json::Null, |c| {
+                                obj(vec![
+                                    ("proved_goals", c.proved_goals.into()),
+                                    ("failed_goals", c.failed_goals.into()),
+                                    ("subset_results", c.subset_results.into()),
+                                    ("dfas", c.dfas.into()),
+                                    ("min_dfas", c.min_dfas.into()),
+                                ])
+                            });
+                    obj(vec![
+                        ("session", info.session.as_str().into()),
+                        ("axioms", info.axioms.into()),
+                        ("opens", info.opens.into()),
+                        ("uses", info.uses.into()),
+                        ("cache", cache),
+                    ])
+                })
+                .collect();
+            Ok((
+                ok_frame(
+                    id,
+                    vec![
+                        ("server", ctx.metrics.to_json()),
+                        ("queue_depth", ctx.pool.depth().into()),
+                        ("workers", ctx.config.workers.into()),
+                        ("sessions", Json::Arr(sessions)),
+                    ],
+                ),
+                false,
+            ))
+        }
+        Request::Shutdown => Ok((ok_frame(id, vec![("stopping", true.into())]), true)),
+    }
+}
+
+fn wire_to_query(q: &WireQuery) -> DepQuery {
+    let dep = if q.equal {
+        DepQuery::equal(&q.a, &q.b)
+    } else {
+        DepQuery::disjoint(&q.a, &q.b)
+    };
+    dep.origin(if q.distinct {
+        Origin::Distinct
+    } else {
+        Origin::Same
+    })
+}
+
+fn resolved_budget(ctx: &Ctx, q: &WireQuery, cancel: &CancelToken) -> Budget {
+    q.budget
+        .resolve(&ctx.config.default_budget, &ctx.config.ceiling)
+        .with_cancel(cancel.clone())
+}
+
+/// Runs `work` on the worker pool, waiting for its result. Refuses with
+/// `overloaded` when the queue is full; converts a panicking job into
+/// an `internal` error instead of hanging the connection.
+fn run_pooled<T: Send + 'static>(
+    ctx: &Arc<Ctx>,
+    cancel: &CancelToken,
+    work: impl FnOnce() -> T + Send + 'static,
+) -> Result<T, ProtoError> {
+    let (tx, rx) = sync_channel::<thread::Result<T>>(1);
+    ctx.pool.submit(Box::new(move || {
+        let result = catch_unwind(AssertUnwindSafe(work));
+        let _ = tx.send(result);
+    }))?;
+    match rx.recv() {
+        Ok(Ok(value)) => {
+            if cancel.is_cancelled() {
+                Metrics::bump(&ctx.metrics.disconnect_cancels);
+            }
+            Ok(value)
+        }
+        Ok(Err(_panic)) => Err(ProtoError {
+            code: ErrorCode::Internal,
+            message: "request crashed; fault isolated to this request".to_owned(),
+        }),
+        Err(_) => Err(ProtoError {
+            code: ErrorCode::Internal,
+            message: "worker dropped the request".to_owned(),
+        }),
+    }
+}
+
+/// The `report` verb: whole-program analysis (the `apt report`
+/// workload) inline over `apt_ir` + `apt_paths`.
+fn run_report(
+    ctx: &Arc<Ctx>,
+    program_text: &str,
+    proc: Option<&str>,
+    budget: &crate::proto::WireBudget,
+    cancel: &CancelToken,
+) -> Result<Vec<(&'static str, Json)>, ProtoError> {
+    let program = apt_ir::parse_program(program_text)
+        .map_err(|e| ProtoError::bad(format!("program: {e}")))?;
+    let names: Vec<String> = match proc {
+        Some(n) => vec![n.to_owned()],
+        None => program.procs.iter().map(|p| p.name.clone()).collect(),
+    };
+    if names.is_empty() {
+        return Err(ProtoError::bad("program has no procedures"));
+    }
+    let wire = budget.clone();
+    let default_budget = ctx.config.default_budget.clone();
+    let ceiling = ctx.config.ceiling.clone();
+    let cancel_for_job = cancel.clone();
+    let jobs = ctx.config.workers;
+    let procs = run_pooled(ctx, cancel, move || {
+        let budget = wire
+            .resolve(&default_budget, &ceiling)
+            .with_cancel(cancel_for_job);
+        let mut config = ProverConfig::new();
+        config.budget = budget;
+        let mut procs: Vec<Json> = Vec::new();
+        let mut total = 0usize;
+        for name in &names {
+            let mut analysis = match apt_paths::analyze_proc(&program, name) {
+                Ok(a) => a,
+                Err(e) => {
+                    procs.push(obj(vec![
+                        ("proc", name.as_str().into()),
+                        ("error", e.to_string().as_str().into()),
+                    ]));
+                    continue;
+                }
+            };
+            analysis.set_prover_config(config.clone());
+            let queries = analysis.all_queries();
+            total += queries.len();
+            let results = analysis.test_batch(&queries, jobs);
+            let rows: Vec<Json> = queries
+                .iter()
+                .zip(results.iter())
+                .map(|(q, r)| report_row(q, r))
+                .collect();
+            procs.push(obj(vec![
+                ("proc", name.as_str().into()),
+                ("queries", Json::Arr(rows)),
+            ]));
+        }
+        (procs, total)
+    })?;
+    let (procs, total) = procs;
+    Metrics::add(&ctx.metrics.queries_total, total as u64);
+    Ok(vec![
+        ("procs", Json::Arr(procs)),
+        ("total_queries", total.into()),
+    ])
+}
+
+fn report_row(
+    query: &apt_paths::BatchQuery,
+    result: &Result<apt_core::TestOutcome, apt_paths::QueryError>,
+) -> Json {
+    let what = match query {
+        apt_paths::BatchQuery::LoopCarried { label, .. } => format!("carried {label}"),
+        apt_paths::BatchQuery::Sequential { from, to } => format!("{from} vs {to}"),
+    };
+    match result {
+        Ok(outcome) => {
+            let maybe = match outcome.maybe {
+                Some(r) => Json::Str(r.code().to_owned()),
+                None => Json::Null,
+            };
+            obj(vec![
+                ("query", what.as_str().into()),
+                ("answer", outcome.answer.as_str().into()),
+                ("reason", format!("{:?}", outcome.reason).as_str().into()),
+                ("maybe", maybe),
+            ])
+        }
+        Err(e) => obj(vec![
+            ("query", what.as_str().into()),
+            ("error", e.to_string().as_str().into()),
+        ]),
+    }
+}

@@ -1,0 +1,350 @@
+//! The session registry: compiled axiom sets resident behind the wire.
+//!
+//! `open_session` is the whole point of the daemon — parsing and
+//! compiling an axiom set (alphabet bitmasks, dispatch index, DFA
+//! cache) is the expensive part of a dependence query, and the caches
+//! an engine accumulates make later queries against the same set far
+//! cheaper. The registry keeps each compiled [`DepEngine`] behind an
+//! `Arc` keyed by a short session id, so any number of connections can
+//! share one warm engine.
+//!
+//! Two policies live here:
+//!
+//! * **Dedupe.** Opening an axiom set that is *structurally* equal to
+//!   one already open returns the existing session. The key is a hash
+//!   of the parsed `Vec<Axiom>` — not the raw text — so comment lines,
+//!   blank lines, whitespace, and spelling differences that parse to
+//!   the same axioms all land on the same engine (and its caches).
+//! * **LRU eviction.** At most `max_sessions` engines stay resident;
+//!   opening one more evicts the least-recently-used session. Eviction
+//!   only drops the registry's `Arc` — queries already running against
+//!   the evicted engine keep their own clone and finish normally.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::{Arc, Mutex, PoisonError};
+
+use apt_axioms::adds::parse_axioms_auto;
+use apt_axioms::AxiomSet;
+use apt_core::DepEngine;
+
+use crate::proto::ProtoError;
+
+/// What `open_session` tells the caller.
+#[derive(Debug, Clone)]
+pub struct Opened {
+    /// The session id to use in later requests (`"s0"`, `"s1"`, …).
+    pub session: String,
+    /// Whether this landed on an already-open session.
+    pub deduped: bool,
+    /// How many axioms the set parsed to.
+    pub axioms: usize,
+    /// Session id of an engine the open evicted, if any.
+    pub evicted: Option<String>,
+}
+
+/// A point-in-time description of one resident session, for `stats`.
+#[derive(Debug, Clone)]
+pub struct SessionInfo {
+    /// Session id.
+    pub session: String,
+    /// Axiom count of the compiled set.
+    pub axioms: usize,
+    /// How many `open_session` calls deduped onto this engine.
+    pub opens: u64,
+    /// How many prove/batch requests have used it.
+    pub uses: u64,
+}
+
+struct Entry {
+    engine: Arc<DepEngine>,
+    set_hash: u64,
+    axioms: usize,
+    opens: u64,
+    uses: u64,
+    last_used: u64,
+}
+
+struct Inner {
+    sessions: HashMap<String, Entry>,
+    by_hash: HashMap<u64, String>,
+    next_id: u64,
+    tick: u64,
+}
+
+/// Registry of resident compiled engines. All methods are `&self`; the
+/// registry is shared across connections behind one `Arc`.
+pub struct SessionRegistry {
+    inner: Mutex<Inner>,
+    max_sessions: usize,
+}
+
+/// Structural identity of an axiom set: a hash over the parsed axioms,
+/// in order. Deliberately *not* a hash of the source text.
+fn set_hash(set: &AxiomSet) -> u64 {
+    let mut h = DefaultHasher::new();
+    for axiom in set.iter() {
+        axiom.hash(&mut h);
+    }
+    set.len().hash(&mut h);
+    h.finish()
+}
+
+impl SessionRegistry {
+    /// A registry that keeps at most `max_sessions` engines resident.
+    pub fn new(max_sessions: usize) -> SessionRegistry {
+        SessionRegistry {
+            inner: Mutex::new(Inner {
+                sessions: HashMap::new(),
+                by_hash: HashMap::new(),
+                next_id: 0,
+                tick: 0,
+            }),
+            max_sessions: max_sessions.max(1),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Parses `axioms_text` (ADDS or axiom-per-line, auto-detected) and
+    /// returns a session for its compiled engine, deduping structurally
+    /// equal sets and evicting the LRU session when full.
+    ///
+    /// # Errors
+    ///
+    /// `bad_request` when the text does not parse.
+    pub fn open(&self, axioms_text: &str) -> Result<Opened, ProtoError> {
+        let set =
+            parse_axioms_auto(axioms_text).map_err(|e| ProtoError::bad(format!("axioms: {e}")))?;
+        let hash = set_hash(&set);
+        let axioms = set.len();
+        let mut inner = self.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        if let Some(session) = inner.by_hash.get(&hash).cloned() {
+            // Hash collisions between distinct sets are possible in
+            // principle; confirm structural equality before deduping.
+            let entry = inner.sessions.get_mut(&session);
+            if let Some(entry) = entry {
+                let same = entry.engine.axioms().len() == axioms
+                    && entry.engine.axioms().iter().eq(set.iter());
+                if same {
+                    entry.opens += 1;
+                    entry.last_used = tick;
+                    return Ok(Opened {
+                        session,
+                        deduped: true,
+                        axioms,
+                        evicted: None,
+                    });
+                }
+            }
+        }
+        let evicted = if inner.sessions.len() >= self.max_sessions {
+            let victim = inner
+                .sessions
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(id, _)| id.clone());
+            victim.inspect(|id| {
+                if let Some(old) = inner.sessions.remove(id) {
+                    inner.by_hash.remove(&old.set_hash);
+                }
+            })
+        } else {
+            None
+        };
+        let session = format!("s{}", inner.next_id);
+        inner.next_id += 1;
+        let engine = Arc::new(DepEngine::new(set));
+        inner.sessions.insert(
+            session.clone(),
+            Entry {
+                engine,
+                set_hash: hash,
+                axioms,
+                opens: 1,
+                uses: 0,
+                last_used: tick,
+            },
+        );
+        inner.by_hash.insert(hash, session.clone());
+        Ok(Opened {
+            session,
+            deduped: false,
+            axioms,
+            evicted,
+        })
+    }
+
+    /// The engine behind `session`, bumping its recency and use count.
+    ///
+    /// # Errors
+    ///
+    /// `no_such_session` when the id was never opened or has been
+    /// evicted/closed.
+    pub fn get(&self, session: &str) -> Result<Arc<DepEngine>, ProtoError> {
+        let mut inner = self.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        let entry = inner.sessions.get_mut(session).ok_or_else(|| ProtoError {
+            code: crate::proto::ErrorCode::NoSuchSession,
+            message: format!("no session {session:?} (evicted or never opened)"),
+        })?;
+        entry.last_used = tick;
+        entry.uses += 1;
+        Ok(Arc::clone(&entry.engine))
+    }
+
+    /// Drops a session eagerly. Returns whether it existed.
+    pub fn close(&self, session: &str) -> bool {
+        let mut inner = self.lock();
+        match inner.sessions.remove(session) {
+            Some(entry) => {
+                inner.by_hash.remove(&entry.set_hash);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Resident session count.
+    pub fn len(&self) -> usize {
+        self.lock().sessions.len()
+    }
+
+    /// Whether no sessions are resident.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Cache statistics for one session *without* bumping its recency
+    /// or use count — the `stats` verb must not perturb LRU order.
+    pub fn peek_cache_stats(&self, session: &str) -> Option<apt_core::CacheStats> {
+        let inner = self.lock();
+        inner.sessions.get(session).map(|e| e.engine.cache_stats())
+    }
+
+    /// Descriptions of every resident session, most-recently-used first.
+    pub fn snapshot(&self) -> Vec<SessionInfo> {
+        let inner = self.lock();
+        let mut rows: Vec<(u64, SessionInfo)> = inner
+            .sessions
+            .iter()
+            .map(|(id, e)| {
+                (
+                    e.last_used,
+                    SessionInfo {
+                        session: id.clone(),
+                        axioms: e.axioms,
+                        opens: e.opens,
+                        uses: e.uses,
+                    },
+                )
+            })
+            .collect();
+        rows.sort_by_key(|row| std::cmp::Reverse(row.0));
+        rows.into_iter().map(|(_, info)| info).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FIG3: &str = "
+        A1: forall p, p.L <> p.R
+        A2: forall p <> q, p.(L|R) <> q.(L|R)
+        A3: forall p <> q, p.N <> q.N
+        A4: forall p, p.(L|R|N)+ <> p.eps
+    ";
+
+    #[test]
+    fn dedupes_structurally_equal_sets_not_text() {
+        let reg = SessionRegistry::new(8);
+        let first = reg.open(FIG3).unwrap();
+        assert!(!first.deduped);
+        assert_eq!(first.axioms, 4);
+
+        // Same axioms, different text: comments, blank lines, spacing,
+        // and unnamed-vs-named differences that still parse identically.
+        let noisy = "
+            # left and right subtrees never alias
+            A1: forall p ,  p.L <> p.R
+
+            A2: forall p <> q, p.(L|R) <> q.(L|R)
+            A3: forall p <> q, p.N <> q.N
+            A4: forall p, p.(L|R|N)+ <> p.eps
+        ";
+        assert_ne!(FIG3, noisy);
+        let second = reg.open(noisy).unwrap();
+        assert!(second.deduped, "parsed-set hash must dedupe");
+        assert_eq!(second.session, first.session);
+        assert_eq!(reg.len(), 1);
+
+        // Same engine instance, not merely an equal one.
+        let a = reg.get(&first.session).unwrap();
+        let b = reg.get(&second.session).unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+
+        // A genuinely different set gets its own session.
+        let third = reg.open("B1: forall p, p.X <> p.Y").unwrap();
+        assert!(!third.deduped);
+        assert_ne!(third.session, first.session);
+        assert_eq!(reg.len(), 2);
+    }
+
+    #[test]
+    fn rejects_unparsable_axioms() {
+        let reg = SessionRegistry::new(4);
+        let err = reg.open("forall p, p.( <> q").unwrap_err();
+        assert_eq!(err.code, crate::proto::ErrorCode::BadRequest);
+    }
+
+    #[test]
+    fn lru_eviction_keeps_recently_used_sessions() {
+        let reg = SessionRegistry::new(2);
+        let a = reg.open("A: forall p, p.L <> p.R").unwrap();
+        let b = reg.open("B: forall p, p.X <> p.Y").unwrap();
+        // Touch `a` so `b` is the LRU victim.
+        reg.get(&a.session).unwrap();
+        let c = reg.open("C: forall p, p.U <> p.V").unwrap();
+        assert_eq!(c.evicted.as_deref(), Some(b.session.as_str()));
+        assert!(reg.get(&a.session).is_ok());
+        assert!(reg.get(&b.session).is_err());
+        assert_eq!(reg.len(), 2);
+
+        // An evicted set can be reopened (fresh compile, new id).
+        let b2 = reg.open("B: forall p, p.X <> p.Y").unwrap();
+        assert!(!b2.deduped);
+        assert_ne!(b2.session, b.session);
+    }
+
+    #[test]
+    fn close_frees_the_slot_and_the_hash() {
+        let reg = SessionRegistry::new(4);
+        let a = reg.open(FIG3).unwrap();
+        assert!(reg.close(&a.session));
+        assert!(!reg.close(&a.session));
+        assert!(reg.get(&a.session).is_err());
+        // Re-opening after close compiles fresh.
+        let again = reg.open(FIG3).unwrap();
+        assert!(!again.deduped);
+    }
+
+    #[test]
+    fn snapshot_reports_usage() {
+        let reg = SessionRegistry::new(4);
+        let a = reg.open(FIG3).unwrap();
+        reg.open(FIG3).unwrap();
+        reg.get(&a.session).unwrap();
+        let snap = reg.snapshot();
+        assert_eq!(snap.len(), 1);
+        assert_eq!(snap[0].opens, 2);
+        assert_eq!(snap[0].uses, 1);
+        assert_eq!(snap[0].axioms, 4);
+    }
+}

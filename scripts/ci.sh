@@ -60,15 +60,80 @@ if [[ -n "$string_keys" ]]; then
     exit 1
 fi
 
-echo "==> deprecated prover API must not be used inside the workspace"
-# The deprecated prove_* shims live in crates/core/src/prover.rs; nothing
-# else may call them (or silence the lint to sneak a call through).
-deprecated_usage=$(grep -rnE '\.prove_(disjoint|equal)(_governed)?\(|allow\(deprecated\)' \
-    --include='*.rs' src crates tests examples 2>/dev/null \
-    | grep -v '^crates/core/src/prover.rs:' || true)
-if [[ -n "$deprecated_usage" ]]; then
-    echo "error: deprecated prover API usage found:" >&2
-    echo "$deprecated_usage" >&2
+# (The pre-0.2 deprecated prove_* shim grep is gone: the shims themselves
+# were removed from crates/core/src/prover.rs, so the compiler now enforces
+# what the grep used to.)
+
+echo "==> serve throughput benchmark (smoke: warm-session parity + overload)"
+# The bin exits nonzero if any warm-session verdict diverges from the
+# in-process oracle or admission control misbehaves; double-check the
+# recorded artifact too.
+cargo run -q --release -p apt-bench --bin serve_throughput -- --smoke
+if ! grep -q '"verdicts_identical": true' BENCH_serve.json; then
+    echo "error: BENCH_serve.json does not record identical verdicts" >&2
+    exit 1
+fi
+if ! grep -q '"behaved": true' BENCH_serve.json; then
+    echo "error: BENCH_serve.json does not record a well-behaved overload probe" >&2
+    exit 1
+fi
+
+echo "==> serve smoke: daemon on a Unix socket, verdict parity with apt prove"
+APT=target/release/apt
+SOCK="$(mktemp -u /tmp/apt-serve-ci.XXXXXX).sock"
+"$APT" serve --socket "$SOCK" --workers 2 &
+SERVE_PID=$!
+trap 'kill "$SERVE_PID" 2>/dev/null || true; rm -f "$SOCK"' EXIT
+for _ in $(seq 1 100); do
+    [[ -S "$SOCK" ]] && break
+    sleep 0.05
+done
+if [[ ! -S "$SOCK" ]]; then
+    echo "error: apt serve did not create $SOCK" >&2
+    exit 1
+fi
+
+# The daemon and the one-shot CLI must agree on every canned query:
+# same answer, same exit-code convention (0 definite, 1 Maybe).
+check_parity() {
+    local axioms="$1" a="$2" b="$3"
+    shift 3
+    local sess direct_rc=0 served_rc=0
+    sess=$("$APT" client --socket "$SOCK" open "$axioms" | sed 's/^session: //')
+    "$APT" client --socket "$SOCK" prove "$sess" "$a" "$b" "$@" >/dev/null \
+        || served_rc=$?
+    "$APT" prove "$axioms" "$a" "$b" "$@" >/dev/null || direct_rc=$?
+    if [[ "$served_rc" -ne "$direct_rc" ]]; then
+        echo "error: verdict mismatch for $a <> $b ($axioms $*):" \
+            "daemon exit $served_rc, apt prove exit $direct_rc" >&2
+        exit 1
+    fi
+}
+# Figure 3 leaf-linked tree: a provable pair and an unprovable one.
+check_parity examples/programs/llt.adds L.L.N L.R.N
+check_parity examples/programs/llt.adds L.N R.N
+# §5 sparse matrix: a Theorem T instance and a distinct-origin probe.
+check_parity examples/programs/sparse.axioms ncolE "nrowE.ncolE+"
+check_parity examples/programs/sparse.axioms ncolE nrowE --distinct
+
+# Structural dedupe: reopening the same set must return the same session.
+s1=$("$APT" client --socket "$SOCK" open examples/programs/llt.adds)
+s2=$("$APT" client --socket "$SOCK" open examples/programs/llt.adds)
+if [[ "$s1" != "$s2" ]]; then
+    echo "error: reopening an identical axiom set did not dedupe: $s1 vs $s2" >&2
+    exit 1
+fi
+
+# Live metrics respond, then a clean shutdown: exit 0 and socket removed.
+"$APT" client --socket "$SOCK" stats | grep -q '"ok":true'
+"$APT" client --socket "$SOCK" shutdown >/dev/null
+if ! wait "$SERVE_PID"; then
+    echo "error: apt serve exited nonzero after shutdown" >&2
+    exit 1
+fi
+trap - EXIT
+if [[ -S "$SOCK" ]]; then
+    echo "error: apt serve left its socket file behind" >&2
     exit 1
 fi
 

@@ -16,7 +16,10 @@
 //! * [`heaps`] — leaf-linked trees, lists, orthogonal-list sparse matrices
 //!   with Gaussian elimination, 2-D range trees;
 //! * [`parsim`] — the multiprocessor scheduling model for the Figure 7
-//!   speedup study.
+//!   speedup study;
+//! * [`serve`] — the resident dependence-query daemon: compiled axiom-set
+//!   sessions behind a JSON-lines protocol on TCP/Unix sockets, with
+//!   admission control and live metrics.
 //!
 //! Most programs only need the [`prelude`]:
 //!
@@ -44,6 +47,7 @@ pub use apt_ir as ir;
 pub use apt_parsim as parsim;
 pub use apt_paths as paths;
 pub use apt_regex as regex;
+pub use apt_serve as serve;
 
 pub mod prelude {
     //! The types most users need, in one import.

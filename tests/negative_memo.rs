@@ -97,11 +97,17 @@ fn published_failures_are_genuinely_unprovable() {
     for query in sparse_workload() {
         query.run(&engine);
     }
-    let failed = engine.shared_cache().failed_goal_snapshot();
+    let snapshot = engine.shared_cache().failed_goal_snapshot();
     assert!(
-        !failed.is_empty(),
+        !snapshot.is_empty(),
         "workload should settle at least one unprovable goal"
     );
+    assert_eq!(
+        snapshot.total,
+        engine.cache_stats().failed_goals,
+        "snapshot total must agree with the live counter"
+    );
+    let failed = snapshot.sample;
     let linear = ProverConfig {
         enable_axiom_dispatch: false,
         enable_negative_memo: false,
