@@ -60,6 +60,16 @@ fn main() {
             "MISBEHAVED"
         }
     );
+    let restart = &result.restart;
+    println!(
+        "restart to first pass: cold {} us, warm {} us ({:.2}x, restore {}, {} goals restored) ({})",
+        restart.cold_micros,
+        restart.warm_micros,
+        restart.speedup,
+        restart.restore,
+        restart.restored_goals,
+        if restart.behaved() { "ok" } else { "MISBEHAVED" }
+    );
 
     let json = result.to_json();
     std::fs::write("BENCH_serve.json", &json).expect("write BENCH_serve.json");
@@ -71,6 +81,14 @@ fn main() {
     }
     if !result.overload_ok {
         eprintln!("error: overload probe expected 2 prompt refusals");
+        std::process::exit(1);
+    }
+    if !result.restart.behaved() {
+        eprintln!(
+            "error: warm restart must restore fully, answer identically, and \
+             beat a cold restart by >=3x (got {:.2}x, restore {})",
+            result.restart.speedup, result.restart.restore
+        );
         std::process::exit(1);
     }
 }

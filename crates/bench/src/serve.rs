@@ -33,6 +33,7 @@ use apt_serve::{Client, ServeConfig, Server};
 use std::fmt::Write as _;
 use std::io::Write as _;
 use std::net::TcpStream;
+use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
 /// Bench tuning.
@@ -109,6 +110,37 @@ fn to_dep_query(q: &SuiteQuery) -> DepQuery {
 /// The verdict fingerprint compared between strategies.
 pub type VerdictKey = (Answer, Option<MaybeReason>, bool);
 
+/// Crash-restart warmth: time from daemon start to a completed suite
+/// pass, with and without a warm-state snapshot to restore from.
+#[derive(Debug, Clone)]
+pub struct RestartResult {
+    /// Micros from server start to first completed pass, cold (no
+    /// snapshot directory configured): pays axiom compilation and full
+    /// proof search.
+    pub cold_micros: u128,
+    /// Micros from server start to first completed pass when restoring
+    /// a snapshot written by a previous graceful shutdown — includes
+    /// the restore itself.
+    pub warm_micros: u128,
+    /// `cold_micros / warm_micros`.
+    pub speedup: f64,
+    /// The `last_restore` outcome the restarted daemon reported
+    /// (`"warm"` when every snapshot section restored).
+    pub restore: String,
+    /// Goal-cache entries the restore republished.
+    pub restored_goals: u64,
+    /// Whether both restart passes matched the in-process oracle.
+    pub verdicts_identical: bool,
+}
+
+impl RestartResult {
+    /// The headline gate: restored warm, answers right, and at least
+    /// 3x faster to first warm pass than a cold restart.
+    pub fn behaved(&self) -> bool {
+        self.verdicts_identical && self.restore == "warm" && self.speedup >= 3.0
+    }
+}
+
 /// The measured result.
 #[derive(Debug, Clone)]
 pub struct ServeBenchResult {
@@ -135,6 +167,8 @@ pub struct ServeBenchResult {
     /// Overload probe: refusals arrived promptly and the server stayed
     /// healthy (no timeouts, no crashes, exactly the expected count).
     pub overload_ok: bool,
+    /// Crash-restart warmth probe.
+    pub restart: RestartResult,
 }
 
 impl ServeBenchResult {
@@ -180,12 +214,40 @@ impl ServeBenchResult {
         let _ = writeln!(
             s,
             "  \"overload\": {{\"workers\": 1, \"high_water\": 1, \"offered\": 4, \
-             \"refusals\": {}, \"behaved\": {}}}",
+             \"refusals\": {}, \"behaved\": {}}},",
             self.overload_refusals, self.overload_ok
+        );
+        let r = &self.restart;
+        let _ = writeln!(
+            s,
+            "  \"restart\": {{\"cold_micros\": {}, \"warm_micros\": {}, \
+             \"speedup\": {:.2}, \"restore\": \"{}\", \"restored_goals\": {}, \
+             \"verdicts_identical\": {}, \"behaved\": {}}}",
+            r.cold_micros,
+            r.warm_micros,
+            r.speedup,
+            r.restore,
+            r.restored_goals,
+            r.verdicts_identical,
+            r.behaved()
         );
         s.push_str("}\n");
         s
     }
+}
+
+fn prove_frame(session: &str, q: &SuiteQuery) -> String {
+    obj(vec![
+        ("verb", Json::from("prove")),
+        ("session", session.into()),
+        ("a", q.a.as_str().into()),
+        ("b", q.b.as_str().into()),
+        (
+            "origin",
+            if q.distinct { "distinct" } else { "same" }.into(),
+        ),
+    ])
+    .render()
 }
 
 fn fingerprint_wire(result: &Json) -> Option<VerdictKey> {
@@ -262,22 +324,7 @@ pub fn run(config: &ServeBenchConfig) -> ServeBenchResult {
     let server_thread = std::thread::spawn(move || server.run().expect("server run"));
     let mut client = Client::connect_tcp(&addr.to_string()).expect("connect");
     let session = client.open_session(&axioms_text).expect("open session");
-    let frames: Vec<String> = suite
-        .iter()
-        .map(|q| {
-            obj(vec![
-                ("verb", Json::from("prove")),
-                ("session", session.as_str().into()),
-                ("a", q.a.as_str().into()),
-                ("b", q.b.as_str().into()),
-                (
-                    "origin",
-                    if q.distinct { "distinct" } else { "same" }.into(),
-                ),
-            ])
-            .render()
-        })
-        .collect();
+    let frames: Vec<String> = suite.iter().map(|q| prove_frame(&session, q)).collect();
     let mut warm_session_micros = u128::MAX;
     // One untimed pass warms the session's caches; `reps` timed passes
     // then measure the steady state a resident service actually serves.
@@ -298,6 +345,7 @@ pub fn run(config: &ServeBenchConfig) -> ServeBenchResult {
     server_thread.join().expect("server thread");
 
     let overload_refusals = overload_probe();
+    let restart = restart_probe();
     let secs = warm_session_micros as f64 / 1e6;
     ServeBenchResult {
         queries: suite.len(),
@@ -310,6 +358,169 @@ pub fn run(config: &ServeBenchConfig) -> ServeBenchResult {
         verdicts_identical,
         overload_refusals,
         overload_ok: overload_refusals == 2,
+        restart,
+    }
+}
+
+/// One suite pass over an already-connected client; `true` when every
+/// verdict fingerprint matches the oracle.
+fn suite_pass(
+    client: &mut Client,
+    session: &str,
+    suite: &[SuiteQuery],
+    oracle: &[VerdictKey],
+) -> bool {
+    let mut identical = true;
+    for (q, oracle_key) in suite.iter().zip(oracle) {
+        let reply = client
+            .roundtrip_raw(&prove_frame(session, q))
+            .expect("prove round-trip");
+        let result = reply.get("result").expect("result field");
+        let key = fingerprint_wire(result).expect("verdict parses");
+        identical &= key == *oracle_key;
+    }
+    identical
+}
+
+/// Starts a daemon (optionally restoring from `snapshot_dir`), runs one
+/// suite pass, and reads the restore outcome from `stats`. Returns
+/// micros from server construction through the completed pass — the
+/// restore, the `open_session`, and every round-trip all count.
+fn restart_pass(
+    snapshot_dir: Option<PathBuf>,
+    suite: &[SuiteQuery],
+    axioms_text: &str,
+    oracle: &[VerdictKey],
+) -> (u128, bool, String, u64) {
+    let started = Instant::now();
+    let mut config = ServeConfig::new();
+    config.snapshot_dir = snapshot_dir;
+    let mut server = Server::new(config);
+    let addr = server.bind_tcp("127.0.0.1:0").expect("bind");
+    let handle = server.handle();
+    let server_thread = std::thread::spawn(move || server.run().expect("server run"));
+    let mut client = Client::connect_tcp(&addr.to_string()).expect("connect");
+    let session = client.open_session(axioms_text).expect("open session");
+    let identical = suite_pass(&mut client, &session, suite, oracle);
+    let micros = started.elapsed().as_micros();
+
+    let reply = client
+        .roundtrip_raw(&obj(vec![("verb", Json::from("stats"))]).render())
+        .expect("stats round-trip");
+    // Stats fields sit at the top level of the reply frame.
+    let snap = reply
+        .get("server")
+        .and_then(|s| s.get("snapshot"))
+        .cloned()
+        .unwrap_or(Json::Null);
+    let restore = snap
+        .get("last_restore")
+        .and_then(Json::as_str)
+        .unwrap_or("unknown")
+        .to_owned();
+    let restored_goals = snap
+        .get("restored_goals")
+        .and_then(Json::as_u64)
+        .unwrap_or(0);
+
+    handle.stop();
+    let _ = client.shutdown();
+    server_thread.join().expect("server thread");
+    (micros, identical, restore, restored_goals)
+}
+
+/// The restart probe's own suite, on the leaf-linked tree: star-tower
+/// queries whose proof search costs milliseconds cold and nothing
+/// warm, plus provable disjointness pairs so the snapshot's proof
+/// entries (and the restore-time proof spot-check) are exercised too.
+///
+/// The Figure 7 suite is wrong for this probe: its queries resolve in
+/// tens of microseconds, so restart time drowns in fixed per-query
+/// round-trip cost and a warm cache can't show up in the clock.
+fn restart_suite() -> Vec<SuiteQuery> {
+    let mut suite = Vec::new();
+    for k in [4usize, 6, 8, 10] {
+        suite.push(SuiteQuery {
+            a: format!("{}.N", vec!["L"; 2 * k].join(".")),
+            b: format!("{}.N", vec!["(L|R)+"; k].join(".")),
+            distinct: false,
+        });
+    }
+    for i in 1..=4 {
+        suite.push(SuiteQuery {
+            a: format!("{}.N", vec!["L"; i].join(".")),
+            b: format!("{}.N", vec!["R"; i].join(".")),
+            distinct: false,
+        });
+        suite.push(SuiteQuery {
+            a: vec!["L"; i].join("."),
+            b: vec!["R"; i].join("."),
+            distinct: true,
+        });
+    }
+    suite
+}
+
+/// Measures cold-restart-to-warm time with and without snapshots.
+///
+/// A first daemon warms a session on the restart suite and shuts down
+/// gracefully, persisting its caches. Two restarts then race the same
+/// suite: one cold (no snapshot directory), one restoring the
+/// snapshot. The warm restart must answer identically and reach the
+/// end of its first pass at least 3x sooner — the whole point of
+/// persisting warm state across a crash or deploy.
+fn restart_probe() -> RestartResult {
+    let suite = restart_suite();
+    let axioms_text = leaf_linked_tree_axioms().to_string();
+    let oracle: Vec<VerdictKey> = suite
+        .iter()
+        .map(|q| {
+            let engine = DepEngine::new(leaf_linked_tree_axioms());
+            let outcome = to_dep_query(q).run(&engine);
+            (
+                outcome.verdict.answer,
+                outcome.verdict.reason,
+                outcome.proof.is_some(),
+            )
+        })
+        .collect();
+    let (suite, axioms_text, oracle) = (&suite[..], axioms_text.as_str(), &oracle[..]);
+
+    let dir = std::env::temp_dir().join(format!("apt-serve-bench-snap-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create snapshot dir");
+
+    // Warm a daemon and let graceful shutdown persist its state.
+    {
+        let mut config = ServeConfig::new();
+        config.snapshot_dir = Some(dir.clone());
+        let mut server = Server::new(config);
+        let addr = server.bind_tcp("127.0.0.1:0").expect("bind");
+        let handle = server.handle();
+        let server_thread = std::thread::spawn(move || server.run().expect("server run"));
+        let mut client = Client::connect_tcp(&addr.to_string()).expect("connect");
+        let session = client.open_session(axioms_text).expect("open session");
+        assert!(
+            suite_pass(&mut client, &session, suite, oracle),
+            "restart warm-up pass diverged from the oracle"
+        );
+        handle.stop();
+        let _ = client.shutdown();
+        server_thread.join().expect("server thread");
+    }
+
+    let (cold_micros, cold_ok, _, _) = restart_pass(None, suite, axioms_text, oracle);
+    let (warm_micros, warm_ok, restore, restored_goals) =
+        restart_pass(Some(dir.clone()), suite, axioms_text, oracle);
+    let _ = std::fs::remove_dir_all(&dir);
+
+    RestartResult {
+        cold_micros,
+        warm_micros,
+        speedup: cold_micros as f64 / warm_micros.max(1) as f64,
+        restore,
+        restored_goals,
+        verdicts_identical: cold_ok && warm_ok,
     }
 }
 
@@ -386,8 +597,16 @@ mod tests {
         let result = run(&ServeBenchConfig::smoke());
         assert!(result.verdicts_identical);
         assert!(result.overload_ok, "refusals: {}", result.overload_refusals);
+        // The warm restart must restore every section and answer
+        // identically. (The 3x speedup gate lives in the bench binary,
+        // where timing is taken on a quiet machine; under `cargo test`
+        // parallelism it would flake.)
+        assert!(result.restart.verdicts_identical);
+        assert_eq!(result.restart.restore, "warm", "{:?}", result.restart);
+        assert!(result.restart.restored_goals > 0, "{:?}", result.restart);
         let json = result.to_json();
         assert!(json.contains("\"verdicts_identical\": true"), "{json}");
+        assert!(json.contains("\"restore\": \"warm\""), "{json}");
         // The JSON must itself be valid JSON.
         apt_serve::json::parse(&json).expect("bench json parses");
     }

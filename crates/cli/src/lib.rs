@@ -661,9 +661,23 @@ USAGE:
   apt batch  <program-file> [--proc <name>] [--jobs <n>]
   apt serve  [--addr <host:port>] [--socket <path>] [--workers <n>]
              [--high-water <n>] [--max-sessions <m>]
+             [--snapshot-dir <dir>] [--snapshot-interval-ms <n>]
+             [--idle-timeout-ms <n>] [--fault-plan <spec>]
   apt client (--addr <host:port> | --socket <path>) <verb> …
       verbs: open <axioms-file> | prove <session> <p1> <p2> [--distinct]
-             stats | shutdown | raw '<json-frame>'
+             stats | health | ready | shutdown | raw '<json-frame>'
+  apt snapshot inspect <file>
+
+SERVE PERSISTENCE FLAGS:
+  --snapshot-dir <dir>         persist warm state (compiled axiom sets +
+                               definite proof/subset caches) to
+                               <dir>/apt-serve.snap; restored on startup
+  --snapshot-interval-ms <n>   background flush period (default: only on
+                               graceful shutdown)
+  --idle-timeout-ms <n>        per-connection read deadline (default
+                               120000; 0 disables)
+  --fault-plan <spec>          DEV ONLY — inject snapshot I/O faults,
+                               e.g. 'write_err=2,torn=0.5,fsync_err'
 
 RESOURCE FLAGS (prove / query / report / batch; on `serve` they set the
 per-request budget ceiling, on `client prove` the request's overrides):
@@ -777,6 +791,34 @@ pub fn run(args: &[String]) -> Result<CmdOutput, CliError> {
         }
         Some("serve") => cmd_serve(args, &config),
         Some("client") => cmd_client(args),
+        Some("snapshot") => cmd_snapshot(args),
+        _ => Err(fail(USAGE)),
+    }
+}
+
+/// `apt snapshot inspect <file>`: prints a per-section summary of a
+/// warm-state snapshot file, flagging corrupt sections.
+///
+/// # Errors
+///
+/// Returns a [`CliError`] on usage errors, unreadable files, or a
+/// snapshot whose header is unusable.
+pub fn cmd_snapshot(args: &[String]) -> Result<CmdOutput, CliError> {
+    match args.get(1).map(String::as_str) {
+        Some("inspect") => {
+            let path = args.get(2).ok_or_else(|| fail(USAGE))?;
+            let bytes =
+                std::fs::read(path).map_err(|e| fail(format!("cannot read {path}: {e}")))?;
+            let report =
+                apt_serve::snapshot::inspect(&bytes).map_err(|e| fail(format!("{path}: {e}")))?;
+            // Corrupt sections are worth a nonzero exit so scripts can
+            // gate on snapshot health, mirroring the Maybe convention.
+            let any_maybe = report.contains("CORRUPT");
+            Ok(CmdOutput {
+                text: report,
+                any_maybe,
+            })
+        }
         _ => Err(fail(USAGE)),
     }
 }
@@ -817,6 +859,32 @@ pub fn cmd_serve(args: &[String], config: &ProverConfig) -> Result<CmdOutput, Cl
     }
     if let Some(n) = usize_flag("--max-sessions")? {
         serve_config.max_sessions = n;
+    }
+    let u64_flag = |flag: &str| -> Result<Option<u64>, CliError> {
+        match flag_value(flag) {
+            None => Ok(None),
+            Some(v) => v
+                .parse::<u64>()
+                .map(Some)
+                .map_err(|_| fail(format!("{flag} needs a non-negative integer, got {v:?}"))),
+        }
+    };
+    if let Some(dir) = flag_value("--snapshot-dir") {
+        serve_config.snapshot_dir = Some(std::path::PathBuf::from(dir));
+    }
+    if let Some(ms) = u64_flag("--snapshot-interval-ms")? {
+        if ms > 0 {
+            serve_config.snapshot_interval = Some(Duration::from_millis(ms));
+        }
+    }
+    if let Some(ms) = u64_flag("--idle-timeout-ms")? {
+        serve_config.idle_timeout = (ms > 0).then(|| Duration::from_millis(ms));
+    }
+    if let Some(spec) = flag_value("--fault-plan") {
+        let plan =
+            apt_serve::FaultPlan::parse(spec).map_err(|e| fail(format!("--fault-plan: {e}")))?;
+        serve_config.fault_plan = Some(std::sync::Arc::new(plan));
+        eprintln!("apt-serve: FAULT PLAN ARMED ({spec}) — dev/test use only");
     }
     let mut server = Server::new(serve_config);
     if let Some(addr) = flag_value("--addr") {
@@ -926,6 +994,12 @@ pub fn cmd_client(args: &[String]) -> Result<CmdOutput, CliError> {
         Some("stats") => {
             let frame = client
                 .roundtrip(obj(vec![("verb", "stats".into())]))
+                .map_err(|e| fail(e.to_string()))?;
+            let _ = writeln!(out, "{}", frame.render());
+        }
+        Some(verb @ ("health" | "ready")) => {
+            let frame = client
+                .roundtrip(obj(vec![("verb", verb.into())]))
                 .map_err(|e| fail(e.to_string()))?;
             let _ = writeln!(out, "{}", frame.render());
         }

@@ -238,6 +238,156 @@ impl SharedCache {
     }
 }
 
+/// One exported settled goal: the goal plus its proof (`None` means the
+/// goal was cached as cleanly failed — definitely unprovable under the
+/// engine's axioms, in every context).
+#[derive(Debug, Clone)]
+pub struct GoalEntry {
+    /// The settled goal.
+    pub goal: Goal,
+    /// Its self-contained proof, or `None` for a clean failure.
+    pub proof: Option<Proof>,
+}
+
+/// One exported subset answer, with the regexes materialized out of the
+/// process-local hash-consing arena — [`RegexId`]s depend on interning
+/// order and are meaningless in another process, so the export carries
+/// the trees themselves.
+#[derive(Debug, Clone)]
+pub struct SubsetEntry {
+    /// Left-hand language.
+    pub a: apt_regex::Regex,
+    /// Right-hand language.
+    pub b: apt_regex::Regex,
+    /// Whether `L(a) ⊆ L(b)`.
+    pub holds: bool,
+}
+
+/// A portable image of a [`DepEngine`]'s shared cache: every settled
+/// goal (with its proof) and every memoized subset answer, in plain
+/// tree form. This is what the serving layer's warm-state snapshots
+/// persist; interned DFAs are deliberately *not* exported — they are
+/// recomputed deterministically from the axioms and are cheap relative
+/// to proof search.
+///
+/// An export is only meaningful for the exact axiom set (and rule
+/// configuration) of the engine that produced it; importers must
+/// guarantee that pairing themselves (the snapshot layer keys sections
+/// by the axiom text it restores the engine from).
+#[derive(Debug, Clone, Default)]
+pub struct CacheExport {
+    /// Settled goals, proved and cleanly failed.
+    pub goals: Vec<GoalEntry>,
+    /// Memoized `L(a) ⊆ L(b)` answers.
+    pub subsets: Vec<SubsetEntry>,
+}
+
+impl CacheExport {
+    /// Whether nothing was exported at all.
+    pub fn is_empty(&self) -> bool {
+        self.goals.is_empty() && self.subsets.is_empty()
+    }
+}
+
+/// What [`DepEngine::import_cache`] accepted.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ImportStats {
+    /// Goal entries published into the shared cache.
+    pub goals: usize,
+    /// Subset entries published into the shared cache.
+    pub subsets: usize,
+    /// Proofs re-verified against the engine's axioms.
+    pub proofs_checked: usize,
+}
+
+impl SharedCache {
+    /// Exports every settled goal and subset answer as plain trees.
+    /// O(entries); intended for the snapshot flusher, not the hot path.
+    pub fn export(&self) -> CacheExport {
+        let mut goals = Vec::new();
+        for shard in &self.goals {
+            let guard = shard.lock().unwrap_or_else(PoisonError::into_inner);
+            for (goal, verdict) in guard.iter() {
+                goals.push(GoalEntry {
+                    goal: goal.clone(),
+                    proof: match verdict {
+                        SharedVerdict::Proved(p) => Some(p.clone()),
+                        SharedVerdict::Failed => None,
+                    },
+                });
+            }
+        }
+        let mut subsets = Vec::new();
+        for shard in &self.subsets {
+            let guard = shard.lock().unwrap_or_else(PoisonError::into_inner);
+            for (&(a, b), &holds) in guard.iter() {
+                subsets.push(SubsetEntry {
+                    a: a.to_regex(),
+                    b: b.to_regex(),
+                    holds,
+                });
+            }
+        }
+        CacheExport { goals, subsets }
+    }
+}
+
+impl DepEngine {
+    /// Exports the shared cache as a portable [`CacheExport`].
+    pub fn export_cache(&self) -> CacheExport {
+        self.cache.export()
+    }
+
+    /// Imports a previously exported cache image, re-interning the
+    /// subset regexes into this process's arena and publishing every
+    /// entry into the shared cache.
+    ///
+    /// The first `verify_sample` proofs are re-checked against this
+    /// engine's axioms with [`crate::check_proof`]; a single failing
+    /// proof rejects the *entire* import — a snapshot whose proofs do
+    /// not check against the axioms it claims to belong to is corrupt,
+    /// and a corrupt import may only cost warmth, never correctness.
+    /// Failed-goal and subset entries carry no checkable certificate;
+    /// they are protected by the snapshot layer's checksums instead.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`crate::check::ProofError`] of the first proof that
+    /// does not check. Nothing is published in that case.
+    pub fn import_cache(
+        &self,
+        export: &CacheExport,
+        verify_sample: usize,
+    ) -> Result<ImportStats, crate::check::ProofError> {
+        let mut checked = 0usize;
+        for entry in export.goals.iter().filter(|e| e.proof.is_some()) {
+            if checked >= verify_sample {
+                break;
+            }
+            if let Some(proof) = &entry.proof {
+                crate::check_proof(&self.axioms, proof)?;
+                checked += 1;
+            }
+        }
+        for entry in &export.goals {
+            let verdict = match &entry.proof {
+                Some(p) => SharedVerdict::Proved(p.clone()),
+                None => SharedVerdict::Failed,
+            };
+            self.cache.publish_goal(&entry.goal, verdict);
+        }
+        for entry in &export.subsets {
+            let key = (RegexId::intern(&entry.a), RegexId::intern(&entry.b));
+            self.cache.publish_subset(key, entry.holds);
+        }
+        Ok(ImportStats {
+            goals: export.goals.len(),
+            subsets: export.subsets.len(),
+            proofs_checked: checked,
+        })
+    }
+}
+
 /// Cap on the failed-goal sample returned by
 /// [`SharedCache::failed_goal_snapshot`].
 pub const FAILED_SNAPSHOT_CAP: usize = 256;

@@ -55,8 +55,8 @@ pub use deptest::{
     AccessPath, Answer, DepTest, FieldLayout, LayoutError, MemRef, Reason, TestOutcome,
 };
 pub use engine::{
-    CacheStats, DepEngine, DepQuery, FailedGoalSample, Outcome, QueryKind, FAILED_SNAPSHOT_CAP,
-    INLINE_BATCH_THRESHOLD,
+    CacheExport, CacheStats, DepEngine, DepQuery, FailedGoalSample, GoalEntry, ImportStats,
+    Outcome, QueryKind, SubsetEntry, FAILED_SNAPSHOT_CAP, INLINE_BATCH_THRESHOLD,
 };
 pub use goal::{Goal, Origin};
 pub use handle::{Handle, HandleRelation};

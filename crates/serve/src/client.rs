@@ -4,19 +4,96 @@
 //! `serve_throughput` bench. One [`Client`] owns one connection and
 //! does strict request/response turns; open several clients for
 //! concurrency.
+//!
+//! With a [`RetryPolicy`] attached, transport failures on *idempotent*
+//! verbs (`open_session`, `prove`, `batch`, `report`, `stats`,
+//! `health`, `ready`) reconnect and retry with jittered exponential
+//! backoff — a daemon restart becomes a pause, not an error, and the
+//! registry's structural dedupe lands re-opened sessions back on the
+//! (possibly snapshot-restored) warm engine. Non-idempotent verbs
+//! (`close_session`, `shutdown`) are never replayed. When every
+//! attempt fails, the distinct [`ClientError::RetriesExhausted`] says
+//! so — callers can tell "the server is gone" from a single hiccup.
 
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::TcpStream;
 use std::os::unix::net::UnixStream;
-use std::path::Path as FsPath;
+use std::path::{Path as FsPath, PathBuf};
+use std::thread;
+use std::time::{Duration, SystemTime, UNIX_EPOCH};
 
 use crate::json::{obj, parse, Json};
 
+/// Where a client connects; kept so reconnection can re-dial.
+#[derive(Debug, Clone)]
+enum Endpoint {
+    Tcp(String),
+    Unix(PathBuf),
+}
+
+/// Reconnect-and-retry tuning for idempotent verbs.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Reconnect attempts after the initial failure.
+    pub max_attempts: u32,
+    /// Backoff before the first retry; doubles per attempt.
+    pub base_delay: Duration,
+    /// Ceiling on any single backoff sleep.
+    pub max_delay: Duration,
+}
+
+impl RetryPolicy {
+    /// Defaults: 5 attempts, 25 ms base, 1 s cap — a daemon restart
+    /// (sub-second) is ridden out, a dead one fails in ~2 s.
+    pub fn new() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 5,
+            base_delay: Duration::from_millis(25),
+            max_delay: Duration::from_secs(1),
+        }
+    }
+
+    /// The sleep before retry number `attempt` (0-based): exponential,
+    /// capped, with multiplicative jitter in [0.5, 1.0) so a fleet of
+    /// clients does not reconnect in lockstep.
+    fn delay(&self, attempt: u32, rng: &mut u64) -> Duration {
+        let exp = self
+            .base_delay
+            .saturating_mul(1u32 << attempt.min(16))
+            .min(self.max_delay);
+        // xorshift64: no external RNG crates, and quality hardly
+        // matters — this only de-synchronizes reconnect storms.
+        *rng ^= *rng << 13;
+        *rng ^= *rng >> 7;
+        *rng ^= *rng << 17;
+        let unit = (*rng >> 11) as f64 / (1u64 << 53) as f64;
+        exp.mul_f64(0.5 + 0.5 * unit)
+    }
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy::new()
+    }
+}
+
+/// Whether a verb can safely be replayed after a transport failure
+/// (the failed attempt may or may not have been processed).
+fn is_idempotent(verb: &str) -> bool {
+    matches!(
+        verb,
+        "open_session" | "prove" | "batch" | "report" | "stats" | "health" | "ready"
+    )
+}
+
 /// A connected protocol client.
 pub struct Client {
+    endpoint: Endpoint,
     writer: Box<dyn Write + Send>,
     reader: BufReader<Box<dyn io::Read + Send>>,
     next_id: u64,
+    retry: Option<RetryPolicy>,
+    rng: u64,
 }
 
 /// A client-side failure: transport trouble, unparsable response, or a
@@ -29,6 +106,14 @@ pub enum ClientError {
     BadResponse(String),
     /// The server answered `ok:false`; carries `(code, message)`.
     Server(String, String),
+    /// Every reconnect attempt of the retry policy failed; carries the
+    /// attempt count and the last transport error.
+    RetriesExhausted {
+        /// Reconnect attempts made (beyond the initial failure).
+        attempts: u32,
+        /// The transport error of the final attempt.
+        last: io::Error,
+    },
 }
 
 impl std::fmt::Display for ClientError {
@@ -37,6 +122,9 @@ impl std::fmt::Display for ClientError {
             ClientError::Io(e) => write!(f, "i/o: {e}"),
             ClientError::BadResponse(m) => write!(f, "bad response: {m}"),
             ClientError::Server(code, m) => write!(f, "server error [{code}]: {m}"),
+            ClientError::RetriesExhausted { attempts, last } => {
+                write!(f, "gave up after {attempts} reconnect attempt(s): {last}")
+            }
         }
     }
 }
@@ -49,23 +137,60 @@ impl From<io::Error> for ClientError {
     }
 }
 
+type Transport = (Box<dyn Write + Send>, BufReader<Box<dyn io::Read + Send>>);
+
+fn dial(endpoint: &Endpoint) -> io::Result<Transport> {
+    match endpoint {
+        Endpoint::Tcp(addr) => {
+            let stream = TcpStream::connect(addr.as_str())?;
+            // Frames are tiny; without this, Nagle + delayed ACK costs
+            // ~40ms per round-trip.
+            stream.set_nodelay(true)?;
+            let reader = stream.try_clone()?;
+            Ok((
+                Box::new(stream),
+                BufReader::new(Box::new(reader) as Box<dyn io::Read + Send>),
+            ))
+        }
+        Endpoint::Unix(path) => {
+            let stream = UnixStream::connect(path)?;
+            let reader = stream.try_clone()?;
+            Ok((
+                Box::new(stream),
+                BufReader::new(Box::new(reader) as Box<dyn io::Read + Send>),
+            ))
+        }
+    }
+}
+
+fn jitter_seed() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| u64::from(d.subsec_nanos()) ^ d.as_secs().rotate_left(32))
+        .unwrap_or(0x9e37_79b9_7f4a_7c15)
+        | 1
+}
+
 impl Client {
+    fn connect(endpoint: Endpoint) -> Result<Client, ClientError> {
+        let (writer, reader) = dial(&endpoint)?;
+        Ok(Client {
+            endpoint,
+            writer,
+            reader,
+            next_id: 0,
+            retry: None,
+            rng: jitter_seed(),
+        })
+    }
+
     /// Connects over TCP.
     ///
     /// # Errors
     ///
     /// Propagates connect failures.
     pub fn connect_tcp(addr: &str) -> Result<Client, ClientError> {
-        let stream = TcpStream::connect(addr)?;
-        // Frames are tiny; without this, Nagle + delayed ACK costs
-        // ~40ms per round-trip.
-        stream.set_nodelay(true)?;
-        let reader = stream.try_clone()?;
-        Ok(Client {
-            writer: Box::new(stream),
-            reader: BufReader::new(Box::new(reader)),
-            next_id: 0,
-        })
+        Client::connect(Endpoint::Tcp(addr.to_owned()))
     }
 
     /// Connects over a Unix-domain socket.
@@ -74,18 +199,28 @@ impl Client {
     ///
     /// Propagates connect failures.
     pub fn connect_unix(path: &FsPath) -> Result<Client, ClientError> {
-        let stream = UnixStream::connect(path)?;
-        let reader = stream.try_clone()?;
-        Ok(Client {
-            writer: Box::new(stream),
-            reader: BufReader::new(Box::new(reader)),
-            next_id: 0,
-        })
+        Client::connect(Endpoint::Unix(path.to_owned()))
     }
 
-    /// Sends one raw frame (already-rendered JSON text is accepted too
-    /// via [`Client::roundtrip_raw`]) and reads one response frame.
-    /// Protocol-level errors (`ok:false`) become [`ClientError::Server`].
+    /// Enables reconnect-with-backoff for idempotent verbs.
+    pub fn with_retry(mut self, policy: RetryPolicy) -> Client {
+        self.retry = Some(policy);
+        self
+    }
+
+    /// Drops the current socket and dials the endpoint again.
+    fn reconnect(&mut self) -> io::Result<()> {
+        let (writer, reader) = dial(&self.endpoint)?;
+        self.writer = writer;
+        self.reader = reader;
+        Ok(())
+    }
+
+    /// Sends one frame and reads one response frame, auto-assigning an
+    /// `id` when the caller gave none. Protocol-level errors
+    /// (`ok:false`) become [`ClientError::Server`]. With a retry policy
+    /// attached and an idempotent verb, transport failures reconnect
+    /// and replay the frame.
     ///
     /// # Errors
     ///
@@ -97,10 +232,44 @@ impl Client {
                 pairs.push(("id".to_owned(), Json::Num(self.next_id as f64)));
             }
         }
-        self.roundtrip_raw(&frame.render())
+        let retryable = self.retry.is_some()
+            && frame
+                .get("verb")
+                .and_then(Json::as_str)
+                .is_some_and(is_idempotent);
+        let line = frame.render();
+        match self.roundtrip_raw(&line) {
+            Err(ClientError::Io(e)) if retryable => self.retry_line(&line, e),
+            other => other,
+        }
     }
 
-    /// Sends one pre-rendered request line and reads one response.
+    fn retry_line(&mut self, line: &str, first: io::Error) -> Result<Json, ClientError> {
+        let Some(policy) = self.retry.clone() else {
+            return Err(ClientError::Io(first));
+        };
+        let mut last = first;
+        for attempt in 0..policy.max_attempts {
+            thread::sleep(policy.delay(attempt, &mut self.rng));
+            if let Err(e) = self.reconnect() {
+                last = e;
+                continue;
+            }
+            match self.roundtrip_raw(line) {
+                Err(ClientError::Io(e)) => last = e,
+                other => return other,
+            }
+        }
+        Err(ClientError::RetriesExhausted {
+            attempts: policy.max_attempts,
+            last,
+        })
+    }
+
+    /// Sends one pre-rendered request line and reads one response. A
+    /// single attempt on the current connection — never retried, even
+    /// with a policy attached (callers of the raw API own their frames'
+    /// idempotency).
     ///
     /// # Errors
     ///
@@ -187,5 +356,47 @@ impl Client {
     pub fn shutdown(&mut self) -> Result<(), ClientError> {
         self.roundtrip(obj(vec![("verb", "shutdown".into())]))?;
         Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idempotency_classification() {
+        for verb in [
+            "open_session",
+            "prove",
+            "batch",
+            "report",
+            "stats",
+            "health",
+            "ready",
+        ] {
+            assert!(is_idempotent(verb), "{verb}");
+        }
+        for verb in ["close_session", "shutdown", "frobnicate"] {
+            assert!(!is_idempotent(verb), "{verb}");
+        }
+    }
+
+    #[test]
+    fn backoff_is_exponential_capped_and_jittered() {
+        let policy = RetryPolicy {
+            max_attempts: 8,
+            base_delay: Duration::from_millis(10),
+            max_delay: Duration::from_millis(200),
+        };
+        let mut rng = jitter_seed();
+        for attempt in 0..8 {
+            let d = policy.delay(attempt, &mut rng);
+            let uncapped = policy
+                .base_delay
+                .saturating_mul(1 << attempt)
+                .min(policy.max_delay);
+            assert!(d >= uncapped.mul_f64(0.5), "attempt {attempt}: {d:?}");
+            assert!(d <= uncapped, "attempt {attempt}: {d:?} above cap");
+        }
     }
 }

@@ -1,0 +1,197 @@
+//! Deterministic fault injection for the snapshot I/O path.
+//!
+//! A persistence tier you have never watched fail is a persistence tier
+//! you cannot trust. [`FaultPlan`] lets the recovery tests (and a
+//! `--fault-plan` dev flag on `apt serve`) inject the failures that
+//! matter on the snapshot path — a write that errors mid-stream, a torn
+//! write that leaves a half-written file behind a successful-looking
+//! rename, a failing fsync or rename, a read error during restore —
+//! without patching the filesystem or racing a `kill -9`.
+//!
+//! Faults are *one-shot*: each armed fault fires once and disarms, so a
+//! plan like `write_err=2` fails exactly the second chunk write of the
+//! next snapshot and every later snapshot succeeds. This mirrors how
+//! the daemon must behave in production: a transient I/O error costs
+//! one snapshot, never the serving loop.
+//!
+//! The plan is parsed from a comma-separated spec:
+//!
+//! | token          | effect                                              |
+//! |----------------|-----------------------------------------------------|
+//! | `write_err=N`  | the Nth chunk write (1-based) fails with an error   |
+//! | `torn=F`       | the next snapshot writes only fraction `F` of its   |
+//! |                | bytes, skips fsync, and *still renames into place*  |
+//! |                | (a crash-after-rename-before-flush tear)            |
+//! | `fsync_err`    | the next fsync fails                                |
+//! | `rename_err`   | the next rename fails                               |
+//! | `read_err=N`   | the Nth restore read (1-based) fails                |
+
+use std::io;
+use std::sync::{Mutex, PoisonError};
+
+/// A parsed, armed fault plan. Cheap to share behind an `Arc`; all
+/// methods take `&self`.
+#[derive(Debug, Default)]
+pub struct FaultPlan {
+    state: Mutex<PlanState>,
+}
+
+#[derive(Debug, Default)]
+struct PlanState {
+    write_err_at: Option<u64>,
+    torn_fraction: Option<f64>,
+    fsync_err: bool,
+    rename_err: bool,
+    read_err_at: Option<u64>,
+    writes_seen: u64,
+    reads_seen: u64,
+}
+
+fn injected(what: &str) -> io::Error {
+    io::Error::other(format!("injected fault: {what}"))
+}
+
+impl FaultPlan {
+    /// Parses a `--fault-plan` spec. An empty spec is a plan with no
+    /// armed faults.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed token.
+    pub fn parse(spec: &str) -> Result<FaultPlan, String> {
+        let mut state = PlanState::default();
+        for token in spec.split(',').map(str::trim).filter(|t| !t.is_empty()) {
+            let (key, value) = match token.split_once('=') {
+                Some((k, v)) => (k.trim(), Some(v.trim())),
+                None => (token, None),
+            };
+            let count = |v: Option<&str>| -> Result<u64, String> {
+                v.and_then(|v| v.parse::<u64>().ok())
+                    .filter(|&n| n >= 1)
+                    .ok_or_else(|| format!("{key} needs a positive integer, got {token:?}"))
+            };
+            match key {
+                "write_err" => state.write_err_at = Some(count(value)?),
+                "read_err" => state.read_err_at = Some(count(value)?),
+                "torn" => {
+                    let f = value
+                        .and_then(|v| v.parse::<f64>().ok())
+                        .filter(|f| (0.0..1.0).contains(f))
+                        .ok_or_else(|| format!("torn needs a fraction in [0,1), got {token:?}"))?;
+                    state.torn_fraction = Some(f);
+                }
+                "fsync_err" => state.fsync_err = true,
+                "rename_err" => state.rename_err = true,
+                other => return Err(format!("unknown fault {other:?}")),
+            }
+        }
+        Ok(FaultPlan {
+            state: Mutex::new(state),
+        })
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, PlanState> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Called before each chunk write of a snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Returns the injected error when this write is the armed one.
+    pub fn check_write(&self) -> io::Result<()> {
+        let mut s = self.lock();
+        s.writes_seen += 1;
+        if s.write_err_at == Some(s.writes_seen) {
+            s.write_err_at = None;
+            return Err(injected("snapshot chunk write failed"));
+        }
+        Ok(())
+    }
+
+    /// Consumes the armed torn-write fraction, if any. The writer is
+    /// expected to write only that fraction of its bytes, skip fsync,
+    /// and rename anyway — producing the on-disk state of a tear.
+    pub fn take_torn_fraction(&self) -> Option<f64> {
+        self.lock().torn_fraction.take()
+    }
+
+    /// Called before fsync.
+    ///
+    /// # Errors
+    ///
+    /// Returns the injected error when an fsync fault is armed.
+    pub fn check_fsync(&self) -> io::Result<()> {
+        let mut s = self.lock();
+        if s.fsync_err {
+            s.fsync_err = false;
+            return Err(injected("snapshot fsync failed"));
+        }
+        Ok(())
+    }
+
+    /// Called before the publishing rename.
+    ///
+    /// # Errors
+    ///
+    /// Returns the injected error when a rename fault is armed.
+    pub fn check_rename(&self) -> io::Result<()> {
+        let mut s = self.lock();
+        if s.rename_err {
+            s.rename_err = false;
+            return Err(injected("snapshot rename failed"));
+        }
+        Ok(())
+    }
+
+    /// Called before each restore-side read.
+    ///
+    /// # Errors
+    ///
+    /// Returns the injected error when this read is the armed one.
+    pub fn check_read(&self) -> io::Result<()> {
+        let mut s = self.lock();
+        s.reads_seen += 1;
+        if s.read_err_at == Some(s.reads_seen) {
+            s.read_err_at = None;
+            return Err(injected("snapshot read failed"));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_and_fires_once() {
+        let plan = FaultPlan::parse("write_err=2, fsync_err").unwrap();
+        assert!(plan.check_write().is_ok());
+        assert!(plan.check_write().is_err(), "second write fails");
+        assert!(
+            plan.check_write().is_ok(),
+            "one-shot: disarmed after firing"
+        );
+        assert!(plan.check_fsync().is_err());
+        assert!(plan.check_fsync().is_ok());
+        assert!(plan.check_rename().is_ok(), "unarmed faults never fire");
+    }
+
+    #[test]
+    fn torn_fraction_is_consumed() {
+        let plan = FaultPlan::parse("torn=0.5").unwrap();
+        assert_eq!(plan.take_torn_fraction(), Some(0.5));
+        assert_eq!(plan.take_torn_fraction(), None);
+    }
+
+    #[test]
+    fn rejects_malformed_specs() {
+        assert!(FaultPlan::parse("torn=1.5").is_err());
+        assert!(FaultPlan::parse("write_err=0").is_err());
+        assert!(FaultPlan::parse("write_err").is_err());
+        assert!(FaultPlan::parse("frobnicate").is_err());
+        assert!(FaultPlan::parse("").is_ok());
+        assert!(FaultPlan::parse(" rename_err , read_err=1 ").is_ok());
+    }
+}

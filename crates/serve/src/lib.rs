@@ -22,8 +22,14 @@
 //!   refusals, per-connection reader/handler threads, and
 //!   disconnect-triggered proof cancellation.
 //! * [`metrics`] — lifetime counters behind the `stats` verb.
+//! * [`snapshot`] — crash-safe warm-state persistence: a versioned,
+//!   checksummed, per-section-recoverable binary snapshot of every
+//!   session's axiom set and definite proof/subset caches.
+//! * [`fault`] — deterministic fault injection for the snapshot path
+//!   (`--fault-plan`), so recovery is tested, not hoped for.
 //! * [`client`] — a small synchronous client used by `apt client`, the
-//!   tests, and the throughput bench.
+//!   tests, and the throughput bench; reconnects idempotent verbs with
+//!   jittered exponential backoff.
 //!
 //! Everything is std-only: no async runtime, no serde, no network
 //! crates — plain blocking sockets and threads, in keeping with the
@@ -37,13 +43,18 @@
 )]
 
 pub mod client;
+pub mod fault;
 pub mod json;
 pub mod metrics;
 pub mod proto;
 pub mod server;
 pub mod session;
+pub mod snapshot;
 
-pub use client::{Client, ClientError};
+pub use client::{Client, ClientError, RetryPolicy};
+pub use fault::FaultPlan;
+pub use metrics::{RestoreOutcome, SnapshotStatus};
 pub use proto::{ErrorCode, ProtoError, WireBudget, WireQuery};
 pub use server::{ServeConfig, Server, ServerHandle};
-pub use session::{Opened, SessionInfo, SessionRegistry};
+pub use session::{Opened, SessionDump, SessionInfo, SessionRegistry};
+pub use snapshot::{SectionOutcome, SessionSection, Snapshot, SnapshotError};

@@ -5,11 +5,112 @@
 //! design — counters are read individually, so a snapshot taken while
 //! requests are in flight can be momentarily inconsistent between
 //! fields, which is fine for monitoring.
+//!
+//! The one exception is [`SnapshotStatus`]: restore outcome and flusher
+//! progress are a handful of related fields an operator reads together
+//! ("did this node come up warm, and how stale is its snapshot?"), so
+//! they live behind a mutex updated only on restore and on each flush —
+//! nowhere near the proving path.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, PoisonError};
 use std::time::Instant;
 
 use crate::json::{obj, Json};
+
+/// How the daemon came up, per its last restore attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RestoreOutcome {
+    /// No snapshot configured, none found, or nothing usable in it.
+    Cold,
+    /// Every snapshot section restored.
+    Warm,
+    /// Some sections restored, some were corrupt or unusable.
+    Partial,
+}
+
+impl RestoreOutcome {
+    /// The wire spelling, as reported by `stats` and `ready`.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            RestoreOutcome::Cold => "cold",
+            RestoreOutcome::Warm => "warm",
+            RestoreOutcome::Partial => "partial",
+        }
+    }
+}
+
+/// Snapshot-tier status: restore outcome at startup plus flusher
+/// progress since. Shared so the `stats`/`ready` verbs can tell an
+/// operator whether the node actually came up warm.
+#[derive(Debug, Clone)]
+pub struct SnapshotStatus {
+    /// Whether a snapshot directory is configured at all.
+    pub enabled: bool,
+    /// Outcome of the startup restore.
+    pub last_restore: RestoreOutcome,
+    /// Bytes of the snapshot file the restore read.
+    pub restored_bytes: u64,
+    /// Sessions restored warm.
+    pub restored_sessions: usize,
+    /// Sections rejected (checksum/decode/import failure).
+    pub corrupt_sections: usize,
+    /// Goal-cache entries republished by the restore.
+    pub restored_goals: usize,
+    /// Subset-cache entries republished by the restore.
+    pub restored_subsets: usize,
+    /// When the last successful snapshot write finished.
+    pub last_write: Option<Instant>,
+    /// Bytes of the last successful snapshot write.
+    pub last_write_bytes: u64,
+    /// Successful snapshot writes this process lifetime.
+    pub writes_total: u64,
+    /// Failed snapshot writes (real or injected I/O errors).
+    pub write_errors: u64,
+}
+
+impl Default for SnapshotStatus {
+    fn default() -> SnapshotStatus {
+        SnapshotStatus {
+            enabled: false,
+            last_restore: RestoreOutcome::Cold,
+            restored_bytes: 0,
+            restored_sessions: 0,
+            corrupt_sections: 0,
+            restored_goals: 0,
+            restored_subsets: 0,
+            last_write: None,
+            last_write_bytes: 0,
+            writes_total: 0,
+            write_errors: 0,
+        }
+    }
+}
+
+impl SnapshotStatus {
+    /// The `snapshot` block of the `stats` response.
+    pub fn to_json(&self) -> Json {
+        let age_ms = self
+            .last_write
+            .map(|t| u64::try_from(t.elapsed().as_millis()).unwrap_or(u64::MAX));
+        obj(vec![
+            ("enabled", self.enabled.into()),
+            ("last_restore", self.last_restore.as_str().into()),
+            ("restored_bytes", self.restored_bytes.into()),
+            ("restored_sessions", (self.restored_sessions as u64).into()),
+            ("corrupt_sections", (self.corrupt_sections as u64).into()),
+            ("restored_goals", (self.restored_goals as u64).into()),
+            ("restored_subsets", (self.restored_subsets as u64).into()),
+            (
+                "snapshot_age_ms",
+                age_ms.map(Json::from).unwrap_or(Json::Null),
+            ),
+            ("last_write_bytes", self.last_write_bytes.into()),
+            ("writes_total", self.writes_total.into()),
+            ("write_errors", self.write_errors.into()),
+        ])
+    }
+}
 
 /// Monotonic counters for the daemon's lifetime.
 pub struct Metrics {
@@ -28,6 +129,10 @@ pub struct Metrics {
     pub overload_refusals: AtomicU64,
     /// Requests whose connection vanished mid-proof (cancelled).
     pub disconnect_cancels: AtomicU64,
+    /// Connections closed for exceeding the read deadline (idle or
+    /// slow-loris).
+    pub read_timeouts: AtomicU64,
+    snapshot: Mutex<SnapshotStatus>,
 }
 
 impl Metrics {
@@ -42,6 +147,8 @@ impl Metrics {
             errors_total: AtomicU64::new(0),
             overload_refusals: AtomicU64::new(0),
             disconnect_cancels: AtomicU64::new(0),
+            read_timeouts: AtomicU64::new(0),
+            snapshot: Mutex::new(SnapshotStatus::default()),
         }
     }
 
@@ -53,6 +160,20 @@ impl Metrics {
     /// Add `n` to a counter.
     pub fn add(counter: &AtomicU64, n: u64) {
         counter.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Mutates the snapshot-tier status under its lock.
+    pub fn update_snapshot_status(&self, f: impl FnOnce(&mut SnapshotStatus)) {
+        let mut status = self.snapshot.lock().unwrap_or_else(PoisonError::into_inner);
+        f(&mut status);
+    }
+
+    /// A copy of the snapshot-tier status.
+    pub fn snapshot_status(&self) -> SnapshotStatus {
+        self.snapshot
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone()
     }
 
     /// The server-level block of the `stats` response.
@@ -72,6 +193,8 @@ impl Metrics {
             ("errors_total", read(&self.errors_total)),
             ("overload_refusals", read(&self.overload_refusals)),
             ("disconnect_cancels", read(&self.disconnect_cancels)),
+            ("read_timeouts", read(&self.read_timeouts)),
+            ("snapshot", self.snapshot_status().to_json()),
         ])
     }
 }
@@ -96,5 +219,45 @@ mod tests {
         assert_eq!(json.get("queries_total").and_then(Json::as_u64), Some(5));
         assert_eq!(json.get("errors_total").and_then(Json::as_u64), Some(0));
         assert!(json.get("uptime_ms").is_some());
+    }
+
+    #[test]
+    fn snapshot_status_reports_restore_and_writes() {
+        let m = Metrics::new();
+        m.update_snapshot_status(|s| {
+            s.enabled = true;
+            s.last_restore = RestoreOutcome::Partial;
+            s.restored_sessions = 2;
+            s.corrupt_sections = 1;
+            s.restored_bytes = 4096;
+            s.writes_total = 3;
+            s.last_write = Some(Instant::now());
+            s.last_write_bytes = 2048;
+        });
+        let json = m.to_json();
+        let snap = json.get("snapshot").cloned().unwrap();
+        assert_eq!(
+            snap.get("last_restore").and_then(Json::as_str),
+            Some("partial")
+        );
+        assert_eq!(
+            snap.get("restored_sessions").and_then(Json::as_u64),
+            Some(2)
+        );
+        assert_eq!(snap.get("corrupt_sections").and_then(Json::as_u64), Some(1));
+        assert_eq!(snap.get("writes_total").and_then(Json::as_u64), Some(3));
+        assert!(snap.get("snapshot_age_ms").and_then(Json::as_u64).is_some());
+
+        // Fresh metrics: cold, no write yet, null age.
+        let fresh = Metrics::new().to_json();
+        let snap = fresh.get("snapshot").cloned().unwrap();
+        assert_eq!(
+            snap.get("last_restore").and_then(Json::as_str),
+            Some("cold")
+        );
+        assert!(snap
+            .get("snapshot_age_ms")
+            .map(Json::is_null)
+            .unwrap_or(false));
     }
 }

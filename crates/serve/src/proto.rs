@@ -8,8 +8,8 @@
 //! same connection, never a dropped connection or a server panic.
 //!
 //! Verbs: `open_session`, `close_session`, `prove`, `batch`, `report`,
-//! `stats`, `shutdown`. See `DESIGN.md` §"The serving layer" for the
-//! full frame reference.
+//! `stats`, `health`, `ready`, `shutdown`. See `DESIGN.md` §"The
+//! serving layer" for the full frame reference.
 
 use apt_core::{Answer, Budget, MaybeReason, Outcome, ProverStats};
 use apt_regex::Path;
@@ -32,6 +32,10 @@ pub enum ErrorCode {
     Overloaded,
     /// The server is draining after a `shutdown` request.
     ShuttingDown,
+    /// The connection sat idle past the read deadline, or dribbled a
+    /// partial frame past it (slow-loris). The server sends this frame,
+    /// then closes the connection.
+    Timeout,
     /// The request crashed the worker; the fault was isolated.
     Internal,
 }
@@ -45,6 +49,7 @@ impl ErrorCode {
             ErrorCode::NoSuchSession => "no_such_session",
             ErrorCode::Overloaded => "overloaded",
             ErrorCode::ShuttingDown => "shutting_down",
+            ErrorCode::Timeout => "timeout",
             ErrorCode::Internal => "internal",
         }
     }
@@ -232,6 +237,12 @@ pub enum Request {
     },
     /// A live metrics snapshot.
     Stats,
+    /// Liveness probe: answers on any serving process, even one
+    /// draining for shutdown.
+    Health,
+    /// Readiness probe: additionally reports whether the node accepts
+    /// new work and whether it came up warm from a snapshot.
+    Ready,
     /// Graceful shutdown: respond, then drain and exit.
     Shutdown,
 }
@@ -303,6 +314,8 @@ pub fn parse_request(line: &str) -> Result<(Option<Json>, Request), ProtoError> 
             budget: WireBudget::from_frame(&frame)?,
         },
         "stats" => Request::Stats,
+        "health" => Request::Health,
+        "ready" => Request::Ready,
         "shutdown" => Request::Shutdown,
         other => return Err(ProtoError::bad(format!("unknown verb {other:?}"))),
     };

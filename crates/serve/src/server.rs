@@ -25,9 +25,27 @@
 //! accept loops poll and shuts down every registered connection socket.
 //! Readers see EOF, cancel their tokens, handlers drain, the pool
 //! joins, and [`Server::run`] returns.
+//!
+//! ## Warm-state snapshots
+//!
+//! With a snapshot directory configured, [`Server::run`] first restores
+//! whatever warm state a previous life left behind (per-section, under
+//! checksums — see [`crate::snapshot`]), then serves; a background
+//! flusher rewrites the snapshot periodically and a final write happens
+//! on graceful shutdown. Restore can only *add* warmth: any failure on
+//! this path degrades to cold state for the affected sections and the
+//! daemon serves regardless.
+//!
+//! ## Read deadlines
+//!
+//! Each connection's reader enforces an idle/read deadline: a
+//! connection that sends nothing — or dribbles a partial frame without
+//! ever finishing it (slow-loris) — past the deadline receives a
+//! machine-readable `timeout` error frame and is closed, so it cannot
+//! pin a reader thread forever.
 
 use std::collections::HashMap;
-use std::io::{self, BufRead, BufReader, Write};
+use std::io::{self, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -36,22 +54,32 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
 use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::thread;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use apt_core::{Budget, CancelToken, DepQuery, Origin, Outcome, ProverConfig, ProverStats};
 
+use crate::fault::FaultPlan;
 use crate::json::{obj, Json};
-use crate::metrics::Metrics;
+use crate::metrics::{Metrics, RestoreOutcome};
 use crate::proto::{
     error_frame, ok_frame, outcome_json, parse_request, stats_json, ErrorCode, ProtoError, Request,
     WireQuery,
 };
 use crate::session::SessionRegistry;
+use crate::snapshot::{self, SectionOutcome, SessionSection, Snapshot};
 
 /// How accept loops poll for shutdown between `WouldBlock`s.
 const ACCEPT_POLL: Duration = Duration::from_millis(25);
+/// How the snapshot flusher polls for shutdown between intervals.
+const FLUSH_POLL: Duration = Duration::from_millis(20);
 /// Lines a reader may buffer ahead of the handler (pipelining depth).
 const PIPELINE_DEPTH: usize = 8;
+/// Hard cap on one request line; a longer frame is refused and the
+/// connection closed (DoS guard — normal frames are a few KB).
+const MAX_LINE: usize = 8 * 1024 * 1024;
+/// Imported proofs spot-checked per restored section before the section
+/// is trusted (one failure rejects the whole section's import).
+const PROOF_VERIFY_SAMPLE: usize = 32;
 
 /// Tuning for a [`Server`].
 #[derive(Debug, Clone)]
@@ -66,12 +94,22 @@ pub struct ServeConfig {
     pub default_budget: Budget,
     /// Hard ceiling no per-request budget may exceed.
     pub ceiling: Budget,
+    /// Directory for warm-state snapshots; `None` disables the tier.
+    pub snapshot_dir: Option<PathBuf>,
+    /// Background flusher period; `None` means snapshots are written
+    /// only on graceful shutdown.
+    pub snapshot_interval: Option<Duration>,
+    /// Per-connection idle/read deadline; `None` disables it (a peer
+    /// may then hold a reader thread indefinitely — test use only).
+    pub idle_timeout: Option<Duration>,
+    /// Injected faults for the snapshot path (dev/test only).
+    pub fault_plan: Option<Arc<FaultPlan>>,
 }
 
 impl ServeConfig {
     /// Defaults: workers = available parallelism, 64-deep queue,
     /// 32 sessions, the prover's stock budget as both default and
-    /// ceiling.
+    /// ceiling, a 120 s read deadline, snapshots disabled.
     pub fn new() -> ServeConfig {
         let workers = thread::available_parallelism().map_or(4, usize::from);
         ServeConfig {
@@ -80,6 +118,10 @@ impl ServeConfig {
             max_sessions: 32,
             default_budget: Budget::new(),
             ceiling: Budget::new(),
+            snapshot_dir: None,
+            snapshot_interval: None,
+            idle_timeout: Some(Duration::from_secs(120)),
+            fault_plan: None,
         }
     }
 }
@@ -217,10 +259,12 @@ impl Pool {
 // ---------------------------------------------------------------------------
 
 /// What a connection needs from its socket: byte I/O plus the ability
-/// to clone a second handle (reader side) and to force-close.
+/// to clone a second handle (reader side), to force-close, and to set
+/// a read deadline on blocking reads.
 trait Conn: io::Read + io::Write + Send {
     fn split(&self) -> io::Result<Box<dyn Conn>>;
     fn force_close(&self) -> io::Result<()>;
+    fn set_read_timeout(&self, timeout: Option<Duration>) -> io::Result<()>;
 }
 
 impl Conn for TcpStream {
@@ -230,6 +274,9 @@ impl Conn for TcpStream {
     fn force_close(&self) -> io::Result<()> {
         self.shutdown(std::net::Shutdown::Both)
     }
+    fn set_read_timeout(&self, timeout: Option<Duration>) -> io::Result<()> {
+        TcpStream::set_read_timeout(self, timeout)
+    }
 }
 
 impl Conn for UnixStream {
@@ -238,6 +285,9 @@ impl Conn for UnixStream {
     }
     fn force_close(&self) -> io::Result<()> {
         self.shutdown(std::net::Shutdown::Both)
+    }
+    fn set_read_timeout(&self, timeout: Option<Duration>) -> io::Result<()> {
+        UnixStream::set_read_timeout(self, timeout)
     }
 }
 
@@ -382,6 +432,33 @@ impl Server {
                 "no listener bound (need --addr and/or --socket)",
             ));
         }
+        // Warm up from a previous life before accepting the first
+        // connection, so early clients land on restored caches.
+        restore_from_snapshot(&self.ctx);
+        let flusher = match (
+            &self.ctx.config.snapshot_dir,
+            self.ctx.config.snapshot_interval,
+        ) {
+            (Some(_), Some(interval)) if !interval.is_zero() => {
+                let ctx = Arc::clone(&self.ctx);
+                Some(thread::spawn(move || {
+                    let mut last = Instant::now();
+                    loop {
+                        if ctx.shutdown.load(Ordering::SeqCst) {
+                            return;
+                        }
+                        thread::sleep(FLUSH_POLL);
+                        if last.elapsed() >= interval {
+                            if let Err(e) = write_snapshot(&ctx) {
+                                eprintln!("apt-serve: periodic snapshot failed: {e}");
+                            }
+                            last = Instant::now();
+                        }
+                    }
+                }))
+            }
+            _ => None,
+        };
         let conn_threads: Arc<Mutex<Vec<thread::JoinHandle<()>>>> =
             Arc::new(Mutex::new(Vec::new()));
         let mut accept_threads = Vec::new();
@@ -424,11 +501,149 @@ impl Server {
             let _ = handle.join();
         }
         self.ctx.pool.drain();
+        if let Some(handle) = flusher {
+            let _ = handle.join();
+        }
+        // Graceful shutdown persists the warm state one last time. A
+        // failure here (disk full, injected fault) costs the next
+        // life's warmth, nothing else.
+        if self.ctx.config.snapshot_dir.is_some() {
+            if let Err(e) = write_snapshot(&self.ctx) {
+                eprintln!("apt-serve: final snapshot failed: {e}");
+            }
+        }
         for path in socket_files {
             let _ = std::fs::remove_file(path);
         }
         Ok(())
     }
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot restore / flush.
+// ---------------------------------------------------------------------------
+
+/// Exports every resident session and writes the snapshot atomically.
+/// Shared by the periodic flusher and the graceful-shutdown path.
+fn write_snapshot(ctx: &Ctx) -> io::Result<u64> {
+    let Some(dir) = &ctx.config.snapshot_dir else {
+        return Ok(0);
+    };
+    let sections: Vec<SessionSection> = ctx
+        .registry
+        .dump_sessions()
+        .into_iter()
+        .map(|dump| SessionSection {
+            name: dump.session,
+            axioms_text: dump.source,
+            export: dump.engine.export_cache(),
+        })
+        .collect();
+    let snap = Snapshot {
+        created_unix_ms: snapshot::unix_ms_now(),
+        sections,
+    };
+    match snapshot::write_atomic(dir, &snap, ctx.config.fault_plan.as_deref()) {
+        Ok((_, bytes)) => {
+            ctx.metrics.update_snapshot_status(|s| {
+                s.writes_total += 1;
+                s.last_write = Some(Instant::now());
+                s.last_write_bytes = bytes;
+            });
+            Ok(bytes)
+        }
+        Err(e) => {
+            ctx.metrics.update_snapshot_status(|s| s.write_errors += 1);
+            Err(e)
+        }
+    }
+}
+
+/// Startup restore. Every failure mode on this path — missing file,
+/// unreadable file, bad header, corrupt sections, unparsable axioms,
+/// proofs that do not check — degrades to cold state for the affected
+/// scope and the server starts anyway.
+fn restore_from_snapshot(ctx: &Ctx) {
+    let Some(dir) = &ctx.config.snapshot_dir else {
+        return;
+    };
+    ctx.metrics.update_snapshot_status(|s| s.enabled = true);
+    let faults = ctx.config.fault_plan.as_deref();
+    let bytes = match snapshot::read_snapshot_bytes(dir, faults) {
+        Ok(Some(bytes)) => bytes,
+        Ok(None) => return,
+        Err(e) => {
+            eprintln!("apt-serve: snapshot read failed ({e}); starting cold");
+            return;
+        }
+    };
+    let restored_bytes = bytes.len() as u64;
+    let outcomes = match snapshot::decode(&bytes) {
+        Ok((_, outcomes)) => outcomes,
+        Err(e) => {
+            eprintln!("apt-serve: snapshot unusable ({e}); starting cold");
+            return;
+        }
+    };
+    let (mut warm, mut corrupt, mut goals, mut subsets) = (0usize, 0usize, 0usize, 0usize);
+    for outcome in outcomes {
+        match outcome {
+            SectionOutcome::Restored(section) => match restore_section(ctx, &section) {
+                Ok(stats) => {
+                    warm += 1;
+                    goals += stats.goals;
+                    subsets += stats.subsets;
+                }
+                Err(reason) => {
+                    corrupt += 1;
+                    eprintln!(
+                        "apt-serve: snapshot section [{}] rejected: {reason}",
+                        section.name
+                    );
+                }
+            },
+            SectionOutcome::Corrupt { name, reason } => {
+                corrupt += 1;
+                eprintln!("apt-serve: snapshot section [{name}] corrupt: {reason}");
+            }
+        }
+    }
+    let outcome = match (warm, corrupt) {
+        (0, _) => RestoreOutcome::Cold,
+        (_, 0) => RestoreOutcome::Warm,
+        _ => RestoreOutcome::Partial,
+    };
+    ctx.metrics.update_snapshot_status(|s| {
+        s.last_restore = outcome;
+        s.restored_bytes = restored_bytes;
+        s.restored_sessions = warm;
+        s.corrupt_sections = corrupt;
+        s.restored_goals = goals;
+        s.restored_subsets = subsets;
+    });
+}
+
+/// Recompiles one section's axiom set into a fresh session and imports
+/// its cache image (spot-checking proofs). Session ids do not survive a
+/// restart — reconnecting clients re-`open_session` and the registry's
+/// structural dedupe lands them on the restored warm engine.
+fn restore_section(ctx: &Ctx, section: &SessionSection) -> Result<apt_core::ImportStats, String> {
+    let opened = ctx
+        .registry
+        .open(&section.axioms_text)
+        .map_err(|e| format!("axioms do not parse: {}", e.message))?;
+    let engine = ctx.registry.get(&opened.session).map_err(|e| e.message)?;
+    engine
+        .import_cache(&section.export, PROOF_VERIFY_SAMPLE)
+        .map_err(|e| {
+            // A section whose proofs fail verification is corrupt; drop
+            // the session it opened (unless an earlier section already
+            // owned it) rather than serve from a suspect image.
+            if !opened.deduped {
+                ctx.registry.close(&opened.session);
+            }
+            format!("proof verification failed: {e}")
+        })
 }
 
 // ---------------------------------------------------------------------------
@@ -447,7 +662,7 @@ fn serve_conn(ctx: &Arc<Ctx>, stream: Box<dyn Conn>) {
             .insert(conn_id, extra);
     }
     let cancel = CancelToken::new();
-    let rx = match spawn_reader(stream.as_ref(), &cancel) {
+    let rx = match spawn_reader(stream.as_ref(), &cancel, ctx.config.idle_timeout) {
         Ok(rx) => rx,
         Err(_) => {
             finish_conn(ctx, conn_id);
@@ -456,7 +671,28 @@ fn serve_conn(ctx: &Arc<Ctx>, stream: Box<dyn Conn>) {
     };
     let mut out = stream;
     let mut shutdown_after = false;
-    while let Ok(line) = rx.recv() {
+    while let Ok(event) = rx.recv() {
+        let line = match event {
+            ReaderEvent::Line(line) => line,
+            ReaderEvent::TimedOut => {
+                Metrics::bump(&ctx.metrics.read_timeouts);
+                Metrics::bump(&ctx.metrics.errors_total);
+                let e = ProtoError {
+                    code: ErrorCode::Timeout,
+                    message: "read deadline exceeded; closing connection".to_owned(),
+                };
+                send_frame(&mut out, &error_frame(None, &e));
+                break;
+            }
+            ReaderEvent::TooLong => {
+                Metrics::bump(&ctx.metrics.errors_total);
+                let e = ProtoError::bad(format!(
+                    "request line exceeds {MAX_LINE} bytes; closing connection"
+                ));
+                send_frame(&mut out, &error_frame(None, &e));
+                break;
+            }
+        };
         let trimmed = line.trim();
         if trimmed.is_empty() {
             continue;
@@ -498,36 +734,103 @@ fn finish_conn(ctx: &Ctx, conn_id: u64) {
         .fetch_sub(1, Ordering::Relaxed);
 }
 
+/// What the reader thread hands the connection handler.
+enum ReaderEvent {
+    /// One complete request line (newline included).
+    Line(String),
+    /// The read deadline passed — idle socket, or a partial frame that
+    /// never completed (slow-loris).
+    TimedOut,
+    /// A single line grew past [`MAX_LINE`] without a newline.
+    TooLong,
+}
+
+/// Writes one response frame, ignoring failures (the peer may be gone).
+fn send_frame(out: &mut Box<dyn Conn>, frame: &Json) {
+    let mut text = frame.render();
+    text.push('\n');
+    let _ = out.write_all(text.as_bytes()).and_then(|()| out.flush());
+}
+
 /// Spawns the reader thread: socket lines go into a bounded channel;
 /// EOF or a read error cancels the connection token (disconnect-aborts
-/// any in-flight proof).
-fn spawn_reader(stream: &dyn Conn, cancel: &CancelToken) -> io::Result<Receiver<String>> {
+/// any in-flight proof). With a deadline, both flavors of stuck peer
+/// surface as [`ReaderEvent::TimedOut`]: a silent socket trips the
+/// blocking-read timeout, and a byte-dribbling one trips the
+/// line-completion deadline (a partial frame must finish within one
+/// deadline of its first byte, so the worst case is two deadlines).
+fn spawn_reader(
+    stream: &dyn Conn,
+    cancel: &CancelToken,
+    idle_timeout: Option<Duration>,
+) -> io::Result<Receiver<ReaderEvent>> {
     let reader = stream.split()?;
+    if idle_timeout.is_some() {
+        reader.set_read_timeout(idle_timeout)?;
+    }
     let cancel = cancel.clone();
-    let (tx, rx): (SyncSender<String>, Receiver<String>) = sync_channel(PIPELINE_DEPTH);
+    let (tx, rx): (SyncSender<ReaderEvent>, Receiver<ReaderEvent>) = sync_channel(PIPELINE_DEPTH);
     thread::spawn(move || {
-        let buf = BufReader::new(ReadOnly(reader));
-        for line in buf.lines() {
-            match line {
-                Ok(line) => {
-                    if tx.send(line).is_err() {
-                        break;
-                    }
-                }
-                Err(_) => break,
-            }
-        }
+        read_lines(reader, idle_timeout, &tx);
         cancel.cancel();
     });
     Ok(rx)
 }
 
-/// Newtype so the boxed conn can be used purely as a reader.
-struct ReadOnly(Box<dyn Conn>);
-
-impl io::Read for ReadOnly {
-    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
-        self.0.read(buf)
+/// The reader loop behind [`spawn_reader`]. Returns on EOF, error,
+/// deadline, or the handler going away.
+fn read_lines(
+    mut reader: Box<dyn Conn>,
+    idle_timeout: Option<Duration>,
+    tx: &SyncSender<ReaderEvent>,
+) {
+    let mut buf: Vec<u8> = Vec::new();
+    let mut chunk = [0u8; 4096];
+    let mut line_deadline: Option<Instant> = None;
+    loop {
+        match reader.read(&mut chunk) {
+            Ok(0) => return,
+            Ok(n) => {
+                buf.extend_from_slice(&chunk[..n]);
+                while let Some(pos) = buf.iter().position(|&b| b == b'\n') {
+                    let line: Vec<u8> = buf.drain(..=pos).collect();
+                    let text = String::from_utf8_lossy(&line).into_owned();
+                    if tx.send(ReaderEvent::Line(text)).is_err() {
+                        return;
+                    }
+                }
+                if buf.is_empty() {
+                    line_deadline = None;
+                } else {
+                    if buf.len() > MAX_LINE {
+                        let _ = tx.send(ReaderEvent::TooLong);
+                        return;
+                    }
+                    match line_deadline {
+                        None => {
+                            line_deadline =
+                                idle_timeout.and_then(|t| Instant::now().checked_add(t));
+                        }
+                        Some(deadline) if Instant::now() >= deadline => {
+                            let _ = tx.send(ReaderEvent::TimedOut);
+                            return;
+                        }
+                        Some(_) => {}
+                    }
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                let _ = tx.send(ReaderEvent::TimedOut);
+                return;
+            }
+            Err(_) => return,
+        }
     }
 }
 
@@ -543,7 +846,13 @@ fn handle_line(ctx: &Arc<Ctx>, line: &str, cancel: &CancelToken) -> (Json, bool)
         Err(e) => return (error_frame(None, &e), false),
     };
     let id = id.as_ref();
-    if ctx.shutdown.load(Ordering::SeqCst) && !matches!(request, Request::Shutdown) {
+    // Probes answer even while draining: liveness must outlive admission.
+    if ctx.shutdown.load(Ordering::SeqCst)
+        && !matches!(
+            request,
+            Request::Shutdown | Request::Health | Request::Ready
+        )
+    {
         let e = ProtoError {
             code: ErrorCode::ShuttingDown,
             message: "server is draining".to_owned(),
@@ -683,6 +992,23 @@ fn dispatch(
                         ("queue_depth", ctx.pool.depth().into()),
                         ("workers", ctx.config.workers.into()),
                         ("sessions", Json::Arr(sessions)),
+                    ],
+                ),
+                false,
+            ))
+        }
+        Request::Health => Ok((ok_frame(id, vec![("healthy", true.into())]), false)),
+        Request::Ready => {
+            let draining = ctx.shutdown.load(Ordering::SeqCst);
+            let status = ctx.metrics.snapshot_status();
+            Ok((
+                ok_frame(
+                    id,
+                    vec![
+                        ("ready", (!draining).into()),
+                        ("draining", draining.into()),
+                        ("restore", status.last_restore.as_str().into()),
+                        ("sessions", ctx.registry.len().into()),
                     ],
                 ),
                 false,

@@ -60,10 +60,28 @@ pub struct SessionInfo {
 struct Entry {
     engine: Arc<DepEngine>,
     set_hash: u64,
+    /// The source text the engine was compiled from, kept for the
+    /// snapshot tier: restore recompiles deterministically from text
+    /// rather than persisting compiled DFAs/indexes. For deduped opens
+    /// the first text wins — any text that parses to the set works.
+    source: String,
     axioms: usize,
     opens: u64,
     uses: u64,
     last_used: u64,
+}
+
+/// One session's exportable warm state, as handed to the snapshot
+/// flusher: the id (an informational label in the snapshot), the axiom
+/// source text, and the engine whose caches to export.
+pub struct SessionDump {
+    /// Session id at dump time.
+    pub session: String,
+    /// Axiom-set source text.
+    pub source: String,
+    /// The resident engine (caches are exported outside the registry
+    /// lock).
+    pub engine: Arc<DepEngine>,
 }
 
 struct Inner {
@@ -165,6 +183,7 @@ impl SessionRegistry {
             Entry {
                 engine,
                 set_hash: hash,
+                source: axioms_text.to_owned(),
                 axioms,
                 opens: 1,
                 uses: 0,
@@ -248,6 +267,29 @@ impl SessionRegistry {
             .collect();
         rows.sort_by_key(|row| std::cmp::Reverse(row.0));
         rows.into_iter().map(|(_, info)| info).collect()
+    }
+
+    /// Every resident session's source text and engine, most-recently-
+    /// used first (so a size-capped snapshot would keep the warmest).
+    /// Clones `Arc`s under the lock; callers export caches after.
+    pub fn dump_sessions(&self) -> Vec<SessionDump> {
+        let inner = self.lock();
+        let mut rows: Vec<(u64, SessionDump)> = inner
+            .sessions
+            .iter()
+            .map(|(id, e)| {
+                (
+                    e.last_used,
+                    SessionDump {
+                        session: id.clone(),
+                        source: e.source.clone(),
+                        engine: Arc::clone(&e.engine),
+                    },
+                )
+            })
+            .collect();
+        rows.sort_by_key(|row| std::cmp::Reverse(row.0));
+        rows.into_iter().map(|(_, dump)| dump).collect()
     }
 }
 

@@ -77,6 +77,12 @@ if ! grep -q '"behaved": true' BENCH_serve.json; then
     echo "error: BENCH_serve.json does not record a well-behaved overload probe" >&2
     exit 1
 fi
+# The restart probe must restore warm, answer identically, and beat a cold
+# restart by >=3x (the bin enforces the threshold; "behaved" records it).
+if ! grep -Eq '"restart": \{.*"restore": "warm".*"behaved": true' BENCH_serve.json; then
+    echo "error: BENCH_serve.json does not record a well-behaved warm restart" >&2
+    exit 1
+fi
 
 echo "==> serve smoke: daemon on a Unix socket, verdict parity with apt prove"
 APT=target/release/apt
@@ -136,5 +142,105 @@ if [[ -S "$SOCK" ]]; then
     echo "error: apt serve left its socket file behind" >&2
     exit 1
 fi
+
+echo "==> crash recovery smoke: SIGKILL a warm daemon, restart, answer warm"
+SNAPDIR=$(mktemp -d /tmp/apt-serve-snap.XXXXXX)
+SOCK="$(mktemp -u /tmp/apt-serve-crash.XXXXXX).sock"
+"$APT" serve --socket "$SOCK" --workers 2 \
+    --snapshot-dir "$SNAPDIR" --snapshot-interval-ms 100 &
+SERVE_PID=$!
+trap 'kill -9 "$SERVE_PID" 2>/dev/null || true; rm -rf "$SNAPDIR" "$SOCK"' EXIT
+for _ in $(seq 1 100); do
+    [[ -S "$SOCK" ]] && break
+    sleep 0.05
+done
+sess=$("$APT" client --socket "$SOCK" open examples/programs/llt.adds | sed 's/^session: //')
+"$APT" client --socket "$SOCK" prove "$sess" L.L.N L.R.N >/dev/null || true
+"$APT" client --socket "$SOCK" prove "$sess" L.N R.N >/dev/null || true
+# Wait for a background flush that started strictly after the proves
+# returned (a flush from before them would persist a not-yet-warm
+# engine), then pull the plug: no drain, no graceful shutdown snapshot.
+snap_writes() {
+    "$APT" client --socket "$SOCK" stats \
+        | sed -n 's/.*"writes_total":\([0-9]*\).*/\1/p'
+}
+w0=$(snap_writes)
+for _ in $(seq 1 100); do
+    w=$(snap_writes)
+    [[ -n "$w" && "$w" -gt "${w0:-0}" ]] && break
+    sleep 0.05
+done
+if [[ -z "$w" || "$w" -le "${w0:-0}" || ! -f "$SNAPDIR/apt-serve.snap" ]]; then
+    echo "error: flusher never persisted the warm state to $SNAPDIR" >&2
+    exit 1
+fi
+kill -9 "$SERVE_PID"
+wait "$SERVE_PID" 2>/dev/null || true
+rm -f "$SOCK" # SIGKILL leaves the socket file behind; the operator sweeps it
+
+"$APT" serve --socket "$SOCK" --workers 2 --snapshot-dir "$SNAPDIR" &
+SERVE_PID=$!
+trap 'kill -9 "$SERVE_PID" 2>/dev/null || true; rm -rf "$SNAPDIR" "$SOCK"' EXIT
+for _ in $(seq 1 100); do
+    [[ -S "$SOCK" ]] && break
+    sleep 0.05
+done
+# The restarted daemon must report a warm restore with real cache mass...
+stats=$("$APT" client --socket "$SOCK" stats)
+if ! grep -q '"last_restore":"warm"' <<<"$stats"; then
+    echo "error: daemon did not restore warm after SIGKILL: $stats" >&2
+    exit 1
+fi
+goals=$(sed -n 's/.*"restored_goals":\([0-9]*\).*/\1/p' <<<"$stats")
+if [[ -z "$goals" || "$goals" -eq 0 ]]; then
+    echo "error: warm restore restored no goal entries: $stats" >&2
+    exit 1
+fi
+# ...and its answers must still match the one-shot CLI exactly.
+check_parity examples/programs/llt.adds L.L.N L.R.N
+check_parity examples/programs/llt.adds L.N R.N
+"$APT" client --socket "$SOCK" shutdown >/dev/null
+if ! wait "$SERVE_PID"; then
+    echo "error: apt serve exited nonzero after crash-recovery shutdown" >&2
+    exit 1
+fi
+
+echo "==> snapshot soak: rapid flush cycles with bounded RSS growth"
+SOCK="$(mktemp -u /tmp/apt-serve-soak.XXXXXX).sock"
+"$APT" serve --socket "$SOCK" --workers 2 \
+    --snapshot-dir "$SNAPDIR" --snapshot-interval-ms 25 &
+SERVE_PID=$!
+trap 'kill -9 "$SERVE_PID" 2>/dev/null || true; rm -rf "$SNAPDIR" "$SOCK"' EXIT
+for _ in $(seq 1 100); do
+    [[ -S "$SOCK" ]] && break
+    sleep 0.05
+done
+sess=$("$APT" client --socket "$SOCK" open examples/programs/sparse.axioms | sed 's/^session: //')
+"$APT" client --socket "$SOCK" prove "$sess" ncolE "nrowE.ncolE+" >/dev/null || true
+sleep 0.5
+RSS_START=$(awk '/VmRSS/{print $2}' "/proc/$SERVE_PID/status" 2>/dev/null || echo 0)
+sleep 2.5
+RSS_END=$(awk '/VmRSS/{print $2}' "/proc/$SERVE_PID/status" 2>/dev/null || echo 0)
+stats=$("$APT" client --socket "$SOCK" stats)
+writes=$(sed -n 's/.*"writes_total":\([0-9]*\).*/\1/p' <<<"$stats")
+if [[ -z "$writes" || "$writes" -lt 20 ]]; then
+    echo "error: soak expected >=20 snapshot writes, saw '${writes:-none}'" >&2
+    exit 1
+fi
+if [[ "$RSS_START" -gt 0 && "$RSS_END" -gt 0 ]]; then
+    RSS_GROWTH=$((RSS_END - RSS_START))
+    if [[ "$RSS_GROWTH" -gt 32768 ]]; then
+        echo "error: snapshot soak grew RSS by ${RSS_GROWTH} kB (>32 MiB)" >&2
+        exit 1
+    fi
+    echo "    soak: $writes snapshot writes, RSS growth ${RSS_GROWTH} kB"
+fi
+"$APT" client --socket "$SOCK" shutdown >/dev/null
+if ! wait "$SERVE_PID"; then
+    echo "error: apt serve exited nonzero after soak shutdown" >&2
+    exit 1
+fi
+trap - EXIT
+rm -rf "$SNAPDIR"
 
 echo "CI gate passed."
