@@ -1,0 +1,70 @@
+//! Measures incremental whole-program analysis (`apt analyze` with a
+//! warm dependence table, one procedure edited) against a from-scratch
+//! run, and writes `BENCH_analyze.json` to the current directory.
+//!
+//! ```text
+//! cargo run --release -p apt-bench --bin analyze_incremental [--smoke] [procs]
+//! ```
+//!
+//! `--smoke` runs one repetition on a small program (CI). Exits nonzero
+//! if any incremental verdict diverges from the from-scratch run, or —
+//! in full mode — if the incremental speedup falls below 5x.
+
+use apt_bench::analyze::{run, AnalyzeBenchConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let mut config = if smoke {
+        AnalyzeBenchConfig::smoke()
+    } else {
+        AnalyzeBenchConfig::default()
+    };
+    if let Some(procs) = args.iter().find_map(|a| a.parse::<usize>().ok()) {
+        config.procs = procs;
+    }
+    eprintln!(
+        "running incremental analyze: {} procs, {} rep(s), {} job(s) ...",
+        config.procs, config.reps, config.jobs
+    );
+    let result = run(&config);
+
+    println!("== incremental analyze: one-procedure edit on a warm table ==");
+    println!(
+        "{} procedures, {} queries; from scratch: {} us",
+        result.procs, result.queries, result.cold_micros
+    );
+    println!(
+        "incremental: {} us ({} replayed, {} re-proved, {}/{} procedures reused)",
+        result.incremental_micros,
+        result.replayed,
+        result.reproved,
+        result.procs_reused,
+        result.procs
+    );
+    println!(
+        "speedup vs cold: {:.2}x; verdicts {}",
+        result.speedup(),
+        if result.verdicts_identical {
+            "identical"
+        } else {
+            "DIVERGED"
+        }
+    );
+
+    let json = result.to_json();
+    std::fs::write("BENCH_analyze.json", &json).expect("write BENCH_analyze.json");
+    println!("\nwrote BENCH_analyze.json");
+
+    if !result.verdicts_identical {
+        eprintln!("error: incremental verdicts diverged from the from-scratch run");
+        std::process::exit(1);
+    }
+    if !smoke && result.speedup() < 5.0 {
+        eprintln!(
+            "error: incremental speedup {:.2}x is below the 5x floor",
+            result.speedup()
+        );
+        std::process::exit(1);
+    }
+}

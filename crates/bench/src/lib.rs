@@ -16,6 +16,7 @@
 #![warn(missing_docs)]
 
 pub mod accuracy;
+pub mod analyze;
 pub mod batch;
 pub mod complexity;
 pub mod fig7;

@@ -8,6 +8,7 @@
 //! apt query  <program-file> --proc <name> --carried <U> [--loop <L>]
 //! apt report <program-file> [--proc <name>]
 //! apt batch  <program-file> [--proc <name>] [--jobs <n>]
+//! apt analyze <program-file> [--baseline <file>] [--changed-only]
 //! ```
 //!
 //! Every proving subcommand accepts resource-governance flags
@@ -32,10 +33,15 @@ use apt_axioms::{adds, AxiomSet};
 use apt_core::{
     check_proof, Answer, Budget, DepQuery, MaybeReason, Origin, Prover, ProverConfig, ProverStats,
 };
-use apt_paths::{analyze_proc, Analysis, BatchQuery, QueryError};
+use apt_paths::{
+    analyze_proc, analyze_program, Analysis, BatchOptions, BatchQuery, DepTable, QueryError,
+    RowOutcome,
+};
 use apt_regex::Path;
 use apt_serve::json::{obj, Json};
-use apt_serve::{Client, ServeConfig, Server};
+use apt_serve::{
+    AnalyzeSection, Client, SectionOutcome, ServeConfig, Server, SessionSection, Snapshot,
+};
 use std::fmt::Write as _;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::{Duration, Instant};
@@ -604,7 +610,8 @@ pub fn cmd_batch(
             let _ = writeln!(out, "(no labeled memory accesses)");
             continue;
         }
-        let (results, cache) = analysis.test_batch_with_stats(&queries, jobs);
+        let batch = analysis.run_batch(&queries, &BatchOptions::new().with_jobs(jobs));
+        let (results, cache) = (batch.results, batch.cache);
         let mut work = ProverStats::default();
         for (query, result) in queries.iter().zip(results) {
             let what = match query {
@@ -648,6 +655,158 @@ pub fn cmd_batch(
     })
 }
 
+/// What `--baseline` recovered from disk: the table to replay from (if
+/// one named `default` was present and decodable) plus every other
+/// decodable section, carried through so a rewrite never sheds them.
+struct Baseline {
+    table: Option<DepTable>,
+    sessions: Vec<SessionSection>,
+    other_analyses: Vec<AnalyzeSection>,
+}
+
+/// Reads a `--baseline` file through the snapshot codec. Every failure
+/// mode — missing file, bad header, corrupt sections — degrades to a
+/// cold (empty) baseline: a damaged table costs warmth, never a verdict.
+fn load_baseline(path: &str) -> Baseline {
+    let mut baseline = Baseline {
+        table: None,
+        sessions: Vec::new(),
+        other_analyses: Vec::new(),
+    };
+    let bytes = match std::fs::read(path) {
+        Ok(bytes) => bytes,
+        Err(_) => return baseline, // first run: nothing persisted yet
+    };
+    let outcomes = match apt_serve::snapshot::decode(&bytes) {
+        Ok((_, outcomes)) => outcomes,
+        Err(e) => {
+            eprintln!("apt analyze: baseline {path} unusable ({e}); analyzing cold");
+            return baseline;
+        }
+    };
+    for outcome in outcomes {
+        match outcome {
+            SectionOutcome::Analysis(a) if a.name == "default" => baseline.table = Some(a.table),
+            SectionOutcome::Analysis(a) => baseline.other_analyses.push(a),
+            SectionOutcome::Restored(s) => baseline.sessions.push(s),
+            SectionOutcome::Corrupt { name, reason } => {
+                eprintln!("apt analyze: baseline section [{name}] corrupt ({reason}); dropped");
+            }
+        }
+    }
+    baseline
+}
+
+/// Writes the refreshed table (plus whatever else the baseline file
+/// held) back through the snapshot codec, atomically.
+fn save_baseline(path: &str, table: DepTable, rest: Baseline) -> Result<(), CliError> {
+    let mut analyses = rest.other_analyses;
+    analyses.push(AnalyzeSection {
+        name: "default".to_owned(),
+        table,
+    });
+    analyses.sort_by(|a, b| a.name.cmp(&b.name));
+    let snap = Snapshot {
+        created_unix_ms: apt_serve::snapshot::unix_ms_now(),
+        sections: rest.sessions,
+        analyses,
+    };
+    let bytes = apt_serve::snapshot::encode(&snap);
+    let tmp = format!("{path}.tmp");
+    std::fs::write(&tmp, &bytes).map_err(|e| fail(format!("cannot write {tmp}: {e}")))?;
+    std::fs::rename(&tmp, path).map_err(|e| fail(format!("cannot rename {tmp} -> {path}: {e}")))
+}
+
+/// `apt analyze`: whole-program incremental dependence analysis. Every
+/// procedure's full query workload runs through the batched engine; with
+/// `--baseline <file>`, verdicts persisted by a previous run replay for
+/// procedures whose content hashes (body + reachable callees + axioms)
+/// are unchanged, and the refreshed table is written back to the file.
+///
+/// `changed_only` trims the *printout* to procedures that did prover
+/// work; totals and the exit code still cover every procedure, so a
+/// `--changed-only` run agrees with a cold one on exit status.
+///
+/// # Errors
+///
+/// Returns a [`CliError`] on malformed input or an unwritable baseline.
+pub fn cmd_analyze(
+    program_text: &str,
+    baseline_path: Option<&str>,
+    jobs: usize,
+    changed_only: bool,
+    config: &ProverConfig,
+) -> Result<CmdOutput, CliError> {
+    let program = apt_ir::parse_program(program_text).map_err(|e| fail(e.to_string()))?;
+    if program.procs.is_empty() {
+        return Err(fail("program has no procedures"));
+    }
+    let baseline = match baseline_path {
+        Some(path) => load_baseline(path),
+        None => Baseline {
+            table: None,
+            sessions: Vec::new(),
+            other_analyses: Vec::new(),
+        },
+    };
+    let analysis = analyze_program(&program).with_prover_config(config.clone());
+    let report = analysis.run(
+        baseline.table.as_ref(),
+        &BatchOptions::new().with_jobs(jobs),
+    );
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "== analyze: {} procedure(s), {} jobs ==",
+        report.procs.len(),
+        jobs
+    );
+    for proc in &report.procs {
+        if changed_only && proc.reproved == 0 {
+            continue;
+        }
+        let how = if proc.reused { "incremental" } else { "cold" };
+        let _ = writeln!(
+            out,
+            "procedure {} [{how}: {} replayed, {} reproved]",
+            proc.name, proc.replayed, proc.reproved
+        );
+        for row in &proc.rows {
+            let verdict = match &row.outcome {
+                RowOutcome::Error(e) => format!("Maybe ({e})"),
+                outcome => {
+                    let suffix = if outcome.is_replayed() {
+                        " (replayed)"
+                    } else {
+                        ""
+                    };
+                    format!("{}{suffix}", outcome.answer())
+                }
+            };
+            let _ = writeln!(out, "  {:<30} {verdict}", row.key);
+        }
+    }
+    let _ = writeln!(
+        out,
+        "totals: {} queries — {} replayed, {} reproved; {}/{} procedures reused",
+        report.total_queries(),
+        report.replayed(),
+        report.reproved(),
+        report.procs_reused(),
+        report.procs.len()
+    );
+    let any_maybe = report.any_maybe();
+    if let Some(path) = baseline_path {
+        save_baseline(path, report.table, baseline)?;
+        let _ = writeln!(out, "(table persisted to {path})");
+    }
+    Ok(CmdOutput {
+        text: out,
+        any_maybe,
+    })
+}
+
 /// Usage text.
 pub const USAGE: &str = "\
 apt — the axiom-based pointer dependence test (PLDI 1994 reproduction)
@@ -659,14 +818,27 @@ USAGE:
   apt query  <program-file> [--proc <name>] --carried <U> [--loop <L>]
   apt report <program-file> [--proc <name>]
   apt batch  <program-file> [--proc <name>] [--jobs <n>]
+  apt analyze <program-file> [--baseline <file>] [--changed-only]
+              [--jobs <n>]
   apt serve  [--addr <host:port>] [--socket <path>] [--workers <n>]
              [--high-water <n>] [--max-sessions <m>]
              [--snapshot-dir <dir>] [--snapshot-interval-ms <n>]
              [--idle-timeout-ms <n>] [--fault-plan <spec>]
   apt client (--addr <host:port> | --socket <path>) <verb> …
       verbs: open <axioms-file> | prove <session> <p1> <p2> [--distinct]
+             analyze <program-file> [--name <t>] [--changed-only]
+             invalidate [<proc>] [--name <t>] | hello
              stats | health | ready | shutdown | raw '<json-frame>'
   apt snapshot inspect <file>
+
+ANALYZE (whole-program incremental mode):
+  Runs every procedure's full dependence workload. With --baseline, the
+  table persisted by the previous run replays the definite verdicts of
+  procedures whose content hashes (own body + transitively reachable
+  callees + axiom set) are unchanged — only edited procedures re-prove —
+  and the refreshed table is written back. --changed-only trims the
+  printout to procedures that did prover work; the exit code still
+  covers everything, so it agrees with a cold run's.
 
 SERVE PERSISTENCE FLAGS:
   --snapshot-dir <dir>         persist warm state (compiled axiom sets +
@@ -788,6 +960,23 @@ pub fn run(args: &[String]) -> Result<CmdOutput, CliError> {
                     None => std::thread::available_parallelism().map_or(1, std::num::NonZero::get),
                 };
             cmd_batch(&read(file)?, flag_value("--proc"), jobs, &config)
+        }
+        Some("analyze") => {
+            let file = args.get(1).ok_or_else(|| fail(USAGE))?;
+            let jobs =
+                match flag_value("--jobs") {
+                    Some(v) => v.parse::<usize>().ok().filter(|&n| n >= 1).ok_or_else(|| {
+                        fail(format!("--jobs needs a positive integer, got {v:?}"))
+                    })?,
+                    None => std::thread::available_parallelism().map_or(1, std::num::NonZero::get),
+                };
+            cmd_analyze(
+                &read(file)?,
+                flag_value("--baseline"),
+                jobs,
+                args.iter().any(|x| x == "--changed-only"),
+                &config,
+            )
         }
         Some("serve") => cmd_serve(args, &config),
         Some("client") => cmd_client(args),
@@ -928,7 +1117,12 @@ pub fn cmd_client(args: &[String]) -> Result<CmdOutput, CliError> {
     let mut i = 1; // args[0] == "client"
     while let Some(a) = args.get(i) {
         if a.starts_with("--") {
-            i += if a == "--distinct" { 1 } else { 2 };
+            // Boolean flags consume one slot; the rest take a value.
+            i += if a == "--distinct" || a == "--changed-only" {
+                1
+            } else {
+                2
+            };
             continue;
         }
         positional.push(a.as_str());
@@ -991,9 +1185,55 @@ pub fn cmd_client(args: &[String]) -> Result<CmdOutput, CliError> {
             }
             any_maybe = answer == "Maybe";
         }
-        Some("stats") => {
+        Some("analyze") => {
+            let file = positional.get(1).ok_or_else(|| fail(USAGE))?;
+            let program = std::fs::read_to_string(file)
+                .map_err(|e| fail(format!("cannot read {file}: {e}")))?;
+            let mut pairs = vec![
+                ("verb", Json::from("analyze")),
+                ("program", Json::from(program.as_str())),
+            ];
+            if let Some(name) = flag_value("--name") {
+                pairs.push(("name", name.into()));
+            }
+            if args.iter().any(|x| x == "--changed-only") {
+                pairs.push(("changed_only", true.into()));
+            }
+            for (flag, field) in [
+                ("--jobs", "jobs"),
+                ("--fuel", "fuel"),
+                ("--deadline-ms", "deadline_ms"),
+                ("--max-dfa-states", "max_dfa_states"),
+            ] {
+                if let Some(v) = flag_value(flag) {
+                    let n = v.parse::<u64>().map_err(|_| {
+                        fail(format!("{flag} needs a non-negative integer, got {v:?}"))
+                    })?;
+                    pairs.push((field, n.into()));
+                }
+            }
             let frame = client
-                .roundtrip(obj(vec![("verb", "stats".into())]))
+                .roundtrip(obj(pairs))
+                .map_err(|e| fail(e.to_string()))?;
+            let _ = writeln!(out, "{}", frame.render());
+            any_maybe = frame.get("any_maybe").and_then(Json::as_bool) == Some(true);
+        }
+        Some("invalidate") => {
+            let mut pairs = vec![("verb", Json::from("invalidate"))];
+            if let Some(name) = flag_value("--name") {
+                pairs.push(("name", name.into()));
+            }
+            if let Some(proc) = positional.get(1) {
+                pairs.push(("proc", Json::from(*proc)));
+            }
+            let frame = client
+                .roundtrip(obj(pairs))
+                .map_err(|e| fail(e.to_string()))?;
+            let _ = writeln!(out, "{}", frame.render());
+        }
+        Some(verb @ ("stats" | "hello")) => {
+            let frame = client
+                .roundtrip(obj(vec![("verb", verb.into())]))
                 .map_err(|e| fail(e.to_string()))?;
             let _ = writeln!(out, "{}", frame.render());
         }
@@ -1191,6 +1431,45 @@ mod tests {
         assert!(rendered.contains("procedure touch"), "{rendered}");
         let e = run(&["batch".into(), "f".into(), "--jobs".into(), "0".into()]).unwrap_err();
         assert!(e.0.contains("--jobs"), "{e}");
+    }
+
+    #[test]
+    fn analyze_replays_from_a_baseline_file() {
+        let two_procs = format!(
+            "{LIST_PROGRAM}
+            proc touch(h: List) {{
+            W:  h->f = 9;
+            X:  v = h->f;
+            }}"
+        );
+        let dir = std::env::temp_dir().join(format!("apt-analyze-cli-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let baseline_path = dir.join("table.snap");
+        let baseline = baseline_path.to_str().unwrap();
+        let cfg = ProverConfig::default();
+
+        let cold = cmd_analyze(&two_procs, Some(baseline), 2, false, &cfg).expect("cold run");
+        assert!(cold.contains("0/2 procedures reused"), "{cold}");
+        assert!(cold.contains("(table persisted"), "{cold}");
+
+        // Unedited re-run: both procedures replay from the table.
+        let warm = cmd_analyze(&two_procs, Some(baseline), 2, false, &cfg).expect("warm run");
+        assert!(warm.contains("2/2 procedures reused"), "{warm}");
+        assert!(warm.contains("(replayed)"), "{warm}");
+        assert_eq!(warm.exit_code(), cold.exit_code(), "verdict parity");
+
+        // --changed-only trims the printout, not the exit code.
+        let trimmed = cmd_analyze(&two_procs, Some(baseline), 2, true, &cfg).expect("trimmed");
+        assert_eq!(trimmed.exit_code(), cold.exit_code());
+
+        // A corrupted baseline degrades to a cold run, same verdicts.
+        std::fs::write(&baseline_path, b"not a snapshot").unwrap();
+        let recovered =
+            cmd_analyze(&two_procs, Some(baseline), 2, false, &cfg).expect("corrupt fallback");
+        assert!(recovered.contains("0/2 procedures reused"), "{recovered}");
+        assert_eq!(recovered.exit_code(), cold.exit_code());
+
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

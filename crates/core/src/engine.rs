@@ -100,6 +100,21 @@ pub struct CacheStats {
     pub min_dfa_states: usize,
 }
 
+impl CacheStats {
+    /// Adds `other`'s counts into `self` — summing statistics across the
+    /// independent engines a multi-group batch (or a whole-program
+    /// analysis) ran on.
+    pub fn absorb(&mut self, other: &CacheStats) {
+        self.proved_goals += other.proved_goals;
+        self.failed_goals += other.failed_goals;
+        self.subset_results += other.subset_results;
+        self.dfas += other.dfas;
+        self.min_dfas += other.min_dfas;
+        self.raw_dfa_states += other.raw_dfa_states;
+        self.min_dfa_states += other.min_dfa_states;
+    }
+}
+
 /// The lock-sharded cross-prover cache: settled goals, subset answers, and
 /// interned DFAs. Shared between worker provers via [`Arc`].
 #[derive(Debug)]

@@ -55,6 +55,11 @@ pub struct LoopFrame {
 pub struct Snapshot {
     /// The label.
     pub label: String,
+    /// Position of the statement in the walk order: 0 for the first
+    /// recorded access, counting up through inlined callee bodies. Stable
+    /// across runs for the same program text, and the sort key that makes
+    /// [`Analysis::all_queries`] deterministic.
+    pub stmt_index: usize,
     /// The matrix at the statement (paths traversed up to, but not
     /// including, the statement).
     pub apm: Apm,
@@ -109,6 +114,57 @@ pub enum BatchQuery {
     },
 }
 
+/// Options for [`Analysis::run_batch`]. Today that is the worker-thread
+/// fan-out; the struct exists so future knobs (per-query budgets, replay
+/// hints) extend the API without another signature change.
+#[derive(Debug, Clone)]
+pub struct BatchOptions {
+    /// Worker threads each shared engine fans its queries out over.
+    pub jobs: usize,
+}
+
+impl BatchOptions {
+    /// Defaults: single-threaded execution.
+    pub fn new() -> BatchOptions {
+        BatchOptions { jobs: 1 }
+    }
+
+    /// Sets the worker-thread count (clamped to at least 1).
+    #[must_use]
+    pub fn with_jobs(mut self, jobs: usize) -> BatchOptions {
+        self.jobs = jobs.max(1);
+        self
+    }
+}
+
+impl Default for BatchOptions {
+    fn default() -> BatchOptions {
+        BatchOptions::new()
+    }
+}
+
+/// What [`Analysis::run_batch`] returns: one outcome (or [`QueryError`])
+/// per input query, in order, plus the engine cache statistics summed
+/// over every axiom-set group the batch used — observability for
+/// `apt batch` and the whole-program layer (proof/subset cache sizes,
+/// raw vs minimized DFA states).
+#[derive(Debug, Clone)]
+pub struct BatchReport {
+    /// Per-query outcomes, in input order.
+    pub results: Vec<Result<TestOutcome, QueryError>>,
+    /// Cache statistics summed across the batch's engines.
+    pub cache: CacheStats,
+}
+
+impl BatchReport {
+    /// Whether any query answered Maybe or failed to be phrased.
+    pub fn any_maybe(&self) -> bool {
+        self.results
+            .iter()
+            .any(|r| !matches!(r, Ok(o) if o.answer != Answer::Maybe))
+    }
+}
+
 /// The result of analyzing one procedure.
 #[derive(Debug, Clone)]
 pub struct Analysis {
@@ -141,6 +197,7 @@ pub fn analyze_proc(program: &Program, proc_name: &str) -> Result<Analysis, Quer
         program,
         call_stack: vec![proc_name.to_owned()],
         callsite: 0,
+        next_index: 0,
     };
     walk_block(
         &proc.body,
@@ -164,6 +221,10 @@ struct WalkCtx<'a> {
     program: &'a Program,
     call_stack: Vec<String>,
     callsite: usize,
+    /// Next [`Snapshot::stmt_index`]; bumped only when a snapshot is
+    /// recorded (pass-A probe walks pass no snapshot map and do not
+    /// advance it, so the numbering is the pass-B statement order).
+    next_index: usize,
 }
 
 fn access_of(kind: &StmtKind) -> Option<Access> {
@@ -246,10 +307,13 @@ fn walk_block(
                 // Snapshot *before* the statement's own transfer.
                 if let (Some(label), Some(snaps)) = (&stmt.label, snapshots.as_deref_mut()) {
                     if let Some(access) = access_of(&stmt.kind) {
+                        let stmt_index = wctx.next_index;
+                        wctx.next_index += 1;
                         snaps.insert(
                             label.clone(),
                             Snapshot {
                                 label: label.clone(),
+                                stmt_index,
                                 apm: apm.clone(),
                                 access,
                                 loops: frames.clone(),
@@ -717,8 +781,8 @@ impl Analysis {
         }
     }
 
-    /// Runs many dependence queries as engine batches over `jobs` worker
-    /// threads.
+    /// Runs many dependence queries as engine batches and reports the
+    /// per-query outcomes together with the engine cache statistics.
     ///
     /// Verdict-identical to running [`Analysis::test_sequential`] /
     /// [`Analysis::test_loop_carried`] per query: each query's pairs are
@@ -727,27 +791,11 @@ impl Analysis {
     /// set (compared by content — §3.4 may suspend different axioms at
     /// different points) share one [`DepEngine`] and therefore one
     /// proof/subset/DFA cache; each shared engine fans its queries out
-    /// over `jobs` threads via [`DepTest::test_batch`].
+    /// over [`BatchOptions::jobs`] threads via [`DepTest::test_batch`].
     ///
     /// One outcome (or [`QueryError`]) is returned per input query, in
-    /// order.
-    pub fn test_batch(
-        &self,
-        queries: &[BatchQuery],
-        jobs: usize,
-    ) -> Vec<Result<TestOutcome, QueryError>> {
-        self.test_batch_with_stats(queries, jobs).0
-    }
-
-    /// [`Analysis::test_batch`], additionally returning the engine cache
-    /// statistics summed over every axiom-set group the batch used —
-    /// observability for `apt batch` (proof/subset cache sizes, raw vs
-    /// minimized DFA states).
-    pub fn test_batch_with_stats(
-        &self,
-        queries: &[BatchQuery],
-        jobs: usize,
-    ) -> (Vec<Result<TestOutcome, QueryError>>, CacheStats) {
+    /// order, in [`BatchReport::results`].
+    pub fn run_batch(&self, queries: &[BatchQuery], options: &BatchOptions) -> BatchReport {
         struct Slot {
             group: usize,
             range: Range<usize>,
@@ -780,18 +828,11 @@ impl Analysis {
         }
         let outcomes: Vec<Vec<TestOutcome>> = groups
             .iter()
-            .map(|(tester, tasks)| tester.test_batch(tasks, jobs))
+            .map(|(tester, tasks)| tester.test_batch(tasks, options.jobs))
             .collect();
         let mut cache = CacheStats::default();
         for (tester, _) in &groups {
-            let s = tester.engine().cache_stats();
-            cache.proved_goals += s.proved_goals;
-            cache.failed_goals += s.failed_goals;
-            cache.subset_results += s.subset_results;
-            cache.dfas += s.dfas;
-            cache.min_dfas += s.min_dfas;
-            cache.raw_dfa_states += s.raw_dfa_states;
-            cache.min_dfa_states += s.min_dfa_states;
+            cache.absorb(&tester.engine().cache_stats());
         }
         let results = slots
             .into_iter()
@@ -809,16 +850,51 @@ impl Analysis {
                     .clone())
             })
             .collect();
-        (results, cache)
+        BatchReport { results, cache }
+    }
+
+    /// Runs many dependence queries as engine batches over `jobs` worker
+    /// threads.
+    #[deprecated(note = "use `run_batch`, which always carries stats")]
+    pub fn test_batch(
+        &self,
+        queries: &[BatchQuery],
+        jobs: usize,
+    ) -> Vec<Result<TestOutcome, QueryError>> {
+        self.run_batch(queries, &BatchOptions::new().with_jobs(jobs))
+            .results
+    }
+
+    /// Runs many dependence queries, additionally returning the engine
+    /// cache statistics summed over every axiom-set group the batch used.
+    #[deprecated(note = "use `run_batch`, which always carries stats")]
+    pub fn test_batch_with_stats(
+        &self,
+        queries: &[BatchQuery],
+        jobs: usize,
+    ) -> (Vec<Result<TestOutcome, QueryError>>, CacheStats) {
+        let report = self.run_batch(queries, &BatchOptions::new().with_jobs(jobs));
+        (report.results, report.cache)
     }
 
     /// The full query workload for this procedure, mirroring `apt report`:
     /// an (innermost) loop-carried query for every labeled access inside a
     /// loop, then a sequential query for every label pair where at least
     /// one side writes.
+    ///
+    /// The ordering is deterministic and part of the contract: snapshots
+    /// are sorted by `(stmt_index, label)` — statement position in the
+    /// walk order, label as tie-break — loop-carried queries come first in
+    /// that order, then sequential pairs `(i, j)` with `i` before `j` in
+    /// the same order. Two analyses of the same program text therefore
+    /// produce the same query list, so table diffs between runs are
+    /// stable and incremental caches keyed on the rendered queries are
+    /// insensitive to container iteration order.
     pub fn all_queries(&self) -> Vec<BatchQuery> {
+        let mut snaps: Vec<&Snapshot> = self.snapshots().collect();
+        snaps.sort_by_key(|s| (s.stmt_index, s.label.as_str()));
         let mut queries = Vec::new();
-        for snap in self.snapshots() {
+        for snap in &snaps {
             if !snap.loops.is_empty() {
                 queries.push(BatchQuery::LoopCarried {
                     label: snap.label.clone(),
@@ -826,7 +902,6 @@ impl Analysis {
                 });
             }
         }
-        let snaps: Vec<&Snapshot> = self.snapshots().collect();
         for (i, a) in snaps.iter().enumerate() {
             for b in snaps.iter().skip(i + 1) {
                 if a.access.is_write || b.access.is_write {
@@ -1373,12 +1448,50 @@ mod tests {
             .collect();
         for jobs in [1, 3] {
             let batched: Vec<Result<(Answer, _), QueryError>> = analysis
-                .test_batch(&queries, jobs)
+                .run_batch(&queries, &BatchOptions::new().with_jobs(jobs))
+                .results
                 .into_iter()
                 .map(|r| r.map(|o| (o.answer, o.reason)))
                 .collect();
             assert_eq!(batched, sequential, "jobs={jobs}");
         }
+    }
+
+    #[test]
+    fn all_queries_order_is_stable_and_statement_indexed() {
+        // Labels chosen so lexicographic and statement order disagree: the
+        // contract sorts by (stmt_index, label), i.e. program position.
+        let src = format!(
+            "{LIST}
+            proc f(h: List) {{
+            Z:  h->f = 1;
+                loop {{
+                A:  h->f = 2;
+                    h = h->link;
+                }}
+            }}"
+        );
+        let program = parse_program(&src).unwrap();
+        let analysis = analyze_proc(&program, "f").unwrap();
+        assert_eq!(analysis.snapshot("Z").unwrap().stmt_index, 0);
+        assert_eq!(analysis.snapshot("A").unwrap().stmt_index, 1);
+        let queries = analysis.all_queries();
+        assert_eq!(
+            queries,
+            vec![
+                BatchQuery::LoopCarried {
+                    label: "A".to_owned(),
+                    loop_label: None,
+                },
+                BatchQuery::Sequential {
+                    from: "Z".to_owned(),
+                    to: "A".to_owned(),
+                },
+            ]
+        );
+        // Re-analyzing the identical text yields the identical list.
+        let again = analyze_proc(&parse_program(&src).unwrap(), "f").unwrap();
+        assert_eq!(again.all_queries(), queries);
     }
 
     #[test]
@@ -1396,9 +1509,10 @@ mod tests {
                 to: "missing".to_owned(),
             },
         ];
-        let results = analysis.test_batch(&queries, 2);
-        assert!(matches!(results[0], Err(QueryError::NotInLoop(_))));
-        assert!(matches!(results[1], Err(QueryError::NoSuchLabel(_))));
+        let report = analysis.run_batch(&queries, &BatchOptions::new().with_jobs(2));
+        assert!(matches!(report.results[0], Err(QueryError::NotInLoop(_))));
+        assert!(matches!(report.results[1], Err(QueryError::NoSuchLabel(_))));
+        assert!(report.any_maybe());
     }
 
     #[test]

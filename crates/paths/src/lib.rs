@@ -53,6 +53,14 @@
 
 mod analysis;
 mod apm;
+mod program;
 
-pub use analysis::{analyze_proc, Access, Analysis, BatchQuery, LoopFrame, QueryError, Snapshot};
+pub use analysis::{
+    analyze_proc, Access, Analysis, BatchOptions, BatchQuery, BatchReport, LoopFrame, QueryError,
+    Snapshot,
+};
 pub use apm::Apm;
+pub use program::{
+    analyze_program, fnv1a, query_key, DepTable, ProcReport, ProcVerdicts, ProgramAnalysis,
+    ProgramReport, ReportRow, RowOutcome, StoredVerdict, REPLAY_PROOF_SAMPLE,
+};

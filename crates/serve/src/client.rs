@@ -6,9 +6,9 @@
 //! concurrency.
 //!
 //! With a [`RetryPolicy`] attached, transport failures on *idempotent*
-//! verbs (`open_session`, `prove`, `batch`, `report`, `stats`,
-//! `health`, `ready`) reconnect and retry with jittered exponential
-//! backoff — a daemon restart becomes a pause, not an error, and the
+//! verbs (`hello`, `open_session`, `prove`, `batch`, `report`,
+//! `analyze`, `invalidate`, `stats`, `health`, `ready`) reconnect and
+//! retry with jittered exponential backoff — a daemon restart becomes a pause, not an error, and the
 //! registry's structural dedupe lands re-opened sessions back on the
 //! (possibly snapshot-restored) warm engine. Non-idempotent verbs
 //! (`close_session`, `shutdown`) are never replayed. When every
@@ -80,9 +80,21 @@ impl Default for RetryPolicy {
 /// Whether a verb can safely be replayed after a transport failure
 /// (the failed attempt may or may not have been processed).
 fn is_idempotent(verb: &str) -> bool {
+    // `analyze` converges (same program + table → same verdicts and
+    // final table) and `invalidate` is a no-op the second time, so both
+    // replay safely after a transport failure.
     matches!(
         verb,
-        "open_session" | "prove" | "batch" | "report" | "stats" | "health" | "ready"
+        "hello"
+            | "open_session"
+            | "prove"
+            | "batch"
+            | "report"
+            | "analyze"
+            | "invalidate"
+            | "stats"
+            | "health"
+            | "ready"
     )
 }
 
@@ -366,10 +378,13 @@ mod tests {
     #[test]
     fn idempotency_classification() {
         for verb in [
+            "hello",
             "open_session",
             "prove",
             "batch",
             "report",
+            "analyze",
+            "invalidate",
             "stats",
             "health",
             "ready",

@@ -54,7 +54,7 @@ pub mod snapshot;
 pub use client::{Client, ClientError, RetryPolicy};
 pub use fault::FaultPlan;
 pub use metrics::{RestoreOutcome, SnapshotStatus};
-pub use proto::{ErrorCode, ProtoError, WireBudget, WireQuery};
+pub use proto::{ErrorCode, ProtoError, WireBudget, WireQuery, PROTO_VERSION, SUPPORTED_VERBS};
 pub use server::{ServeConfig, Server, ServerHandle};
 pub use session::{Opened, SessionDump, SessionInfo, SessionRegistry};
-pub use snapshot::{SectionOutcome, SessionSection, Snapshot, SnapshotError};
+pub use snapshot::{AnalyzeSection, SectionOutcome, SessionSection, Snapshot, SnapshotError};

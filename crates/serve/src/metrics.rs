@@ -59,6 +59,8 @@ pub struct SnapshotStatus {
     pub restored_goals: usize,
     /// Subset-cache entries republished by the restore.
     pub restored_subsets: usize,
+    /// Analyze tables restored (re-validated on first use, not here).
+    pub restored_tables: usize,
     /// When the last successful snapshot write finished.
     pub last_write: Option<Instant>,
     /// Bytes of the last successful snapshot write.
@@ -79,6 +81,7 @@ impl Default for SnapshotStatus {
             corrupt_sections: 0,
             restored_goals: 0,
             restored_subsets: 0,
+            restored_tables: 0,
             last_write: None,
             last_write_bytes: 0,
             writes_total: 0,
@@ -101,6 +104,7 @@ impl SnapshotStatus {
             ("corrupt_sections", (self.corrupt_sections as u64).into()),
             ("restored_goals", (self.restored_goals as u64).into()),
             ("restored_subsets", (self.restored_subsets as u64).into()),
+            ("restored_tables", (self.restored_tables as u64).into()),
             (
                 "snapshot_age_ms",
                 age_ms.map(Json::from).unwrap_or(Json::Null),
@@ -132,6 +136,10 @@ pub struct Metrics {
     /// Connections closed for exceeding the read deadline (idle or
     /// slow-loris).
     pub read_timeouts: AtomicU64,
+    /// `analyze` queries answered straight from a persisted table.
+    pub analyze_replayed: AtomicU64,
+    /// `analyze` queries sent through the prover.
+    pub analyze_reproved: AtomicU64,
     snapshot: Mutex<SnapshotStatus>,
 }
 
@@ -148,6 +156,8 @@ impl Metrics {
             overload_refusals: AtomicU64::new(0),
             disconnect_cancels: AtomicU64::new(0),
             read_timeouts: AtomicU64::new(0),
+            analyze_replayed: AtomicU64::new(0),
+            analyze_reproved: AtomicU64::new(0),
             snapshot: Mutex::new(SnapshotStatus::default()),
         }
     }
@@ -194,6 +204,8 @@ impl Metrics {
             ("overload_refusals", read(&self.overload_refusals)),
             ("disconnect_cancels", read(&self.disconnect_cancels)),
             ("read_timeouts", read(&self.read_timeouts)),
+            ("analyze_replayed", read(&self.analyze_replayed)),
+            ("analyze_reproved", read(&self.analyze_reproved)),
             ("snapshot", self.snapshot_status().to_json()),
         ])
     }

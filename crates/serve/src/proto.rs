@@ -7,9 +7,19 @@
 //! "message":"…"}` — a malformed frame gets an error response on the
 //! same connection, never a dropped connection or a server panic.
 //!
-//! Verbs: `open_session`, `close_session`, `prove`, `batch`, `report`,
-//! `stats`, `health`, `ready`, `shutdown`. See `DESIGN.md` §"The
-//! serving layer" for the full frame reference.
+//! Verbs: `hello`, `open_session`, `close_session`, `prove`, `batch`,
+//! `report`, `analyze`, `invalidate`, `stats`, `health`, `ready`,
+//! `shutdown`. See `DESIGN.md` §"The serving layer" for the full frame
+//! reference.
+//!
+//! The protocol is versioned: [`PROTO_VERSION`] names the highest frame
+//! dialect this build speaks, `hello`/`stats`/`ready` report it, and a
+//! verb this build does not know earns a machine-readable
+//! [`ErrorCode::Unsupported`] frame (carrying the rejected verb and the
+//! server's version) instead of a generic `bad_request` — so an old
+//! client can detect a feature gap and degrade, and a new client
+//! talking to an old server gets a parseable refusal rather than a
+//! guessing game.
 
 use apt_core::{Answer, Budget, MaybeReason, Outcome, ProverStats};
 use apt_regex::Path;
@@ -17,14 +27,49 @@ use std::time::Duration;
 
 use crate::json::{obj, parse, Json};
 
+/// The wire-protocol version this build speaks.
+///
+/// * **1** — the original dialect: `open_session`, `close_session`,
+///   `prove`, `batch`, `report`, `stats`, `health`, `ready`,
+///   `shutdown`.
+/// * **2** — adds `hello` (version/verb discovery), `analyze`
+///   (whole-program incremental dependence tables), and `invalidate`
+///   (dropping persisted analyze state); unknown verbs now answer
+///   `unsupported` instead of `bad_request`.
+///
+/// Frames from a v1 client are a strict subset of v2, so old clients
+/// interoperate unchanged.
+pub const PROTO_VERSION: u64 = 2;
+
+/// Every verb this build understands, in documentation order. The
+/// `hello` response carries this list so clients can feature-detect
+/// without trial-and-error.
+pub const SUPPORTED_VERBS: &[&str] = &[
+    "hello",
+    "open_session",
+    "close_session",
+    "prove",
+    "batch",
+    "report",
+    "analyze",
+    "invalidate",
+    "stats",
+    "health",
+    "ready",
+    "shutdown",
+];
+
 /// Error codes a response frame can carry.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ErrorCode {
     /// The line was not valid JSON (or not an object).
     ParseError,
-    /// The frame was JSON but missing/mistyping required fields, or the
-    /// verb is unknown.
+    /// The frame was JSON but missing/mistyping required fields.
     BadRequest,
+    /// The verb is well-formed but not one this server speaks — the
+    /// frame carries the rejected verb and the server's
+    /// [`PROTO_VERSION`] so version-skewed clients can negotiate down.
+    Unsupported,
     /// The named session does not exist (never opened, or evicted).
     NoSuchSession,
     /// Admission control refused the request: the work queue is past its
@@ -46,6 +91,7 @@ impl ErrorCode {
         match self {
             ErrorCode::ParseError => "parse_error",
             ErrorCode::BadRequest => "bad_request",
+            ErrorCode::Unsupported => "unsupported",
             ErrorCode::NoSuchSession => "no_such_session",
             ErrorCode::Overloaded => "overloaded",
             ErrorCode::ShuttingDown => "shutting_down",
@@ -62,6 +108,10 @@ pub struct ProtoError {
     pub code: ErrorCode,
     /// Human-readable detail.
     pub message: String,
+    /// For [`ErrorCode::Unsupported`]: the verb the client sent,
+    /// echoed back machine-readably (`"verb"` in the error frame,
+    /// beside `"proto_version"`).
+    pub verb: Option<String>,
 }
 
 impl ProtoError {
@@ -70,6 +120,17 @@ impl ProtoError {
         ProtoError {
             code: ErrorCode::BadRequest,
             message: message.into(),
+            verb: None,
+        }
+    }
+
+    /// An unsupported-verb error naming the rejected verb.
+    pub fn unsupported(verb: impl Into<String>) -> ProtoError {
+        let verb = verb.into();
+        ProtoError {
+            code: ErrorCode::Unsupported,
+            message: format!("verb {verb:?} is not supported at proto_version {PROTO_VERSION}"),
+            verb: Some(verb),
         }
     }
 }
@@ -197,6 +258,9 @@ impl WireQuery {
 /// A parsed request frame.
 #[derive(Debug, Clone)]
 pub enum Request {
+    /// Version/verb discovery: the reply carries `proto_version` and
+    /// the `verbs` list so clients can feature-detect up front.
+    Hello,
     /// Register an axiom set; the reply names the (possibly deduplicated)
     /// session.
     OpenSession {
@@ -235,6 +299,33 @@ pub enum Request {
         /// Budget overrides for the report's queries.
         budget: WireBudget,
     },
+    /// Whole-program incremental dependence analysis: derive the full
+    /// dependence table for every procedure of `program`, replaying
+    /// persisted verdicts for procedures whose content hashes are
+    /// unchanged since the last `analyze` under the same table `name`.
+    Analyze {
+        /// Program text in the `apt-ir` mini language.
+        program: String,
+        /// Which persistent table to read/update (defaults to
+        /// `"default"`); tables survive restarts via snapshots.
+        name: String,
+        /// Worker threads for the fresh queries (clamped by the server).
+        jobs: Option<usize>,
+        /// When true, the response lists only procedures that had work
+        /// re-proved (display filter; totals still cover everything).
+        changed_only: bool,
+        /// Budget overrides for the analysis' queries.
+        budget: WireBudget,
+    },
+    /// Drop persisted analyze state: one procedure's entry, or a whole
+    /// table.
+    Invalidate {
+        /// Which table to touch (defaults to `"default"`).
+        name: String,
+        /// Drop just this procedure's verdicts; `None` drops the whole
+        /// table.
+        proc: Option<String>,
+    },
     /// A live metrics snapshot.
     Stats,
     /// Liveness probe: answers on any serving process, even one
@@ -257,11 +348,13 @@ pub fn parse_request(line: &str) -> Result<(Option<Json>, Request), ProtoError> 
     let frame = parse(line).map_err(|e| ProtoError {
         code: ErrorCode::ParseError,
         message: e.to_string(),
+        verb: None,
     })?;
     if !matches!(frame, Json::Obj(_)) {
         return Err(ProtoError {
             code: ErrorCode::ParseError,
             message: "request frame must be a JSON object".to_owned(),
+            verb: None,
         });
     }
     let id = frame.get("id").cloned();
@@ -313,13 +406,54 @@ pub fn parse_request(line: &str) -> Result<(Option<Json>, Request), ProtoError> 
             proc: frame.get("proc").and_then(Json::as_str).map(str::to_owned),
             budget: WireBudget::from_frame(&frame)?,
         },
+        "hello" => Request::Hello,
+        "analyze" => {
+            let jobs = match frame.get("jobs") {
+                None | Some(Json::Null) => None,
+                Some(v) => Some(
+                    v.as_u64()
+                        .and_then(|n| usize::try_from(n).ok())
+                        .filter(|&n| n >= 1)
+                        .ok_or_else(|| ProtoError::bad("jobs must be a positive integer"))?,
+                ),
+            };
+            let changed_only = match frame.get("changed_only") {
+                None | Some(Json::Null) => false,
+                Some(v) => v
+                    .as_bool()
+                    .ok_or_else(|| ProtoError::bad("changed_only must be a boolean"))?,
+            };
+            Request::Analyze {
+                program: str_field("program")?,
+                name: table_name(&frame)?,
+                jobs,
+                changed_only,
+                budget: WireBudget::from_frame(&frame)?,
+            }
+        }
+        "invalidate" => Request::Invalidate {
+            name: table_name(&frame)?,
+            proc: frame.get("proc").and_then(Json::as_str).map(str::to_owned),
+        },
         "stats" => Request::Stats,
         "health" => Request::Health,
         "ready" => Request::Ready,
         "shutdown" => Request::Shutdown,
-        other => return Err(ProtoError::bad(format!("unknown verb {other:?}"))),
+        other => return Err(ProtoError::unsupported(other)),
     };
     Ok((id, request))
+}
+
+/// Reads the optional `"name"` field naming an analyze table,
+/// defaulting to `"default"`.
+fn table_name(frame: &Json) -> Result<String, ProtoError> {
+    match frame.get("name") {
+        None | Some(Json::Null) => Ok("default".to_owned()),
+        Some(v) => v
+            .as_str()
+            .map(str::to_owned)
+            .ok_or_else(|| ProtoError::bad("name must be a string")),
+    }
 }
 
 fn frame_base(id: Option<&Json>, ok: bool) -> Vec<(&'static str, Json)> {
@@ -330,11 +464,17 @@ fn frame_base(id: Option<&Json>, ok: bool) -> Vec<(&'static str, Json)> {
     pairs
 }
 
-/// An error response frame.
+/// An error response frame. `unsupported` frames additionally carry
+/// the rejected `verb` and the server's `proto_version` so clients can
+/// negotiate without parsing prose.
 pub fn error_frame(id: Option<&Json>, error: &ProtoError) -> Json {
     let mut pairs = frame_base(id, false);
     pairs.push(("error", error.code.as_str().into()));
     pairs.push(("message", error.message.as_str().into()));
+    if let Some(verb) = &error.verb {
+        pairs.push(("verb", verb.as_str().into()));
+        pairs.push(("proto_version", PROTO_VERSION.into()));
+    }
     obj(pairs)
 }
 
@@ -430,12 +570,53 @@ mod tests {
         let e = parse_request("[1,2]").unwrap_err();
         assert_eq!(e.code, ErrorCode::ParseError);
         let e = parse_request(r#"{"verb":"frobnicate"}"#).unwrap_err();
-        assert_eq!(e.code, ErrorCode::BadRequest);
+        assert_eq!(e.code, ErrorCode::Unsupported);
+        assert_eq!(e.verb.as_deref(), Some("frobnicate"));
         let e = parse_request(r#"{"verb":"prove","session":"s0","a":"L..L","b":"R"}"#).unwrap_err();
         assert_eq!(e.code, ErrorCode::BadRequest);
         let e = parse_request(r#"{"verb":"prove","session":"s0","a":"L","b":"R","fuel":-1}"#)
             .unwrap_err();
         assert_eq!(e.code, ErrorCode::BadRequest);
+    }
+
+    #[test]
+    fn parses_versioned_verbs() {
+        let (_, req) = parse_request(r#"{"verb":"hello"}"#).unwrap();
+        assert!(matches!(req, Request::Hello));
+
+        let (_, req) = parse_request(
+            r#"{"verb":"analyze","program":"proc p() {}","jobs":4,"changed_only":true}"#,
+        )
+        .unwrap();
+        let Request::Analyze {
+            name,
+            jobs,
+            changed_only,
+            ..
+        } = req
+        else {
+            panic!("wrong verb");
+        };
+        assert_eq!(name, "default", "table name defaults");
+        assert_eq!(jobs, Some(4));
+        assert!(changed_only);
+
+        let (_, req) =
+            parse_request(r#"{"verb":"invalidate","name":"t1","proc":"update"}"#).unwrap();
+        let Request::Invalidate { name, proc } = req else {
+            panic!("wrong verb");
+        };
+        assert_eq!(name, "t1");
+        assert_eq!(proc.as_deref(), Some("update"));
+    }
+
+    #[test]
+    fn unsupported_frames_carry_verb_and_version() {
+        let e = parse_request(r#"{"verb":"frobnicate"}"#).unwrap_err();
+        let text = error_frame(None, &e).render();
+        assert!(text.contains(r#""error":"unsupported""#), "{text}");
+        assert!(text.contains(r#""verb":"frobnicate""#), "{text}");
+        assert!(text.contains(r#""proto_version":2"#), "{text}");
     }
 
     #[test]

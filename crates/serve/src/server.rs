@@ -57,16 +57,17 @@ use std::thread;
 use std::time::{Duration, Instant};
 
 use apt_core::{Budget, CancelToken, DepQuery, Origin, Outcome, ProverConfig, ProverStats};
+use apt_paths::{analyze_program, BatchOptions, DepTable, RowOutcome};
 
 use crate::fault::FaultPlan;
 use crate::json::{obj, Json};
 use crate::metrics::{Metrics, RestoreOutcome};
 use crate::proto::{
     error_frame, ok_frame, outcome_json, parse_request, stats_json, ErrorCode, ProtoError, Request,
-    WireQuery,
+    WireQuery, PROTO_VERSION, SUPPORTED_VERBS,
 };
 use crate::session::SessionRegistry;
-use crate::snapshot::{self, SectionOutcome, SessionSection, Snapshot};
+use crate::snapshot::{self, AnalyzeSection, SectionOutcome, SessionSection, Snapshot};
 
 /// How accept loops poll for shutdown between `WouldBlock`s.
 const ACCEPT_POLL: Duration = Duration::from_millis(25);
@@ -217,6 +218,7 @@ impl Pool {
             return Err(ProtoError {
                 code: ErrorCode::ShuttingDown,
                 message: "server is draining".to_owned(),
+                verb: None,
             });
         }
         if state.queue.len() >= self.shared.high_water {
@@ -226,6 +228,7 @@ impl Pool {
                     "work queue at high-water mark ({}); retry later",
                     self.shared.high_water
                 ),
+                verb: None,
             });
         }
         state.queue.push_back(job);
@@ -330,6 +333,9 @@ struct Ctx {
     /// Second handles to live connections, for forced close on shutdown.
     conns: Mutex<HashMap<u64, Box<dyn Conn>>>,
     next_conn: AtomicU64,
+    /// Persisted whole-program dependence tables by name (the `analyze`
+    /// verb's incremental state; snapshotted beside the sessions).
+    tables: Mutex<HashMap<String, DepTable>>,
 }
 
 impl Ctx {
@@ -374,6 +380,7 @@ impl Server {
             shutdown: AtomicBool::new(false),
             conns: Mutex::new(HashMap::new()),
             next_conn: AtomicU64::new(0),
+            tables: Mutex::new(HashMap::new()),
         });
         Server {
             ctx,
@@ -539,9 +546,23 @@ fn write_snapshot(ctx: &Ctx) -> io::Result<u64> {
             export: dump.engine.export_cache(),
         })
         .collect();
+    let analyses: Vec<AnalyzeSection> = {
+        let tables = ctx.tables.lock().unwrap_or_else(PoisonError::into_inner);
+        let mut analyses: Vec<AnalyzeSection> = tables
+            .iter()
+            .map(|(name, table)| AnalyzeSection {
+                name: name.clone(),
+                table: table.clone(),
+            })
+            .collect();
+        // Deterministic section order keeps repeat snapshots comparable.
+        analyses.sort_by(|a, b| a.name.cmp(&b.name));
+        analyses
+    };
     let snap = Snapshot {
         created_unix_ms: snapshot::unix_ms_now(),
         sections,
+        analyses,
     };
     match snapshot::write_atomic(dir, &snap, ctx.config.fault_plan.as_deref()) {
         Ok((_, bytes)) => {
@@ -586,6 +607,7 @@ fn restore_from_snapshot(ctx: &Ctx) {
         }
     };
     let (mut warm, mut corrupt, mut goals, mut subsets) = (0usize, 0usize, 0usize, 0usize);
+    let mut tables = 0usize;
     for outcome in outcomes {
         match outcome {
             SectionOutcome::Restored(section) => match restore_section(ctx, &section) {
@@ -602,6 +624,18 @@ fn restore_from_snapshot(ctx: &Ctx) {
                     );
                 }
             },
+            SectionOutcome::Analysis(analysis) => {
+                // Table entries are *candidates*: the `analyze` verb
+                // re-validates hashes and spot-checks stored proofs
+                // before any verdict replays, so restoring here cannot
+                // launder a forged table into answers.
+                tables += 1;
+                warm += 1;
+                ctx.tables
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .insert(analysis.name, analysis.table);
+            }
             SectionOutcome::Corrupt { name, reason } => {
                 corrupt += 1;
                 eprintln!("apt-serve: snapshot section [{name}] corrupt: {reason}");
@@ -616,10 +650,11 @@ fn restore_from_snapshot(ctx: &Ctx) {
     ctx.metrics.update_snapshot_status(|s| {
         s.last_restore = outcome;
         s.restored_bytes = restored_bytes;
-        s.restored_sessions = warm;
+        s.restored_sessions = warm - tables;
         s.corrupt_sections = corrupt;
         s.restored_goals = goals;
         s.restored_subsets = subsets;
+        s.restored_tables = tables;
     });
 }
 
@@ -680,6 +715,7 @@ fn serve_conn(ctx: &Arc<Ctx>, stream: Box<dyn Conn>) {
                 let e = ProtoError {
                     code: ErrorCode::Timeout,
                     message: "read deadline exceeded; closing connection".to_owned(),
+                    verb: None,
                 };
                 send_frame(&mut out, &error_frame(None, &e));
                 break;
@@ -856,6 +892,7 @@ fn handle_line(ctx: &Arc<Ctx>, line: &str, cancel: &CancelToken) -> (Json, bool)
         let e = ProtoError {
             code: ErrorCode::ShuttingDown,
             message: "server is draining".to_owned(),
+            verb: None,
         };
         return (error_frame(id, &e), false);
     }
@@ -877,6 +914,22 @@ fn dispatch(
     cancel: &CancelToken,
 ) -> Result<(Json, bool), ProtoError> {
     match request {
+        Request::Hello => {
+            let verbs: Vec<Json> = SUPPORTED_VERBS
+                .iter()
+                .map(|&v| Json::Str(v.to_owned()))
+                .collect();
+            Ok((
+                ok_frame(
+                    id,
+                    vec![
+                        ("proto_version", PROTO_VERSION.into()),
+                        ("verbs", Json::Arr(verbs)),
+                    ],
+                ),
+                false,
+            ))
+        }
         Request::OpenSession { axioms } => {
             let opened = ctx.registry.open(&axioms)?;
             let evicted = match opened.evicted {
@@ -957,6 +1010,45 @@ fn dispatch(
             let frame = run_report(ctx, &program, proc.as_deref(), &budget, cancel)?;
             Ok((ok_frame(id, frame), false))
         }
+        Request::Analyze {
+            program,
+            name,
+            jobs,
+            changed_only,
+            budget,
+        } => {
+            let frame = run_analyze(ctx, &program, &name, jobs, changed_only, &budget, cancel)?;
+            Ok((ok_frame(id, frame), false))
+        }
+        Request::Invalidate { name, proc } => {
+            let mut tables = ctx.tables.lock().unwrap_or_else(PoisonError::into_inner);
+            let (dropped_procs, dropped_verdicts) = match proc.as_deref() {
+                Some(proc_name) => match tables.get_mut(&name) {
+                    Some(table) => {
+                        let had = table.entry(proc_name).is_some();
+                        let verdicts = table.invalidate_proc(proc_name);
+                        (usize::from(had), verdicts)
+                    }
+                    None => (0, 0),
+                },
+                None => match tables.remove(&name) {
+                    Some(table) => (table.procs.len(), table.total_verdicts()),
+                    None => (0, 0),
+                },
+            };
+            drop(tables);
+            Ok((
+                ok_frame(
+                    id,
+                    vec![
+                        ("table", name.as_str().into()),
+                        ("dropped_procs", dropped_procs.into()),
+                        ("dropped_verdicts", dropped_verdicts.into()),
+                    ],
+                ),
+                false,
+            ))
+        }
         Request::Stats => {
             let sessions: Vec<Json> = ctx
                 .registry
@@ -988,6 +1080,7 @@ fn dispatch(
                 ok_frame(
                     id,
                     vec![
+                        ("proto_version", PROTO_VERSION.into()),
                         ("server", ctx.metrics.to_json()),
                         ("queue_depth", ctx.pool.depth().into()),
                         ("workers", ctx.config.workers.into()),
@@ -1007,6 +1100,7 @@ fn dispatch(
                     vec![
                         ("ready", (!draining).into()),
                         ("draining", draining.into()),
+                        ("proto_version", PROTO_VERSION.into()),
                         ("restore", status.last_restore.as_str().into()),
                         ("sessions", ctx.registry.len().into()),
                     ],
@@ -1060,10 +1154,12 @@ fn run_pooled<T: Send + 'static>(
         Ok(Err(_panic)) => Err(ProtoError {
             code: ErrorCode::Internal,
             message: "request crashed; fault isolated to this request".to_owned(),
+            verb: None,
         }),
         Err(_) => Err(ProtoError {
             code: ErrorCode::Internal,
             message: "worker dropped the request".to_owned(),
+            verb: None,
         }),
     }
 }
@@ -1113,10 +1209,10 @@ fn run_report(
             analysis.set_prover_config(config.clone());
             let queries = analysis.all_queries();
             total += queries.len();
-            let results = analysis.test_batch(&queries, jobs);
+            let report = analysis.run_batch(&queries, &BatchOptions::new().with_jobs(jobs));
             let rows: Vec<Json> = queries
                 .iter()
-                .zip(results.iter())
+                .zip(report.results.iter())
                 .map(|(q, r)| report_row(q, r))
                 .collect();
             procs.push(obj(vec![
@@ -1131,6 +1227,91 @@ fn run_report(
     Ok(vec![
         ("procs", Json::Arr(procs)),
         ("total_queries", total.into()),
+    ])
+}
+
+/// The `analyze` verb: whole-program incremental dependence analysis.
+/// The persisted table named `name` (if any) serves as the baseline;
+/// the refreshed table is stored back under the same name, so repeated
+/// `analyze` calls after small edits re-prove only what changed.
+fn run_analyze(
+    ctx: &Arc<Ctx>,
+    program_text: &str,
+    name: &str,
+    jobs: Option<usize>,
+    changed_only: bool,
+    budget: &crate::proto::WireBudget,
+    cancel: &CancelToken,
+) -> Result<Vec<(&'static str, Json)>, ProtoError> {
+    let program = apt_ir::parse_program(program_text)
+        .map_err(|e| ProtoError::bad(format!("program: {e}")))?;
+    if program.procs.is_empty() {
+        return Err(ProtoError::bad("program has no procedures"));
+    }
+    let jobs = jobs
+        .unwrap_or(ctx.config.workers)
+        .clamp(1, ctx.config.workers.max(1));
+    let resolved = budget
+        .resolve(&ctx.config.default_budget, &ctx.config.ceiling)
+        .with_cancel(cancel.clone());
+    let baseline = ctx
+        .tables
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .get(name)
+        .cloned();
+    let report = run_pooled(ctx, cancel, move || {
+        let mut config = ProverConfig::new();
+        config.budget = resolved;
+        let analysis = analyze_program(&program).with_prover_config(config);
+        analysis.run(baseline.as_ref(), &BatchOptions::new().with_jobs(jobs))
+    })?;
+    Metrics::add(&ctx.metrics.queries_total, report.reproved() as u64);
+    Metrics::add(&ctx.metrics.analyze_replayed, report.replayed() as u64);
+    Metrics::add(&ctx.metrics.analyze_reproved, report.reproved() as u64);
+    ctx.tables
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .insert(name.to_owned(), report.table.clone());
+    let procs: Vec<Json> = report
+        .procs
+        .iter()
+        // `changed_only` trims the *display* to procedures that did
+        // prover work; the totals below still cover every procedure.
+        .filter(|p| !changed_only || p.reproved > 0)
+        .map(|p| {
+            let rows: Vec<Json> = p
+                .rows
+                .iter()
+                .map(|row| {
+                    let mut pairs = vec![
+                        ("query", row.key.as_str().into()),
+                        ("answer", row.outcome.answer().as_str().into()),
+                        ("replayed", row.outcome.is_replayed().into()),
+                    ];
+                    if let RowOutcome::Error(e) = &row.outcome {
+                        pairs.push(("error", e.to_string().as_str().into()));
+                    }
+                    obj(pairs)
+                })
+                .collect();
+            obj(vec![
+                ("proc", p.name.as_str().into()),
+                ("reused", p.reused.into()),
+                ("replayed", p.replayed.into()),
+                ("reproved", p.reproved.into()),
+                ("queries", Json::Arr(rows)),
+            ])
+        })
+        .collect();
+    Ok(vec![
+        ("table", name.into()),
+        ("procs", Json::Arr(procs)),
+        ("total_queries", report.total_queries().into()),
+        ("replayed", report.replayed().into()),
+        ("reproved", report.reproved().into()),
+        ("procs_reused", report.procs_reused().into()),
+        ("any_maybe", report.any_maybe().into()),
     ])
 }
 

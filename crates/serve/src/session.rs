@@ -212,6 +212,7 @@ impl SessionRegistry {
         let entry = inner.sessions.get_mut(session).ok_or_else(|| ProtoError {
             code: crate::proto::ErrorCode::NoSuchSession,
             message: format!("no session {session:?} (evicted or never opened)"),
+            verb: None,
         })?;
         entry.last_used = tick;
         entry.uses += 1;

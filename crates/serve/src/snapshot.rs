@@ -60,7 +60,10 @@
 //! let tests drive every failure point on this path deterministically.
 
 use crate::fault::FaultPlan;
-use apt_core::{CacheExport, Goal, GoalEntry, Origin, PrefixCase, Proof, Rule, SubsetEntry};
+use apt_core::{
+    Answer, CacheExport, Goal, GoalEntry, Origin, PrefixCase, Proof, Rule, SubsetEntry,
+};
+use apt_paths::{DepTable, ProcVerdicts, StoredVerdict};
 use apt_regex::{Component, Path, Regex};
 use std::fmt;
 use std::fs::{self, File, OpenOptions};
@@ -122,6 +125,19 @@ pub struct SessionSection {
     pub export: CacheExport,
 }
 
+/// One named whole-program dependence table, as stored in a snapshot
+/// section. Written with an `analyze:`-prefixed section name — session
+/// ids are `s<n>`, so the namespaces cannot collide, and an older binary
+/// that does not know the prefix simply fails the section's payload
+/// decode and falls back per-section as it would for any corruption.
+#[derive(Debug, Clone)]
+pub struct AnalyzeSection {
+    /// The table's name (the `analyze` verb's `name` field).
+    pub name: String,
+    /// The persisted per-procedure verdicts.
+    pub table: DepTable,
+}
+
 /// A full snapshot image: what the flusher writes and restore reads.
 #[derive(Debug, Clone, Default)]
 pub struct Snapshot {
@@ -129,13 +145,17 @@ pub struct Snapshot {
     pub created_unix_ms: u64,
     /// One section per live session.
     pub sections: Vec<SessionSection>,
+    /// One section per named whole-program dependence table.
+    pub analyses: Vec<AnalyzeSection>,
 }
 
 /// The per-section result of decoding a snapshot file.
 #[derive(Debug)]
 pub enum SectionOutcome {
-    /// The section's CRC matched and it decoded cleanly.
+    /// The section's CRC matched and it decoded cleanly as a session.
     Restored(SessionSection),
+    /// The section decoded cleanly as a whole-program dependence table.
+    Analysis(AnalyzeSection),
     /// The section was damaged; restore proceeds without it.
     Corrupt {
         /// The section's label, when the name field itself survived.
@@ -144,6 +164,9 @@ pub enum SectionOutcome {
         reason: String,
     },
 }
+
+/// Section-name prefix marking an [`AnalyzeSection`].
+const ANALYZE_PREFIX: &str = "analyze:";
 
 // ---------------------------------------------------------------------
 // CRC-32 (IEEE 802.3), table-driven, std-only.
@@ -359,16 +382,52 @@ fn encode_section_payload(section: &SessionSection) -> Vec<u8> {
     out
 }
 
+fn encode_analyze_payload(table: &DepTable) -> Vec<u8> {
+    let mut out = Vec::new();
+    put_u32(&mut out, table.procs.len() as u32);
+    for entry in &table.procs {
+        put_str(&mut out, &entry.proc_name);
+        put_u64(&mut out, entry.body_hash);
+        put_u64(&mut out, entry.axioms_hash);
+        put_u32(&mut out, entry.verdicts.len() as u32);
+        for v in &entry.verdicts {
+            put_str(&mut out, &v.query);
+            out.push(match v.answer {
+                Answer::No => 0,
+                // Maybe is never persisted; encoding one as a Yes would
+                // be caught by the replay-side structural check, but the
+                // writer simply never stores it.
+                Answer::Yes | Answer::Maybe => 1,
+            });
+            put_u32(&mut out, v.proofs.len() as u32);
+            for p in &v.proofs {
+                put_proof(&mut out, p);
+            }
+        }
+    }
+    out
+}
+
 /// Encodes a full snapshot image to its on-disk byte representation.
 pub fn encode(snapshot: &Snapshot) -> Vec<u8> {
     let mut out = Vec::new();
     out.extend_from_slice(MAGIC);
     put_u32(&mut out, VERSION);
     put_u64(&mut out, snapshot.created_unix_ms);
-    put_u32(&mut out, snapshot.sections.len() as u32);
+    put_u32(
+        &mut out,
+        (snapshot.sections.len() + snapshot.analyses.len()) as u32,
+    );
     for section in &snapshot.sections {
         let payload = encode_section_payload(section);
         put_str(&mut out, &section.name);
+        put_u64(&mut out, payload.len() as u64);
+        put_u32(&mut out, crc32(&payload));
+        out.extend_from_slice(&payload);
+    }
+    for analysis in &snapshot.analyses {
+        let payload = encode_analyze_payload(&analysis.table);
+        put_str(&mut out, &format!("{ANALYZE_PREFIX}{}", analysis.name));
         put_u64(&mut out, payload.len() as u64);
         put_u32(&mut out, crc32(&payload));
         out.extend_from_slice(&payload);
@@ -609,6 +668,50 @@ fn decode_section_payload(payload: &[u8]) -> Result<(String, CacheExport), Snaps
     Ok((axioms_text, CacheExport { goals, subsets }))
 }
 
+fn decode_analyze_payload(payload: &[u8]) -> Result<DepTable, SnapshotError> {
+    let mut cur = Cursor::new(payload);
+    let proc_count = cur.count(8)?;
+    let mut procs = Vec::with_capacity(proc_count);
+    for _ in 0..proc_count {
+        let proc_name = cur.string()?;
+        let body_hash = cur.u64()?;
+        let axioms_hash = cur.u64()?;
+        let verdict_count = cur.count(5)?;
+        let mut verdicts = Vec::with_capacity(verdict_count);
+        for _ in 0..verdict_count {
+            let query = cur.string()?;
+            let answer = match cur.u8()? {
+                0 => Answer::No,
+                1 => Answer::Yes,
+                t => return Err(SnapshotError::new(format!("bad answer tag {t}"))),
+            };
+            let proof_count = cur.count(3)?;
+            let mut proofs = Vec::with_capacity(proof_count);
+            for _ in 0..proof_count {
+                proofs.push(cur.proof(0)?);
+            }
+            verdicts.push(StoredVerdict {
+                query,
+                answer,
+                proofs,
+            });
+        }
+        procs.push(ProcVerdicts {
+            proc_name,
+            body_hash,
+            axioms_hash,
+            verdicts,
+        });
+    }
+    if cur.remaining() != 0 {
+        return Err(SnapshotError::new(format!(
+            "{} trailing bytes after analyze payload",
+            cur.remaining()
+        )));
+    }
+    Ok(DepTable { procs })
+}
+
 /// Decodes a snapshot file image, yielding one outcome per section.
 ///
 /// Header damage (bad magic, unknown version, truncated header) fails
@@ -669,6 +772,16 @@ pub fn decode(bytes: &[u8]) -> Result<(u64, Vec<SectionOutcome>), SnapshotError>
                 name,
                 format!("crc mismatch: stored {crc:#010x}, computed {actual:#010x}"),
             ));
+            continue;
+        }
+        if let Some(table_name) = name.strip_prefix(ANALYZE_PREFIX) {
+            match decode_analyze_payload(payload) {
+                Ok(table) => outcomes.push(SectionOutcome::Analysis(AnalyzeSection {
+                    name: table_name.to_owned(),
+                    table,
+                })),
+                Err(e) => outcomes.push(corrupt(name, format!("payload undecodable: {e}"))),
+            }
             continue;
         }
         match decode_section_payload(payload) {
@@ -814,6 +927,15 @@ pub fn inspect(bytes: &[u8]) -> Result<String, SnapshotError> {
                     s.export.subsets.len()
                 );
             }
+            SectionOutcome::Analysis(a) => {
+                let _ = writeln!(
+                    out,
+                    "  section {i} [analyze:{}]: ok — {} procedure(s), {} verdict(s)",
+                    a.name,
+                    a.table.procs.len(),
+                    a.table.total_verdicts()
+                );
+            }
             SectionOutcome::Corrupt { name, reason } => {
                 let _ = writeln!(out, "  section {i} [{name}]: CORRUPT — {reason}");
             }
@@ -872,6 +994,44 @@ mod tests {
         Snapshot {
             created_unix_ms: 1_700_000_000_000,
             sections: vec![sample_section()],
+            analyses: Vec::new(),
+        }
+    }
+
+    fn sample_analyze_section() -> AnalyzeSection {
+        let goal = Goal::new(
+            Origin::Same,
+            Path::parse("link").unwrap(),
+            Path::parse("link.link+").unwrap(),
+        );
+        let proof = Proof::leaf(
+            goal,
+            Rule::Axiom {
+                axiom: "A2".into(),
+                swapped: false,
+            },
+        );
+        AnalyzeSection {
+            name: "default".into(),
+            table: DepTable {
+                procs: vec![ProcVerdicts {
+                    proc_name: "update".into(),
+                    body_hash: 0xdead_beef_cafe_f00d,
+                    axioms_hash: 42,
+                    verdicts: vec![
+                        StoredVerdict {
+                            query: "carried U".into(),
+                            answer: Answer::No,
+                            proofs: vec![proof],
+                        },
+                        StoredVerdict {
+                            query: "S vs T".into(),
+                            answer: Answer::Yes,
+                            proofs: Vec::new(),
+                        },
+                    ],
+                }],
+            },
         }
     }
 
@@ -879,7 +1039,8 @@ mod tests {
         let bytes = encode(snap);
         let (created, outcomes) = decode(&bytes).unwrap();
         assert_eq!(created, snap.created_unix_ms);
-        assert_eq!(outcomes.len(), snap.sections.len());
+        assert_eq!(outcomes.len(), snap.sections.len() + snap.analyses.len());
+        // Session sections come first in file order; zip stops there.
         for (outcome, original) in outcomes.iter().zip(&snap.sections) {
             match outcome {
                 SectionOutcome::Restored(s) => {
@@ -904,6 +1065,9 @@ mod tests {
                         assert_eq!(a.holds, b.holds);
                     }
                 }
+                SectionOutcome::Analysis(a) => {
+                    panic!("session section [{}] decoded as analyze section", a.name)
+                }
                 SectionOutcome::Corrupt { reason, .. } => {
                     panic!("clean snapshot decoded as corrupt: {reason}")
                 }
@@ -924,10 +1088,62 @@ mod tests {
     }
 
     #[test]
+    fn analyze_sections_roundtrip_beside_sessions() {
+        let snap = Snapshot {
+            created_unix_ms: 7,
+            sections: vec![sample_section()],
+            analyses: vec![sample_analyze_section()],
+        };
+        let bytes = encode(&snap);
+        let (_, outcomes) = decode(&bytes).unwrap();
+        assert_eq!(outcomes.len(), 2);
+        assert!(matches!(outcomes[0], SectionOutcome::Restored(_)));
+        let SectionOutcome::Analysis(restored) = &outcomes[1] else {
+            panic!("analyze section did not decode: {:?}", outcomes[1]);
+        };
+        let original = sample_analyze_section();
+        assert_eq!(restored.name, original.name);
+        assert_eq!(restored.table.procs.len(), 1);
+        let (got, want) = (&restored.table.procs[0], &original.table.procs[0]);
+        assert_eq!(got.proc_name, want.proc_name);
+        assert_eq!(got.body_hash, want.body_hash);
+        assert_eq!(got.axioms_hash, want.axioms_hash);
+        assert_eq!(got.verdicts.len(), want.verdicts.len());
+        for (g, w) in got.verdicts.iter().zip(&want.verdicts) {
+            assert_eq!(g.query, w.query);
+            assert_eq!(g.answer, w.answer);
+            assert_eq!(g.proofs.len(), w.proofs.len());
+            for (gp, wp) in g.proofs.iter().zip(&w.proofs) {
+                assert_eq!(gp.goal, wp.goal);
+                assert_eq!(gp.node_count(), wp.node_count());
+            }
+        }
+        // Inspect names the table and its sizes.
+        let report = inspect(&bytes).unwrap();
+        assert!(report.contains("analyze:default"), "{report}");
+        assert!(report.contains("2 verdict(s)"), "{report}");
+    }
+
+    #[test]
+    fn corrupt_analyze_section_degrades_not_fails() {
+        let snap = Snapshot {
+            created_unix_ms: 7,
+            sections: Vec::new(),
+            analyses: vec![sample_analyze_section()],
+        };
+        let mut bytes = encode(&snap);
+        let n = bytes.len();
+        bytes[n - 2] ^= 0x10;
+        let (_, outcomes) = decode(&bytes).unwrap();
+        assert!(matches!(outcomes[0], SectionOutcome::Corrupt { .. }));
+    }
+
+    #[test]
     fn bit_flip_in_payload_corrupts_only_that_section() {
         let snap = Snapshot {
             created_unix_ms: 1,
             sections: vec![sample_section(), sample_section()],
+            analyses: Vec::new(),
         };
         let mut bytes = encode(&snap);
         // Flip a byte near the end — inside the second section's payload.

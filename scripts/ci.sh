@@ -64,6 +64,30 @@ fi
 # were removed from crates/core/src/prover.rs, so the compiler now enforces
 # what the grep used to.)
 
+echo "==> the deprecated Analysis::test_batch shims must have no internal call sites"
+# run_batch is the one batch entry point; the old names survive only as
+# #[deprecated] shims in crates/paths/src/analysis.rs. DepTest::test_batch
+# in crates/core is a different, non-deprecated API, so that crate (and the
+# shim/grouping code in analysis.rs itself) is excluded from the sweep.
+deprecated_uses=$(grep -rnE '\.test_batch(_with_stats)?\(' --include='*.rs' \
+    crates src tests examples 2>/dev/null \
+    | grep -v '^crates/core/' \
+    | grep -v '^crates/paths/src/analysis.rs:' || true)
+if [[ -n "$deprecated_uses" ]]; then
+    echo "error: internal call site of a deprecated batch shim (use run_batch):" >&2
+    echo "$deprecated_uses" >&2
+    exit 1
+fi
+
+echo "==> incremental analyze benchmark (smoke: verdict parity)"
+# The bin exits nonzero if any incremental verdict diverges from the
+# from-scratch run; double-check the recorded artifact too.
+cargo run -q --release -p apt-bench --bin analyze_incremental -- --smoke
+if ! grep -q '"verdicts_identical": true' BENCH_analyze.json; then
+    echo "error: BENCH_analyze.json does not record identical verdicts" >&2
+    exit 1
+fi
+
 echo "==> serve throughput benchmark (smoke: warm-session parity + overload)"
 # The bin exits nonzero if any warm-session verdict diverges from the
 # in-process oracle or admission control misbehaves; double-check the
@@ -242,5 +266,76 @@ if ! wait "$SERVE_PID"; then
 fi
 trap - EXIT
 rm -rf "$SNAPDIR"
+
+echo "==> analyze smoke: one-procedure edit, incremental vs cold parity"
+ANDIR=$(mktemp -d /tmp/apt-analyze-ci.XXXXXX)
+trap 'rm -rf "$ANDIR"' EXIT
+BASE="$ANDIR/base.snap"
+# Cold run over the two-procedure example builds the baseline table.
+cold0_rc=0
+"$APT" analyze examples/programs/twoproc.apt --baseline "$BASE" >/dev/null \
+    || cold0_rc=$?
+if [[ ! -f "$BASE" ]]; then
+    echo "error: apt analyze did not persist the baseline table" >&2
+    exit 1
+fi
+# Touch exactly one procedure, then compare a cold run of the edited
+# program against the incremental --changed-only run: the exit-code
+# convention (0 definite, 1 any-Maybe) must agree, and only the edited
+# procedure may re-prove.
+sed 's/h->f = 9;/h->f = 7;/' examples/programs/twoproc.apt > "$ANDIR/edited.apt"
+cold_rc=0
+"$APT" analyze "$ANDIR/edited.apt" >/dev/null || cold_rc=$?
+warm_rc=0
+warm_out=$("$APT" analyze "$ANDIR/edited.apt" --baseline "$BASE" --changed-only) \
+    || warm_rc=$?
+if [[ "$warm_rc" -ne "$cold_rc" ]]; then
+    echo "error: incremental analyze exit $warm_rc, cold exit $cold_rc" >&2
+    exit 1
+fi
+if ! grep -q '1/2 procedures reused' <<<"$warm_out"; then
+    echo "error: expected exactly the unedited procedure to replay:" >&2
+    echo "$warm_out" >&2
+    exit 1
+fi
+if grep -q 'procedure update' <<<"$warm_out"; then
+    echo "error: --changed-only printed the untouched procedure:" >&2
+    echo "$warm_out" >&2
+    exit 1
+fi
+
+# The same analysis through an apt-serve session: cold then warm against
+# one named table, same exit-code convention as the one-shot CLI.
+SOCK="$(mktemp -u /tmp/apt-analyze-ci.XXXXXX).sock"
+"$APT" serve --socket "$SOCK" --workers 2 &
+SERVE_PID=$!
+trap 'kill "$SERVE_PID" 2>/dev/null || true; rm -rf "$ANDIR" "$SOCK"' EXIT
+for _ in $(seq 1 100); do
+    [[ -S "$SOCK" ]] && break
+    sleep 0.05
+done
+served_cold_rc=0
+"$APT" client --socket "$SOCK" analyze "$ANDIR/edited.apt" --name ci >/dev/null \
+    || served_cold_rc=$?
+served_warm_rc=0
+served_out=$("$APT" client --socket "$SOCK" analyze "$ANDIR/edited.apt" --name ci) \
+    || served_warm_rc=$?
+if [[ "$served_cold_rc" -ne "$cold_rc" || "$served_warm_rc" -ne "$cold_rc" ]]; then
+    echo "error: served analyze exits ($served_cold_rc cold, $served_warm_rc warm)" \
+        "disagree with apt analyze exit $cold_rc" >&2
+    exit 1
+fi
+if ! grep -q '"procs_reused":2' <<<"$served_out"; then
+    echo "error: served warm analyze did not replay both procedures:" >&2
+    echo "$served_out" >&2
+    exit 1
+fi
+"$APT" client --socket "$SOCK" shutdown >/dev/null
+wait "$SERVE_PID" || {
+    echo "error: apt serve exited nonzero after analyze smoke" >&2
+    exit 1
+}
+trap - EXIT
+rm -rf "$ANDIR"
 
 echo "CI gate passed."

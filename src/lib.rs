@@ -54,8 +54,9 @@ pub mod prelude {
     //!
     //! Covers the query layer (build a [`DepQuery`], run it on a
     //! [`DepEngine`]), the statement-level tester ([`DepTest`]), the
-    //! whole-procedure analysis ([`analyze_proc`] and batch queries), and
-    //! the axiom/path inputs they consume.
+    //! whole-procedure analysis ([`analyze_proc`] and batch queries), the
+    //! whole-program incremental analysis ([`analyze_program`] and its
+    //! [`DepTable`]), and the axiom/path inputs they consume.
 
     pub use apt_axioms::{adds::parse_adds, Axiom, AxiomSet};
     pub use apt_core::{
@@ -64,6 +65,9 @@ pub mod prelude {
         ProverStats, TestOutcome, Verdict,
     };
     pub use apt_ir::parse_program;
-    pub use apt_paths::{analyze_proc, Analysis, BatchQuery, QueryError};
+    pub use apt_paths::{
+        analyze_proc, analyze_program, Analysis, BatchOptions, BatchQuery, BatchReport, DepTable,
+        ProgramAnalysis, ProgramReport, QueryError, RowOutcome,
+    };
     pub use apt_regex::{Path, Regex};
 }

@@ -257,7 +257,7 @@ fn malformed_frames_get_structured_errors_and_the_connection_survives() {
     expect_code(&mut client, "{\"truncated\": ", "parse_error");
     expect_code(&mut client, &format!("{}1", "[".repeat(200)), "parse_error");
     expect_code(&mut client, r#"{"no":"verb"}"#, "bad_request");
-    expect_code(&mut client, r#"{"verb":"frobnicate"}"#, "bad_request");
+    expect_code(&mut client, r#"{"verb":"frobnicate"}"#, "unsupported");
     expect_code(
         &mut client,
         r#"{"verb":"prove","session":"s0"}"#,
@@ -289,6 +289,146 @@ fn malformed_frames_get_structured_errors_and_the_connection_survives() {
         .prove_disjoint(&session, "L.L.N", "L.R.N", false)
         .expect("prove after malformed frames");
     assert_eq!(parse_verdict(&result).expect("verdict"), (Answer::No, None));
+
+    handle.stop();
+    join.join().expect("server thread");
+}
+
+#[test]
+fn versioned_protocol_hello_analyze_invalidate() {
+    let (addr, handle, join) = start_server(ServeConfig::new());
+    let mut client = connect(addr);
+
+    // `hello` reports the protocol version and the full verb list, so a
+    // client can feature-detect instead of probing.
+    let hello = client
+        .roundtrip(obj(vec![("verb", "hello".into())]))
+        .expect("hello");
+    assert_eq!(
+        hello.get("proto_version").and_then(Json::as_u64),
+        Some(apt::serve::PROTO_VERSION)
+    );
+    let verbs = match hello.get("verbs") {
+        Some(Json::Arr(items)) => items
+            .iter()
+            .filter_map(Json::as_str)
+            .map(str::to_owned)
+            .collect::<Vec<_>>(),
+        other => panic!("hello verbs missing: {other:?}"),
+    };
+    for verb in ["prove", "batch", "analyze", "invalidate", "stats"] {
+        assert!(verbs.iter().any(|v| v == verb), "hello lacks {verb}");
+    }
+
+    // An unknown verb comes back machine-readable: code `unsupported`,
+    // the rejected verb echoed, and the server's version — enough for an
+    // old client talking to a new server (or vice versa) to explain
+    // itself. Read the raw frame to see all three fields.
+    let mut raw = TcpStream::connect(addr).expect("raw connect");
+    raw.write_all(b"{\"verb\":\"explain\"}\n").expect("send");
+    raw.flush().expect("flush");
+    let mut reader = std::io::BufReader::new(raw);
+    let mut line = String::new();
+    std::io::BufRead::read_line(&mut reader, &mut line).expect("read");
+    let frame = apt::serve::json::parse(line.trim()).expect("frame parses");
+    assert_eq!(
+        frame.get("error").and_then(Json::as_str),
+        Some("unsupported")
+    );
+    assert_eq!(frame.get("verb").and_then(Json::as_str), Some("explain"));
+    assert_eq!(
+        frame.get("proto_version").and_then(Json::as_u64),
+        Some(apt::serve::PROTO_VERSION)
+    );
+
+    // Whole-program analysis over the wire: a cold run proves, a warm
+    // re-run of the identical program replays everything definite.
+    let program = "type List {\n    ptr link: List;\n    data f;\n    \
+         axiom A1: forall p <> q, p.link <> q.link;\n    \
+         axiom A2: forall p, p.link+ <> p.eps;\n}\n\
+         proc update(head: List) {\n    q = head;\n    loop {\n    \
+         U:  q->f = fun();\n        q = q->link;\n    }\n}\n\
+         proc touch(h: List) {\nW:  h->f = 9;\nX:  v = h->f;\n}\n";
+    let analyze_frame = |name: &str| {
+        obj(vec![
+            ("verb", "analyze".into()),
+            ("program", program.into()),
+            ("name", name.into()),
+        ])
+    };
+    let cold = client.roundtrip(analyze_frame("t1")).expect("cold analyze");
+    assert_eq!(cold.get("replayed").and_then(Json::as_u64), Some(0));
+    let cold_reproved = cold
+        .get("reproved")
+        .and_then(Json::as_u64)
+        .expect("reproved");
+    assert!(cold_reproved > 0);
+    assert_eq!(cold.get("procs_reused").and_then(Json::as_u64), Some(0));
+
+    let warm = client.roundtrip(analyze_frame("t1")).expect("warm analyze");
+    assert_eq!(warm.get("procs_reused").and_then(Json::as_u64), Some(2));
+    let warm_replayed = warm
+        .get("replayed")
+        .and_then(Json::as_u64)
+        .expect("replayed");
+    assert!(warm_replayed > 0, "warm run replayed nothing: {warm:?}");
+    assert_eq!(
+        warm.get("any_maybe"),
+        cold.get("any_maybe"),
+        "replay changed the overall verdict"
+    );
+    // Tables are per-name: a different name starts cold.
+    let other = client.roundtrip(analyze_frame("t2")).expect("other table");
+    assert_eq!(other.get("replayed").and_then(Json::as_u64), Some(0));
+
+    // Invalidate one procedure: only it re-proves on the next run.
+    let inv = client
+        .roundtrip(obj(vec![
+            ("verb", "invalidate".into()),
+            ("name", "t1".into()),
+            ("proc", "update".into()),
+        ]))
+        .expect("invalidate");
+    assert!(
+        inv.get("dropped_verdicts")
+            .and_then(Json::as_u64)
+            .expect("dropped")
+            > 0
+    );
+    let after = client
+        .roundtrip(analyze_frame("t1"))
+        .expect("after invalidate");
+    assert_eq!(after.get("procs_reused").and_then(Json::as_u64), Some(1));
+    let procs = match after.get("procs") {
+        Some(Json::Arr(items)) => items,
+        other => panic!("procs missing: {other:?}"),
+    };
+    for proc in procs {
+        let name = proc.get("proc").and_then(Json::as_str).expect("proc name");
+        let reused = proc.get("reused").expect("reused flag");
+        assert_eq!(
+            reused,
+            &Json::Bool(name != "update"),
+            "only the invalidated procedure should re-prove"
+        );
+    }
+
+    // `stats` carries the version too, and counted the analyze traffic.
+    let stats = client
+        .roundtrip(obj(vec![("verb", "stats".into())]))
+        .expect("stats");
+    assert_eq!(
+        stats.get("proto_version").and_then(Json::as_u64),
+        Some(apt::serve::PROTO_VERSION)
+    );
+    let server_stats = stats.get("server").expect("server stats");
+    assert!(
+        server_stats
+            .get("analyze_replayed")
+            .and_then(Json::as_u64)
+            .expect("analyze_replayed")
+            > 0
+    );
 
     handle.stop();
     join.join().expect("server thread");
