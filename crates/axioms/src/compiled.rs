@@ -64,30 +64,60 @@ impl SymBits {
 
 /// The dispatch signature of one regular expression: nullability plus
 /// first-/last-/alphabet-symbol bitsets over the compiled alphabet.
+///
+/// Stored as four `u64` lanes — `[first, last, symbols, ε-flag]` — so the
+/// whole containment test is one 4-lane `sub & !sup` fold. The common case
+/// on the prover's dispatch path is a *failed* containment (the misses
+/// outnumber hits ~15:1 on the paper suites), so the kernel does the four
+/// independent and-nots unconditionally and tests the OR once, rather than
+/// short-circuiting lane by lane.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SideSig {
-    /// Symbols that can begin a word.
-    pub first: SymBits,
-    /// Symbols that can end a word.
-    pub last: SymBits,
-    /// Every symbol of any word.
-    pub symbols: SymBits,
-    /// Whether ε is in the language.
-    pub nullable: bool,
+    lanes: [u64; 4],
 }
 
 impl SideSig {
+    /// Builds a signature from its components.
+    pub fn new(first: SymBits, last: SymBits, symbols: SymBits, nullable: bool) -> SideSig {
+        SideSig {
+            lanes: [first.0, last.0, symbols.0, u64::from(nullable)],
+        }
+    }
+
+    /// Symbols that can begin a word.
+    pub fn first(&self) -> SymBits {
+        SymBits(self.lanes[0])
+    }
+
+    /// Symbols that can end a word.
+    pub fn last(&self) -> SymBits {
+        SymBits(self.lanes[1])
+    }
+
+    /// Every symbol of any word.
+    pub fn symbols(&self) -> SymBits {
+        SymBits(self.lanes[2])
+    }
+
+    /// Whether ε is in the language.
+    pub fn nullable(&self) -> bool {
+        self.lanes[3] != 0
+    }
+
     /// Whether `L(self) ⊆ L(sup)` is *possible*: the conjunction of the
     /// necessary conditions `ε ∈ L(self) ⇒ ε ∈ L(sup)`,
     /// `first(self) ⊆ first(sup)`, `last(self) ⊆ last(sup)` and
     /// `alphabet(self) ⊆ alphabet(sup)` (each evaluated on the lossy
     /// bitsets, which can only widen the sets). A `false` here means the
     /// real subset check must answer `false`; a `true` decides nothing.
+    ///
+    /// Each condition is a lane-wise `self & !sup == 0` — including the
+    /// ε implication, since `a ⇒ b` over the 0/1 flag lane *is* bit
+    /// containment — so the whole test is four and-nots and one compare.
     pub fn could_be_subset_of(&self, sup: &SideSig) -> bool {
-        (!self.nullable || sup.nullable)
-            && sup.first.contains_all(self.first)
-            && sup.last.contains_all(self.last)
-            && sup.symbols.contains_all(self.symbols)
+        let (a, b) = (&self.lanes, &sup.lanes);
+        let bad = (a[0] & !b[0]) | (a[1] & !b[1]) | (a[2] & !b[2]) | (a[3] & !b[3]);
+        bad == 0
     }
 
     /// Whether `L(self) = L(other)` is possible (both inclusion directions
@@ -286,12 +316,12 @@ impl CompiledAxioms {
 
     fn sig_for(bit: &HashMap<Symbol, u32>, id: RegexId) -> SideSig {
         let (nullable, first, last, symbols) = id.profile();
-        SideSig {
-            first: Self::bits_of(bit, &first),
-            last: Self::bits_of(bit, &last),
-            symbols: Self::bits_of(bit, &symbols),
+        SideSig::new(
+            Self::bits_of(bit, &first),
+            Self::bits_of(bit, &last),
+            Self::bits_of(bit, &symbols),
             nullable,
-        }
+        )
     }
 
     fn min_dfa(re: &Regex, limits: &Limits) -> (Option<Arc<Dfa>>, usize) {
@@ -484,7 +514,36 @@ mod tests {
         }
         // But ∅ and ε remain compatible everywhere / nullable-gated.
         let eps = sig(&c, "eps");
-        assert!(eps.first.is_empty() && eps.nullable);
+        assert!(eps.first().is_empty() && eps.nullable());
+    }
+
+    #[test]
+    fn lane_packed_containment_matches_the_four_conditions() {
+        // The 4-lane fold must agree with the written-out conjunction on
+        // every pair of goal/axiom signatures the paper suites produce.
+        let set = adds::sparse_matrix_axioms();
+        let c = CompiledAxioms::compile(&set);
+        let mut sigs: Vec<SideSig> = c
+            .axioms()
+            .iter()
+            .flat_map(|ca| [*ca.lhs_sig(), *ca.rhs_sig()])
+            .collect();
+        for text in ["eps", "empty", "zzz", "ncolE", "nrowE.ncolE*", "d*"] {
+            sigs.push(sig(&c, text));
+        }
+        for a in &sigs {
+            for b in &sigs {
+                let naive = (!a.nullable() || b.nullable())
+                    && b.first().contains_all(a.first())
+                    && b.last().contains_all(a.last())
+                    && b.symbols().contains_all(a.symbols());
+                assert_eq!(a.could_be_subset_of(b), naive, "{a:?} vs {b:?}");
+                assert_eq!(
+                    a.could_equal(b),
+                    a.could_be_subset_of(b) && b.could_be_subset_of(a)
+                );
+            }
+        }
     }
 
     #[test]

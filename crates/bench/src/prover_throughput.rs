@@ -50,12 +50,14 @@ impl Default for ProverBenchConfig {
 }
 
 impl ProverBenchConfig {
-    /// The 1-repetition, small-suite configuration used by CI smoke runs.
+    /// The small-suite configuration used by CI smoke runs. Two
+    /// repetitions and five warm passes keep the run fast while giving
+    /// best-of-passes enough samples to damp scheduler noise.
     pub fn smoke() -> ProverBenchConfig {
         ProverBenchConfig {
             depth: 3,
-            reps: 1,
-            warm_passes: 2,
+            reps: 2,
+            warm_passes: 5,
         }
     }
 }
@@ -106,6 +108,9 @@ pub struct ProverBenchResult {
     pub verdicts_identical: bool,
     /// Work counters behind the timings.
     pub counters: KernelCounters,
+    /// Memory reading taken after the timed phases (arena occupancy plus
+    /// process peak RSS).
+    pub memory: apt_core::MemorySample,
 }
 
 impl ProverBenchResult {
@@ -135,12 +140,22 @@ impl ProverBenchResult {
             s,
             "  \"counters\": {{\"linear_subset_checks\": {}, \
              \"indexed_subset_checks\": {}, \"dispatch_hits\": {}, \
-             \"dispatch_misses\": {}, \"neg_memo_hits\": {}}}",
+             \"dispatch_misses\": {}, \"neg_memo_hits\": {}}},",
             c.linear_subset_checks,
             c.indexed_subset_checks,
             c.dispatch_hits,
             c.dispatch_misses,
             c.neg_memo_hits
+        );
+        let m = &self.memory;
+        let _ = writeln!(
+            s,
+            "  \"memory\": {{\"arena_bytes\": {}, \"arena_nodes\": {}, \
+             \"peak_rss_kb\": {}}}",
+            m.arena.live_bytes,
+            m.arena.live_nodes,
+            m.peak_rss_kb
+                .map_or_else(|| "null".to_owned(), |kb| kb.to_string())
         );
         s.push_str("}\n");
         s
@@ -251,6 +266,7 @@ pub fn run(config: &ProverBenchConfig) -> ProverBenchResult {
             dispatch_misses: indexed_stats.dispatch_misses,
             neg_memo_hits: indexed_stats.neg_memo_hits,
         },
+        memory: apt_core::MemorySample::take(),
     }
 }
 

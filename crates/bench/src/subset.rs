@@ -24,7 +24,7 @@
 use apt_axioms::adds::{sparse_matrix_axioms, sparse_matrix_minimal_axioms};
 use apt_axioms::Axiom;
 use apt_regex::dfa::Dfa;
-use apt_regex::{ops, DfaCache, Limits, Regex, RegexId, Symbol};
+use apt_regex::{ops, DfaCache, FxHashMap, Limits, Regex, RegexId, Symbol};
 use std::collections::{HashMap, HashSet};
 use std::fmt::Write as _;
 use std::sync::Arc;
@@ -160,14 +160,14 @@ impl OldKernel {
 /// early-exit product walk.
 struct NewKernel {
     dfas: DfaCache,
-    answers: HashMap<(RegexId, RegexId), bool>,
+    answers: FxHashMap<(RegexId, RegexId), bool>,
 }
 
 impl NewKernel {
     fn new() -> NewKernel {
         NewKernel {
             dfas: DfaCache::new(),
-            answers: HashMap::new(),
+            answers: FxHashMap::default(),
         }
     }
 
@@ -221,6 +221,9 @@ pub struct SubsetBenchResult {
     pub warm: PhaseRow,
     /// Whether both kernels agreed on every pair.
     pub verdicts_identical: bool,
+    /// Memory reading taken after the timed phases (arena occupancy plus
+    /// process peak RSS).
+    pub memory: apt_core::MemorySample,
 }
 
 impl SubsetBenchResult {
@@ -241,11 +244,21 @@ impl SubsetBenchResult {
         let _ = writeln!(
             s,
             "  \"warm\": {{\"passes\": {}, \"old_micros\": {}, \"new_micros\": {}, \
-             \"speedup\": {:.2}}}",
+             \"speedup\": {:.2}}},",
             self.warm_passes,
             self.warm.old_micros,
             self.warm.new_micros,
             self.warm.speedup()
+        );
+        let m = &self.memory;
+        let _ = writeln!(
+            s,
+            "  \"memory\": {{\"arena_bytes\": {}, \"arena_nodes\": {}, \
+             \"peak_rss_kb\": {}}}",
+            m.arena.live_bytes,
+            m.arena.live_nodes,
+            m.peak_rss_kb
+                .map_or_else(|| "null".to_owned(), |kb| kb.to_string())
         );
         s.push_str("}\n");
         s
@@ -311,6 +324,7 @@ pub fn run(config: &SubsetBenchConfig) -> SubsetBenchResult {
             new_micros: warm_new,
         },
         verdicts_identical,
+        memory: apt_core::MemorySample::take(),
     }
 }
 

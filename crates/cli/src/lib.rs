@@ -565,6 +565,22 @@ pub fn cmd_report(
         }
         any_maybe |= report_proc(program_text, name, config, &mut out)?;
     }
+    let mem = apt_core::MemorySample::take();
+    let _ = writeln!(
+        out,
+        "(memory: arena {} nodes / {} bytes{}; peak rss {})",
+        mem.arena.live_nodes,
+        mem.arena.live_bytes,
+        if mem.arena.freed_total > 0 {
+            format!(", {} freed", mem.arena.freed_total)
+        } else {
+            String::new()
+        },
+        match mem.peak_rss_kb {
+            Some(kb) => format!("{kb} kb"),
+            None => "unavailable".to_owned(),
+        }
+    );
     Ok(CmdOutput {
         text: out,
         any_maybe,

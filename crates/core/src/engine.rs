@@ -37,15 +37,14 @@
 //! [`DepQuery::with_budget`] override is honoured exactly as written. One
 //! [`crate::CancelToken`] in the engine budget cancels the entire batch.
 
-use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
-use std::hash::{Hash, Hasher};
+use std::hash::{BuildHasher, Hash};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, PoisonError};
 
 use apt_axioms::{AxiomSet, CompiledAxioms};
 use apt_regex::cache::DfaCache;
-use apt_regex::{Path, RegexId};
+use apt_regex::{ArenaScope, FxBuildHasher, FxHashMap, Path, RegexId};
 
 use crate::config::{Budget, ProverConfig, ProverStats};
 use crate::deptest::Answer;
@@ -119,10 +118,10 @@ impl CacheStats {
 /// interned DFAs. Shared between worker provers via [`Arc`].
 #[derive(Debug)]
 pub struct SharedCache {
-    goals: Vec<Mutex<HashMap<Goal, SharedVerdict>>>,
+    goals: Vec<Mutex<FxHashMap<Goal, SharedVerdict>>>,
     /// `L(a) ⊆ L(b)` answers keyed on hash-consed ids — two machine words
     /// per lookup, no formatted strings anywhere on this path.
-    subsets: Vec<Mutex<HashMap<(RegexId, RegexId), bool>>>,
+    subsets: Vec<Mutex<FxHashMap<(RegexId, RegexId), bool>>>,
     dfas: DfaCache,
     /// Live counts maintained at publication time so [`SharedCache::stats`]
     /// never walks the shards — the serving layer polls it under load.
@@ -132,19 +131,17 @@ pub struct SharedCache {
 }
 
 fn shard_index<K: Hash>(key: &K, shards: usize) -> usize {
-    let mut h = DefaultHasher::new();
-    key.hash(&mut h);
-    (h.finish() as usize) % shards
+    (FxBuildHasher::default().hash_one(key) as usize) % shards
 }
 
 impl SharedCache {
     pub(crate) fn new() -> SharedCache {
         SharedCache {
             goals: (0..GOAL_SHARDS)
-                .map(|_| Mutex::new(HashMap::new()))
+                .map(|_| Mutex::new(FxHashMap::default()))
                 .collect(),
             subsets: (0..SUBSET_SHARDS)
-                .map(|_| Mutex::new(HashMap::new()))
+                .map(|_| Mutex::new(FxHashMap::default()))
                 .collect(),
             dfas: DfaCache::new(),
             proved_count: AtomicUsize::new(0),
@@ -625,6 +622,14 @@ pub struct DepEngine {
     compiled: Arc<CompiledAxioms>,
     config: ProverConfig,
     cache: Arc<SharedCache>,
+    /// The regex-arena retention epoch this engine's interned expressions
+    /// are charged to. Held (shared across clones) for the engine's whole
+    /// life; when the last clone drops, the scope closes and every arena
+    /// entry only this engine touched is compacted. Long-lived callers
+    /// (the serve sessions) open the scope *before* parsing their axiom
+    /// text and pass it in via [`DepEngine::from_arc_in`], so parse-time
+    /// interning is reclaimed on eviction too.
+    arena: Arc<ArenaScope>,
 }
 
 impl DepEngine {
@@ -638,15 +643,35 @@ impl DepEngine {
         DepEngine::from_arc(Arc::new(axioms), config)
     }
 
-    /// An engine over an already-shared axiom set.
+    /// An engine over an already-shared axiom set, holding a fresh arena
+    /// scope opened here (interning done *before* this call — notably the
+    /// `AxiomSet` parse — is charged to the caller's scopes, or pinned).
     pub fn from_arc(axioms: Arc<AxiomSet>, config: ProverConfig) -> DepEngine {
+        DepEngine::from_arc_in(axioms, config, Arc::new(ArenaScope::new()))
+    }
+
+    /// An engine over an already-shared axiom set, adopting `arena` as its
+    /// retention scope. Callers that intern regexes beyond the engine's
+    /// queries (parsing axiom text, pre-interning goals) open the scope
+    /// first so all of it is reclaimed together when the engine dies.
+    pub fn from_arc_in(
+        axioms: Arc<AxiomSet>,
+        config: ProverConfig,
+        arena: Arc<ArenaScope>,
+    ) -> DepEngine {
         let compiled = Arc::new(CompiledAxioms::compile(&axioms));
         DepEngine {
             axioms,
             compiled,
             config,
             cache: Arc::new(SharedCache::new()),
+            arena,
         }
+    }
+
+    /// The arena retention scope this engine holds (shared by its clones).
+    pub fn arena_scope(&self) -> &Arc<ArenaScope> {
+        &self.arena
     }
 
     /// The engine's axioms.

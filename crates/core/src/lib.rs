@@ -47,6 +47,7 @@ mod goal;
 mod handle;
 mod proof;
 mod prover;
+pub mod telemetry;
 mod verdict;
 
 pub use check::{check_proof, ProofError};
@@ -62,4 +63,5 @@ pub use goal::{Goal, Origin};
 pub use handle::{Handle, HandleRelation};
 pub use proof::{PrefixCase, Proof, Rule};
 pub use prover::Prover;
+pub use telemetry::{peak_rss_kb, MemorySample};
 pub use verdict::{MaybeReason, SearchLimit, Verdict};

@@ -39,8 +39,8 @@ use crate::goal::{Goal, Origin};
 use crate::proof::{PrefixCase, Proof, Rule};
 use crate::verdict::{MaybeReason, SearchLimit};
 use apt_axioms::{AxiomKind, AxiomSet, CompiledAxioms, Injectivity, SideSig};
-use apt_regex::{ops, Component, LimitExceeded, Limits, Path, Regex, RegexId, Symbol};
-use std::collections::{HashMap, VecDeque};
+use apt_regex::{ops, Component, FxHashMap, LimitExceeded, Limits, Path, Regex, RegexId, Symbol};
+use std::collections::VecDeque;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -143,10 +143,10 @@ pub struct Prover<'a> {
     /// through this index instead of re-cloning from the set.
     compiled: Arc<CompiledAxioms>,
     config: ProverConfig,
-    cache: HashMap<Goal, CacheState>,
+    cache: FxHashMap<Goal, CacheState>,
     /// Memoized goal-side dispatch signatures, so repeated rule attempts
     /// on recurring suffixes skip the interner lock.
-    sig_memo: HashMap<RegexId, SideSig>,
+    sig_memo: FxHashMap<RegexId, SideSig>,
     /// Bumped whenever [`Prover::prove`] consults an
     /// [`CacheState::InProgress`] ancestor (whether induction fired or
     /// not). A failure whose subtree left this counter untouched depended
@@ -156,7 +156,7 @@ pub struct Prover<'a> {
     /// prover time (§4.2), and the same suffix/axiom pairs recur across
     /// splits. Keyed on hash-consed [`RegexId`] pairs: a lookup hashes two
     /// integers instead of formatting two trees.
-    subset_cache: HashMap<(RegexId, RegexId), SubsetEntry>,
+    subset_cache: FxHashMap<(RegexId, RegexId), SubsetEntry>,
     /// Insertion order of subset-cache keys, for bounded eviction
     /// ([`Prover::evict_subset_entries`]).
     subset_order: VecDeque<(RegexId, RegexId)>,
@@ -214,10 +214,10 @@ impl<'a> Prover<'a> {
             axioms,
             compiled,
             config,
-            cache: HashMap::new(),
-            sig_memo: HashMap::new(),
+            cache: FxHashMap::default(),
+            sig_memo: FxHashMap::default(),
             stack_touches: 0,
-            subset_cache: HashMap::new(),
+            subset_cache: FxHashMap::default(),
             subset_order: VecDeque::new(),
             stats: ProverStats::default(),
             fuel_left: fuel,

@@ -5,10 +5,22 @@
 //! they are stored as dense bit vectors: membership is one shift-and-mask,
 //! union is a word-wise `|=`, and equality/hashing touch `⌈n/64⌉` words
 //! instead of walking a sorted `Vec<usize>`.
+//!
+//! The three kernels the construction hammers — union, equality, hashing —
+//! run over explicit 4×u64 chunks: four independent lanes per loop
+//! iteration that the compiler turns into straight-line vector code, with
+//! a scalar tail for the last `len % 4` blocks. Hashing additionally folds
+//! the whole set into four accumulator lanes *before* touching the
+//! `Hasher`, so a map probe feeds the hasher five words regardless of
+//! capacity instead of one word per block.
 
 use std::fmt;
+use std::hash::{Hash, Hasher};
 
 const BITS: usize = u64::BITS as usize;
+
+/// Blocks per wide chunk in the u64×4 kernels.
+const LANES: usize = 4;
 
 /// A set of small integers (`0..capacity`) backed by `u64` blocks.
 ///
@@ -25,9 +37,56 @@ const BITS: usize = u64::BITS as usize;
 /// assert!(s.contains(129));
 /// assert_eq!(s.iter().collect::<Vec<_>>(), vec![0, 129]);
 /// ```
-#[derive(Clone, PartialEq, Eq, Hash)]
+#[derive(Clone)]
 pub struct BitSet {
     blocks: Box<[u64]>,
+}
+
+impl PartialEq for BitSet {
+    fn eq(&self, other: &BitSet) -> bool {
+        if self.blocks.len() != other.blocks.len() {
+            return false;
+        }
+        // Wide compare: OR the per-lane XORs so the loop body is four
+        // independent ops, then one scalar tail; no early exit per block
+        // (sets compared here are nearly always equal-length and short).
+        let mut a = self.blocks.chunks_exact(LANES);
+        let mut b = other.blocks.chunks_exact(LANES);
+        let mut diff = 0u64;
+        for (x, y) in (&mut a).zip(&mut b) {
+            diff |= (x[0] ^ y[0]) | (x[1] ^ y[1]) | (x[2] ^ y[2]) | (x[3] ^ y[3]);
+        }
+        for (x, y) in a.remainder().iter().zip(b.remainder()) {
+            diff |= x ^ y;
+        }
+        diff == 0
+    }
+}
+
+impl Eq for BitSet {}
+
+impl Hash for BitSet {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        // Fold the blocks into four accumulator lanes (position-dependent:
+        // rotate-xor-multiply per step), then write length + lanes. Equal
+        // sets have equal block vectors, hence equal folds; the hasher
+        // sees 5 words total instead of one per block.
+        const MIX: u64 = 0x9e37_79b9_7f4a_7c15;
+        let mut lanes = [0u64; LANES];
+        let mut chunks = self.blocks.chunks_exact(LANES);
+        for c in &mut chunks {
+            for i in 0..LANES {
+                lanes[i] = (lanes[i].rotate_left(5) ^ c[i]).wrapping_mul(MIX);
+            }
+        }
+        for (i, &b) in chunks.remainder().iter().enumerate() {
+            lanes[i] = (lanes[i].rotate_left(5) ^ b).wrapping_mul(MIX);
+        }
+        state.write_usize(self.blocks.len());
+        for lane in lanes {
+            state.write_u64(lane);
+        }
+    }
 }
 
 impl BitSet {
@@ -65,8 +124,17 @@ impl BitSet {
     /// Panics if `other` was created with a larger capacity.
     pub fn union_with(&mut self, other: &BitSet) {
         assert!(other.blocks.len() <= self.blocks.len());
-        for (dst, src) in self.blocks.iter_mut().zip(other.blocks.iter()) {
-            *dst |= src;
+        let dst = &mut self.blocks[..other.blocks.len()];
+        let mut d = dst.chunks_exact_mut(LANES);
+        let mut s = other.blocks.chunks_exact(LANES);
+        for (x, y) in (&mut d).zip(&mut s) {
+            x[0] |= y[0];
+            x[1] |= y[1];
+            x[2] |= y[2];
+            x[3] |= y[3];
+        }
+        for (x, y) in d.into_remainder().iter_mut().zip(s.remainder()) {
+            *x |= y;
         }
     }
 
@@ -146,6 +214,40 @@ mod tests {
         b.insert(5);
         assert!(seen.insert(a));
         assert!(!seen.insert(b));
+    }
+
+    #[test]
+    fn wide_kernels_agree_across_chunk_boundaries() {
+        // Capacities straddling the 4-block chunk width: 256 bits = 4
+        // blocks exactly, 300 = 4 blocks + tail, 520 = 8 blocks + tail.
+        for cap in [60, 256, 300, 520] {
+            let mut a = BitSet::new(cap);
+            let mut b = BitSet::new(cap);
+            for i in (0..cap).step_by(7) {
+                a.insert(i);
+            }
+            for i in (0..cap).step_by(11) {
+                b.insert(i);
+            }
+            let mut u = a.clone();
+            u.union_with(&b);
+            for i in 0..cap {
+                assert_eq!(u.contains(i), a.contains(i) || b.contains(i), "bit {i}");
+            }
+            // Equality + hash consistency (Eq ⇒ equal hashes).
+            let mut c = BitSet::new(cap);
+            for i in (0..cap).step_by(7) {
+                c.insert(i);
+            }
+            assert_eq!(a, c);
+            assert_ne!(a, b);
+            let hash = |s: &BitSet| {
+                let mut h = std::collections::hash_map::DefaultHasher::new();
+                s.hash(&mut h);
+                std::hash::Hasher::finish(&h)
+            };
+            assert_eq!(hash(&a), hash(&c), "equal sets must hash equal");
+        }
     }
 
     #[test]

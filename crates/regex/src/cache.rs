@@ -18,12 +18,11 @@
 //! finite without an eviction order that would make concurrent runs
 //! nondeterministic.
 
-use std::collections::hash_map::DefaultHasher;
-use std::collections::HashMap;
-use std::hash::{Hash, Hasher};
+use std::hash::BuildHasher;
 use std::sync::{Arc, Mutex};
 
 use crate::dfa::Dfa;
+use crate::fx::{FxBuildHasher, FxHashMap};
 use crate::intern::RegexId;
 use crate::limits::{LimitExceeded, Limits};
 use crate::{Regex, Symbol};
@@ -43,13 +42,13 @@ type Key = (RegexId, Vec<Symbol>);
 /// worker threads.
 #[derive(Debug)]
 pub struct DfaCache {
-    shards: Vec<Mutex<HashMap<Key, Arc<Dfa>>>>,
+    shards: Vec<Mutex<FxHashMap<Key, Arc<Dfa>>>>,
     /// `RegexId → minimized DFA` slot: the Hopcroft-style quotient of the
     /// raw subset-construction automaton, interned separately so the lazy
     /// product walks (`try_subset_of` / `try_intersects`) explore the
     /// smallest pair-state frontier available. Minimization preserves the
     /// language exactly, so a minimized hit answers the same question.
-    min_shards: Vec<Mutex<HashMap<Key, Arc<Dfa>>>>,
+    min_shards: Vec<Mutex<FxHashMap<Key, Arc<Dfa>>>>,
 }
 
 impl Default for DfaCache {
@@ -62,21 +61,24 @@ impl DfaCache {
     /// An empty cache.
     pub fn new() -> DfaCache {
         DfaCache {
-            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
-            min_shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            shards: (0..SHARDS)
+                .map(|_| Mutex::new(FxHashMap::default()))
+                .collect(),
+            min_shards: (0..SHARDS)
+                .map(|_| Mutex::new(FxHashMap::default()))
+                .collect(),
         }
     }
 
     fn shard_of<'a>(
-        shards: &'a [Mutex<HashMap<Key, Arc<Dfa>>>],
+        shards: &'a [Mutex<FxHashMap<Key, Arc<Dfa>>>],
         key: &Key,
-    ) -> &'a Mutex<HashMap<Key, Arc<Dfa>>> {
-        let mut h = DefaultHasher::new();
-        key.hash(&mut h);
-        &shards[(h.finish() as usize) % SHARDS]
+    ) -> &'a Mutex<FxHashMap<Key, Arc<Dfa>>> {
+        let h = FxBuildHasher::default().hash_one(key);
+        &shards[(h as usize) % SHARDS]
     }
 
-    fn shard(&self, key: &Key) -> &Mutex<HashMap<Key, Arc<Dfa>>> {
+    fn shard(&self, key: &Key) -> &Mutex<FxHashMap<Key, Arc<Dfa>>> {
         DfaCache::shard_of(&self.shards, key)
     }
 
@@ -100,7 +102,7 @@ impl DfaCache {
     /// observability counter behind the `apt report` / `apt batch`
     /// minimized-vs-raw lines.
     pub fn state_totals(&self) -> (usize, usize) {
-        let sum = |shards: &[Mutex<HashMap<Key, Arc<Dfa>>>]| {
+        let sum = |shards: &[Mutex<FxHashMap<Key, Arc<Dfa>>>]| {
             shards
                 .iter()
                 .map(|s| {

@@ -5,21 +5,76 @@
 //! state is added when needed), which makes complementation a matter of
 //! flipping accept bits — exactly the construction the paper cites (\[HU79\])
 //! for the subset test.
+//!
+//! # Memory layout
+//!
+//! The transition function is a single contiguous row-major table of dense
+//! `u32` state ids: the successor of `state` on alphabet symbol index `ai`
+//! lives at `trans[state * alphabet_len + ai]`. One heap allocation per
+//! automaton (instead of one `Vec` per state), and every walk — product
+//! exploration, emptiness, minimization — streams rows the prefetcher can
+//! see coming. Pair-state visited sets in the lazy product walks are dense
+//! bitmaps over `n1 × n2` when that fits, falling back to a hash set for
+//! outsized products.
 
 use crate::bitset::BitSet;
+use crate::fx::{FxHashMap, FxHashSet};
 use crate::limits::{LimitExceeded, Limits, Meter};
 use crate::nfa::Nfa;
 use crate::{Regex, Symbol};
-use std::collections::{HashMap, HashSet};
+use std::collections::HashSet;
+
+/// Largest `n1 * n2` product for which the lazy walks allocate a dense
+/// visited bitmap up front (in bits; 1 Mbit = 128 KiB). Bigger products —
+/// only reachable under generous state budgets — use a hash set sized by
+/// what the walk actually visits.
+const DENSE_PAIR_BITS: usize = 1 << 20;
 
 /// A complete DFA over an explicit alphabet.
 #[derive(Debug, Clone)]
 pub struct Dfa {
     alphabet: Vec<Symbol>,
-    /// `trans[state][alphabet_index]` — always present (complete DFA).
-    trans: Vec<Vec<usize>>,
+    /// Flat row-major transition table: `trans[state * alphabet_len + ai]`
+    /// — always present (complete DFA), dense `u32` state ids.
+    trans: Box<[u32]>,
     accept: Vec<bool>,
     start: usize,
+}
+
+/// Visited-set for the lazy product walks: dense bitmap when `n1 * n2`
+/// is small enough to zero cheaply, hash set otherwise. Insertion order
+/// semantics are identical either way (test-and-set membership).
+enum PairSeen {
+    Dense { bits: Vec<u64>, n2: usize },
+    Sparse(FxHashSet<(u32, u32)>),
+}
+
+impl PairSeen {
+    fn new(n1: usize, n2: usize) -> PairSeen {
+        match n1.checked_mul(n2) {
+            Some(total) if total <= DENSE_PAIR_BITS => PairSeen::Dense {
+                bits: vec![0u64; total.div_ceil(64)],
+                n2,
+            },
+            _ => PairSeen::Sparse(FxHashSet::default()),
+        }
+    }
+
+    /// Inserts `(p, q)`, returning `true` if it was not already present.
+    #[inline]
+    fn insert(&mut self, p: u32, q: u32) -> bool {
+        match self {
+            PairSeen::Dense { bits, n2 } => {
+                let i = p as usize * *n2 + q as usize;
+                let mask = 1u64 << (i % 64);
+                let block = &mut bits[i / 64];
+                let fresh = *block & mask == 0;
+                *block |= mask;
+                fresh
+            }
+            PairSeen::Sparse(set) => set.insert((p, q)),
+        }
+    }
 }
 
 impl Dfa {
@@ -63,25 +118,27 @@ impl Dfa {
         }
         let nfa = Nfa::build(re);
         let alphabet = alphabet.to_vec();
+        let k = alphabet.len();
         let mut meter = Meter::new(limits)?;
 
         // Bitset-backed subset construction: DFA states are ε-closed NFA
         // state sets stored as dense bit vectors, hashed word-wise.
         let n = nfa.state_count();
         let closures = nfa.epsilon_closures();
-        let mut states: HashMap<BitSet, usize> = HashMap::new();
-        let mut trans: Vec<Vec<usize>> = Vec::new();
+        let mut states: FxHashMap<BitSet, u32> = FxHashMap::default();
+        let mut trans: Vec<u32> = Vec::new();
         let mut accept: Vec<bool> = Vec::new();
-        let mut worklist: Vec<(usize, BitSet)> = Vec::new();
+        let mut worklist: Vec<(u32, BitSet)> = Vec::new();
 
         let start_set = closures[nfa.start()].clone();
         meter.add_state()?;
         states.insert(start_set.clone(), 0);
-        trans.push(vec![usize::MAX; alphabet.len()]);
+        trans.resize(k, u32::MAX);
         accept.push(start_set.contains(nfa.accept()));
         worklist.push((0, start_set));
 
         while let Some((id, set)) = worklist.pop() {
+            let row = id as usize * k;
             for (ai, &sym) in alphabet.iter().enumerate() {
                 let mut next = BitSet::new(n);
                 nfa.step_closure_into(&set, sym, &closures, &mut next);
@@ -89,21 +146,21 @@ impl Dfa {
                     Some(&i) => i,
                     None => {
                         meter.add_state()?;
-                        let i = trans.len();
+                        let i = u32::try_from(accept.len()).expect("DFA state id overflow");
                         states.insert(next.clone(), i);
-                        trans.push(vec![usize::MAX; alphabet.len()]);
+                        trans.resize(trans.len() + k, u32::MAX);
                         accept.push(next.contains(nfa.accept()));
                         worklist.push((i, next));
                         i
                     }
                 };
-                trans[id][ai] = next_id;
+                trans[row + ai] = next_id;
             }
         }
-        debug_assert!(trans.iter().all(|row| row.iter().all(|&t| t != usize::MAX)));
+        debug_assert!(trans.iter().all(|&t| t != u32::MAX));
         Ok(Dfa {
             alphabet,
-            trans,
+            trans: trans.into_boxed_slice(),
             accept,
             start: 0,
         })
@@ -116,7 +173,7 @@ impl Dfa {
 
     /// Number of states (including any dead state).
     pub fn state_count(&self) -> usize {
-        self.trans.len()
+        self.accept.len()
     }
 
     /// Start state id.
@@ -127,6 +184,13 @@ impl Dfa {
     /// Whether `state` is accepting.
     pub fn is_accepting(&self, state: usize) -> bool {
         self.accept[state]
+    }
+
+    /// The flat transition row of `state`: successor ids in alphabet order.
+    #[inline]
+    fn row(&self, state: usize) -> &[u32] {
+        let k = self.alphabet.len();
+        &self.trans[state * k..state * k + k]
     }
 
     /// The successor of `state` on `sym`.
@@ -140,7 +204,7 @@ impl Dfa {
             .iter()
             .position(|&a| a == sym)
             .expect("symbol not in DFA alphabet");
-        self.trans[state][ai]
+        self.trans[state * self.alphabet.len() + ai] as usize
     }
 
     /// Runs the DFA on `word`.
@@ -187,39 +251,44 @@ impl Dfa {
             self.alphabet, other.alphabet,
             "product requires identical alphabets"
         );
+        let k = self.alphabet.len();
         let mut meter = Meter::new(limits)?;
-        let mut states: HashMap<(usize, usize), usize> = HashMap::new();
-        let mut trans: Vec<Vec<usize>> = Vec::new();
+        let mut states: FxHashMap<(u32, u32), u32> = FxHashMap::default();
+        let mut trans: Vec<u32> = Vec::new();
         let mut accept: Vec<bool> = Vec::new();
-        let mut worklist = vec![(self.start, other.start)];
+        let start = (self.start as u32, other.start as u32);
+        let mut worklist = vec![start];
         meter.add_state()?;
-        states.insert((self.start, other.start), 0);
-        trans.push(vec![usize::MAX; self.alphabet.len()]);
+        states.insert(start, 0);
+        trans.resize(k, u32::MAX);
         accept.push(self.accept[self.start] && other.accept[other.start]);
 
         while let Some((p, q)) = worklist.pop() {
             let id = states[&(p, q)];
-            for ai in 0..self.alphabet.len() {
-                let np = self.trans[p][ai];
-                let nq = other.trans[q][ai];
+            let prow = self.row(p as usize);
+            let qrow = other.row(q as usize);
+            let row = id as usize * k;
+            for ai in 0..k {
+                let np = prow[ai];
+                let nq = qrow[ai];
                 let next_id = match states.get(&(np, nq)) {
                     Some(&i) => i,
                     None => {
                         meter.add_state()?;
-                        let i = trans.len();
+                        let i = u32::try_from(accept.len()).expect("DFA state id overflow");
                         states.insert((np, nq), i);
-                        trans.push(vec![usize::MAX; self.alphabet.len()]);
-                        accept.push(self.accept[np] && other.accept[nq]);
+                        trans.resize(trans.len() + k, u32::MAX);
+                        accept.push(self.accept[np as usize] && other.accept[nq as usize]);
                         worklist.push((np, nq));
                         i
                     }
                 };
-                trans[id][ai] = next_id;
+                trans[row + ai] = next_id;
             }
         }
         Ok(Dfa {
             alphabet: self.alphabet.clone(),
-            trans,
+            trans: trans.into_boxed_slice(),
             accept,
             start: 0,
         })
@@ -241,22 +310,25 @@ impl Dfa {
             self.alphabet, other.alphabet,
             "product requires identical alphabets"
         );
+        let k = self.alphabet.len();
         let mut meter = Meter::new(limits)?;
-        let mut seen: HashSet<(usize, usize)> = HashSet::new();
-        let start = (self.start, other.start);
+        let mut seen = PairSeen::new(self.state_count(), other.state_count());
+        let start = (self.start as u32, other.start as u32);
         meter.add_state()?;
-        seen.insert(start);
-        if want(self.accept[start.0], other.accept[start.1]) {
+        seen.insert(start.0, start.1);
+        if want(self.accept[self.start], other.accept[other.start]) {
             return Ok(true);
         }
         let mut stack = vec![start];
         while let Some((p, q)) = stack.pop() {
-            for ai in 0..self.alphabet.len() {
-                let np = self.trans[p][ai];
-                let nq = other.trans[q][ai];
-                if seen.insert((np, nq)) {
+            let prow = self.row(p as usize);
+            let qrow = other.row(q as usize);
+            for ai in 0..k {
+                let np = prow[ai];
+                let nq = qrow[ai];
+                if seen.insert(np, nq) {
                     meter.add_state()?;
-                    if want(self.accept[np], other.accept[nq]) {
+                    if want(self.accept[np as usize], other.accept[nq as usize]) {
                         return Ok(true);
                     }
                     stack.push((np, nq));
@@ -300,17 +372,18 @@ impl Dfa {
 
     /// Whether the language is empty (no accepting state reachable).
     pub fn is_empty(&self) -> bool {
-        let mut seen = vec![false; self.trans.len()];
+        let n = self.state_count();
+        let mut seen = vec![false; n];
         let mut stack = vec![self.start];
         seen[self.start] = true;
         while let Some(s) = stack.pop() {
             if self.accept[s] {
                 return false;
             }
-            for &t in &self.trans[s] {
-                if !seen[t] {
-                    seen[t] = true;
-                    stack.push(t);
+            for &t in self.row(s) {
+                if !seen[t as usize] {
+                    seen[t as usize] = true;
+                    stack.push(t as usize);
                 }
             }
         }
@@ -319,8 +392,9 @@ impl Dfa {
 
     /// A shortest accepted word, if the language is nonempty (BFS witness).
     pub fn shortest_word(&self) -> Option<Vec<Symbol>> {
-        let mut prev: Vec<Option<(usize, Symbol)>> = vec![None; self.trans.len()];
-        let mut seen = vec![false; self.trans.len()];
+        let n = self.state_count();
+        let mut prev: Vec<Option<(usize, Symbol)>> = vec![None; n];
+        let mut seen = vec![false; n];
         let mut queue = std::collections::VecDeque::new();
         queue.push_back(self.start);
         seen[self.start] = true;
@@ -330,7 +404,8 @@ impl Dfa {
         }
         while found.is_none() {
             let Some(s) = queue.pop_front() else { break };
-            for (ai, &t) in self.trans[s].iter().enumerate() {
+            for (ai, &t) in self.row(s).iter().enumerate() {
+                let t = t as usize;
                 if !seen[t] {
                     seen[t] = true;
                     prev[t] = Some((s, self.alphabet[ai]));
@@ -352,17 +427,17 @@ impl Dfa {
         Some(word)
     }
 
-    /// Hopcroft minimization: an equivalent DFA with the minimum number of
-    /// states (up to isomorphism).
+    /// Minimization: an equivalent DFA with the minimum number of states
+    /// (up to isomorphism), by Moore-style iterative partition refinement.
     pub fn minimize(&self) -> Dfa {
-        let n = self.trans.len();
+        let n = self.state_count();
         let k = self.alphabet.len();
         if n == 0 {
             return self.clone();
         }
         // Initial partition: accepting / non-accepting.
-        let mut block_of: Vec<usize> = self.accept.iter().map(|&a| if a { 0 } else { 1 }).collect();
-        let mut block_count = if self.accept.iter().all(|&a| a == self.accept[0]) {
+        let mut block_of: Vec<u32> = self.accept.iter().map(|&a| u32::from(!a)).collect();
+        let mut block_count: u32 = if self.accept.iter().all(|&a| a == self.accept[0]) {
             // Collapse to a single block when uniform.
             block_of.fill(0);
             1
@@ -371,43 +446,55 @@ impl Dfa {
         };
 
         // Iterative refinement (Moore's algorithm — simpler than full
-        // Hopcroft and more than fast enough at our DFA sizes).
+        // Hopcroft and more than fast enough at our DFA sizes). One
+        // scratch signature buffer keyed straight off the flat table is
+        // reused across all states and passes; a fresh signature is
+        // allocated only when a state founds a new block.
+        let mut sig_to_block: FxHashMap<Box<[u32]>, u32> = FxHashMap::default();
+        let mut scratch: Vec<u32> = Vec::with_capacity(k + 1);
+        let mut new_block_of: Vec<u32> = vec![0; n];
         loop {
-            let mut sig_to_block: HashMap<(usize, Vec<usize>), usize> = HashMap::new();
-            let mut new_block_of = vec![0usize; n];
-            let mut new_count = 0;
+            sig_to_block.clear();
+            let mut new_count: u32 = 0;
             for s in 0..n {
-                let sig: Vec<usize> = (0..k).map(|ai| block_of[self.trans[s][ai]]).collect();
-                let key = (block_of[s], sig);
-                let b = *sig_to_block.entry(key).or_insert_with(|| {
-                    let b = new_count;
-                    new_count += 1;
-                    b
-                });
+                scratch.clear();
+                scratch.push(block_of[s]);
+                scratch.extend(self.row(s).iter().map(|&t| block_of[t as usize]));
+                let b = match sig_to_block.get(scratch.as_slice()) {
+                    Some(&b) => b,
+                    None => {
+                        let b = new_count;
+                        new_count += 1;
+                        sig_to_block.insert(scratch.as_slice().into(), b);
+                        b
+                    }
+                };
                 new_block_of[s] = b;
             }
             if new_count == block_count {
                 break;
             }
-            block_of = new_block_of;
+            std::mem::swap(&mut block_of, &mut new_block_of);
             block_count = new_count;
         }
 
-        // Build the quotient automaton (restricted to reachable blocks).
-        let mut trans = vec![vec![usize::MAX; k]; block_count];
-        let mut accept = vec![false; block_count];
+        // Build the quotient automaton.
+        let bc = block_count as usize;
+        let mut trans = vec![u32::MAX; bc * k];
+        let mut accept = vec![false; bc];
         for s in 0..n {
-            let b = block_of[s];
+            let b = block_of[s] as usize;
             accept[b] = accept[b] || self.accept[s];
+            let row = self.row(s);
             for ai in 0..k {
-                trans[b][ai] = block_of[self.trans[s][ai]];
+                trans[b * k + ai] = block_of[row[ai] as usize];
             }
         }
         Dfa {
             alphabet: self.alphabet.clone(),
-            trans,
+            trans: trans.into_boxed_slice(),
             accept,
-            start: block_of[self.start],
+            start: block_of[self.start] as usize,
         }
     }
 }
@@ -600,6 +687,25 @@ mod tests {
             x.try_intersects(&never, &tight).err(),
             Some(LimitExceeded::States { budget: 2 })
         );
+    }
+
+    #[test]
+    fn flat_table_rows_are_contiguous_and_complete() {
+        let alpha = syms(&["L", "R", "N"]);
+        let dfa = Dfa::build(&crate::parse("(L|R)+.N").unwrap(), &alpha);
+        let n = dfa.state_count();
+        let k = dfa.alphabet().len();
+        assert_eq!(dfa.trans.len(), n * k, "one row of k successors per state");
+        for s in 0..n {
+            for (ai, &sym) in alpha.iter().enumerate() {
+                assert_eq!(
+                    dfa.trans[s * k + ai] as usize,
+                    dfa.next_state(s, sym),
+                    "row-major indexing must match next_state"
+                );
+                assert!((dfa.trans[s * k + ai] as usize) < n, "complete DFA");
+            }
+        }
     }
 
     #[test]

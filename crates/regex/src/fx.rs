@@ -1,0 +1,124 @@
+//! A fast, non-cryptographic hasher for the prover's integer-keyed maps.
+//!
+//! The hot caches key on [`crate::RegexId`] pairs, dense DFA state ids,
+//! and small bitset blocks. `std`'s default SipHash is keyed and
+//! DoS-resistant, but on two-word keys its per-lookup cost dwarfs the
+//! probe itself. [`FxHasher`] is the word-at-a-time multiply-xor fold
+//! used by rustc: one rotate, one xor, one multiply per word. None of the
+//! maps using it are fed attacker-chosen keys — ids come out of our own
+//! arenas — so the DoS resistance being traded away was never load-bearing.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// The multiplicative constant from the Firefox/rustc Fx hash.
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// Word-at-a-time multiply-xor hasher (rustc's `FxHasher`).
+#[derive(Default, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.add(u64::from_ne_bytes(c.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..rest.len()].copy_from_slice(rest);
+            self.add(u64::from_ne_bytes(tail));
+            self.add(rest.len() as u64);
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, n: u16) {
+        self.add(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` using [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` using [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::{BuildHasher, Hash};
+
+    fn hash_of<T: Hash>(v: &T) -> u64 {
+        FxBuildHasher::default().hash_one(v)
+    }
+
+    #[test]
+    fn equal_values_hash_equal() {
+        assert_eq!(hash_of(&(3u32, 7u32)), hash_of(&(3u32, 7u32)));
+        assert_ne!(hash_of(&(3u32, 7u32)), hash_of(&(7u32, 3u32)));
+        assert_eq!(hash_of(&"hello"), hash_of(&"hello"));
+        assert_ne!(hash_of(&"hello"), hash_of(&"hellp"));
+    }
+
+    #[test]
+    fn map_and_set_round_trip() {
+        let mut m: FxHashMap<(u32, u32), bool> = FxHashMap::default();
+        m.insert((1, 2), true);
+        m.insert((2, 1), false);
+        assert_eq!(m.get(&(1, 2)), Some(&true));
+        assert_eq!(m.get(&(2, 1)), Some(&false));
+        let mut s: FxHashSet<u64> = FxHashSet::default();
+        assert!(s.insert(42));
+        assert!(!s.insert(42));
+    }
+
+    #[test]
+    fn byte_writes_distinguish_lengths() {
+        // The tail padding must not collapse distinct slices.
+        let mut a = FxHasher::default();
+        a.write(&[1, 0]);
+        let mut b = FxHasher::default();
+        b.write(&[1]);
+        assert_ne!(a.finish(), b.finish());
+    }
+}

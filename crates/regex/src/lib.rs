@@ -54,6 +54,7 @@ pub mod bitset;
 pub mod cache;
 pub mod derivative;
 pub mod dfa;
+pub mod fx;
 pub mod intern;
 pub mod limits;
 pub mod nfa;
@@ -65,7 +66,8 @@ mod symbol;
 
 pub use ast::Regex;
 pub use cache::DfaCache;
-pub use intern::RegexId;
+pub use fx::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
+pub use intern::{arena_stats, ArenaScope, ArenaStats, RegexId};
 pub use limits::{LimitExceeded, Limits};
 pub use parse::{parse, ParseRegexError};
 pub use path::{Component, Path};

@@ -186,6 +186,24 @@ impl Metrics {
             .clone()
     }
 
+    /// The `memory` block of the `stats` response: regex-arena occupancy
+    /// (the allocation pool bounded by session-scoped compaction) plus
+    /// the process peak RSS the CI soak gates on.
+    pub fn memory_json() -> Json {
+        let m = apt_core::MemorySample::take();
+        obj(vec![
+            ("arena_bytes", (m.arena.live_bytes as u64).into()),
+            ("arena_nodes", (m.arena.live_nodes as u64).into()),
+            ("arena_pinned_nodes", (m.arena.pinned_nodes as u64).into()),
+            ("arena_scopes", (m.arena.active_scopes as u64).into()),
+            ("arena_freed_total", m.arena.freed_total.into()),
+            (
+                "peak_rss_kb",
+                m.peak_rss_kb.map(Json::from).unwrap_or(Json::Null),
+            ),
+        ])
+    }
+
     /// The server-level block of the `stats` response.
     pub fn to_json(&self) -> Json {
         let read = |c: &AtomicU64| -> Json { c.load(Ordering::Relaxed).into() };
@@ -206,6 +224,7 @@ impl Metrics {
             ("read_timeouts", read(&self.read_timeouts)),
             ("analyze_replayed", read(&self.analyze_replayed)),
             ("analyze_reproved", read(&self.analyze_reproved)),
+            ("memory", Metrics::memory_json()),
             ("snapshot", self.snapshot_status().to_json()),
         ])
     }
@@ -231,6 +250,19 @@ mod tests {
         assert_eq!(json.get("queries_total").and_then(Json::as_u64), Some(5));
         assert_eq!(json.get("errors_total").and_then(Json::as_u64), Some(0));
         assert!(json.get("uptime_ms").is_some());
+    }
+
+    #[test]
+    fn memory_block_reports_arena_and_rss() {
+        let json = Metrics::new().to_json();
+        let mem = json.get("memory").cloned().unwrap();
+        // The arena always holds at least the pinned ∅/ε constants.
+        assert!(mem.get("arena_nodes").and_then(Json::as_u64).unwrap() >= 2);
+        assert!(mem.get("arena_bytes").and_then(Json::as_u64).unwrap() > 0);
+        assert!(mem.get("arena_freed_total").is_some());
+        if cfg!(target_os = "linux") {
+            assert!(mem.get("peak_rss_kb").and_then(Json::as_u64).unwrap() > 0);
+        }
     }
 
     #[test]

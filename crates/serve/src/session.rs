@@ -27,7 +27,8 @@ use std::sync::{Arc, Mutex, PoisonError};
 
 use apt_axioms::adds::parse_axioms_auto;
 use apt_axioms::AxiomSet;
-use apt_core::DepEngine;
+use apt_core::{DepEngine, ProverConfig};
+use apt_regex::ArenaScope;
 
 use crate::proto::ProtoError;
 
@@ -135,6 +136,13 @@ impl SessionRegistry {
     ///
     /// `bad_request` when the text does not parse.
     pub fn open(&self, axioms_text: &str) -> Result<Opened, ProtoError> {
+        // Open the arena retention scope *before* parsing: the axiom
+        // expressions interned by the parse are then charged to this
+        // session's epoch, so evicting the session reclaims them. (On a
+        // deduped or failed open the scope simply drops again and its
+        // charges drain — the resident session's own scope keeps the
+        // shared entries alive.)
+        let scope = Arc::new(ArenaScope::new());
         let set =
             parse_axioms_auto(axioms_text).map_err(|e| ProtoError::bad(format!("axioms: {e}")))?;
         let hash = set_hash(&set);
@@ -177,7 +185,11 @@ impl SessionRegistry {
         };
         let session = format!("s{}", inner.next_id);
         inner.next_id += 1;
-        let engine = Arc::new(DepEngine::new(set));
+        let engine = Arc::new(DepEngine::from_arc_in(
+            Arc::new(set),
+            ProverConfig::default(),
+            scope,
+        ));
         inner.sessions.insert(
             session.clone(),
             Entry {

@@ -37,6 +37,17 @@ if ! grep -q '"verdicts_identical": true' BENCH_prover.json; then
     exit 1
 fi
 
+echo "==> the DFA transition table must stay flat (no nested Vec rows)"
+# The data-oriented refactor replaced the per-state Vec<Vec<usize>> rows
+# with one contiguous row-major Box<[u32]>; a nested table reintroduces a
+# pointer chase per state on the product-walk hot path.
+nested_rows=$(grep -nE 'Vec<\s*Vec<\s*usize\s*>\s*>' crates/regex/src/dfa.rs 2>/dev/null || true)
+if [[ -n "$nested_rows" ]]; then
+    echo "error: nested Vec<Vec<usize>> transition rows in dfa.rs (use the flat table):" >&2
+    echo "$nested_rows" >&2
+    exit 1
+fi
+
 echo "==> proof search must go through the compiled dispatch index"
 # The CompiledAxioms refactor removed every linear axiom scan (and the
 # per-call eq-axiom cloning) from the prover hot path; reintroducing
@@ -266,6 +277,66 @@ if ! wait "$SERVE_PID"; then
 fi
 trap - EXIT
 rm -rf "$SNAPDIR"
+
+echo "==> session-churn soak: LRU eviction compacts the arena, RSS bounded"
+# Churn 40 distinct axiom sets through a 2-slot registry: each open past
+# the cap evicts an engine, which closes its arena scope and compacts the
+# evicted session's regex entries. The gate checks both signals — the
+# stats memory block must report compaction work (arena_freed_total), and
+# resident memory must plateau instead of growing with sets-ever-opened.
+CHURNDIR=$(mktemp -d /tmp/apt-serve-churn.XXXXXX)
+SOCK="$(mktemp -u /tmp/apt-serve-churn.XXXXXX).sock"
+"$APT" serve --socket "$SOCK" --workers 2 --max-sessions 2 &
+SERVE_PID=$!
+trap 'kill -9 "$SERVE_PID" 2>/dev/null || true; rm -rf "$CHURNDIR" "$SOCK"' EXIT
+for _ in $(seq 1 100); do
+    [[ -S "$SOCK" ]] && break
+    sleep 0.05
+done
+for i in $(seq 1 40); do
+    cat > "$CHURNDIR/set$i.axioms" <<EOF
+A1: forall p <> q, p.churnF$i <> q.churnF$i
+A2: forall p, p.churnG$i+ <> p.churnH$i.churnG$i*
+EOF
+done
+# Warm-up opens fill the registry; record the baseline after they settle.
+for i in 1 2; do
+    "$APT" client --socket "$SOCK" open "$CHURNDIR/set$i.axioms" >/dev/null
+done
+CHURN_RSS_START=$(awk '/VmRSS/{print $2}' "/proc/$SERVE_PID/status" 2>/dev/null || echo 0)
+for i in $(seq 3 40); do
+    sess=$("$APT" client --socket "$SOCK" open "$CHURNDIR/set$i.axioms" | sed 's/^session: //')
+    "$APT" client --socket "$SOCK" prove "$sess" "churnF$i" "churnF$i" --distinct \
+        >/dev/null || true
+done
+CHURN_RSS_END=$(awk '/VmRSS/{print $2}' "/proc/$SERVE_PID/status" 2>/dev/null || echo 0)
+stats=$("$APT" client --socket "$SOCK" stats)
+freed=$(sed -n 's/.*"arena_freed_total":\([0-9]*\).*/\1/p' <<<"$stats")
+scopes=$(sed -n 's/.*"arena_scopes":\([0-9]*\).*/\1/p' <<<"$stats")
+if [[ -z "$freed" || "$freed" -eq 0 ]]; then
+    echo "error: churn soak never compacted the arena (arena_freed_total=${freed:-missing})" >&2
+    echo "$stats" >&2
+    exit 1
+fi
+if [[ -z "$scopes" || "$scopes" -gt 2 ]]; then
+    echo "error: churn soak left ${scopes:-?} arena scopes open (cap is 2 sessions)" >&2
+    exit 1
+fi
+if [[ "$CHURN_RSS_START" -gt 0 && "$CHURN_RSS_END" -gt 0 ]]; then
+    CHURN_GROWTH=$((CHURN_RSS_END - CHURN_RSS_START))
+    if [[ "$CHURN_GROWTH" -gt 16384 ]]; then
+        echo "error: churning 38 evicted sessions grew RSS by ${CHURN_GROWTH} kB (>16 MiB)" >&2
+        exit 1
+    fi
+    echo "    churn: arena_freed_total=$freed, RSS growth ${CHURN_GROWTH} kB over 38 evictions"
+fi
+"$APT" client --socket "$SOCK" shutdown >/dev/null
+if ! wait "$SERVE_PID"; then
+    echo "error: apt serve exited nonzero after churn soak shutdown" >&2
+    exit 1
+fi
+trap - EXIT
+rm -rf "$CHURNDIR"
 
 echo "==> analyze smoke: one-procedure edit, incremental vs cold parity"
 ANDIR=$(mktemp -d /tmp/apt-analyze-ci.XXXXXX)

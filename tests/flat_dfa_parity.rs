@@ -1,0 +1,233 @@
+//! Parity suite for the flat-table DFA core.
+//!
+//! `Dfa` stores its transition function as one contiguous row-major
+//! `u32` table. This suite pins that layout to the semantics of the
+//! nested-`Vec<Vec<usize>>` representation it replaced: a reference
+//! subset construction (embedded here, nested vectors, identical
+//! worklist discipline and metering) is run side by side with the
+//! production builder on random regexes, and everything observable must
+//! match — every transition, acceptance of every short word, the
+//! limit-tripped outcome under the same state budget, and the
+//! minimized-DFA state count.
+
+use apt_regex::bitset::BitSet;
+use apt_regex::dfa::Dfa;
+use apt_regex::nfa::Nfa;
+use apt_regex::{LimitExceeded, Limits, Regex, Symbol};
+use proptest::prelude::*;
+
+/// The pre-flattening representation: one heap `Vec` of successors per
+/// state. Built by the same bitset subset construction, same worklist
+/// order, same per-state metering (`check_states` after each state is
+/// materialized, exactly like the production `Meter`).
+struct RefDfa {
+    alphabet: Vec<Symbol>,
+    trans: Vec<Vec<usize>>,
+    accept: Vec<bool>,
+    start: usize,
+}
+
+impl RefDfa {
+    fn try_build(
+        re: &Regex,
+        alphabet: &[Symbol],
+        limits: &Limits,
+    ) -> Result<RefDfa, LimitExceeded> {
+        let nfa = Nfa::build(re);
+        let n = nfa.state_count();
+        let k = alphabet.len();
+        let closures = nfa.epsilon_closures();
+        let mut states: std::collections::HashMap<BitSet, usize> = std::collections::HashMap::new();
+        let mut trans: Vec<Vec<usize>> = Vec::new();
+        let mut accept: Vec<bool> = Vec::new();
+        let mut worklist: Vec<(usize, BitSet)> = Vec::new();
+        let mut metered = 0usize;
+        let add_state = |metered: &mut usize| -> Result<(), LimitExceeded> {
+            *metered += 1;
+            limits.check_states(*metered)
+        };
+
+        let start_set = closures[nfa.start()].clone();
+        add_state(&mut metered)?;
+        states.insert(start_set.clone(), 0);
+        trans.push(vec![usize::MAX; k]);
+        accept.push(start_set.contains(nfa.accept()));
+        worklist.push((0, start_set));
+
+        while let Some((id, set)) = worklist.pop() {
+            for (ai, &sym) in alphabet.iter().enumerate() {
+                let mut next = BitSet::new(n);
+                nfa.step_closure_into(&set, sym, &closures, &mut next);
+                let next_id = match states.get(&next) {
+                    Some(&i) => i,
+                    None => {
+                        add_state(&mut metered)?;
+                        let i = accept.len();
+                        states.insert(next.clone(), i);
+                        trans.push(vec![usize::MAX; k]);
+                        accept.push(next.contains(nfa.accept()));
+                        worklist.push((i, next));
+                        i
+                    }
+                };
+                trans[id][ai] = next_id;
+            }
+        }
+        Ok(RefDfa {
+            alphabet: alphabet.to_vec(),
+            trans,
+            accept,
+            start: 0,
+        })
+    }
+
+    fn accepts(&self, word: &[Symbol]) -> bool {
+        let mut s = self.start;
+        for sym in word {
+            let ai = self.alphabet.iter().position(|a| a == sym).unwrap();
+            s = self.trans[s][ai];
+        }
+        self.accept[s]
+    }
+
+    /// Moore refinement over the nested representation — only the final
+    /// block count is compared (minimized DFAs are unique up to
+    /// isomorphism, so equal counts + equal language is the full claim,
+    /// and the language side is covered by the word checks).
+    fn minimized_state_count(&self) -> usize {
+        let n = self.accept.len();
+        let mut block_of: Vec<usize> = self.accept.iter().map(|&a| usize::from(!a)).collect();
+        let mut block_count = if self.accept.iter().all(|&a| a == self.accept[0]) {
+            block_of.fill(0);
+            1
+        } else {
+            2
+        };
+        loop {
+            let mut sig_to_block: std::collections::HashMap<Vec<usize>, usize> =
+                std::collections::HashMap::new();
+            let mut new_block_of = vec![0usize; n];
+            for s in 0..n {
+                let mut sig = vec![block_of[s]];
+                sig.extend(self.trans[s].iter().map(|&t| block_of[t]));
+                let next = sig_to_block.len();
+                let b = *sig_to_block.entry(sig).or_insert(next);
+                new_block_of[s] = b;
+            }
+            if sig_to_block.len() == block_count {
+                return block_count;
+            }
+            block_count = sig_to_block.len();
+            block_of = new_block_of;
+        }
+    }
+}
+
+fn alphabet() -> Vec<Symbol> {
+    ["a", "b", "c"].iter().map(|s| Symbol::intern(s)).collect()
+}
+
+/// All words over the alphabet up to length 4 (121 words).
+fn short_words(alpha: &[Symbol]) -> Vec<Vec<Symbol>> {
+    let mut words = vec![vec![]];
+    let mut frontier = vec![vec![]];
+    for _ in 0..4 {
+        let mut next = Vec::new();
+        for base in &frontier {
+            for &s in alpha {
+                let mut w = base.clone();
+                w.push(s);
+                next.push(w);
+            }
+        }
+        words.extend(next.iter().cloned());
+        frontier = next;
+    }
+    words
+}
+
+fn regex_strategy() -> BoxedStrategy<Regex> {
+    let leaf = prop_oneof![
+        3 => prop::sample::select(vec!["a", "b", "c"]).prop_map(Regex::field),
+        1 => Just(Regex::epsilon()),
+    ];
+    leaf.prop_recursive(3, 24, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(x, y)| Regex::concat(x, y)),
+            (inner.clone(), inner.clone()).prop_map(|(x, y)| Regex::alt(x, y)),
+            inner.clone().prop_map(Regex::star),
+            inner.prop_map(Regex::plus),
+        ]
+    })
+    .boxed()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(160))]
+
+    /// Unbounded: the flat table is transition-for-transition identical
+    /// to the nested reference (same state ids — both constructions pop
+    /// the same worklist in the same order), and agrees on every short
+    /// word.
+    #[test]
+    fn flat_table_matches_nested_reference(re in regex_strategy()) {
+        let alpha = alphabet();
+        let flat = Dfa::try_build(&re, &alpha, &Limits::none()).unwrap();
+        let reference = RefDfa::try_build(&re, &alpha, &Limits::none()).unwrap();
+        prop_assert_eq!(flat.state_count(), reference.accept.len());
+        prop_assert_eq!(flat.start(), reference.start);
+        for s in 0..flat.state_count() {
+            prop_assert_eq!(flat.is_accepting(s), reference.accept[s], "accept of {}", s);
+            for (ai, &sym) in alpha.iter().enumerate() {
+                prop_assert_eq!(
+                    flat.next_state(s, sym),
+                    reference.trans[s][ai],
+                    "transition ({}, {})", s, sym
+                );
+            }
+        }
+        for word in short_words(&alpha) {
+            prop_assert_eq!(flat.accepts(&word), reference.accepts(&word), "word {:?}", word);
+        }
+    }
+
+    /// Metering parity: under every budget at or below the true state
+    /// count, both constructions trip the identical `States` error; at
+    /// the exact count and above, both succeed.
+    #[test]
+    fn state_budgets_trip_identically(re in regex_strategy()) {
+        let alpha = alphabet();
+        let full = Dfa::try_build(&re, &alpha, &Limits::none()).unwrap();
+        let n = full.state_count();
+        for budget in [1, n.saturating_sub(1).max(1), n, n + 1] {
+            let limits = Limits::none().with_max_states(budget);
+            let flat = Dfa::try_build(&re, &alpha, &limits).map(|d| d.state_count());
+            let reference = RefDfa::try_build(&re, &alpha, &limits).map(|d| d.accept.len());
+            prop_assert_eq!(flat, reference, "budget {}", budget);
+            if budget >= n {
+                prop_assert!(Dfa::try_build(&re, &alpha, &limits).is_ok());
+            } else {
+                prop_assert_eq!(
+                    Dfa::try_build(&re, &alpha, &limits).err(),
+                    Some(LimitExceeded::States { budget })
+                );
+            }
+        }
+    }
+
+    /// Minimization parity: the flat quotient has exactly as many states
+    /// as Moore refinement over the nested representation, preserves the
+    /// language on short words, and never grows.
+    #[test]
+    fn minimized_state_counts_match(re in regex_strategy()) {
+        let alpha = alphabet();
+        let flat = Dfa::try_build(&re, &alpha, &Limits::none()).unwrap();
+        let min = flat.minimize();
+        let reference = RefDfa::try_build(&re, &alpha, &Limits::none()).unwrap();
+        prop_assert_eq!(min.state_count(), reference.minimized_state_count());
+        prop_assert!(min.state_count() <= flat.state_count());
+        for word in short_words(&alpha) {
+            prop_assert_eq!(min.accepts(&word), flat.accepts(&word), "word {:?}", word);
+        }
+    }
+}
