@@ -70,6 +70,30 @@ fn main() {
         restart.restored_goals,
         if restart.behaved() { "ok" } else { "MISBEHAVED" }
     );
+    let conc = &result.concurrency;
+    println!(
+        "concurrency: {} idle conns (target {}), threads {} -> {}, \
+         rss {} kB -> {} kB (~{} B/conn)",
+        conc.connections,
+        conc.target,
+        conc.threads_before,
+        conc.threads_during,
+        conc.rss_before_kb,
+        conc.rss_during_kb,
+        conc.rss_per_conn_bytes
+    );
+    println!(
+        "  accept-to-first-byte p50 {} us | active p50/p99 {}/{} us \
+         ({} reqs) | server p50/p99 {}/{} us, queue p99 {} us ({})",
+        conc.accept_to_first_byte_p50_us,
+        conc.p50_us,
+        conc.p99_us,
+        conc.active_requests,
+        conc.server_request_p50_us,
+        conc.server_request_p99_us,
+        conc.server_queue_p99_us,
+        if conc.behaved() { "ok" } else { "MISBEHAVED" }
+    );
 
     let json = result.to_json();
     std::fs::write("BENCH_serve.json", &json).expect("write BENCH_serve.json");
@@ -88,6 +112,17 @@ fn main() {
             "error: warm restart must restore fully, answer identically, and \
              beat a cold restart by >=3x (got {:.2}x, restore {})",
             result.restart.speedup, result.restart.restore
+        );
+        std::process::exit(1);
+    }
+    if !result.concurrency.behaved() {
+        eprintln!(
+            "error: concurrency probe misbehaved (threads {} -> {}, {} conns, \
+             verdicts_identical {})",
+            result.concurrency.threads_before,
+            result.concurrency.threads_during,
+            result.concurrency.connections,
+            result.concurrency.verdicts_identical
         );
         std::process::exit(1);
     }

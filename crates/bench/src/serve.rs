@@ -43,18 +43,30 @@ pub struct ServeBenchConfig {
     pub depth: usize,
     /// Timed repetitions of the warm-session pass (best-of).
     pub reps: usize,
+    /// Idle connections the concurrency probe tries to hold (scaled
+    /// down to what the fd limit allows — both ends live in this
+    /// process, so each connection costs two descriptors).
+    pub idle_conns: usize,
 }
 
 impl Default for ServeBenchConfig {
     fn default() -> ServeBenchConfig {
-        ServeBenchConfig { depth: 4, reps: 5 }
+        ServeBenchConfig {
+            depth: 4,
+            reps: 5,
+            idle_conns: 10_000,
+        }
     }
 }
 
 impl ServeBenchConfig {
     /// The small configuration used by CI smoke runs.
     pub fn smoke() -> ServeBenchConfig {
-        ServeBenchConfig { depth: 2, reps: 2 }
+        ServeBenchConfig {
+            depth: 2,
+            reps: 2,
+            idle_conns: 1_200,
+        }
     }
 }
 
@@ -141,6 +153,58 @@ impl RestartResult {
     }
 }
 
+/// Connection-scaling probe: thousands of idle connections must cost
+/// state, not threads, and must not degrade the active clients
+/// threading requests through the crowd.
+#[derive(Debug, Clone)]
+pub struct ConcurrencyResult {
+    /// Idle connections actually held.
+    pub connections: usize,
+    /// What the config asked for before fd-limit scaling.
+    pub target: usize,
+    /// Process thread count before the idle crowd connected.
+    pub threads_before: usize,
+    /// Process thread count with every idle connection held — the
+    /// headline invariant is `threads_during == threads_before`.
+    pub threads_during: usize,
+    /// VmRSS (kB) before the idle crowd connected.
+    pub rss_before_kb: u64,
+    /// VmRSS (kB) with every idle connection held. Both socket ends
+    /// live in this process, so the delta is an upper bound on the
+    /// server's own per-connection memory.
+    pub rss_during_kb: u64,
+    /// `(rss_during - rss_before) * 1024 / connections`.
+    pub rss_per_conn_bytes: u64,
+    /// Median connect-to-first-response-byte micros for a fresh
+    /// connection arriving while the idle crowd is held.
+    pub accept_to_first_byte_p50_us: u64,
+    /// Active-load round-trips measured (4 clients, mixed with idle).
+    pub active_requests: usize,
+    /// Client-observed p50 round-trip micros under mixed load.
+    pub p50_us: u64,
+    /// Client-observed p99 round-trip micros under mixed load.
+    pub p99_us: u64,
+    /// Server-side request-service p50/p99 micros (from the `stats`
+    /// latency histograms).
+    pub server_request_p50_us: u64,
+    /// Server-side p99.
+    pub server_request_p99_us: u64,
+    /// Server-side queue-wait p99 micros.
+    pub server_queue_p99_us: u64,
+    /// Every active-load verdict matched the in-process oracle.
+    pub verdicts_identical: bool,
+}
+
+impl ConcurrencyResult {
+    /// The gate: no thread growth, right answers, and a crowd of at
+    /// least a thousand (or the scaled-down target on tiny fd limits).
+    pub fn behaved(&self) -> bool {
+        self.threads_during == self.threads_before
+            && self.verdicts_identical
+            && self.connections >= self.target.min(1_000)
+    }
+}
+
 /// The measured result.
 #[derive(Debug, Clone)]
 pub struct ServeBenchResult {
@@ -169,6 +233,8 @@ pub struct ServeBenchResult {
     pub overload_ok: bool,
     /// Crash-restart warmth probe.
     pub restart: RestartResult,
+    /// Connection-scaling probe.
+    pub concurrency: ConcurrencyResult,
 }
 
 impl ServeBenchResult {
@@ -222,7 +288,7 @@ impl ServeBenchResult {
             s,
             "  \"restart\": {{\"cold_micros\": {}, \"warm_micros\": {}, \
              \"speedup\": {:.2}, \"restore\": \"{}\", \"restored_goals\": {}, \
-             \"verdicts_identical\": {}, \"behaved\": {}}}",
+             \"verdicts_identical\": {}, \"behaved\": {}}},",
             r.cold_micros,
             r.warm_micros,
             r.speedup,
@@ -230,6 +296,34 @@ impl ServeBenchResult {
             r.restored_goals,
             r.verdicts_identical,
             r.behaved()
+        );
+        let c = &self.concurrency;
+        let _ = writeln!(
+            s,
+            "  \"concurrency\": {{\"connections\": {}, \"target\": {}, \
+             \"threads_before\": {}, \"threads_during\": {}, \
+             \"rss_before_kb\": {}, \"rss_during_kb\": {}, \
+             \"rss_per_conn_bytes\": {}, \"accept_to_first_byte_p50_us\": {}, \
+             \"active_requests\": {}, \"p50_us\": {}, \"p99_us\": {}, \
+             \"server_request_p50_us\": {}, \"server_request_p99_us\": {}, \
+             \"server_queue_p99_us\": {}, \"verdicts_identical\": {}, \
+             \"behaved\": {}}}",
+            c.connections,
+            c.target,
+            c.threads_before,
+            c.threads_during,
+            c.rss_before_kb,
+            c.rss_during_kb,
+            c.rss_per_conn_bytes,
+            c.accept_to_first_byte_p50_us,
+            c.active_requests,
+            c.p50_us,
+            c.p99_us,
+            c.server_request_p50_us,
+            c.server_request_p99_us,
+            c.server_queue_p99_us,
+            c.verdicts_identical,
+            c.behaved()
         );
         s.push_str("}\n");
         s
@@ -346,6 +440,7 @@ pub fn run(config: &ServeBenchConfig) -> ServeBenchResult {
 
     let overload_refusals = overload_probe();
     let restart = restart_probe();
+    let concurrency = concurrency_probe(config.idle_conns, &suite, &oracle, &axioms_text);
     let secs = warm_session_micros as f64 / 1e6;
     ServeBenchResult {
         queries: suite.len(),
@@ -359,6 +454,166 @@ pub fn run(config: &ServeBenchConfig) -> ServeBenchResult {
         overload_refusals,
         overload_ok: overload_refusals == 2,
         restart,
+        concurrency,
+    }
+}
+
+/// Threads and VmRSS (kB) of this process, from /proc.
+fn proc_threads_rss() -> (usize, u64) {
+    let status = std::fs::read_to_string("/proc/self/status").unwrap_or_default();
+    let field = |key: &str| {
+        status
+            .lines()
+            .find_map(|l| l.strip_prefix(key))
+            .and_then(|v| {
+                v.split_whitespace()
+                    .next()
+                    .and_then(|n| n.parse::<u64>().ok())
+            })
+            .unwrap_or(0)
+    };
+    (field("Threads:") as usize, field("VmRSS:"))
+}
+
+fn percentile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// Holds as many idle connections as the fd limit allows (both ends in
+/// this process: two fds each) while four active clients run suite
+/// passes through the crowd, then reads the server's own latency
+/// histograms back out of `stats`.
+fn concurrency_probe(
+    target: usize,
+    suite: &[SuiteQuery],
+    oracle: &[VerdictKey],
+    axioms_text: &str,
+) -> ConcurrencyResult {
+    let connections = match apt_serve::poll::nofile_limit() {
+        // Reserve 1024 fds for everything that is not an idle pair.
+        Some(limit) => target.min((limit.saturating_sub(1024) / 2) as usize),
+        None => target.min(1_000),
+    };
+
+    let mut server = Server::new(ServeConfig::new());
+    let addr = server.bind_tcp("127.0.0.1:0").expect("bind");
+    let handle = server.handle();
+    let server_thread = std::thread::spawn(move || server.run().expect("server run"));
+
+    // Warm the session before measuring anything.
+    let mut client = Client::connect_tcp(&addr.to_string()).expect("connect");
+    let session = client.open_session(axioms_text).expect("open session");
+    let mut verdicts_identical = suite_pass(&mut client, &session, suite, oracle);
+
+    let (threads_before, rss_before_kb) = proc_threads_rss();
+
+    // The idle crowd. Pace the connects so the single-threaded accept
+    // loop keeps up with the listen backlog (one CPU runs both ends).
+    let mut idle: Vec<TcpStream> = Vec::with_capacity(connections);
+    for i in 0..connections {
+        match TcpStream::connect(addr) {
+            Ok(s) => idle.push(s),
+            Err(e) => panic!("idle connect {i}/{connections}: {e}"),
+        }
+        if i % 100 == 99 {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    }
+    std::thread::sleep(Duration::from_millis(200));
+    let (threads_during, rss_during_kb) = proc_threads_rss();
+
+    // Accept-to-first-byte for fresh arrivals behind the crowd.
+    let mut accept_us: Vec<u64> = (0..32)
+        .map(|_| {
+            let started = Instant::now();
+            let mut s = TcpStream::connect(addr).expect("probe connect");
+            s.write_all(b"{\"verb\":\"hello\"}\n").expect("probe send");
+            let mut byte = [0u8; 1];
+            std::io::Read::read_exact(&mut s, &mut byte).expect("probe first byte");
+            u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX)
+        })
+        .collect();
+    accept_us.sort_unstable();
+
+    // Mixed load: four clients hammer prove round-trips through the
+    // idle crowd, each timing every request.
+    const PASSES: usize = 10;
+    let workers: Vec<_> = (0..4)
+        .map(|_| {
+            let addr = addr.to_string();
+            let axioms_text = axioms_text.to_owned();
+            let suite = suite.to_vec();
+            let oracle = oracle.to_vec();
+            std::thread::spawn(move || {
+                let mut client = Client::connect_tcp(&addr).expect("active connect");
+                let session = client.open_session(&axioms_text).expect("active open");
+                let mut lat = Vec::with_capacity(PASSES * suite.len());
+                let mut identical = true;
+                for _ in 0..PASSES {
+                    for (q, oracle_key) in suite.iter().zip(&oracle) {
+                        let started = Instant::now();
+                        let reply = client
+                            .roundtrip_raw(&prove_frame(&session, q))
+                            .expect("active prove");
+                        lat.push(u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX));
+                        let result = reply.get("result").expect("result field");
+                        let key = fingerprint_wire(result).expect("verdict parses");
+                        identical &= key == *oracle_key;
+                    }
+                }
+                (lat, identical)
+            })
+        })
+        .collect();
+    let mut latencies: Vec<u64> = Vec::new();
+    for worker in workers {
+        let (lat, identical) = worker.join().expect("active client");
+        latencies.extend(lat);
+        verdicts_identical &= identical;
+    }
+    latencies.sort_unstable();
+
+    // The server's own histograms, through the same wire they ship on.
+    let stats = client
+        .roundtrip_raw(&obj(vec![("verb", Json::from("stats"))]).render())
+        .expect("stats round-trip");
+    let hist_quantile = |which: &str, q: &str| {
+        stats
+            .get("server")
+            .and_then(|s| s.get("latency"))
+            .and_then(|l| l.get(which))
+            .and_then(|h| h.get(q))
+            .and_then(Json::as_u64)
+            .unwrap_or(0)
+    };
+
+    let active = latencies.len();
+    drop(idle);
+    handle.stop();
+    let _ = client.shutdown();
+    server_thread.join().expect("server thread");
+
+    ConcurrencyResult {
+        connections,
+        target,
+        threads_before,
+        threads_during,
+        rss_before_kb,
+        rss_during_kb,
+        rss_per_conn_bytes: rss_during_kb.saturating_sub(rss_before_kb) * 1024
+            / connections.max(1) as u64,
+        accept_to_first_byte_p50_us: percentile(&accept_us, 0.50),
+        active_requests: active,
+        p50_us: percentile(&latencies, 0.50),
+        p99_us: percentile(&latencies, 0.99),
+        server_request_p50_us: hist_quantile("request_us", "p50_us"),
+        server_request_p99_us: hist_quantile("request_us", "p99_us"),
+        server_queue_p99_us: hist_quantile("queue_wait_us", "p99_us"),
+        verdicts_identical,
     }
 }
 
@@ -604,6 +859,21 @@ mod tests {
         assert!(result.restart.verdicts_identical);
         assert_eq!(result.restart.restore, "warm", "{:?}", result.restart);
         assert!(result.restart.restored_goals > 0, "{:?}", result.restart);
+        // The concurrency probe must hold its crowd and answer right.
+        // (The zero-thread-growth gate lives in the bench binary: under
+        // `cargo test` another test's threads could start or stop
+        // between the two samples.)
+        assert!(result.concurrency.verdicts_identical);
+        assert!(
+            result.concurrency.connections >= 1_000,
+            "{:?}",
+            result.concurrency
+        );
+        assert!(
+            result.concurrency.server_request_p99_us > 0,
+            "server histograms recorded nothing: {:?}",
+            result.concurrency
+        );
         let json = result.to_json();
         assert!(json.contains("\"verdicts_identical\": true"), "{json}");
         assert!(json.contains("\"restore\": \"warm\""), "{json}");

@@ -838,8 +838,9 @@ USAGE:
               [--jobs <n>]
   apt serve  [--addr <host:port>] [--socket <path>] [--workers <n>]
              [--high-water <n>] [--max-sessions <m>]
-             [--snapshot-dir <dir>] [--snapshot-interval-ms <n>]
-             [--idle-timeout-ms <n>] [--fault-plan <spec>]
+             [--max-connections <n>] [--snapshot-dir <dir>]
+             [--snapshot-interval-ms <n>] [--idle-timeout-ms <n>]
+             [--fault-plan <spec>]
   apt client (--addr <host:port> | --socket <path>) <verb> …
       verbs: open <axioms-file> | prove <session> <p1> <p2> [--distinct]
              analyze <program-file> [--name <t>] [--changed-only]
@@ -864,6 +865,11 @@ SERVE PERSISTENCE FLAGS:
                                graceful shutdown)
   --idle-timeout-ms <n>        per-connection read deadline (default
                                120000; 0 disables)
+  --max-connections <n>        concurrent connections admitted (default:
+                               the process fd limit minus 512 headroom;
+                               raise `ulimit -n` before raising this).
+                               Connections past the cap get an
+                               'overloaded' error frame, not a hang
   --fault-plan <spec>          DEV ONLY — inject snapshot I/O faults,
                                e.g. 'write_err=2,torn=0.5,fsync_err'
 
@@ -1064,6 +1070,9 @@ pub fn cmd_serve(args: &[String], config: &ProverConfig) -> Result<CmdOutput, Cl
     }
     if let Some(n) = usize_flag("--max-sessions")? {
         serve_config.max_sessions = n;
+    }
+    if let Some(n) = usize_flag("--max-connections")? {
+        serve_config.max_connections = n;
     }
     let u64_flag = |flag: &str| -> Result<Option<u64>, CliError> {
         match flag_value(flag) {

@@ -18,10 +18,17 @@
 //!   error codes, outcome rendering.
 //! * [`session`] — the session registry: structural dedupe of axiom
 //!   sets and LRU eviction of idle engines.
-//! * [`server`] — listeners, the bounded worker pool with `overloaded`
-//!   refusals, per-connection reader/handler threads, and
-//!   disconnect-triggered proof cancellation.
-//! * [`metrics`] — lifetime counters behind the `stats` verb.
+//! * [`poll`] — a std-only epoll shim (raw syscall bindings, the one
+//!   `unsafe` module) plus an eventfd [`poll::Waker`].
+//! * [`reactor`] — the event loop: nonblocking listeners and sockets as
+//!   per-connection state machines (incremental line framing, buffered
+//!   writes with backpressure, a timer wheel for idle/slow-loris
+//!   deadlines) handing parsed requests to the worker pool.
+//! * [`server`] — configuration, the bounded worker pool with
+//!   `overloaded` refusals, request dispatch, snapshot restore/flush,
+//!   and disconnect-triggered proof cancellation.
+//! * [`metrics`] — lifetime counters and log2 latency histograms
+//!   behind the `stats` verb.
 //! * [`snapshot`] — crash-safe warm-state persistence: a versioned,
 //!   checksummed, per-section-recoverable binary snapshot of every
 //!   session's axiom set and definite proof/subset caches.
@@ -32,10 +39,13 @@
 //!   jittered exponential backoff.
 //!
 //! Everything is std-only: no async runtime, no serde, no network
-//! crates — plain blocking sockets and threads, in keeping with the
-//! repository's no-new-dependencies rule.
+//! crates — nonblocking sockets behind an epoll readiness loop, plus a
+//! fixed pool of proving threads, in keeping with the repository's
+//! no-new-dependencies rule. `unsafe` is denied crate-wide and allowed
+//! only inside [`poll`], whose raw syscall bindings are the entire
+//! kernel surface.
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 #![cfg_attr(
     not(test),
@@ -46,14 +56,16 @@ pub mod client;
 pub mod fault;
 pub mod json;
 pub mod metrics;
+pub mod poll;
 pub mod proto;
+pub mod reactor;
 pub mod server;
 pub mod session;
 pub mod snapshot;
 
 pub use client::{Client, ClientError, RetryPolicy};
 pub use fault::FaultPlan;
-pub use metrics::{RestoreOutcome, SnapshotStatus};
+pub use metrics::{Histogram, RestoreOutcome, SnapshotStatus};
 pub use proto::{ErrorCode, ProtoError, WireBudget, WireQuery, PROTO_VERSION, SUPPORTED_VERBS};
 pub use server::{ServeConfig, Server, ServerHandle};
 pub use session::{Opened, SessionDump, SessionInfo, SessionRegistry};

@@ -18,6 +18,117 @@ use std::time::Instant;
 
 use crate::json::{obj, Json};
 
+// ---------------------------------------------------------------------------
+// Log2 latency histograms.
+// ---------------------------------------------------------------------------
+
+/// Power-of-two buckets, enough for `u64` microseconds.
+const HIST_BUCKETS: usize = 64;
+
+/// A fixed-bucket log2 histogram of microsecond durations.
+///
+/// Bucket `i` counts samples in `(2^(i-1), 2^i]` microseconds (bucket 0
+/// holds zeros and ones), so recording is a `leading_zeros` plus one
+/// relaxed `fetch_add` — cheap enough for the reactor's per-request hot
+/// path. Quantiles are read as the *upper bound* of the bucket holding
+/// the target rank: a conservative estimate with at most 2x
+/// overstatement, which is the right bias for latency SLO reporting.
+pub struct Histogram {
+    buckets: [AtomicU64; HIST_BUCKETS],
+    count: AtomicU64,
+    sum_us: AtomicU64,
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        Histogram {
+            buckets: [const { AtomicU64::new(0) }; HIST_BUCKETS],
+            count: AtomicU64::new(0),
+            sum_us: AtomicU64::new(0),
+        }
+    }
+
+    fn bucket_index(us: u64) -> usize {
+        if us <= 1 {
+            0
+        } else {
+            // floor(log2(us-1)) + 1 == index of the bucket whose upper
+            // bound 2^i is the first >= us.
+            (64 - (us - 1).leading_zeros() as usize).min(HIST_BUCKETS - 1)
+        }
+    }
+
+    /// Records one sample, in microseconds.
+    pub fn record_us(&self, us: u64) {
+        self.buckets[Histogram::bucket_index(us)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_us.fetch_add(us, Ordering::Relaxed);
+    }
+
+    /// Records one sample given as a [`std::time::Duration`].
+    pub fn record(&self, elapsed: std::time::Duration) {
+        self.record_us(u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX));
+    }
+
+    /// Samples recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// The `q`-quantile (0 < q <= 1) in microseconds, as the upper
+    /// bound of the bucket containing that rank; `None` when empty.
+    pub fn quantile_us(&self, q: f64) -> Option<u64> {
+        let counts: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return None;
+        }
+        // ceil(q * total), clamped to [1, total].
+        let target = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (i, &c) in counts.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return Some(if i >= 63 { u64::MAX } else { 1u64 << i });
+            }
+        }
+        Some(u64::MAX)
+    }
+
+    /// Mean in microseconds; `None` when empty.
+    pub fn mean_us(&self) -> Option<u64> {
+        self.sum_us
+            .load(Ordering::Relaxed)
+            .checked_div(self.count.load(Ordering::Relaxed))
+    }
+
+    /// The `stats`-verb rendering: count, mean, p50/p90/p99.
+    pub fn to_json(&self) -> Json {
+        let q = |q: f64| -> Json { self.quantile_us(q).map(Json::from).unwrap_or(Json::Null) };
+        obj(vec![
+            ("count", self.count().into()),
+            (
+                "mean_us",
+                self.mean_us().map(Json::from).unwrap_or(Json::Null),
+            ),
+            ("p50_us", q(0.50)),
+            ("p90_us", q(0.90)),
+            ("p99_us", q(0.99)),
+        ])
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram::new()
+    }
+}
+
 /// How the daemon came up, per its last restore attempt.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RestoreOutcome {
@@ -140,6 +251,13 @@ pub struct Metrics {
     pub analyze_replayed: AtomicU64,
     /// `analyze` queries sent through the prover.
     pub analyze_reproved: AtomicU64,
+    /// Connections refused at the `--max-connections` cap.
+    pub connection_refusals: AtomicU64,
+    /// Request service time: first byte of the frame parsed to response
+    /// enqueued on the connection's write buffer.
+    pub latency_request: Histogram,
+    /// Queue wait: pooled-job submission to a worker picking it up.
+    pub latency_queue: Histogram,
     snapshot: Mutex<SnapshotStatus>,
 }
 
@@ -158,6 +276,9 @@ impl Metrics {
             read_timeouts: AtomicU64::new(0),
             analyze_replayed: AtomicU64::new(0),
             analyze_reproved: AtomicU64::new(0),
+            connection_refusals: AtomicU64::new(0),
+            latency_request: Histogram::new(),
+            latency_queue: Histogram::new(),
             snapshot: Mutex::new(SnapshotStatus::default()),
         }
     }
@@ -224,6 +345,14 @@ impl Metrics {
             ("read_timeouts", read(&self.read_timeouts)),
             ("analyze_replayed", read(&self.analyze_replayed)),
             ("analyze_reproved", read(&self.analyze_reproved)),
+            ("connection_refusals", read(&self.connection_refusals)),
+            (
+                "latency",
+                obj(vec![
+                    ("request_us", self.latency_request.to_json()),
+                    ("queue_wait_us", self.latency_queue.to_json()),
+                ]),
+            ),
             ("memory", Metrics::memory_json()),
             ("snapshot", self.snapshot_status().to_json()),
         ])
@@ -239,6 +368,56 @@ impl Default for Metrics {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let h = Histogram::new();
+        assert!(h.quantile_us(0.5).is_none());
+        assert!(h.mean_us().is_none());
+        // Bucket boundaries: 0,1 -> bucket 0; 2 -> 1; 3,4 -> 2; 1025 -> 11.
+        assert_eq!(Histogram::bucket_index(0), 0);
+        assert_eq!(Histogram::bucket_index(1), 0);
+        assert_eq!(Histogram::bucket_index(2), 1);
+        assert_eq!(Histogram::bucket_index(3), 2);
+        assert_eq!(Histogram::bucket_index(4), 2);
+        assert_eq!(Histogram::bucket_index(5), 3);
+        assert_eq!(Histogram::bucket_index(1024), 10);
+        assert_eq!(Histogram::bucket_index(1025), 11);
+
+        // 90 fast samples, 10 slow ones: p50 stays in the fast bucket,
+        // p99 lands in the slow one; quantiles report upper bounds.
+        for _ in 0..90 {
+            h.record_us(100); // bucket 7, upper bound 128
+        }
+        for _ in 0..10 {
+            h.record_us(5000); // bucket 13, upper bound 8192
+        }
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.quantile_us(0.50), Some(128));
+        assert_eq!(h.quantile_us(0.90), Some(128));
+        assert_eq!(h.quantile_us(0.99), Some(8192));
+        assert_eq!(h.quantile_us(1.0), Some(8192));
+        assert_eq!(h.mean_us(), Some((90 * 100 + 10 * 5000) / 100));
+
+        let json = h.to_json();
+        assert_eq!(json.get("count").and_then(Json::as_u64), Some(100));
+        assert_eq!(json.get("p50_us").and_then(Json::as_u64), Some(128));
+        assert_eq!(json.get("p99_us").and_then(Json::as_u64), Some(8192));
+    }
+
+    #[test]
+    fn latency_block_reaches_stats_json() {
+        let m = Metrics::new();
+        m.latency_request.record_us(40);
+        m.latency_queue.record(std::time::Duration::from_micros(3));
+        let json = m.to_json();
+        let lat = json.get("latency").cloned().unwrap();
+        let req = lat.get("request_us").cloned().unwrap();
+        assert_eq!(req.get("count").and_then(Json::as_u64), Some(1));
+        assert_eq!(req.get("p50_us").and_then(Json::as_u64), Some(64));
+        let qw = lat.get("queue_wait_us").cloned().unwrap();
+        assert_eq!(qw.get("count").and_then(Json::as_u64), Some(1));
+    }
 
     #[test]
     fn counters_show_up_in_the_snapshot() {

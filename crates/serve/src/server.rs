@@ -1,57 +1,65 @@
-//! The daemon: listeners, admission control, and per-connection plumbing.
+//! The daemon: configuration, the worker pool, dispatch, snapshots.
 //!
 //! ## Threading model
 //!
-//! Every listener (TCP and/or Unix socket) gets an accept thread; every
-//! accepted connection gets a **reader** thread and a **handler**
-//! thread. The reader turns the socket into a bounded stream of lines
-//! and — crucially — notices the peer vanishing: when its read returns
-//! EOF or an error it cancels the connection-wide [`CancelToken`],
-//! which aborts any proof currently running for that connection via the
+//! One **reactor** thread (the caller of [`Server::run`]) owns every
+//! socket: nonblocking listeners and connections are driven by epoll
+//! readiness through the per-connection state machines in
+//! [`crate::reactor`]. Connections therefore cost a map entry and two
+//! buffers, not threads — ten thousand idle clients are ten thousand
+//! registered fds and nothing else.
+//!
+//! Proving happens on a fixed pool of **worker** threads behind a
+//! bounded queue. The reactor parses a frame and either answers inline
+//! (cheap control verbs: `open_session`, `stats`, …) or submits a job;
+//! the worker pushes the finished frame onto a completion queue and
+//! rings the reactor's eventfd waker, which flushes it through the
+//! connection's write buffer. When the queue is at its high-water mark
+//! new work is *refused* with an `overloaded` error frame instead of
+//! being queued — under overload the daemon degrades to fast, explicit
+//! refusals, never to unbounded memory growth or silent timeouts.
+//!
+//! A disconnect cancels the connection-wide [`CancelToken`], which
+//! aborts any proof currently running for that connection via the
 //! prover's cooperative cancellation brake. Cancelled runs publish
 //! nothing to the shared caches, so an abandoned query cannot poison a
 //! session for later clients.
 //!
-//! Proving itself happens on a fixed pool of worker threads behind a
-//! bounded queue. When the queue is at its high-water mark new work is
-//! *refused* with an `overloaded` error frame instead of being queued —
-//! under overload the daemon degrades to fast, explicit refusals,
-//! never to unbounded memory growth or silent timeouts. Cheap
-//! control verbs (`open_session`, `stats`, …) bypass the pool.
-//!
 //! ## Shutdown
 //!
-//! The `shutdown` verb answers `{"ok":true}`, then flips a flag the
-//! accept loops poll and shuts down every registered connection socket.
-//! Readers see EOF, cancel their tokens, handlers drain, the pool
-//! joins, and [`Server::run`] returns.
+//! The `shutdown` verb answers `{"ok":true}`; once that reply is
+//! flushed the reactor stops, closing every connection (cancelling
+//! their tokens), the pool drains, and [`Server::run`] returns.
+//! [`ServerHandle::stop`] does the same through the reactor's wakeup
+//! fd — no polling loop, so stopping is immediate.
 //!
 //! ## Warm-state snapshots
 //!
 //! With a snapshot directory configured, [`Server::run`] first restores
 //! whatever warm state a previous life left behind (per-section, under
-//! checksums — see [`crate::snapshot`]), then serves; a background
-//! flusher rewrites the snapshot periodically and a final write happens
-//! on graceful shutdown. Restore can only *add* warmth: any failure on
-//! this path degrades to cold state for the affected sections and the
-//! daemon serves regardless.
+//! checksums — see [`crate::snapshot`]), then serves; a dedicated
+//! flusher thread blocks on a channel the reactor ticks at the
+//! configured interval, and a final write happens on graceful
+//! shutdown. Restore can only *add* warmth: any failure on this path
+//! degrades to cold state for the affected sections and the daemon
+//! serves regardless.
 //!
 //! ## Read deadlines
 //!
-//! Each connection's reader enforces an idle/read deadline: a
-//! connection that sends nothing — or dribbles a partial frame without
-//! ever finishing it (slow-loris) — past the deadline receives a
-//! machine-readable `timeout` error frame and is closed, so it cannot
-//! pin a reader thread forever.
+//! The reactor's timer wheel enforces each connection's idle/read
+//! deadline: a connection that sends nothing — or dribbles a partial
+//! frame without ever finishing it (slow-loris) — past the deadline
+//! receives a machine-readable `timeout` error frame and is closed, so
+//! it cannot pin server state forever.
 
 use std::collections::HashMap;
-use std::io::{self, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::os::unix::net::{UnixListener, UnixStream};
+use std::io;
+use std::net::{SocketAddr, TcpListener};
+use std::os::unix::net::UnixListener;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path as FsPath, PathBuf};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::channel;
 use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::thread;
 use std::time::{Duration, Instant};
@@ -62,25 +70,29 @@ use apt_paths::{analyze_program, BatchOptions, DepTable, RowOutcome};
 use crate::fault::FaultPlan;
 use crate::json::{obj, Json};
 use crate::metrics::{Metrics, RestoreOutcome};
+use crate::poll::{nofile_limit, Waker};
 use crate::proto::{
     error_frame, ok_frame, outcome_json, parse_request, stats_json, ErrorCode, ProtoError, Request,
     WireQuery, PROTO_VERSION, SUPPORTED_VERBS,
 };
+use crate::reactor::{Listener, Reactor};
 use crate::session::SessionRegistry;
 use crate::snapshot::{self, AnalyzeSection, SectionOutcome, SessionSection, Snapshot};
 
-/// How accept loops poll for shutdown between `WouldBlock`s.
-const ACCEPT_POLL: Duration = Duration::from_millis(25);
-/// How the snapshot flusher polls for shutdown between intervals.
-const FLUSH_POLL: Duration = Duration::from_millis(20);
-/// Lines a reader may buffer ahead of the handler (pipelining depth).
-const PIPELINE_DEPTH: usize = 8;
-/// Hard cap on one request line; a longer frame is refused and the
-/// connection closed (DoS guard — normal frames are a few KB).
-const MAX_LINE: usize = 8 * 1024 * 1024;
+/// Complete request lines a connection may queue behind its in-flight
+/// request (pipelining depth); past this the reactor stops reading
+/// from the socket until the queue drains.
+pub(crate) const PIPELINE_DEPTH: usize = 8;
+/// Hard cap on one request line, enforced incrementally while the
+/// partial frame accumulates; crossing it gets a `bad_request` frame
+/// and the connection closed (DoS guard — normal frames are a few KB).
+pub(crate) const MAX_LINE: usize = 8 * 1024 * 1024;
 /// Imported proofs spot-checked per restored section before the section
 /// is trusted (one failure rejects the whole section's import).
 const PROOF_VERIFY_SAMPLE: usize = 32;
+/// Connection-cap headroom below the fd limit: listeners, the epoll
+/// and event fds, snapshot files, stdio.
+const FD_SLACK: u64 = 512;
 
 /// Tuning for a [`Server`].
 #[derive(Debug, Clone)]
@@ -91,6 +103,11 @@ pub struct ServeConfig {
     pub high_water: usize,
     /// Resident compiled sessions before LRU eviction.
     pub max_sessions: usize,
+    /// Concurrent connections admitted; one past this is sent a
+    /// best-effort `overloaded` frame and closed. Defaults to the
+    /// process fd limit minus headroom, so the daemon refuses cleanly
+    /// instead of hitting `EMFILE` mid-accept.
+    pub max_connections: usize,
     /// Budget applied when a request carries no overrides.
     pub default_budget: Budget,
     /// Hard ceiling no per-request budget may exceed.
@@ -101,7 +118,7 @@ pub struct ServeConfig {
     /// only on graceful shutdown.
     pub snapshot_interval: Option<Duration>,
     /// Per-connection idle/read deadline; `None` disables it (a peer
-    /// may then hold a reader thread indefinitely — test use only).
+    /// may then hold its connection slot indefinitely — test use only).
     pub idle_timeout: Option<Duration>,
     /// Injected faults for the snapshot path (dev/test only).
     pub fault_plan: Option<Arc<FaultPlan>>,
@@ -109,14 +126,16 @@ pub struct ServeConfig {
 
 impl ServeConfig {
     /// Defaults: workers = available parallelism, 64-deep queue,
-    /// 32 sessions, the prover's stock budget as both default and
-    /// ceiling, a 120 s read deadline, snapshots disabled.
+    /// 32 sessions, connections capped just under the fd limit, the
+    /// prover's stock budget as both default and ceiling, a 120 s read
+    /// deadline, snapshots disabled.
     pub fn new() -> ServeConfig {
         let workers = thread::available_parallelism().map_or(4, usize::from);
         ServeConfig {
             workers,
             high_water: 64,
             max_sessions: 32,
+            max_connections: ServeConfig::default_max_connections(),
             default_budget: Budget::new(),
             ceiling: Budget::new(),
             snapshot_dir: None,
@@ -124,6 +143,15 @@ impl ServeConfig {
             idle_timeout: Some(Duration::from_secs(120)),
             fault_plan: None,
         }
+    }
+
+    /// The fd limit minus [`FD_SLACK`], floored at 64: as many
+    /// connections as the kernel will let the process hold.
+    pub fn default_max_connections() -> usize {
+        let limit = nofile_limit().unwrap_or(1024);
+        usize::try_from(limit.saturating_sub(FD_SLACK))
+            .unwrap_or(usize::MAX)
+            .max(64)
     }
 }
 
@@ -137,10 +165,11 @@ impl Default for ServeConfig {
 // Worker pool with bounded-queue admission control.
 // ---------------------------------------------------------------------------
 
-type Job = Box<dyn FnOnce() + Send + 'static>;
+/// A unit of pooled work (already wrapped: pushes its own completion).
+pub(crate) type Job = Box<dyn FnOnce() + Send + 'static>;
 
 struct PoolState {
-    queue: std::collections::VecDeque<Job>,
+    queue: std::collections::VecDeque<(Instant, Job)>,
     draining: bool,
 }
 
@@ -148,17 +177,19 @@ struct PoolShared {
     state: Mutex<PoolState>,
     wake: Condvar,
     high_water: usize,
+    metrics: Arc<Metrics>,
 }
 
 /// Fixed worker pool; `submit` refuses instead of queueing past the
-/// high-water mark.
-struct Pool {
+/// high-water mark. Queue wait (submission to pickup) feeds the
+/// `queue_wait_us` histogram.
+pub(crate) struct Pool {
     shared: Arc<PoolShared>,
     workers: Mutex<Vec<thread::JoinHandle<()>>>,
 }
 
 impl Pool {
-    fn new(workers: usize, high_water: usize) -> Pool {
+    fn new(workers: usize, high_water: usize, metrics: Arc<Metrics>) -> Pool {
         let shared = Arc::new(PoolShared {
             state: Mutex::new(PoolState {
                 queue: std::collections::VecDeque::new(),
@@ -166,16 +197,17 @@ impl Pool {
             }),
             wake: Condvar::new(),
             high_water: high_water.max(1),
+            metrics,
         });
         let workers = (0..workers.max(1))
             .map(|_| {
                 let shared = Arc::clone(&shared);
                 thread::spawn(move || loop {
-                    let job = {
+                    let (queued_at, job) = {
                         let mut state = shared.state.lock().unwrap_or_else(PoisonError::into_inner);
                         loop {
-                            if let Some(job) = state.queue.pop_front() {
-                                break job;
+                            if let Some(entry) = state.queue.pop_front() {
+                                break entry;
                             }
                             if state.draining {
                                 return;
@@ -186,6 +218,7 @@ impl Pool {
                                 .unwrap_or_else(PoisonError::into_inner);
                         }
                     };
+                    shared.metrics.latency_queue.record(queued_at.elapsed());
                     // A panicking job must not take the worker down.
                     let _ = catch_unwind(AssertUnwindSafe(job));
                 })
@@ -198,7 +231,7 @@ impl Pool {
     }
 
     /// Queue depth right now (for `stats`).
-    fn depth(&self) -> usize {
+    pub(crate) fn depth(&self) -> usize {
         self.shared
             .state
             .lock()
@@ -208,7 +241,7 @@ impl Pool {
     }
 
     /// Admits `job` or refuses with `overloaded`.
-    fn submit(&self, job: Job) -> Result<(), ProtoError> {
+    pub(crate) fn submit(&self, job: Job) -> Result<(), ProtoError> {
         let mut state = self
             .shared
             .state
@@ -231,7 +264,7 @@ impl Pool {
                 verb: None,
             });
         }
-        state.queue.push_back(job);
+        state.queue.push_back((Instant::now(), job));
         drop(state);
         self.shared.wake.notify_one();
         Ok(())
@@ -258,92 +291,41 @@ impl Pool {
 }
 
 // ---------------------------------------------------------------------------
-// Stream abstraction over TCP and Unix sockets.
-// ---------------------------------------------------------------------------
-
-/// What a connection needs from its socket: byte I/O plus the ability
-/// to clone a second handle (reader side), to force-close, and to set
-/// a read deadline on blocking reads.
-trait Conn: io::Read + io::Write + Send {
-    fn split(&self) -> io::Result<Box<dyn Conn>>;
-    fn force_close(&self) -> io::Result<()>;
-    fn set_read_timeout(&self, timeout: Option<Duration>) -> io::Result<()>;
-}
-
-impl Conn for TcpStream {
-    fn split(&self) -> io::Result<Box<dyn Conn>> {
-        Ok(Box::new(self.try_clone()?))
-    }
-    fn force_close(&self) -> io::Result<()> {
-        self.shutdown(std::net::Shutdown::Both)
-    }
-    fn set_read_timeout(&self, timeout: Option<Duration>) -> io::Result<()> {
-        TcpStream::set_read_timeout(self, timeout)
-    }
-}
-
-impl Conn for UnixStream {
-    fn split(&self) -> io::Result<Box<dyn Conn>> {
-        Ok(Box::new(self.try_clone()?))
-    }
-    fn force_close(&self) -> io::Result<()> {
-        self.shutdown(std::net::Shutdown::Both)
-    }
-    fn set_read_timeout(&self, timeout: Option<Duration>) -> io::Result<()> {
-        UnixStream::set_read_timeout(self, timeout)
-    }
-}
-
-enum Listener {
-    Tcp(TcpListener),
-    Unix(UnixListener, PathBuf),
-}
-
-impl Listener {
-    fn accept(&self) -> io::Result<Box<dyn Conn>> {
-        match self {
-            Listener::Tcp(l) => {
-                let (stream, _) = l.accept()?;
-                stream.set_nonblocking(false)?;
-                // One-line request/response frames: Nagle + delayed ACK
-                // would add ~40ms per round-trip.
-                stream.set_nodelay(true)?;
-                Ok(Box::new(stream))
-            }
-            Listener::Unix(l, _) => {
-                let (stream, _) = l.accept()?;
-                stream.set_nonblocking(false)?;
-                Ok(Box::new(stream))
-            }
-        }
-    }
-}
-
-// ---------------------------------------------------------------------------
 // The server.
 // ---------------------------------------------------------------------------
 
-/// Shared state every connection handler sees.
-struct Ctx {
-    registry: SessionRegistry,
-    metrics: Metrics,
-    pool: Pool,
-    config: ServeConfig,
-    shutdown: AtomicBool,
-    /// Second handles to live connections, for forced close on shutdown.
-    conns: Mutex<HashMap<u64, Box<dyn Conn>>>,
-    next_conn: AtomicU64,
+/// Ticks for the snapshot flusher thread, sent by the reactor.
+pub(crate) enum FlushMsg {
+    /// Write a snapshot now (the interval elapsed).
+    Flush,
+    /// The server is stopping; exit after the current write.
+    Stop,
+}
+
+/// Shared state the reactor, the workers, and the stop handle all see.
+pub(crate) struct Ctx {
+    pub(crate) registry: SessionRegistry,
+    pub(crate) metrics: Arc<Metrics>,
+    pub(crate) pool: Pool,
+    pub(crate) config: ServeConfig,
+    pub(crate) shutdown: AtomicBool,
+    /// The reactor's wakeup fd, set when the reactor starts; lets
+    /// [`ServerHandle::stop`] interrupt a blocked `epoll_wait`.
+    waker: Mutex<Option<Waker>>,
     /// Persisted whole-program dependence tables by name (the `analyze`
     /// verb's incremental state; snapshotted beside the sessions).
-    tables: Mutex<HashMap<String, DepTable>>,
+    pub(crate) tables: Mutex<HashMap<String, DepTable>>,
 }
 
 impl Ctx {
-    fn trigger_shutdown(&self) {
+    pub(crate) fn set_waker(&self, waker: Waker) {
+        *self.waker.lock().unwrap_or_else(PoisonError::into_inner) = Some(waker);
+    }
+
+    pub(crate) fn trigger_shutdown(&self) {
         self.shutdown.store(true, Ordering::SeqCst);
-        let mut conns = self.conns.lock().unwrap_or_else(PoisonError::into_inner);
-        for (_, conn) in conns.drain() {
-            let _ = conn.force_close();
+        if let Some(waker) = &*self.waker.lock().unwrap_or_else(PoisonError::into_inner) {
+            waker.wake();
         }
     }
 }
@@ -357,6 +339,7 @@ pub struct ServerHandle {
 
 impl ServerHandle {
     /// Initiates the same graceful shutdown as the `shutdown` verb.
+    /// Wakes the reactor immediately — no polling interval to ride out.
     pub fn stop(&self) {
         self.ctx.trigger_shutdown();
     }
@@ -372,14 +355,14 @@ pub struct Server {
 impl Server {
     /// A server with no listeners yet.
     pub fn new(config: ServeConfig) -> Server {
+        let metrics = Arc::new(Metrics::new());
         let ctx = Arc::new(Ctx {
             registry: SessionRegistry::new(config.max_sessions),
-            metrics: Metrics::new(),
-            pool: Pool::new(config.workers, config.high_water),
+            metrics: Arc::clone(&metrics),
+            pool: Pool::new(config.workers, config.high_water, metrics),
             config,
             shutdown: AtomicBool::new(false),
-            conns: Mutex::new(HashMap::new()),
-            next_conn: AtomicU64::new(0),
+            waker: Mutex::new(None),
             tables: Mutex::new(HashMap::new()),
         });
         Server {
@@ -427,11 +410,13 @@ impl Server {
     }
 
     /// Serves until a `shutdown` request (or [`ServerHandle::stop`])
-    /// arrives, then drains and returns.
+    /// arrives, then drains and returns. The calling thread *is* the
+    /// reactor; worker count never varies with connection count.
     ///
     /// # Errors
     ///
-    /// Returns an error when no listener was bound.
+    /// Returns an error when no listener was bound, or when the epoll
+    /// instance cannot be created.
     pub fn run(self) -> io::Result<()> {
         if self.listeners.is_empty() {
             return Err(io::Error::new(
@@ -442,72 +427,56 @@ impl Server {
         // Warm up from a previous life before accepting the first
         // connection, so early clients land on restored caches.
         restore_from_snapshot(&self.ctx);
-        let flusher = match (
+        // The flusher blocks on a channel the reactor ticks — no
+        // sleep-polling, and `Stop` (or the reactor dropping its
+        // sender) ends it immediately.
+        let flush_interval = match (
             &self.ctx.config.snapshot_dir,
             self.ctx.config.snapshot_interval,
         ) {
-            (Some(_), Some(interval)) if !interval.is_zero() => {
+            (Some(_), Some(interval)) if !interval.is_zero() => Some(interval),
+            _ => None,
+        };
+        let (flush_tx, flusher) = match flush_interval {
+            Some(_) => {
+                let (tx, rx) = channel::<FlushMsg>();
                 let ctx = Arc::clone(&self.ctx);
-                Some(thread::spawn(move || {
-                    let mut last = Instant::now();
-                    loop {
-                        if ctx.shutdown.load(Ordering::SeqCst) {
-                            return;
-                        }
-                        thread::sleep(FLUSH_POLL);
-                        if last.elapsed() >= interval {
+                let handle = thread::spawn(move || loop {
+                    match rx.recv() {
+                        Ok(FlushMsg::Flush) => {
                             if let Err(e) = write_snapshot(&ctx) {
                                 eprintln!("apt-serve: periodic snapshot failed: {e}");
                             }
-                            last = Instant::now();
                         }
+                        Ok(FlushMsg::Stop) | Err(_) => return,
                     }
-                }))
+                });
+                (Some(tx), Some(handle))
             }
-            _ => None,
+            None => (None, None),
         };
-        let conn_threads: Arc<Mutex<Vec<thread::JoinHandle<()>>>> =
-            Arc::new(Mutex::new(Vec::new()));
-        let mut accept_threads = Vec::new();
-        let mut socket_files = Vec::new();
-        for listener in self.listeners {
-            if let Listener::Unix(_, path) = &listener {
-                socket_files.push(path.clone());
-            }
-            let ctx = Arc::clone(&self.ctx);
-            let conn_threads = Arc::clone(&conn_threads);
-            accept_threads.push(thread::spawn(move || loop {
-                if ctx.shutdown.load(Ordering::SeqCst) {
-                    return;
-                }
-                match listener.accept() {
-                    Ok(stream) => {
-                        let ctx = Arc::clone(&ctx);
-                        let handle = thread::spawn(move || serve_conn(&ctx, stream));
-                        conn_threads
-                            .lock()
-                            .unwrap_or_else(PoisonError::into_inner)
-                            .push(handle);
-                    }
-                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                        thread::sleep(ACCEPT_POLL);
-                    }
-                    Err(_) => thread::sleep(ACCEPT_POLL),
-                }
-            }));
-        }
-        for handle in accept_threads {
-            let _ = handle.join();
-        }
-        // Accept loops only exit on shutdown; close any straggler
-        // connections, then drain handlers and workers.
-        self.ctx.trigger_shutdown();
-        let handles =
-            std::mem::take(&mut *conn_threads.lock().unwrap_or_else(PoisonError::into_inner));
-        for handle in handles {
-            let _ = handle.join();
-        }
+        let socket_files: Vec<PathBuf> = self
+            .listeners
+            .iter()
+            .filter_map(|l| match l {
+                Listener::Unix(_, path) => Some(path.clone()),
+                Listener::Tcp(_) => None,
+            })
+            .collect();
+        let mut reactor = Reactor::new(
+            Arc::clone(&self.ctx),
+            self.listeners,
+            flush_tx.clone(),
+            flush_interval,
+        )?;
+        reactor.run();
+        drop(reactor);
+        // In-flight and queued jobs run to completion (their cancelled
+        // tokens make them finish fast), then the workers join.
         self.ctx.pool.drain();
+        if let Some(tx) = &flush_tx {
+            let _ = tx.send(FlushMsg::Stop);
+        }
         if let Some(handle) = flusher {
             let _ = handle.join();
         }
@@ -531,7 +500,7 @@ impl Server {
 // ---------------------------------------------------------------------------
 
 /// Exports every resident session and writes the snapshot atomically.
-/// Shared by the periodic flusher and the graceful-shutdown path.
+/// Shared by the flusher thread and the graceful-shutdown path.
 fn write_snapshot(ctx: &Ctx) -> io::Result<u64> {
     let Some(dir) = &ctx.config.snapshot_dir else {
         return Ok(0);
@@ -682,206 +651,47 @@ fn restore_section(ctx: &Ctx, section: &SessionSection) -> Result<apt_core::Impo
 }
 
 // ---------------------------------------------------------------------------
-// Per-connection plumbing.
-// ---------------------------------------------------------------------------
-
-fn serve_conn(ctx: &Arc<Ctx>, stream: Box<dyn Conn>) {
-    Metrics::bump(&ctx.metrics.connections_total);
-    Metrics::bump(&ctx.metrics.connections_active);
-    let conn_id = ctx.next_conn.fetch_add(1, Ordering::Relaxed);
-    // Register a second handle so shutdown can force-close us.
-    if let Ok(extra) = stream.split() {
-        ctx.conns
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner)
-            .insert(conn_id, extra);
-    }
-    let cancel = CancelToken::new();
-    let rx = match spawn_reader(stream.as_ref(), &cancel, ctx.config.idle_timeout) {
-        Ok(rx) => rx,
-        Err(_) => {
-            finish_conn(ctx, conn_id);
-            return;
-        }
-    };
-    let mut out = stream;
-    let mut shutdown_after = false;
-    while let Ok(event) = rx.recv() {
-        let line = match event {
-            ReaderEvent::Line(line) => line,
-            ReaderEvent::TimedOut => {
-                Metrics::bump(&ctx.metrics.read_timeouts);
-                Metrics::bump(&ctx.metrics.errors_total);
-                let e = ProtoError {
-                    code: ErrorCode::Timeout,
-                    message: "read deadline exceeded; closing connection".to_owned(),
-                    verb: None,
-                };
-                send_frame(&mut out, &error_frame(None, &e));
-                break;
-            }
-            ReaderEvent::TooLong => {
-                Metrics::bump(&ctx.metrics.errors_total);
-                let e = ProtoError::bad(format!(
-                    "request line exceeds {MAX_LINE} bytes; closing connection"
-                ));
-                send_frame(&mut out, &error_frame(None, &e));
-                break;
-            }
-        };
-        let trimmed = line.trim();
-        if trimmed.is_empty() {
-            continue;
-        }
-        Metrics::bump(&ctx.metrics.requests_total);
-        let (frame, wants_shutdown) = handle_line(ctx, trimmed, &cancel);
-        if frame.get("ok") == Some(&Json::Bool(false)) {
-            Metrics::bump(&ctx.metrics.errors_total);
-        }
-        let mut text = frame.render();
-        text.push('\n');
-        if out
-            .write_all(text.as_bytes())
-            .and_then(|()| out.flush())
-            .is_err()
-        {
-            // Peer is gone; the reader will cancel the token shortly if
-            // it has not already.
-            break;
-        }
-        if wants_shutdown {
-            shutdown_after = true;
-            break;
-        }
-    }
-    finish_conn(ctx, conn_id);
-    if shutdown_after {
-        ctx.trigger_shutdown();
-    }
-}
-
-fn finish_conn(ctx: &Ctx, conn_id: u64) {
-    ctx.conns
-        .lock()
-        .unwrap_or_else(PoisonError::into_inner)
-        .remove(&conn_id);
-    ctx.metrics
-        .connections_active
-        .fetch_sub(1, Ordering::Relaxed);
-}
-
-/// What the reader thread hands the connection handler.
-enum ReaderEvent {
-    /// One complete request line (newline included).
-    Line(String),
-    /// The read deadline passed — idle socket, or a partial frame that
-    /// never completed (slow-loris).
-    TimedOut,
-    /// A single line grew past [`MAX_LINE`] without a newline.
-    TooLong,
-}
-
-/// Writes one response frame, ignoring failures (the peer may be gone).
-fn send_frame(out: &mut Box<dyn Conn>, frame: &Json) {
-    let mut text = frame.render();
-    text.push('\n');
-    let _ = out.write_all(text.as_bytes()).and_then(|()| out.flush());
-}
-
-/// Spawns the reader thread: socket lines go into a bounded channel;
-/// EOF or a read error cancels the connection token (disconnect-aborts
-/// any in-flight proof). With a deadline, both flavors of stuck peer
-/// surface as [`ReaderEvent::TimedOut`]: a silent socket trips the
-/// blocking-read timeout, and a byte-dribbling one trips the
-/// line-completion deadline (a partial frame must finish within one
-/// deadline of its first byte, so the worst case is two deadlines).
-fn spawn_reader(
-    stream: &dyn Conn,
-    cancel: &CancelToken,
-    idle_timeout: Option<Duration>,
-) -> io::Result<Receiver<ReaderEvent>> {
-    let reader = stream.split()?;
-    if idle_timeout.is_some() {
-        reader.set_read_timeout(idle_timeout)?;
-    }
-    let cancel = cancel.clone();
-    let (tx, rx): (SyncSender<ReaderEvent>, Receiver<ReaderEvent>) = sync_channel(PIPELINE_DEPTH);
-    thread::spawn(move || {
-        read_lines(reader, idle_timeout, &tx);
-        cancel.cancel();
-    });
-    Ok(rx)
-}
-
-/// The reader loop behind [`spawn_reader`]. Returns on EOF, error,
-/// deadline, or the handler going away.
-fn read_lines(
-    mut reader: Box<dyn Conn>,
-    idle_timeout: Option<Duration>,
-    tx: &SyncSender<ReaderEvent>,
-) {
-    let mut buf: Vec<u8> = Vec::new();
-    let mut chunk = [0u8; 4096];
-    let mut line_deadline: Option<Instant> = None;
-    loop {
-        match reader.read(&mut chunk) {
-            Ok(0) => return,
-            Ok(n) => {
-                buf.extend_from_slice(&chunk[..n]);
-                while let Some(pos) = buf.iter().position(|&b| b == b'\n') {
-                    let line: Vec<u8> = buf.drain(..=pos).collect();
-                    let text = String::from_utf8_lossy(&line).into_owned();
-                    if tx.send(ReaderEvent::Line(text)).is_err() {
-                        return;
-                    }
-                }
-                if buf.is_empty() {
-                    line_deadline = None;
-                } else {
-                    if buf.len() > MAX_LINE {
-                        let _ = tx.send(ReaderEvent::TooLong);
-                        return;
-                    }
-                    match line_deadline {
-                        None => {
-                            line_deadline =
-                                idle_timeout.and_then(|t| Instant::now().checked_add(t));
-                        }
-                        Some(deadline) if Instant::now() >= deadline => {
-                            let _ = tx.send(ReaderEvent::TimedOut);
-                            return;
-                        }
-                        Some(_) => {}
-                    }
-                }
-            }
-            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
-            Err(e)
-                if matches!(
-                    e.kind(),
-                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
-                ) =>
-            {
-                let _ = tx.send(ReaderEvent::TimedOut);
-                return;
-            }
-            Err(_) => return,
-        }
-    }
-}
-
-// ---------------------------------------------------------------------------
 // Request dispatch.
 // ---------------------------------------------------------------------------
 
-/// Handles one request line; returns the response frame and whether the
-/// connection asked the whole server to shut down.
-fn handle_line(ctx: &Arc<Ctx>, line: &str, cancel: &CancelToken) -> (Json, bool) {
+/// What one request line turns into: an immediate reply the reactor
+/// writes itself, or a job for the worker pool whose finished frame
+/// comes back through the completion queue.
+pub(crate) enum LineOutcome {
+    /// Answer now, on the reactor thread.
+    Reply {
+        /// The response frame.
+        frame: Json,
+        /// The connection asked the whole server to shut down; flush
+        /// this reply, then stop.
+        shutdown: bool,
+    },
+    /// Run on the pool; `work` renders the full response frame.
+    Job {
+        /// Request id, for the `internal` frame if the job panics or
+        /// the refusal frame if admission declines it.
+        id: Option<Json>,
+        /// The deferred work, producing the response frame.
+        work: Box<dyn FnOnce() -> Json + Send + 'static>,
+    },
+}
+
+impl LineOutcome {
+    fn reply(frame: Json) -> LineOutcome {
+        LineOutcome::Reply {
+            frame,
+            shutdown: false,
+        }
+    }
+}
+
+/// Handles one request line: parse, admission, dispatch. Cheap control
+/// verbs answer inline; proving verbs become pool jobs. Never blocks.
+pub(crate) fn handle_line(ctx: &Arc<Ctx>, line: &str, cancel: &CancelToken) -> LineOutcome {
     let (id, request) = match parse_request(line) {
         Ok(parsed) => parsed,
-        Err(e) => return (error_frame(None, &e), false),
+        Err(e) => return LineOutcome::reply(error_frame(None, &e)),
     };
-    let id = id.as_ref();
     // Probes answer even while draining: liveness must outlive admission.
     if ctx.shutdown.load(Ordering::SeqCst)
         && !matches!(
@@ -894,24 +704,127 @@ fn handle_line(ctx: &Arc<Ctx>, line: &str, cancel: &CancelToken) -> (Json, bool)
             message: "server is draining".to_owned(),
             verb: None,
         };
-        return (error_frame(id, &e), false);
+        return LineOutcome::reply(error_frame(id.as_ref(), &e));
     }
-    match dispatch(ctx, id, request, cancel) {
-        Ok((frame, shutdown)) => (frame, shutdown),
-        Err(e) => {
-            if e.code == ErrorCode::Overloaded {
-                Metrics::bump(&ctx.metrics.overload_refusals);
+    match request {
+        Request::Prove { session, query } => {
+            let engine = match ctx.registry.get(&session) {
+                Ok(engine) => engine,
+                Err(e) => return LineOutcome::reply(error_frame(id.as_ref(), &e)),
+            };
+            let budget = resolved_budget(ctx, &query, cancel);
+            let dep = wire_to_query(&query).with_budget(budget);
+            let want_proof = query.want_proof;
+            let ctx = Arc::clone(ctx);
+            let frame_id = id.clone();
+            LineOutcome::Job {
+                id,
+                work: Box::new(move || {
+                    let outcome = engine.run(&dep);
+                    Metrics::bump(&ctx.metrics.queries_total);
+                    ok_frame(
+                        frame_id.as_ref(),
+                        vec![("result", outcome_json(&outcome, want_proof))],
+                    )
+                }),
             }
-            (error_frame(id, &e), false)
+        }
+        Request::Batch {
+            session,
+            queries,
+            jobs,
+        } => {
+            let engine = match ctx.registry.get(&session) {
+                Ok(engine) => engine,
+                Err(e) => return LineOutcome::reply(error_frame(id.as_ref(), &e)),
+            };
+            let jobs = jobs
+                .unwrap_or(ctx.config.workers)
+                .clamp(1, ctx.config.workers.max(1));
+            let deps: Vec<DepQuery> = queries
+                .iter()
+                .map(|q| wire_to_query(q).with_budget(resolved_budget(ctx, q, cancel)))
+                .collect();
+            let want: Vec<bool> = queries.iter().map(|q| q.want_proof).collect();
+            let ctx = Arc::clone(ctx);
+            let frame_id = id.clone();
+            LineOutcome::Job {
+                id,
+                work: Box::new(move || {
+                    let outcomes: Vec<Outcome> = engine.run_batch(&deps, jobs);
+                    Metrics::add(&ctx.metrics.queries_total, outcomes.len() as u64);
+                    let mut merged = ProverStats::default();
+                    let results: Vec<Json> = outcomes
+                        .iter()
+                        .zip(want.iter())
+                        .map(|(o, &w)| {
+                            merged.merge(&o.stats);
+                            outcome_json(o, w)
+                        })
+                        .collect();
+                    ok_frame(
+                        frame_id.as_ref(),
+                        vec![
+                            ("results", Json::Arr(results)),
+                            ("stats", stats_json(&merged)),
+                        ],
+                    )
+                }),
+            }
+        }
+        Request::Report {
+            program,
+            proc,
+            budget,
+        } => {
+            let ctx = Arc::clone(ctx);
+            let cancel = cancel.clone();
+            let frame_id = id.clone();
+            LineOutcome::Job {
+                id,
+                work: Box::new(move || {
+                    match run_report(&ctx, &program, proc.as_deref(), &budget, &cancel) {
+                        Ok(pairs) => ok_frame(frame_id.as_ref(), pairs),
+                        Err(e) => error_frame(frame_id.as_ref(), &e),
+                    }
+                }),
+            }
+        }
+        Request::Analyze {
+            program,
+            name,
+            jobs,
+            changed_only,
+            budget,
+        } => {
+            let ctx = Arc::clone(ctx);
+            let cancel = cancel.clone();
+            let frame_id = id.clone();
+            LineOutcome::Job {
+                id,
+                work: Box::new(move || {
+                    match run_analyze(&ctx, &program, &name, jobs, changed_only, &budget, &cancel) {
+                        Ok(pairs) => ok_frame(frame_id.as_ref(), pairs),
+                        Err(e) => error_frame(frame_id.as_ref(), &e),
+                    }
+                }),
+            }
+        }
+        request => {
+            let frame = match dispatch_inline(ctx, id.as_ref(), request) {
+                Ok((frame, shutdown)) => return LineOutcome::Reply { frame, shutdown },
+                Err(e) => error_frame(id.as_ref(), &e),
+            };
+            LineOutcome::reply(frame)
         }
     }
 }
 
-fn dispatch(
+/// The cheap control verbs, answered on the reactor thread.
+fn dispatch_inline(
     ctx: &Arc<Ctx>,
     id: Option<&Json>,
     request: Request,
-    cancel: &CancelToken,
 ) -> Result<(Json, bool), ProtoError> {
     match request {
         Request::Hello => {
@@ -952,73 +865,6 @@ fn dispatch(
         Request::CloseSession { session } => {
             let closed = ctx.registry.close(&session);
             Ok((ok_frame(id, vec![("closed", closed.into())]), false))
-        }
-        Request::Prove { session, query } => {
-            let engine = ctx.registry.get(&session)?;
-            let budget = resolved_budget(ctx, &query, cancel);
-            let dep = wire_to_query(&query).with_budget(budget);
-            let want_proof = query.want_proof;
-            let outcome = run_pooled(ctx, cancel, move || engine.run(&dep))?;
-            Metrics::bump(&ctx.metrics.queries_total);
-            Ok((
-                ok_frame(id, vec![("result", outcome_json(&outcome, want_proof))]),
-                false,
-            ))
-        }
-        Request::Batch {
-            session,
-            queries,
-            jobs,
-        } => {
-            let engine = ctx.registry.get(&session)?;
-            let jobs = jobs
-                .unwrap_or(ctx.config.workers)
-                .clamp(1, ctx.config.workers.max(1));
-            let deps: Vec<DepQuery> = queries
-                .iter()
-                .map(|q| wire_to_query(q).with_budget(resolved_budget(ctx, q, cancel)))
-                .collect();
-            let want: Vec<bool> = queries.iter().map(|q| q.want_proof).collect();
-            let outcomes: Vec<Outcome> =
-                run_pooled(ctx, cancel, move || engine.run_batch(&deps, jobs))?;
-            Metrics::add(&ctx.metrics.queries_total, outcomes.len() as u64);
-            let mut merged = ProverStats::default();
-            let results: Vec<Json> = outcomes
-                .iter()
-                .zip(want.iter())
-                .map(|(o, &w)| {
-                    merged.merge(&o.stats);
-                    outcome_json(o, w)
-                })
-                .collect();
-            Ok((
-                ok_frame(
-                    id,
-                    vec![
-                        ("results", Json::Arr(results)),
-                        ("stats", stats_json(&merged)),
-                    ],
-                ),
-                false,
-            ))
-        }
-        Request::Report {
-            program,
-            proc,
-            budget,
-        } => {
-            let frame = run_report(ctx, &program, proc.as_deref(), &budget, cancel)?;
-            Ok((ok_frame(id, frame), false))
-        }
-        Request::Analyze {
-            program,
-            name,
-            jobs,
-            changed_only,
-            budget,
-        } => {
-            let frame = run_analyze(ctx, &program, &name, jobs, changed_only, &budget, cancel)?;
-            Ok((ok_frame(id, frame), false))
         }
         Request::Invalidate { name, proc } => {
             let mut tables = ctx.tables.lock().unwrap_or_else(PoisonError::into_inner);
@@ -1084,6 +930,7 @@ fn dispatch(
                         ("server", ctx.metrics.to_json()),
                         ("queue_depth", ctx.pool.depth().into()),
                         ("workers", ctx.config.workers.into()),
+                        ("max_connections", ctx.config.max_connections.into()),
                         ("sessions", Json::Arr(sessions)),
                     ],
                 ),
@@ -1109,6 +956,15 @@ fn dispatch(
             ))
         }
         Request::Shutdown => Ok((ok_frame(id, vec![("stopping", true.into())]), true)),
+        // Proving verbs are routed to the pool by `handle_line`.
+        Request::Prove { .. }
+        | Request::Batch { .. }
+        | Request::Report { .. }
+        | Request::Analyze { .. } => Err(ProtoError {
+            code: ErrorCode::Internal,
+            message: "proving verb reached inline dispatch".to_owned(),
+            verb: None,
+        }),
     }
 }
 
@@ -1131,41 +987,8 @@ fn resolved_budget(ctx: &Ctx, q: &WireQuery, cancel: &CancelToken) -> Budget {
         .with_cancel(cancel.clone())
 }
 
-/// Runs `work` on the worker pool, waiting for its result. Refuses with
-/// `overloaded` when the queue is full; converts a panicking job into
-/// an `internal` error instead of hanging the connection.
-fn run_pooled<T: Send + 'static>(
-    ctx: &Arc<Ctx>,
-    cancel: &CancelToken,
-    work: impl FnOnce() -> T + Send + 'static,
-) -> Result<T, ProtoError> {
-    let (tx, rx) = sync_channel::<thread::Result<T>>(1);
-    ctx.pool.submit(Box::new(move || {
-        let result = catch_unwind(AssertUnwindSafe(work));
-        let _ = tx.send(result);
-    }))?;
-    match rx.recv() {
-        Ok(Ok(value)) => {
-            if cancel.is_cancelled() {
-                Metrics::bump(&ctx.metrics.disconnect_cancels);
-            }
-            Ok(value)
-        }
-        Ok(Err(_panic)) => Err(ProtoError {
-            code: ErrorCode::Internal,
-            message: "request crashed; fault isolated to this request".to_owned(),
-            verb: None,
-        }),
-        Err(_) => Err(ProtoError {
-            code: ErrorCode::Internal,
-            message: "worker dropped the request".to_owned(),
-            verb: None,
-        }),
-    }
-}
-
 /// The `report` verb: whole-program analysis (the `apt report`
-/// workload) inline over `apt_ir` + `apt_paths`.
+/// workload) over `apt_ir` + `apt_paths`. Runs entirely on a worker.
 fn run_report(
     ctx: &Arc<Ctx>,
     program_text: &str,
@@ -1182,47 +1005,39 @@ fn run_report(
     if names.is_empty() {
         return Err(ProtoError::bad("program has no procedures"));
     }
-    let wire = budget.clone();
-    let default_budget = ctx.config.default_budget.clone();
-    let ceiling = ctx.config.ceiling.clone();
-    let cancel_for_job = cancel.clone();
+    let budget = budget
+        .resolve(&ctx.config.default_budget, &ctx.config.ceiling)
+        .with_cancel(cancel.clone());
+    let mut config = ProverConfig::new();
+    config.budget = budget;
     let jobs = ctx.config.workers;
-    let procs = run_pooled(ctx, cancel, move || {
-        let budget = wire
-            .resolve(&default_budget, &ceiling)
-            .with_cancel(cancel_for_job);
-        let mut config = ProverConfig::new();
-        config.budget = budget;
-        let mut procs: Vec<Json> = Vec::new();
-        let mut total = 0usize;
-        for name in &names {
-            let mut analysis = match apt_paths::analyze_proc(&program, name) {
-                Ok(a) => a,
-                Err(e) => {
-                    procs.push(obj(vec![
-                        ("proc", name.as_str().into()),
-                        ("error", e.to_string().as_str().into()),
-                    ]));
-                    continue;
-                }
-            };
-            analysis.set_prover_config(config.clone());
-            let queries = analysis.all_queries();
-            total += queries.len();
-            let report = analysis.run_batch(&queries, &BatchOptions::new().with_jobs(jobs));
-            let rows: Vec<Json> = queries
-                .iter()
-                .zip(report.results.iter())
-                .map(|(q, r)| report_row(q, r))
-                .collect();
-            procs.push(obj(vec![
-                ("proc", name.as_str().into()),
-                ("queries", Json::Arr(rows)),
-            ]));
-        }
-        (procs, total)
-    })?;
-    let (procs, total) = procs;
+    let mut procs: Vec<Json> = Vec::new();
+    let mut total = 0usize;
+    for name in &names {
+        let mut analysis = match apt_paths::analyze_proc(&program, name) {
+            Ok(a) => a,
+            Err(e) => {
+                procs.push(obj(vec![
+                    ("proc", name.as_str().into()),
+                    ("error", e.to_string().as_str().into()),
+                ]));
+                continue;
+            }
+        };
+        analysis.set_prover_config(config.clone());
+        let queries = analysis.all_queries();
+        total += queries.len();
+        let report = analysis.run_batch(&queries, &BatchOptions::new().with_jobs(jobs));
+        let rows: Vec<Json> = queries
+            .iter()
+            .zip(report.results.iter())
+            .map(|(q, r)| report_row(q, r))
+            .collect();
+        procs.push(obj(vec![
+            ("proc", name.as_str().into()),
+            ("queries", Json::Arr(rows)),
+        ]));
+    }
     Metrics::add(&ctx.metrics.queries_total, total as u64);
     Ok(vec![
         ("procs", Json::Arr(procs)),
@@ -1233,7 +1048,8 @@ fn run_report(
 /// The `analyze` verb: whole-program incremental dependence analysis.
 /// The persisted table named `name` (if any) serves as the baseline;
 /// the refreshed table is stored back under the same name, so repeated
-/// `analyze` calls after small edits re-prove only what changed.
+/// `analyze` calls after small edits re-prove only what changed. Runs
+/// entirely on a worker.
 fn run_analyze(
     ctx: &Arc<Ctx>,
     program_text: &str,
@@ -1260,12 +1076,10 @@ fn run_analyze(
         .unwrap_or_else(PoisonError::into_inner)
         .get(name)
         .cloned();
-    let report = run_pooled(ctx, cancel, move || {
-        let mut config = ProverConfig::new();
-        config.budget = resolved;
-        let analysis = analyze_program(&program).with_prover_config(config);
-        analysis.run(baseline.as_ref(), &BatchOptions::new().with_jobs(jobs))
-    })?;
+    let mut config = ProverConfig::new();
+    config.budget = resolved;
+    let analysis = analyze_program(&program).with_prover_config(config);
+    let report = analysis.run(baseline.as_ref(), &BatchOptions::new().with_jobs(jobs));
     Metrics::add(&ctx.metrics.queries_total, report.reproved() as u64);
     Metrics::add(&ctx.metrics.analyze_replayed, report.replayed() as u64);
     Metrics::add(&ctx.metrics.analyze_reproved, report.reproved() as u64);

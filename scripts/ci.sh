@@ -118,9 +118,102 @@ if ! grep -Eq '"restart": \{.*"restore": "warm".*"behaved": true' BENCH_serve.js
     echo "error: BENCH_serve.json does not record a well-behaved warm restart" >&2
     exit 1
 fi
+# The concurrency probe must hold its idle crowd with zero thread growth,
+# identical verdicts, and recorded latency quantiles.
+if ! grep -Eq '"concurrency": \{.*"behaved": true' BENCH_serve.json; then
+    echo "error: BENCH_serve.json does not record a well-behaved concurrency probe" >&2
+    exit 1
+fi
+if ! grep -Eq '"concurrency": \{.*"p99_us": [0-9]+' BENCH_serve.json; then
+    echo "error: BENCH_serve.json concurrency section lacks latency quantiles" >&2
+    exit 1
+fi
+
+echo "==> connections must be reactor state, never threads"
+# The epoll rewrite removed the accept-loop's two-threads-per-connection
+# design. The reactor module must never spawn a thread, and server.rs may
+# spawn only its fixed set (pool workers, the snapshot flusher) — a spawn
+# count above that means someone put a thread back on a per-connection
+# path.
+reactor_spawns=$(grep -n 'thread::spawn' crates/serve/src/reactor.rs 2>/dev/null || true)
+if [[ -n "$reactor_spawns" ]]; then
+    echo "error: thread::spawn in the reactor (connections are state, not threads):" >&2
+    echo "$reactor_spawns" >&2
+    exit 1
+fi
+server_spawns=$(grep -c 'thread::spawn' crates/serve/src/server.rs || true)
+if [[ "${server_spawns:-0}" -gt 2 ]]; then
+    echo "error: server.rs spawns $server_spawns threads (expected <=2:" \
+        "pool workers + snapshot flusher); no per-connection threads" >&2
+    exit 1
+fi
+
+echo "==> connection-scaling smoke: idle conns are state, not threads"
+APT=target/release/apt
+# Hold a few hundred idle TCP connections (scaled to the fd limit) against
+# a live daemon: its thread count must not move, its RSS growth must stay
+# bounded, and it must keep answering through the crowd.
+NOFILE=$(ulimit -n)
+CONNS=500
+if [[ "$NOFILE" != "unlimited" && "$NOFILE" -lt 4096 ]]; then
+    CONNS=$((NOFILE / 8))
+fi
+ERRLOG=$(mktemp /tmp/apt-serve-conns.XXXXXX.log)
+"$APT" serve --addr 127.0.0.1:0 --workers 2 2>"$ERRLOG" &
+SERVE_PID=$!
+trap 'kill -9 "$SERVE_PID" 2>/dev/null || true; rm -f "$ERRLOG"' EXIT
+PORT=""
+for _ in $(seq 1 100); do
+    PORT=$(sed -n 's/.*listening on tcp 127\.0\.0\.1:\([0-9]*\).*/\1/p' "$ERRLOG")
+    [[ -n "$PORT" ]] && break
+    sleep 0.05
+done
+if [[ -z "$PORT" ]]; then
+    echo "error: apt serve never reported its TCP port" >&2
+    cat "$ERRLOG" >&2
+    exit 1
+fi
+"$APT" client --addr "127.0.0.1:$PORT" health >/dev/null
+THREADS_BEFORE=$(awk '/Threads/{print $2}' "/proc/$SERVE_PID/status")
+RSS_BEFORE=$(awk '/VmRSS/{print $2}' "/proc/$SERVE_PID/status")
+declare -a CONN_FDS=()
+for _ in $(seq 1 "$CONNS"); do
+    exec {fd}<>"/dev/tcp/127.0.0.1/$PORT"
+    CONN_FDS+=("$fd")
+done
+sleep 0.3
+THREADS_DURING=$(awk '/Threads/{print $2}' "/proc/$SERVE_PID/status")
+RSS_DURING=$(awk '/VmRSS/{print $2}' "/proc/$SERVE_PID/status")
+if [[ "$THREADS_DURING" -ne "$THREADS_BEFORE" ]]; then
+    echo "error: $CONNS idle connections moved the daemon's thread count" \
+        "($THREADS_BEFORE -> $THREADS_DURING)" >&2
+    exit 1
+fi
+RSS_CONN_GROWTH=$((RSS_DURING - RSS_BEFORE))
+if [[ "$RSS_CONN_GROWTH" -gt 16384 ]]; then
+    echo "error: $CONNS idle connections grew RSS by ${RSS_CONN_GROWTH} kB (>16 MiB)" >&2
+    exit 1
+fi
+stats=$("$APT" client --addr "127.0.0.1:$PORT" stats)
+active=$(sed -n 's/.*"connections_active":\([0-9]*\).*/\1/p' <<<"$stats")
+if [[ -z "$active" || "$active" -lt "$CONNS" ]]; then
+    echo "error: daemon reports ${active:-0} active connections, expected >= $CONNS" >&2
+    exit 1
+fi
+echo "    conns: $CONNS idle, threads $THREADS_BEFORE -> $THREADS_DURING," \
+    "RSS growth ${RSS_CONN_GROWTH} kB"
+for fd in "${CONN_FDS[@]}"; do
+    exec {fd}>&-
+done
+"$APT" client --addr "127.0.0.1:$PORT" shutdown >/dev/null
+if ! wait "$SERVE_PID"; then
+    echo "error: apt serve exited nonzero after connection-scaling smoke" >&2
+    exit 1
+fi
+trap - EXIT
+rm -f "$ERRLOG"
 
 echo "==> serve smoke: daemon on a Unix socket, verdict parity with apt prove"
-APT=target/release/apt
 SOCK="$(mktemp -u /tmp/apt-serve-ci.XXXXXX).sock"
 "$APT" serve --socket "$SOCK" --workers 2 &
 SERVE_PID=$!
