@@ -20,6 +20,7 @@ pub mod analyze;
 pub mod batch;
 pub mod complexity;
 pub mod fig7;
+pub mod portfolio;
 pub mod prover_throughput;
 pub mod serve;
 pub mod subset;

@@ -31,11 +31,13 @@
 
 use apt_axioms::{adds, AxiomSet};
 use apt_core::{
-    check_proof, Answer, Budget, DepQuery, MaybeReason, Origin, Prover, ProverConfig, ProverStats,
+    check_proof, Answer, Budget, DepEngine, DepQuery, EngineKind, EngineSelection, MaybeReason,
+    Origin, Portfolio, PortfolioConfig, PortfolioStats, Prover, ProverConfig, ProverStats,
+    TallySink,
 };
 use apt_paths::{
-    analyze_proc, analyze_program, Analysis, BatchOptions, BatchQuery, DepTable, QueryError,
-    RowOutcome,
+    analyze_proc, analyze_program, Analysis, BatchOptions, BatchQuery, DepTable, ProgramAnalysis,
+    QueryError, RowOutcome,
 };
 use apt_regex::Path;
 use apt_serve::json::{obj, Json};
@@ -123,6 +125,109 @@ pub mod test_support {
     }
 }
 
+/// Portfolio racing options shared by the proving subcommands: the
+/// configuration (`None` leaves the axiomatic prover running alone, the
+/// pre-portfolio behavior) plus the tally sink every race reports into,
+/// so one command's queries aggregate into one set of totals.
+#[derive(Debug, Clone, Default)]
+pub struct PortfolioOpts {
+    config: Option<PortfolioConfig>,
+    tallies: TallySink,
+}
+
+impl PortfolioOpts {
+    /// Parses `--engines <all|comma-list>` and `--refuter-max-heap <n>`.
+    /// `--refuter-max-heap` without `--engines` implies `--engines all`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CliError`] on a malformed flag value.
+    pub fn from_flags(args: &[String]) -> Result<PortfolioOpts, CliError> {
+        let value = |flag: &str| {
+            args.iter()
+                .position(|a| a == flag)
+                .and_then(|i| args.get(i + 1))
+        };
+        let engines = match value("--engines") {
+            Some(spec) => {
+                Some(EngineSelection::parse(spec).map_err(|e| fail(format!("--engines: {e}")))?)
+            }
+            None => None,
+        };
+        let max_heap = match value("--refuter-max-heap") {
+            Some(v) => Some(v.parse::<usize>().ok().filter(|&n| n >= 1).ok_or_else(|| {
+                fail(format!(
+                    "--refuter-max-heap needs a positive integer, got {v:?}"
+                ))
+            })?),
+            None => None,
+        };
+        let config = match (engines, max_heap) {
+            (None, None) => None,
+            (sel, heap) => {
+                let mut cfg = PortfolioConfig::default();
+                if let Some(sel) = sel {
+                    cfg.engines = sel;
+                }
+                if let Some(heap) = heap {
+                    cfg.refuter_max_heap = heap;
+                }
+                Some(cfg)
+            }
+        };
+        Ok(PortfolioOpts {
+            config,
+            tallies: TallySink::new(),
+        })
+    }
+
+    /// Portfolio racing disabled (the default).
+    pub fn off() -> PortfolioOpts {
+        PortfolioOpts::default()
+    }
+
+    /// The parsed configuration, when racing was requested.
+    pub fn config(&self) -> Option<&PortfolioConfig> {
+        self.config.as_ref()
+    }
+
+    fn apply(&self, analysis: &mut Analysis) {
+        if let Some(cfg) = &self.config {
+            analysis.set_portfolio_config(cfg.clone());
+            analysis.set_portfolio_tallies(self.tallies.clone());
+        }
+    }
+
+    fn apply_program(&self, analysis: &mut ProgramAnalysis) {
+        if let Some(cfg) = &self.config {
+            analysis.set_portfolio_config(cfg.clone());
+            analysis.set_portfolio_tallies(&self.tallies);
+        }
+    }
+
+    fn stats(&self) -> Option<PortfolioStats> {
+        self.config.as_ref().map(|_| self.tallies.stats())
+    }
+}
+
+/// Renders the per-engine race tallies (the `apt report` / `apt batch`
+/// portfolio footer).
+fn render_portfolio_stats(out: &mut String, stats: &PortfolioStats) {
+    let _ = writeln!(out, "-- portfolio: engine races --");
+    for kind in EngineKind::ALL {
+        let t = stats.tally(kind);
+        let _ = writeln!(
+            out,
+            "{:<10} {} won, {} lost, {} cancelled",
+            kind.code(),
+            t.wins,
+            t.losses,
+            t.cancelled
+        );
+    }
+    let _ = writeln!(out, "(dependence witnesses found: {})", stats.witnesses);
+}
+
 /// Parses an axiom file: ADDS syntax if any line starts with an ADDS
 /// keyword, otherwise one axiom per line.
 ///
@@ -144,6 +249,7 @@ pub fn cmd_prove(
     path_b: &str,
     origin: Origin,
     config: &ProverConfig,
+    portfolio: &PortfolioOpts,
 ) -> Result<CmdOutput, CliError> {
     let axioms = load_axioms(axioms_text)?;
     let a = Path::parse(path_a).map_err(|e| fail(e.to_string()))?;
@@ -151,6 +257,18 @@ pub fn cmd_prove(
     let mut out = String::new();
     let mut any_maybe = false;
     let _ = writeln!(out, "axioms:\n{axioms}");
+    if let Some(cfg) = &portfolio.config {
+        return prove_portfolio(
+            &axioms,
+            &a,
+            &b,
+            origin,
+            config,
+            cfg,
+            &portfolio.tallies,
+            out,
+        );
+    }
     let mut prover = Prover::with_config(&axioms, config.clone());
     let result = DepQuery::disjoint(&a, &b)
         .origin(origin)
@@ -182,6 +300,86 @@ pub fn cmd_prove(
         None => {
             any_maybe = true;
             let why = why.unwrap_or(MaybeReason::GenuinelyUnknown);
+            let _ = writeln!(out, "{a} <> {b}: Maybe ({why})");
+            if why.is_degraded() {
+                let _ = writeln!(
+                    out,
+                    "(resource limit reached — retry with a larger \
+                     --fuel / --deadline-ms / --max-dfa-states)"
+                );
+            }
+        }
+    }
+    Ok(CmdOutput {
+        text: out,
+        any_maybe,
+    })
+}
+
+/// The `apt prove --engines …` path: race the selected backends and
+/// render whichever verdict settled first, with its provenance. A Yes
+/// carries the refuter's concrete witness heap, re-validated here the
+/// same way a No's proof object is re-checked.
+#[allow(clippy::too_many_arguments)]
+fn prove_portfolio(
+    axioms: &AxiomSet,
+    a: &Path,
+    b: &Path,
+    origin: Origin,
+    config: &ProverConfig,
+    cfg: &PortfolioConfig,
+    tallies: &TallySink,
+    mut out: String,
+) -> Result<CmdOutput, CliError> {
+    let engine = DepEngine::with_config(axioms.clone(), config.clone());
+    let racer = Portfolio::new(engine, cfg.clone()).with_tallies(tallies);
+    let dep = DepQuery::disjoint(a, b).origin(origin);
+    let outcome = racer.run(&dep);
+    let _ = writeln!(out, "engines: {}", cfg.engines);
+    let mut any_maybe = false;
+    match outcome.verdict.answer {
+        Answer::No => {
+            let quant = match origin {
+                Origin::Same => "forall x",
+                Origin::Distinct => "forall x <> y",
+            };
+            match &outcome.proof {
+                Some(proof) => {
+                    check_proof(axioms, proof).map_err(|e| fail(format!("internal: {e}")))?;
+                    let _ = writeln!(
+                        out,
+                        "{quant}: x.{a} <> y-or-x.{b} — No dependence (PROVEN, engine: {})",
+                        outcome.engine
+                    );
+                    let _ = writeln!(out, "\n{proof}");
+                }
+                None => {
+                    let _ = writeln!(
+                        out,
+                        "{quant}: x.{a} <> y-or-x.{b} — No dependence (engine: {})",
+                        outcome.engine
+                    );
+                }
+            }
+        }
+        Answer::Yes => {
+            let _ = writeln!(
+                out,
+                "{a} <> {b}: Yes — dependence exists (engine: {})",
+                outcome.engine
+            );
+            if let Some(witness) = &outcome.witness {
+                witness
+                    .validate(axioms, origin, a, b)
+                    .map_err(|e| fail(format!("internal: witness rejected: {e}")))?;
+                let _ = writeln!(out, "witness: {witness} (re-validated)");
+            }
+        }
+        Answer::Maybe => {
+            any_maybe = true;
+            let why = outcome
+                .maybe_reason
+                .unwrap_or(MaybeReason::GenuinelyUnknown);
             let _ = writeln!(out, "{a} <> {b}: Maybe ({why})");
             if why.is_degraded() {
                 let _ = writeln!(
@@ -248,6 +446,14 @@ pub fn cmd_apm(program_text: &str, proc_name: Option<&str>) -> Result<CmdOutput,
 /// Renders an outcome; returns whether it was a Maybe.
 fn render_outcome(out: &mut String, outcome: &apt_core::TestOutcome) -> bool {
     let _ = writeln!(out, "answer: {}", outcome.verdict());
+    if let Some(engine) = outcome.engine {
+        if engine != EngineKind::Axiomatic {
+            let _ = writeln!(out, "(settled by the {engine} engine)");
+        }
+    }
+    if let Some(witness) = &outcome.witness {
+        let _ = writeln!(out, "witness: {witness}");
+    }
     for proof in &outcome.proofs {
         let _ = writeln!(out, "\n{proof}");
     }
@@ -265,8 +471,10 @@ pub fn cmd_query_sequential(
     from: &str,
     to: &str,
     config: &ProverConfig,
+    portfolio: &PortfolioOpts,
 ) -> Result<CmdOutput, CliError> {
-    let (name, analysis) = analyze(program_text, proc_name, config)?;
+    let (name, mut analysis) = analyze(program_text, proc_name, config)?;
+    portfolio.apply(&mut analysis);
     let mut out = String::new();
     let mut any_maybe = true;
     let _ = writeln!(out, "procedure {name}: is {to} dependent on {from}?");
@@ -293,8 +501,10 @@ pub fn cmd_query_carried(
     label: &str,
     loop_label: Option<&str>,
     config: &ProverConfig,
+    portfolio: &PortfolioOpts,
 ) -> Result<CmdOutput, CliError> {
-    let (name, analysis) = analyze(program_text, proc_name, config)?;
+    let (name, mut analysis) = analyze(program_text, proc_name, config)?;
+    portfolio.apply(&mut analysis);
     let mut out = String::new();
     let mut any_maybe = true;
     match analysis.loop_carried_pair(label, loop_label) {
@@ -402,8 +612,10 @@ pub fn report_lines(
     program_text: &str,
     proc_name: Option<&str>,
     config: &ProverConfig,
+    portfolio: &PortfolioOpts,
 ) -> Result<Vec<ReportLine>, CliError> {
-    let (_name, analysis) = analyze(program_text, proc_name, config)?;
+    let (_name, mut analysis) = analyze(program_text, proc_name, config)?;
+    portfolio.apply(&mut analysis);
     let in_loop = analysis.snapshots().filter(|s| !s.loops.is_empty()).count();
     let sub = sub_config(config, in_loop);
     let mut lines = Vec::new();
@@ -431,10 +643,12 @@ fn report_proc(
     program_text: &str,
     name: &str,
     config: &ProverConfig,
+    portfolio: &PortfolioOpts,
     out: &mut String,
 ) -> Result<bool, CliError> {
-    let (_name, analysis) = analyze(program_text, Some(name), config)?;
-    let lines = report_lines(program_text, Some(name), config)?;
+    let (_name, mut analysis) = analyze(program_text, Some(name), config)?;
+    portfolio.apply(&mut analysis);
+    let lines = report_lines(program_text, Some(name), config, portfolio)?;
     let mut any_maybe = false;
     let _ = writeln!(out, "== parallelization report: procedure {name} ==");
     let _ = writeln!(
@@ -548,6 +762,7 @@ pub fn cmd_report(
     program_text: &str,
     proc_name: Option<&str>,
     config: &ProverConfig,
+    portfolio: &PortfolioOpts,
 ) -> Result<CmdOutput, CliError> {
     let program = apt_ir::parse_program(program_text).map_err(|e| fail(e.to_string()))?;
     let names: Vec<String> = match proc_name {
@@ -563,7 +778,10 @@ pub fn cmd_report(
         if i > 0 {
             let _ = writeln!(out);
         }
-        any_maybe |= report_proc(program_text, name, config, &mut out)?;
+        any_maybe |= report_proc(program_text, name, config, portfolio, &mut out)?;
+    }
+    if let Some(stats) = portfolio.stats() {
+        render_portfolio_stats(&mut out, &stats);
     }
     let mem = apt_core::MemorySample::take();
     let _ = writeln!(
@@ -600,6 +818,7 @@ pub fn cmd_batch(
     proc_name: Option<&str>,
     jobs: usize,
     config: &ProverConfig,
+    portfolio: &PortfolioOpts,
 ) -> Result<CmdOutput, CliError> {
     let program = apt_ir::parse_program(program_text).map_err(|e| fail(e.to_string()))?;
     let names: Vec<String> = match proc_name {
@@ -615,7 +834,8 @@ pub fn cmd_batch(
         if i > 0 {
             let _ = writeln!(out);
         }
-        let (_name, analysis) = analyze(program_text, Some(name), config)?;
+        let (_name, mut analysis) = analyze(program_text, Some(name), config)?;
+        portfolio.apply(&mut analysis);
         let queries = analysis.all_queries();
         let _ = writeln!(
             out,
@@ -664,6 +884,9 @@ pub fn cmd_batch(
             cache.min_dfas,
             cache.min_dfa_states
         );
+    }
+    if let Some(stats) = portfolio.stats() {
+        render_portfolio_stats(&mut out, &stats);
     }
     Ok(CmdOutput {
         text: out,
@@ -752,6 +975,7 @@ pub fn cmd_analyze(
     jobs: usize,
     changed_only: bool,
     config: &ProverConfig,
+    portfolio: &PortfolioOpts,
 ) -> Result<CmdOutput, CliError> {
     let program = apt_ir::parse_program(program_text).map_err(|e| fail(e.to_string()))?;
     if program.procs.is_empty() {
@@ -765,7 +989,8 @@ pub fn cmd_analyze(
             other_analyses: Vec::new(),
         },
     };
-    let analysis = analyze_program(&program).with_prover_config(config.clone());
+    let mut analysis = analyze_program(&program).with_prover_config(config.clone());
+    portfolio.apply_program(&mut analysis);
     let report = analysis.run(
         baseline.table.as_ref(),
         &BatchOptions::new().with_jobs(jobs),
@@ -813,6 +1038,9 @@ pub fn cmd_analyze(
         report.procs.len()
     );
     let any_maybe = report.any_maybe();
+    if let Some(stats) = portfolio.stats() {
+        render_portfolio_stats(&mut out, &stats);
+    }
     if let Some(path) = baseline_path {
         save_baseline(path, report.table, baseline)?;
         let _ = writeln!(out, "(table persisted to {path})");
@@ -843,10 +1071,24 @@ USAGE:
              [--fault-plan <spec>]
   apt client (--addr <host:port> | --socket <path>) <verb> …
       verbs: open <axioms-file> | prove <session> <p1> <p2> [--distinct]
+             [--engines <spec>]
              analyze <program-file> [--name <t>] [--changed-only]
              invalidate [<proc>] [--name <t>] | hello
              stats | health | ready | shutdown | raw '<json-frame>'
   apt snapshot inspect <file>
+
+PORTFOLIO FLAGS (prove / query / report / batch / analyze; on `serve`
+they set the server's default engine roster):
+  --engines <spec>        race multiple backends per query and adopt the
+                          first definite verdict: 'all', or a comma list
+                          of axiomatic, dyck, refuter. The axiomatic
+                          prover alone is the default. dyck answers
+                          definite No without a proof object; refuter
+                          answers definite Yes with a concrete witness
+                          heap (re-validated before it is believed).
+  --refuter-max-heap <n>  largest candidate heap the refuter enumerates,
+                          in nodes (default 8); implies --engines all
+                          when --engines is absent
 
 ANALYZE (whole-program incremental mode):
   Runs every procedure's full dependence workload. With --baseline, the
@@ -940,6 +1182,7 @@ pub fn run(args: &[String]) -> Result<CmdOutput, CliError> {
             .map(String::as_str)
     };
     let config = config_from_flags(args)?;
+    let portfolio = PortfolioOpts::from_flags(args)?;
     match args.first().map(String::as_str) {
         Some("prove") => {
             let file = args.get(1).ok_or_else(|| fail(USAGE))?;
@@ -950,7 +1193,7 @@ pub fn run(args: &[String]) -> Result<CmdOutput, CliError> {
             } else {
                 Origin::Same
             };
-            cmd_prove(&read(file)?, a, b, origin, &config)
+            cmd_prove(&read(file)?, a, b, origin, &config, &portfolio)
         }
         Some("apm") => {
             let file = args.get(1).ok_or_else(|| fail(USAGE))?;
@@ -961,16 +1204,16 @@ pub fn run(args: &[String]) -> Result<CmdOutput, CliError> {
             let text = read(file)?;
             let proc = flag_value("--proc");
             if let Some(u) = flag_value("--carried") {
-                cmd_query_carried(&text, proc, u, flag_value("--loop"), &config)
+                cmd_query_carried(&text, proc, u, flag_value("--loop"), &config, &portfolio)
             } else {
                 let from = flag_value("--from").ok_or_else(|| fail(USAGE))?;
                 let to = flag_value("--to").ok_or_else(|| fail(USAGE))?;
-                cmd_query_sequential(&text, proc, from, to, &config)
+                cmd_query_sequential(&text, proc, from, to, &config, &portfolio)
             }
         }
         Some("report") => {
             let file = args.get(1).ok_or_else(|| fail(USAGE))?;
-            cmd_report(&read(file)?, flag_value("--proc"), &config)
+            cmd_report(&read(file)?, flag_value("--proc"), &config, &portfolio)
         }
         Some("batch") => {
             let file = args.get(1).ok_or_else(|| fail(USAGE))?;
@@ -981,7 +1224,13 @@ pub fn run(args: &[String]) -> Result<CmdOutput, CliError> {
                     })?,
                     None => std::thread::available_parallelism().map_or(1, std::num::NonZero::get),
                 };
-            cmd_batch(&read(file)?, flag_value("--proc"), jobs, &config)
+            cmd_batch(
+                &read(file)?,
+                flag_value("--proc"),
+                jobs,
+                &config,
+                &portfolio,
+            )
         }
         Some("analyze") => {
             let file = args.get(1).ok_or_else(|| fail(USAGE))?;
@@ -998,9 +1247,10 @@ pub fn run(args: &[String]) -> Result<CmdOutput, CliError> {
                 jobs,
                 args.iter().any(|x| x == "--changed-only"),
                 &config,
+                &portfolio,
             )
         }
-        Some("serve") => cmd_serve(args, &config),
+        Some("serve") => cmd_serve(args, &config, &portfolio),
         Some("client") => cmd_client(args),
         Some("snapshot") => cmd_snapshot(args),
         _ => Err(fail(USAGE)),
@@ -1041,7 +1291,11 @@ pub fn cmd_snapshot(args: &[String]) -> Result<CmdOutput, CliError> {
 /// # Errors
 ///
 /// Returns a [`CliError`] on bad flags or bind failures.
-pub fn cmd_serve(args: &[String], config: &ProverConfig) -> Result<CmdOutput, CliError> {
+pub fn cmd_serve(
+    args: &[String],
+    config: &ProverConfig,
+    portfolio: &PortfolioOpts,
+) -> Result<CmdOutput, CliError> {
     let flag_value = |flag: &str| -> Option<&str> {
         args.iter()
             .position(|a| a == flag)
@@ -1062,6 +1316,7 @@ pub fn cmd_serve(args: &[String], config: &ProverConfig) -> Result<CmdOutput, Cl
     let mut serve_config = ServeConfig::new();
     serve_config.default_budget = config.budget.clone();
     serve_config.ceiling = config.budget.clone();
+    serve_config.portfolio = portfolio.config().cloned();
     if let Some(n) = usize_flag("--workers")? {
         serve_config.workers = n;
     }
@@ -1181,6 +1436,9 @@ pub fn cmd_client(args: &[String]) -> Result<CmdOutput, CliError> {
                 ("b", Json::from(*b)),
                 ("origin", Json::from(origin)),
             ];
+            if let Some(spec) = flag_value("--engines") {
+                pairs.push(("engines", spec.into()));
+            }
             for (flag, field) in [
                 ("--fuel", "fuel"),
                 ("--deadline-ms", "deadline_ms"),
@@ -1207,6 +1465,12 @@ pub fn cmd_client(args: &[String]) -> Result<CmdOutput, CliError> {
                 None => {
                     let _ = writeln!(out, "answer: {answer}");
                 }
+            }
+            if let Some(engine) = result.get("engine").and_then(Json::as_str) {
+                let _ = writeln!(out, "engine: {engine}");
+            }
+            if let Some(witness) = result.get("witness").and_then(Json::as_str) {
+                let _ = writeln!(out, "witness: {witness}");
             }
             any_maybe = answer == "Maybe";
         }
@@ -1324,6 +1588,7 @@ mod tests {
             "L.R.N",
             Origin::Same,
             &ProverConfig::default(),
+            &PortfolioOpts::off(),
         )
         .expect("runs");
         assert!(out.contains("PROVEN"), "{out}");
@@ -1335,6 +1600,7 @@ mod tests {
             "L",
             Origin::Same,
             &ProverConfig::default(),
+            &PortfolioOpts::off(),
         )
         .expect("runs");
         assert!(out.contains("Maybe"), "{out}");
@@ -1351,6 +1617,7 @@ mod tests {
             "L.R.N",
             Origin::Same,
             &ProverConfig::with_budget(Budget::new().with_fuel(1)),
+            &PortfolioOpts::off(),
         )
         .expect("runs");
         assert!(out.contains("Maybe (search exhausted: fuel)"), "{out}");
@@ -1368,10 +1635,12 @@ mod tests {
     #[test]
     fn query_commands_answer() {
         let cfg = ProverConfig::default();
-        let out = cmd_query_carried(LIST_PROGRAM, Some("update"), "U", None, &cfg).expect("runs");
+        let off = PortfolioOpts::off();
+        let out =
+            cmd_query_carried(LIST_PROGRAM, Some("update"), "U", None, &cfg, &off).expect("runs");
         assert!(out.contains("answer: No"), "{out}");
         assert_eq!(out.exit_code(), 0);
-        let out = cmd_query_sequential(LIST_PROGRAM, None, "U", "V", &cfg).expect("runs");
+        let out = cmd_query_sequential(LIST_PROGRAM, None, "U", "V", &cfg, &off).expect("runs");
         // U's paths don't survive relative to head's handle… either way it
         // must answer, not crash.
         assert!(out.contains("answer:"), "{out}");
@@ -1380,7 +1649,7 @@ mod tests {
     #[test]
     fn report_flags_parallelizable_loops() {
         let cfg = ProverConfig::default();
-        let lines = report_lines(LIST_PROGRAM, None, &cfg).expect("runs");
+        let lines = report_lines(LIST_PROGRAM, None, &cfg, &PortfolioOpts::off()).expect("runs");
         let u = lines.iter().find(|l| l.label == "U").expect("U listed");
         assert_eq!(u.loop_depth, 1);
         assert_eq!(u.carried, Some(Answer::No));
@@ -1388,7 +1657,8 @@ mod tests {
         let v = lines.iter().find(|l| l.label == "V").expect("V listed");
         assert_eq!(v.loop_depth, 0);
         assert_eq!(v.carried, None);
-        let rendered = cmd_report(LIST_PROGRAM, None, &cfg).expect("renders");
+        let rendered =
+            cmd_report(LIST_PROGRAM, None, &cfg, &PortfolioOpts::off()).expect("renders");
         assert!(rendered.contains("PARALLELIZABLE"), "{rendered}");
         assert!(rendered.contains("pairwise conflicts"), "{rendered}");
     }
@@ -1401,7 +1671,13 @@ mod tests {
             W:  h->f = 9;
             }}"
         );
-        let rendered = cmd_report(&two_procs, None, &ProverConfig::default()).expect("renders");
+        let rendered = cmd_report(
+            &two_procs,
+            None,
+            &ProverConfig::default(),
+            &PortfolioOpts::off(),
+        )
+        .expect("renders");
         assert!(rendered.contains("procedure update"), "{rendered}");
         assert!(rendered.contains("procedure touch"), "{rendered}");
     }
@@ -1411,7 +1687,12 @@ mod tests {
         // Inject a panic into U's loop-carried query: the report must
         // still render, keep V's line intact, and mark U as a Maybe.
         test_support::inject_report_panic(Some("U"));
-        let rendered = cmd_report(LIST_PROGRAM, None, &ProverConfig::default());
+        let rendered = cmd_report(
+            LIST_PROGRAM,
+            None,
+            &ProverConfig::default(),
+            &PortfolioOpts::off(),
+        );
         test_support::inject_report_panic(None);
         let rendered = rendered.expect("report survives the panic");
         assert!(rendered.contains("query panicked"), "{rendered}");
@@ -1419,20 +1700,26 @@ mod tests {
         assert!(rendered.contains('V'), "{rendered}");
         assert_eq!(rendered.exit_code(), 1);
         // Without the injection the same report is clean again.
-        let clean = cmd_report(LIST_PROGRAM, None, &ProverConfig::default()).expect("renders");
+        let clean = cmd_report(
+            LIST_PROGRAM,
+            None,
+            &ProverConfig::default(),
+            &PortfolioOpts::off(),
+        )
+        .expect("renders");
         assert!(clean.contains("PARALLELIZABLE"), "{clean}");
     }
 
     #[test]
     fn batch_agrees_with_sequential_queries() {
         let cfg = ProverConfig::default();
-        let rendered = cmd_batch(LIST_PROGRAM, None, 4, &cfg).expect("runs");
+        let rendered = cmd_batch(LIST_PROGRAM, None, 4, &cfg, &PortfolioOpts::off()).expect("runs");
         assert!(rendered.contains("carried U"), "{rendered}");
         assert!(rendered.contains("U vs V"), "{rendered}");
         // The loop-carried U dependence is broken by listness (as the
         // report shows), and U vs V conflict at head->f stays a Maybe/Yes
         // question answered identically to `apt query`.
-        let lines = report_lines(LIST_PROGRAM, None, &cfg).expect("runs");
+        let lines = report_lines(LIST_PROGRAM, None, &cfg, &PortfolioOpts::off()).expect("runs");
         let u = lines.iter().find(|l| l.label == "U").expect("U listed");
         assert_eq!(u.carried, Some(Answer::No));
         assert!(
@@ -1451,7 +1738,14 @@ mod tests {
             W:  h->f = 9;
             }}"
         );
-        let rendered = cmd_batch(&two_procs, None, 2, &ProverConfig::default()).expect("renders");
+        let rendered = cmd_batch(
+            &two_procs,
+            None,
+            2,
+            &ProverConfig::default(),
+            &PortfolioOpts::off(),
+        )
+        .expect("renders");
         assert!(rendered.contains("procedure update"), "{rendered}");
         assert!(rendered.contains("procedure touch"), "{rendered}");
         let e = run(&["batch".into(), "f".into(), "--jobs".into(), "0".into()]).unwrap_err();
@@ -1472,25 +1766,27 @@ mod tests {
         let baseline_path = dir.join("table.snap");
         let baseline = baseline_path.to_str().unwrap();
         let cfg = ProverConfig::default();
+        let off = PortfolioOpts::off();
 
-        let cold = cmd_analyze(&two_procs, Some(baseline), 2, false, &cfg).expect("cold run");
+        let cold = cmd_analyze(&two_procs, Some(baseline), 2, false, &cfg, &off).expect("cold run");
         assert!(cold.contains("0/2 procedures reused"), "{cold}");
         assert!(cold.contains("(table persisted"), "{cold}");
 
         // Unedited re-run: both procedures replay from the table.
-        let warm = cmd_analyze(&two_procs, Some(baseline), 2, false, &cfg).expect("warm run");
+        let warm = cmd_analyze(&two_procs, Some(baseline), 2, false, &cfg, &off).expect("warm run");
         assert!(warm.contains("2/2 procedures reused"), "{warm}");
         assert!(warm.contains("(replayed)"), "{warm}");
         assert_eq!(warm.exit_code(), cold.exit_code(), "verdict parity");
 
         // --changed-only trims the printout, not the exit code.
-        let trimmed = cmd_analyze(&two_procs, Some(baseline), 2, true, &cfg).expect("trimmed");
+        let trimmed =
+            cmd_analyze(&two_procs, Some(baseline), 2, true, &cfg, &off).expect("trimmed");
         assert_eq!(trimmed.exit_code(), cold.exit_code());
 
         // A corrupted baseline degrades to a cold run, same verdicts.
         std::fs::write(&baseline_path, b"not a snapshot").unwrap();
-        let recovered =
-            cmd_analyze(&two_procs, Some(baseline), 2, false, &cfg).expect("corrupt fallback");
+        let recovered = cmd_analyze(&two_procs, Some(baseline), 2, false, &cfg, &off)
+            .expect("corrupt fallback");
         assert!(recovered.contains("0/2 procedures reused"), "{recovered}");
         assert_eq!(recovered.exit_code(), cold.exit_code());
 

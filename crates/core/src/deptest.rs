@@ -11,6 +11,7 @@
 use crate::engine::{DepEngine, DepQuery, Outcome};
 use crate::goal::Origin;
 use crate::handle::{Handle, HandleRelation};
+use crate::portfolio::{EngineKind, Portfolio, PortfolioConfig, TallySink, Witness};
 use crate::proof::Proof;
 use crate::verdict::{MaybeReason, Verdict};
 use crate::ProverConfig;
@@ -215,6 +216,9 @@ pub enum Reason {
     IdenticalSingletonPaths,
     /// The theorem prover established disjointness.
     ProvenDisjoint,
+    /// The bounded-heap refuter produced a concrete axiom-satisfying
+    /// heap in which both references touch the same node.
+    WitnessedDependence,
     /// No proof was found.
     Unproven,
 }
@@ -232,10 +236,19 @@ pub struct TestOutcome {
     pub maybe: Option<MaybeReason>,
     /// The disjointness proof(s), when `reason` is
     /// [`Reason::ProvenDisjoint`]. Two proofs appear when the handle
-    /// relation was unknown and both origin cases were discharged.
+    /// relation was unknown and both origin cases were discharged. A
+    /// portfolio run may discharge a case through the Dyck engine, which
+    /// proves without a proof object — `proofs` can then be shorter than
+    /// the number of cases.
     pub proofs: Vec<Proof>,
     /// Prover work counters.
     pub stats: crate::ProverStats,
+    /// The concrete dependence witness, when `reason` is
+    /// [`Reason::WitnessedDependence`].
+    pub witness: Option<Witness>,
+    /// The backend whose verdict settled the test, when a prover query
+    /// (rather than a syntactic pre-check) decided it.
+    pub engine: Option<EngineKind>,
 }
 
 impl TestOutcome {
@@ -246,6 +259,8 @@ impl TestOutcome {
             maybe: None,
             proofs: Vec::new(),
             stats: crate::ProverStats::default(),
+            witness: None,
+            engine: None,
         }
     }
 
@@ -285,6 +300,9 @@ enum TestPlan {
 pub struct DepTest {
     engine: DepEngine,
     layout: FieldLayout,
+    /// When set, prover queries race through the portfolio instead of
+    /// running the axiomatic engine alone.
+    portfolio: Option<Portfolio>,
 }
 
 impl DepTest {
@@ -303,12 +321,49 @@ impl DepTest {
         DepTest {
             engine,
             layout: FieldLayout::new(),
+            portfolio: None,
         }
     }
 
     /// The engine backing this tester.
     pub fn engine(&self) -> &DepEngine {
         &self.engine
+    }
+
+    /// Routes this tester's prover queries through a racing
+    /// [`Portfolio`] built over the same engine (sharing its caches).
+    #[must_use]
+    pub fn with_portfolio(mut self, config: PortfolioConfig) -> DepTest {
+        self.portfolio = Some(Portfolio::new(self.engine.clone(), config));
+        self
+    }
+
+    /// Like [`DepTest::with_portfolio`], but recording race tallies into
+    /// a caller-shared [`TallySink`] — many short-lived testers (one per
+    /// report query, one per axiom group) then aggregate into one total.
+    #[must_use]
+    pub fn with_portfolio_tallies(mut self, config: PortfolioConfig, sink: &TallySink) -> DepTest {
+        self.portfolio = Some(Portfolio::new(self.engine.clone(), config).with_tallies(sink));
+        self
+    }
+
+    /// The portfolio front-end, when one is attached.
+    pub fn portfolio(&self) -> Option<&Portfolio> {
+        self.portfolio.as_ref()
+    }
+
+    fn run_query(&self, query: &DepQuery) -> Outcome {
+        match &self.portfolio {
+            Some(p) => p.run(query),
+            None => query.run(&self.engine),
+        }
+    }
+
+    fn run_queries(&self, queries: &[DepQuery], jobs: usize) -> Vec<Outcome> {
+        match &self.portfolio {
+            Some(p) => p.run_batch(queries, jobs),
+            None => self.engine.run_batch(queries, jobs),
+        }
     }
 
     /// Attaches a byte-level [`FieldLayout`], refining the field-overlap
@@ -354,7 +409,7 @@ impl DepTest {
                 // Sequential short-circuit: a proven equality settles the
                 // test, and the first unproven disjointness case does too.
                 let planned = disjoint.len();
-                let equal_outcome = equal.map(|q| q.run(&self.engine));
+                let equal_outcome = equal.map(|q| self.run_query(&q));
                 if let Some(eq) = &equal_outcome {
                     if eq.verdict.answer == Answer::Yes {
                         return Self::assemble(planned, equal_outcome.as_ref(), &[]);
@@ -362,8 +417,11 @@ impl DepTest {
                 }
                 let mut disjoint_outcomes = Vec::with_capacity(planned);
                 for q in disjoint {
-                    let out = q.run(&self.engine);
-                    let settled = out.proof.is_none();
+                    let out = self.run_query(&q);
+                    // Anything but a proven-disjoint case settles the
+                    // test: a Maybe leaves it unproven, a witnessed
+                    // dependence answers Yes outright.
+                    let settled = out.verdict.answer != Answer::No;
                     disjoint_outcomes.push(out);
                     if settled {
                         break;
@@ -416,7 +474,7 @@ impl DepTest {
                 }
             }
         }
-        let outcomes = self.engine.run_batch(&queries, jobs);
+        let outcomes = self.run_queries(&queries, jobs);
         plans
             .into_iter()
             .map(|plan| match plan {
@@ -502,15 +560,42 @@ impl DepTest {
                     maybe: None,
                     proofs: Vec::new(),
                     stats,
+                    witness: None,
+                    engine: Some(eq.engine),
                 };
             }
             degraded = eq.maybe_reason.filter(|r| r.is_degraded());
         }
+        // Cases settle on the *verdict*, not on proof presence: the Dyck
+        // engine proves disjointness without a proof object, and the
+        // refuter answers Yes with a witness heap instead.
         let mut proofs = Vec::new();
+        let mut proven_cases = 0usize;
+        let mut last_engine = None;
         for out in disjoint {
-            match &out.proof {
-                Some(p) => proofs.push(p.clone()),
-                None => {
+            match out.verdict.answer {
+                Answer::No => {
+                    proven_cases += 1;
+                    last_engine = Some(out.engine);
+                    if let Some(p) = &out.proof {
+                        proofs.push(p.clone());
+                    }
+                }
+                Answer::Yes => {
+                    // A concrete dependence witness for one origin case
+                    // settles the whole test: the witnessed heap is
+                    // admissible, so no sound tester may answer No.
+                    return TestOutcome {
+                        answer: Answer::Yes,
+                        reason: Reason::WitnessedDependence,
+                        maybe: None,
+                        proofs: Vec::new(),
+                        stats,
+                        witness: out.witness.clone(),
+                        engine: Some(out.engine),
+                    };
+                }
+                Answer::Maybe => {
                     let maybe = degraded
                         .or(out.maybe_reason)
                         .unwrap_or(MaybeReason::GenuinelyUnknown);
@@ -520,17 +605,21 @@ impl DepTest {
                         maybe: Some(maybe),
                         proofs: Vec::new(),
                         stats,
+                        witness: None,
+                        engine: None,
                     };
                 }
             }
         }
-        if proofs.len() == planned {
+        if proven_cases == planned {
             TestOutcome {
                 answer: Answer::No,
                 reason: Reason::ProvenDisjoint,
                 maybe: None,
                 proofs,
                 stats,
+                witness: None,
+                engine: last_engine,
             }
         } else {
             // Defensive: a plan that produced fewer outcomes than cases
@@ -541,6 +630,8 @@ impl DepTest {
                 maybe: Some(MaybeReason::GenuinelyUnknown),
                 proofs: Vec::new(),
                 stats,
+                witness: None,
+                engine: None,
             }
         }
     }

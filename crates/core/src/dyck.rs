@@ -1,0 +1,573 @@
+//! The Dyck/CFL-reachability disjointness engine.
+//!
+//! "Optimal Dyck Reachability for Data-Dependence and Alias Analysis"
+//! (Chatterjee et al.) recasts path-expression disjointness as a
+//! graph-reachability problem. This module is that second backend: the
+//! axiom set plus the two access-path languages are lowered onto a finite
+//! *heap-shape product graph* whose vertices are pairs of Brzozowski
+//! residuals `(origin-mode, d(a), d(b))`, and the query is answered by a
+//! single backward reachability pass — is a *conflict* vertex (one where
+//! the two paths may denote the same heap node and no axiom discharges
+//! it) reachable from the start vertex?
+//!
+//! # The product graph
+//!
+//! A vertex `(m, ra, rb)` stands for the claim "after reading some prefix
+//! pair, the two cursors are related by `m` (provably **equal** for
+//! [`Origin::Same`], provably **distinct** for [`Origin::Distinct`]) and
+//! the remaining languages are `L(ra)` and `L(rb)`". Edges step one field
+//! symbol on each side (heap edges are single-valued, so equal cursors
+//! stepping the same field stay equal). When an aliasing axiom applies to
+//! the single-symbol step (`s ∈ L(lhs)`, `t ∈ L(rhs)` for the matching
+//! origin form), the successor cursors are provably distinct; otherwise
+//! the relation is unknown and the vertex must be safe under **both**
+//! successor modes — a sound case split over all heaps.
+//!
+//! # Conflict vertices
+//!
+//! * `m = Same` with both residuals nullable: the two paths can both end
+//!   *here*, on the same node — a dependence no axiom can talk away.
+//! * A nullable residual on one side whose opposite side still has
+//!   nonempty words, with no axiom of the matching origin form covering
+//!   the `ε`-versus-rest split (the acyclicity axioms `p.F+ <> p.eps` are
+//!   exactly this shape).
+//! * Any vertex cut off by the state cap or the budget (conservatively
+//!   treated as conflicting — limits may only weaken the verdict).
+//!
+//! A vertex whose full residual pair is contained in one axiom's two
+//! sides is discharged outright and sprouts no edges.
+//!
+//! The pass is sound but deliberately incomplete: equality axioms are
+//! ignored (dropping constraints only grows the model class, so a proof
+//! here is a proof everywhere), and cyclic-structure queries that need
+//! rewriting stay `Maybe`. The point of the portfolio is that this engine
+//! answers a different (and differently-priced) slice of the query space
+//! than the axiomatic prover.
+
+use crate::config::Budget;
+use crate::goal::Origin;
+use crate::verdict::MaybeReason;
+use apt_axioms::{AxiomKind, AxiomSet};
+use apt_regex::derivative::derive;
+use apt_regex::{ops, FxHashMap, LimitExceeded, Limits, Path, Regex, RegexId, Symbol};
+use std::time::Instant;
+
+/// Hard cap on product-graph vertices when the caller does not bound them
+/// through [`Budget::max_dfa_states`].
+pub const DEFAULT_STATE_CAP: usize = 2048;
+
+/// The result of one Dyck-reachability decision.
+#[derive(Debug, Clone)]
+pub struct DyckResult {
+    /// Whether disjointness was established.
+    pub proved: bool,
+    /// Why the answer is not definite (`None` when `proved`, or when the
+    /// search completed and the lowering genuinely cannot decide the
+    /// query).
+    pub reason: Option<MaybeReason>,
+    /// Product-graph vertices materialized.
+    pub states: usize,
+    /// Language-containment checks performed against axiom sides.
+    pub subset_checks: u64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct Vertex {
+    mode: Origin,
+    ra: RegexId,
+    rb: RegexId,
+}
+
+struct Search<'a> {
+    axioms: &'a AxiomSet,
+    limits: Limits,
+    deadline: Option<Instant>,
+    cancel: Option<crate::config::CancelToken>,
+    state_cap: usize,
+    /// Local memo for containment checks (ids are process-global, the
+    /// memo is per-query).
+    subset_memo: FxHashMap<(RegexId, RegexId), bool>,
+    subset_checks: u64,
+    /// Set when any containment check was stopped by a limit: a `false`
+    /// answer may then be a budget artifact, so a failed proof degrades
+    /// to the recorded reason instead of "genuinely unknown".
+    degraded: Option<MaybeReason>,
+}
+
+impl Search<'_> {
+    fn check_stop(&mut self) -> Option<MaybeReason> {
+        if let Some(c) = &self.cancel {
+            if c.is_cancelled() {
+                return Some(MaybeReason::Cancelled);
+            }
+        }
+        if let Some(d) = self.deadline {
+            if Instant::now() >= d {
+                return Some(MaybeReason::DeadlineExceeded);
+            }
+        }
+        None
+    }
+
+    /// `L(sub) ⊆ L(sup)`, budget-bounded; a limit hit reads as "not
+    /// contained" and records the degradation.
+    fn subset(&mut self, sub: RegexId, sup: RegexId) -> bool {
+        if let Some(&hit) = self.subset_memo.get(&(sub, sup)) {
+            return hit;
+        }
+        self.subset_checks += 1;
+        let answer = match ops::try_is_subset(&sub.to_regex(), &sup.to_regex(), &self.limits) {
+            Ok(holds) => holds,
+            Err(e) => {
+                let reason = match e {
+                    LimitExceeded::States { .. } => MaybeReason::RegexBudget,
+                    LimitExceeded::Deadline => MaybeReason::DeadlineExceeded,
+                    LimitExceeded::Cancelled => MaybeReason::Cancelled,
+                };
+                self.degraded.get_or_insert(reason);
+                false
+            }
+        };
+        self.subset_memo.insert((sub, sup), answer);
+        answer
+    }
+
+    /// Whether some axiom of `kind` covers the full residual pair (either
+    /// side assignment) — the vertex is then discharged outright.
+    fn discharged(&mut self, kind: AxiomKind, ra: RegexId, rb: RegexId) -> bool {
+        let pairs: Vec<(RegexId, RegexId)> = self
+            .axioms
+            .of_kind(kind)
+            .map(|ax| (ax.lhs_id(), ax.rhs_id()))
+            .collect();
+        for (lhs, rhs) in pairs {
+            if (self.subset(ra, lhs) && self.subset(rb, rhs))
+                || (self.subset(ra, rhs) && self.subset(rb, lhs))
+            {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Whether some axiom of `kind` separates the single-symbol words `s`
+    /// and `t` — the step's successor cursors are then provably distinct.
+    fn step_axiom(&self, kind: AxiomKind, s: Symbol, t: Symbol) -> bool {
+        self.axioms.of_kind(kind).any(|ax| {
+            (ax.lhs().matches(&[s]) && ax.rhs().matches(&[t]))
+                || (ax.lhs().matches(&[t]) && ax.rhs().matches(&[s]))
+        })
+    }
+
+    /// Whether some axiom of `kind` discharges "one path ends here, the
+    /// other continues": an `ε`-admitting side for the ended path and the
+    /// continuing residual contained in the other side (mod `ε`).
+    fn epsilon_split_covered(&mut self, kind: AxiomKind, continuing: RegexId) -> bool {
+        let pairs: Vec<(RegexId, RegexId)> = self
+            .axioms
+            .of_kind(kind)
+            .map(|ax| (ax.lhs_id(), ax.rhs_id()))
+            .collect();
+        for (lhs, rhs) in pairs {
+            for (eps_side, rest_side) in [(lhs, rhs), (rhs, lhs)] {
+                if eps_side.to_regex().is_nullable() {
+                    let padded =
+                        RegexId::intern(&Regex::alt(rest_side.to_regex(), Regex::epsilon()));
+                    if self.subset(continuing, padded) {
+                        return true;
+                    }
+                }
+            }
+        }
+        false
+    }
+}
+
+fn axiom_kind_for(mode: Origin) -> AxiomKind {
+    match mode {
+        Origin::Same => AxiomKind::DisjointSameOrigin,
+        Origin::Distinct => AxiomKind::DisjointDistinctOrigins,
+    }
+}
+
+/// Decides `origin ⊢ a <> b` by reachability on the residual product
+/// graph. Sound: `proved == true` implies the paths are disjoint in every
+/// heap satisfying the disjointness axioms (equality axioms are ignored,
+/// which only enlarges the model class).
+pub fn decide(
+    axioms: &AxiomSet,
+    origin: Origin,
+    a: &Path,
+    b: &Path,
+    budget: &Budget,
+    state_cap: usize,
+) -> DyckResult {
+    let mut limits = Limits::none();
+    if let Some(m) = budget.max_dfa_states {
+        limits = limits.with_max_states(m);
+    }
+    let deadline = budget.deadline.map(|d| Instant::now() + d);
+    if let Some(d) = deadline {
+        limits = limits.with_deadline(d);
+    }
+    if let Some(c) = &budget.cancel {
+        limits = limits.with_cancel(c.as_flag());
+    }
+    let mut search = Search {
+        axioms,
+        limits,
+        deadline,
+        cancel: budget.cancel.clone(),
+        state_cap: state_cap.max(1),
+        subset_memo: FxHashMap::default(),
+        subset_checks: 0,
+        degraded: None,
+    };
+
+    let ra0 = a.to_regex();
+    let rb0 = b.to_regex();
+    // The stepping alphabet: only symbols the two path languages can
+    // actually consume (derivatives by anything else are empty).
+    let mut alpha = ra0.symbols();
+    alpha.extend(rb0.symbols());
+    alpha.sort_unstable();
+    alpha.dedup();
+
+    let start = Vertex {
+        mode: origin,
+        ra: RegexId::intern(&ra0),
+        rb: RegexId::intern(&rb0),
+    };
+
+    // Forward exploration: materialize vertices, their conjunctive
+    // successor requirements, and the initial conflict set.
+    let mut index: FxHashMap<Vertex, usize> = FxHashMap::default();
+    let mut deps: Vec<Vec<usize>> = Vec::new(); // vertex -> required successors
+    let mut bad: Vec<bool> = Vec::new();
+    let mut queue: Vec<Vertex> = Vec::new();
+    let mut verts: Vec<Vertex> = Vec::new();
+
+    let intern_vertex = |v: Vertex,
+                         index: &mut FxHashMap<Vertex, usize>,
+                         deps: &mut Vec<Vec<usize>>,
+                         bad: &mut Vec<bool>,
+                         verts: &mut Vec<Vertex>,
+                         queue: &mut Vec<Vertex>| {
+        *index.entry(v).or_insert_with(|| {
+            let id = deps.len();
+            deps.push(Vec::new());
+            bad.push(false);
+            verts.push(v);
+            queue.push(v);
+            id
+        })
+    };
+    intern_vertex(
+        start, &mut index, &mut deps, &mut bad, &mut verts, &mut queue,
+    );
+
+    let mut head = 0;
+    let mut capped = false;
+    while head < queue.len() {
+        if let Some(reason) = search.check_stop() {
+            return DyckResult {
+                proved: false,
+                reason: Some(reason),
+                states: deps.len(),
+                subset_checks: search.subset_checks,
+            };
+        }
+        let v = queue[head];
+        let id = index[&v];
+        head += 1;
+
+        let ra = v.ra.to_regex();
+        let rb = v.rb.to_regex();
+        let kind = axiom_kind_for(v.mode);
+
+        // Whole-residual discharge: no edges, never a conflict.
+        if search.discharged(kind, v.ra, v.rb) {
+            continue;
+        }
+
+        let ra_nullable = ra.is_nullable();
+        let rb_nullable = rb.is_nullable();
+        let ra_steps = !ra.first_symbols().is_empty();
+        let rb_steps = !rb.first_symbols().is_empty();
+
+        // Base conflict: equal cursors, both paths may end here.
+        if v.mode == Origin::Same && ra_nullable && rb_nullable {
+            bad[id] = true;
+            continue;
+        }
+        // ε-versus-rest splits: one path ends at the current cursor while
+        // the other continues; only an ε-admitting axiom of the matching
+        // form (acyclicity) can discharge it.
+        if ra_nullable && rb_steps && !search.epsilon_split_covered(kind, v.rb) {
+            bad[id] = true;
+            continue;
+        }
+        if rb_nullable && ra_steps && !search.epsilon_split_covered(kind, v.ra) {
+            bad[id] = true;
+            continue;
+        }
+
+        // Symbol-pair steps. Every required successor is conjunctive: one
+        // unprovable continuation word pair defeats the whole claim.
+        for &s in &alpha {
+            let da = derive(&ra, s);
+            if da.is_empty_language() {
+                continue;
+            }
+            let ia = RegexId::intern(&da);
+            for &t in &alpha {
+                let db = derive(&rb, t);
+                if db.is_empty_language() {
+                    continue;
+                }
+                let ib = RegexId::intern(&db);
+                let mut need: Vec<Origin> = Vec::with_capacity(2);
+                if v.mode == Origin::Same && s == t {
+                    // Single-valued fields: equal cursors stay equal.
+                    need.push(Origin::Same);
+                } else if search.step_axiom(kind, s, t) {
+                    need.push(Origin::Distinct);
+                } else {
+                    // Successor relation unknown: sound under both.
+                    need.push(Origin::Same);
+                    need.push(Origin::Distinct);
+                }
+                for mode in need {
+                    let succ = Vertex {
+                        mode,
+                        ra: ia,
+                        rb: ib,
+                    };
+                    if deps.len() >= search.state_cap && !index.contains_key(&succ) {
+                        capped = true;
+                        bad[id] = true;
+                        continue;
+                    }
+                    let sid = intern_vertex(
+                        succ, &mut index, &mut deps, &mut bad, &mut verts, &mut queue,
+                    );
+                    deps[id].push(sid);
+                }
+            }
+        }
+    }
+
+    // Backward conflict propagation: a vertex requiring a conflicting
+    // successor conflicts itself (requirements are conjunctive).
+    let n = deps.len();
+    let mut rev: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (from, succs) in deps.iter().enumerate() {
+        for &to in succs {
+            rev[to].push(from);
+        }
+    }
+    let mut work: Vec<usize> = (0..n).filter(|&i| bad[i]).collect();
+    while let Some(i) = work.pop() {
+        for &p in &rev[i] {
+            if !bad[p] {
+                bad[p] = true;
+                work.push(p);
+            }
+        }
+    }
+
+    let proved = !bad[index[&start]];
+    let reason = if proved {
+        None
+    } else if capped {
+        Some(search.degraded.unwrap_or(MaybeReason::RegexBudget))
+    } else {
+        Some(search.degraded.unwrap_or(MaybeReason::GenuinelyUnknown))
+    };
+    DyckResult {
+        proved,
+        reason,
+        states: n,
+        subset_checks: search.subset_checks,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apt_axioms::adds;
+
+    fn p(s: &str) -> Path {
+        Path::parse(s).unwrap()
+    }
+
+    fn fig3() -> AxiomSet {
+        adds::leaf_linked_tree_axioms()
+    }
+
+    #[test]
+    fn proves_figure3_sibling_leaves() {
+        let r = decide(
+            &fig3(),
+            Origin::Same,
+            &p("L.L.N"),
+            &p("L.R.N"),
+            &Budget::new(),
+            DEFAULT_STATE_CAP,
+        );
+        assert!(r.proved, "L.L.N <> L.R.N must be proved: {r:?}");
+    }
+
+    #[test]
+    fn refuses_identical_paths() {
+        let r = decide(
+            &fig3(),
+            Origin::Same,
+            &p("L.L.N"),
+            &p("L.L.N"),
+            &Budget::new(),
+            DEFAULT_STATE_CAP,
+        );
+        assert!(!r.proved);
+        assert_eq!(r.reason, Some(MaybeReason::GenuinelyUnknown));
+    }
+
+    #[test]
+    fn proves_distinct_origin_injectivity_chain() {
+        // forall p<>q, p.N <> q.N: distinct cursors stepping N stay
+        // distinct, so p.N.N <> q.N.N from distinct origins.
+        let axioms = AxiomSet::parse(
+            "A1: forall p <> q, p.N <> q.N\n\
+             A2: forall p, p.N+ <> p.eps",
+        )
+        .unwrap();
+        let r = decide(
+            &axioms,
+            Origin::Distinct,
+            &p("N.N"),
+            &p("N.N"),
+            &Budget::new(),
+            DEFAULT_STATE_CAP,
+        );
+        assert!(r.proved, "{r:?}");
+    }
+
+    #[test]
+    fn acyclicity_discharges_epsilon_split() {
+        // p <> p.N+ needs the acyclicity axiom's ε side.
+        let axioms = AxiomSet::parse(
+            "A1: forall p <> q, p.N <> q.N\n\
+             A2: forall p, p.N+ <> p.eps",
+        )
+        .unwrap();
+        let r = decide(
+            &axioms,
+            Origin::Same,
+            &p("eps"),
+            &p("N+"),
+            &Budget::new(),
+            DEFAULT_STATE_CAP,
+        );
+        assert!(r.proved, "{r:?}");
+        // Without acyclicity the split must stay open.
+        let weak = AxiomSet::parse("A1: forall p <> q, p.N <> q.N").unwrap();
+        let r = decide(
+            &weak,
+            Origin::Same,
+            &p("eps"),
+            &p("N+"),
+            &Budget::new(),
+            DEFAULT_STATE_CAP,
+        );
+        assert!(!r.proved);
+    }
+
+    #[test]
+    fn refuses_same_origin_lists_without_divergence() {
+        // p.N vs p.N.N on a list: the longer path re-meets the shorter
+        // one's node only if cycles exist; acyclic axioms DO prove it.
+        let axioms = AxiomSet::parse(
+            "A1: forall p <> q, p.N <> q.N\n\
+             A2: forall p, p.N+ <> p.eps",
+        )
+        .unwrap();
+        let r = decide(
+            &axioms,
+            Origin::Same,
+            &p("N"),
+            &p("N.N"),
+            &Budget::new(),
+            DEFAULT_STATE_CAP,
+        );
+        assert!(r.proved, "{r:?}");
+        // But from *distinct* origins q.N can be p's own cell: unprovable.
+        let r = decide(
+            &axioms,
+            Origin::Distinct,
+            &p("eps"),
+            &p("N"),
+            &Budget::new(),
+            DEFAULT_STATE_CAP,
+        );
+        assert!(!r.proved, "{r:?}");
+    }
+
+    #[test]
+    fn state_cap_degrades_to_maybe() {
+        let r = decide(
+            &fig3(),
+            Origin::Same,
+            &p("(L|R)+.N"),
+            &p("(L|R)+.L.N"),
+            &Budget::new(),
+            1,
+        );
+        assert!(!r.proved);
+        assert!(r.reason.is_some());
+    }
+
+    #[test]
+    fn cancellation_stops_the_search() {
+        let token = crate::config::CancelToken::new();
+        token.cancel();
+        let r = decide(
+            &fig3(),
+            Origin::Same,
+            &p("L.L.N"),
+            &p("L.R.N"),
+            &Budget::new().with_cancel(token),
+            DEFAULT_STATE_CAP,
+        );
+        assert!(!r.proved);
+        assert_eq!(r.reason, Some(MaybeReason::Cancelled));
+    }
+
+    #[test]
+    fn theorem_t_shape_is_proved() {
+        // Theorem T (ncolE+ <> nrowE+.ncolE+) under the full Appendix A
+        // set: S4 contains the residual pair outright.
+        let axioms = adds::sparse_matrix_axioms();
+        let r = decide(
+            &axioms,
+            Origin::Same,
+            &p("ncolE+"),
+            &p("nrowE+.ncolE+"),
+            &Budget::new(),
+            DEFAULT_STATE_CAP,
+        );
+        assert!(r.proved, "{r:?}");
+        // The minimal §5 set needs the axiomatic prover's common-prefix
+        // induction — out of reach for this lowering, which must stay
+        // honestly Maybe (the portfolio's axiomatic lane wins that one).
+        let minimal = adds::sparse_matrix_minimal_axioms();
+        let r = decide(
+            &minimal,
+            Origin::Same,
+            &p("ncolE+"),
+            &p("nrowE+.ncolE+"),
+            &Budget::new(),
+            DEFAULT_STATE_CAP,
+        );
+        assert!(!r.proved);
+    }
+}

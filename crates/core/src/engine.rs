@@ -49,6 +49,7 @@ use apt_regex::{ArenaScope, FxBuildHasher, FxHashMap, Path, RegexId};
 use crate::config::{Budget, ProverConfig, ProverStats};
 use crate::deptest::Answer;
 use crate::goal::{Goal, Origin};
+use crate::portfolio::{EngineKind, Witness};
 use crate::proof::Proof;
 use crate::prover::Prover;
 use crate::verdict::{MaybeReason, Verdict};
@@ -506,6 +507,16 @@ impl DepQuery {
         self.kind
     }
 
+    /// The origin relation the query is asked under.
+    pub fn origin_relation(&self) -> Origin {
+        self.origin
+    }
+
+    /// The per-query budget override, if one was set.
+    pub fn budget_override(&self) -> Option<&Budget> {
+        self.budget.as_ref()
+    }
+
     /// The first path of the query.
     pub fn a(&self) -> &Path {
         &self.a
@@ -558,6 +569,8 @@ impl DepQuery {
             verdict,
             proof,
             stats,
+            engine: EngineKind::Axiomatic,
+            witness: None,
         }
     }
 
@@ -600,6 +613,12 @@ pub struct Outcome {
     /// Why the answer is Maybe (`None` for definite answers). Mirrors
     /// `verdict.reason`.
     pub maybe_reason: Option<MaybeReason>,
+    /// Which backend produced this outcome. [`EngineKind::Axiomatic`]
+    /// unless the query ran through a [`crate::portfolio::Portfolio`].
+    pub engine: EngineKind,
+    /// The concrete dependence witness, when the refuter settled the
+    /// query with [`Answer::Yes`].
+    pub witness: Option<Witness>,
 }
 
 impl Outcome {

@@ -42,11 +42,14 @@
 pub mod check;
 mod config;
 mod deptest;
+pub mod dyck;
 mod engine;
 mod goal;
 mod handle;
+mod portfolio;
 mod proof;
 mod prover;
+pub mod refuter;
 pub mod telemetry;
 mod verdict;
 
@@ -61,6 +64,10 @@ pub use engine::{
 };
 pub use goal::{Goal, Origin};
 pub use handle::{Handle, HandleRelation};
+pub use portfolio::{
+    EngineKind, EngineSelection, EngineTally, Portfolio, PortfolioConfig, PortfolioStats,
+    TallySink, Witness,
+};
 pub use proof::{PrefixCase, Proof, Rule};
 pub use prover::Prover;
 pub use telemetry::{peak_rss_kb, MemorySample};

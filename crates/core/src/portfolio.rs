@@ -1,0 +1,1163 @@
+//! Portfolio solving: three engines racing per query.
+//!
+//! A production dependence test wants a *definite* answer from whichever
+//! engine gets there first. This module races up to three backends under
+//! the existing [`Budget`]/[`CancelToken`] machinery:
+//!
+//! * **axiomatic** — the induction prover behind [`DepEngine`]; answers
+//!   `No` (disjoint, with a machine-checkable [`Proof`]) or `Yes`
+//!   (equality queries).
+//! * **dyck** — the [`crate::dyck`] CFL-reachability engine; answers `No`
+//!   for disjointness by reachability over the residual product graph.
+//! * **refuter** — the [`crate::refuter`] bounded concrete-heap search;
+//!   answers `Yes` (a definite dependence) with an attached [`Witness`]
+//!   heap that re-validates independently.
+//!
+//! The first definite verdict cancels the losers through a private race
+//! token; the caller's own token keeps working because the coordinator
+//! forwards external cancellation into the race. Engines never share
+//! mutable state: dyck and refuter hold no handle to the engine's shared
+//! proof cache, and the axiomatic prover publishes definite results only,
+//! so a cancelled backend cannot pollute anything (`cancelled ⇒ Maybe ⇒`
+//! nothing published).
+//!
+//! Soundness across engines is compositional, not coordinated: axiomatic
+//! `No` carries a checkable proof; dyck `No` is a proof over a *superset*
+//! of the axiom models; refuter `Yes` carries a concrete heap checked by
+//! [`apt_axioms::check_set`] plus path re-execution. Definite verdicts
+//! therefore can never disagree unless an engine is unsound — debug
+//! builds assert it.
+
+use crate::config::{Budget, CancelToken, ProverStats};
+use crate::deptest::Answer;
+use crate::dyck;
+use crate::engine::{DepEngine, DepQuery, Outcome, QueryKind};
+use crate::goal::Origin;
+use crate::refuter::{self, RefuterConfig, RefuterOutcome};
+use crate::verdict::{MaybeReason, SearchLimit, Verdict};
+use apt_axioms::check::check_set;
+use apt_axioms::graph::{HeapGraph, NodeId};
+use apt_axioms::AxiomSet;
+use apt_regex::{Path, Symbol};
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Which backend produced an [`Outcome`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EngineKind {
+    /// The axiomatic induction prover (the default, proof-carrying path).
+    Axiomatic,
+    /// The Dyck/CFL-reachability engine.
+    Dyck,
+    /// The bounded concrete-heap refuter.
+    Refuter,
+}
+
+impl EngineKind {
+    /// All engines, in reporting order.
+    pub const ALL: [EngineKind; 3] = [EngineKind::Axiomatic, EngineKind::Dyck, EngineKind::Refuter];
+
+    /// Stable wire/persistence code; round-trips through
+    /// [`EngineKind::from_code`].
+    pub fn code(&self) -> &'static str {
+        match self {
+            EngineKind::Axiomatic => "axiomatic",
+            EngineKind::Dyck => "dyck",
+            EngineKind::Refuter => "refuter",
+        }
+    }
+
+    /// Parses an [`EngineKind::code`] string.
+    pub fn from_code(code: &str) -> Option<EngineKind> {
+        Some(match code {
+            "axiomatic" => EngineKind::Axiomatic,
+            "dyck" => EngineKind::Dyck,
+            "refuter" => EngineKind::Refuter,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for EngineKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.code())
+    }
+}
+
+/// Which engines a portfolio run may use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineSelection {
+    /// Run the axiomatic prover.
+    pub axiomatic: bool,
+    /// Run the Dyck-reachability engine.
+    pub dyck: bool,
+    /// Run the bounded-heap refuter.
+    pub refuter: bool,
+}
+
+impl EngineSelection {
+    /// Every engine.
+    pub fn all() -> EngineSelection {
+        EngineSelection {
+            axiomatic: true,
+            dyck: true,
+            refuter: true,
+        }
+    }
+
+    /// The axiomatic prover alone (pre-portfolio behavior).
+    pub fn axiomatic_only() -> EngineSelection {
+        EngineSelection {
+            axiomatic: true,
+            dyck: false,
+            refuter: false,
+        }
+    }
+
+    /// Parses a `--engines` spec: `all`, or a comma-separated subset of
+    /// `axiomatic`, `dyck`, `refuter`.
+    pub fn parse(spec: &str) -> Result<EngineSelection, String> {
+        if spec.trim() == "all" {
+            return Ok(EngineSelection::all());
+        }
+        let mut sel = EngineSelection {
+            axiomatic: false,
+            dyck: false,
+            refuter: false,
+        };
+        for part in spec.split(',') {
+            match part.trim() {
+                "axiomatic" => sel.axiomatic = true,
+                "dyck" => sel.dyck = true,
+                "refuter" => sel.refuter = true,
+                "" => {}
+                other => {
+                    return Err(format!(
+                        "unknown engine '{other}' (expected all, axiomatic, dyck, refuter)"
+                    ))
+                }
+            }
+        }
+        if !(sel.axiomatic || sel.dyck || sel.refuter) {
+            return Err("no engines selected".to_string());
+        }
+        Ok(sel)
+    }
+
+    /// Whether `kind` is selected.
+    pub fn contains(&self, kind: EngineKind) -> bool {
+        match kind {
+            EngineKind::Axiomatic => self.axiomatic,
+            EngineKind::Dyck => self.dyck,
+            EngineKind::Refuter => self.refuter,
+        }
+    }
+
+    /// Number of selected engines.
+    pub fn count(&self) -> usize {
+        usize::from(self.axiomatic) + usize::from(self.dyck) + usize::from(self.refuter)
+    }
+}
+
+impl fmt::Display for EngineSelection {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if *self == EngineSelection::all() {
+            return f.write_str("all");
+        }
+        let mut first = true;
+        for kind in EngineKind::ALL {
+            if self.contains(kind) {
+                if !first {
+                    f.write_str(",")?;
+                }
+                f.write_str(kind.code())?;
+                first = false;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Portfolio tuning knobs.
+#[derive(Debug, Clone)]
+pub struct PortfolioConfig {
+    /// Engines in play.
+    pub engines: EngineSelection,
+    /// Largest refuter candidate heap, in nodes (`--refuter-max-heap`).
+    pub refuter_max_heap: usize,
+    /// Product-graph vertex cap for the Dyck engine.
+    pub dyck_state_cap: usize,
+}
+
+impl Default for PortfolioConfig {
+    fn default() -> Self {
+        PortfolioConfig {
+            engines: EngineSelection::all(),
+            refuter_max_heap: RefuterConfig::default().max_heap_nodes,
+            dyck_state_cap: dyck::DEFAULT_STATE_CAP,
+        }
+    }
+}
+
+/// A concrete dependence witness: a small heap satisfying every axiom in
+/// which both access paths reach the same node.
+///
+/// Witnesses are *evidence*, not trust: [`Witness::validate`] re-derives
+/// the heap from the edge list, re-checks the axiom set with
+/// [`apt_axioms::check_set`], and re-executes both path languages — the
+/// same discipline applied to imported proofs (a forged witness is
+/// rejected, never believed).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Witness {
+    /// Node count; nodes are `0..nodes`.
+    pub nodes: usize,
+    /// Single-valued field edges `(from, field, to)`.
+    pub edges: Vec<(usize, String, usize)>,
+    /// The node the first path starts from.
+    pub p_origin: usize,
+    /// The node the second path starts from (equals `p_origin` for
+    /// same-origin queries).
+    pub q_origin: usize,
+    /// The node both paths reach.
+    pub meet: usize,
+}
+
+impl Witness {
+    /// Rebuilds the heap graph from the edge list.
+    ///
+    /// Fails on out-of-range nodes or a duplicated `(from, field)` edge
+    /// (heaps are single-valued per field).
+    pub fn to_heap(&self) -> Result<HeapGraph, String> {
+        let mut heap = HeapGraph::new();
+        heap.add_nodes(self.nodes);
+        for (from, field, to) in &self.edges {
+            if *from >= self.nodes || *to >= self.nodes {
+                return Err(format!(
+                    "witness edge n{from} -{field}-> n{to} out of range (heap has {} nodes)",
+                    self.nodes
+                ));
+            }
+            let sym = Symbol::intern(field);
+            if heap.edge(NodeId(*from), sym).is_some() {
+                return Err(format!("witness duplicates edge n{from}.{field}"));
+            }
+            heap.set_edge(NodeId(*from), sym, NodeId(*to));
+        }
+        Ok(heap)
+    }
+
+    /// The re-check available without the original query's access paths
+    /// (the incremental table stores only the query's rendered key):
+    /// structural sanity plus axiom conformance of the decoded heap.
+    /// Mirrors the proof spot-check run on imported table entries.
+    ///
+    /// # Errors
+    ///
+    /// Describes the first structural or axiom violation found.
+    pub fn check_heap(&self, axioms: &AxiomSet) -> Result<(), String> {
+        if self.nodes == 0 {
+            return Err("witness heap has no nodes".to_string());
+        }
+        for (name, node) in [
+            ("p", self.p_origin),
+            ("q", self.q_origin),
+            ("meet", self.meet),
+        ] {
+            if node >= self.nodes {
+                return Err(format!("witness {name} node n{node} out of range"));
+            }
+        }
+        let heap = self.to_heap()?;
+        if let Err(v) = check_set(&heap, axioms) {
+            return Err(format!("witness heap violates axiom {}", v.axiom));
+        }
+        Ok(())
+    }
+
+    /// Full independent validation against the query the witness claims
+    /// to refute: structural sanity, origin relation, axiom conformance,
+    /// and re-execution of both paths to the meet node.
+    pub fn validate(
+        &self,
+        axioms: &AxiomSet,
+        origin: Origin,
+        a: &Path,
+        b: &Path,
+    ) -> Result<(), String> {
+        self.check_heap(axioms)?;
+        match origin {
+            Origin::Same if self.p_origin != self.q_origin => {
+                return Err("same-origin witness has distinct origins".to_string());
+            }
+            Origin::Distinct if self.p_origin == self.q_origin => {
+                return Err("distinct-origin witness shares its origin".to_string());
+            }
+            _ => {}
+        }
+        let heap = self.to_heap()?;
+        let meet = NodeId(self.meet);
+        if !heap
+            .targets(NodeId(self.p_origin), &a.to_regex())
+            .contains(&meet)
+        {
+            return Err(format!(
+                "path {a} does not reach n{} from n{}",
+                self.meet, self.p_origin
+            ));
+        }
+        if !heap
+            .targets(NodeId(self.q_origin), &b.to_regex())
+            .contains(&meet)
+        {
+            return Err(format!(
+                "path {b} does not reach n{} from n{}",
+                self.meet, self.q_origin
+            ));
+        }
+        Ok(())
+    }
+
+    /// A stable single-line encoding for wire frames and snapshot rows.
+    /// Round-trips through [`Witness::decode`].
+    pub fn encode(&self) -> String {
+        let edges: Vec<String> = self
+            .edges
+            .iter()
+            .map(|(f, s, t)| format!("{f}:{s}:{t}"))
+            .collect();
+        format!(
+            "n={};p={};q={};m={};e={}",
+            self.nodes,
+            self.p_origin,
+            self.q_origin,
+            self.meet,
+            edges.join(",")
+        )
+    }
+
+    /// Parses an [`Witness::encode`] string.
+    pub fn decode(text: &str) -> Option<Witness> {
+        let mut nodes = None;
+        let mut p = None;
+        let mut q = None;
+        let mut m = None;
+        let mut edges: Option<Vec<(usize, String, usize)>> = None;
+        for part in text.trim().split(';') {
+            let (key, value) = part.split_once('=')?;
+            match key {
+                "n" => nodes = Some(value.parse().ok()?),
+                "p" => p = Some(value.parse().ok()?),
+                "q" => q = Some(value.parse().ok()?),
+                "m" => m = Some(value.parse().ok()?),
+                "e" => {
+                    let mut list = Vec::new();
+                    if !value.is_empty() {
+                        for edge in value.split(',') {
+                            let mut it = edge.split(':');
+                            let from = it.next()?.parse().ok()?;
+                            let field = it.next()?.to_string();
+                            let to = it.next()?.parse().ok()?;
+                            if it.next().is_some() || field.is_empty() {
+                                return None;
+                            }
+                            list.push((from, field, to));
+                        }
+                    }
+                    edges = Some(list);
+                }
+                _ => return None,
+            }
+        }
+        Some(Witness {
+            nodes: nodes?,
+            edges: edges?,
+            p_origin: p?,
+            q_origin: q?,
+            meet: m?,
+        })
+    }
+}
+
+impl fmt::Display for Witness {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "heap of {} node{} [",
+            self.nodes,
+            if self.nodes == 1 { "" } else { "s" }
+        )?;
+        for (i, (from, field, to)) in self.edges.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "n{from} -{field}-> n{to}")?;
+        }
+        write!(
+            f,
+            "], p=n{}, q=n{}, meet=n{}",
+            self.p_origin, self.q_origin, self.meet
+        )
+    }
+}
+
+/// Cumulative per-engine race accounting for one engine.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineTally {
+    /// Queries this engine settled (its definite verdict was adopted).
+    pub wins: u64,
+    /// Races this engine ran in but did not settle.
+    pub losses: u64,
+    /// Runs that ended cancelled (almost always: a rival won first).
+    pub cancelled: u64,
+}
+
+/// A snapshot of portfolio accounting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PortfolioStats {
+    /// Axiomatic-prover tallies.
+    pub axiomatic: EngineTally,
+    /// Dyck-engine tallies.
+    pub dyck: EngineTally,
+    /// Refuter tallies.
+    pub refuter: EngineTally,
+    /// Dependence witnesses produced (and validated).
+    pub witnesses: u64,
+}
+
+impl PortfolioStats {
+    /// The tally for one engine.
+    pub fn tally(&self, kind: EngineKind) -> EngineTally {
+        match kind {
+            EngineKind::Axiomatic => self.axiomatic,
+            EngineKind::Dyck => self.dyck,
+            EngineKind::Refuter => self.refuter,
+        }
+    }
+
+    /// Merges another snapshot into this one.
+    pub fn merge(&mut self, other: &PortfolioStats) {
+        for (mine, theirs) in [
+            (&mut self.axiomatic, other.axiomatic),
+            (&mut self.dyck, other.dyck),
+            (&mut self.refuter, other.refuter),
+        ] {
+            mine.wins += theirs.wins;
+            mine.losses += theirs.losses;
+            mine.cancelled += theirs.cancelled;
+        }
+        self.witnesses += other.witnesses;
+    }
+}
+
+#[derive(Default)]
+struct Counters {
+    wins: [AtomicU64; 3],
+    losses: [AtomicU64; 3],
+    cancelled: [AtomicU64; 3],
+    witnesses: AtomicU64,
+}
+
+/// A shareable, thread-safe tally store. Clones share the underlying
+/// counters, so many portfolios — one per axiom-set group in a batch,
+/// one per query in a report loop — aggregate into a single set of
+/// per-engine totals that outlives any individual [`Portfolio`].
+#[derive(Clone, Default)]
+pub struct TallySink {
+    counters: Arc<Counters>,
+}
+
+impl TallySink {
+    /// A fresh sink with zeroed tallies.
+    pub fn new() -> TallySink {
+        TallySink::default()
+    }
+
+    /// A snapshot of the tallies recorded so far.
+    pub fn stats(&self) -> PortfolioStats {
+        let tally = |i: usize| EngineTally {
+            wins: self.counters.wins[i].load(Ordering::Relaxed),
+            losses: self.counters.losses[i].load(Ordering::Relaxed),
+            cancelled: self.counters.cancelled[i].load(Ordering::Relaxed),
+        };
+        PortfolioStats {
+            axiomatic: tally(0),
+            dyck: tally(1),
+            refuter: tally(2),
+            witnesses: self.counters.witnesses.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl fmt::Debug for TallySink {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TallySink")
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+fn engine_index(kind: EngineKind) -> usize {
+    match kind {
+        EngineKind::Axiomatic => 0,
+        EngineKind::Dyck => 1,
+        EngineKind::Refuter => 2,
+    }
+}
+
+/// How often the race coordinator polls the caller's own cancel token
+/// while waiting on engine results.
+const COORDINATOR_POLL: Duration = Duration::from_millis(5);
+
+/// The racing front-end over a [`DepEngine`].
+///
+/// Cloning shares the underlying engine caches *and* the portfolio
+/// tallies.
+#[derive(Clone)]
+pub struct Portfolio {
+    engine: DepEngine,
+    config: PortfolioConfig,
+    counters: Arc<Counters>,
+}
+
+impl Portfolio {
+    /// A portfolio over `engine` with `config`.
+    pub fn new(engine: DepEngine, config: PortfolioConfig) -> Portfolio {
+        Portfolio {
+            engine,
+            config,
+            counters: Arc::new(Counters::default()),
+        }
+    }
+
+    /// The underlying axiomatic engine.
+    pub fn engine(&self) -> &DepEngine {
+        &self.engine
+    }
+
+    /// The portfolio configuration.
+    pub fn config(&self) -> &PortfolioConfig {
+        &self.config
+    }
+
+    /// Builder: record race tallies into `sink` (shared with other
+    /// portfolios and with the caller) instead of this portfolio's
+    /// private counters.
+    #[must_use]
+    pub fn with_tallies(mut self, sink: &TallySink) -> Portfolio {
+        self.counters = Arc::clone(&sink.counters);
+        self
+    }
+
+    /// A sink handle sharing this portfolio's counters.
+    pub fn tallies(&self) -> TallySink {
+        TallySink {
+            counters: Arc::clone(&self.counters),
+        }
+    }
+
+    /// A snapshot of the cumulative per-engine tallies.
+    pub fn stats(&self) -> PortfolioStats {
+        self.tallies().stats()
+    }
+
+    /// Engines that can actually run `kind`: equality queries are the
+    /// axiomatic prover's alone (dyck and the refuter decide
+    /// disjointness), and a selection without any engine for the kind
+    /// falls back to the axiomatic prover rather than answering nothing.
+    fn roster(&self, kind: QueryKind) -> Vec<EngineKind> {
+        let sel = self.config.engines;
+        let mut roster = Vec::new();
+        match kind {
+            QueryKind::Equal => roster.push(EngineKind::Axiomatic),
+            QueryKind::Disjoint => {
+                for engine in EngineKind::ALL {
+                    if sel.contains(engine) {
+                        roster.push(engine);
+                    }
+                }
+                if roster.is_empty() {
+                    roster.push(EngineKind::Axiomatic);
+                }
+            }
+        }
+        roster
+    }
+
+    /// The budget a race participant runs under: the query override or
+    /// the engine default, with the cancel token swapped for `race`.
+    fn raced_budget(&self, query: &DepQuery, race: &CancelToken) -> Budget {
+        let mut budget = query
+            .budget_override()
+            .cloned()
+            .unwrap_or_else(|| self.engine.config().budget.clone());
+        budget.cancel = Some(race.clone());
+        budget
+    }
+
+    fn run_engine(&self, kind: EngineKind, query: &DepQuery, budget: &Budget) -> Outcome {
+        match kind {
+            EngineKind::Axiomatic => query.clone().with_budget(budget.clone()).run(&self.engine),
+            EngineKind::Dyck => {
+                let result = dyck::decide(
+                    self.engine.axioms(),
+                    query.origin_relation(),
+                    query.a(),
+                    query.b(),
+                    budget,
+                    self.config.dyck_state_cap,
+                );
+                let verdict = if result.proved {
+                    Verdict::definite(Answer::No)
+                } else {
+                    Verdict::maybe(result.reason.unwrap_or(MaybeReason::GenuinelyUnknown))
+                };
+                let mut stats = ProverStats {
+                    subset_checks: result.subset_checks,
+                    ..ProverStats::default()
+                };
+                if let Some(reason) = verdict.reason {
+                    stats.cutoffs.record(reason);
+                }
+                Outcome {
+                    maybe_reason: verdict.reason,
+                    verdict,
+                    proof: None,
+                    stats,
+                    engine: EngineKind::Dyck,
+                    witness: None,
+                }
+            }
+            EngineKind::Refuter => {
+                let config = RefuterConfig {
+                    max_heap_nodes: self.config.refuter_max_heap,
+                    ..RefuterConfig::default()
+                };
+                let outcome = refuter::search(
+                    self.engine.axioms(),
+                    query.origin_relation(),
+                    query.a(),
+                    query.b(),
+                    budget,
+                    &config,
+                );
+                let (verdict, witness) = match outcome {
+                    RefuterOutcome::Witness(w) => (Verdict::definite(Answer::Yes), Some(w)),
+                    RefuterOutcome::Exhausted => (
+                        Verdict::maybe(MaybeReason::SearchExhausted(SearchLimit::Fuel)),
+                        None,
+                    ),
+                    RefuterOutcome::Stopped(reason) => (Verdict::maybe(reason), None),
+                };
+                let mut stats = ProverStats::default();
+                if let Some(reason) = verdict.reason {
+                    stats.cutoffs.record(reason);
+                }
+                Outcome {
+                    maybe_reason: verdict.reason,
+                    verdict,
+                    proof: None,
+                    stats,
+                    engine: EngineKind::Refuter,
+                    witness,
+                }
+            }
+        }
+    }
+
+    fn tally(&self, winner: Option<EngineKind>, results: &[(EngineKind, Outcome)]) {
+        for (kind, outcome) in results {
+            let i = engine_index(*kind);
+            if Some(*kind) == winner {
+                self.counters.wins[i].fetch_add(1, Ordering::Relaxed);
+            } else {
+                self.counters.losses[i].fetch_add(1, Ordering::Relaxed);
+                if outcome.maybe_reason == Some(MaybeReason::Cancelled) {
+                    self.counters.cancelled[i].fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            if outcome.witness.is_some() {
+                self.counters.witnesses.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Runs one query through the portfolio: all rostered engines race,
+    /// the first definite verdict wins and cancels the rest.
+    pub fn run(&self, query: &DepQuery) -> Outcome {
+        let roster = self.roster(query.kind());
+        if roster.len() == 1 {
+            // Nothing to race: run inline under the caller's own budget.
+            let kind = roster[0];
+            let budget = query
+                .budget_override()
+                .cloned()
+                .unwrap_or_else(|| self.engine.config().budget.clone());
+            let outcome = self.run_engine(kind, query, &budget);
+            let winner = outcome.is_definite().then_some(kind);
+            self.tally(winner, std::slice::from_ref(&(kind, outcome.clone())));
+            return outcome;
+        }
+
+        let race = CancelToken::new();
+        let parent = query
+            .budget_override()
+            .and_then(|b| b.cancel.clone())
+            .or_else(|| self.engine.config().budget.cancel.clone());
+        let budget = self.raced_budget(query, &race);
+        let (tx, rx) = mpsc::channel::<(EngineKind, Outcome)>();
+
+        let results: Vec<(EngineKind, Outcome)> = crossbeam::thread::scope(|scope| {
+            for &kind in &roster {
+                let tx = tx.clone();
+                let budget = budget.clone();
+                scope.spawn(move |_| {
+                    let outcome = self.run_engine(kind, query, &budget);
+                    // A closed channel means the coordinator already
+                    // returned; the result is moot.
+                    let _ = tx.send((kind, outcome));
+                });
+            }
+            drop(tx);
+
+            let mut collected: Vec<(EngineKind, Outcome)> = Vec::with_capacity(roster.len());
+            let mut settled = false;
+            while collected.len() < roster.len() {
+                match rx.recv_timeout(COORDINATOR_POLL) {
+                    Ok((kind, outcome)) => {
+                        if !settled && outcome.is_definite() {
+                            settled = true;
+                            race.cancel();
+                        }
+                        collected.push((kind, outcome));
+                    }
+                    Err(mpsc::RecvTimeoutError::Timeout) => {
+                        // Forward the caller's cancellation into the race.
+                        if parent.as_ref().is_some_and(|p| p.is_cancelled()) {
+                            race.cancel();
+                        }
+                    }
+                    Err(mpsc::RecvTimeoutError::Disconnected) => break,
+                }
+            }
+            collected
+        })
+        .expect("portfolio race thread panicked");
+
+        // The adopted outcome: the first definite in arrival order, else
+        // the axiomatic Maybe (it has the richest degradation pedigree),
+        // else whatever arrived first.
+        let winner_pos = results.iter().position(|(_, o)| o.is_definite());
+        debug_assert!(
+            {
+                let definite: Vec<&Answer> = results
+                    .iter()
+                    .filter(|(_, o)| o.is_definite())
+                    .map(|(_, o)| &o.verdict.answer)
+                    .collect();
+                definite.windows(2).all(|w| w[0] == w[1])
+            },
+            "definite verdicts disagree across engines: {results:?}"
+        );
+        let pos = winner_pos
+            .or_else(|| {
+                results
+                    .iter()
+                    .position(|(kind, _)| *kind == EngineKind::Axiomatic)
+            })
+            .unwrap_or(0);
+        let winner = winner_pos.map(|p| results[p].0);
+        self.tally(winner, &results);
+
+        let mut adopted = results[pos].1.clone();
+        // Account the losers' work in the adopted outcome so batch-level
+        // stats reflect what the race actually cost.
+        for (i, (_, outcome)) in results.iter().enumerate() {
+            if i != pos {
+                adopted.stats.merge(&outcome.stats);
+            }
+        }
+        adopted
+    }
+
+    /// Runs a batch, staged: the axiomatic engine (when selected) first
+    /// answers everything through the deduplicated, cache-shared
+    /// [`DepEngine::run_batch`]; the other engines then race only the
+    /// queries left `Maybe`. On large batches this costs far fewer
+    /// threads than a three-way race per query, and the axiomatic pass
+    /// warms the shared cache exactly as an axiomatic-only run would.
+    pub fn run_batch(&self, queries: &[DepQuery], jobs: usize) -> Vec<Outcome> {
+        let sel = self.config.engines;
+        let sub = PortfolioConfig {
+            engines: EngineSelection {
+                axiomatic: false,
+                ..sel
+            },
+            ..self.config.clone()
+        };
+        if !sel.axiomatic {
+            // No axiomatic stage: race the reduced roster per query.
+            let racer = Portfolio {
+                engine: self.engine.clone(),
+                config: sub,
+                counters: Arc::clone(&self.counters),
+            };
+            return run_queries_parallel(&racer, queries, jobs);
+        }
+
+        let mut outcomes = self.engine.run_batch(queries, jobs);
+        let followups: Vec<usize> = outcomes
+            .iter()
+            .enumerate()
+            .filter(|(i, o)| {
+                !o.is_definite()
+                    && queries[*i].kind() == QueryKind::Disjoint
+                    && (sel.dyck || sel.refuter)
+            })
+            .map(|(i, _)| i)
+            .collect();
+        if followups.is_empty() {
+            for o in &outcomes {
+                let i = engine_index(EngineKind::Axiomatic);
+                if o.is_definite() {
+                    self.counters.wins[i].fetch_add(1, Ordering::Relaxed);
+                } else {
+                    self.counters.losses[i].fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            return outcomes;
+        }
+
+        let racer = Portfolio {
+            engine: self.engine.clone(),
+            config: sub,
+            counters: Arc::clone(&self.counters),
+        };
+        let followup_queries: Vec<DepQuery> =
+            followups.iter().map(|&i| queries[i].clone()).collect();
+        let raced = run_queries_parallel(&racer, &followup_queries, jobs);
+        let ax = engine_index(EngineKind::Axiomatic);
+        for (slot, mut outcome) in followups.into_iter().zip(raced) {
+            if outcome.is_definite() {
+                // The axiomatic stage already gave this one up.
+                self.counters.losses[ax].fetch_add(1, Ordering::Relaxed);
+                outcome.stats.merge(&outcomes[slot].stats);
+                outcomes[slot] = outcome;
+            } else {
+                // Keep the axiomatic outcome (richer pedigree), but
+                // account the follow-up work.
+                self.counters.losses[ax].fetch_add(1, Ordering::Relaxed);
+                outcomes[slot].stats.merge(&outcome.stats);
+            }
+        }
+        for (i, o) in outcomes.iter().enumerate() {
+            if o.is_definite() && o.engine == EngineKind::Axiomatic {
+                let _ = i;
+                self.counters.wins[ax].fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        outcomes
+    }
+}
+
+impl fmt::Debug for Portfolio {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Portfolio")
+            .field("config", &self.config)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+/// Runs `queries` through `portfolio.run` across up to `jobs` worker
+/// threads (work-stealing by atomic index, like the engine's own batch).
+fn run_queries_parallel(portfolio: &Portfolio, queries: &[DepQuery], jobs: usize) -> Vec<Outcome> {
+    use std::sync::atomic::AtomicUsize;
+    let jobs = jobs.clamp(1, queries.len().max(1));
+    if jobs == 1 || queries.len() <= 1 {
+        return queries.iter().map(|q| portfolio.run(q)).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<std::sync::Mutex<Option<Outcome>>> = queries
+        .iter()
+        .map(|_| std::sync::Mutex::new(None))
+        .collect();
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..jobs {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= queries.len() {
+                    break;
+                }
+                let outcome = portfolio.run(&queries[i]);
+                *slots[i].lock().expect("portfolio slot poisoned") = Some(outcome);
+            });
+        }
+    })
+    .expect("portfolio batch thread panicked");
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("portfolio slot poisoned")
+                .expect("portfolio slot unfilled")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apt_axioms::adds::leaf_linked_tree_axioms;
+
+    fn p(s: &str) -> Path {
+        Path::parse(s).unwrap()
+    }
+
+    fn portfolio() -> Portfolio {
+        Portfolio::new(
+            DepEngine::new(leaf_linked_tree_axioms()),
+            PortfolioConfig::default(),
+        )
+    }
+
+    #[test]
+    fn selection_parses_and_displays() {
+        assert_eq!(
+            EngineSelection::parse("all").unwrap(),
+            EngineSelection::all()
+        );
+        let sel = EngineSelection::parse("dyck,refuter").unwrap();
+        assert!(!sel.axiomatic && sel.dyck && sel.refuter);
+        assert_eq!(sel.to_string(), "dyck,refuter");
+        assert_eq!(EngineSelection::all().to_string(), "all");
+        assert!(EngineSelection::parse("frobnicate").is_err());
+        assert!(EngineSelection::parse("").is_err());
+    }
+
+    #[test]
+    fn engine_kind_codes_roundtrip() {
+        for kind in EngineKind::ALL {
+            assert_eq!(EngineKind::from_code(kind.code()), Some(kind));
+        }
+        assert_eq!(EngineKind::from_code("nope"), None);
+    }
+
+    #[test]
+    fn witness_encoding_roundtrips() {
+        let w = Witness {
+            nodes: 4,
+            edges: vec![
+                (0, "L".to_string(), 1),
+                (1, "L".to_string(), 2),
+                (2, "N".to_string(), 3),
+            ],
+            p_origin: 0,
+            q_origin: 0,
+            meet: 3,
+        };
+        let text = w.encode();
+        assert_eq!(Witness::decode(&text), Some(w));
+        assert_eq!(Witness::decode("garbage"), None);
+        assert_eq!(
+            Witness::decode("n=2;p=0;q=0;m=1;e=0:L:9"),
+            Some(Witness {
+                nodes: 2,
+                edges: vec![(0, "L".into(), 9)],
+                p_origin: 0,
+                q_origin: 0,
+                meet: 1
+            })
+        );
+    }
+
+    #[test]
+    fn witness_validation_rejects_forgeries() {
+        let axioms = leaf_linked_tree_axioms();
+        // Out-of-range edge.
+        let w = Witness::decode("n=2;p=0;q=0;m=1;e=0:L:9").unwrap();
+        assert!(w.validate(&axioms, Origin::Same, &p("L"), &p("L")).is_err());
+        // Axiom-violating heap: one node reached by both L and R.
+        let w = Witness {
+            nodes: 2,
+            edges: vec![(0, "L".into(), 1), (0, "R".into(), 1)],
+            p_origin: 0,
+            q_origin: 0,
+            meet: 1,
+        };
+        assert!(w.validate(&axioms, Origin::Same, &p("L"), &p("R")).is_err());
+        // Paths that don't reach the claimed meet.
+        let w = Witness {
+            nodes: 2,
+            edges: vec![(0, "L".into(), 1)],
+            p_origin: 0,
+            q_origin: 0,
+            meet: 1,
+        };
+        assert!(w.validate(&axioms, Origin::Same, &p("R"), &p("R")).is_err());
+    }
+
+    #[test]
+    fn race_adopts_a_definite_verdict() {
+        let portfolio = portfolio();
+        // Provable disjointness: axiomatic and dyck both prove it; the
+        // refuter exhausts. Whoever wins, the verdict must be No.
+        let q = DepQuery::disjoint(&p("L.L.N"), &p("L.R.N")).origin(Origin::Same);
+        let out = portfolio.run(&q);
+        assert_eq!(out.verdict.answer, Answer::No);
+        assert!(out.is_definite());
+        assert_ne!(out.engine, EngineKind::Refuter);
+    }
+
+    #[test]
+    fn race_resolves_known_maybe_with_witness() {
+        let portfolio = portfolio();
+        // Identical overlapping paths: the prover can only say Maybe,
+        // the refuter finds a concrete collision.
+        let q = DepQuery::disjoint(&p("L.L.N"), &p("L.L.N")).origin(Origin::Same);
+        let out = portfolio.run(&q);
+        assert_eq!(out.verdict.answer, Answer::Yes);
+        assert_eq!(out.engine, EngineKind::Refuter);
+        let w = out.witness.expect("refuter verdicts carry witnesses");
+        w.validate(
+            portfolio.engine().axioms(),
+            Origin::Same,
+            &p("L.L.N"),
+            &p("L.L.N"),
+        )
+        .expect("witness must re-validate");
+        assert!(portfolio.stats().witnesses >= 1);
+    }
+
+    #[test]
+    fn equality_queries_stay_axiomatic() {
+        let portfolio = portfolio();
+        let q = DepQuery::equal(&p("L"), &p("L"));
+        let out = portfolio.run(&q);
+        assert_eq!(out.engine, EngineKind::Axiomatic);
+        assert_eq!(out.verdict.answer, Answer::Yes);
+    }
+
+    #[test]
+    fn batch_matches_solo_runs() {
+        let portfolio = portfolio();
+        let queries = vec![
+            DepQuery::disjoint(&p("L.L.N"), &p("L.R.N")),
+            DepQuery::disjoint(&p("L.L.N"), &p("L.L.N")),
+            DepQuery::disjoint(&p("L.N"), &p("R.N")),
+            DepQuery::equal(&p("L"), &p("L")),
+        ];
+        let batch = portfolio.run_batch(&queries, 4);
+        let solo = Portfolio::new(
+            DepEngine::new(leaf_linked_tree_axioms()),
+            PortfolioConfig::default(),
+        );
+        for (q, out) in queries.iter().zip(&batch) {
+            let alone = solo.run(q);
+            assert_eq!(
+                alone.verdict.answer, out.verdict.answer,
+                "batch/solo verdict flip on {q:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn first_definite_cancels_losers_within_bounded_delay() {
+        // A refuter cap of 24 nodes makes exhaustive search astronomically
+        // long; the only way this run returns promptly is the axiomatic
+        // winner cancelling the refuter mid-search.
+        let portfolio = Portfolio::new(
+            DepEngine::new(leaf_linked_tree_axioms()),
+            PortfolioConfig {
+                refuter_max_heap: 24,
+                ..PortfolioConfig::default()
+            },
+        );
+        let q = DepQuery::disjoint(&p("L.L.N"), &p("L.R.N")).origin(Origin::Same);
+        let started = std::time::Instant::now();
+        let out = portfolio.run(&q);
+        assert!(
+            started.elapsed() < std::time::Duration::from_secs(30),
+            "race did not settle promptly: {:?}",
+            started.elapsed()
+        );
+        assert_eq!(out.verdict.answer, Answer::No);
+        let stats = portfolio.stats();
+        assert_eq!(
+            stats.refuter.cancelled, 1,
+            "the losing refuter must record a cancellation: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn cancelled_runs_do_not_publish_into_the_shared_cache() {
+        let engine = DepEngine::new(leaf_linked_tree_axioms());
+        let token = CancelToken::new();
+        token.cancel();
+        let mut budget = engine.config().budget.clone();
+        budget.cancel = Some(token);
+        let q = DepQuery::disjoint(&p("L.L.N"), &p("L.R.N"))
+            .origin(Origin::Same)
+            .with_budget(budget);
+        let out = engine.run(&q);
+        assert_eq!(out.maybe_reason, Some(MaybeReason::Cancelled));
+        let cache = engine.cache_stats();
+        assert_eq!(
+            (cache.proved_goals, cache.failed_goals),
+            (0, 0),
+            "a cancelled run must not publish goal entries: {cache:?}"
+        );
+        // The same query re-proves cleanly afterwards — no poisoned entry.
+        let clean = engine.run(&DepQuery::disjoint(&p("L.L.N"), &p("L.R.N")).origin(Origin::Same));
+        assert_eq!(clean.verdict.answer, Answer::No);
+        assert!(clean.is_definite());
+    }
+
+    #[test]
+    fn raced_engines_agree_with_their_solo_runs() {
+        let queries = [
+            DepQuery::disjoint(&p("L.L.N"), &p("L.R.N")).origin(Origin::Same),
+            DepQuery::disjoint(&p("L.L.N"), &p("L.L.N")).origin(Origin::Same),
+        ];
+        for q in &queries {
+            let raced = portfolio().run(q);
+            for kind in EngineKind::ALL {
+                let solo = Portfolio::new(
+                    DepEngine::new(leaf_linked_tree_axioms()),
+                    PortfolioConfig {
+                        engines: EngineSelection {
+                            axiomatic: kind == EngineKind::Axiomatic,
+                            dyck: kind == EngineKind::Dyck,
+                            refuter: kind == EngineKind::Refuter,
+                        },
+                        ..PortfolioConfig::default()
+                    },
+                )
+                .run(q);
+                if solo.is_definite() && raced.is_definite() {
+                    assert_eq!(
+                        solo.verdict.answer, raced.verdict.answer,
+                        "solo {kind} disagrees with the race on {q:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tallies_accumulate() {
+        let portfolio = portfolio();
+        let q = DepQuery::disjoint(&p("L.L.N"), &p("L.R.N"));
+        let _ = portfolio.run(&q);
+        let stats = portfolio.stats();
+        let total: u64 = EngineKind::ALL
+            .iter()
+            .map(|&k| stats.tally(k).wins + stats.tally(k).losses)
+            .sum();
+        assert_eq!(total, 3, "all three engines must be accounted: {stats:?}");
+        let wins: u64 = EngineKind::ALL.iter().map(|&k| stats.tally(k).wins).sum();
+        assert_eq!(wins, 1, "exactly one winner: {stats:?}");
+    }
+}

@@ -75,10 +75,22 @@ fn leaves_in_order(g: &HeapGraph, root: NodeId) -> Vec<NodeId> {
 }
 
 /// A random nil-terminated singly linked list of `n` cells over `next`.
-pub fn random_list(n: usize, _seed: u64) -> (HeapGraph, NodeId) {
+///
+/// The seed permutes the *allocation order* of the cells: the list shape
+/// is always a chain, but node ids land in seed-dependent positions, so
+/// id-sensitive consumers (witness decoding, snapshot codecs) are
+/// exercised against non-identity layouts.
+pub fn random_list(n: usize, seed: u64) -> (HeapGraph, NodeId) {
     assert!(n > 0, "list needs at least one cell");
+    let mut rng = StdRng::seed_from_u64(seed);
     let mut g = HeapGraph::new();
-    let cells = g.add_nodes(n);
+    let mut cells = g.add_nodes(n);
+    // Fisher–Yates over the allocated ids: position i in the chain maps
+    // to a seed-chosen node id.
+    for i in (1..cells.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        cells.swap(i, j);
+    }
     for w in cells.windows(2) {
         g.set_edge(w[0], "next", w[1]);
     }
@@ -155,8 +167,27 @@ mod tests {
              A2: forall p, p.next+ <> p.eps",
         )
         .unwrap();
-        let (g, _) = random_list(20, 0);
-        assert_eq!(check_set(&g, &axioms), Ok(()));
+        for seed in 0..10 {
+            let (g, _) = random_list(20, seed);
+            assert_eq!(check_set(&g, &axioms), Ok(()), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn random_list_consumes_its_seed() {
+        // Different seeds must place node ids differently (the chain
+        // shape is fixed, the allocation order is not).
+        let heads: std::collections::BTreeSet<usize> =
+            (0..16).map(|seed| random_list(20, seed).1 .0).collect();
+        assert!(
+            heads.len() > 1,
+            "seed ignored: every list head allocated at the same id"
+        );
+        // And the same seed must reproduce the same heap exactly.
+        let (a, ha) = random_list(20, 7);
+        let (b, hb) = random_list(20, 7);
+        assert_eq!(ha, hb, "seed 7");
+        assert_eq!(a.to_edge_list(), b.to_edge_list(), "seed 7");
     }
 
     #[test]

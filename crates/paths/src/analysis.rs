@@ -14,7 +14,7 @@ use crate::apm::Apm;
 use apt_axioms::AxiomSet;
 use apt_core::{
     AccessPath, Answer, CacheStats, DepEngine, DepTest, Handle, HandleRelation, MemRef,
-    ProverConfig, TestOutcome,
+    PortfolioConfig, PortfolioStats, ProverConfig, TallySink, TestOutcome,
 };
 use apt_ir::{Block, Program, Stmt, StmtKind};
 use apt_regex::{Component, Path, Symbol};
@@ -172,6 +172,13 @@ pub struct Analysis {
     exit: Apm,
     axioms: AxiomSet,
     config: ProverConfig,
+    /// When set, queries race the configured engine portfolio instead of
+    /// running the axiomatic prover alone.
+    portfolio: Option<PortfolioConfig>,
+    /// Race tallies, shared across every tester this analysis spawns
+    /// (clones of the analysis share it too, so panic-isolated report
+    /// queries still aggregate here).
+    tallies: TallySink,
 }
 
 /// Analyzes one procedure of a program.
@@ -211,6 +218,8 @@ pub fn analyze_proc(program: &Program, proc_name: &str) -> Result<Analysis, Quer
         exit: apm,
         axioms: program.all_axioms(),
         config: ProverConfig::default(),
+        portfolio: None,
+        tallies: TallySink::new(),
     })
 }
 
@@ -564,6 +573,49 @@ impl Analysis {
         &self.config
     }
 
+    /// Routes all subsequent queries through a racing engine portfolio
+    /// (axiomatic prover, Dyck reachability, concrete-heap refuter).
+    pub fn set_portfolio_config(&mut self, config: PortfolioConfig) {
+        self.portfolio = Some(config);
+    }
+
+    /// Builder form of [`Analysis::set_portfolio_config`].
+    #[must_use]
+    pub fn with_portfolio_config(mut self, config: PortfolioConfig) -> Analysis {
+        self.portfolio = Some(config);
+        self
+    }
+
+    /// The portfolio configuration, when portfolio racing is enabled.
+    pub fn portfolio_config(&self) -> Option<&PortfolioConfig> {
+        self.portfolio.as_ref()
+    }
+
+    /// Records this analysis's race tallies into a caller-shared sink
+    /// (clones of a [`TallySink`] share counters), e.g. the serve
+    /// daemon's server-wide totals.
+    pub fn set_portfolio_tallies(&mut self, sink: TallySink) {
+        self.tallies = sink;
+    }
+
+    /// Cumulative per-engine race tallies across every query this
+    /// analysis (and its clones) has run. `None` unless portfolio racing
+    /// is enabled.
+    pub fn portfolio_stats(&self) -> Option<PortfolioStats> {
+        self.portfolio.as_ref().map(|_| self.tallies.stats())
+    }
+
+    /// A tester over `axioms`, routed through the portfolio when one is
+    /// configured. Shared-tally: every tester reports into
+    /// [`Analysis::portfolio_stats`].
+    fn tester(&self, axioms: &AxiomSet) -> DepTest {
+        let tester = DepTest::with_config(axioms, self.config.clone());
+        match &self.portfolio {
+            Some(cfg) => tester.with_portfolio_tallies(cfg.clone(), &self.tallies),
+            None => tester,
+        }
+    }
+
     /// The snapshot at a label, if the statement accesses memory.
     pub fn snapshot(&self, label: &str) -> Option<&Snapshot> {
         self.snapshots.get(label)
@@ -731,7 +783,7 @@ impl Analysis {
         let s = self.snapshot(s_label).expect("checked above");
         let t = self.snapshot(t_label).expect("checked above");
         let axioms = self.valid_axioms(&[s, t]);
-        let tester = DepTest::with_config(&axioms, self.config.clone());
+        let tester = self.tester(&axioms);
         let mut last = None;
         for (s, t) in &pairs {
             let outcome = tester.test(s, t, HandleRelation::Same);
@@ -756,7 +808,7 @@ impl Analysis {
         let (ri, rj) = self.loop_carried_pair(label, loop_label)?;
         let snap = self.snapshot(label).expect("checked above");
         let axioms = self.valid_axioms(&[snap]);
-        let tester = DepTest::with_config(&axioms, self.config.clone());
+        let tester = self.tester(&axioms);
         Ok(tester.test(&ri, &rj, HandleRelation::Same))
     }
 
@@ -813,7 +865,12 @@ impl Analysis {
                     let key = axioms.to_string();
                     let group = *group_of.entry(key).or_insert_with(|| {
                         let engine = DepEngine::with_config(axioms, self.config.clone());
-                        groups.push((DepTest::with_engine(engine), Vec::new()));
+                        let tester = match &self.portfolio {
+                            Some(cfg) => DepTest::with_engine(engine)
+                                .with_portfolio_tallies(cfg.clone(), &self.tallies),
+                            None => DepTest::with_engine(engine),
+                        };
+                        groups.push((tester, Vec::new()));
                         groups.len() - 1
                     });
                     let tasks = &mut groups[group].1;
@@ -851,30 +908,6 @@ impl Analysis {
             })
             .collect();
         BatchReport { results, cache }
-    }
-
-    /// Runs many dependence queries as engine batches over `jobs` worker
-    /// threads.
-    #[deprecated(note = "use `run_batch`, which always carries stats")]
-    pub fn test_batch(
-        &self,
-        queries: &[BatchQuery],
-        jobs: usize,
-    ) -> Vec<Result<TestOutcome, QueryError>> {
-        self.run_batch(queries, &BatchOptions::new().with_jobs(jobs))
-            .results
-    }
-
-    /// Runs many dependence queries, additionally returning the engine
-    /// cache statistics summed over every axiom-set group the batch used.
-    #[deprecated(note = "use `run_batch`, which always carries stats")]
-    pub fn test_batch_with_stats(
-        &self,
-        queries: &[BatchQuery],
-        jobs: usize,
-    ) -> (Vec<Result<TestOutcome, QueryError>>, CacheStats) {
-        let report = self.run_batch(queries, &BatchOptions::new().with_jobs(jobs));
-        (report.results, report.cache)
     }
 
     /// The full query workload for this procedure, mirroring `apt report`:

@@ -32,7 +32,10 @@
 //!   discarded whole and the procedure re-proves cold.
 
 use crate::analysis::{analyze_proc, Analysis, BatchOptions, BatchQuery, QueryError};
-use apt_core::{check_proof, Answer, CacheStats, Proof, ProverConfig, TestOutcome};
+use apt_core::{
+    check_proof, Answer, CacheStats, PortfolioConfig, Proof, ProverConfig, TallySink, TestOutcome,
+    Witness,
+};
 use apt_ir::{Block, Program, StmtKind};
 use std::collections::{BTreeSet, HashMap};
 
@@ -66,9 +69,11 @@ pub fn query_key(query: &BatchQuery) -> String {
 }
 
 /// One persisted definite verdict: the query's stable key, the answer,
-/// and the proofs that earned it (nonempty exactly when the answer is
-/// `No` — proven-disjoint outcomes always carry their proof trees; `Yes`
-/// means identical singleton paths and needs none).
+/// and the evidence that earned it — proof trees for a `No` (nonempty
+/// exactly when the prover proved disjointness; a proof-less `No` is a
+/// dispatch prune), a concrete dependence [`Witness`] heap for a `Yes`
+/// settled by the portfolio's refuter (`None` for the identical-path
+/// `Yes`, which needs no evidence).
 #[derive(Debug, Clone)]
 pub struct StoredVerdict {
     /// [`query_key`] rendering of the query.
@@ -77,6 +82,8 @@ pub struct StoredVerdict {
     pub answer: Answer,
     /// The disjointness proofs backing a `No`.
     pub proofs: Vec<Proof>,
+    /// The concrete-heap witness backing a refuter `Yes`.
+    pub witness: Option<Witness>,
 }
 
 /// The persisted verdicts of one procedure, keyed by content hashes of
@@ -237,6 +244,29 @@ impl ProgramAnalysis {
         self
     }
 
+    /// Enables portfolio racing for every procedure's queries.
+    pub fn set_portfolio_config(&mut self, config: PortfolioConfig) {
+        for unit in &mut self.procs {
+            unit.analysis.set_portfolio_config(config.clone());
+        }
+    }
+
+    /// Builder form of [`ProgramAnalysis::set_portfolio_config`].
+    #[must_use]
+    pub fn with_portfolio_config(mut self, config: PortfolioConfig) -> ProgramAnalysis {
+        self.set_portfolio_config(config);
+        self
+    }
+
+    /// Routes every procedure's race tallies into `sink` (clones of a
+    /// [`TallySink`] share counters, so the per-procedure analyses all
+    /// aggregate into the caller's one total).
+    pub fn set_portfolio_tallies(&mut self, sink: &TallySink) {
+        for unit in &mut self.procs {
+            unit.analysis.set_portfolio_tallies(sink.clone());
+        }
+    }
+
     /// The analyzed procedure names, in program order.
     pub fn proc_names(&self) -> Vec<&str> {
         self.procs.iter().map(|u| u.name.as_str()).collect()
@@ -333,6 +363,7 @@ impl ProgramAnalysis {
                                         query: key.clone(),
                                         answer: outcome.answer,
                                         proofs: outcome.proofs.clone(),
+                                        witness: outcome.witness.clone(),
                                     });
                                 }
                                 RowOutcome::Fresh(outcome)
@@ -372,21 +403,32 @@ impl ProgramAnalysis {
         for v in &entry.verdicts {
             match v.answer {
                 // Proofs only ever back No verdicts: a Yes means
-                // identical singleton paths and never carries any. A No
-                // without proofs is allowed here (a dispatch prune) but
-                // is filtered out of the replay map by the caller.
+                // identical singleton paths (no evidence) or a refuter
+                // dependence (a witness heap) and never carries any. A
+                // No without proofs is allowed here (a dispatch prune)
+                // but is filtered out of the replay map by the caller.
+                // A witness only ever backs a Yes.
                 Answer::Yes if v.proofs.is_empty() => {}
-                Answer::No => {}
+                Answer::No if v.witness.is_none() => {}
                 _ => return false,
             }
         }
         let axioms = unit.analysis.axioms();
-        entry
+        let proofs_ok = entry
             .verdicts
             .iter()
             .flat_map(|v| v.proofs.iter())
             .take(REPLAY_PROOF_SAMPLE)
-            .all(|proof| check_proof(axioms, proof).is_ok())
+            .all(|proof| check_proof(axioms, proof).is_ok());
+        // Same forged-evidence discipline for witnesses: every stored
+        // witness heap must decode and satisfy the program's axioms, or
+        // the whole entry re-proves cold.
+        let witnesses_ok = entry
+            .verdicts
+            .iter()
+            .filter_map(|v| v.witness.as_ref())
+            .all(|w| w.check_heap(axioms).is_ok());
+        proofs_ok && witnesses_ok
     }
 }
 

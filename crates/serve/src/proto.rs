@@ -21,7 +21,9 @@
 //! talking to an old server gets a parseable refusal rather than a
 //! guessing game.
 
-use apt_core::{Answer, Budget, MaybeReason, Outcome, ProverStats};
+use apt_core::{
+    Answer, Budget, EngineSelection, EngineTally, MaybeReason, Outcome, PortfolioStats, ProverStats,
+};
 use apt_regex::Path;
 use std::time::Duration;
 
@@ -36,10 +38,16 @@ use crate::json::{obj, parse, Json};
 ///   (whole-program incremental dependence tables), and `invalidate`
 ///   (dropping persisted analyze state); unknown verbs now answer
 ///   `unsupported` instead of `bad_request`.
+/// * **3** — portfolio solving: `prove`/`batch` queries accept an
+///   `"engines"` selection (`"all"`, `"axiomatic"`, or a comma list of
+///   `axiomatic`/`dyck`/`refuter`), outcome frames carry `"engine"`
+///   (which backend settled the query) and `"witness"` (an encoded
+///   concrete dependence heap for refuter `Yes` answers), and `stats`
+///   reports per-engine win/loss/cancel tallies under `"portfolio"`.
 ///
-/// Frames from a v1 client are a strict subset of v2, so old clients
-/// interoperate unchanged.
-pub const PROTO_VERSION: u64 = 2;
+/// Frames from a v1/v2 client are a strict subset of v3, so old
+/// clients interoperate unchanged.
+pub const PROTO_VERSION: u64 = 3;
 
 /// Every verb this build understands, in documentation order. The
 /// `hello` response carries this list so clients can feature-detect
@@ -209,6 +217,9 @@ pub struct WireQuery {
     pub want_proof: bool,
     /// Per-query budget overrides.
     pub budget: WireBudget,
+    /// Per-query engine selection (`"engines"` on the wire): race the
+    /// named backends instead of the server's default roster.
+    pub engines: Option<EngineSelection>,
 }
 
 impl WireQuery {
@@ -251,7 +262,24 @@ impl WireQuery {
             distinct,
             want_proof,
             budget: WireBudget::from_frame(frame)?,
+            engines: engines_field(frame)?,
         })
+    }
+}
+
+/// Reads the optional `"engines"` selection off a frame (`"all"`,
+/// `"axiomatic"`, or a comma list of engine names).
+fn engines_field(frame: &Json) -> Result<Option<EngineSelection>, ProtoError> {
+    match frame.get("engines") {
+        None | Some(Json::Null) => Ok(None),
+        Some(v) => {
+            let spec = v
+                .as_str()
+                .ok_or_else(|| ProtoError::bad("engines must be a string"))?;
+            EngineSelection::parse(spec)
+                .map(Some)
+                .map_err(|e| ProtoError::bad(format!("engines: {e}")))
+        }
     }
 }
 
@@ -288,6 +316,9 @@ pub enum Request {
         queries: Vec<WireQuery>,
         /// Worker threads for the batch (clamped by the server).
         jobs: Option<usize>,
+        /// Engine selection for the whole batch (overrides the server
+        /// default roster).
+        engines: Option<EngineSelection>,
     },
     /// A whole-program parallelization report (the `apt report`
     /// workload) — the program text carries its own axioms.
@@ -298,6 +329,8 @@ pub enum Request {
         proc: Option<String>,
         /// Budget overrides for the report's queries.
         budget: WireBudget,
+        /// Engine selection for the report's queries.
+        engines: Option<EngineSelection>,
     },
     /// Whole-program incremental dependence analysis: derive the full
     /// dependence table for every procedure of `program`, replaying
@@ -316,6 +349,8 @@ pub enum Request {
         changed_only: bool,
         /// Budget overrides for the analysis' queries.
         budget: WireBudget,
+        /// Engine selection for the analysis' fresh queries.
+        engines: Option<EngineSelection>,
     },
     /// Drop persisted analyze state: one procedure's entry, or a whole
     /// table.
@@ -399,12 +434,14 @@ pub fn parse_request(line: &str) -> Result<(Option<Json>, Request), ProtoError> 
                 session: str_field("session")?,
                 queries,
                 jobs,
+                engines: engines_field(&frame)?,
             }
         }
         "report" => Request::Report {
             program: str_field("program")?,
             proc: frame.get("proc").and_then(Json::as_str).map(str::to_owned),
             budget: WireBudget::from_frame(&frame)?,
+            engines: engines_field(&frame)?,
         },
         "hello" => Request::Hello,
         "analyze" => {
@@ -429,6 +466,7 @@ pub fn parse_request(line: &str) -> Result<(Option<Json>, Request), ProtoError> 
                 jobs,
                 changed_only,
                 budget: WireBudget::from_frame(&frame)?,
+                engines: engines_field(&frame)?,
             }
         }
         "invalidate" => Request::Invalidate {
@@ -521,12 +559,35 @@ pub fn outcome_json(outcome: &Outcome, include_proof: bool) -> Json {
         (Some(_), false) => Json::Bool(true),
         (None, _) => Json::Null,
     };
+    let witness = match &outcome.witness {
+        Some(w) => Json::Str(w.encode()),
+        None => Json::Null,
+    };
     obj(vec![
         ("answer", outcome.verdict.answer.as_str().into()),
         ("reason", reason),
         ("degraded", outcome.verdict.is_degraded().into()),
         ("proof", proof),
+        ("engine", outcome.engine.code().into()),
+        ("witness", witness),
         ("stats", stats_json(&outcome.stats)),
+    ])
+}
+
+/// Renders cumulative per-engine race tallies for the `stats` verb.
+pub fn portfolio_json(stats: &PortfolioStats) -> Json {
+    let tally = |t: EngineTally| {
+        obj(vec![
+            ("wins", t.wins.into()),
+            ("losses", t.losses.into()),
+            ("cancelled", t.cancelled.into()),
+        ])
+    };
+    obj(vec![
+        ("axiomatic", tally(stats.axiomatic)),
+        ("dyck", tally(stats.dyck)),
+        ("refuter", tally(stats.refuter)),
+        ("witnesses", stats.witnesses.into()),
     ])
 }
 
@@ -561,6 +622,31 @@ mod tests {
         assert!(query.distinct);
         assert_eq!(query.budget.fuel, Some(50));
         assert_eq!(query.budget.deadline_ms, Some(100));
+    }
+
+    #[test]
+    fn parses_engine_selections() {
+        let (_, req) = parse_request(
+            r#"{"verb":"prove","session":"s0","a":"L","b":"R","engines":"dyck,refuter"}"#,
+        )
+        .unwrap();
+        let Request::Prove { query, .. } = req else {
+            panic!("wrong verb");
+        };
+        let sel = query.engines.expect("engines parsed");
+        assert!(!sel.axiomatic && sel.dyck && sel.refuter);
+
+        // Omitted means "server default", not "none".
+        let (_, req) = parse_request(r#"{"verb":"prove","session":"s0","a":"L","b":"R"}"#).unwrap();
+        let Request::Prove { query, .. } = req else {
+            panic!("wrong verb");
+        };
+        assert!(query.engines.is_none());
+
+        let e =
+            parse_request(r#"{"verb":"prove","session":"s0","a":"L","b":"R","engines":"warlock"}"#)
+                .unwrap_err();
+        assert_eq!(e.code, ErrorCode::BadRequest);
     }
 
     #[test]
@@ -616,7 +702,7 @@ mod tests {
         let text = error_frame(None, &e).render();
         assert!(text.contains(r#""error":"unsupported""#), "{text}");
         assert!(text.contains(r#""verb":"frobnicate""#), "{text}");
-        assert!(text.contains(r#""proto_version":2"#), "{text}");
+        assert!(text.contains(r#""proto_version":3"#), "{text}");
     }
 
     #[test]

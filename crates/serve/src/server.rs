@@ -64,7 +64,10 @@ use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::thread;
 use std::time::{Duration, Instant};
 
-use apt_core::{Budget, CancelToken, DepQuery, Origin, Outcome, ProverConfig, ProverStats};
+use apt_core::{
+    Budget, CancelToken, DepQuery, EngineSelection, Origin, Outcome, Portfolio, PortfolioConfig,
+    ProverConfig, ProverStats, TallySink,
+};
 use apt_paths::{analyze_program, BatchOptions, DepTable, RowOutcome};
 
 use crate::fault::FaultPlan;
@@ -72,8 +75,8 @@ use crate::json::{obj, Json};
 use crate::metrics::{Metrics, RestoreOutcome};
 use crate::poll::{nofile_limit, Waker};
 use crate::proto::{
-    error_frame, ok_frame, outcome_json, parse_request, stats_json, ErrorCode, ProtoError, Request,
-    WireQuery, PROTO_VERSION, SUPPORTED_VERBS,
+    error_frame, ok_frame, outcome_json, parse_request, portfolio_json, stats_json, ErrorCode,
+    ProtoError, Request, WireQuery, PROTO_VERSION, SUPPORTED_VERBS,
 };
 use crate::reactor::{Listener, Reactor};
 use crate::session::SessionRegistry;
@@ -122,6 +125,10 @@ pub struct ServeConfig {
     pub idle_timeout: Option<Duration>,
     /// Injected faults for the snapshot path (dev/test only).
     pub fault_plan: Option<Arc<FaultPlan>>,
+    /// Default engine portfolio for proving verbs; `None` runs the
+    /// axiomatic prover alone. A `prove`/`batch` frame's `"engines"`
+    /// field overrides the selection per query either way.
+    pub portfolio: Option<PortfolioConfig>,
 }
 
 impl ServeConfig {
@@ -142,6 +149,7 @@ impl ServeConfig {
             snapshot_interval: None,
             idle_timeout: Some(Duration::from_secs(120)),
             fault_plan: None,
+            portfolio: None,
         }
     }
 
@@ -315,6 +323,9 @@ pub(crate) struct Ctx {
     /// Persisted whole-program dependence tables by name (the `analyze`
     /// verb's incremental state; snapshotted beside the sessions).
     pub(crate) tables: Mutex<HashMap<String, DepTable>>,
+    /// Server-wide per-engine race tallies (the `stats` verb's
+    /// `portfolio` block); every portfolio any verb builds records here.
+    pub(crate) tallies: TallySink,
 }
 
 impl Ctx {
@@ -364,6 +375,7 @@ impl Server {
             shutdown: AtomicBool::new(false),
             waker: Mutex::new(None),
             tables: Mutex::new(HashMap::new()),
+            tallies: TallySink::new(),
         });
         Server {
             ctx,
@@ -715,12 +727,18 @@ pub(crate) fn handle_line(ctx: &Arc<Ctx>, line: &str, cancel: &CancelToken) -> L
             let budget = resolved_budget(ctx, &query, cancel);
             let dep = wire_to_query(&query).with_budget(budget);
             let want_proof = query.want_proof;
+            let portfolio = effective_portfolio(ctx, query.engines);
             let ctx = Arc::clone(ctx);
             let frame_id = id.clone();
             LineOutcome::Job {
                 id,
                 work: Box::new(move || {
-                    let outcome = engine.run(&dep);
+                    let outcome = match portfolio {
+                        Some(cfg) => Portfolio::new((*engine).clone(), cfg)
+                            .with_tallies(&ctx.tallies)
+                            .run(&dep),
+                        None => engine.run(&dep),
+                    };
                     Metrics::bump(&ctx.metrics.queries_total);
                     ok_frame(
                         frame_id.as_ref(),
@@ -733,6 +751,7 @@ pub(crate) fn handle_line(ctx: &Arc<Ctx>, line: &str, cancel: &CancelToken) -> L
             session,
             queries,
             jobs,
+            engines,
         } => {
             let engine = match ctx.registry.get(&session) {
                 Ok(engine) => engine,
@@ -746,12 +765,44 @@ pub(crate) fn handle_line(ctx: &Arc<Ctx>, line: &str, cancel: &CancelToken) -> L
                 .map(|q| wire_to_query(q).with_budget(resolved_budget(ctx, q, cancel)))
                 .collect();
             let want: Vec<bool> = queries.iter().map(|q| q.want_proof).collect();
+            // A query-level `engines` overrides the batch-level one,
+            // which overrides the server default.
+            let batch_portfolio = effective_portfolio(ctx, engines);
+            let query_portfolios: Vec<Option<PortfolioConfig>> = queries
+                .iter()
+                .map(|q| {
+                    q.engines
+                        .and_then(|sel| effective_portfolio(ctx, Some(sel)))
+                })
+                .collect();
             let ctx = Arc::clone(ctx);
             let frame_id = id.clone();
             LineOutcome::Job {
                 id,
                 work: Box::new(move || {
-                    let outcomes: Vec<Outcome> = engine.run_batch(&deps, jobs);
+                    // The staged batch racer covers the common case; any
+                    // per-query selection splits those queries out into
+                    // individual races under their own rosters.
+                    let outcomes: Vec<Outcome> = if query_portfolios.iter().all(Option::is_none) {
+                        match batch_portfolio {
+                            Some(cfg) => Portfolio::new((*engine).clone(), cfg)
+                                .with_tallies(&ctx.tallies)
+                                .run_batch(&deps, jobs),
+                            None => engine.run_batch(&deps, jobs),
+                        }
+                    } else {
+                        deps.iter()
+                            .zip(query_portfolios.iter())
+                            .map(
+                                |(dep, qp)| match qp.clone().or_else(|| batch_portfolio.clone()) {
+                                    Some(cfg) => Portfolio::new((*engine).clone(), cfg)
+                                        .with_tallies(&ctx.tallies)
+                                        .run(dep),
+                                    None => engine.run(dep),
+                                },
+                            )
+                            .collect()
+                    };
                     Metrics::add(&ctx.metrics.queries_total, outcomes.len() as u64);
                     let mut merged = ProverStats::default();
                     let results: Vec<Json> = outcomes
@@ -776,6 +827,7 @@ pub(crate) fn handle_line(ctx: &Arc<Ctx>, line: &str, cancel: &CancelToken) -> L
             program,
             proc,
             budget,
+            engines,
         } => {
             let ctx = Arc::clone(ctx);
             let cancel = cancel.clone();
@@ -783,7 +835,7 @@ pub(crate) fn handle_line(ctx: &Arc<Ctx>, line: &str, cancel: &CancelToken) -> L
             LineOutcome::Job {
                 id,
                 work: Box::new(move || {
-                    match run_report(&ctx, &program, proc.as_deref(), &budget, &cancel) {
+                    match run_report(&ctx, &program, proc.as_deref(), &budget, engines, &cancel) {
                         Ok(pairs) => ok_frame(frame_id.as_ref(), pairs),
                         Err(e) => error_frame(frame_id.as_ref(), &e),
                     }
@@ -796,6 +848,7 @@ pub(crate) fn handle_line(ctx: &Arc<Ctx>, line: &str, cancel: &CancelToken) -> L
             jobs,
             changed_only,
             budget,
+            engines,
         } => {
             let ctx = Arc::clone(ctx);
             let cancel = cancel.clone();
@@ -803,7 +856,16 @@ pub(crate) fn handle_line(ctx: &Arc<Ctx>, line: &str, cancel: &CancelToken) -> L
             LineOutcome::Job {
                 id,
                 work: Box::new(move || {
-                    match run_analyze(&ctx, &program, &name, jobs, changed_only, &budget, &cancel) {
+                    match run_analyze(
+                        &ctx,
+                        &program,
+                        &name,
+                        jobs,
+                        changed_only,
+                        &budget,
+                        engines,
+                        &cancel,
+                    ) {
                         Ok(pairs) => ok_frame(frame_id.as_ref(), pairs),
                         Err(e) => error_frame(frame_id.as_ref(), &e),
                     }
@@ -931,6 +993,7 @@ fn dispatch_inline(
                         ("queue_depth", ctx.pool.depth().into()),
                         ("workers", ctx.config.workers.into()),
                         ("max_connections", ctx.config.max_connections.into()),
+                        ("portfolio", portfolio_json(&ctx.tallies.stats())),
                         ("sessions", Json::Arr(sessions)),
                     ],
                 ),
@@ -987,6 +1050,26 @@ fn resolved_budget(ctx: &Ctx, q: &WireQuery, cancel: &CancelToken) -> Budget {
         .with_cancel(cancel.clone())
 }
 
+/// The portfolio a request actually races under. A frame's `engines`
+/// selection overrides the roster of the server's default portfolio
+/// (keeping its other tuning); a selection with no server default runs
+/// under stock portfolio tuning; neither means the session's axiomatic
+/// engine runs alone, exactly as before portfolios existed.
+fn effective_portfolio(ctx: &Ctx, engines: Option<EngineSelection>) -> Option<PortfolioConfig> {
+    match (&ctx.config.portfolio, engines) {
+        (Some(cfg), Some(sel)) => Some(PortfolioConfig {
+            engines: sel,
+            ..cfg.clone()
+        }),
+        (Some(cfg), None) => Some(cfg.clone()),
+        (None, Some(sel)) => Some(PortfolioConfig {
+            engines: sel,
+            ..PortfolioConfig::default()
+        }),
+        (None, None) => None,
+    }
+}
+
 /// The `report` verb: whole-program analysis (the `apt report`
 /// workload) over `apt_ir` + `apt_paths`. Runs entirely on a worker.
 fn run_report(
@@ -994,6 +1077,7 @@ fn run_report(
     program_text: &str,
     proc: Option<&str>,
     budget: &crate::proto::WireBudget,
+    engines: Option<EngineSelection>,
     cancel: &CancelToken,
 ) -> Result<Vec<(&'static str, Json)>, ProtoError> {
     let program = apt_ir::parse_program(program_text)
@@ -1010,6 +1094,7 @@ fn run_report(
         .with_cancel(cancel.clone());
     let mut config = ProverConfig::new();
     config.budget = budget;
+    let portfolio = effective_portfolio(ctx, engines);
     let jobs = ctx.config.workers;
     let mut procs: Vec<Json> = Vec::new();
     let mut total = 0usize;
@@ -1025,6 +1110,10 @@ fn run_report(
             }
         };
         analysis.set_prover_config(config.clone());
+        if let Some(cfg) = &portfolio {
+            analysis.set_portfolio_config(cfg.clone());
+            analysis.set_portfolio_tallies(ctx.tallies.clone());
+        }
         let queries = analysis.all_queries();
         total += queries.len();
         let report = analysis.run_batch(&queries, &BatchOptions::new().with_jobs(jobs));
@@ -1050,6 +1139,7 @@ fn run_report(
 /// the refreshed table is stored back under the same name, so repeated
 /// `analyze` calls after small edits re-prove only what changed. Runs
 /// entirely on a worker.
+#[allow(clippy::too_many_arguments)]
 fn run_analyze(
     ctx: &Arc<Ctx>,
     program_text: &str,
@@ -1057,6 +1147,7 @@ fn run_analyze(
     jobs: Option<usize>,
     changed_only: bool,
     budget: &crate::proto::WireBudget,
+    engines: Option<EngineSelection>,
     cancel: &CancelToken,
 ) -> Result<Vec<(&'static str, Json)>, ProtoError> {
     let program = apt_ir::parse_program(program_text)
@@ -1078,7 +1169,11 @@ fn run_analyze(
         .cloned();
     let mut config = ProverConfig::new();
     config.budget = resolved;
-    let analysis = analyze_program(&program).with_prover_config(config);
+    let mut analysis = analyze_program(&program).with_prover_config(config);
+    if let Some(cfg) = effective_portfolio(ctx, engines) {
+        analysis.set_portfolio_config(cfg);
+        analysis.set_portfolio_tallies(&ctx.tallies);
+    }
     let report = analysis.run(baseline.as_ref(), &BatchOptions::new().with_jobs(jobs));
     Metrics::add(&ctx.metrics.queries_total, report.reproved() as u64);
     Metrics::add(&ctx.metrics.analyze_replayed, report.replayed() as u64);

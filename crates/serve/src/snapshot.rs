@@ -61,7 +61,7 @@
 
 use crate::fault::FaultPlan;
 use apt_core::{
-    Answer, CacheExport, Goal, GoalEntry, Origin, PrefixCase, Proof, Rule, SubsetEntry,
+    Answer, CacheExport, Goal, GoalEntry, Origin, PrefixCase, Proof, Rule, SubsetEntry, Witness,
 };
 use apt_paths::{DepTable, ProcVerdicts, StoredVerdict};
 use apt_regex::{Component, Path, Regex};
@@ -78,7 +78,7 @@ pub const SNAP_FILE: &str = "apt-serve.snap";
 pub const TMP_FILE: &str = "apt-serve.snap.tmp";
 
 const MAGIC: &[u8; 8] = b"APTSNAP\x01";
-const VERSION: u32 = 1;
+const VERSION: u32 = 2;
 /// Chunk size for snapshot writes; small enough that `write_err=N`
 /// fault plans can target a mid-file write on realistic snapshots.
 const WRITE_CHUNK: usize = 64 * 1024;
@@ -403,6 +403,13 @@ fn encode_analyze_payload(table: &DepTable) -> Vec<u8> {
             for p in &v.proofs {
                 put_proof(&mut out, p);
             }
+            match &v.witness {
+                None => out.push(0),
+                Some(w) => {
+                    out.push(1);
+                    put_str(&mut out, &w.encode());
+                }
+            }
         }
     }
     out
@@ -690,10 +697,21 @@ fn decode_analyze_payload(payload: &[u8]) -> Result<DepTable, SnapshotError> {
             for _ in 0..proof_count {
                 proofs.push(cur.proof(0)?);
             }
+            let witness = match cur.u8()? {
+                0 => None,
+                1 => {
+                    let text = cur.string()?;
+                    Some(Witness::decode(&text).ok_or_else(|| {
+                        SnapshotError::new(format!("unparsable witness {text:?}"))
+                    })?)
+                }
+                t => return Err(SnapshotError::new(format!("bad witness tag {t}"))),
+            };
             verdicts.push(StoredVerdict {
                 query,
                 answer,
                 proofs,
+                witness,
             });
         }
         procs.push(ProcVerdicts {
@@ -1023,11 +1041,19 @@ mod tests {
                             query: "carried U".into(),
                             answer: Answer::No,
                             proofs: vec![proof],
+                            witness: None,
                         },
                         StoredVerdict {
                             query: "S vs T".into(),
                             answer: Answer::Yes,
                             proofs: Vec::new(),
+                            witness: Some(Witness {
+                                nodes: 3,
+                                edges: vec![(0, "link".into(), 1), (1, "link".into(), 2)],
+                                p_origin: 0,
+                                q_origin: 0,
+                                meet: 2,
+                            }),
                         },
                     ],
                 }],
@@ -1117,6 +1143,7 @@ mod tests {
                 assert_eq!(gp.goal, wp.goal);
                 assert_eq!(gp.node_count(), wp.node_count());
             }
+            assert_eq!(g.witness, w.witness, "{}", g.query);
         }
         // Inspect names the table and its sizes.
         let report = inspect(&bytes).unwrap();

@@ -75,18 +75,17 @@ fi
 # were removed from crates/core/src/prover.rs, so the compiler now enforces
 # what the grep used to.)
 
-echo "==> the deprecated Analysis::test_batch shims must have no internal call sites"
-# run_batch is the one batch entry point; the old names survive only as
-# #[deprecated] shims in crates/paths/src/analysis.rs. DepTest::test_batch
-# in crates/core is a different, non-deprecated API, so that crate (and the
-# shim/grouping code in analysis.rs itself) is excluded from the sweep.
-deprecated_uses=$(grep -rnE '\.test_batch(_with_stats)?\(' --include='*.rs' \
-    crates src tests examples 2>/dev/null \
-    | grep -v '^crates/core/' \
-    | grep -v '^crates/paths/src/analysis.rs:' || true)
-if [[ -n "$deprecated_uses" ]]; then
-    echo "error: internal call site of a deprecated batch shim (use run_batch):" >&2
-    echo "$deprecated_uses" >&2
+echo "==> the deprecated Analysis::test_batch shims stay deleted"
+# run_batch is the one batch entry point; the PR 7 #[deprecated] shims are
+# gone from crates/paths entirely. DepTest::test_batch in crates/core is a
+# different, non-deprecated API — analysis.rs's grouped call to it (and
+# the core crate itself) is the one permitted spelling.
+shim_revival=$(grep -rnE 'fn test_batch(_with_stats)?\(|\.test_batch_with_stats\(' \
+    --include='*.rs' crates/paths crates/cli crates/serve crates/bench \
+    src tests examples 2>/dev/null || true)
+if [[ -n "$shim_revival" ]]; then
+    echo "error: the deprecated Analysis batch shims are back (use run_batch):" >&2
+    echo "$shim_revival" >&2
     exit 1
 fi
 
@@ -96,6 +95,16 @@ echo "==> incremental analyze benchmark (smoke: verdict parity)"
 cargo run -q --release -p apt-bench --bin analyze_incremental -- --smoke
 if ! grep -q '"verdicts_identical": true' BENCH_analyze.json; then
     echo "error: BENCH_analyze.json does not record identical verdicts" >&2
+    exit 1
+fi
+
+echo "==> portfolio maybe-rate benchmark (smoke: witness + parity gate)"
+# The bin exits nonzero if a definite verdict diverges between the
+# axiomatic prover and the portfolio, a witness fails re-validation, or
+# the portfolio fails to collapse any Maybe; double-check the artifact.
+cargo run -q --release -p apt-bench --bin portfolio_maybe_rate -- --smoke
+if ! grep -q '"behaved": true' BENCH_portfolio.json; then
+    echo "error: BENCH_portfolio.json does not record a well-behaved run" >&2
     exit 1
 fi
 
@@ -501,5 +510,36 @@ wait "$SERVE_PID" || {
 }
 trap - EXIT
 rm -rf "$ANDIR"
+
+echo "==> portfolio smoke: --engines all parity + refuter resolves a Maybe"
+# Racing the engines must not change a definite answer: the provable
+# Figure 3 pair stays No (exit 0) under --engines all.
+solo_rc=0; raced_rc=0
+"$APT" prove examples/programs/llt.adds L.L.N L.R.N >/dev/null || solo_rc=$?
+"$APT" prove examples/programs/llt.adds L.L.N L.R.N --engines all >/dev/null \
+    || raced_rc=$?
+if [[ "$solo_rc" -ne 0 || "$raced_rc" -ne 0 ]]; then
+    echo "error: --engines all changed a definite verdict" \
+        "(solo exit $solo_rc, raced exit $raced_rc)" >&2
+    exit 1
+fi
+# A known axiomatic Maybe (identical overlapping paths) must exit 1
+# solo, and the refuter must settle it definitely (exit 0) with a
+# re-validated witness heap.
+maybe_rc=0
+"$APT" prove examples/programs/llt.adds L.L.N L.L.N >/dev/null || maybe_rc=$?
+if [[ "$maybe_rc" -ne 1 ]]; then
+    echo "error: expected the axiomatic prover to answer Maybe (exit 1)," \
+        "got exit $maybe_rc" >&2
+    exit 1
+fi
+raced_out=$("$APT" prove examples/programs/llt.adds L.L.N L.L.N --engines all)
+if ! grep -q 'engine: refuter' <<<"$raced_out" \
+    || ! grep -q 're-validated' <<<"$raced_out"; then
+    echo "error: the refuter did not resolve the known Maybe with a" \
+        "validated witness:" >&2
+    echo "$raced_out" >&2
+    exit 1
+fi
 
 echo "CI gate passed."

@@ -1,7 +1,9 @@
 //! Drives the `apt` CLI subcommands over the shipped demo files in
 //! `examples/programs/` — the exact flows a downstream user runs first.
 
-use apt_cli::{cmd_apm, cmd_prove, cmd_query_carried, cmd_query_sequential, cmd_report};
+use apt_cli::{
+    cmd_apm, cmd_prove, cmd_query_carried, cmd_query_sequential, cmd_report, PortfolioOpts,
+};
 use apt_core::{Origin, ProverConfig};
 
 fn cfg() -> ProverConfig {
@@ -15,7 +17,15 @@ fn demo(name: &str) -> String {
 
 #[test]
 fn prove_on_shipped_adds_file() {
-    let out = cmd_prove(&demo("llt.adds"), "L.L.N", "L.R.N", Origin::Same, &cfg()).expect("runs");
+    let out = cmd_prove(
+        &demo("llt.adds"),
+        "L.L.N",
+        "L.R.N",
+        Origin::Same,
+        &cfg(),
+        &PortfolioOpts::off(),
+    )
+    .expect("runs");
     assert!(out.contains("PROVEN"), "{out}");
     assert!(out.contains("checked"), "{out}");
 }
@@ -28,6 +38,7 @@ fn prove_theorem_t_on_shipped_axiom_file() {
         "nrowE+.ncolE+",
         Origin::Same,
         &cfg(),
+        &PortfolioOpts::off(),
     )
     .expect("runs");
     assert!(out.contains("PROVEN"), "{out}");
@@ -36,7 +47,8 @@ fn prove_theorem_t_on_shipped_axiom_file() {
 #[test]
 fn query_subr_s_to_t() {
     let text = demo("subr.apt");
-    let out = cmd_query_sequential(&text, None, "S", "T", &cfg()).expect("runs");
+    let out =
+        cmd_query_sequential(&text, None, "S", "T", &cfg(), &PortfolioOpts::off()).expect("runs");
     assert!(out.contains("answer: No"), "{out}");
     assert!(out.contains("by axiom A1"), "{out}");
 }
@@ -52,12 +64,14 @@ fn apm_shows_the_papers_matrices() {
 #[test]
 fn factor_report_parallelizes_both_loops() {
     let text = demo("factor.apt");
-    let report = cmd_report(&text, None, &cfg()).expect("runs");
+    let report = cmd_report(&text, None, &cfg(), &PortfolioOpts::off()).expect("runs");
     assert!(report.contains("PARALLELIZABLE"), "{report}");
     // Both loop levels break.
-    let l1 = cmd_query_carried(&text, None, "S", Some("L1"), &cfg()).expect("runs");
+    let l1 = cmd_query_carried(&text, None, "S", Some("L1"), &cfg(), &PortfolioOpts::off())
+        .expect("runs");
     assert!(l1.contains("answer: No"), "{l1}");
     assert!(l1.contains("nrowE+"), "{l1}");
-    let l2 = cmd_query_carried(&text, None, "S", Some("L2"), &cfg()).expect("runs");
+    let l2 = cmd_query_carried(&text, None, "S", Some("L2"), &cfg(), &PortfolioOpts::off())
+        .expect("runs");
     assert!(l2.contains("answer: No"), "{l2}");
 }
